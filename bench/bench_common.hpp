@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harness: the workload families used
+// across E2-E10 and a tiny header printer so every binary's output is
+// self-describing and diffable.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc::bench {
+
+/// Builds a named family member at (approximately) n nodes.
+inline Graph make_family(const std::string& family, NodeId n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "path") return make_path(n);
+  if (family == "cycle") return make_cycle(n);
+  if (family == "star") return make_star(n);
+  if (family == "grid") {
+    NodeId side = 1;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return make_grid(side, side);
+  }
+  if (family == "tree") return make_binary_tree(n);
+  if (family == "complete") return make_complete(n);
+  if (family == "barbell") return make_barbell(n / 2, 2);
+  if (family == "er") {
+    return make_erdos_renyi(n, std::min(1.0, 4.0 / static_cast<double>(n)),
+                            rng);
+  }
+  if (family == "ba") return make_barabasi_albert(n, 2, rng);
+  if (family == "ws") return make_watts_strogatz(n, 4, 0.2, rng);
+  throw Error("unknown family: " + family);
+}
+
+/// The default family list for accuracy sweeps.
+inline std::vector<std::string> accuracy_families() {
+  return {"er", "ba", "ws", "grid", "cycle"};
+}
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==================================================\n"
+            << id << "\n" << claim << "\n"
+            << "==================================================\n\n";
+}
+
+}  // namespace rwbc::bench

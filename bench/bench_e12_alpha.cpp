@@ -1,0 +1,79 @@
+// E12 — Section II-C: distributed alpha-current-flow betweenness.
+//
+// Claim regenerated: because alpha-CFB's walks evaporate after 1/(1-alpha)
+// expected steps, PageRank-style techniques compute it distributively in
+// O(log n / (1 - alpha)) rounds — flat in n, unlike RWBC's Theta(n)-type
+// counting phase.  We sweep alpha (rounds ~ 1/(1-alpha)) and n (rounds
+// flat), check accuracy against the exact regularised solver, and show the
+// alpha -> 1 tension: approaching RWBC's measure blows the round count up.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "centrality/alpha_cfb.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/ranking.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "rwbc/distributed_alpha_cfb.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+int main() {
+  using namespace rwbc;
+  bench::banner("E12: distributed alpha-CFB (Section II-C)",
+                "claims: rounds ~ 1/(1-alpha), flat in n; alpha -> 1 "
+                "approaches RWBC's ranking at exploding round cost");
+
+  std::cout << "(a) rounds vs alpha (er, n = 64, K = 24):\n";
+  Table alpha_table({"alpha", "counting rounds", "1/(1-alpha)",
+                     "max rel err vs exact aCFB",
+                     "tau vs exact RWBC"});
+  {
+    const Graph g = bench::make_family("er", 64, 53);
+    const auto exact_rwbc = current_flow_betweenness(g);
+    for (double alpha : {0.5, 0.7, 0.85, 0.95}) {
+      DistributedAlphaCfbOptions options;
+      options.alpha = alpha;
+      options.walks_per_source = 24;
+      options.congest.seed = 59;
+      options.congest.bit_floor = 64;
+      const auto r = distributed_alpha_cfb(g, options);
+      const auto exact = alpha_current_flow_betweenness(g, alpha);
+      alpha_table.add_row(
+          {Table::fmt(alpha, 2), Table::fmt(r.counting_metrics.rounds),
+           Table::fmt(1.0 / (1.0 - alpha), 1),
+           Table::fmt(max_relative_error(exact, r.betweenness)),
+           Table::fmt(kendall_tau(exact_rwbc, r.betweenness), 3)});
+    }
+  }
+  alpha_table.print(std::cout);
+
+  std::cout << "\n(b) rounds vs n at alpha = 0.8 — flat, unlike RWBC's "
+               "counting phase:\n";
+  Table n_table({"n", "aCFB counting rounds", "RWBC counting rounds"});
+  for (NodeId n : {32, 128, 512}) {
+    const Graph g = bench::make_family("er", n, 53);
+    DistributedAlphaCfbOptions options;
+    options.alpha = 0.8;
+    options.walks_per_source = 8;
+    options.compute_scores = false;
+    options.congest.seed = 61;
+    const auto acfb = distributed_alpha_cfb(g, options);
+    DistributedRwbcOptions rwbc_options;
+    rwbc_options.walks_per_source = 8;
+    rwbc_options.compute_scores = false;
+    rwbc_options.run_leader_election = false;
+    rwbc_options.congest.seed = 61;
+    const auto rwbc = distributed_rwbc(g, rwbc_options);
+    n_table.add_row({Table::fmt(n), Table::fmt(acfb.counting_metrics.rounds),
+                     Table::fmt(rwbc.counting_metrics.rounds)});
+  }
+  n_table.print(std::cout);
+  std::cout << "\nReading: alpha-CFB's evaporating walks make it a "
+               "polylog-round measure, but its tau against true RWBC only "
+               "approaches 1 as alpha -> 1 — where its rounds diverge like "
+               "1/(1-alpha).  That trade is exactly why the paper's "
+               "O(n log n) RWBC algorithm is not subsumed by the PageRank "
+               "toolbox.\n\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E13 — the companion result [5] (Section I): distributed shortest-path
+// betweenness in O(n) rounds with a (1 +/- eps) sigma-precision trade.
+//
+// Claims regenerated: (a) the distributed SPBC matches Brandes to the
+// 22-bit mantissa precision; (b) its rounds grow near-linearly in n;
+// (c) the paper's overall narrative — BOTH betweenness flavours are
+// computable in ~linear rounds under CONGEST, with RWBC paying an extra
+// log factor (and a Monte-Carlo error) for the harder, all-paths measure.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "centrality/brandes.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/distributed_spbc.hpp"
+
+int main() {
+  using namespace rwbc;
+  bench::banner("E13: distributed SPBC, the companion result [5]",
+                "claims: exact-to-precision agreement with Brandes; O(n) "
+                "rounds; the SPBC/RWBC round-cost relationship of Sec. I");
+
+  std::cout << "(a) agreement with Brandes (max |diff|, no sampling — only "
+               "the 22-bit sigma mantissa):\n";
+  Table agree({"family", "n", "max abs diff"});
+  for (const std::string& family : {std::string("er"), std::string("ba"),
+                                    std::string("grid")}) {
+    const Graph g = bench::make_family(family, 48, 67);
+    DistributedSpbcOptions options;
+    options.congest.seed = 1;
+    const auto distributed = distributed_spbc(g, options);
+    const auto exact = brandes_betweenness(g);
+    double worst = 0.0;
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+      worst = std::max(worst,
+                       std::abs(distributed.betweenness[v] - exact[v]));
+    }
+    agree.add_row({family, Table::fmt(g.node_count()), Table::fmt(worst, 9)});
+  }
+  agree.print(std::cout);
+
+  std::cout << "\n(b) rounds vs n (fit must be near-linear):\n";
+  Table rounds_table({"n", "m", "forward rounds", "backward rounds",
+                      "total"});
+  std::vector<double> ns, rounds;
+  for (NodeId n : {32, 64, 128, 256, 512}) {
+    const Graph g = bench::make_family("er", n, 67);
+    DistributedSpbcOptions options;
+    options.congest.seed = 2;
+    const auto r = distributed_spbc(g, options);
+    ns.push_back(static_cast<double>(g.node_count()));
+    rounds.push_back(static_cast<double>(r.total.rounds));
+    rounds_table.add_row(
+        {Table::fmt(g.node_count()),
+         Table::fmt(static_cast<std::uint64_t>(g.edge_count())),
+         Table::fmt(r.forward_metrics.rounds),
+         Table::fmt(r.backward_metrics.rounds), Table::fmt(r.total.rounds)});
+  }
+  rounds_table.print(std::cout);
+  const PowerFit fit = fit_power(ns, rounds);
+  std::cout << "rounds ~ n^" << Table::fmt(fit.exponent, 2)
+            << " (R^2 = " << Table::fmt(fit.r_squared, 3)
+            << "); [5] claims O(n)\n";
+
+  std::cout << "\n(c) the Section I narrative, in rounds (er family):\n";
+  Table narrative({"n", "SPBC rounds (exact-to-precision)",
+                   "RWBC rounds (Monte-Carlo, K = log n)"});
+  for (NodeId n : {64, 256}) {
+    const Graph g = bench::make_family("er", n, 67);
+    DistributedSpbcOptions spbc_options;
+    spbc_options.congest.seed = 3;
+    const auto spbc = distributed_spbc(g, spbc_options);
+    DistributedRwbcOptions rwbc_options;
+    rwbc_options.walks_per_source = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    rwbc_options.compute_scores = false;
+    rwbc_options.congest.seed = 3;
+    const auto rwbc = distributed_rwbc(g, rwbc_options);
+    narrative.add_row({Table::fmt(n), Table::fmt(spbc.total.rounds),
+                       Table::fmt(rwbc.total.rounds)});
+  }
+  narrative.print(std::cout);
+  std::cout << "\nReading: shortest-path betweenness admits an (almost) "
+               "exact linear-round distributed algorithm because sigma "
+               "flows along BFS DAGs; random-walk betweenness must sample "
+               "all paths, costing the extra K = O(log n) factor and a "
+               "Monte-Carlo error — the gap the paper's title prices in.\n\n";
+  return 0;
+}

@@ -1,0 +1,173 @@
+// E2 — Theorem 1 & 2: the walk-length cutoff l.
+//
+// Paper claim: after l = O(n) steps the surviving walk fraction drops below
+// any constant epsilon, so truncating at l = O(n) gives a (1 - epsilon)
+// approximation.  We measure (a) the surviving fraction vs steps against
+// the spectral prediction rho^r, and (b) the end-to-end betweenness error
+// vs l/n — the error should collapse once l reaches a small multiple of n
+// (graph families with larger mixing times need larger multiples, which is
+// exactly the spectral story).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/current_flow_mc.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "linalg/laplacian.hpp"
+#include "rwbc/counting_node.hpp"
+
+int main() {
+  using namespace rwbc;
+  bench::banner("E2: truncation cutoff l (Theorems 1-2)",
+                "claim: surviving fraction decays like rho(M_t)^r, so "
+                "l = O(n) leaves only an epsilon of walk mass uncounted");
+
+  const NodeId n = 48;
+  const std::uint64_t seed = 7;
+
+  std::cout << "(a) surviving-walk fraction vs steps, against rho^r:\n";
+  Table survive({"family", "rho(M_t)", "r=n/2", "pred", "r=n", "pred",
+                 "r=2n", "pred", "r=4n", "pred"});
+  for (const std::string& family : bench::accuracy_families()) {
+    const Graph g = bench::make_family(family, n, seed);
+    const NodeId target = 0;
+    const double rho = spectral_radius_reduced_transition(g, target);
+    const auto steps = static_cast<std::size_t>(4 * g.node_count());
+    const auto profile = absorption_profile(g, target, 40'000, steps, seed);
+    auto at = [&](double mult) {
+      return profile[static_cast<std::size_t>(
+          mult * static_cast<double>(g.node_count()))];
+    };
+    auto pred = [&](double mult) {
+      return std::pow(rho, mult * static_cast<double>(g.node_count()));
+    };
+    survive.add_row({family, Table::fmt(rho), Table::fmt(at(0.5)),
+                     Table::fmt(pred(0.5)), Table::fmt(at(1.0)),
+                     Table::fmt(pred(1.0)), Table::fmt(at(2.0)),
+                     Table::fmt(pred(2.0)), Table::fmt(at(4.0)),
+                     Table::fmt(pred(4.0))});
+  }
+  survive.print(std::cout);
+
+  std::cout << "\n(b) PURE truncation bias vs cutoff multiple l/n — "
+               "deterministic E[estimator] via the truncated power sum, no "
+               "sampling noise (Theorems 1-2):\n";
+  Table error({"family", "l/n=0.25", "l/n=0.5", "l/n=1", "l/n=2", "l/n=4",
+               "l/n=8"});
+  for (const std::string& family : bench::accuracy_families()) {
+    const Graph g = bench::make_family(family, n, seed);
+    const auto exact = current_flow_betweenness(g);
+    std::vector<std::string> row{family};
+    for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const auto cutoff = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 mult * static_cast<double>(g.node_count())));
+      const DenseMatrix t_l = truncated_potentials(g, 0, cutoff);
+      const auto biased = betweenness_from_potentials(g, t_l);
+      row.push_back(Table::fmt(max_relative_error(exact, biased)));
+    }
+    error.add_row(std::move(row));
+  }
+  error.print(std::cout);
+  std::cout << "Reading: the bias decays geometrically (rate rho) and l = "
+               "O(n) suffices on every family; slow-mixing families (cycle) "
+               "need the larger constant, exactly as rho predicts.\n"
+            << "\n(b') total error of the SAMPLED estimator at K = 600 — "
+               "beyond the mixing time, longer walks only add visit "
+               "variance (the |.| of Eq. 6 rectifies that noise into "
+               "positive bias on near-tied pairs), so the total error is "
+               "U-shaped in l on fast-mixing families:\n";
+  Table mc_error({"family", "l/n=0.5", "l/n=2", "l/n=8"});
+  for (const std::string& family : bench::accuracy_families()) {
+    const Graph g = bench::make_family(family, n, seed);
+    const auto exact = current_flow_betweenness(g);
+    std::vector<std::string> row{family};
+    for (double mult : {0.5, 2.0, 8.0}) {
+      McOptions options;
+      options.walks_per_source = 600;
+      options.cutoff = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 mult * static_cast<double>(g.node_count())));
+      options.target = 0;
+      options.seed = seed + static_cast<std::uint64_t>(mult * 100);
+      const McResult mc = current_flow_betweenness_mc(g, options);
+      row.push_back(Table::fmt(max_relative_error(exact, mc.betweenness)));
+    }
+    mc_error.add_row(std::move(row));
+  }
+  mc_error.print(std::cout);
+
+  std::cout << "\n(c') live walk traffic in the DISTRIBUTED counting phase "
+               "(per-round messages via the simulator's round observer).  "
+               "Two regimes: at K = 1 the traffic tracks the surviving "
+               "population (rho^r decay, as in (a)); at K = 16 it pins at "
+               "the per-edge capacity until enough walks die — Lemma 2's "
+               "O(Kn) congestion term, visible on the wire:\n";
+  for (const std::uint64_t k : {std::uint64_t{1}, std::uint64_t{16}}) {
+    const Graph g = bench::make_family("ba", n, seed);
+    const double rho = spectral_radius_reduced_transition(g, 0);
+    std::vector<std::uint64_t> per_round;
+    CongestConfig config;
+    config.seed = 77;
+    const auto bfs =
+        run_bfs_tree(g, 0, config, static_cast<std::uint64_t>(n) + 2);
+    config.round_observer = [&](const RoundSnapshot& s) {
+      per_round.push_back(s.messages);
+    };
+    Network net(g, config);
+    net.set_all_nodes([&](NodeId v) {
+      CountingNodeConfig node_config;
+      node_config.target = 0;
+      node_config.walks_per_source = k;
+      node_config.cutoff = 4 * static_cast<std::size_t>(g.node_count());
+      node_config.tree_parent = bfs.tree.parent[static_cast<std::size_t>(v)];
+      node_config.tree_children =
+          bfs.tree.children[static_cast<std::size_t>(v)];
+      return std::make_unique<CountingNode>(std::move(node_config));
+    });
+    net.run();
+    std::cout << "K = " << k << " (2m = " << 2 * g.edge_count()
+              << " walk slots per round):\n";
+    Table live({"round r", "messages", "relative to r=1",
+                "spectral rho^r"});
+    const double base = static_cast<double>(per_round[1]);
+    for (double mult : {0.25, 0.5, 1.0, 2.0}) {
+      const auto r = static_cast<std::size_t>(
+          mult * static_cast<double>(g.node_count()));
+      if (r >= per_round.size()) continue;
+      live.add_row({Table::fmt(static_cast<std::uint64_t>(r)),
+                    Table::fmt(per_round[r]),
+                    Table::fmt(static_cast<double>(per_round[r]) / base),
+                    Table::fmt(std::pow(rho, static_cast<double>(r)))});
+    }
+    live.print(std::cout);
+  }
+  std::cout << "(late rounds also carry a floor of termination-sweep "
+               "control traffic on the tree edges)\n";
+
+  std::cout << "\n(c) truncated-walk fraction at the Theorem 1 default "
+               "l = 2n:\n";
+  Table trunc({"family", "truncated fraction", "spectral prediction rho^2n"});
+  for (const std::string& family : bench::accuracy_families()) {
+    const Graph g = bench::make_family(family, n, seed);
+    McOptions options;
+    options.walks_per_source = 600;
+    options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+    options.target = 0;
+    options.seed = seed;
+    const McResult mc = current_flow_betweenness_mc(g, options);
+    const double fraction =
+        static_cast<double>(mc.truncated_walks) /
+        static_cast<double>(mc.truncated_walks + mc.absorbed_walks);
+    const double rho = spectral_radius_reduced_transition(g, 0);
+    trunc.add_row({family, Table::fmt(fraction, 6),
+                   Table::fmt(std::pow(rho, 2.0 * g.node_count()), 6)});
+  }
+  trunc.print(std::cout);
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E4 — Lemmas 2-3 / Theorem 5: round complexity.
+//
+// Paper claim: the whole pipeline takes O(K n + l) = O(n log n) rounds.
+// We sweep n, run with the theorem parameters (l = 2n, K = ceil(log2 n) —
+// a smaller constant than the accuracy default, since only growth matters
+// here), and fit the exponent of rounds vs n (expected ~1 plus log factor).
+// Comparators: the trivial gather-exact baseline, which is Theta(m) across
+// a bottleneck (barbell family), and distributed PageRank, whose rounds
+// stay polylogarithmic — the separation argued in Sections I-II.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "rwbc/distributed_pagerank.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/gather_exact.hpp"
+
+int main() {
+  using namespace rwbc;
+  bench::banner("E4: round complexity (Lemmas 2-3, Theorem 5)",
+                "claim: rounds = O(K n + l) = O(n log n); trivial gather is "
+                "Theta(m) across bottlenecks; PageRank is polylog");
+
+  const std::vector<NodeId> sizes{32, 64, 128, 256, 512};
+  for (const std::string& family :
+       {std::string("cycle"), std::string("er"), std::string("ba")}) {
+    std::cout << "family = " << family << "\n";
+    Table table({"n", "m", "K", "l", "rounds", "rounds/(n log2 n)",
+                 "counting", "computing"});
+    std::vector<double> ns, rounds;
+    for (NodeId n : sizes) {
+      const Graph g = bench::make_family(family, n, 3);
+      DistributedRwbcOptions options;
+      options.walks_per_source = static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(g.node_count()))));
+      options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+      options.compute_scores = false;
+      options.congest.seed = 5;
+      const auto r = distributed_rwbc(g, options);
+      const double nl = static_cast<double>(g.node_count()) *
+                        std::log2(static_cast<double>(g.node_count()));
+      ns.push_back(static_cast<double>(g.node_count()));
+      rounds.push_back(static_cast<double>(r.total.rounds));
+      table.add_row({Table::fmt(g.node_count()),
+                     Table::fmt(static_cast<std::uint64_t>(g.edge_count())),
+                     Table::fmt(static_cast<std::uint64_t>(
+                         r.params.walks_per_source)),
+                     Table::fmt(static_cast<std::uint64_t>(r.params.cutoff)),
+                     Table::fmt(r.total.rounds),
+                     Table::fmt(static_cast<double>(r.total.rounds) / nl, 2),
+                     Table::fmt(r.counting_metrics.rounds),
+                     Table::fmt(r.computing_metrics.rounds)});
+    }
+    table.print(std::cout);
+    const PowerFit fit = fit_power(ns, rounds);
+    std::cout << "rounds ~ n^" << Table::fmt(fit.exponent, 2)
+              << " (R^2 = " << Table::fmt(fit.r_squared, 3)
+              << "); O(n log n) predicts an exponent slightly above 1\n\n";
+  }
+
+  std::cout << "Trivial gather-exact on the barbell family (bottleneck -> "
+               "Theta(m)):\n";
+  Table gather_table({"k", "n", "m", "gather rounds", "approx rounds",
+                      "gather/approx"});
+  std::vector<double> ms, gather_rounds;
+  for (NodeId k : {16, 24, 32, 48, 64}) {
+    const Graph g = make_barbell(k, 2);
+    GatherExactOptions gather_options;
+    gather_options.run_leader_election = false;
+    const auto gather = gather_exact_rwbc(g, gather_options);
+    DistributedRwbcOptions approx_options;
+    approx_options.walks_per_source = 4;
+    approx_options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+    approx_options.run_leader_election = false;
+    approx_options.compute_scores = false;
+    approx_options.congest.seed = 5;
+    const auto approx = distributed_rwbc(g, approx_options);
+    ms.push_back(static_cast<double>(g.edge_count()));
+    gather_rounds.push_back(static_cast<double>(gather.total.rounds));
+    gather_table.add_row(
+        {Table::fmt(k), Table::fmt(g.node_count()),
+         Table::fmt(static_cast<std::uint64_t>(g.edge_count())),
+         Table::fmt(gather.total.rounds), Table::fmt(approx.total.rounds),
+         Table::fmt(static_cast<double>(gather.total.rounds) /
+                        static_cast<double>(approx.total.rounds),
+                    2)});
+  }
+  gather_table.print(std::cout);
+  const PowerFit gather_fit = fit_power(ms, gather_rounds);
+  std::cout << "gather rounds ~ m^" << Table::fmt(gather_fit.exponent, 2)
+            << " (R^2 = " << Table::fmt(gather_fit.r_squared, 3)
+            << "); the crossover (approx wins) appears once m >> n log n\n\n";
+
+  std::cout << "Distributed PageRank rounds stay polylogarithmic:\n";
+  Table pr_table({"n", "pagerank rounds", "RWBC rounds (cycle)"});
+  for (NodeId n : sizes) {
+    const Graph g = bench::make_family("cycle", n, 3);
+    DistributedPagerankOptions pr_options;
+    pr_options.walks_per_node = 32;
+    pr_options.congest.seed = 5;
+    const auto pr = distributed_pagerank(g, pr_options);
+    DistributedRwbcOptions options;
+    options.walks_per_source = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    options.cutoff = 2 * static_cast<std::size_t>(n);
+    options.compute_scores = false;
+    options.congest.seed = 5;
+    const auto rw = distributed_rwbc(g, options);
+    pr_table.add_row({Table::fmt(n), Table::fmt(pr.metrics.rounds),
+                      Table::fmt(rw.total.rounds)});
+  }
+  pr_table.print(std::cout);
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E6 — Section VIII (Theorem 6, Lemmas 4-6): the lower-bound gadget.
+//
+// Paper claims, regenerated:
+//   (Lemma 5)  with N = 1 and single links, b_P is minimal exactly when
+//              T1 attaches to the rail matching S1;
+//   (Lemma 4)  b_P is minimal iff the disjointness instance is a YES
+//              instance, across random instances and gadget sizes;
+//   (Thm 6/8)  deciding b_P exactly is as hard as set disjointness, i.e.
+//              Omega(N log N) bits must cross the (M+1)-edge Alice/Bob cut;
+//              we meter the cut traffic of the (approximate) distributed
+//              algorithm for scale.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "lowerbound/disjointness.hpp"
+#include "lowerbound/gadget.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+namespace {
+
+double exact_b_p(const rwbc::GadgetLayout& layout) {
+  const auto b = rwbc::current_flow_betweenness(layout.graph);
+  return b[static_cast<std::size_t>(layout.p)];
+}
+
+}  // namespace
+
+int main() {
+  using namespace rwbc;
+  bench::banner("E6: the lower-bound gadget (Section VIII)",
+                "claims: Lemma 5 single-edge minimum; Lemma 4 disjointness "
+                "separation; Omega(N log N) bits across the cut");
+
+  std::cout << "(a) Lemma 5 — N = 1, S1 on rail 0; b_P by T1's rail:\n";
+  Table lemma5({"M", "T1 rail 0 (matched)", "T1 rail 1", "T1 rail M-1",
+                "minimum at matched?"});
+  for (int m : {4, 6, 8}) {
+    const std::vector<std::vector<int>> s{{0}};
+    const double matched = exact_b_p(build_gadget(m, s, {{0}}));
+    const double r1 = exact_b_p(build_gadget(m, s, {{1}}));
+    const double rl = exact_b_p(build_gadget(m, s, {{m - 1}}));
+    lemma5.add_row({Table::fmt(m), Table::fmt(matched, 6), Table::fmt(r1, 6),
+                    Table::fmt(rl, 6),
+                    (matched < r1 && matched < rl) ? "yes" : "NO"});
+  }
+  lemma5.print(std::cout);
+
+  std::cout << "\n(b) Lemma 4 — b_P separation over random instances "
+               "(5 per class):\n";
+  Table lemma4({"M", "N", "n", "max b_P (disjoint)", "min b_P (intersect)",
+                "gap", "separated"});
+  for (const auto& [m, fam] : std::vector<std::pair<int, int>>{
+           {4, 2}, {6, 3}, {8, 4}, {10, 5}}) {
+    double max_yes = -1e9, min_no = 1e9;
+    int n_nodes = 0;
+    for (int s = 0; s < 5; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) + 1);
+      const auto yes = make_disjoint_instance(m, fam, rng);
+      const auto no = make_intersecting_instance(m, fam, rng);
+      const auto yes_layout = build_disjointness_gadget(m, yes.x, yes.y);
+      const auto no_layout = build_disjointness_gadget(m, no.x, no.y);
+      n_nodes = yes_layout.graph.node_count();
+      max_yes = std::max(max_yes, exact_b_p(yes_layout));
+      min_no = std::min(min_no, exact_b_p(no_layout));
+    }
+    lemma4.add_row({Table::fmt(m), Table::fmt(fam), Table::fmt(n_nodes),
+                    Table::fmt(max_yes, 6), Table::fmt(min_no, 6),
+                    Table::fmt(min_no - max_yes, 6),
+                    min_no > max_yes ? "yes" : "NO"});
+  }
+  lemma4.print(std::cout);
+
+  std::cout << "\n(c) cut traffic of the distributed pipeline vs the "
+               "disjointness bound:\n";
+  Table cut_table({"M", "N", "n", "cut edges", "cut bits (pipeline)",
+                   "DISJ bound N*log2(N)", "rounds", "n/log2(n)"});
+  for (const auto& [m, fam] : std::vector<std::pair<int, int>>{
+           {4, 2}, {8, 4}, {16, 8}, {32, 16}}) {
+    Rng rng(3);
+    const auto instance = make_disjoint_instance(m, fam, rng);
+    const auto layout = build_disjointness_gadget(m, instance.x, instance.y);
+    DistributedRwbcOptions options;
+    options.walks_per_source = 8;
+    options.cutoff = 2 * static_cast<std::size_t>(layout.graph.node_count());
+    options.compute_scores = false;
+    options.congest.seed = 21;
+    options.congest.metered_cut = gadget_cut_edges(layout);
+    const auto r = distributed_rwbc(layout.graph, options);
+    const double n = static_cast<double>(layout.graph.node_count());
+    cut_table.add_row(
+        {Table::fmt(m), Table::fmt(fam),
+         Table::fmt(layout.graph.node_count()),
+         Table::fmt(static_cast<std::uint64_t>(m + 1)),
+         Table::fmt(r.total.cut_bits),
+         Table::fmt(disjointness_bits_lower_bound(fam), 1),
+         Table::fmt(r.total.rounds),
+         Table::fmt(n / std::log2(n), 1)});
+  }
+  cut_table.print(std::cout);
+  std::cout << "\nReading: even the APPROXIMATE algorithm moves orders of "
+               "magnitude more bits across the cut than the exact-decision "
+               "bound requires — consistent with (and far above) the "
+               "Omega(n/log n) floor for exact computation.\n\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// E7 — design-choice ablations for Algorithm 1's congestion rule (line 6).
+//
+// The paper says: send one walk per edge per round, chosen at random; we
+// queue the losers (DESIGN.md resolution 1).  Ablated here:
+//   (a) strict CONGEST queueing vs ideal (unbounded) bandwidth — accuracy
+//       must be statistically identical (queueing only delays, never
+//       biases, because a redraw is the same uniform choice), while rounds
+//       drop sharply without the cap;
+//   (b) walk slots per edge per round (1, 2, 4) — more slots trade per-edge
+//       bits for rounds on hub-heavy graphs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+int main() {
+  using namespace rwbc;
+  bench::banner("E7: congestion-rule ablation (Alg. 1 line 6)",
+                "claims: queueing delays but does not bias; extra walk "
+                "slots buy rounds with bits");
+
+  const NodeId n = 48;
+  for (const std::string& family :
+       {std::string("star"), std::string("ba"), std::string("er")}) {
+    const Graph g = bench::make_family(family, n, 17);
+    const auto exact = current_flow_betweenness(g);
+    std::cout << "family = " << family << " (n = " << g.node_count()
+              << ", max degree = " << g.max_degree() << ")\n";
+    Table table({"mode", "slots/edge", "counting rounds", "max rel err",
+                 "peak bits/edge"});
+    for (const bool strict : {true, false}) {
+      for (const std::size_t slots : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+        if (!strict && slots > 1) continue;  // unbounded: slots irrelevant
+        DistributedRwbcOptions options;
+        options.walks_per_source = 64;
+        options.cutoff = 4 * static_cast<std::size_t>(g.node_count());
+        options.walks_per_edge_per_round = slots;
+        options.run_leader_election = false;
+        options.congest.seed = 23;
+        options.congest.enforce_bandwidth = strict;
+        if (strict) {
+          // Each extra slot adds one walk token (~2 log n bits) per round.
+          options.congest.bit_floor = 64 + 64 * slots;
+        } else {
+          options.walks_per_edge_per_round = 1'000'000;  // never queue
+        }
+        const auto r = distributed_rwbc(g, options);
+        table.add_row(
+            {strict ? "strict CONGEST" : "ideal bandwidth",
+             strict ? Table::fmt(static_cast<std::uint64_t>(slots)) : "inf",
+             Table::fmt(r.counting_metrics.rounds),
+             Table::fmt(max_relative_error(exact, r.betweenness)),
+             Table::fmt(r.total.max_bits_per_edge_round)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Reading: accuracy is flat across all modes (the estimator "
+               "is congestion-oblivious); rounds fall as slots rise, "
+               "fastest on the star whose hub serialises every walk.\n\n";
+
+  // (b) Length policy: per-move (paper) vs per-round (no termination
+  // detection needed, but congestion truncates walks early).
+  std::cout << "(b) length policy ablation (DESIGN.md resolution 1):\n";
+  Table policy_table({"family", "policy", "counting rounds", "max rel err"});
+  for (const std::string& family :
+       {std::string("star"), std::string("er")}) {
+    const Graph g = bench::make_family(family, n, 17);
+    const auto exact = current_flow_betweenness(g);
+    for (const LengthPolicy policy :
+         {LengthPolicy::kPerMove, LengthPolicy::kPerRound}) {
+      DistributedRwbcOptions options;
+      options.walks_per_source = 64;
+      options.cutoff = 4 * static_cast<std::size_t>(g.node_count());
+      options.length_policy = policy;
+      options.run_leader_election = false;
+      options.congest.seed = 29;
+      options.congest.bit_floor = 64;
+      const auto r = distributed_rwbc(g, options);
+      policy_table.add_row(
+          {family,
+           policy == LengthPolicy::kPerMove ? "per-move (paper)"
+                                            : "per-round",
+           Table::fmt(r.counting_metrics.rounds),
+           Table::fmt(max_relative_error(exact, r.betweenness))});
+    }
+  }
+  policy_table.print(std::cout);
+  std::cout << "Reading: per-round spending caps the phase at ~l rounds. "
+               "Counter-intuitively it also LOWERS total error at this "
+               "moderate K: queued walks losing budget acts as an implicit "
+               "cutoff reduction, and (per E2's U-shape) shorter effective "
+               "walks mean less visit variance for Eq. 6's |.| to rectify "
+               "into bias.  The paper's per-move semantics is the unbiased-"
+               "in-expectation choice — its advantage shows once K is "
+               "large enough for truncation bias, not variance, to "
+               "dominate.\n\n";
+
+  // (c) Algorithm 2 batching: counts per message.
+  std::cout << "(c) Algorithm 2 batching (counts per message):\n";
+  Table batch_table({"batch", "computing rounds", "peak bits/edge",
+                     "max rel err"});
+  {
+    const Graph g = bench::make_family("er", 96, 17);
+    const auto exact = current_flow_betweenness(g);
+    for (const std::uint64_t batch : {std::uint64_t{1}, std::uint64_t{2},
+                                      std::uint64_t{4}, std::uint64_t{0}}) {
+      DistributedRwbcOptions options;
+      options.walks_per_source = 64;
+      options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+      options.counts_per_message = batch;
+      options.run_leader_election = false;
+      options.congest.seed = 31;
+      options.congest.bit_floor = 128;
+      const auto r = distributed_rwbc(g, options);
+      batch_table.add_row(
+          {batch == 0 ? "auto" : Table::fmt(batch),
+           Table::fmt(r.computing_metrics.rounds),
+           Table::fmt(r.total.max_bits_per_edge_round),
+           Table::fmt(max_relative_error(exact, r.betweenness))});
+    }
+  }
+  batch_table.print(std::cout);
+  std::cout << "Reading: scores are bit-identical across batch sizes; the "
+               "phase shrinks from n rounds toward n/b while peak traffic "
+               "stays inside the O(log n) budget.\n\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E8 — wall-clock comparison (google-benchmark).
+//
+// Paper context: Newman's centralized algorithm is O((n+m) n^2) — "could be
+// O(n^4), unacceptable" (Section I).  We measure the local-machine cost of
+// every solver in the library: exact dense LU, exact sparse CG, centralized
+// Monte-Carlo, and the full CONGEST simulation, plus the linear-algebra
+// kernels underneath.  (Simulated rounds, not wall-clock, are the paper's
+// cost model — see E4 — but a practitioner picking a solver wants this.)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "centrality/brandes.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/current_flow_mc.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/lu.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+namespace {
+
+using namespace rwbc;
+
+Graph bench_graph(std::int64_t n) {
+  return bench::make_family("er", static_cast<NodeId>(n), 29);
+}
+
+void BM_ExactDenseLu(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  CurrentFlowOptions options;
+  options.solver = CurrentFlowOptions::Solver::kDenseLu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(current_flow_betweenness(g, options));
+  }
+}
+BENCHMARK(BM_ExactDenseLu)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactSparseCg(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  CurrentFlowOptions options;
+  options.solver = CurrentFlowOptions::Solver::kSparseCg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(current_flow_betweenness(g, options));
+  }
+}
+BENCHMARK(BM_ExactSparseCg)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CentralizedMc(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  McOptions options;
+  options.walks_per_source = default_walks_per_source(g.node_count());
+  options.cutoff = default_cutoff(g.node_count());
+  options.target = 0;
+  options.seed = 31;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(current_flow_betweenness_mc(g, options));
+  }
+}
+BENCHMARK(BM_CentralizedMc)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributedSimulation(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    DistributedRwbcOptions options;  // theorem defaults
+    options.congest.seed = 31;
+    benchmark::DoNotOptimize(distributed_rwbc(g, options));
+  }
+}
+BENCHMARK(BM_DistributedSimulation)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PivotSampled(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  // 2n sampled pairs: enough for ranking-quality estimates (tests pin the
+  // 1/sqrt(pairs) error law).
+  const auto pairs = static_cast<std::size_t>(2 * g.node_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(current_flow_betweenness_pivots(g, pairs, 47));
+  }
+}
+BENCHMARK(BM_PivotSampled)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_BrandesSpbc(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brandes_betweenness(g));
+  }
+}
+BENCHMARK(BM_BrandesSpbc)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_LuInverse(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  const DenseMatrix reduced = reduced_laplacian_matrix(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu_inverse(reduced));
+  }
+}
+BENCHMARK(BM_LuInverse)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CgSolve(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  const CsrMatrix reduced = reduced_laplacian_csr(g, 0);
+  Vector b(reduced.rows(), 0.0);
+  b[0] = 1.0;
+  Vector x(reduced.rows(), 0.0);
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    benchmark::DoNotOptimize(conjugate_gradient(reduced, b, x));
+  }
+}
+BENCHMARK(BM_CgSolve)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// The Section VIII lower bound, made tangible: wire set-disjointness
+// instances into the Fig. 2 gadget, show that node P's exact betweenness
+// separates disjoint from intersecting inputs (Lemma 4), and meter how many
+// bits the distributed algorithm pushes across the Alice/Bob cut versus the
+// Omega(N log N) communication bound (Theorem 8).
+//
+// Usage: lower_bound_demo [rails] [family_size] [seeds]
+//   rails        M, even (default 6)
+//   family_size  N subsets per side (default 3)
+//   seeds        instances per class (default 4)
+#include <cstdlib>
+#include <iostream>
+
+#include "centrality/current_flow_exact.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "lowerbound/disjointness.hpp"
+#include "lowerbound/gadget.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwbc;
+  const int rails = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int family = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int seeds = argc > 3 ? std::atoi(argv[3]) : 4;
+  try {
+    std::cout << "Gadget: M = " << rails << " rails, N = " << family
+              << " subsets per side (n = " << 2 * rails + 2 * family + 3
+              << " nodes). The Alice/Bob cut has " << rails + 1
+              << " edges.\n\n";
+
+    Table table({"instance", "disjoint?", "exact b_P", "cut bits",
+                 "cut msgs", "DISJ bound (bits)"});
+    double max_disjoint = -1e9, min_hit = 1e9;
+    for (int s = 0; s < 2 * seeds; ++s) {
+      Rng rng(static_cast<std::uint64_t>(s) + 1);
+      const bool want_disjoint = s < seeds;
+      const DisjointnessInstance instance =
+          want_disjoint ? make_disjoint_instance(rails, family, rng)
+                        : make_intersecting_instance(rails, family, rng);
+      const GadgetLayout layout =
+          build_disjointness_gadget(rails, instance.x, instance.y);
+
+      const auto exact = current_flow_betweenness(layout.graph);
+      const double b_p = exact[static_cast<std::size_t>(layout.p)];
+      if (want_disjoint) {
+        max_disjoint = std::max(max_disjoint, b_p);
+      } else {
+        min_hit = std::min(min_hit, b_p);
+      }
+
+      // Full distributed pipeline with the Alice/Bob cut metered end to end.
+      DistributedRwbcOptions options;
+      options.walks_per_source = 16;
+      options.cutoff =
+          2 * static_cast<std::size_t>(layout.graph.node_count());
+      options.compute_scores = false;
+      options.congest.seed = static_cast<std::uint64_t>(s) + 99;
+      options.congest.metered_cut = gadget_cut_edges(layout);
+      const auto result = distributed_rwbc(layout.graph, options);
+
+      table.add_row({Table::fmt(s), want_disjoint ? "yes" : "no",
+                     Table::fmt(b_p, 6), Table::fmt(result.total.cut_bits),
+                     Table::fmt(result.total.cut_messages),
+                     Table::fmt(disjointness_bits_lower_bound(family), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nLemma 4 separation: max b_P over disjoint instances = "
+              << max_disjoint
+              << "\n                    min b_P over intersecting = "
+              << min_hit << "\n                    gap = "
+              << (min_hit - max_disjoint)
+              << (min_hit > max_disjoint ? "  (separated)" : "  (VIOLATED)")
+              << "\n\nReading: any algorithm that decides b_P exactly must "
+                 "move Omega(N log N)\nbits across those "
+              << rails + 1
+              << " cut edges; at O(log n) bits per edge per round that "
+                 "forces\nOmega(n / log n) rounds (Theorem 6).\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

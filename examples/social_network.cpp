@@ -1,0 +1,89 @@
+// The paper's Fig. 1 story on a two-community "social network": node C sits
+// on a parallel information route between the communities.  Shortest-path
+// betweenness declares it irrelevant; random-walk betweenness (and the
+// other flow-aware measures of Section II) recognise it.
+//
+// Usage: social_network [community_size] [edge_list_file]
+//   community_size  nodes per community for the synthetic graph (default 6)
+//   edge_list_file  optional: analyse your own graph instead ("n m" header
+//                   + "u v" lines); the report then covers every node.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "centrality/alpha_cfb.hpp"
+#include "centrality/brandes.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/flow_betweenness.hpp"
+#include "centrality/pagerank.hpp"
+#include "centrality/ranking.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace {
+
+void report(const rwbc::Graph& g, rwbc::NodeId highlight,
+            const std::string& highlight_name) {
+  using namespace rwbc;
+  const auto spbc = brandes_betweenness(g);
+  const auto rwbc_scores = current_flow_betweenness(g);
+  const auto flow = flow_betweenness(g);
+  const auto pr = pagerank_power(g);
+  const auto acfb = alpha_current_flow_betweenness(g, 0.9);
+
+  Table table({"node", "deg", "SP betweenness", "RW betweenness",
+               "flow betweenness", "pagerank", "alpha-CFB (0.9)"});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    std::string label = Table::fmt(v);
+    if (v == highlight) label += " (" + highlight_name + ")";
+    table.add_row({label, Table::fmt(g.degree(v)), Table::fmt(spbc[vi]),
+                   Table::fmt(rwbc_scores[vi]), Table::fmt(flow[vi]),
+                   Table::fmt(pr[vi]), Table::fmt(acfb[vi])});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPairwise rank agreement (Kendall tau):\n"
+            << "  SPBC  vs RWBC: " << kendall_tau(spbc, rwbc_scores) << "\n"
+            << "  flow  vs RWBC: " << kendall_tau(flow, rwbc_scores) << "\n"
+            << "  PR    vs RWBC: " << kendall_tau(pr, rwbc_scores) << "\n"
+            << "  aCFB  vs RWBC: " << kendall_tau(acfb, rwbc_scores) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rwbc;
+  try {
+    if (argc > 2) {
+      const Graph g = load_edge_list(argv[2]);
+      require_connected(g, "social_network example");
+      std::cout << "Loaded " << argv[2] << ": n = " << g.node_count()
+                << ", m = " << g.edge_count() << "\n\n";
+      report(g, -1, "");
+      return 0;
+    }
+    const NodeId group =
+        argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 6;
+    const Fig1Layout layout = make_fig1_graph(group);
+    std::cout << "Two communities of " << group << " nodes; A = " << layout.a
+              << " and B = " << layout.b << " bridge them; C = " << layout.c
+              << " sits on the parallel A-C-B path.\n\n";
+    report(layout.graph, layout.c, "C");
+
+    const auto spbc = brandes_betweenness(layout.graph);
+    const auto rw = current_flow_betweenness(layout.graph);
+    const auto ci = static_cast<std::size_t>(layout.c);
+    std::cout << "\nThe paper's Fig. 1 claim, reproduced:\n"
+              << "  C's shortest-path betweenness: " << spbc[ci]
+              << "  (no shortest path ever uses C)\n"
+              << "  C's random-walk betweenness:   " << rw[ci]
+              << "  (information that wanders does use C)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

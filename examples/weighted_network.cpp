@@ -1,0 +1,75 @@
+// Weighted (conductance) networks: when links have capacities, random-walk
+// betweenness follows the conductance, not just the topology.
+//
+// The demo builds a ring with one "superhighway" arc (weight w on two
+// consecutive edges, weight 1 elsewhere) and shows how the heavy arc's
+// midpoint overtakes topologically identical nodes as w grows — first with
+// the exact weighted solver, then with the distributed CONGEST pipeline.
+//
+// Usage: weighted_network [n] [w] [seed]
+//   n     ring size (default 10)
+//   w     superhighway weight, integer >= 1 (default 8)
+//   seed  simulation seed (default 1)
+#include <cstdlib>
+#include <iostream>
+
+#include "centrality/current_flow_weighted.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwbc;
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 10;
+  const double w = argc > 2 ? std::atof(argv[2]) : 8.0;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+  try {
+    const Graph ring = make_cycle(n);
+    // Canonical edge order of C_n: (0,1), (0,n-1), (1,2), (2,3), ...
+    // Make the arc 0-1-2 the superhighway.
+    std::vector<double> weights(ring.edge_count(), 1.0);
+    weights[0] = w;  // (0,1)
+    weights[2] = w;  // (1,2)
+    const WeightedGraph wg(ring, weights);
+
+    std::cout << "Ring of " << n << " nodes; edges (0,1) and (1,2) carry "
+              << "conductance " << w << ", the rest 1.\n\n";
+
+    const auto exact = current_flow_betweenness(wg);
+    const auto uniform = current_flow_betweenness(
+        WeightedGraph::uniform(ring));
+
+    DistributedRwbcOptions options;
+    options.walks_per_source = 4000;
+    options.cutoff = 60 * static_cast<std::size_t>(n);
+    options.congest.seed = seed;
+    options.congest.bit_floor = 128;
+    const auto distributed = distributed_rwbc(wg, options);
+
+    Table table({"node", "strength", "RWBC (w=1)", "RWBC (weighted, exact)",
+                 "RWBC (weighted, distributed)"});
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      table.add_row({Table::fmt(v), Table::fmt(wg.strength(v), 0),
+                     Table::fmt(uniform[vi]), Table::fmt(exact[vi]),
+                     Table::fmt(distributed.betweenness[vi])});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nOn the unweighted ring every node is equivalent; the "
+                 "superhighway midpoint (node 1)\nnow scores "
+              << exact[1] / uniform[1]
+              << "x its uniform value because walks preferentially route "
+                 "through it.\n"
+              << "Distributed run: " << distributed.total.rounds
+              << " rounds, max rel err vs exact = "
+              << max_relative_error(exact, distributed.betweenness) << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

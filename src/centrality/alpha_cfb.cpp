@@ -1,0 +1,24 @@
+#include "centrality/alpha_cfb.hpp"
+
+#include "centrality/current_flow_exact.hpp"
+#include "graph/properties.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/lu.hpp"
+
+namespace rwbc {
+
+DenseMatrix alpha_potentials(const Graph& g, double alpha) {
+  RWBC_REQUIRE(g.node_count() >= 2, "alpha-CFB needs n >= 2");
+  RWBC_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  require_connected(g, "alpha-current-flow betweenness");
+  const DenseMatrix system =
+      subtract(degree_matrix(g), scale(adjacency_matrix(g), alpha));
+  return lu_inverse(system);
+}
+
+std::vector<double> alpha_current_flow_betweenness(const Graph& g,
+                                                   double alpha) {
+  return betweenness_from_potentials(g, alpha_potentials(g, alpha));
+}
+
+}  // namespace rwbc

@@ -1,0 +1,29 @@
+// Alpha-current-flow betweenness — the related measure of Section II-C
+// (Avrachenkov, Litvak, Medyanikov, Sokol 2013).
+//
+// Random walks continue with probability alpha per step (evaporate with
+// 1 - alpha), which regularises the Laplacian: potentials come from
+// (D - alpha*A) x = e_s - e_t, a nonsingular system for alpha < 1, so no
+// grounding node is needed.  As alpha -> 1 the measure converges to
+// Newman's current-flow betweenness (tested), and small alpha tames walk
+// lengths — the cost/accuracy dial the related work exploits.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// The regularised potentials matrix T_alpha = (D - alpha*A)^{-1}.
+/// Requires a connected graph, n >= 2, and alpha in (0, 1).
+DenseMatrix alpha_potentials(const Graph& g, double alpha);
+
+/// Alpha-current-flow betweenness of every node, with the same pair
+/// accumulation and normalisation as current_flow_betweenness so values
+/// are directly comparable.
+std::vector<double> alpha_current_flow_betweenness(const Graph& g,
+                                                   double alpha);
+
+}  // namespace rwbc

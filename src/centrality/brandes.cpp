@@ -1,0 +1,68 @@
+#include "centrality/brandes.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+std::vector<double> brandes_betweenness(const Graph& g,
+                                        const BrandesOptions& options) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<double> centrality(n, 0.0);
+  if (n < 3) return centrality;
+
+  std::vector<NodeId> stack_order;  // nodes in order of non-decreasing dist
+  std::vector<std::vector<NodeId>> predecessors(n);
+  std::vector<double> sigma(n);    // shortest-path counts
+  std::vector<NodeId> dist(n);
+  std::vector<double> delta(n);    // dependency accumulation
+
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    stack_order.clear();
+    for (auto& preds : predecessors) preds.clear();
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(dist.begin(), dist.end(), static_cast<NodeId>(-1));
+    std::fill(delta.begin(), delta.end(), 0.0);
+
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    dist[static_cast<std::size_t>(s)] = 0;
+    std::deque<NodeId> queue{s};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      stack_order.push_back(v);
+      for (NodeId w : g.neighbors(v)) {
+        const auto wi = static_cast<std::size_t>(w);
+        const auto vi = static_cast<std::size_t>(v);
+        if (dist[wi] < 0) {
+          dist[wi] = dist[vi] + 1;
+          queue.push_back(w);
+        }
+        if (dist[wi] == dist[vi] + 1) {
+          sigma[wi] += sigma[vi];
+          predecessors[wi].push_back(v);
+        }
+      }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (auto it = stack_order.rbegin(); it != stack_order.rend(); ++it) {
+      const NodeId w = *it;
+      const auto wi = static_cast<std::size_t>(w);
+      for (NodeId v : predecessors[wi]) {
+        const auto vi = static_cast<std::size_t>(v);
+        delta[vi] += sigma[vi] / sigma[wi] * (1.0 + delta[wi]);
+      }
+      if (w != s) centrality[wi] += delta[wi];
+    }
+  }
+
+  if (options.normalized) {
+    const double pairs = static_cast<double>(n - 1) *
+                         static_cast<double>(n - 2);
+    for (double& c : centrality) c /= pairs;
+  }
+  return centrality;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,140 @@
+#include "centrality/classic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/properties.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/lu.hpp"
+
+namespace rwbc {
+
+std::vector<double> degree_centrality(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 2, "degree centrality needs n >= 2");
+  std::vector<double> c(n);
+  const double denom = static_cast<double>(n - 1);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    c[static_cast<std::size_t>(v)] =
+        static_cast<double>(g.degree(v)) / denom;
+  }
+  return c;
+}
+
+std::vector<double> closeness_centrality(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 2, "closeness centrality needs n >= 2");
+  require_connected(g, "closeness centrality");
+  std::vector<double> c(n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    double total = 0.0;
+    for (NodeId d : dist) total += static_cast<double>(d);
+    c[static_cast<std::size_t>(v)] = static_cast<double>(n - 1) / total;
+  }
+  return c;
+}
+
+std::vector<double> harmonic_centrality(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 2, "harmonic centrality needs n >= 2");
+  std::vector<double> c(n, 0.0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    double total = 0.0;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      const NodeId d = dist[static_cast<std::size_t>(u)];
+      if (u != v && d > 0) total += 1.0 / static_cast<double>(d);
+    }
+    c[static_cast<std::size_t>(v)] = total / static_cast<double>(n - 1);
+  }
+  return c;
+}
+
+namespace {
+
+/// One step of y = (A + I) x.  The +I shift keeps power iteration
+/// convergent on bipartite graphs (their adjacency spectrum contains
+/// -lambda_max, which makes the unshifted iteration oscillate) without
+/// changing the Perron eigenvector.
+void shifted_adjacency_step(const Graph& g, const Vector& x, Vector& y) {
+  std::copy(x.begin(), x.end(), y.begin());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double xv = x[static_cast<std::size_t>(v)];
+    for (NodeId w : g.neighbors(v)) {
+      y[static_cast<std::size_t>(w)] += xv;
+    }
+  }
+}
+
+/// Dominant eigenvalue of the adjacency matrix by shifted power iteration.
+double adjacency_spectral_radius(const Graph& g, std::size_t max_iterations,
+                                 double tolerance) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  Vector x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  Vector y(n);
+  double shifted = 0.0;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    shifted_adjacency_step(g, x, y);
+    const double norm = norm2(y);
+    RWBC_REQUIRE(norm > 0.0, "eigenvector iteration collapsed (no edges?)");
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+    if (it > 0 && std::abs(norm - shifted) <= tolerance) {
+      return norm - 1.0;  // undo the +I shift
+    }
+    shifted = norm;
+  }
+  return shifted - 1.0;
+}
+
+}  // namespace
+
+std::vector<double> eigenvector_centrality(const Graph& g,
+                                           std::size_t max_iterations,
+                                           double tolerance) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 2, "eigenvector centrality needs n >= 2");
+  RWBC_REQUIRE(g.edge_count() >= 1, "eigenvector centrality needs edges");
+  require_connected(g, "eigenvector centrality");
+  Vector x(n, 1.0), y(n);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    shifted_adjacency_step(g, x, y);
+    const double norm = norm2(y);
+    RWBC_REQUIRE(norm > 0.0, "eigenvector iteration collapsed");
+    double change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double next = y[i] / norm;
+      change += std::abs(next - x[i]);
+      x[i] = next;
+    }
+    if (change <= tolerance) break;
+  }
+  const double peak = *std::max_element(x.begin(), x.end());
+  for (double& v : x) v /= peak;
+  return x;
+}
+
+std::vector<double> katz_centrality(const Graph& g, double alpha) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 2, "Katz centrality needs n >= 2");
+  RWBC_REQUIRE(g.edge_count() >= 1, "Katz centrality needs edges");
+  require_connected(g, "Katz centrality");
+  const double lambda = adjacency_spectral_radius(g, 1000, 1e-12);
+  if (alpha == 0.0) {
+    alpha = 0.85 / lambda;
+  }
+  RWBC_REQUIRE(alpha > 0.0 && alpha * lambda < 1.0,
+               "Katz alpha must be in (0, 1/lambda_max)");
+  // Solve (I - alpha A) x = 1.
+  DenseMatrix system =
+      subtract(DenseMatrix::identity(n), scale(adjacency_matrix(g), alpha));
+  const Vector ones(n, 1.0);
+  Vector x = lu_solve(system, ones);
+  const double peak = *std::max_element(x.begin(), x.end());
+  for (double& v : x) v /= peak;
+  return x;
+}
+
+}  // namespace rwbc

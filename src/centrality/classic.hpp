@@ -1,0 +1,39 @@
+// Classic centrality indices — the broader family the paper's introduction
+// situates betweenness within ("various centrality indices have been
+// proposed", Section I).  Degree, closeness, harmonic, eigenvector, and
+// Katz round out the library so the comparison experiments (E9) can place
+// random-walk betweenness on the full map.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Degree centrality: d(v) / (n - 1).  Requires n >= 2.
+std::vector<double> degree_centrality(const Graph& g);
+
+/// Closeness centrality: (n - 1) / sum of BFS distances from v.
+/// Requires a connected graph with n >= 2.
+std::vector<double> closeness_centrality(const Graph& g);
+
+/// Harmonic centrality: sum over u != v of 1 / dist(v, u), normalised by
+/// n - 1.  Defined on disconnected graphs too (unreachable pairs add 0).
+/// Requires n >= 2.
+std::vector<double> harmonic_centrality(const Graph& g);
+
+/// Eigenvector centrality: the Perron vector of the adjacency matrix,
+/// normalised to unit maximum entry.  Power iteration; requires a
+/// connected graph with n >= 2 and at least one edge.
+std::vector<double> eigenvector_centrality(const Graph& g,
+                                           std::size_t max_iterations = 1000,
+                                           double tolerance = 1e-12);
+
+/// Katz centrality: x = (I - alpha*A)^{-1} * 1, normalised to unit maximum
+/// entry.  Requires 0 < alpha < 1 / lambda_max(A); the convenience default
+/// alpha = 0 picks 0.85 / lambda_max via power iteration.  Connected,
+/// n >= 2.
+std::vector<double> katz_centrality(const Graph& g, double alpha = 0.0);
+
+}  // namespace rwbc

@@ -1,0 +1,230 @@
+#include "centrality/current_flow_exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/properties.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/lu.hpp"
+
+namespace rwbc {
+
+namespace {
+
+NodeId resolve_grounding(const Graph& g, NodeId grounding) {
+  if (grounding < 0) return g.node_count() - 1;
+  RWBC_REQUIRE(grounding < g.node_count(), "grounding node out of range");
+  return grounding;
+}
+
+DenseMatrix potentials_dense(const Graph& g, NodeId ground) {
+  const DenseMatrix reduced = reduced_laplacian_matrix(g, ground);
+  const DenseMatrix inverse = lu_inverse(reduced);
+  return insert_zero_row_col(inverse, static_cast<std::size_t>(ground));
+}
+
+DenseMatrix potentials_cg(const Graph& g, NodeId ground) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  const CsrMatrix reduced = reduced_laplacian_csr(g, ground);
+  DenseMatrix t(n, n);
+  Vector rhs(n - 1, 0.0);
+  Vector solution(n - 1, 0.0);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (s == ground) continue;
+    const std::size_t col = reduced_index(s, ground);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    std::fill(solution.begin(), solution.end(), 0.0);
+    rhs[col] = 1.0;
+    const CgResult cg = conjugate_gradient(reduced, rhs, solution);
+    RWBC_REQUIRE(cg.converged,
+                 "CG failed to converge on the reduced Laplacian");
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == ground) continue;
+      t(static_cast<std::size_t>(v), static_cast<std::size_t>(s)) =
+          solution[reduced_index(v, ground)];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+DenseMatrix exact_potentials(const Graph& g,
+                             const CurrentFlowOptions& options) {
+  RWBC_REQUIRE(g.node_count() >= 2, "current flow needs n >= 2");
+  require_connected(g, "exact current-flow betweenness");
+  const NodeId ground = resolve_grounding(g, options.grounding);
+  switch (options.solver) {
+    case CurrentFlowOptions::Solver::kDenseLu:
+      return potentials_dense(g, ground);
+    case CurrentFlowOptions::Solver::kSparseCg:
+      return potentials_cg(g, ground);
+  }
+  throw InternalError("unknown solver");
+}
+
+std::vector<double> betweenness_from_potentials(
+    const Graph& g, const DenseMatrix& potentials) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(potentials.rows() == n && potentials.cols() == n,
+               "potentials matrix must be n x n");
+  RWBC_REQUIRE(n >= 2, "betweenness needs n >= 2");
+  std::vector<double> centrality(n, 0.0);
+  const double pair_norm = 0.5 * static_cast<double>(n) *
+                           static_cast<double>(n - 1);
+  std::vector<double> diffs(n - 1);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    double throughflow = 0.0;
+    for (NodeId j : g.neighbors(i)) {
+      const auto ji = static_cast<std::size_t>(j);
+      // diffs over sources s != i: x_s = T_is - T_js.
+      std::size_t c = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s == ii) continue;
+        diffs[c++] = potentials(ii, s) - potentials(ji, s);
+      }
+      std::sort(diffs.begin(), diffs.end());
+      // sum over pairs s < t of |x_s - x_t| via the sorted-prefix identity.
+      double pair_sum = 0.0;
+      const double count = static_cast<double>(c);
+      for (std::size_t k = 0; k < c; ++k) {
+        pair_sum += (2.0 * static_cast<double>(k) - (count - 1.0)) * diffs[k];
+      }
+      throughflow += pair_sum;
+    }
+    // Eq. 6 contributes throughflow/2; Eq. 7 contributes 1 per endpoint pair.
+    centrality[ii] =
+        (0.5 * throughflow + static_cast<double>(n - 1)) / pair_norm;
+  }
+  return centrality;
+}
+
+std::vector<double> current_flow_betweenness(const Graph& g,
+                                             const CurrentFlowOptions& options) {
+  return betweenness_from_potentials(g, exact_potentials(g, options));
+}
+
+std::vector<double> current_flow_betweenness_pivots(const Graph& g,
+                                                    std::size_t pairs,
+                                                    std::uint64_t seed) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 2, "pivot sampling needs n >= 2");
+  RWBC_REQUIRE(pairs >= 1, "need at least one sampled pair");
+  require_connected(g, "pivot-sampled current-flow betweenness");
+
+  const NodeId ground = g.node_count() - 1;
+  const CsrMatrix reduced = reduced_laplacian_csr(g, ground);
+  Rng rng(seed);
+  std::vector<double> accumulator(n, 0.0);
+  Vector rhs(n - 1), potential_s(n - 1), potential_t(n - 1);
+  // Padded potentials difference V = T e_s - T e_t per node.
+  Vector v(n, 0.0);
+  for (std::size_t sample = 0; sample < pairs; ++sample) {
+    const auto s =
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId t;
+    do {
+      t = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    } while (t == s);
+    auto solve_column = [&](NodeId node, Vector& out) {
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+      std::fill(out.begin(), out.end(), 0.0);
+      if (node != ground) {
+        rhs[reduced_index(node, ground)] = 1.0;
+        const CgResult cg = conjugate_gradient(reduced, rhs, out);
+        RWBC_REQUIRE(cg.converged, "CG failed on a pivot solve");
+      }
+    };
+    solve_column(s, potential_s);
+    solve_column(t, potential_t);
+    for (NodeId i = 0; i < g.node_count(); ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const double ps = i == ground ? 0.0 : potential_s[reduced_index(i, ground)];
+      const double pt = i == ground ? 0.0 : potential_t[reduced_index(i, ground)];
+      v[ii] = ps - pt;
+    }
+    for (NodeId i = 0; i < g.node_count(); ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      if (i == s || i == t) {
+        accumulator[ii] += 1.0;  // Eq. 7
+        continue;
+      }
+      double through = 0.0;
+      for (NodeId j : g.neighbors(i)) {
+        through += std::abs(v[ii] - v[static_cast<std::size_t>(j)]);
+      }
+      accumulator[ii] += 0.5 * through;
+    }
+  }
+  // b_i = E_pair[I_i]; the uniform pair sample makes the mean unbiased.
+  for (double& value : accumulator) {
+    value /= static_cast<double>(pairs);
+  }
+  return accumulator;
+}
+
+DenseMatrix truncated_potentials(const Graph& g, NodeId target,
+                                 std::size_t cutoff) {
+  RWBC_REQUIRE(g.node_count() >= 2, "truncated potentials need n >= 2");
+  RWBC_REQUIRE(target >= 0 && target < g.node_count(),
+               "target node out of range");
+  require_connected(g, "truncated potentials");
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DenseMatrix t(n, n);
+  std::vector<double> p(n), next(n);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (s == target) continue;
+    std::fill(p.begin(), p.end(), 0.0);
+    p[static_cast<std::size_t>(s)] = 1.0;  // the r = 0 occupancy
+    for (std::size_t v = 0; v < n; ++v) {
+      t(v, static_cast<std::size_t>(s)) += p[v];
+    }
+    for (std::size_t r = 1; r <= cutoff; ++r) {
+      // One absorbing-chain step: next = M_t p (mass entering `target` is
+      // absorbed and dropped).
+      std::fill(next.begin(), next.end(), 0.0);
+      for (NodeId j = 0; j < g.node_count(); ++j) {
+        const auto ji = static_cast<std::size_t>(j);
+        if (j == target || p[ji] == 0.0) continue;
+        const double share = p[ji] / static_cast<double>(g.degree(j));
+        for (NodeId i : g.neighbors(j)) {
+          if (i == target) continue;
+          next[static_cast<std::size_t>(i)] += share;
+        }
+      }
+      p.swap(next);
+      for (std::size_t v = 0; v < n; ++v) {
+        t(v, static_cast<std::size_t>(s)) += p[v];
+      }
+    }
+  }
+  // Scale occupancies into potentials: T = D^{-1} * (occupancy sums).
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double inv_degree = 1.0 / static_cast<double>(g.degree(v));
+    for (std::size_t s = 0; s < n; ++s) {
+      t(static_cast<std::size_t>(v), s) *= inv_degree;
+    }
+  }
+  return t;
+}
+
+double pair_throughflow(const Graph& g, const DenseMatrix& potentials,
+                        NodeId i, NodeId s, NodeId t) {
+  RWBC_REQUIRE(s != t, "pair throughflow needs distinct endpoints");
+  if (i == s || i == t) return 1.0;  // Eq. 7
+  const auto ii = static_cast<std::size_t>(i);
+  const auto si = static_cast<std::size_t>(s);
+  const auto ti = static_cast<std::size_t>(t);
+  double sum = 0.0;
+  for (NodeId j : g.neighbors(i)) {
+    const auto ji = static_cast<std::size_t>(j);
+    sum += std::abs(potentials(ii, si) - potentials(ii, ti) -
+                    potentials(ji, si) + potentials(ji, ti));
+  }
+  return 0.5 * sum;
+}
+
+}  // namespace rwbc

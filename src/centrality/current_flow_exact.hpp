@@ -1,0 +1,90 @@
+// Exact random-walk (current-flow) betweenness centrality — Newman 2005,
+// the matrix expressions of the paper's Section IV (Eqs. 1-8).
+//
+// Pipeline: ground one node g, invert the reduced Laplacian
+// T_g = (D_g - A_g)^{-1}, pad the grounded row/column with zeros to get T,
+// then accumulate
+//
+//   b_i = [ 1/2 * sum_j A_ij * sum_{s<t, s,t != i} |T_is - T_it - T_js + T_jt|
+//           + (n-1) ] / (n(n-1)/2)
+//
+// where the (n-1) term is the paper's Eq. 7 (endpoint pairs contribute one
+// unit each).  Current flows are invariant to the grounding choice (tested),
+// which is exactly why the distributed algorithm may absorb at a single
+// random target.
+//
+// The naive pair accumulation is O(m n^2); we use the sorted-prefix trick
+//   sum_{s<t} |x_s - x_t| = sum_k (2k - (c-1)) * x_(k)   (x sorted, c values)
+// to bring it to O(m n log n), making n = 500 ground truths routine.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// Options for the exact solver.
+struct CurrentFlowOptions {
+  enum class Solver {
+    kDenseLu,   ///< O(n^3) LU inverse of the reduced Laplacian
+    kSparseCg,  ///< n-1 conjugate-gradient solves, O(n m sqrt(kappa))
+  };
+  Solver solver = Solver::kDenseLu;
+
+  /// Grounded (removed) node; -1 selects node n-1.  The result is
+  /// grounding-invariant; the knob exists for tests and for mirroring the
+  /// distributed algorithm's random absorbing target.
+  NodeId grounding = -1;
+};
+
+/// The padded potentials matrix T (Section IV): column s holds the node
+/// potentials for unit current injected at s and extracted at the grounded
+/// node; the grounded row and column are zero.  Requires a connected graph
+/// with n >= 2.  T is symmetric.
+DenseMatrix exact_potentials(const Graph& g,
+                             const CurrentFlowOptions& options = {});
+
+/// Newman's Eq. 5-8 accumulation from a potentials (or estimated-visits)
+/// matrix: shared by the exact solver, the centralized Monte-Carlo
+/// estimator, and the verification path of the distributed algorithm.
+/// `potentials` must be n x n.
+std::vector<double> betweenness_from_potentials(const Graph& g,
+                                                const DenseMatrix& potentials);
+
+/// Exact random-walk betweenness of every node.  Requires a connected
+/// graph; n >= 2.
+std::vector<double> current_flow_betweenness(
+    const Graph& g, const CurrentFlowOptions& options = {});
+
+/// The per-pair throughflow I_i^{(st)} of Eq. 6 (and Eq. 7 for endpoints)
+/// for one explicit (s, t) pair — used by unit tests and the lower-bound
+/// experiments, which reason about a single node P and specific pairs.
+double pair_throughflow(const Graph& g, const DenseMatrix& potentials,
+                        NodeId i, NodeId s, NodeId t);
+
+/// Pivot-sampled approximation (Brandes/Fleischer-style): instead of
+/// accumulating all n(n-1)/2 pairs, sample `pairs` uniform source/target
+/// pairs, compute each pair's exact throughflows I_i^{(st)} (Eq. 6-7) from
+/// two CG solves, and average.  Unbiased for every node; error shrinks as
+/// 1/sqrt(pairs).  Cost O(pairs * m sqrt(kappa)) vs the exact solver's
+/// O(n^3) — the centralized scaling answer to Section I's "O(n^4) is
+/// unacceptable", complementary to the paper's distributed answer.
+/// Requires a connected graph, n >= 2, pairs >= 1.
+std::vector<double> current_flow_betweenness_pivots(const Graph& g,
+                                                    std::size_t pairs,
+                                                    std::uint64_t seed);
+
+/// Deterministic cutoff-l potentials: T_l(v, s) = (1/d(v)) *
+/// sum_{r=0}^{l} [M_t^r]_{vs} — exactly the EXPECTATION of the Monte-Carlo
+/// scaled visit counts with walk-length cap l.  As l -> infinity this
+/// converges to exact_potentials (grounded at `target`).  Used by E2 to
+/// measure Theorem 1's truncation bias with no sampling noise: the
+/// difference between betweenness_from_potentials(T_l) and the exact
+/// answer is the pure (1 - epsilon) truncation effect.  O(l * m) per
+/// source.  Requires a connected graph, n >= 2.
+DenseMatrix truncated_potentials(const Graph& g, NodeId target,
+                                 std::size_t cutoff);
+
+}  // namespace rwbc

@@ -1,0 +1,101 @@
+#include "centrality/current_flow_mc.hpp"
+
+#include "centrality/current_flow_exact.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+
+McResult current_flow_betweenness_mc(const Graph& g,
+                                     const McOptions& options) {
+  RWBC_REQUIRE(g.node_count() >= 2, "MC betweenness needs n >= 2");
+  RWBC_REQUIRE(options.walks_per_source >= 1, "need at least one walk");
+  require_connected(g, "Monte-Carlo current-flow betweenness");
+
+  const auto n = static_cast<std::size_t>(g.node_count());
+  Rng rng(options.seed);
+  McResult result;
+  result.target =
+      options.target >= 0
+          ? options.target
+          : static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+  RWBC_REQUIRE(result.target < g.node_count(), "target out of range");
+  const std::size_t cutoff =
+      options.cutoff > 0 ? options.cutoff : 4 * n;
+
+  // xi(v, s): visits to v by walks from source s (the paper's xi_v^s).
+  DenseMatrix visits(n, n);
+  const NodeId target = result.target;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (s == target) continue;  // the target's column of T is zero
+    for (std::size_t w = 0; w < options.walks_per_source; ++w) {
+      NodeId pos = s;
+      visits(static_cast<std::size_t>(pos), static_cast<std::size_t>(s)) +=
+          1.0;  // the r = 0 occupancy (N_ss includes the start)
+      bool absorbed = false;
+      for (std::size_t step = 0; step < cutoff; ++step) {
+        const auto nbrs = g.neighbors(pos);
+        pos = nbrs[rng.next_below(nbrs.size())];
+        ++result.total_moves;
+        if (pos == target) {
+          absorbed = true;
+          break;
+        }
+        visits(static_cast<std::size_t>(pos), static_cast<std::size_t>(s)) +=
+            1.0;
+      }
+      if (absorbed) {
+        ++result.absorbed_walks;
+      } else {
+        ++result.truncated_walks;
+      }
+    }
+  }
+
+  // Scale: T_hat(v, s) = xi_v^s / (K d(v)).
+  const double k = static_cast<double>(options.walks_per_source);
+  result.scaled_visits = DenseMatrix(n, n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double scale = 1.0 / (k * static_cast<double>(g.degree(v)));
+    for (std::size_t s = 0; s < n; ++s) {
+      result.scaled_visits(static_cast<std::size_t>(v), s) =
+          visits(static_cast<std::size_t>(v), s) * scale;
+    }
+  }
+  result.betweenness = betweenness_from_potentials(g, result.scaled_visits);
+  return result;
+}
+
+std::vector<double> absorption_profile(const Graph& g, NodeId target,
+                                       std::size_t walks,
+                                       std::size_t max_steps,
+                                       std::uint64_t seed) {
+  RWBC_REQUIRE(g.node_count() >= 2, "absorption profile needs n >= 2");
+  RWBC_REQUIRE(target >= 0 && target < g.node_count(), "target out of range");
+  RWBC_REQUIRE(walks >= 1, "need at least one walk");
+  require_connected(g, "absorption profile");
+  Rng rng(seed);
+  std::vector<std::uint64_t> alive_after(max_steps + 1, 0);
+  for (std::size_t w = 0; w < walks; ++w) {
+    // Uniform random non-target source.
+    NodeId pos;
+    do {
+      pos = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(g.node_count())));
+    } while (pos == target);
+    alive_after[0] += 1;
+    for (std::size_t step = 1; step <= max_steps; ++step) {
+      const auto nbrs = g.neighbors(pos);
+      pos = nbrs[rng.next_below(nbrs.size())];
+      if (pos == target) break;
+      alive_after[step] += 1;
+    }
+  }
+  std::vector<double> fraction(max_steps + 1);
+  for (std::size_t r = 0; r <= max_steps; ++r) {
+    fraction[r] =
+        static_cast<double>(alive_after[r]) / static_cast<double>(walks);
+  }
+  return fraction;
+}
+
+}  // namespace rwbc

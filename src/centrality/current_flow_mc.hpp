@@ -1,0 +1,53 @@
+// Centralized Monte-Carlo random-walk betweenness — the *estimator* of the
+// paper's Algorithms 1+2, run sequentially without a network.
+//
+// This is the control arm of the experiment suite: it has exactly the
+// distributed algorithm's statistical behaviour (K truncated absorbing
+// walks per source, visit counts scaled by 1/(K d(v)), Eq. 5-8
+// accumulation) but none of its congestion effects, so experiments E2/E3
+// measure Theorems 1-3 in isolation and E7 attributes any residual
+// difference to the CONGEST queueing policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// Monte-Carlo estimator parameters.
+struct McOptions {
+  std::size_t walks_per_source = 64;  ///< K (Theorem 3: O(log n))
+  std::size_t cutoff = 0;             ///< l (Theorem 1: O(n)); 0 = 4n
+  NodeId target = -1;                 ///< absorbing node; -1 = uniform random
+  std::uint64_t seed = 1;
+};
+
+/// Estimator outputs plus the diagnostics the experiments plot.
+struct McResult {
+  std::vector<double> betweenness;
+  /// Estimated potentials T_hat(v, s) = xi_v^s / (K d(v)); converges to the
+  /// exact T of current_flow_exact as K, l -> infinity.
+  DenseMatrix scaled_visits;
+  NodeId target = -1;
+  std::uint64_t total_moves = 0;     ///< total walk steps simulated
+  std::uint64_t absorbed_walks = 0;  ///< walks that reached the target
+  std::uint64_t truncated_walks = 0; ///< walks killed by the cutoff
+};
+
+/// Runs the estimator.  Requires a connected graph with n >= 2.
+McResult current_flow_betweenness_mc(const Graph& g, const McOptions& options);
+
+/// Measures the surviving-walk fraction after each step (Theorem 1's decay
+/// curve): entry r is the fraction of `walks` absorbing random walks (from
+/// uniformly random sources) still alive after r moves.  Used by E2 to
+/// compare against the spectral prediction rho^r.
+std::vector<double> absorption_profile(const Graph& g, NodeId target,
+                                       std::size_t walks,
+                                       std::size_t max_steps,
+                                       std::uint64_t seed);
+
+}  // namespace rwbc

@@ -1,0 +1,138 @@
+#include "centrality/current_flow_weighted.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/properties.hpp"
+#include "linalg/lu.hpp"
+
+namespace rwbc {
+
+DenseMatrix weighted_laplacian_matrix(const WeightedGraph& wg) {
+  const Graph& g = wg.topology();
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DenseMatrix l(n, n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    l(vi, vi) = wg.strength(v);
+    const auto neighbors = g.neighbors(v);
+    const auto weights = wg.neighbor_weights(v);
+    for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+      l(vi, static_cast<std::size_t>(neighbors[slot])) = -weights[slot];
+    }
+  }
+  return l;
+}
+
+DenseMatrix exact_potentials(const WeightedGraph& wg, NodeId grounding) {
+  const Graph& g = wg.topology();
+  RWBC_REQUIRE(g.node_count() >= 2, "current flow needs n >= 2");
+  require_connected(g, "weighted current-flow betweenness");
+  const NodeId ground = grounding < 0 ? g.node_count() - 1 : grounding;
+  RWBC_REQUIRE(ground < g.node_count(), "grounding node out of range");
+  const DenseMatrix reduced = remove_row_col(
+      weighted_laplacian_matrix(wg), static_cast<std::size_t>(ground));
+  return insert_zero_row_col(lu_inverse(reduced),
+                             static_cast<std::size_t>(ground));
+}
+
+std::vector<double> betweenness_from_potentials(
+    const WeightedGraph& wg, const DenseMatrix& potentials) {
+  const Graph& g = wg.topology();
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(potentials.rows() == n && potentials.cols() == n,
+               "potentials matrix must be n x n");
+  RWBC_REQUIRE(n >= 2, "betweenness needs n >= 2");
+  std::vector<double> centrality(n, 0.0);
+  const double pair_norm =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  std::vector<double> diffs(n - 1);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    double throughflow = 0.0;
+    const auto neighbors = g.neighbors(i);
+    const auto weights = wg.neighbor_weights(i);
+    for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+      const auto ji = static_cast<std::size_t>(neighbors[slot]);
+      std::size_t c = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s == ii) continue;
+        diffs[c++] = potentials(ii, s) - potentials(ji, s);
+      }
+      std::sort(diffs.begin(), diffs.end());
+      double pair_sum = 0.0;
+      const double count = static_cast<double>(c);
+      for (std::size_t k = 0; k < c; ++k) {
+        pair_sum += (2.0 * static_cast<double>(k) - (count - 1.0)) * diffs[k];
+      }
+      throughflow += weights[slot] * pair_sum;  // current = conductance * dV
+    }
+    centrality[ii] =
+        (0.5 * throughflow + static_cast<double>(n - 1)) / pair_norm;
+  }
+  return centrality;
+}
+
+std::vector<double> current_flow_betweenness(const WeightedGraph& wg,
+                                             NodeId grounding) {
+  return betweenness_from_potentials(wg, exact_potentials(wg, grounding));
+}
+
+McResult current_flow_betweenness_mc(const WeightedGraph& wg,
+                                     const McOptions& options) {
+  const Graph& g = wg.topology();
+  RWBC_REQUIRE(g.node_count() >= 2, "MC betweenness needs n >= 2");
+  RWBC_REQUIRE(options.walks_per_source >= 1, "need at least one walk");
+  require_connected(g, "weighted Monte-Carlo current-flow betweenness");
+
+  const auto n = static_cast<std::size_t>(g.node_count());
+  Rng rng(options.seed);
+  McResult result;
+  result.target =
+      options.target >= 0
+          ? options.target
+          : static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+  RWBC_REQUIRE(result.target < g.node_count(), "target out of range");
+  const std::size_t cutoff = options.cutoff > 0 ? options.cutoff : 4 * n;
+
+  DenseMatrix visits(n, n);
+  const NodeId target = result.target;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (s == target) continue;
+    for (std::size_t w = 0; w < options.walks_per_source; ++w) {
+      NodeId pos = s;
+      visits(static_cast<std::size_t>(pos), static_cast<std::size_t>(s)) +=
+          1.0;
+      bool absorbed = false;
+      for (std::size_t step = 0; step < cutoff; ++step) {
+        pos = wg.sample_neighbor(pos, rng.next_double());
+        ++result.total_moves;
+        if (pos == target) {
+          absorbed = true;
+          break;
+        }
+        visits(static_cast<std::size_t>(pos), static_cast<std::size_t>(s)) +=
+            1.0;
+      }
+      if (absorbed) {
+        ++result.absorbed_walks;
+      } else {
+        ++result.truncated_walks;
+      }
+    }
+  }
+
+  const double k = static_cast<double>(options.walks_per_source);
+  result.scaled_visits = DenseMatrix(n, n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double scale = 1.0 / (k * wg.strength(v));
+    for (std::size_t s = 0; s < n; ++s) {
+      result.scaled_visits(static_cast<std::size_t>(v), s) =
+          visits(static_cast<std::size_t>(v), s) * scale;
+    }
+  }
+  result.betweenness = betweenness_from_potentials(wg, result.scaled_visits);
+  return result;
+}
+
+}  // namespace rwbc

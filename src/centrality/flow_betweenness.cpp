@@ -1,0 +1,43 @@
+#include "centrality/flow_betweenness.hpp"
+
+#include <algorithm>
+
+#include "centrality/maxflow.hpp"
+#include "common/error.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+
+std::vector<double> flow_betweenness(const Graph& g,
+                                     const FlowBetweennessOptions& options) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 3, "flow betweenness needs n >= 3");
+  require_connected(g, "flow betweenness");
+
+  std::vector<double> through(n, 0.0);
+  double total_flow = 0.0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = s + 1; t < g.node_count(); ++t) {
+      const MaxFlowResult mf = max_flow(g, s, t);
+      total_flow += static_cast<double>(mf.value);
+      for (NodeId i = 0; i < g.node_count(); ++i) {
+        if (i == s || i == t) continue;
+        // Through-flow of i = its total inflow in the realisation.
+        double inflow = 0.0;
+        for (NodeId j : g.neighbors(i)) {
+          inflow += std::max(
+              mf.flow(static_cast<std::size_t>(j), static_cast<std::size_t>(i)),
+              0.0);
+        }
+        through[static_cast<std::size_t>(i)] += inflow;
+      }
+    }
+  }
+  if (options.normalized) {
+    RWBC_REQUIRE(total_flow > 0.0, "flow betweenness: zero total flow");
+    for (double& v : through) v /= total_flow;
+  }
+  return through;
+}
+
+}  // namespace rwbc

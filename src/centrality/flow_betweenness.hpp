@@ -1,0 +1,30 @@
+// Freeman's network-flow betweenness (Section II-A).
+//
+// For every pair (s, t) a maximum flow is pushed from s to t; the flow
+// betweenness of node i is the flow passing through it, summed over pairs.
+// Max flows are not unique — like networkx, we score against one optimal
+// realisation (Edmonds-Karp's, which favours short augmenting paths) and
+// document the convention.  The normalised variant divides by the total
+// max-flow volume over all pairs, following Freeman et al. 1991.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Options for flow betweenness.
+struct FlowBetweennessOptions {
+  /// If true (default): divide each node's through-flow total by the sum of
+  /// max-flow values over all pairs, giving scores in [0, 1].
+  bool normalized = true;
+};
+
+/// Network-flow betweenness of every node.  O(n^2) max-flow computations —
+/// intended for the small comparison graphs of experiment E9.  Requires a
+/// connected graph, n >= 3.
+std::vector<double> flow_betweenness(const Graph& g,
+                                     const FlowBetweennessOptions& options = {});
+
+}  // namespace rwbc

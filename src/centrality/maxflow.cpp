@@ -1,0 +1,61 @@
+#include "centrality/maxflow.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(s >= 0 && s < g.node_count(), "source out of range");
+  RWBC_REQUIRE(t >= 0 && t < g.node_count(), "sink out of range");
+  RWBC_REQUIRE(s != t, "source and sink must differ");
+
+  // Residual capacities: each undirected edge contributes capacity 1 both
+  // ways.  Dense storage keeps the augmenting loop simple; the flow
+  // betweenness harness only runs on small graphs.
+  DenseMatrix residual(n, n);
+  for (const Edge& e : g.edges()) {
+    residual(static_cast<std::size_t>(e.u), static_cast<std::size_t>(e.v)) = 1.0;
+    residual(static_cast<std::size_t>(e.v), static_cast<std::size_t>(e.u)) = 1.0;
+  }
+
+  MaxFlowResult result;
+  result.flow = DenseMatrix(n, n);
+  std::vector<NodeId> parent(n);
+  while (true) {
+    // BFS for a shortest augmenting path in the residual graph.
+    std::fill(parent.begin(), parent.end(), static_cast<NodeId>(-1));
+    parent[static_cast<std::size_t>(s)] = s;
+    std::deque<NodeId> queue{s};
+    while (!queue.empty() && parent[static_cast<std::size_t>(t)] < 0) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.neighbors(u)) {
+        if (parent[static_cast<std::size_t>(v)] < 0 &&
+            residual(static_cast<std::size_t>(u),
+                     static_cast<std::size_t>(v)) > 0.5) {
+          parent[static_cast<std::size_t>(v)] = u;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (parent[static_cast<std::size_t>(t)] < 0) break;  // no path left
+    // Unit capacities: every augmenting path carries exactly 1.
+    for (NodeId v = t; v != s; v = parent[static_cast<std::size_t>(v)]) {
+      const NodeId u = parent[static_cast<std::size_t>(v)];
+      const auto ui = static_cast<std::size_t>(u);
+      const auto vi = static_cast<std::size_t>(v);
+      residual(ui, vi) -= 1.0;
+      residual(vi, ui) += 1.0;
+      result.flow(ui, vi) += 1.0;
+      result.flow(vi, ui) -= 1.0;
+    }
+    ++result.value;
+  }
+  return result;
+}
+
+}  // namespace rwbc

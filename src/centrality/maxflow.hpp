@@ -1,0 +1,27 @@
+// Edmonds-Karp maximum flow on unit-capacity undirected graphs — the
+// substrate for Freeman's network-flow betweenness (Section II-A).
+//
+// Each undirected edge carries capacity 1 in each direction; the returned
+// flow matrix is antisymmetric (f(u,v) = -f(v,u)).  O(V E^2); this backs a
+// comparison table on small graphs, not a scalable solver.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// A max-flow answer: the value and one optimal flow realisation.
+struct MaxFlowResult {
+  std::int64_t value = 0;
+  DenseMatrix flow;  ///< net flow f(u, v), antisymmetric
+};
+
+/// Maximum s-t flow with unit capacities.  Requires distinct, in-range
+/// endpoints.  The flow value on an undirected unit-capacity graph equals
+/// the number of edge-disjoint s-t paths (Menger), which tests exploit.
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t);
+
+}  // namespace rwbc

@@ -1,0 +1,75 @@
+#include "centrality/pagerank.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rwbc {
+
+std::vector<double> pagerank_power(const Graph& g,
+                                   const PagerankOptions& options) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 1, "pagerank needs a non-empty graph");
+  RWBC_REQUIRE(options.reset_probability > 0.0 &&
+                   options.reset_probability < 1.0,
+               "reset probability must be in (0, 1)");
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    RWBC_REQUIRE(g.degree(v) > 0, "pagerank needs minimum degree 1");
+  }
+  const double eps = options.reset_probability;
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), eps / static_cast<double>(n));
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const double share = (1.0 - eps) *
+                           rank[static_cast<std::size_t>(v)] /
+                           static_cast<double>(g.degree(v));
+      for (NodeId w : g.neighbors(v)) {
+        next[static_cast<std::size_t>(w)] += share;
+      }
+    }
+    double change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      change += std::abs(next[i] - rank[i]);
+    }
+    rank.swap(next);
+    if (change <= options.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<double> pagerank_monte_carlo(const Graph& g,
+                                         const PagerankMcOptions& options) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  RWBC_REQUIRE(n >= 1, "pagerank needs a non-empty graph");
+  RWBC_REQUIRE(options.walks_per_node >= 1, "need at least one walk");
+  RWBC_REQUIRE(options.reset_probability > 0.0 &&
+                   options.reset_probability < 1.0,
+               "reset probability must be in (0, 1)");
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    RWBC_REQUIRE(g.degree(v) > 0, "pagerank needs minimum degree 1");
+  }
+  Rng rng(options.seed);
+  std::vector<std::uint64_t> endings(n, 0);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (std::size_t w = 0; w < options.walks_per_node; ++w) {
+      NodeId pos = s;
+      while (!rng.next_bool(options.reset_probability)) {
+        const auto nbrs = g.neighbors(pos);
+        pos = nbrs[rng.next_below(nbrs.size())];
+      }
+      ++endings[static_cast<std::size_t>(pos)];
+    }
+  }
+  const double total =
+      static_cast<double>(n) * static_cast<double>(options.walks_per_node);
+  std::vector<double> rank(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rank[i] = static_cast<double>(endings[i]) / total;
+  }
+  return rank;
+}
+
+}  // namespace rwbc

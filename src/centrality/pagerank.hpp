@@ -1,0 +1,43 @@
+// PageRank — the related measure of Section II-B.
+//
+// Two centralized variants: power iteration (the reference) and the
+// Monte-Carlo end-point estimator of Avrachenkov et al. that the paper
+// cites ("each node holds N random walks ... estimates its pagerank as the
+// fraction of walks ending at it"), whose short O(1/eps) walks are the
+// paper's argument for why PageRank techniques do not transfer to RWBC.
+// The distributed CONGEST version lives in rwbc/distributed_pagerank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Power-iteration options.
+struct PagerankOptions {
+  double reset_probability = 0.15;  ///< the epsilon of Section II-B
+  double tolerance = 1e-12;         ///< L1 change per iteration to stop
+  std::size_t max_iterations = 10'000;
+};
+
+/// PageRank by power iteration; returns a probability vector (sums to 1).
+/// Requires n >= 1 and minimum degree >= 1.
+std::vector<double> pagerank_power(const Graph& g,
+                                   const PagerankOptions& options = {});
+
+/// Monte-Carlo end-point options.
+struct PagerankMcOptions {
+  double reset_probability = 0.15;
+  std::size_t walks_per_node = 64;  ///< the N of Algorithm 2 in [12]
+  std::uint64_t seed = 1;
+};
+
+/// Monte-Carlo end-point PageRank: each node launches walks_per_node walks
+/// that stop with reset_probability per step; the estimate of node i is the
+/// fraction of all walks that end at i.  Converges to pagerank_power.
+std::vector<double> pagerank_monte_carlo(const Graph& g,
+                                         const PagerankMcOptions& options = {});
+
+}  // namespace rwbc

@@ -1,0 +1,113 @@
+#include "centrality/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+double kendall_tau(std::span<const double> a, std::span<const double> b) {
+  RWBC_REQUIRE(a.size() == b.size(), "kendall_tau size mismatch");
+  RWBC_REQUIRE(a.size() >= 2, "kendall_tau needs at least 2 items");
+  const std::size_t n = a.size();
+  // O(n^2) tau-b: fine at experiment sizes (n <= few thousand).
+  std::int64_t concordant = 0, discordant = 0;
+  std::int64_t ties_a = 0, ties_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) {
+        // tied in both: excluded from every term
+      } else if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = concordant + discordant;
+  const double denom = std::sqrt((n0 + static_cast<double>(ties_a)) *
+                                 (n0 + static_cast<double>(ties_b)));
+  RWBC_REQUIRE(denom > 0.0, "kendall_tau: a vector is entirely tied");
+  return (static_cast<double>(concordant) - static_cast<double>(discordant)) /
+         denom;
+}
+
+namespace {
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return values[x] < values[y];
+  });
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                       + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+}  // namespace
+
+double spearman_rho(std::span<const double> a, std::span<const double> b) {
+  RWBC_REQUIRE(a.size() == b.size(), "spearman_rho size mismatch");
+  RWBC_REQUIRE(a.size() >= 2, "spearman_rho needs at least 2 items");
+  const std::vector<double> ra = average_ranks(a);
+  const std::vector<double> rb = average_ranks(b);
+  const std::size_t n = a.size();
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  RWBC_REQUIRE(va > 0 && vb > 0, "spearman_rho: a vector is entirely tied");
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<std::size_t> rank_order(std::span<const double> scores) {
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (scores[x] != scores[y]) return scores[x] > scores[y];
+    return x < y;
+  });
+  return order;
+}
+
+double top_k_overlap(std::span<const double> a, std::span<const double> b,
+                     std::size_t k) {
+  RWBC_REQUIRE(a.size() == b.size(), "top_k_overlap size mismatch");
+  RWBC_REQUIRE(k >= 1 && k <= a.size(), "top_k_overlap: k out of range");
+  const auto oa = rank_order(a);
+  const auto ob = rank_order(b);
+  std::unordered_set<std::size_t> top_a(oa.begin(),
+                                        oa.begin() + static_cast<long>(k));
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (top_a.contains(ob[i])) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(k);
+}
+
+}  // namespace rwbc

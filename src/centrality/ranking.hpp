@@ -1,0 +1,30 @@
+// Rank-agreement metrics between centrality vectors.
+//
+// Every accuracy experiment reports these: an approximation can have
+// noticeable per-node error yet perfect ranking (what applications usually
+// consume), so the suite tracks both.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rwbc {
+
+/// Kendall's tau-b between two score vectors over the same index set.
+/// Tie-corrected; returns a value in [-1, 1].  Requires size >= 2 and at
+/// least one non-tied pair in each vector.
+double kendall_tau(std::span<const double> a, std::span<const double> b);
+
+/// Spearman's rho: Pearson correlation of average-tie ranks.
+double spearman_rho(std::span<const double> a, std::span<const double> b);
+
+/// Fraction of indices shared by the top-k sets of both vectors (ties broken
+/// by lower index).  Requires 1 <= k <= size.
+double top_k_overlap(std::span<const double> a, std::span<const double> b,
+                     std::size_t k);
+
+/// Indices sorted by descending score (ties by ascending index).
+std::vector<std::size_t> rank_order(std::span<const double> scores);
+
+}  // namespace rwbc

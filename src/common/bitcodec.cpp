@@ -1,0 +1,95 @@
+#include "common/bitcodec.hpp"
+
+#include <cmath>
+
+namespace rwbc {
+
+int bits_for(std::uint64_t bound) {
+  RWBC_REQUIRE(bound >= 1, "bits_for requires bound >= 1");
+  int bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < bound) {
+    capacity <<= 1;
+    ++bits;
+    if (bits == 64) break;
+  }
+  return bits;
+}
+
+std::uint64_t encode_approx_float(double value, int mantissa_bits,
+                                  int exponent_bits) {
+  RWBC_REQUIRE(value >= 0.0, "encode_approx_float needs non-negative input");
+  RWBC_REQUIRE(mantissa_bits >= 1 && mantissa_bits <= 52,
+               "mantissa width out of range");
+  RWBC_REQUIRE(exponent_bits >= 2 && exponent_bits <= 11,
+               "exponent width out of range");
+  if (value == 0.0) return 0;
+  int exponent = 0;
+  double fraction = std::frexp(value, &exponent);  // fraction in [0.5, 1)
+  // mantissa in [2^(mb-1), 2^mb): the top bit is explicit so 0 is free to
+  // mean exact zero.
+  auto mantissa = static_cast<std::uint64_t>(
+      std::ldexp(fraction, mantissa_bits));
+  if (mantissa >= (1ULL << mantissa_bits)) {
+    mantissa >>= 1;
+    ++exponent;
+  }
+  const int bias = 1 << (exponent_bits - 1);
+  int stored_exponent = exponent + bias;
+  const int max_exponent = (1 << exponent_bits) - 1;
+  if (stored_exponent < 0) return 0;  // underflow to zero
+  if (stored_exponent > max_exponent) {
+    stored_exponent = max_exponent;   // clamp overflow
+    mantissa = (1ULL << mantissa_bits) - 1;
+  }
+  return (static_cast<std::uint64_t>(stored_exponent) << mantissa_bits) |
+         mantissa;
+}
+
+double decode_approx_float(std::uint64_t encoded, int mantissa_bits,
+                           int exponent_bits) {
+  RWBC_REQUIRE(mantissa_bits >= 1 && mantissa_bits <= 52,
+               "mantissa width out of range");
+  RWBC_REQUIRE(exponent_bits >= 2 && exponent_bits <= 11,
+               "exponent width out of range");
+  if (encoded == 0) return 0.0;
+  const std::uint64_t mantissa = encoded & ((1ULL << mantissa_bits) - 1);
+  const auto stored_exponent =
+      static_cast<int>(encoded >> mantissa_bits);
+  const int bias = 1 << (exponent_bits - 1);
+  return std::ldexp(static_cast<double>(mantissa),
+                    stored_exponent - bias - mantissa_bits);
+}
+
+void BitWriter::write(std::uint64_t value, int width) {
+  RWBC_REQUIRE(width >= 0 && width <= 64, "bit width out of range");
+  RWBC_REQUIRE(width == 64 || value < (1ULL << width),
+               "value does not fit in declared bit width");
+  for (int i = 0; i < width; ++i) {
+    const int bit_index = bit_count_ + i;
+    const auto byte_index = static_cast<std::size_t>(bit_index >> 3);
+    if (byte_index >= bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1ULL) {
+      bytes_[byte_index] =
+          static_cast<std::uint8_t>(bytes_[byte_index] | (1u << (bit_index & 7)));
+    }
+  }
+  bit_count_ += width;
+}
+
+std::uint64_t BitReader::read(int width) {
+  RWBC_REQUIRE(width >= 0 && width <= 64, "bit width out of range");
+  RWBC_REQUIRE(cursor_ + width <= bit_count_, "bit payload exhausted");
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const int bit_index = cursor_ + i;
+    const auto byte_index = static_cast<std::size_t>(bit_index >> 3);
+    if ((bytes_[byte_index] >> (bit_index & 7)) & 1u) {
+      value |= (1ULL << i);
+    }
+  }
+  cursor_ += width;
+  return value;
+}
+
+}  // namespace rwbc

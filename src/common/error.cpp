@@ -1,0 +1,28 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace rwbc::detail {
+
+namespace {
+std::string format(const char* kind, const char* condition, const char* file,
+                   int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << ": " << message << " [failed: " << condition << " at " << file
+     << ":" << line << "]";
+  return os.str();
+}
+}  // namespace
+
+void throw_error(const char* condition, const char* file, int line,
+                 const std::string& message) {
+  throw Error(format("precondition violation", condition, file, line, message));
+}
+
+void throw_internal(const char* condition, const char* file, int line,
+                    const std::string& message) {
+  throw InternalError(
+      format("internal invariant violation", condition, file, line, message));
+}
+
+}  // namespace rwbc::detail

@@ -1,0 +1,50 @@
+// Error handling for the rwbc library.
+//
+// The library reports contract violations (bad arguments, malformed graphs,
+// out-of-range parameters) by throwing `rwbc::Error`, and internal logic
+// failures by throwing `rwbc::InternalError`.  Both derive from
+// `std::runtime_error` so callers can catch either granularly or wholesale.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rwbc {
+
+/// Thrown when a caller violates a documented precondition (e.g. passing a
+/// disconnected graph to an algorithm that requires connectivity).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public std::runtime_error {
+ public:
+  explicit InternalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* condition, const char* file, int line,
+                              const std::string& message);
+[[noreturn]] void throw_internal(const char* condition, const char* file,
+                                 int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace rwbc
+
+/// Validates a documented precondition; throws rwbc::Error on failure.
+#define RWBC_REQUIRE(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::rwbc::detail::throw_error(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                    \
+  } while (false)
+
+/// Validates an internal invariant; throws rwbc::InternalError on failure.
+#define RWBC_ASSERT(cond, msg)                                           \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::rwbc::detail::throw_internal(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,7 @@
+#include "common/rng.hpp"
+
+// Rng is fully inline; this translation unit exists so the target has a
+// stable object file for the header's ODR-used constants if any appear later.
+namespace rwbc {
+static_assert(Rng::min() == 0);
+}  // namespace rwbc

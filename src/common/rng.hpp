@@ -1,0 +1,104 @@
+// Deterministic random number generation.
+//
+// Every node in the CONGEST simulator owns its own generator derived from a
+// global seed and its node id, so simulations are reproducible regardless of
+// scheduling order and each node's randomness is independent (the paper's
+// model lets each node flip private coins).
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 — fast,
+// high-quality, and trivially splittable, which std::mt19937 is not.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rwbc {
+
+/// SplitMix64 step; used for seeding and cheap hashing of (seed, stream) pairs.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be plugged into
+/// <random> distributions, but the convenience members below avoid
+/// distribution-object overhead in the simulator's hot loop.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a single 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) { reseed(seed); }
+
+  /// Derives an independent stream for (seed, stream); used to give each
+  /// simulated node its own generator: `Rng(global_seed, node_id)`.
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t mix = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    reseed(splitmix64(mix));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire's multiply-shift with rejection).
+  std::uint64_t next_below(std::uint64_t bound) {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  void reseed(std::uint64_t seed) {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace rwbc

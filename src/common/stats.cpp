@@ -1,0 +1,104 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  RWBC_REQUIRE(xs.size() == ys.size(), "fit_line needs equal-length samples");
+  RWBC_REQUIRE(xs.size() >= 2, "fit_line needs at least 2 points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  RWBC_REQUIRE(std::abs(denom) > 1e-30, "fit_line: degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 1e-30) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys) {
+  RWBC_REQUIRE(xs.size() == ys.size(), "fit_power needs equal-length samples");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    RWBC_REQUIRE(xs[i] > 0 && ys[i] > 0, "fit_power needs positive samples");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const LinearFit line = fit_line(lx, ly);
+  PowerFit fit;
+  fit.exponent = line.slope;
+  fit.coefficient = std::exp(line.intercept);
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+namespace {
+double relative_error(double exact, double approx, double floor) {
+  const double scale = std::max(std::abs(exact), floor);
+  return std::abs(approx - exact) / scale;
+}
+}  // namespace
+
+double max_relative_error(std::span<const double> exact,
+                          std::span<const double> approx, double floor) {
+  RWBC_REQUIRE(exact.size() == approx.size(),
+               "max_relative_error needs equal-length samples");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    worst = std::max(worst, relative_error(exact[i], approx[i], floor));
+  }
+  return worst;
+}
+
+double mean_relative_error(std::span<const double> exact,
+                           std::span<const double> approx, double floor) {
+  RWBC_REQUIRE(exact.size() == approx.size(),
+               "mean_relative_error needs equal-length samples");
+  if (exact.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    sum += relative_error(exact[i], approx[i], floor);
+  }
+  return sum / static_cast<double>(exact.size());
+}
+
+}  // namespace rwbc

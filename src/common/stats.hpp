@@ -1,0 +1,58 @@
+// Small statistics helpers shared by the experiment harness and tests:
+// summary statistics over samples and least-squares fits used to check
+// complexity claims (e.g. fitting measured rounds against n·log n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rwbc {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes summary statistics; returns a zeroed Summary for empty input.
+Summary summarize(std::span<const double> values);
+
+/// Result of an ordinary least-squares straight-line fit y = slope*x + icept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit of y against x. Requires xs.size() == ys.size() >= 2.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y = c * x^e by a log-log linear fit and returns the exponent e along
+/// with the fit quality.  Used by the scaling experiments: for the paper's
+/// O(n log n) round bound we expect the fitted exponent of rounds vs n to be
+/// just above 1.  Requires all inputs positive and at least 2 points.
+struct PowerFit {
+  double exponent = 0.0;
+  double coefficient = 0.0;
+  double r_squared = 0.0;
+};
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys);
+
+/// Maximum relative error max_i |approx_i - exact_i| / max(|exact_i|, floor).
+/// The floor guards against division by near-zero exact values (betweenness
+/// of leaf nodes can be tiny); values whose exact magnitude is below the
+/// floor are compared absolutely against the floor.
+double max_relative_error(std::span<const double> exact,
+                          std::span<const double> approx,
+                          double floor = 1e-12);
+
+/// Mean relative error with the same floor semantics.
+double mean_relative_error(std::span<const double> exact,
+                           std::span<const double> approx,
+                           double floor = 1e-12);
+
+}  // namespace rwbc

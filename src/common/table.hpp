@@ -1,0 +1,38 @@
+// Console table formatting for the benchmark harness.
+//
+// Every experiment binary prints the series/tables it regenerates in a
+// fixed-width layout so runs are directly diffable across machines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rwbc {
+
+/// A fixed-column console table. Columns are sized to their widest cell.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt(std::int64_t value);
+  static std::string fmt(std::uint64_t value);
+  static std::string fmt(int value);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rwbc

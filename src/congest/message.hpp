@@ -1,0 +1,29 @@
+// A CONGEST message: an opaque bit payload between two adjacent nodes.
+//
+// Payloads are produced by BitWriter so the network can meter the exact
+// number of bits each edge carries per round — the quantity Theorem 4 and
+// the CONGEST model itself are about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitcodec.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// An in-flight message. `from`/`to` are filled by the network at send time;
+/// they model the fact that a receiver knows which port a message arrived on
+/// (standard in CONGEST) and are not charged against the payload budget.
+struct Message {
+  NodeId from = -1;
+  NodeId to = -1;
+  std::vector<std::uint8_t> payload;
+  int bit_count = 0;
+
+  /// Reader over the payload.
+  BitReader reader() const { return BitReader(payload, bit_count); }
+};
+
+}  // namespace rwbc

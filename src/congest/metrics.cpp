@@ -1,0 +1,20 @@
+#include "congest/metrics.hpp"
+
+#include <algorithm>
+
+namespace rwbc {
+
+RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
+  rounds += other.rounds;
+  total_messages += other.total_messages;
+  total_bits += other.total_bits;
+  max_bits_per_edge_round =
+      std::max(max_bits_per_edge_round, other.max_bits_per_edge_round);
+  max_messages_per_edge_round =
+      std::max(max_messages_per_edge_round, other.max_messages_per_edge_round);
+  cut_bits += other.cut_bits;
+  cut_messages += other.cut_messages;
+  return *this;
+}
+
+}  // namespace rwbc

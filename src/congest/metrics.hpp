@@ -1,0 +1,34 @@
+// Run metrics collected by the CONGEST simulator.
+//
+// These are the observables of the experiment suite: round counts (the
+// paper's time complexity), per-edge-per-round peak traffic (Theorem 4 /
+// CONGEST compliance), aggregate message volume, and traffic across a
+// registered edge cut (the lower-bound experiments of Section VIII).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Aggregate metrics for one simulation run (or a sum over phases).
+struct RunMetrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  /// Peak bits sent over a single (edge, direction) in one round.
+  std::uint64_t max_bits_per_edge_round = 0;
+  /// Peak messages sent over a single (edge, direction) in one round.
+  std::uint64_t max_messages_per_edge_round = 0;
+  /// Bits carried by edges registered as the "cut" (0 if none registered).
+  std::uint64_t cut_bits = 0;
+  /// Messages carried by cut edges.
+  std::uint64_t cut_messages = 0;
+
+  /// Accumulates another phase's metrics (rounds add; peaks take max).
+  RunMetrics& operator+=(const RunMetrics& other);
+};
+
+}  // namespace rwbc

@@ -1,0 +1,247 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/bitcodec.hpp"
+#include "common/error.hpp"
+
+namespace rwbc {
+
+// Per-node view handed to NodeProcess callbacks.  Owns the node's mailboxes
+// and per-round bandwidth accounting; all sends funnel through here so the
+// Network can meter them.
+class Network::ContextImpl final : public NodeContext {
+ public:
+  ContextImpl(Network& net, NodeId id)
+      : net_(net),
+        id_(id),
+        rng_(net.config_.seed, static_cast<std::uint64_t>(id)),
+        neighbors_(net.graph_.neighbors(id)),
+        bits_this_round_(neighbors_.size(), 0),
+        msgs_this_round_(neighbors_.size(), 0) {}
+
+  NodeId id() const override { return id_; }
+  NodeId node_count() const override { return net_.graph_.node_count(); }
+  std::span<const NodeId> neighbors() const override { return neighbors_; }
+  NodeId degree() const override {
+    return static_cast<NodeId>(neighbors_.size());
+  }
+  std::uint64_t round() const override { return net_.round_; }
+  Rng& rng() override { return rng_; }
+  std::uint64_t bit_budget() const override { return net_.bit_budget_; }
+
+  void send(NodeId neighbor, const BitWriter& payload) override {
+    const auto it =
+        std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
+    RWBC_REQUIRE(it != neighbors_.end() && *it == neighbor,
+                 "send target is not a neighbor");
+    const auto slot = static_cast<std::size_t>(it - neighbors_.begin());
+    const auto bits = static_cast<std::uint64_t>(payload.bit_count());
+    bits_this_round_[slot] += bits;
+    msgs_this_round_[slot] += 1;
+    if (net_.config_.enforce_bandwidth) {
+      RWBC_REQUIRE(bits_this_round_[slot] <= net_.bit_budget_,
+                   "CONGEST bandwidth budget exceeded on edge " +
+                       std::to_string(id_) + "->" + std::to_string(neighbor) +
+                       " in round " + std::to_string(net_.round_));
+    }
+    net_.record_send(id_, neighbor, bits);
+    Message msg;
+    msg.from = id_;
+    msg.to = neighbor;
+    msg.payload = payload.bytes();
+    msg.bit_count = payload.bit_count();
+    outbox_.push_back(std::move(msg));
+  }
+
+  void halt() override { halted_ = true; }
+
+  // --- driver-side hooks -------------------------------------------------
+
+  void begin_round() {
+    std::fill(bits_this_round_.begin(), bits_this_round_.end(), 0);
+    std::fill(msgs_this_round_.begin(), msgs_this_round_.end(), 0);
+  }
+
+  std::uint64_t peak_bits() const {
+    return bits_this_round_.empty()
+               ? 0
+               : *std::max_element(bits_this_round_.begin(),
+                                   bits_this_round_.end());
+  }
+  std::uint64_t peak_msgs() const {
+    return msgs_this_round_.empty()
+               ? 0
+               : *std::max_element(msgs_this_round_.begin(),
+                                   msgs_this_round_.end());
+  }
+
+  Network& net_;
+  NodeId id_;
+  Rng rng_;
+  std::span<const NodeId> neighbors_;
+  std::vector<std::uint64_t> bits_this_round_;
+  std::vector<std::uint64_t> msgs_this_round_;
+  std::vector<Message> inbox_;
+  std::vector<Message> outbox_;
+  bool halted_ = false;
+};
+
+Network::Network(const Graph& graph, CongestConfig config)
+    : graph_(graph), config_(config) {
+  const auto n = static_cast<std::uint64_t>(
+      std::max<NodeId>(graph.node_count(), 2));
+  bit_budget_ = std::max(
+      config_.bit_floor,
+      config_.bandwidth_log_multiplier * static_cast<std::uint64_t>(
+                                              bits_for(n)));
+  processes_.resize(static_cast<std::size_t>(graph.node_count()));
+  contexts_.reserve(processes_.size());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    contexts_.push_back(std::make_unique<ContextImpl>(*this, v));
+  }
+  cut_edge_flags_.assign(graph.edge_count(), false);
+  if (!config_.metered_cut.empty()) {
+    register_cut(config_.metered_cut);
+  }
+}
+
+Network::~Network() = default;
+
+void Network::set_node(NodeId v, std::unique_ptr<NodeProcess> process) {
+  RWBC_REQUIRE(v >= 0 && v < graph_.node_count(), "node id out of range");
+  RWBC_REQUIRE(process != nullptr, "node program must not be null");
+  processes_[static_cast<std::size_t>(v)] = std::move(process);
+}
+
+void Network::set_all_nodes(
+    const std::function<std::unique_ptr<NodeProcess>(NodeId)>& factory) {
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    set_node(v, factory(v));
+  }
+}
+
+void Network::register_cut(std::span<const Edge> cut_edges) {
+  const auto all = graph_.edges();
+  for (const Edge& raw : cut_edges) {
+    Edge e{std::min(raw.u, raw.v), std::max(raw.u, raw.v)};
+    const auto it = std::lower_bound(all.begin(), all.end(), e);
+    RWBC_REQUIRE(it != all.end() && *it == e,
+                 "cut edge is not an edge of the graph");
+    cut_edge_flags_[static_cast<std::size_t>(it - all.begin())] = true;
+    has_cut_ = true;
+  }
+}
+
+void Network::record_send(NodeId from, NodeId to, std::uint64_t bits) {
+  metrics_.total_messages += 1;
+  metrics_.total_bits += bits;
+  if (has_cut_) {
+    Edge e{std::min(from, to), std::max(from, to)};
+    const auto all = graph_.edges();
+    const auto it = std::lower_bound(all.begin(), all.end(), e);
+    if (it != all.end() && *it == e &&
+        cut_edge_flags_[static_cast<std::size_t>(it - all.begin())]) {
+      metrics_.cut_bits += bits;
+      metrics_.cut_messages += 1;
+    }
+  }
+}
+
+NodeProcess& Network::node(NodeId v) {
+  RWBC_REQUIRE(v >= 0 && v < graph_.node_count(), "node id out of range");
+  auto& p = processes_[static_cast<std::size_t>(v)];
+  RWBC_REQUIRE(p != nullptr, "node has no program installed");
+  return *p;
+}
+
+const NodeProcess& Network::node(NodeId v) const {
+  RWBC_REQUIRE(v >= 0 && v < graph_.node_count(), "node id out of range");
+  const auto& p = processes_[static_cast<std::size_t>(v)];
+  RWBC_REQUIRE(p != nullptr, "node has no program installed");
+  return *p;
+}
+
+RunMetrics Network::run() {
+  RWBC_REQUIRE(!ran_, "Network::run may only be called once");
+  ran_ = true;
+  const auto n = static_cast<std::size_t>(graph_.node_count());
+  for (std::size_t v = 0; v < n; ++v) {
+    RWBC_REQUIRE(processes_[v] != nullptr,
+                 "every node needs a program before run()");
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    processes_[v]->on_start(*contexts_[v]);
+  }
+
+  round_ = 0;
+  while (true) {
+    RWBC_REQUIRE(round_ < config_.max_rounds,
+                 "simulation exceeded the configured max_rounds");
+    // A message arriving at a halted node wakes it.
+    bool any_awake = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!contexts_[v]->inbox_.empty()) contexts_[v]->halted_ = false;
+      if (!contexts_[v]->halted_) any_awake = true;
+    }
+    if (!any_awake) break;
+
+    for (std::size_t v = 0; v < n; ++v) contexts_[v]->begin_round();
+
+    const std::uint64_t messages_before = metrics_.total_messages;
+    const std::uint64_t bits_before = metrics_.total_bits;
+    std::uint64_t round_peak_bits = 0;
+    std::uint64_t round_peak_msgs = 0;
+    std::uint64_t awake_nodes = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      ContextImpl& ctx = *contexts_[v];
+      if (ctx.halted_) continue;
+      ++awake_nodes;
+      processes_[v]->on_round(ctx, ctx.inbox_);
+      round_peak_bits = std::max(round_peak_bits, ctx.peak_bits());
+      round_peak_msgs = std::max(round_peak_msgs, ctx.peak_msgs());
+    }
+    if (config_.round_observer) {
+      RoundSnapshot snapshot;
+      snapshot.round = round_;
+      snapshot.messages = metrics_.total_messages - messages_before;
+      snapshot.bits = metrics_.total_bits - bits_before;
+      snapshot.awake_nodes = awake_nodes;
+      config_.round_observer(snapshot);
+    }
+    metrics_.max_bits_per_edge_round =
+        std::max(metrics_.max_bits_per_edge_round, round_peak_bits);
+    metrics_.max_messages_per_edge_round =
+        std::max(metrics_.max_messages_per_edge_round, round_peak_msgs);
+
+    // Deliver: every outbox message becomes next round's inbox content.
+    for (std::size_t v = 0; v < n; ++v) contexts_[v]->inbox_.clear();
+    bool delivered_any = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (Message& msg : contexts_[v]->outbox_) {
+        delivered_any = true;
+        contexts_[static_cast<std::size_t>(msg.to)]->inbox_.push_back(
+            std::move(msg));
+      }
+      contexts_[v]->outbox_.clear();
+    }
+    ++round_;
+    metrics_.rounds = round_;
+
+    if (!delivered_any) {
+      // No traffic: the run ends as soon as everyone is halted.
+      bool all_halted = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!contexts_[v]->halted_) {
+          all_halted = false;
+          break;
+        }
+      }
+      if (all_halted) break;
+    }
+  }
+  return metrics_;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,110 @@
+// The CONGEST round simulator.
+//
+// Faithful to Section III-A: synchronous rounds, each edge-direction carries
+// at most O(log n) bits per round (configurable multiple of ceil(log2 n)),
+// nodes run independent programs and see only local state.  The simulator
+// meters every message so Theorem 4 (CONGEST compliance) and the Section
+// VIII cut-communication claims are *measured*, not assumed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "congest/metrics.hpp"
+#include "congest/node.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Per-round telemetry passed to a CongestConfig::round_observer.
+struct RoundSnapshot {
+  std::uint64_t round = 0;     ///< 0-based round index within this run
+  std::uint64_t messages = 0;  ///< messages sent in this round
+  std::uint64_t bits = 0;      ///< payload bits sent in this round
+  std::uint64_t awake_nodes = 0;  ///< nodes whose on_round ran
+};
+
+/// Simulator configuration.
+struct CongestConfig {
+  /// Global seed; node v's private RNG is Rng(seed, v).
+  std::uint64_t seed = 1;
+
+  /// Per-edge-direction bit budget per round = max(bit_floor,
+  /// bandwidth_log_multiplier * ceil(log2 n)).  The paper's model allows
+  /// O(log n) bits; the multiplier is the hidden constant.
+  std::uint64_t bandwidth_log_multiplier = 8;
+  std::uint64_t bit_floor = 32;
+
+  /// Strict mode throws on budget violation; non-strict ("ideal bandwidth",
+  /// the E7 ablation) only meters.
+  bool enforce_bandwidth = true;
+
+  /// Hard stop for runaway algorithms; run() throws if it is reached.
+  std::uint64_t max_rounds = 50'000'000;
+
+  /// Edges whose traffic is metered as "cut" traffic (Section VIII
+  /// experiments).  Registered automatically on construction, so multi-phase
+  /// pipelines meter the cut across every phase.
+  std::vector<Edge> metered_cut;
+
+  /// Optional per-round observer, invoked after each round's sends are
+  /// collected.  Used by the experiment harness to chart live quantities
+  /// (e.g. the surviving-walk population decay of E2) without touching the
+  /// node programs.  Round numbers are phase-local when a pipeline runs
+  /// multiple Network instances.
+  std::function<void(const RoundSnapshot&)> round_observer;
+};
+
+/// A synchronous message-passing network over a fixed graph.
+class Network {
+ public:
+  /// The graph must outlive the network.
+  Network(const Graph& graph, CongestConfig config);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Installs the program for node v.  Every node needs a program before
+  /// run() is called.
+  void set_node(NodeId v, std::unique_ptr<NodeProcess> process);
+
+  /// Installs a program built per node by the factory.
+  void set_all_nodes(
+      const std::function<std::unique_ptr<NodeProcess>(NodeId)>& factory);
+
+  /// Registers edges whose traffic should be metered as the "cut" (Section
+  /// VIII experiments).  Edges must exist in the graph.
+  void register_cut(std::span<const Edge> cut_edges);
+
+  /// Runs rounds until all nodes halt and no messages are in flight.
+  /// Throws if config.max_rounds is exceeded.  May be called once.
+  RunMetrics run();
+
+  /// Access to a node's program after the run (to read its outputs).
+  NodeProcess& node(NodeId v);
+  const NodeProcess& node(NodeId v) const;
+
+  /// The enforced per-edge-direction bit budget.
+  std::uint64_t bit_budget() const { return bit_budget_; }
+
+ private:
+  class ContextImpl;
+
+  void record_send(NodeId from, NodeId to, std::uint64_t bits);
+
+  const Graph& graph_;
+  CongestConfig config_;
+  std::uint64_t bit_budget_ = 0;
+  std::uint64_t round_ = 0;
+  RunMetrics metrics_;
+  std::vector<std::unique_ptr<NodeProcess>> processes_;
+  std::vector<std::unique_ptr<ContextImpl>> contexts_;
+  std::vector<bool> cut_edge_flags_;  // indexed like graph_.edges()
+  bool has_cut_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace rwbc

@@ -1,0 +1,80 @@
+// The node-program interface of the CONGEST simulator.
+//
+// A distributed algorithm is a NodeProcess implementation; the Network
+// instantiates one per graph node and drives synchronous rounds:
+//
+//   round r:  every node's on_round() runs with the messages sent to it in
+//             round r-1; messages it sends are delivered in round r+1.
+//
+// A node may call halt() when it is locally done; the run ends when every
+// node has halted and no messages are in flight.  A message arriving at a
+// halted node wakes it up (its on_round runs again).
+//
+// Nodes only see local information: their id, degree, neighbour ids, n (the
+// paper's Algorithm 1 takes n as input), and a private RNG — matching the
+// knowledge model of Section III-A.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bitcodec.hpp"
+#include "common/rng.hpp"
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Per-node view of the network, passed to NodeProcess callbacks.
+/// Implemented by the Network; node programs never see global state.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  /// This node's id.
+  virtual NodeId id() const = 0;
+
+  /// Total number of nodes n (global knowledge assumed by Algorithm 1).
+  virtual NodeId node_count() const = 0;
+
+  /// Sorted ids of adjacent nodes.
+  virtual std::span<const NodeId> neighbors() const = 0;
+
+  /// Degree d(v) = neighbors().size().
+  virtual NodeId degree() const = 0;
+
+  /// Current round number (0-based).
+  virtual std::uint64_t round() const = 0;
+
+  /// This node's private random generator (deterministic per (seed, id)).
+  virtual Rng& rng() = 0;
+
+  /// Sends `payload` to an adjacent node; delivered next round.  Throws
+  /// rwbc::Error if `neighbor` is not adjacent, or — in strict mode — if the
+  /// per-edge per-round bit budget would be exceeded (a CONGEST violation is
+  /// an algorithm bug, not a runtime condition to retry).
+  virtual void send(NodeId neighbor, const BitWriter& payload) = 0;
+
+  /// Declares local termination; rescinded automatically if a message
+  /// arrives later.
+  virtual void halt() = 0;
+
+  /// The enforced bit budget per edge-direction per round (for nodes that
+  /// want to pack multiple logical items into one round's traffic).
+  virtual std::uint64_t bit_budget() const = 0;
+};
+
+/// A node program.  Implementations must be deterministic given the
+/// NodeContext RNG (no other randomness, no global state).
+class NodeProcess {
+ public:
+  virtual ~NodeProcess() = default;
+
+  /// Called once before round 0.
+  virtual void on_start(NodeContext& ctx) = 0;
+
+  /// Called every round the node is awake with the messages addressed to it.
+  virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
+};
+
+}  // namespace rwbc

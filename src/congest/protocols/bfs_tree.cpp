@@ -1,0 +1,83 @@
+#include "congest/protocols/bfs_tree.hpp"
+
+#include <algorithm>
+
+#include "common/bitcodec.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+
+void BfsTreeNode::on_start(NodeContext& ctx) {
+  if (ctx.id() == root_) {
+    joined_ = true;
+    depth_ = 0;
+    relay_pending_ = true;  // root floods JOIN in round 0
+  }
+}
+
+void BfsTreeNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
+  NodeId join_parent = -1;  // min-id JOIN sender this round
+  for (const Message& msg : inbox) {
+    auto reader = msg.reader();
+    const auto type = reader.read(1);
+    if (type == kJoin) {
+      if (!joined_ && (join_parent < 0 || msg.from < join_parent)) {
+        join_parent = msg.from;
+      }
+    } else {  // kChild
+      children_.push_back(msg.from);
+    }
+  }
+  if (join_parent >= 0) {
+    joined_ = true;
+    parent_ = join_parent;
+    depth_ = static_cast<NodeId>(ctx.round());  // JOIN sent in round r-1
+    relay_pending_ = true;
+    BitWriter ack;
+    ack.write(kChild, 1);
+    ctx.send(parent_, ack);
+  }
+  if (relay_pending_ && joined_) {
+    BitWriter join;
+    join.write(kJoin, 1);
+    for (NodeId nb : ctx.neighbors()) {
+      if (nb != parent_) ctx.send(nb, join);
+    }
+    relay_pending_ = false;
+  }
+  if (ctx.round() >= round_budget_) {
+    std::sort(children_.begin(), children_.end());
+    ctx.halt();
+  }
+}
+
+BfsTreeResult run_bfs_tree(const Graph& g, NodeId root,
+                           const CongestConfig& config,
+                           std::uint64_t round_budget) {
+  RWBC_REQUIRE(root >= 0 && root < g.node_count(), "root out of range");
+  require_connected(g, "BFS tree construction");
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId) {
+    return std::make_unique<BfsTreeNode>(root, round_budget);
+  });
+  BfsTreeResult result;
+  result.metrics = net.run();
+  const auto n = static_cast<std::size_t>(g.node_count());
+  result.tree.root = root;
+  result.tree.parent.resize(n);
+  result.tree.children.resize(n);
+  result.tree.depth.resize(n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& program = static_cast<const BfsTreeNode&>(net.node(v));
+    RWBC_ASSERT(program.depth() >= 0 || v == root,
+                "BFS tree did not reach every node; raise round_budget");
+    result.tree.parent[static_cast<std::size_t>(v)] = program.parent();
+    result.tree.children[static_cast<std::size_t>(v)] = program.children();
+    result.tree.depth[static_cast<std::size_t>(v)] = program.depth();
+    result.tree.height =
+        std::max(result.tree.height, program.depth());
+  }
+  return result;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,69 @@
+// Distributed BFS spanning-tree construction from a known root.
+//
+// The tree is the backbone for broadcast, convergecast aggregation, and the
+// termination-detection sweeps inside Algorithm 1.  Construction is the
+// textbook layered flood: the root sends JOIN in round 0; a node adopts the
+// minimum-id sender of its first JOIN round as parent, acknowledges with
+// CHILD, and relays JOIN onward.  Completes within D + 2 rounds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace rwbc {
+
+/// Node program for BFS-tree construction.
+class BfsTreeNode final : public NodeProcess {
+ public:
+  /// Every node knows the root's id (e.g. from leader election) and a round
+  /// budget >= D + 2 (pass n + 2 when D is unknown).
+  BfsTreeNode(NodeId root, std::uint64_t round_budget)
+      : root_(root), round_budget_(round_budget) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+
+  /// After the run: parent in the tree (-1 for the root).
+  NodeId parent() const { return parent_; }
+  /// After the run: children in the tree (sorted by arrival, i.e. id order).
+  const std::vector<NodeId>& children() const { return children_; }
+  /// After the run: BFS depth (root = 0).
+  NodeId depth() const { return depth_; }
+
+ private:
+  enum MsgType : std::uint64_t { kJoin = 0, kChild = 1 };
+
+  NodeId root_;
+  std::uint64_t round_budget_;
+  NodeId parent_ = -1;
+  NodeId depth_ = -1;
+  std::vector<NodeId> children_;
+  bool joined_ = false;
+  bool relay_pending_ = false;
+};
+
+/// Global view of a constructed tree (assembled from node outputs — the
+/// per-node fields remain purely local during the run).
+struct SpanningTree {
+  NodeId root = -1;
+  std::vector<NodeId> parent;                 ///< -1 for root
+  std::vector<std::vector<NodeId>> children;  ///< per node
+  std::vector<NodeId> depth;                  ///< BFS depth per node
+  NodeId height = 0;                          ///< max depth
+};
+
+/// Result of a BFS-tree construction run.
+struct BfsTreeResult {
+  SpanningTree tree;
+  RunMetrics metrics;
+};
+
+/// Builds the BFS tree on its own network instance.  Requires a connected
+/// graph and a valid root.
+BfsTreeResult run_bfs_tree(const Graph& g, NodeId root,
+                           const CongestConfig& config,
+                           std::uint64_t round_budget);
+
+}  // namespace rwbc

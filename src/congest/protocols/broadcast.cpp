@@ -1,0 +1,46 @@
+#include "congest/protocols/broadcast.hpp"
+
+namespace rwbc {
+
+void BroadcastNode::on_round(NodeContext& ctx,
+                             std::span<const Message> inbox) {
+  for (const Message& msg : inbox) {
+    auto reader = msg.reader();
+    value_ = reader.read(value_bits_);
+    has_value_ = true;
+  }
+  if (has_value_ && !forwarded_) {
+    BitWriter payload;
+    payload.write(value_, value_bits_);
+    for (NodeId child : children_) ctx.send(child, payload);
+    forwarded_ = true;
+  }
+  if (forwarded_) ctx.halt();
+}
+
+BroadcastResult run_broadcast(const Graph& g, const SpanningTree& tree,
+                              std::uint64_t value, int value_bits,
+                              const CongestConfig& config) {
+  RWBC_REQUIRE(tree.root >= 0 && tree.root < g.node_count(),
+               "broadcast needs a valid tree root");
+  RWBC_REQUIRE(value_bits >= 0 && value_bits <= 64, "value width invalid");
+  RWBC_REQUIRE(value_bits == 64 || value < (1ULL << value_bits),
+               "broadcast value exceeds declared width");
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId v) {
+    return std::make_unique<BroadcastNode>(
+        tree.children[static_cast<std::size_t>(v)], v == tree.root, value,
+        value_bits);
+  });
+  BroadcastResult result;
+  result.metrics = net.run();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& program = static_cast<const BroadcastNode&>(net.node(v));
+    RWBC_ASSERT(program.has_value() && program.value() == value,
+                "broadcast did not reach every node");
+  }
+  result.value = value;
+  return result;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,57 @@
+// Tree broadcast: the root pushes a fixed-width value down a previously
+// constructed spanning tree; every node learns it in `height` rounds.
+//
+// Used by the RWBC driver to disseminate the randomly drawn absorbing
+// target and the tree height (which paces Algorithm 1's termination
+// sweeps).  Each message carries `value_bits` bits, O(log n) by choice of
+// the value domain.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+
+namespace rwbc {
+
+/// Node program for a single-value tree broadcast.
+class BroadcastNode final : public NodeProcess {
+ public:
+  /// `is_root` nodes already hold `value`; the rest receive it.  Each node
+  /// knows its tree children (local knowledge from the BFS phase).
+  BroadcastNode(std::vector<NodeId> children, bool is_root,
+                std::uint64_t value, int value_bits)
+      : children_(std::move(children)),
+        has_value_(is_root),
+        value_(value),
+        value_bits_(value_bits) {}
+
+  void on_start(NodeContext&) override {}
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+
+  /// After the run: the broadcast value.
+  std::uint64_t value() const { return value_; }
+  bool has_value() const { return has_value_; }
+
+ private:
+  std::vector<NodeId> children_;
+  bool has_value_;
+  std::uint64_t value_;
+  int value_bits_;
+  bool forwarded_ = false;
+};
+
+/// Result of a broadcast run.
+struct BroadcastResult {
+  std::uint64_t value = 0;
+  RunMetrics metrics;
+};
+
+/// Broadcasts `value` from the tree's root; returns once every node holds
+/// it.  `tree` must be a spanning tree of `g` (from run_bfs_tree).
+BroadcastResult run_broadcast(const Graph& g, const SpanningTree& tree,
+                              std::uint64_t value, int value_bits,
+                              const CongestConfig& config);
+
+}  // namespace rwbc

@@ -1,0 +1,51 @@
+#include "congest/protocols/convergecast.hpp"
+
+#include <algorithm>
+
+namespace rwbc {
+
+void ConvergecastNode::on_round(NodeContext& ctx,
+                                std::span<const Message> inbox) {
+  for (const Message& msg : inbox) {
+    auto reader = msg.reader();
+    const std::uint64_t child_value = reader.read(value_bits_);
+    accumulator_ = op_ == AggregateOp::kSum
+                       ? accumulator_ + child_value
+                       : std::max(accumulator_, child_value);
+    RWBC_ASSERT(pending_children_ > 0, "convergecast: unexpected report");
+    --pending_children_;
+  }
+  if (pending_children_ == 0 && !reported_) {
+    reported_ = true;
+    if (parent_ >= 0) {
+      BitWriter payload;
+      payload.write(accumulator_, value_bits_);
+      ctx.send(parent_, payload);
+    }
+  }
+  if (reported_) ctx.halt();
+}
+
+ConvergecastResult run_convergecast(const Graph& g, const SpanningTree& tree,
+                                    std::span<const std::uint64_t> values,
+                                    AggregateOp op, int value_bits,
+                                    const CongestConfig& config) {
+  RWBC_REQUIRE(values.size() == static_cast<std::size_t>(g.node_count()),
+               "convergecast needs one value per node");
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId v) {
+    const auto idx = static_cast<std::size_t>(v);
+    return std::make_unique<ConvergecastNode>(
+        tree.parent[idx], tree.children[idx].size(), values[idx], op,
+        value_bits);
+  });
+  ConvergecastResult result;
+  result.metrics = net.run();
+  const auto& root_program =
+      static_cast<const ConvergecastNode&>(net.node(tree.root));
+  RWBC_ASSERT(root_program.reported(), "convergecast did not complete");
+  result.aggregate = root_program.aggregate();
+  return result;
+}
+
+}  // namespace rwbc

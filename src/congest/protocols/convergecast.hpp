@@ -1,0 +1,61 @@
+// Tree convergecast: aggregates a per-node value up a spanning tree to the
+// root (sum or max over uint64).  Leaves report immediately; an internal
+// node reports once all children have.  Completes in `height + 1` rounds.
+//
+// Used to compute the tree height (max of depths) distributively and as the
+// skeleton of Algorithm 1's termination-detection sweeps.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+
+namespace rwbc {
+
+/// Aggregation operator for convergecast.
+enum class AggregateOp { kSum, kMax };
+
+/// Node program for a single convergecast.
+class ConvergecastNode final : public NodeProcess {
+ public:
+  /// Each node holds `local_value`; child count is local tree knowledge.
+  ConvergecastNode(NodeId parent, std::size_t child_count,
+                   std::uint64_t local_value, AggregateOp op, int value_bits)
+      : parent_(parent),
+        pending_children_(child_count),
+        accumulator_(local_value),
+        op_(op),
+        value_bits_(value_bits) {}
+
+  void on_start(NodeContext&) override {}
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+
+  /// After the run, at the root: the tree-wide aggregate.
+  std::uint64_t aggregate() const { return accumulator_; }
+  bool reported() const { return reported_; }
+
+ private:
+  NodeId parent_;
+  std::size_t pending_children_;
+  std::uint64_t accumulator_;
+  AggregateOp op_;
+  int value_bits_;
+  bool reported_ = false;
+};
+
+/// Result of a convergecast run.
+struct ConvergecastResult {
+  std::uint64_t aggregate = 0;
+  RunMetrics metrics;
+};
+
+/// Aggregates `values[v]` over all nodes to the tree root.  `value_bits`
+/// must bound every partial aggregate (e.g. bits of the total sum).
+ConvergecastResult run_convergecast(const Graph& g, const SpanningTree& tree,
+                                    std::span<const std::uint64_t> values,
+                                    AggregateOp op, int value_bits,
+                                    const CongestConfig& config);
+
+}  // namespace rwbc

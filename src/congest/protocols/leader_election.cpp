@@ -1,0 +1,57 @@
+#include "congest/protocols/leader_election.hpp"
+
+#include "common/bitcodec.hpp"
+
+namespace rwbc {
+
+void LeaderElectionNode::on_start(NodeContext& ctx) {
+  best_ = ctx.id();
+  announce_ = true;
+}
+
+void LeaderElectionNode::on_round(NodeContext& ctx,
+                                  std::span<const Message> inbox) {
+  const int id_bits = bits_for(static_cast<std::uint64_t>(ctx.node_count()));
+  for (const Message& msg : inbox) {
+    auto reader = msg.reader();
+    const auto candidate = static_cast<NodeId>(reader.read(id_bits));
+    if (candidate < best_) {
+      best_ = candidate;
+      announce_ = true;
+    }
+  }
+  if (ctx.round() >= round_budget_) {
+    is_leader_ = (best_ == ctx.id());
+    ctx.halt();
+    return;
+  }
+  if (announce_) {
+    BitWriter payload;
+    payload.write(static_cast<std::uint64_t>(best_), id_bits);
+    for (NodeId nb : ctx.neighbors()) ctx.send(nb, payload);
+    announce_ = false;
+  }
+}
+
+LeaderElectionResult run_leader_election(const Graph& g,
+                                         const CongestConfig& config,
+                                         std::uint64_t round_budget) {
+  RWBC_REQUIRE(g.node_count() >= 1, "election needs a non-empty graph");
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId) {
+    return std::make_unique<LeaderElectionNode>(round_budget);
+  });
+  LeaderElectionResult result;
+  result.metrics = net.run();
+  result.leader =
+      static_cast<const LeaderElectionNode&>(net.node(0)).leader();
+  // Sanity: every node must agree.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& program = static_cast<const LeaderElectionNode&>(net.node(v));
+    RWBC_ASSERT(program.leader() == result.leader,
+                "leader election did not converge; raise round_budget");
+  }
+  return result;
+}
+
+}  // namespace rwbc

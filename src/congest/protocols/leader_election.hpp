@@ -1,0 +1,54 @@
+// Flooding minimum-id leader election.
+//
+// Algorithm 1 line 2 needs a "randomly chosen target node"; in a real
+// network somebody has to pick it.  The standard CONGEST idiom is: elect a
+// leader (min id wins, floods in D <= budget rounds), have the leader draw
+// the target and broadcast it.  Each message carries one id, so the
+// protocol is trivially CONGEST-compliant.
+//
+// Nodes do not know D, but Algorithm 1 takes n as input and D <= n - 1, so
+// the caller passes `round_budget = n` (or any upper bound on D).
+#pragma once
+
+#include <memory>
+
+#include "congest/network.hpp"
+
+namespace rwbc {
+
+/// Node program: floods the smallest id seen; after `round_budget` rounds
+/// every node knows the global minimum.
+class LeaderElectionNode final : public NodeProcess {
+ public:
+  explicit LeaderElectionNode(std::uint64_t round_budget)
+      : round_budget_(round_budget) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+
+  /// After the run: the elected leader's id.
+  NodeId leader() const { return best_; }
+
+  /// After the run: whether this node won.
+  bool is_leader() const { return is_leader_; }
+
+ private:
+  std::uint64_t round_budget_;
+  NodeId best_ = -1;
+  bool announce_ = false;  // forward `best_` to neighbours this round
+  bool is_leader_ = false;
+};
+
+/// Result of a full leader-election run.
+struct LeaderElectionResult {
+  NodeId leader = -1;
+  RunMetrics metrics;
+};
+
+/// Runs the election on its own network instance.  `round_budget` must be
+/// >= D + 1; pass the graph's node count when D is unknown.
+LeaderElectionResult run_leader_election(const Graph& g,
+                                         const CongestConfig& config,
+                                         std::uint64_t round_budget);
+
+}  // namespace rwbc

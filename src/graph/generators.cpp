@@ -1,0 +1,219 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "graph/properties.hpp"
+
+namespace rwbc {
+
+Graph make_path(NodeId n) {
+  RWBC_REQUIRE(n >= 1, "path needs n >= 1");
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph make_cycle(NodeId n) {
+  RWBC_REQUIRE(n >= 3, "cycle needs n >= 3");
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+Graph make_star(NodeId n) {
+  RWBC_REQUIRE(n >= 2, "star needs n >= 2");
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph make_complete(NodeId n) {
+  RWBC_REQUIRE(n >= 1, "complete graph needs n >= 1");
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph make_grid(NodeId rows, NodeId cols) {
+  RWBC_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_binary_tree(NodeId n) {
+  RWBC_REQUIRE(n >= 1, "binary tree needs n >= 1");
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(v, (v - 1) / 2);
+  return b.build();
+}
+
+Graph make_barbell(NodeId k, NodeId bridge) {
+  RWBC_REQUIRE(k >= 2, "barbell needs clique size >= 2");
+  RWBC_REQUIRE(bridge >= 0, "barbell bridge length must be non-negative");
+  const NodeId n = 2 * k + bridge;
+  GraphBuilder b(n);
+  auto clique = [&b](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u < hi; ++u) {
+      for (NodeId v = u + 1; v < hi; ++v) b.add_edge(u, v);
+    }
+  };
+  clique(0, k);
+  clique(k + bridge, n);
+  // Chain: last left-clique node -> bridge nodes -> first right-clique node.
+  NodeId prev = k - 1;
+  for (NodeId i = 0; i < bridge; ++i) {
+    b.add_edge(prev, k + i);
+    prev = k + i;
+  }
+  b.add_edge(prev, k + bridge);
+  return b.build();
+}
+
+Graph make_erdos_renyi(NodeId n, double p, Rng& rng) {
+  RWBC_REQUIRE(n >= 1, "G(n,p) needs n >= 1");
+  RWBC_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0, 1]");
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) b.add_edge(u, v);
+    }
+  }
+  Graph g = b.build();
+  // Stitch components: connect a random node of every non-root component to
+  // a random node of the component containing node 0.
+  std::vector<NodeId> component = connected_components(g);
+  const NodeId root_comp = component[0];
+  std::vector<std::vector<NodeId>> members(
+      static_cast<std::size_t>(*std::max_element(component.begin(),
+                                                 component.end())) + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    members[static_cast<std::size_t>(component[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  bool stitched = false;
+  const auto& root_members = members[static_cast<std::size_t>(root_comp)];
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    if (static_cast<NodeId>(c) == root_comp || members[c].empty()) continue;
+    const NodeId u =
+        members[c][rng.next_below(members[c].size())];
+    const NodeId v =
+        root_members[rng.next_below(root_members.size())];
+    b.add_edge(u, v);
+    stitched = true;
+  }
+  return stitched ? b.build() : g;
+}
+
+Graph make_barabasi_albert(NodeId n, NodeId attach, Rng& rng) {
+  RWBC_REQUIRE(attach >= 1, "BA needs attach >= 1");
+  RWBC_REQUIRE(n > attach, "BA needs n > attach");
+  GraphBuilder b(n);
+  const NodeId seed = attach + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) b.add_edge(u, v);
+  }
+  // repeated-endpoints list: sampling uniformly from it is degree-biased.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(attach) * 2);
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  for (NodeId w = seed; w < n; ++w) {
+    targets.clear();
+    while (static_cast<NodeId>(targets.size()) < attach) {
+      const NodeId cand = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), cand) == targets.end()) {
+        targets.push_back(cand);
+      }
+    }
+    for (NodeId t : targets) {
+      b.add_edge(w, t);
+      endpoints.push_back(w);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph make_watts_strogatz(NodeId n, NodeId k, double beta, Rng& rng) {
+  RWBC_REQUIRE(k >= 2 && k % 2 == 0, "WS needs even k >= 2");
+  RWBC_REQUIRE(n > k, "WS needs n > k");
+  RWBC_REQUIRE(beta >= 0.0 && beta <= 1.0, "WS beta must be in [0, 1]");
+  const NodeId half = k / 2;
+  auto canon = [](NodeId u, NodeId v) {
+    return Edge{std::min(u, v), std::max(u, v)};
+  };
+  std::set<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId d = 1; d <= half; ++d) {
+      edges.insert(canon(u, (u + d) % n));
+    }
+  }
+  // Rewire the long-range part of the lattice (distance >= 2); the
+  // distance-1 ring is kept intact so the graph stays connected.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId d = 2; d <= half; ++d) {
+      const NodeId v = (u + d) % n;
+      if (!rng.next_bool(beta)) continue;
+      if (!edges.contains(canon(u, v))) continue;  // already rewired away
+      // Pick a replacement endpoint that keeps the graph simple.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId w = static_cast<NodeId>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        if (w == u || edges.contains(canon(u, w))) continue;
+        edges.erase(canon(u, v));
+        edges.insert(canon(u, w));
+        break;
+      }
+    }
+  }
+  GraphBuilder b(n);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+Fig1Layout make_fig1_graph(NodeId group) {
+  RWBC_REQUIRE(group >= 2, "Fig.1 graph needs group size >= 2");
+  const NodeId a = 2 * group;
+  const NodeId b_node = a + 1;
+  const NodeId c = a + 2;
+  GraphBuilder b(2 * group + 3);
+  auto clique = [&b](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u < hi; ++u) {
+      for (NodeId v = u + 1; v < hi; ++v) b.add_edge(u, v);
+    }
+  };
+  clique(0, group);
+  clique(group, 2 * group);
+  for (NodeId v = 0; v < group; ++v) b.add_edge(a, v);
+  for (NodeId v = group; v < 2 * group; ++v) b.add_edge(b_node, v);
+  b.add_edge(a, b_node);
+  b.add_edge(a, c);
+  b.add_edge(c, b_node);
+  Fig1Layout layout;
+  layout.graph = b.build();
+  layout.a = a;
+  layout.b = b_node;
+  layout.c = c;
+  layout.group = group;
+  return layout;
+}
+
+}  // namespace rwbc

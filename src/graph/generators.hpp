@@ -1,0 +1,80 @@
+// Graph generators — the workload families of the experiment suite.
+//
+// The paper has no evaluation section, so these families are chosen to
+// stress the quantities its theorems depend on: diameter (path/cycle/grid),
+// degree skew (Barabási–Albert, star), expansion (Erdős–Rényi,
+// Watts–Strogatz), and community structure (two-community "Fig. 1" graph,
+// barbell).  All generators return *connected* graphs — absorbing random
+// walks (and Newman's reduced Laplacian) require connectivity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Path P_n: 0 - 1 - ... - (n-1). Requires n >= 1. Diameter n-1.
+Graph make_path(NodeId n);
+
+/// Cycle C_n. Requires n >= 3.
+Graph make_cycle(NodeId n);
+
+/// Star S_n: node 0 is the hub, nodes 1..n-1 are leaves. Requires n >= 2.
+Graph make_star(NodeId n);
+
+/// Complete graph K_n. Requires n >= 1.
+Graph make_complete(NodeId n);
+
+/// rows x cols 2-D grid (4-neighbourhood). Requires rows, cols >= 1.
+Graph make_grid(NodeId rows, NodeId cols);
+
+/// Complete binary tree on n nodes (heap layout). Requires n >= 1.
+Graph make_binary_tree(NodeId n);
+
+/// Barbell: two K_k cliques joined by a path of `bridge` intermediate nodes
+/// (bridge == 0 joins the cliques by a single edge). Requires k >= 2.
+/// Nodes [0,k) form the left clique, [k, k+bridge) the path,
+/// [k+bridge, 2k+bridge) the right clique.
+Graph make_barbell(NodeId k, NodeId bridge);
+
+/// Connected Erdős–Rényi G(n, p): edges sampled i.i.d. with probability p,
+/// then any disconnected component is stitched to the giant one by a random
+/// edge (documented deviation from pure G(n,p); keeps the family usable for
+/// absorbing-walk workloads). Requires n >= 1, p in [0, 1].
+Graph make_erdos_renyi(NodeId n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` nodes, then each new node attaches to `attach` distinct
+/// existing nodes chosen proportionally to degree. Requires
+/// 1 <= attach < n. Always connected.
+Graph make_barabasi_albert(NodeId n, NodeId attach, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice where each node links to its
+/// `k/2` nearest neighbours on each side, then each edge is rewired with
+/// probability `beta` (rewiring that would disconnect or duplicate is
+/// skipped). Requires even k, 2 <= k < n. Always connected (the underlying
+/// ring backbone is preserved for one neighbour on each side).
+Graph make_watts_strogatz(NodeId n, NodeId k, double beta, Rng& rng);
+
+/// The paper's Fig. 1 motivating topology, parameterised: two communities of
+/// `group` nodes each (cliques), bridged by the chain  left* — A — B — right*,
+/// plus a node C that sits on a parallel A — C — B path of length 2.
+///
+/// Layout: [0, group) left clique, [group, 2*group) right clique, then
+/// A = 2*group, B = 2*group + 1, C = 2*group + 2.  A connects to every
+/// left-clique node, B to every right-clique node.  With these ids the
+/// shortest A-to-B route is the direct A—B edge, so C lies on **no**
+/// shortest path (its shortest-path betweenness is 0) while random walks
+/// still traverse it — exactly the paper's motivating contrast.
+struct Fig1Layout {
+  Graph graph;
+  NodeId a = 0;
+  NodeId b = 0;
+  NodeId c = 0;
+  NodeId group = 0;  ///< community size
+};
+Fig1Layout make_fig1_graph(NodeId group);
+
+}  // namespace rwbc

@@ -1,0 +1,74 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace rwbc {
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto ns = neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+GraphBuilder::GraphBuilder(NodeId node_count) : node_count_(node_count) {
+  RWBC_REQUIRE(node_count >= 0, "node count must be non-negative");
+}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId u, NodeId v) {
+  RWBC_REQUIRE(u >= 0 && u < node_count_, "edge endpoint out of range");
+  RWBC_REQUIRE(v >= 0 && v < node_count_, "edge endpoint out of range");
+  RWBC_REQUIRE(u != v, "self-loops are not allowed");
+  Edge e{std::min(u, v), std::max(u, v)};
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it == edges_.end() || *it != e) {
+    edges_.insert(it, e);
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_edges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) add_edge(e.u, e.v);
+  return *this;
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  Edge e{std::min(u, v), std::max(u, v)};
+  return std::binary_search(edges_.begin(), edges_.end(), e);
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.node_count_ = node_count_;
+  g.edges_ = edges_;
+  const auto n = static_cast<std::size_t>(node_count_);
+  std::vector<std::size_t> degree(n, 0);
+  for (const Edge& e : edges_) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+    g.max_degree_ = std::max(g.max_degree_, static_cast<NodeId>(degree[v]));
+  }
+  g.adjacency_.assign(2 * edges_.size(), 0);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    g.adjacency_[cursor[static_cast<std::size_t>(e.u)]++] = e.v;
+    g.adjacency_[cursor[static_cast<std::size_t>(e.v)]++] = e.u;
+  }
+  // Edges were inserted in canonical sorted order, so each node's neighbour
+  // slice is already sorted by construction; assert it in debug terms.
+  for (std::size_t v = 0; v < n; ++v) {
+    RWBC_ASSERT(std::is_sorted(g.adjacency_.begin() +
+                                   static_cast<std::ptrdiff_t>(g.offsets_[v]),
+                               g.adjacency_.begin() +
+                                   static_cast<std::ptrdiff_t>(g.offsets_[v + 1])),
+                "adjacency slice must be sorted");
+  }
+  return g;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,117 @@
+// Undirected, unweighted, simple graph — the input class of the paper
+// (Section III-A): nodes carry O(log n)-bit ids, edges are bidirectional
+// communication links.
+//
+// `Graph` is immutable once built (CSR-style adjacency, cache-friendly and
+// safely shareable across the simulator's nodes); construction goes through
+// `GraphBuilder`, which deduplicates edges and rejects self-loops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+/// Node identifier: dense ids in [0, n). 32 bits matches the paper's
+/// O(log n)-bit id assumption for every feasible simulated n.
+using NodeId = std::int32_t;
+
+/// An undirected edge; canonical form has u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected simple graph in compressed adjacency form.
+class Graph {
+ public:
+  /// An empty graph (0 nodes); assign a built graph over it.
+  Graph() = default;
+
+  /// Number of nodes n.
+  NodeId node_count() const { return node_count_; }
+
+  /// Number of undirected edges m.
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Degree d(v).
+  NodeId degree(NodeId v) const {
+    check_node(v);
+    return static_cast<NodeId>(offsets_[static_cast<std::size_t>(v) + 1] -
+                               offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Sorted neighbours of v.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    check_node(v);
+    const auto begin = offsets_[static_cast<std::size_t>(v)];
+    const auto end = offsets_[static_cast<std::size_t>(v) + 1];
+    return {adjacency_.data() + begin, end - begin};
+  }
+
+  /// True iff {u, v} is an edge (binary search over sorted adjacency).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges in canonical (u < v), lexicographic order.
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Maximum degree over all nodes; 0 for the empty graph.
+  NodeId max_degree() const { return max_degree_; }
+
+  /// Sum of degrees = 2m.
+  std::size_t degree_sum() const { return adjacency_.size(); }
+
+ private:
+  friend class GraphBuilder;
+
+  void check_node(NodeId v) const {
+    RWBC_REQUIRE(v >= 0 && v < node_count_, "node id out of range");
+  }
+
+  NodeId node_count_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;     // size 2m, sorted per node
+  std::vector<Edge> edges_;           // size m, canonical order
+};
+
+/// Mutable edge-set accumulator that finalises into a Graph.
+///
+/// Duplicate edges (in either orientation) are collapsed; self-loops are
+/// rejected (the paper's random walks move to a *neighbor*, and Newman's
+/// formulation assumes a simple graph).
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph on `node_count` nodes (edges optional).
+  explicit GraphBuilder(NodeId node_count);
+
+  /// Adds the undirected edge {u, v}. Idempotent. Throws on self-loop or
+  /// out-of-range endpoint.
+  GraphBuilder& add_edge(NodeId u, NodeId v);
+
+  /// Adds every edge in the list.
+  GraphBuilder& add_edges(std::span<const Edge> edges);
+
+  /// Number of distinct edges added so far.
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// True iff the edge was already added.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Finalises into an immutable Graph. The builder may be reused afterwards
+  /// (its edge set is unchanged).
+  Graph build() const;
+
+ private:
+  NodeId node_count_;
+  std::vector<Edge> edges_;  // kept sorted & unique, canonical orientation
+};
+
+}  // namespace rwbc

@@ -1,0 +1,96 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace rwbc {
+
+namespace {
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;   // blank
+    if (line[first] == '#') continue;           // comment
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  RWBC_REQUIRE(next_data_line(in, line), "edge list: missing `n m` header");
+  std::istringstream header(line);
+  long long n = -1, m = -1;
+  header >> n >> m;
+  RWBC_REQUIRE(n >= 0 && m >= 0 && !header.fail(),
+               "edge list: malformed `n m` header");
+  GraphBuilder builder(static_cast<NodeId>(n));
+  for (long long i = 0; i < m; ++i) {
+    RWBC_REQUIRE(next_data_line(in, line),
+                 "edge list: fewer edges than the header declared");
+    std::istringstream row(line);
+    long long u = -1, v = -1;
+    row >> u >> v;
+    RWBC_REQUIRE(!row.fail(), "edge list: malformed edge line");
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return builder.build();
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  RWBC_REQUIRE(in.good(), "cannot open graph file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.node_count() << " " << g.edge_count() << "\n";
+  for (const Edge& e : g.edges()) {
+    out << e.u << " " << e.v << "\n";
+  }
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  RWBC_REQUIRE(out.good(), "cannot write graph file: " + path);
+  write_edge_list(g, out);
+  RWBC_REQUIRE(out.good(), "write failed for graph file: " + path);
+}
+
+void write_dot(const Graph& g, std::ostream& out,
+               std::span<const double> scores) {
+  RWBC_REQUIRE(scores.empty() ||
+                   scores.size() == static_cast<std::size_t>(g.node_count()),
+               "DOT export: need one score per node");
+  double lo = 0.0, hi = 1.0;
+  if (!scores.empty()) {
+    lo = *std::min_element(scores.begin(), scores.end());
+    hi = *std::max_element(scores.begin(), scores.end());
+    if (hi <= lo) hi = lo + 1.0;
+  }
+  out << "graph G {\n  node [style=filled];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out << "  " << v;
+    if (!scores.empty()) {
+      const double score = scores[static_cast<std::size_t>(v)];
+      const double t = (score - lo) / (hi - lo);
+      // Grey ramp: high scores dark, labels stay readable.
+      const int shade = static_cast<int>(95.0 - 55.0 * t);
+      out << " [label=\"" << v << "\\n";
+      const auto old_precision = out.precision(3);
+      out << score;
+      out.precision(old_precision);
+      out << "\", fillcolor=\"grey" << shade << "\"]";
+    }
+    out << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    out << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace rwbc

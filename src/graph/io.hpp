@@ -1,0 +1,35 @@
+// Plain-text edge-list persistence.
+//
+// Format: first non-comment line is `n m`, followed by m lines `u v`
+// (0-based ids).  Lines starting with '#' are comments.  This is the common
+// interchange format of SNAP-style datasets, so users can feed real network
+// snapshots to the examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Parses a graph from a stream; throws rwbc::Error on malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Loads a graph from a file; throws rwbc::Error if unreadable/malformed.
+Graph load_edge_list(const std::string& path);
+
+/// Writes the `n m` header and all edges in canonical order.
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Saves to a file; throws rwbc::Error if the file cannot be written.
+void save_edge_list(const Graph& g, const std::string& path);
+
+/// Writes Graphviz DOT (`graph G { ... }`).  When `scores` is non-empty it
+/// must have one entry per node; nodes are then labelled "id\nscore" and
+/// shaded by normalised score, which makes centrality output directly
+/// renderable with `dot -Tsvg`.
+void write_dot(const Graph& g, std::ostream& out,
+               std::span<const double> scores = {});
+
+}  // namespace rwbc

@@ -1,0 +1,97 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+namespace rwbc {
+
+std::vector<NodeId> bfs_distances(const Graph& g, NodeId source) {
+  RWBC_REQUIRE(source >= 0 && source < g.node_count(),
+               "BFS source out of range");
+  std::vector<NodeId> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::deque<NodeId> frontier{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> connected_components(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<NodeId> label(n, -1);
+  NodeId next = 0;
+  std::deque<NodeId> frontier;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (label[static_cast<std::size_t>(s)] >= 0) continue;
+    label[static_cast<std::size_t>(s)] = next;
+    frontier.push_back(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[static_cast<std::size_t>(v)] < 0) {
+          label[static_cast<std::size_t>(v)] = next;
+          frontier.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::all_of(dist.begin(), dist.end(),
+                     [](NodeId d) { return d >= 0; });
+}
+
+NodeId eccentricity(const Graph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  NodeId ecc = 0;
+  for (NodeId d : dist) {
+    RWBC_REQUIRE(d >= 0, "eccentricity requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+NodeId diameter(const Graph& g) {
+  RWBC_REQUIRE(g.node_count() >= 1, "diameter needs a non-empty graph");
+  NodeId diam = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  if (g.node_count() == 0) return stats;
+  stats.min = g.degree(0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    stats.min = std::min(stats.min, g.degree(v));
+    stats.max = std::max(stats.max, g.degree(v));
+  }
+  stats.mean = static_cast<double>(g.degree_sum()) /
+               static_cast<double>(g.node_count());
+  return stats;
+}
+
+void require_connected(const Graph& g, const char* algorithm_name) {
+  RWBC_REQUIRE(is_connected(g), std::string(algorithm_name) +
+                                    " requires a connected graph");
+}
+
+}  // namespace rwbc

@@ -1,0 +1,41 @@
+// Structural graph queries used across the library: BFS distances,
+// connectivity, diameter (the D in every bound of the paper), and degree
+// statistics for the experiment reports.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// BFS distances from `source`; unreachable nodes get -1.
+std::vector<NodeId> bfs_distances(const Graph& g, NodeId source);
+
+/// Component label per node (labels are dense, 0-based, in discovery order
+/// from node 0 upward).  Empty graph yields an empty vector.
+std::vector<NodeId> connected_components(const Graph& g);
+
+/// True iff the graph is connected (vacuously true for n <= 1).
+bool is_connected(const Graph& g);
+
+/// Exact diameter via all-sources BFS: O(n(n+m)).  Requires a connected
+/// graph with n >= 1; returns 0 for a single node.
+NodeId diameter(const Graph& g);
+
+/// Eccentricity of one node (max BFS distance).  Requires connectivity.
+NodeId eccentricity(const Graph& g, NodeId v);
+
+/// Degree statistics for experiment reports.
+struct DegreeStats {
+  NodeId min = 0;
+  NodeId max = 0;
+  double mean = 0.0;
+};
+DegreeStats degree_stats(const Graph& g);
+
+/// Throws rwbc::Error unless the graph is connected — the shared
+/// precondition of every absorbing-walk algorithm in this library.
+void require_connected(const Graph& g, const char* algorithm_name);
+
+}  // namespace rwbc

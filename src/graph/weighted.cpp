@@ -1,0 +1,95 @@
+#include "graph/weighted.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rwbc {
+
+WeightedGraph::WeightedGraph(Graph g, std::vector<double> edge_weights)
+    : graph_(std::move(g)) {
+  RWBC_REQUIRE(edge_weights.size() == graph_.edge_count(),
+               "need exactly one weight per edge");
+  for (double w : edge_weights) {
+    RWBC_REQUIRE(std::isfinite(w) && w > 0.0,
+                 "edge weights must be positive and finite");
+    if (w != std::floor(w)) integer_weights_ = false;
+    max_weight_ = std::max(max_weight_, w);
+  }
+  const auto n = static_cast<std::size_t>(graph_.node_count());
+  // CSR-aligned weights: for each node's sorted neighbour slice, look the
+  // edge weight up via the canonical edge index.
+  offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(graph_.degree(v));
+  }
+  adjacency_weights_.assign(graph_.degree_sum(), 0.0);
+  strengths_.assign(n, 0.0);
+  prefix_.resize(n);
+  const auto edges = graph_.edges();
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const auto neighbors = graph_.neighbors(v);
+    prefix_[vi].resize(neighbors.size());
+    double running = 0.0;
+    for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+      const NodeId w = neighbors[slot];
+      const Edge key{std::min(v, w), std::max(v, w)};
+      const auto it = std::lower_bound(edges.begin(), edges.end(), key);
+      RWBC_ASSERT(it != edges.end() && *it == key, "edge lookup failed");
+      const double weight =
+          edge_weights[static_cast<std::size_t>(it - edges.begin())];
+      adjacency_weights_[offsets_[vi] + slot] = weight;
+      running += weight;
+      prefix_[vi][slot] = running;
+    }
+    strengths_[vi] = running;
+  }
+}
+
+WeightedGraph WeightedGraph::uniform(Graph g, double weight) {
+  const std::size_t m = g.edge_count();
+  return WeightedGraph(std::move(g), std::vector<double>(m, weight));
+}
+
+double WeightedGraph::edge_weight(NodeId u, NodeId v) const {
+  const auto neighbors = graph_.neighbors(u);
+  const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), v);
+  RWBC_REQUIRE(it != neighbors.end() && *it == v, "no such edge");
+  return adjacency_weights_[offsets_[static_cast<std::size_t>(u)] +
+                            static_cast<std::size_t>(it - neighbors.begin())];
+}
+
+std::span<const double> WeightedGraph::neighbor_weights(NodeId v) const {
+  graph_.degree(v);  // validates v
+  const auto vi = static_cast<std::size_t>(v);
+  return {adjacency_weights_.data() + offsets_[vi],
+          offsets_[vi + 1] - offsets_[vi]};
+}
+
+NodeId WeightedGraph::sample_neighbor(NodeId v, double u01) const {
+  RWBC_REQUIRE(u01 >= 0.0 && u01 < 1.0, "u01 must be in [0, 1)");
+  const auto vi = static_cast<std::size_t>(v);
+  const auto& cumulative = prefix_[vi];
+  RWBC_REQUIRE(!cumulative.empty(), "node has no neighbours to sample");
+  const double target = u01 * cumulative.back();
+  const auto it =
+      std::upper_bound(cumulative.begin(), cumulative.end(), target);
+  const auto slot = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative.size()) -
+                                   1));
+  return graph_.neighbors(v)[slot];
+}
+
+WeightedGraph randomly_weighted(Graph g, std::uint64_t max_weight, Rng& rng) {
+  RWBC_REQUIRE(max_weight >= 1, "max weight must be >= 1");
+  std::vector<double> weights(g.edge_count());
+  for (double& w : weights) {
+    w = static_cast<double>(1 + rng.next_below(max_weight));
+  }
+  return WeightedGraph(std::move(g), std::move(weights));
+}
+
+}  // namespace rwbc

@@ -1,0 +1,77 @@
+// Weighted (conductance) graphs — the natural generalisation of Newman's
+// current-flow construction: edge weight w_ij is the electrical
+// conductance of the resistor between i and j, random walks move to
+// neighbours with probability proportional to weight, and the "degree"
+// becomes the node strength sum_j w_ij.
+//
+// The ICDCS paper treats unweighted graphs only; this module is the
+// extension surface.  The centralized solvers accept arbitrary positive
+// real weights; the distributed pipeline requires positive INTEGER weights
+// so strengths and counts stay exact within O(log n + log W)-bit messages
+// (checked at the API boundary).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// An immutable weighted view over a Graph: one positive weight per edge,
+/// plus CSR-aligned per-neighbour weights, prefix sums for sampling, and
+/// node strengths.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// `edge_weights` aligns with g.edges() (canonical order); all weights
+  /// must be positive and finite.
+  WeightedGraph(Graph g, std::vector<double> edge_weights);
+
+  /// Every edge gets the same weight; with weight 1 all algorithms reduce
+  /// exactly to their unweighted counterparts (tested).
+  static WeightedGraph uniform(Graph g, double weight = 1.0);
+
+  const Graph& topology() const { return graph_; }
+  NodeId node_count() const { return graph_.node_count(); }
+
+  /// Weight of edge {u, v}; throws if the edge does not exist.
+  double edge_weight(NodeId u, NodeId v) const;
+
+  /// Weights aligned with topology().neighbors(v).
+  std::span<const double> neighbor_weights(NodeId v) const;
+
+  /// Node strength: sum of incident edge weights (the weighted degree).
+  double strength(NodeId v) const {
+    graph_.degree(v);  // validates v
+    return strengths_[static_cast<std::size_t>(v)];
+  }
+
+  /// Samples a neighbour of v with probability weight/strength, from a
+  /// uniform draw u01 in [0, 1).  O(log deg) via the prefix sums.
+  NodeId sample_neighbor(NodeId v, double u01) const;
+
+  /// True iff every weight is a positive integer (the distributed
+  /// pipeline's requirement).
+  bool has_integer_weights() const { return integer_weights_; }
+
+  /// Largest edge weight.
+  double max_weight() const { return max_weight_; }
+
+ private:
+  Graph graph_;
+  std::vector<double> adjacency_weights_;  // CSR-aligned, size 2m
+  std::vector<std::size_t> offsets_;       // per-node start into the above
+  std::vector<std::vector<double>> prefix_; // per-node cumulative weights
+  std::vector<double> strengths_;
+  bool integer_weights_ = true;
+  double max_weight_ = 0.0;
+};
+
+/// Random positive integer weights in [1, max_weight] on an existing
+/// topology — the workload generator for the weighted experiments.
+WeightedGraph randomly_weighted(Graph g, std::uint64_t max_weight, Rng& rng);
+
+}  // namespace rwbc

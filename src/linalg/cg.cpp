@@ -1,0 +1,76 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+namespace rwbc {
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& options) {
+  const std::size_t n = a.rows();
+  RWBC_REQUIRE(a.cols() == n, "CG requires a square matrix");
+  RWBC_REQUIRE(b.size() == n && x.size() == n, "CG size mismatch");
+
+  const std::size_t max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n + 10;
+
+  Vector inv_diag;
+  if (options.jacobi_preconditioner) {
+    inv_diag = a.diagonal();
+    for (double& d : inv_diag) {
+      RWBC_REQUIRE(d > 0.0, "Jacobi preconditioner needs positive diagonal");
+      d = 1.0 / d;
+    }
+  }
+  auto precondition = [&](const Vector& r, Vector& z) {
+    if (options.jacobi_preconditioner) {
+      for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    } else {
+      z.assign(r.begin(), r.end());
+    }
+  };
+
+  const double b_norm = norm2(b);
+  CgResult result;
+  if (b_norm == 0.0) {
+    for (double& xi : x) xi = 0.0;
+    result.converged = true;
+    return result;
+  }
+
+  // r = b - A x
+  Vector r(b.begin(), b.end());
+  a.multiply_add(x, -1.0, r);
+  Vector z(n), p(n), ap(n);
+  precondition(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    result.residual = norm2(r) / b_norm;
+    if (result.residual <= options.tolerance) {
+      result.converged = true;
+      result.iterations = iter;
+      return result;
+    }
+    std::fill(ap.begin(), ap.end(), 0.0);
+    a.multiply_add(p, 1.0, ap);
+    const double pap = dot(p, ap);
+    RWBC_REQUIRE(pap > 0.0, "CG: matrix is not positive definite");
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    precondition(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    result.iterations = iter + 1;
+  }
+  result.residual = norm2(r) / b_norm;
+  result.converged = result.residual <= options.tolerance;
+  return result;
+}
+
+}  // namespace rwbc

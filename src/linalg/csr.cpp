@@ -1,0 +1,73 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+
+namespace rwbc {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    RWBC_REQUIRE(t.row < rows && t.col < cols, "triplet index out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  offsets_.assign(rows + 1, 0);
+  for (std::size_t i = 0; i < triplets.size();) {
+    std::size_t j = i + 1;
+    double sum = triplets[i].value;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    columns_.push_back(triplets[i].col);
+    values_.push_back(sum);
+    ++offsets_[triplets[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) offsets_[r + 1] += offsets_[r];
+}
+
+Vector CsrMatrix::multiply(std::span<const double> x) const {
+  Vector y(rows_, 0.0);
+  multiply_add(x, 1.0, y);
+  return y;
+}
+
+void CsrMatrix::multiply_add(std::span<const double> x, double alpha,
+                             std::span<double> y) const {
+  RWBC_REQUIRE(x.size() == cols_, "SpMV input size mismatch");
+  RWBC_REQUIRE(y.size() == rows_, "SpMV output size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k) {
+      sum += values_[k] * x[columns_[k]];
+    }
+    y[r] += alpha * sum;
+  }
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k) {
+      d(r, columns_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector diag(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < diag.size(); ++r) {
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k) {
+      if (columns_[k] == r) diag[r] += values_[k];
+    }
+  }
+  return diag;
+}
+
+}  // namespace rwbc

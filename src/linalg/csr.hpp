@@ -1,0 +1,58 @@
+// Compressed-sparse-row matrix for the iterative exact solver path.
+//
+// The reduced Laplacian of a sparse graph has O(n + m) non-zeros, so the
+// CG-based exact RWBC uses CSR SpMV instead of O(n^2) dense rows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// A (row, col, value) entry used to assemble sparse matrices.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x.
+  Vector multiply(std::span<const double> x) const;
+
+  /// y += alpha * A x (no allocation).
+  void multiply_add(std::span<const double> x, double alpha,
+                    std::span<double> y) const;
+
+  /// Dense copy (tests only; O(rows*cols) memory).
+  DenseMatrix to_dense() const;
+
+  /// The diagonal entries (missing diagonals read as 0); used by the
+  /// Jacobi preconditioner.
+  Vector diagonal() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> offsets_;  // size rows_+1
+  std::vector<std::size_t> columns_;
+  std::vector<double> values_;
+};
+
+}  // namespace rwbc

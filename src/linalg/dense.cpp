@@ -1,0 +1,138 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rwbc {
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+double DenseMatrix::one_norm() const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) sum += std::abs((*this)(r, c));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+double DenseMatrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+DenseMatrix multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  RWBC_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  DenseMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Vector multiply(const DenseMatrix& a, std::span<const double> x) {
+  RWBC_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+DenseMatrix add(const DenseMatrix& a, const DenseMatrix& b) {
+  RWBC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "matrix add shape mismatch");
+  DenseMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) + b(i, j);
+  }
+  return c;
+}
+
+DenseMatrix subtract(const DenseMatrix& a, const DenseMatrix& b) {
+  RWBC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "matrix subtract shape mismatch");
+  DenseMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) - b(i, j);
+  }
+  return c;
+}
+
+DenseMatrix scale(const DenseMatrix& a, double s) {
+  DenseMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = s * a(i, j);
+  }
+  return c;
+}
+
+DenseMatrix remove_row_col(const DenseMatrix& a, std::size_t index) {
+  RWBC_REQUIRE(a.rows() == a.cols(), "remove_row_col requires square matrix");
+  RWBC_REQUIRE(index < a.rows(), "remove_row_col index out of range");
+  const std::size_t n = a.rows();
+  DenseMatrix b(n - 1, n - 1);
+  for (std::size_t r = 0, br = 0; r < n; ++r) {
+    if (r == index) continue;
+    for (std::size_t c = 0, bc = 0; c < n; ++c) {
+      if (c == index) continue;
+      b(br, bc) = a(r, c);
+      ++bc;
+    }
+    ++br;
+  }
+  return b;
+}
+
+DenseMatrix insert_zero_row_col(const DenseMatrix& a, std::size_t index) {
+  RWBC_REQUIRE(a.rows() == a.cols(), "insert_zero_row_col requires square");
+  RWBC_REQUIRE(index <= a.rows(), "insert_zero_row_col index out of range");
+  const std::size_t n = a.rows() + 1;
+  DenseMatrix b(n, n);
+  for (std::size_t r = 0, ar = 0; r < n; ++r) {
+    if (r == index) continue;
+    for (std::size_t c = 0, ac = 0; c < n; ++c) {
+      if (c == index) continue;
+      b(r, c) = a(ar, ac);
+      ++ac;
+    }
+    ++ar;
+  }
+  return b;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  RWBC_REQUIRE(a.size() == b.size(), "dot shape mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace rwbc

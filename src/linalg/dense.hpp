@@ -1,0 +1,96 @@
+// Dense linear algebra — the substrate for Newman's exact current-flow
+// betweenness (matrix expressions of Section IV) and for numerically
+// validating the spectral argument of Theorem 1 (decay of ||M_t^k||_1).
+//
+// Deliberately minimal: row-major storage, no expression templates; the
+// exact algorithm is O(n^3) anyway and only runs on ground-truth-sized
+// graphs (n <= ~500).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+/// Dense column vector.
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols zero matrix.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    RWBC_ASSERT(r < rows_ && c < cols_, "dense index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    RWBC_ASSERT(r < rows_ && c < cols_, "dense index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous row view.
+  std::span<const double> row(std::size_t r) const {
+    RWBC_ASSERT(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Matrix transpose.
+  DenseMatrix transposed() const;
+
+  /// 1-norm: maximum absolute column sum (the norm used in Theorem 1).
+  double one_norm() const;
+
+  /// Max-abs entry (infinity norm over entries, not the operator norm).
+  double max_abs() const;
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Requires A.cols() == B.rows().
+DenseMatrix multiply(const DenseMatrix& a, const DenseMatrix& b);
+
+/// y = A * x. Requires A.cols() == x.size().
+Vector multiply(const DenseMatrix& a, std::span<const double> x);
+
+/// C = A + B (same shape).
+DenseMatrix add(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = A - B (same shape).
+DenseMatrix subtract(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = s * A.
+DenseMatrix scale(const DenseMatrix& a, double s);
+
+/// Deletes row `index` and column `index` — the paper's M_t / A_t / D_t
+/// construction ("remove the t-th row and column").  Requires square input.
+DenseMatrix remove_row_col(const DenseMatrix& a, std::size_t index);
+
+/// Inserts a zero row and zero column at `index` — rebuilding the paper's
+/// matrix T from T_t ("add the t-th row and column back ... all equaling 0").
+DenseMatrix insert_zero_row_col(const DenseMatrix& a, std::size_t index);
+
+/// Euclidean inner product. Requires equal sizes.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> a);
+
+}  // namespace rwbc

@@ -1,0 +1,117 @@
+#include "linalg/laplacian.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+DenseMatrix adjacency_matrix(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DenseMatrix a(n, n);
+  for (const Edge& e : g.edges()) {
+    a(static_cast<std::size_t>(e.u), static_cast<std::size_t>(e.v)) = 1.0;
+    a(static_cast<std::size_t>(e.v), static_cast<std::size_t>(e.u)) = 1.0;
+  }
+  return a;
+}
+
+DenseMatrix degree_matrix(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DenseMatrix d(n, n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    d(static_cast<std::size_t>(v), static_cast<std::size_t>(v)) =
+        static_cast<double>(g.degree(v));
+  }
+  return d;
+}
+
+DenseMatrix transition_matrix(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DenseMatrix m(n, n);
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    const NodeId deg = g.degree(j);
+    RWBC_REQUIRE(deg > 0, "transition matrix needs minimum degree 1");
+    const double p = 1.0 / static_cast<double>(deg);
+    for (NodeId i : g.neighbors(j)) {
+      m(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = p;
+    }
+  }
+  return m;
+}
+
+DenseMatrix laplacian_matrix(const Graph& g) {
+  return subtract(degree_matrix(g), adjacency_matrix(g));
+}
+
+DenseMatrix reduced_transition_matrix(const Graph& g, NodeId target) {
+  RWBC_REQUIRE(target >= 0 && target < g.node_count(),
+               "target node out of range");
+  return remove_row_col(transition_matrix(g),
+                        static_cast<std::size_t>(target));
+}
+
+DenseMatrix reduced_laplacian_matrix(const Graph& g, NodeId target) {
+  RWBC_REQUIRE(target >= 0 && target < g.node_count(),
+               "target node out of range");
+  return remove_row_col(laplacian_matrix(g), static_cast<std::size_t>(target));
+}
+
+std::size_t reduced_index(NodeId v, NodeId target) {
+  RWBC_REQUIRE(v != target, "target has no row in the reduced system");
+  return static_cast<std::size_t>(v < target ? v : v - 1);
+}
+
+CsrMatrix reduced_laplacian_csr(const Graph& g, NodeId target) {
+  RWBC_REQUIRE(target >= 0 && target < g.node_count(),
+               "target node out of range");
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * g.edge_count() + n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == target) continue;
+    const std::size_t row = reduced_index(v, target);
+    triplets.push_back({row, row, static_cast<double>(g.degree(v))});
+    for (NodeId w : g.neighbors(v)) {
+      if (w == target) continue;
+      triplets.push_back({row, reduced_index(w, target), -1.0});
+    }
+  }
+  return CsrMatrix(n - 1, n - 1, std::move(triplets));
+}
+
+double spectral_radius_reduced_transition(const Graph& g, NodeId target,
+                                          std::size_t iterations,
+                                          double tolerance) {
+  RWBC_REQUIRE(g.node_count() >= 2, "spectral radius needs n >= 2");
+  const DenseMatrix m = reduced_transition_matrix(g, target);
+  const std::size_t n = m.rows();
+  Vector x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double ratio = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Vector y = multiply(m, x);
+    const double y_norm = norm2(y);
+    if (y_norm == 0.0) return 0.0;  // nilpotent chain (e.g. K_2)
+    const double next_ratio = y_norm;  // since ||x|| == 1
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / y_norm;
+    if (it > 0 && std::abs(next_ratio - ratio) <= tolerance) {
+      return next_ratio;
+    }
+    ratio = next_ratio;
+  }
+  return ratio;
+}
+
+std::size_t predicted_cutoff_for_epsilon(double spectral_radius,
+                                         double epsilon, std::size_t cap) {
+  RWBC_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+  RWBC_REQUIRE(spectral_radius >= 0.0 && spectral_radius < 1.0,
+               "absorbing-chain spectral radius must be in [0, 1)");
+  if (spectral_radius == 0.0) return 1;
+  const double l = std::log(epsilon) / std::log(spectral_radius);
+  if (l <= 1.0) return 1;
+  if (l >= static_cast<double>(cap)) return cap;
+  return static_cast<std::size_t>(std::ceil(l));
+}
+
+}  // namespace rwbc

@@ -1,0 +1,61 @@
+// Graph ↔ matrix bridges for the paper's Section IV expressions:
+// adjacency A, degree D, transition M = A D^{-1}, the reduced ("target
+// removed") variants A_t, D_t, M_t, and the reduced Laplacian D_t − A_t.
+//
+// Also provides the spectral-radius estimate of M_t that drives Theorem 1's
+// walk-length bound: the surviving-walk fraction after k steps decays like
+// ρ(M_t)^k, so l ≈ log ε / log ρ — the experiments compare this prediction
+// against measurement.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// Dense adjacency matrix A (Eq. 1).
+DenseMatrix adjacency_matrix(const Graph& g);
+
+/// Dense degree matrix D with D_ii = d(i).
+DenseMatrix degree_matrix(const Graph& g);
+
+/// Dense transition matrix M = A D^{-1} (Eq. 2): column j holds the
+/// distribution over j's neighbours.  Requires minimum degree >= 1.
+DenseMatrix transition_matrix(const Graph& g);
+
+/// Dense Laplacian L = D - A.
+DenseMatrix laplacian_matrix(const Graph& g);
+
+/// Dense reduced transition matrix M_t (row & column `target` removed).
+DenseMatrix reduced_transition_matrix(const Graph& g, NodeId target);
+
+/// Dense reduced Laplacian D_t - A_t (row & column `target` removed).
+DenseMatrix reduced_laplacian_matrix(const Graph& g, NodeId target);
+
+/// Sparse reduced Laplacian (for the CG solver).  Indices are "compacted":
+/// node v maps to row v if v < target, else row v-1.
+CsrMatrix reduced_laplacian_csr(const Graph& g, NodeId target);
+
+/// Maps a node id to its row in the reduced system; `target` itself is
+/// invalid input.
+std::size_t reduced_index(NodeId v, NodeId target);
+
+/// Estimates the spectral radius of the reduced transition matrix M_t by
+/// power iteration on M_t^T M_t's dominant direction... specifically we
+/// iterate x ← M_t x / ||M_t x|| and return the converged Rayleigh-style
+/// growth ratio ||M_t x|| / ||x||.  For absorbing chains this converges to
+/// the subdominant-survival rate that controls Theorem 1's truncation bias.
+/// Requires a connected graph with n >= 2.
+double spectral_radius_reduced_transition(const Graph& g, NodeId target,
+                                          std::size_t iterations = 2000,
+                                          double tolerance = 1e-12);
+
+/// The walk-length cutoff l for which the surviving fraction of absorbing
+/// walks is predicted to drop below `epsilon`, from the measured spectral
+/// radius: l = ceil(log eps / log rho).  Clamped to [1, cap].
+std::size_t predicted_cutoff_for_epsilon(double spectral_radius,
+                                         double epsilon,
+                                         std::size_t cap = 1u << 22);
+
+}  // namespace rwbc

@@ -1,0 +1,93 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+namespace rwbc {
+
+LuDecomposition::LuDecomposition(const DenseMatrix& a) : lu_(a) {
+  RWBC_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double cand = std::abs(lu_(r, k));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    RWBC_REQUIRE(best > 1e-13, "LU: matrix is singular to machine precision");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot, c));
+      }
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+Vector LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  RWBC_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+  Vector x(n);
+  // Forward substitution with the permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuDecomposition::solve(const DenseMatrix& b) const {
+  RWBC_REQUIRE(b.rows() == size(), "LU solve: rhs shape mismatch");
+  DenseMatrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    const Vector solved = solve(column);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = solved[r];
+  }
+  return x;
+}
+
+DenseMatrix LuDecomposition::inverse() const {
+  return solve(DenseMatrix::identity(size()));
+}
+
+double LuDecomposition::determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector lu_solve(const DenseMatrix& a, std::span<const double> b) {
+  return LuDecomposition(a).solve(b);
+}
+
+DenseMatrix lu_inverse(const DenseMatrix& a) {
+  return LuDecomposition(a).inverse();
+}
+
+}  // namespace rwbc

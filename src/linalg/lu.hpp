@@ -1,0 +1,46 @@
+// LU decomposition with partial pivoting.
+//
+// Used to invert the reduced Laplacian (D_t - A_t) in Newman's exact
+// current-flow betweenness (Eq. 3).  The reduced Laplacian of a connected
+// graph is symmetric positive definite, so the factorisation never breaks
+// down, but partial pivoting keeps the solver general for the tests.
+#pragma once
+
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// PA = LU factorisation of a square matrix.
+class LuDecomposition {
+ public:
+  /// Factorises `a`. Throws rwbc::Error if the matrix is singular to
+  /// machine precision.
+  explicit LuDecomposition(const DenseMatrix& a);
+
+  /// Solves A x = b. Requires b.size() == n.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solves A X = B column-by-column.
+  DenseMatrix solve(const DenseMatrix& b) const;
+
+  /// A^{-1}.
+  DenseMatrix inverse() const;
+
+  /// det(A), from the product of pivots and the permutation sign.
+  double determinant() const;
+
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;                 // packed L (unit diag) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+};
+
+/// Convenience one-shot solve of A x = b.
+Vector lu_solve(const DenseMatrix& a, std::span<const double> b);
+
+/// Convenience one-shot inverse.
+DenseMatrix lu_inverse(const DenseMatrix& a);
+
+}  // namespace rwbc

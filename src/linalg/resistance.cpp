@@ -1,0 +1,70 @@
+#include "linalg/resistance.hpp"
+
+#include "centrality/current_flow_exact.hpp"
+#include "common/error.hpp"
+#include "graph/properties.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/lu.hpp"
+
+namespace rwbc {
+
+double effective_resistance(const Graph& g, NodeId s, NodeId t) {
+  RWBC_REQUIRE(s >= 0 && s < g.node_count(), "endpoint out of range");
+  RWBC_REQUIRE(t >= 0 && t < g.node_count(), "endpoint out of range");
+  RWBC_REQUIRE(s != t, "effective resistance needs distinct endpoints");
+  require_connected(g, "effective resistance");
+  // Ground at t: then R(s, t) = T_ss (the t-row/column of T is zero).
+  const DenseMatrix reduced = reduced_laplacian_csr(g, t).to_dense();
+  Vector rhs(reduced.rows(), 0.0);
+  rhs[reduced_index(s, t)] = 1.0;
+  const Vector solution = lu_solve(reduced, rhs);
+  return solution[reduced_index(s, t)];
+}
+
+DenseMatrix effective_resistance_matrix(const Graph& g) {
+  RWBC_REQUIRE(g.node_count() >= 2, "resistance matrix needs n >= 2");
+  const DenseMatrix t = exact_potentials(g);
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DenseMatrix r(n, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t u = s + 1; u < n; ++u) {
+      const double value = t(s, s) + t(u, u) - 2.0 * t(s, u);
+      r(s, u) = value;
+      r(u, s) = value;
+    }
+  }
+  return r;
+}
+
+double kirchhoff_index(const Graph& g) {
+  const DenseMatrix r = effective_resistance_matrix(g);
+  double total = 0.0;
+  for (std::size_t s = 0; s < r.rows(); ++s) {
+    for (std::size_t u = s + 1; u < r.cols(); ++u) total += r(s, u);
+  }
+  return total;
+}
+
+std::vector<double> current_flow_closeness(const Graph& g) {
+  RWBC_REQUIRE(g.node_count() >= 2, "current-flow closeness needs n >= 2");
+  const DenseMatrix r = effective_resistance_matrix(g);
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<double> closeness(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    double total = 0.0;
+    for (std::size_t t = 0; t < n; ++t) total += r(v, t);
+    closeness[v] = static_cast<double>(n - 1) / total;
+  }
+  return closeness;
+}
+
+double spanning_tree_count(const Graph& g) {
+  RWBC_REQUIRE(g.node_count() >= 1, "spanning trees need a non-empty graph");
+  if (g.node_count() == 1) return 1.0;
+  require_connected(g, "spanning tree count");
+  const DenseMatrix reduced =
+      reduced_laplacian_matrix(g, g.node_count() - 1);
+  return LuDecomposition(reduced).determinant();
+}
+
+}  // namespace rwbc

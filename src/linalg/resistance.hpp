@@ -1,0 +1,43 @@
+// Effective resistance and spanning-tree invariants.
+//
+// Random-walk betweenness IS current-flow betweenness — Newman's analogy
+// treats the graph as a unit-resistor network, and the potentials matrix T
+// of Section IV directly yields effective resistances:
+//
+//   R(s, t) = T_ss + T_tt - 2 T_st     (any grounding)
+//
+// These utilities expose that connection (used by tests to cross-validate
+// the potentials pipeline against closed-form resistances) plus the
+// Matrix-Tree theorem's spanning-tree count from the same reduced
+// Laplacian the exact solver factorises.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+
+/// Effective resistance between two nodes of the unit-resistor network.
+/// Requires a connected graph, n >= 2, distinct in-range endpoints.
+double effective_resistance(const Graph& g, NodeId s, NodeId t);
+
+/// All-pairs effective resistances (symmetric, zero diagonal), computed
+/// from one reduced-Laplacian inverse.  O(n^3).
+DenseMatrix effective_resistance_matrix(const Graph& g);
+
+/// Kirchhoff index: sum of effective resistances over unordered pairs.
+double kirchhoff_index(const Graph& g);
+
+/// Number of spanning trees (Matrix-Tree theorem: det of the reduced
+/// Laplacian).  Returned as double — the count overflows integers quickly
+/// (K_n has n^(n-2) trees).  Requires a connected graph with n >= 1;
+/// a single node has exactly 1 spanning tree.
+double spanning_tree_count(const Graph& g);
+
+/// Current-flow (information) closeness: C(v) = (n - 1) / sum_t R(v, t) —
+/// the resistance-distance analogue of closeness centrality, and the
+/// "random walk closeness" companion measure to the paper's random-walk
+/// betweenness.  Requires a connected graph with n >= 2.
+std::vector<double> current_flow_closeness(const Graph& g);
+
+}  // namespace rwbc

@@ -1,0 +1,84 @@
+#include "lowerbound/disjointness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+bool instance_is_disjoint(const DisjointnessInstance& instance) {
+  std::vector<bool> in_x(static_cast<std::size_t>(instance.rails), false);
+  for (const auto& xi : instance.x) {
+    for (int j : xi) in_x[static_cast<std::size_t>(j)] = true;
+  }
+  for (const auto& yj : instance.y) {
+    for (int j : yj) {
+      if (in_x[static_cast<std::size_t>(j)]) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+std::vector<int> random_half(int rails, Rng& rng) {
+  std::vector<int> all(static_cast<std::size_t>(rails));
+  for (int j = 0; j < rails; ++j) all[static_cast<std::size_t>(j)] = j;
+  // Partial Fisher-Yates: first rails/2 entries become a uniform half.
+  const auto half = static_cast<std::size_t>(rails / 2);
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::size_t j = i + rng.next_below(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  std::vector<int> picked(all.begin(), all.begin() + static_cast<long>(half));
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+}  // namespace
+
+DisjointnessInstance make_disjoint_instance(int rails, int family_size,
+                                            Rng& rng) {
+  RWBC_REQUIRE(rails >= 2 && rails % 2 == 0, "rails must be even and >= 2");
+  RWBC_REQUIRE(family_size >= 1, "family size must be >= 1");
+  DisjointnessInstance instance;
+  instance.rails = rails;
+  const std::vector<int> alice_half = random_half(rails, rng);
+  std::vector<bool> in_alice(static_cast<std::size_t>(rails), false);
+  for (int j : alice_half) in_alice[static_cast<std::size_t>(j)] = true;
+  std::vector<int> bob_half;
+  for (int j = 0; j < rails; ++j) {
+    if (!in_alice[static_cast<std::size_t>(j)]) bob_half.push_back(j);
+  }
+  instance.x.assign(static_cast<std::size_t>(family_size), alice_half);
+  instance.y.assign(static_cast<std::size_t>(family_size), bob_half);
+  return instance;
+}
+
+DisjointnessInstance make_intersecting_instance(int rails, int family_size,
+                                                Rng& rng, int overlap) {
+  RWBC_REQUIRE(overlap >= 1 && overlap <= rails / 2,
+               "overlap must be in [1, rails/2]");
+  DisjointnessInstance instance =
+      make_disjoint_instance(rails, family_size, rng);
+  // Swap `overlap` of one random Y_j's elements for elements of X's half,
+  // creating exactly that many collisions while keeping |Y_j| = rails/2.
+  auto& victim =
+      instance.y[rng.next_below(instance.y.size())];
+  const auto& alice_half = instance.x[0];
+  for (int k = 0; k < overlap; ++k) {
+    victim[static_cast<std::size_t>(k)] =
+        alice_half[static_cast<std::size_t>(k)];
+  }
+  std::sort(victim.begin(), victim.end());
+  RWBC_ASSERT(!instance_is_disjoint(instance),
+              "intersecting instance construction failed");
+  return instance;
+}
+
+double disjointness_bits_lower_bound(int family_size) {
+  RWBC_REQUIRE(family_size >= 1, "family size must be >= 1");
+  const double n = static_cast<double>(family_size);
+  return n * std::log2(std::max(2.0, n));
+}
+
+}  // namespace rwbc

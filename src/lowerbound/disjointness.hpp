@@ -1,0 +1,45 @@
+// Set-disjointness instance generation for the lower-bound experiments.
+//
+// Theorem 8 / Corollary 1: deciding whether Alice's family X and Bob's
+// family Y intersect costs Omega(N log N) communicated bits.  The
+// experiment pipeline is: draw an instance -> wire it into the Fig. 2
+// gadget -> compute (exactly, or with the distributed algorithm while
+// metering the cut) node P's betweenness -> check Lemma 4's separation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rwbc {
+
+/// A two-party disjointness instance in the gadget's encoding: families of
+/// rails/2-sized subsets of [0, rails).
+struct DisjointnessInstance {
+  int rails = 0;                     ///< M (even)
+  std::vector<std::vector<int>> x;   ///< Alice's family, |x| = N
+  std::vector<std::vector<int>> y;   ///< Bob's family, |y| = N
+};
+
+/// True iff every X_i is disjoint from every Y_j — the Fig. 2 condition
+/// under which b_P is minimal ("each S_i is equal to all T_j").
+bool instance_is_disjoint(const DisjointnessInstance& instance);
+
+/// Draws a YES instance: a random half H of the rails; every X_i = H and
+/// every Y_j = complement(H) (the only way same-size halves can be pairwise
+/// disjoint).
+DisjointnessInstance make_disjoint_instance(int rails, int family_size,
+                                            Rng& rng);
+
+/// Draws a NO instance: starts from a YES instance and swaps `overlap`
+/// elements of one random Y_j into Alice's half, creating that many
+/// collisions.  Requires 1 <= overlap <= rails/2.
+DisjointnessInstance make_intersecting_instance(int rails, int family_size,
+                                                Rng& rng, int overlap = 1);
+
+/// The communication lower bound Theorem 8 assigns to an N-set instance:
+/// Omega(N log N) bits, reported with constant 1 (shape comparisons only).
+double disjointness_bits_lower_bound(int family_size);
+
+}  // namespace rwbc

@@ -1,0 +1,110 @@
+#include "lowerbound/gadget.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+GadgetLayout build_gadget(int rails,
+                          const std::vector<std::vector<int>>& s_links,
+                          const std::vector<std::vector<int>>& t_links) {
+  RWBC_REQUIRE(rails >= 1, "gadget needs at least one rail");
+  RWBC_REQUIRE(!s_links.empty() && !t_links.empty(),
+               "gadget needs at least one S and one T node");
+  auto validate = [rails](const std::vector<std::vector<int>>& links) {
+    for (const auto& list : links) {
+      RWBC_REQUIRE(!list.empty(), "every S/T node needs at least one edge");
+      for (int j : list) {
+        RWBC_REQUIRE(j >= 0 && j < rails, "rail index out of range");
+      }
+    }
+  };
+  validate(s_links);
+  validate(t_links);
+
+  GadgetLayout layout;
+  const auto m = static_cast<std::size_t>(rails);
+  NodeId next = 0;
+  layout.left.resize(m);
+  layout.right.resize(m);
+  for (std::size_t i = 0; i < m; ++i) layout.left[i] = next++;
+  for (std::size_t i = 0; i < m; ++i) layout.right[i] = next++;
+  layout.sources.resize(s_links.size());
+  for (auto& s : layout.sources) s = next++;
+  layout.sinks.resize(t_links.size());
+  for (auto& t : layout.sinks) t = next++;
+  layout.a = next++;
+  layout.b = next++;
+  layout.p = next++;
+
+  GraphBuilder builder(next);
+  for (std::size_t i = 0; i < m; ++i) {
+    builder.add_edge(layout.left[i], layout.right[i]);  // rails
+    builder.add_edge(layout.a, layout.left[i]);
+    builder.add_edge(layout.b, layout.right[i]);
+  }
+  builder.add_edge(layout.a, layout.b);
+  for (std::size_t i = 0; i < s_links.size(); ++i) {
+    for (int j : s_links[i]) {
+      builder.add_edge(layout.sources[i],
+                       layout.left[static_cast<std::size_t>(j)]);
+    }
+    builder.add_edge(layout.p, layout.sources[i]);
+  }
+  for (std::size_t i = 0; i < t_links.size(); ++i) {
+    for (int j : t_links[i]) {
+      builder.add_edge(layout.sinks[i],
+                       layout.right[static_cast<std::size_t>(j)]);
+    }
+    builder.add_edge(layout.p, layout.sinks[i]);
+  }
+  layout.graph = builder.build();
+  return layout;
+}
+
+GadgetLayout build_disjointness_gadget(int rails,
+                                       const std::vector<std::vector<int>>& x,
+                                       const std::vector<std::vector<int>>& y) {
+  RWBC_REQUIRE(rails >= 2 && rails % 2 == 0,
+               "Fig. 2 wiring needs an even rail count");
+  const auto half = static_cast<std::size_t>(rails / 2);
+  for (const auto& xi : x) {
+    RWBC_REQUIRE(xi.size() == half, "|X_i| must equal rails/2");
+  }
+  std::vector<std::vector<int>> t_links;
+  t_links.reserve(y.size());
+  for (const auto& yi : y) {
+    RWBC_REQUIRE(yi.size() == half, "|Y_i| must equal rails/2");
+    // T_i joins the complement of Y_i (Fig. 2: edge when Y_i does NOT
+    // contain the rail).
+    std::vector<bool> in_y(static_cast<std::size_t>(rails), false);
+    for (int j : yi) {
+      RWBC_REQUIRE(j >= 0 && j < rails, "rail index out of range");
+      RWBC_REQUIRE(!in_y[static_cast<std::size_t>(j)],
+                   "duplicate rail index in Y_i");
+      in_y[static_cast<std::size_t>(j)] = true;
+    }
+    std::vector<int> complement;
+    complement.reserve(half);
+    for (int j = 0; j < rails; ++j) {
+      if (!in_y[static_cast<std::size_t>(j)]) complement.push_back(j);
+    }
+    t_links.push_back(std::move(complement));
+  }
+  return build_gadget(rails, x, t_links);
+}
+
+std::vector<Edge> gadget_cut_edges(const GadgetLayout& layout) {
+  std::vector<Edge> cut;
+  cut.reserve(layout.left.size() + 1);
+  for (std::size_t i = 0; i < layout.left.size(); ++i) {
+    cut.push_back(Edge{std::min(layout.left[i], layout.right[i]),
+                       std::max(layout.left[i], layout.right[i])});
+  }
+  cut.push_back(Edge{std::min(layout.a, layout.b),
+                     std::max(layout.a, layout.b)});
+  return cut;
+}
+
+}  // namespace rwbc

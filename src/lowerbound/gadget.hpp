@@ -1,0 +1,60 @@
+// The Section VIII lower-bound construction (Figs. 2-5).
+//
+// The gadget reduces two-party set disjointness to deciding node P's exact
+// random-walk betweenness: Alice's input becomes the S-side wiring, Bob's
+// the T-side wiring, and Lemma 4 says b_P attains its minimum exactly when
+// the inputs are disjoint.  Any exact distributed algorithm therefore
+// pushes Omega(N log N) bits through the M+1-edge cut between the halves,
+// giving Omega(n / log n) rounds (Theorem 6).
+//
+// Layout (matching Fig. 2):
+//   L_1..L_M  --- R_1..R_M      one "rail" edge L_i - R_i each
+//   A - B                       A also joins every L_i, B every R_i
+//   S_1..S_Ns                   S_i - L_j for each j in s_links[i]
+//   T_1..T_Nt                   T_i - R_j for each j in t_links[i]
+//   P                           P - S_i and P - T_i for every i
+//
+// `build_gadget` takes the already-resolved neighbour lists so the Lemma 5
+// and Lemma 6 micro-cases (single-edge S/T nodes) use the same builder;
+// `build_disjointness_gadget` applies the paper's Fig. 2 convention where
+// T_j is wired to the *complement* of Y_j.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Node-id bookkeeping for a built gadget.
+struct GadgetLayout {
+  Graph graph;
+  std::vector<NodeId> left;     ///< L_1..L_M
+  std::vector<NodeId> right;    ///< R_1..R_M
+  std::vector<NodeId> sources;  ///< S_1..S_Ns (Alice's side)
+  std::vector<NodeId> sinks;    ///< T_1..T_Nt (Bob's side)
+  NodeId a = -1;
+  NodeId b = -1;
+  NodeId p = -1;
+};
+
+/// Builds the gadget from explicit neighbour lists: s_links[i] (t_links[i])
+/// are the rail indices in [0, M) that S_i (T_i) joins.  Every list must be
+/// non-empty; at least one S and one T node are required.
+GadgetLayout build_gadget(int rails,
+                          const std::vector<std::vector<int>>& s_links,
+                          const std::vector<std::vector<int>>& t_links);
+
+/// The paper's Fig. 2 wiring: S_i joins X[i]; T_j joins the complement of
+/// Y[j] within [0, M).  |X[i]| and |Y[j]| must equal rails/2 (rails even),
+/// so S_i "equals" T_j (Fig. 2's notation) iff X[i] and Y[j] are disjoint.
+GadgetLayout build_disjointness_gadget(int rails,
+                                       const std::vector<std::vector<int>>& x,
+                                       const std::vector<std::vector<int>>& y);
+
+/// The Alice/Bob cut of the construction: the M rail edges plus A-B.
+/// (P is shared; its S- and T-side edges are charged to neither party,
+/// matching the proof where Alice and Bob jointly simulate P.)
+std::vector<Edge> gadget_cut_edges(const GadgetLayout& layout);
+
+}  // namespace rwbc

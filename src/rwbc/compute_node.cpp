@@ -1,0 +1,139 @@
+#include "rwbc/compute_node.hpp"
+
+#include <algorithm>
+
+#include "common/bitcodec.hpp"
+#include "common/error.hpp"
+
+namespace rwbc {
+
+ComputeNode::ComputeNode(ComputeNodeConfig config)
+    : config_(std::move(config)) {
+  RWBC_REQUIRE(config_.walks_per_source >= 1, "compute phase needs K >= 1");
+}
+
+void ComputeNode::on_start(NodeContext& ctx) {
+  const auto n = static_cast<std::size_t>(ctx.node_count());
+  RWBC_REQUIRE(config_.visits.size() == n,
+               "compute phase needs one visit count per source");
+  RWBC_REQUIRE(config_.neighbor_weights.empty() ||
+                   config_.neighbor_weights.size() ==
+                       static_cast<std::size_t>(ctx.degree()),
+               "need one weight per neighbour");
+  id_bits_ = bits_for(static_cast<std::uint64_t>(ctx.node_count()));
+  // A single walk contributes at most l + 1 occupancies to one node, so
+  // xi_v^s <= K * (l + 1): O(log n) bits as Theorem 4 requires.
+  count_bits_ = bits_for(config_.walks_per_source * (config_.cutoff + 1) + 1);
+  if (config_.counts_per_message == 0) {
+    // Auto-fit: as many counts as the per-edge budget holds per round.
+    batch_size_ = std::max<std::uint64_t>(
+        1, ctx.bit_budget() / static_cast<std::uint64_t>(count_bits_));
+  } else {
+    batch_size_ = config_.counts_per_message;
+  }
+  strength_bits_ = config_.strength_bits > 0 ? config_.strength_bits
+                                             : id_bits_;
+  const std::uint64_t own_strength =
+      config_.strength > 0 ? config_.strength
+                           : static_cast<std::uint64_t>(ctx.degree());
+  config_.strength = own_strength;
+  const double own_scale =
+      1.0 / (static_cast<double>(config_.walks_per_source) *
+             static_cast<double>(own_strength));
+  scaled_visits_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    scaled_visits_[s] = static_cast<double>(config_.visits[s]) * own_scale;
+  }
+  neighbor_strengths_.assign(static_cast<std::size_t>(ctx.degree()), 0);
+  if (config_.compute_score) {
+    neighbor_scaled_.assign(static_cast<std::size_t>(ctx.degree()),
+                            std::vector<double>(n, 0.0));
+  }
+}
+
+void ComputeNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
+  const auto n = static_cast<std::uint64_t>(ctx.node_count());
+  const auto neighbors = ctx.neighbors();
+  auto slot_of = [&](NodeId from) {
+    const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), from);
+    RWBC_ASSERT(it != neighbors.end() && *it == from,
+                "message from a non-neighbor");
+    return static_cast<std::size_t>(it - neighbors.begin());
+  };
+
+  const std::uint64_t round = ctx.round();
+  const auto nn = static_cast<std::size_t>(n);
+  for (const Message& msg : inbox) {
+    auto reader = msg.reader();
+    const std::size_t slot = slot_of(msg.from);
+    if (round == 1) {
+      neighbor_strengths_[slot] = reader.read(strength_bits_);
+    } else {
+      // Batch sent in round round-1: sources [batch_begin, batch_end).
+      const std::size_t begin = batch_begin(round - 1);
+      const std::size_t end =
+          std::min(nn, begin + static_cast<std::size_t>(batch_size_));
+      for (std::size_t source = begin; source < end; ++source) {
+        const std::uint64_t raw = reader.read(count_bits_);
+        if (config_.compute_score) {
+          neighbor_scaled_[slot][source] =
+              static_cast<double>(raw) /
+              (static_cast<double>(config_.walks_per_source) *
+               static_cast<double>(neighbor_strengths_[slot]));
+        }
+      }
+    }
+  }
+
+  if (round == 0) {
+    BitWriter strength_msg;
+    strength_msg.write(config_.strength, strength_bits_);
+    for (NodeId nb : neighbors) ctx.send(nb, strength_msg);
+  } else if (batch_begin(round) < nn) {
+    const std::size_t begin = batch_begin(round);
+    const std::size_t end =
+        std::min(nn, begin + static_cast<std::size_t>(batch_size_));
+    BitWriter count_msg;
+    for (std::size_t source = begin; source < end; ++source) {
+      count_msg.write(config_.visits[source], count_bits_);
+    }
+    for (NodeId nb : neighbors) ctx.send(nb, count_msg);
+  } else {
+    // The last batch arrived this round; finish locally.
+    finish(ctx);
+  }
+}
+
+void ComputeNode::finish(NodeContext& ctx) {
+  if (config_.compute_score) {
+    const auto n = static_cast<std::size_t>(ctx.node_count());
+    const auto own = static_cast<std::size_t>(ctx.id());
+    std::vector<double> diffs(n - 1);
+    double throughflow = 0.0;
+    for (std::size_t slot = 0;
+         slot < static_cast<std::size_t>(ctx.degree()); ++slot) {
+      std::size_t c = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s == own) continue;
+        diffs[c++] = scaled_visits_[s] - neighbor_scaled_[slot][s];
+      }
+      std::sort(diffs.begin(), diffs.end());
+      double pair_sum = 0.0;
+      const double count = static_cast<double>(c);
+      for (std::size_t k = 0; k < c; ++k) {
+        pair_sum += (2.0 * static_cast<double>(k) - (count - 1.0)) * diffs[k];
+      }
+      const double weight = config_.neighbor_weights.empty()
+                                ? 1.0
+                                : config_.neighbor_weights[slot];
+      throughflow += weight * pair_sum;
+    }
+    const double nn = static_cast<double>(ctx.node_count());
+    betweenness_ =
+        (0.5 * throughflow + (nn - 1.0)) / (0.5 * nn * (nn - 1.0));
+  }
+  finished_ = true;
+  ctx.halt();
+}
+
+}  // namespace rwbc

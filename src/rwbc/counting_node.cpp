@@ -1,0 +1,226 @@
+#include "rwbc/counting_node.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+CountingNode::CountingNode(CountingNodeConfig config)
+    : config_(std::move(config)),
+      wire_(2, config_.cutoff, config_.walks_per_source) {
+  RWBC_REQUIRE(config_.cutoff >= 1, "counting phase needs cutoff >= 1");
+  RWBC_REQUIRE(config_.walks_per_source >= 1,
+               "counting phase needs at least one walk per source");
+  RWBC_REQUIRE(config_.walks_per_edge_per_round >= 1,
+               "need at least one walk slot per edge per round");
+}
+
+void CountingNode::on_start(NodeContext& ctx) {
+  const NodeId n = ctx.node_count();
+  RWBC_REQUIRE(n >= 2, "counting phase needs n >= 2");
+  RWBC_REQUIRE(config_.target >= 0 && config_.target < n,
+               "counting phase target out of range");
+  wire_ = CountingWire(n, config_.cutoff, config_.walks_per_source);
+  visits_.assign(static_cast<std::size_t>(n), 0);
+  is_root_ = config_.tree_parent < 0;
+  expected_total_deaths_ =
+      static_cast<std::uint64_t>(n - 1) * config_.walks_per_source;
+  per_neighbor_.assign(static_cast<std::size_t>(ctx.degree()), {});
+  if (!config_.neighbor_weights.empty()) {
+    RWBC_REQUIRE(config_.neighbor_weights.size() ==
+                     static_cast<std::size_t>(ctx.degree()),
+                 "need one weight per neighbour");
+    cumulative_weights_.resize(config_.neighbor_weights.size());
+    double running = 0.0;
+    for (std::size_t slot = 0; slot < config_.neighbor_weights.size();
+         ++slot) {
+      RWBC_REQUIRE(config_.neighbor_weights[slot] > 0.0,
+                   "edge weights must be positive");
+      running += config_.neighbor_weights[slot];
+      cumulative_weights_[slot] = running;
+    }
+  }
+
+  if (ctx.id() != config_.target) {
+    // K walks born here; their r = 0 occupancy counts as a visit (Sec. IV:
+    // N_ss includes the start).
+    held_walks_.reserve(config_.walks_per_source);
+    for (std::uint64_t k = 0; k < config_.walks_per_source; ++k) {
+      held_walks_.push_back(HeldWalk{WalkToken{ctx.id(), config_.cutoff}, -1});
+    }
+    visits_[static_cast<std::size_t>(ctx.id())] += config_.walks_per_source;
+  }
+}
+
+void CountingNode::record_kill() { ++died_; }
+
+void CountingNode::process_inbox(NodeContext& ctx,
+                                 std::span<const Message> inbox) {
+  for (const Message& msg : inbox) {
+    auto reader = msg.reader();
+    const auto type = static_cast<CountingMsg>(reader.read(wire_.type_bits));
+    switch (type) {
+      case CountingMsg::kWalk: {
+        WalkToken walk;
+        walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
+        walk.remaining = reader.read(wire_.length_bits);
+        if (ctx.id() == config_.target) {
+          record_kill();  // absorbed; the target's counts stay zero
+        } else {
+          ++visits_[static_cast<std::size_t>(walk.source)];
+          if (walk.remaining == 0) {
+            record_kill();  // expired on arrival
+          } else {
+            held_walks_.push_back(HeldWalk{walk, -1});
+          }
+        }
+        break;
+      }
+      case CountingMsg::kSweepRequest:
+        sweep_request_pending_ = true;
+        break;
+      case CountingMsg::kSweepReport:
+        RWBC_ASSERT(sweep_reports_pending_ > 0,
+                    "unexpected sweep report");
+        sweep_accumulator_ += reader.read(wire_.count_bits);
+        --sweep_reports_pending_;
+        break;
+      case CountingMsg::kDone:
+        done_pending_ = true;
+        break;
+    }
+  }
+}
+
+std::size_t CountingNode::draw_neighbor_slot(NodeContext& ctx) {
+  if (cumulative_weights_.empty()) {
+    return ctx.rng().next_below(static_cast<std::size_t>(ctx.degree()));
+  }
+  // Weighted move: P(slot) = w_slot / strength.
+  const double target_mass =
+      ctx.rng().next_double() * cumulative_weights_.back();
+  const auto it = std::upper_bound(cumulative_weights_.begin(),
+                                   cumulative_weights_.end(), target_mass);
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(it - cumulative_weights_.begin()),
+      cumulative_weights_.size() - 1);
+}
+
+void CountingNode::forward_walks(NodeContext& ctx) {
+  if (held_walks_.empty()) return;
+  const auto degree = static_cast<std::size_t>(ctx.degree());
+  for (auto& bucket : per_neighbor_) bucket.clear();
+  for (std::size_t w = 0; w < held_walks_.size(); ++w) {
+    // Commit-and-queue: draw a destination once; losers keep theirs so the
+    // realized transitions match the drawn distribution under contention.
+    if (held_walks_[w].committed_slot < 0) {
+      held_walks_[w].committed_slot =
+          static_cast<int>(draw_neighbor_slot(ctx));
+    }
+    per_neighbor_[static_cast<std::size_t>(held_walks_[w].committed_slot)]
+        .push_back(w);
+  }
+  std::vector<HeldWalk> kept;
+  const auto neighbors = ctx.neighbors();
+  for (std::size_t slot = 0; slot < degree; ++slot) {
+    auto& bucket = per_neighbor_[slot];
+    const std::size_t winners =
+        std::min<std::size_t>(bucket.size(), config_.walks_per_edge_per_round);
+    // Partial Fisher-Yates: the first `winners` entries become a uniform
+    // random subset (paper line 6: "just send a random walk to v randomly").
+    for (std::size_t i = 0; i < winners; ++i) {
+      const std::size_t j =
+          i + ctx.rng().next_below(bucket.size() - i);
+      std::swap(bucket[i], bucket[j]);
+      WalkToken walk = held_walks_[bucket[i]].token;
+      RWBC_ASSERT(walk.remaining >= 1, "held walk must have moves left");
+      walk.remaining -= 1;  // the move consumes one step
+      ctx.send(neighbors[slot], wire_.encode_walk(walk));
+    }
+    for (std::size_t i = winners; i < bucket.size(); ++i) {
+      kept.push_back(held_walks_[bucket[i]]);
+    }
+  }
+  if (config_.length_policy == LengthPolicy::kPerRound) {
+    // A queued round still burns length; walks hitting zero die in place
+    // (no move, so no visit is scored).
+    std::vector<HeldWalk> alive;
+    alive.reserve(kept.size());
+    for (HeldWalk& held : kept) {
+      held.token.remaining -= 1;
+      if (held.token.remaining == 0) {
+        record_kill();
+      } else {
+        alive.push_back(held);
+      }
+    }
+    kept.swap(alive);
+  }
+  held_walks_.swap(kept);
+}
+
+void CountingNode::run_sweep_logic(NodeContext& ctx) {
+  if (is_root_) {
+    if (!sweep_in_progress_) {
+      sweep_in_progress_ = true;
+      sweep_accumulator_ = 0;
+      sweep_reports_pending_ = config_.tree_children.size();
+      for (NodeId child : config_.tree_children) {
+        ctx.send(child, wire_.encode_sweep_request());
+      }
+    }
+    if (sweep_in_progress_ && sweep_reports_pending_ == 0) {
+      const std::uint64_t total = sweep_accumulator_ + died_;
+      RWBC_ASSERT(total <= expected_total_deaths_,
+                  "death count exceeded the number of walks");
+      if (total == expected_total_deaths_) {
+        for (NodeId child : config_.tree_children) {
+          ctx.send(child, wire_.encode_done());
+        }
+        finished_ = true;
+        ctx.halt();
+      } else {
+        sweep_in_progress_ = false;  // next round starts a fresh sweep
+      }
+    }
+    return;
+  }
+  // Internal node / leaf: answer sweeps from above.
+  if (sweep_request_pending_ && !sweep_in_progress_) {
+    sweep_request_pending_ = false;
+    sweep_in_progress_ = true;
+    sweep_accumulator_ = 0;
+    sweep_reports_pending_ = config_.tree_children.size();
+    for (NodeId child : config_.tree_children) {
+      ctx.send(child, wire_.encode_sweep_request());
+    }
+  }
+  if (sweep_in_progress_ && sweep_reports_pending_ == 0) {
+    ctx.send(config_.tree_parent,
+             wire_.encode_sweep_report(sweep_accumulator_ + died_));
+    sweep_in_progress_ = false;
+  }
+}
+
+void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
+  process_inbox(ctx, inbox);
+  if (done_pending_ && !finished_) {
+    RWBC_ASSERT(held_walks_.empty(),
+                "DONE broadcast arrived while walks are still alive");
+    for (NodeId child : config_.tree_children) {
+      ctx.send(child, wire_.encode_done());
+    }
+    finished_ = true;
+    ctx.halt();
+    return;
+  }
+  if (finished_) {
+    ctx.halt();
+    return;
+  }
+  forward_walks(ctx);
+  run_sweep_logic(ctx);
+}
+
+}  // namespace rwbc

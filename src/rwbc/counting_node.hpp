@@ -1,0 +1,116 @@
+// Algorithm 1 (the counting phase), as a CONGEST node program.
+//
+// Every node starts K truncated absorbing random walks; walks move one hop
+// per round to a random neighbour (uniform, or weight-proportional in the
+// weighted extension), are absorbed at the target node, expire after l
+// moves, and increment the visit counter xi_v^s of every node v they
+// arrive at.  The paper's per-edge rule (line 6: "if more than one random
+// walk needs to be sent to v, just send one of them at random") is
+// implemented as commit-and-queue: a walk draws its destination once and
+// lottery losers KEEP that destination for the next round's lottery.
+// Commitment matters: if losers redrew instead, edges with more contention
+// (heavy edges in the weighted case) would be under-traversed, biasing the
+// realized transition distribution; with commitment every drawn move
+// eventually executes, so the trajectory is exactly a random-walk
+// trajectory and only its timing shifts.  A queued walk has made no move,
+// so it earns no visit and spends no length.
+//
+// Termination ("while some random walk does not terminate", line 4) is
+// detected with death-count convergecast sweeps on a BFS tree built in an
+// earlier phase: each node counts the walks *it* killed (absorbed or
+// expired); kills are monotone and attributed to exactly one node, so a
+// sweep total of (n-1)*K is correct regardless of snapshot skew.  The root
+// then broadcasts DONE and everyone halts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/node.hpp"
+#include "rwbc/walk_token.hpp"
+
+namespace rwbc {
+
+/// How a walk's length budget is spent (DESIGN.md resolution 1).
+enum class LengthPolicy {
+  /// Paper-faithful: length counts MOVES; a queued walk spends nothing, so
+  /// counts match the absorbing-chain occupancies exactly, at the price of
+  /// needing termination detection (total rounds O(Kn + l), Lemma 2).
+  kPerMove,
+  /// Ablation: length counts ROUNDS; a queued walk burns budget, so the
+  /// phase provably ends by round l with no detection needed — but
+  /// congestion then truncates walks early and biases counts low on
+  /// hub-heavy graphs (measured in E7).
+  kPerRound,
+};
+
+/// Static, node-local configuration for the counting phase (established by
+/// the setup phases: target/parameter broadcast and BFS-tree construction).
+struct CountingNodeConfig {
+  NodeId target = 0;                    ///< absorbing node t*
+  std::uint64_t walks_per_source = 1;   ///< K
+  std::uint64_t cutoff = 1;             ///< l
+  NodeId tree_parent = -1;              ///< BFS-tree parent (-1 at the root)
+  std::vector<NodeId> tree_children;    ///< BFS-tree children
+  std::uint64_t walks_per_edge_per_round = 1;  ///< paper: 1
+  LengthPolicy length_policy = LengthPolicy::kPerMove;
+  /// Weighted extension: per-neighbour edge weights aligned with the
+  /// node's sorted neighbour list (local knowledge — a node knows its
+  /// incident conductances).  Empty = unweighted uniform moves.
+  std::vector<double> neighbor_weights;
+};
+
+/// Node program for Algorithm 1.
+class CountingNode final : public NodeProcess {
+ public:
+  explicit CountingNode(CountingNodeConfig config);
+
+  void on_start(NodeContext& ctx) override;
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+
+  /// After the run: visit counts xi_v^s indexed by source s.
+  const std::vector<std::uint64_t>& visits() const { return visits_; }
+
+  /// After the run: walks this node terminated (absorbed or expired).
+  std::uint64_t died_here() const { return died_; }
+
+  /// True once the DONE broadcast reached this node.
+  bool finished() const { return finished_; }
+
+ private:
+  void process_inbox(NodeContext& ctx, std::span<const Message> inbox);
+  void forward_walks(NodeContext& ctx);
+  void run_sweep_logic(NodeContext& ctx);
+  void record_kill();
+
+  /// A walk waiting at this node, with its committed next hop (-1 = none).
+  struct HeldWalk {
+    WalkToken token;
+    int committed_slot = -1;
+  };
+
+  CountingNodeConfig config_;
+  CountingWire wire_;
+  std::vector<std::uint64_t> visits_;
+  std::vector<HeldWalk> held_walks_;
+  std::uint64_t died_ = 0;
+
+  // Termination-detection state.
+  bool is_root_ = false;
+  std::uint64_t expected_total_deaths_ = 0;
+  bool sweep_in_progress_ = false;
+  bool sweep_request_pending_ = false;  ///< received request, not yet relayed
+  std::size_t sweep_reports_pending_ = 0;
+  std::uint64_t sweep_accumulator_ = 0;
+  bool done_pending_ = false;  ///< DONE received/decided, relay next chance
+  bool finished_ = false;
+
+  // Scratch reused across rounds: walk indices grouped per neighbour slot.
+  std::vector<std::vector<std::size_t>> per_neighbor_;
+  // Weighted sampling: cumulative neighbour weights (empty = uniform).
+  std::vector<double> cumulative_weights_;
+
+  std::size_t draw_neighbor_slot(NodeContext& ctx);
+};
+
+}  // namespace rwbc

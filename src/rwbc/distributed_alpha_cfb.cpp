@@ -1,0 +1,217 @@
+#include "rwbc/distributed_alpha_cfb.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "graph/properties.hpp"
+#include "rwbc/compute_node.hpp"
+#include "rwbc/params.hpp"
+#include "rwbc/walk_token.hpp"
+
+namespace rwbc {
+
+namespace {
+
+/// Counting-phase node for evaporating walks.  Shares the wire format and
+/// commit-and-queue congestion handling with CountingNode; differs in the
+/// kill rule (coin flip instead of absorption), in having no target, and
+/// in terminating implicitly (idle nodes halt) rather than via sweeps —
+/// evaporating walks die on their own schedule, no tree needed.
+class AlphaCountingNode final : public NodeProcess {
+ public:
+  struct Config {
+    double alpha = 0.8;
+    std::uint64_t walks_per_source = 1;
+    std::uint64_t max_steps = 1;
+    std::uint64_t walks_per_edge_per_round = 1;
+  };
+
+  explicit AlphaCountingNode(Config config)
+      : config_(std::move(config)),
+        wire_(2, config_.max_steps, config_.walks_per_source) {}
+
+  void on_start(NodeContext& ctx) override {
+    const NodeId n = ctx.node_count();
+    wire_ = CountingWire(n, config_.max_steps, config_.walks_per_source);
+    visits_.assign(static_cast<std::size_t>(n), 0);
+    per_neighbor_.assign(static_cast<std::size_t>(ctx.degree()), {});
+    for (std::uint64_t k = 0; k < config_.walks_per_source; ++k) {
+      held_walks_.push_back(
+          HeldWalk{WalkToken{ctx.id(), config_.max_steps}, -1});
+    }
+    visits_[static_cast<std::size_t>(ctx.id())] += config_.walks_per_source;
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    process_inbox(ctx, inbox);
+    evaporate_and_forward(ctx);
+    // Implicit termination, as in distributed PageRank: an idle node halts
+    // and is re-woken by walk arrivals; the run ends when every walk has
+    // evaporated and nothing is in flight.  (A real deployment would add
+    // one O(D) barrier sweep before starting Algorithm 2; we charge the
+    // equivalent cost in the computing phase's own network instead.)
+    if (held_walks_.empty()) ctx.halt();
+  }
+
+  const std::vector<std::uint64_t>& visits() const { return visits_; }
+  std::uint64_t capped_walks() const { return capped_; }
+
+ private:
+  struct HeldWalk {
+    WalkToken token;
+    int committed_slot = -1;
+  };
+
+  void process_inbox(NodeContext&, std::span<const Message> inbox) {
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      switch (static_cast<CountingMsg>(reader.read(wire_.type_bits))) {
+        case CountingMsg::kWalk: {
+          WalkToken walk;
+          walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
+          walk.remaining = reader.read(wire_.length_bits);
+          ++visits_[static_cast<std::size_t>(walk.source)];
+          if (walk.remaining == 0) {
+            ++capped_;  // hit the w.h.p. length cap
+            ++died_;
+          } else {
+            held_walks_.push_back(HeldWalk{walk, -1});
+          }
+          break;
+        }
+        case CountingMsg::kSweepRequest:
+        case CountingMsg::kSweepReport:
+        case CountingMsg::kDone:
+          throw InternalError("unexpected control message");
+      }
+    }
+  }
+
+  void evaporate_and_forward(NodeContext& ctx) {
+    if (held_walks_.empty()) return;
+    // Evaporation: each held walk survives this step with probability
+    // alpha.  Dying in place scores no visit (the visit for "being here"
+    // was already counted on arrival/birth).
+    std::vector<HeldWalk> survivors;
+    survivors.reserve(held_walks_.size());
+    for (HeldWalk& held : held_walks_) {
+      if (held.committed_slot < 0 && !ctx.rng().next_bool(config_.alpha)) {
+        ++died_;
+      } else {
+        survivors.push_back(held);
+      }
+    }
+    held_walks_.swap(survivors);
+    if (held_walks_.empty()) return;
+
+    const auto degree = static_cast<std::size_t>(ctx.degree());
+    for (auto& bucket : per_neighbor_) bucket.clear();
+    for (std::size_t w = 0; w < held_walks_.size(); ++w) {
+      if (held_walks_[w].committed_slot < 0) {
+        held_walks_[w].committed_slot =
+            static_cast<int>(ctx.rng().next_below(degree));
+      }
+      per_neighbor_[static_cast<std::size_t>(held_walks_[w].committed_slot)]
+          .push_back(w);
+    }
+    std::vector<HeldWalk> kept;
+    const auto neighbors = ctx.neighbors();
+    for (std::size_t slot = 0; slot < degree; ++slot) {
+      auto& bucket = per_neighbor_[slot];
+      const std::size_t winners = std::min<std::size_t>(
+          bucket.size(), config_.walks_per_edge_per_round);
+      for (std::size_t i = 0; i < winners; ++i) {
+        const std::size_t j = i + ctx.rng().next_below(bucket.size() - i);
+        std::swap(bucket[i], bucket[j]);
+        WalkToken walk = held_walks_[bucket[i]].token;
+        walk.remaining -= 1;
+        ctx.send(neighbors[slot], wire_.encode_walk(walk));
+      }
+      for (std::size_t i = winners; i < bucket.size(); ++i) {
+        kept.push_back(held_walks_[bucket[i]]);
+      }
+    }
+    held_walks_.swap(kept);
+  }
+
+  Config config_;
+  CountingWire wire_;
+  std::vector<std::uint64_t> visits_;
+  std::vector<HeldWalk> held_walks_;
+  std::vector<std::vector<std::size_t>> per_neighbor_;
+  std::uint64_t died_ = 0;
+  std::uint64_t capped_ = 0;
+};
+
+}  // namespace
+
+DistributedAlphaCfbResult distributed_alpha_cfb(
+    const Graph& g, const DistributedAlphaCfbOptions& options) {
+  const NodeId n = g.node_count();
+  RWBC_REQUIRE(n >= 2, "distributed alpha-CFB needs n >= 2");
+  RWBC_REQUIRE(options.alpha > 0.0 && options.alpha < 1.0,
+               "alpha must be in (0, 1)");
+  require_connected(g, "distributed alpha-CFB");
+
+  DistributedAlphaCfbResult result;
+  result.walks_per_source =
+      options.walks_per_source > 0
+          ? options.walks_per_source
+          : default_walks_per_source(n, options.walks_multiplier);
+  if (options.max_steps > 0) {
+    result.max_steps = options.max_steps;
+  } else {
+    const double total_walks = static_cast<double>(n) *
+                               static_cast<double>(result.walks_per_source);
+    result.max_steps = static_cast<std::size_t>(
+        std::ceil((std::log(total_walks) + 16.0) / -std::log(options.alpha)));
+  }
+
+  Network net(g, options.congest);
+  net.set_all_nodes([&](NodeId) {
+    AlphaCountingNode::Config config;
+    config.alpha = options.alpha;
+    config.walks_per_source = result.walks_per_source;
+    config.max_steps = result.max_steps;
+    config.walks_per_edge_per_round = options.walks_per_edge_per_round;
+    return std::make_unique<AlphaCountingNode>(std::move(config));
+  });
+  result.counting_metrics = net.run();
+  result.total += result.counting_metrics;
+
+  Network compute_net(g, options.congest);
+  compute_net.set_all_nodes([&](NodeId v) {
+    const auto& counter = static_cast<const AlphaCountingNode&>(net.node(v));
+    ComputeNodeConfig config;
+    config.visits = counter.visits();
+    config.walks_per_source = result.walks_per_source;
+    config.cutoff = result.max_steps;
+    config.compute_score = options.compute_scores;
+    return std::make_unique<ComputeNode>(std::move(config));
+  });
+  result.computing_metrics = compute_net.run();
+  result.total += result.computing_metrics;
+
+  for (NodeId v = 0; v < n; ++v) {
+    result.capped_walks +=
+        static_cast<const AlphaCountingNode&>(net.node(v)).capped_walks();
+  }
+  if (options.compute_scores) {
+    const auto nn = static_cast<std::size_t>(n);
+    result.betweenness.resize(nn);
+    result.scaled_visits = DenseMatrix(nn, nn);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& compute =
+          static_cast<const ComputeNode&>(compute_net.node(v));
+      result.betweenness[static_cast<std::size_t>(v)] = compute.betweenness();
+      for (std::size_t s = 0; s < nn; ++s) {
+        result.scaled_visits(static_cast<std::size_t>(v), s) =
+            compute.scaled_visits()[s];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,98 @@
+#include "rwbc/distributed_pagerank.hpp"
+
+#include <memory>
+
+#include "common/bitcodec.hpp"
+#include "common/error.hpp"
+
+namespace rwbc {
+
+namespace {
+
+/// Node program: holds anonymous walk tokens; each round every held walk
+/// stops with probability eps (scoring an "ending" here) or moves to a
+/// uniform random neighbour; per-neighbour token counts travel as one
+/// integer message.
+class PagerankNode final : public NodeProcess {
+ public:
+  PagerankNode(double reset_probability, std::uint64_t walks_per_node)
+      : reset_probability_(reset_probability), walks_(walks_per_node) {}
+
+  void on_start(NodeContext& ctx) override {
+    // Count width: total walks in the system bounds any edge count.
+    count_bits_ = bits_for(static_cast<std::uint64_t>(ctx.node_count()) *
+                               walks_ + 1);
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      walks_ += reader.read(count_bits_);
+    }
+    if (walks_ == 0) {
+      ctx.halt();  // woken automatically if tokens arrive later
+      return;
+    }
+    const auto degree = static_cast<std::size_t>(ctx.degree());
+    std::vector<std::uint64_t> outgoing(degree, 0);
+    std::uint64_t moving = 0;
+    for (std::uint64_t w = 0; w < walks_; ++w) {
+      if (ctx.rng().next_bool(reset_probability_)) {
+        ++endings_;
+      } else {
+        ++outgoing[ctx.rng().next_below(degree)];
+        ++moving;
+      }
+    }
+    walks_ = 0;
+    const auto neighbors = ctx.neighbors();
+    for (std::size_t slot = 0; slot < degree; ++slot) {
+      if (outgoing[slot] == 0) continue;
+      BitWriter w;
+      w.write(outgoing[slot], count_bits_);
+      ctx.send(neighbors[slot], w);
+    }
+    if (moving == 0) ctx.halt();
+  }
+
+  std::uint64_t endings() const { return endings_; }
+
+ private:
+  double reset_probability_;
+  std::uint64_t walks_;
+  int count_bits_ = 0;
+  std::uint64_t endings_ = 0;
+};
+
+}  // namespace
+
+DistributedPagerankResult distributed_pagerank(
+    const Graph& g, const DistributedPagerankOptions& options) {
+  RWBC_REQUIRE(g.node_count() >= 1, "pagerank needs a non-empty graph");
+  RWBC_REQUIRE(options.reset_probability > 0.0 &&
+                   options.reset_probability < 1.0,
+               "reset probability must be in (0, 1)");
+  RWBC_REQUIRE(options.walks_per_node >= 1, "need at least one walk");
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    RWBC_REQUIRE(g.degree(v) > 0, "pagerank needs minimum degree 1");
+  }
+
+  Network net(g, options.congest);
+  net.set_all_nodes([&](NodeId) {
+    return std::make_unique<PagerankNode>(options.reset_probability,
+                                          options.walks_per_node);
+  });
+  DistributedPagerankResult result;
+  result.metrics = net.run();
+  const double total = static_cast<double>(g.node_count()) *
+                       static_cast<double>(options.walks_per_node);
+  result.pagerank.resize(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& program = static_cast<const PagerankNode&>(net.node(v));
+    result.pagerank[static_cast<std::size_t>(v)] =
+        static_cast<double>(program.endings()) / total;
+  }
+  return result;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,38 @@
+// Distributed Monte-Carlo PageRank under CONGEST — Das Sarma et al. (the
+// paper's Section II-B), implemented as the round-count yardstick for
+// experiment E4: PageRank walks die after O(1/eps) expected steps, so the
+// protocol finishes in O(log n / eps) rounds w.h.p., and the measured gap
+// to Algorithm 1's O(n log n) is the paper's "RWBC is strictly harder than
+// PageRank" argument made concrete.
+//
+// Congestion never bites: walk tokens are anonymous (no source, no length),
+// so all walks crossing an edge in a round compress into one integer count
+// — O(log n) bits regardless of how many walks travel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Options for distributed PageRank.
+struct DistributedPagerankOptions {
+  double reset_probability = 0.15;  ///< per-step stop probability epsilon
+  std::size_t walks_per_node = 64;  ///< walks each node launches
+  CongestConfig congest;
+};
+
+/// Outputs of a distributed PageRank run.
+struct DistributedPagerankResult {
+  std::vector<double> pagerank;  ///< end-point estimates (sum to 1)
+  RunMetrics metrics;
+};
+
+/// Runs the protocol.  Requires n >= 1 and minimum degree >= 1.
+DistributedPagerankResult distributed_pagerank(
+    const Graph& g, const DistributedPagerankOptions& options = {});
+
+}  // namespace rwbc

@@ -1,0 +1,168 @@
+#include "rwbc/distributed_rwbc.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "congest/protocols/broadcast.hpp"
+#include "congest/protocols/convergecast.hpp"
+#include "congest/protocols/leader_election.hpp"
+#include "graph/properties.hpp"
+#include "rwbc/compute_node.hpp"
+#include "rwbc/counting_node.hpp"
+
+namespace rwbc {
+
+namespace {
+
+/// Shared pipeline; `wg` is null for the unweighted paper algorithm.
+DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
+                                   const DistributedRwbcOptions& options) {
+  const NodeId n = g.node_count();
+  RWBC_REQUIRE(n >= 2, "distributed RWBC needs n >= 2");
+  require_connected(g, "distributed RWBC");
+
+  DistributedRwbcResult result;
+  result.params.cutoff = options.cutoff > 0
+                             ? options.cutoff
+                             : default_cutoff(n, options.cutoff_multiplier);
+  result.params.walks_per_source =
+      options.walks_per_source > 0
+          ? options.walks_per_source
+          : default_walks_per_source(n, options.walks_multiplier);
+
+  // P0: leader election (the node that will draw the absorbing target).
+  if (options.run_leader_election) {
+    const LeaderElectionResult election = run_leader_election(
+        g, options.congest, static_cast<std::uint64_t>(n));
+    result.leader = election.leader;
+    result.election_metrics = election.metrics;
+    result.total += election.metrics;
+  } else {
+    result.leader = 0;  // dense ids: min-id election would elect node 0
+  }
+
+  // P1: BFS spanning tree rooted at the leader.
+  const BfsTreeResult bfs = run_bfs_tree(
+      g, result.leader, options.congest, static_cast<std::uint64_t>(n) + 2);
+  result.bfs_metrics = bfs.metrics;
+  result.total += bfs.metrics;
+  const SpanningTree& tree = bfs.tree;
+
+  // P2a: convergecast the tree height (paces nothing here directly, but
+  // proves the root can learn it; also validates the tree end-to-end).
+  {
+    std::vector<std::uint64_t> depths(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      depths[static_cast<std::size_t>(v)] =
+          static_cast<std::uint64_t>(tree.depth[static_cast<std::size_t>(v)]);
+    }
+    const ConvergecastResult height = run_convergecast(
+        g, tree, depths, AggregateOp::kMax,
+        bits_for(static_cast<std::uint64_t>(n)), options.congest);
+    RWBC_ASSERT(height.aggregate == static_cast<std::uint64_t>(tree.height),
+                "distributed height disagrees with the assembled tree");
+    result.dissemination_metrics += height.metrics;
+  }
+
+  // P2b: the leader draws the absorbing target (Alg. 1 line 2) and
+  // broadcasts it.  The leader's own RNG keeps the draw node-local.
+  {
+    Rng leader_rng(options.congest.seed ^ 0x7a7a5eedULL, 0);
+    NodeId target =
+        options.forced_target >= 0
+            ? options.forced_target
+            : static_cast<NodeId>(
+                  leader_rng.next_below(static_cast<std::uint64_t>(n)));
+    RWBC_REQUIRE(target < n, "forced target out of range");
+    const int id_bits = bits_for(static_cast<std::uint64_t>(n));
+    const BroadcastResult bc =
+        run_broadcast(g, tree, static_cast<std::uint64_t>(target), id_bits,
+                      options.congest);
+    result.target = static_cast<NodeId>(bc.value);
+    result.dissemination_metrics += bc.metrics;
+  }
+  result.total += result.dissemination_metrics;
+
+  // P3: Algorithm 1 — the counting phase.
+  {
+    Network net(g, options.congest);
+    net.set_all_nodes([&](NodeId v) {
+      CountingNodeConfig config;
+      config.target = result.target;
+      config.walks_per_source = result.params.walks_per_source;
+      config.cutoff = result.params.cutoff;
+      config.tree_parent = tree.parent[static_cast<std::size_t>(v)];
+      config.tree_children = tree.children[static_cast<std::size_t>(v)];
+      config.walks_per_edge_per_round = options.walks_per_edge_per_round;
+      config.length_policy = options.length_policy;
+      if (wg != nullptr) {
+        const auto weights = wg->neighbor_weights(v);
+        config.neighbor_weights.assign(weights.begin(), weights.end());
+      }
+      return std::make_unique<CountingNode>(std::move(config));
+    });
+    result.counting_metrics = net.run();
+    result.total += result.counting_metrics;
+
+    // P4: Algorithm 2 — the computing phase, fed with P3's counts.
+    Network compute_net(g, options.congest);
+    compute_net.set_all_nodes([&](NodeId v) {
+      const auto& counter = static_cast<const CountingNode&>(net.node(v));
+      RWBC_ASSERT(counter.finished(), "counting phase did not finish");
+      ComputeNodeConfig config;
+      config.visits = counter.visits();
+      config.walks_per_source = result.params.walks_per_source;
+      config.cutoff = result.params.cutoff;
+      config.compute_score = options.compute_scores;
+      config.counts_per_message = options.counts_per_message;
+      if (wg != nullptr) {
+        config.strength = static_cast<std::uint64_t>(wg->strength(v));
+        config.strength_bits = bits_for(
+            static_cast<std::uint64_t>(wg->max_weight()) *
+                static_cast<std::uint64_t>(n - 1) +
+            1);
+        const auto weights = wg->neighbor_weights(v);
+        config.neighbor_weights.assign(weights.begin(), weights.end());
+      }
+      return std::make_unique<ComputeNode>(std::move(config));
+    });
+    result.computing_metrics = compute_net.run();
+    result.total += result.computing_metrics;
+
+    if (options.compute_scores) {
+      const auto nn = static_cast<std::size_t>(n);
+      result.betweenness.resize(nn);
+      result.scaled_visits = DenseMatrix(nn, nn);
+      for (NodeId v = 0; v < n; ++v) {
+        const auto& compute =
+            static_cast<const ComputeNode&>(compute_net.node(v));
+        RWBC_ASSERT(compute.finished(), "computing phase did not finish");
+        result.betweenness[static_cast<std::size_t>(v)] =
+            compute.betweenness();
+        for (std::size_t s = 0; s < nn; ++s) {
+          result.scaled_visits(static_cast<std::size_t>(v), s) =
+              compute.scaled_visits()[s];
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+DistributedRwbcResult distributed_rwbc(const Graph& g,
+                                       const DistributedRwbcOptions& options) {
+  return run_pipeline(g, nullptr, options);
+}
+
+DistributedRwbcResult distributed_rwbc(const WeightedGraph& wg,
+                                       const DistributedRwbcOptions& options) {
+  RWBC_REQUIRE(wg.has_integer_weights(),
+               "the distributed pipeline needs positive integer weights "
+               "(strengths must travel exactly in O(log n + log W) bits)");
+  return run_pipeline(wg.topology(), &wg, options);
+}
+
+}  // namespace rwbc

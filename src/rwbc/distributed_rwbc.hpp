@@ -1,0 +1,95 @@
+// The end-to-end distributed RWBC pipeline — the paper's headline
+// contribution, assembled from CONGEST phases whose rounds are all metered:
+//
+//   P0  leader election             (flooding min id,     <= n rounds)
+//   P1  BFS tree from the leader    (layered flood,       <= n + 2 rounds)
+//   P2  height convergecast + (height, target, seed) broadcast
+//   P3  Algorithm 1: counting       (O(K n + l) = O(n log n) rounds)
+//   P4  Algorithm 2: computing      (n + 2 rounds)
+//
+// P0-P2 realise "randomly choose a target node t" (Alg. 1 line 2) and give
+// Algorithm 1 the spanning tree its termination detection runs on; they add
+// O(n) rounds, absorbed by the O(n log n) total.  Every phase runs on its
+// own Network instance over the same graph; metrics are summed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/weighted.hpp"
+#include "linalg/dense.hpp"
+#include "rwbc/counting_node.hpp"
+#include "rwbc/params.hpp"
+
+namespace rwbc {
+
+/// Options for a distributed RWBC run.
+struct DistributedRwbcOptions {
+  /// K: walks per source.  0 = Theorem 3 default (walks_multiplier*log2 n).
+  std::size_t walks_per_source = 0;
+  /// l: walk-length cutoff.  0 = Theorem 1 default (cutoff_multiplier * n).
+  std::size_t cutoff = 0;
+  double walks_multiplier = 4.0;
+  double cutoff_multiplier = 2.0;
+
+  /// Test hook: fix the absorbing target instead of the leader drawing one.
+  NodeId forced_target = -1;
+
+  /// Skip P0 (the leader is then node 0, which min-id election elects
+  /// anyway under the simulator's dense ids); saves n rounds in scaling
+  /// sweeps that only study Algorithm 1's growth.
+  bool run_leader_election = true;
+
+  /// When false, Algorithm 2's messages still flow (honest round counts)
+  /// but no scores are computed or stored (memory-light scaling runs).
+  bool compute_scores = true;
+
+  /// Walk tokens an edge may carry per direction per round (paper: 1).
+  std::size_t walks_per_edge_per_round = 1;
+
+  /// Whether walk length is spent per move (paper-faithful) or per round
+  /// (the E7 ablation; see rwbc/counting_node.hpp).
+  LengthPolicy length_policy = LengthPolicy::kPerMove;
+
+  /// Visit counts packed per Algorithm-2 message: 1 = the paper's one
+  /// count per round; 0 = auto-fit the bit budget (fewer rounds, same
+  /// O(log n) bits per edge per round).
+  std::uint64_t counts_per_message = 1;
+
+  /// Simulator settings (seed, bandwidth budget, enforcement).
+  CongestConfig congest;
+};
+
+/// Outputs of a distributed RWBC run.
+struct DistributedRwbcResult {
+  /// Per-node betweenness estimates (empty when compute_scores is false).
+  std::vector<double> betweenness;
+  /// The estimated potentials T_hat(v, s) (empty when compute_scores off).
+  DenseMatrix scaled_visits;
+  NodeId leader = -1;
+  NodeId target = -1;
+  RwbcParams params;  ///< the (l, K) actually used
+
+  RunMetrics total;  ///< all phases summed
+  RunMetrics election_metrics;
+  RunMetrics bfs_metrics;
+  RunMetrics dissemination_metrics;
+  RunMetrics counting_metrics;
+  RunMetrics computing_metrics;
+};
+
+/// Runs the full pipeline.  Requires a connected graph with n >= 2.
+DistributedRwbcResult distributed_rwbc(const Graph& g,
+                                       const DistributedRwbcOptions& options = {});
+
+/// Weighted extension: same pipeline on a conductance network.  Walks move
+/// with probability w_ij / s(i), counts are normalised by strengths, and
+/// Eq. 6 weighs flows by conductance.  Requires positive INTEGER weights
+/// (so strengths travel exactly in O(log n + log W) bits) and a connected
+/// topology with n >= 2.  `result.scaled_visits` then estimates the
+/// weighted potentials (S - W)^{-1} padded at the target.
+DistributedRwbcResult distributed_rwbc(const WeightedGraph& wg,
+                                       const DistributedRwbcOptions& options = {});
+
+}  // namespace rwbc

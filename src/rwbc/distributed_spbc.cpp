@@ -1,0 +1,289 @@
+#include "rwbc/distributed_spbc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "common/bitcodec.hpp"
+#include "common/error.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+
+namespace {
+
+constexpr int kMantissaBits = 22;  // the (1 +/- eps) precision of [5]
+constexpr int kExponentBits = 8;
+constexpr int kFloatBits = kMantissaBits + kExponentBits;
+
+/// Phase A: all-sources BFS with path counts, as a self-stabilising
+/// dataflow — (dist, sigma) updates re-broadcast on improvement until the
+/// network quiesces at the exact BFS values.
+class SpbcForwardNode final : public NodeProcess {
+ public:
+  explicit SpbcForwardNode(std::size_t updates_per_edge)
+      : updates_per_edge_(updates_per_edge) {}
+
+  void on_start(NodeContext& ctx) override {
+    const auto n = static_cast<std::size_t>(ctx.node_count());
+    const auto degree = static_cast<std::size_t>(ctx.degree());
+    id_bits_ = bits_for(static_cast<std::uint64_t>(ctx.node_count()));
+    // Self-limit the per-edge update count to the bit budget.
+    const auto message_bits =
+        static_cast<std::uint64_t>(2 * id_bits_ + kFloatBits);
+    updates_per_edge_ = std::max<std::size_t>(
+        1, std::min<std::uint64_t>(updates_per_edge_,
+                                   ctx.bit_budget() / message_bits));
+    dist_.assign(n, -1);
+    sigma_.assign(n, 0.0);
+    neighbor_dist_.assign(degree, std::vector<NodeId>(n, -1));
+    neighbor_sigma_.assign(degree, std::vector<double>(n, 0.0));
+    dirty_.assign(degree, std::vector<bool>(n, false));
+    pending_.resize(degree);
+    // This node is the source of its own BFS.
+    const auto self = static_cast<std::size_t>(ctx.id());
+    dist_[self] = 0;
+    sigma_[self] = 1.0;
+    mark_dirty(ctx.id(), degree);
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    const auto neighbors = ctx.neighbors();
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      const auto source = static_cast<std::size_t>(reader.read(id_bits_));
+      const auto d = static_cast<NodeId>(reader.read(id_bits_));
+      const double sigma =
+          decode_approx_float(reader.read(kFloatBits), kMantissaBits,
+                              kExponentBits);
+      const std::size_t slot = slot_of(neighbors, msg.from);
+      neighbor_dist_[slot][source] = d;
+      neighbor_sigma_[slot][source] = sigma;
+      recompute(ctx, source);
+    }
+    // Drain pending updates under the per-edge cap.
+    bool any_pending = false;
+    for (std::size_t slot = 0; slot < pending_.size(); ++slot) {
+      std::size_t sent = 0;
+      while (!pending_[slot].empty() && sent < updates_per_edge_) {
+        const std::size_t source = pending_[slot].front();
+        pending_[slot].pop_front();
+        dirty_[slot][source] = false;
+        BitWriter w;
+        w.write(source, id_bits_);
+        w.write(static_cast<std::uint64_t>(dist_[source]), id_bits_);
+        w.write(encode_approx_float(sigma_[source], kMantissaBits,
+                                    kExponentBits),
+                kFloatBits);
+        ctx.send(neighbors[slot], w);
+        ++sent;
+      }
+      any_pending = any_pending || !pending_[slot].empty();
+    }
+    if (!any_pending) ctx.halt();  // woken again by arrivals
+  }
+
+  const std::vector<NodeId>& dist() const { return dist_; }
+  const std::vector<double>& sigma() const { return sigma_; }
+  const std::vector<std::vector<NodeId>>& neighbor_dist() const {
+    return neighbor_dist_;
+  }
+  const std::vector<std::vector<double>>& neighbor_sigma() const {
+    return neighbor_sigma_;
+  }
+
+ private:
+  static std::size_t slot_of(std::span<const NodeId> neighbors, NodeId from) {
+    const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), from);
+    RWBC_ASSERT(it != neighbors.end() && *it == from, "unknown sender");
+    return static_cast<std::size_t>(it - neighbors.begin());
+  }
+
+  void mark_dirty(NodeId source, std::size_t degree) {
+    for (std::size_t slot = 0; slot < degree; ++slot) {
+      if (!dirty_[slot][static_cast<std::size_t>(source)]) {
+        dirty_[slot][static_cast<std::size_t>(source)] = true;
+        pending_[slot].push_back(static_cast<std::size_t>(source));
+      }
+    }
+  }
+
+  void recompute(NodeContext& ctx, std::size_t source) {
+    if (static_cast<NodeId>(source) == ctx.id()) return;  // fixed (0, 1)
+    NodeId best = -1;
+    for (const auto& per_slot : neighbor_dist_) {
+      const NodeId d = per_slot[source];
+      if (d >= 0 && (best < 0 || d < best)) best = d;
+    }
+    if (best < 0) return;
+    const NodeId new_dist = best + 1;
+    double new_sigma = 0.0;
+    for (std::size_t slot = 0; slot < neighbor_dist_.size(); ++slot) {
+      if (neighbor_dist_[slot][source] == best) {
+        new_sigma += neighbor_sigma_[slot][source];
+      }
+    }
+    if (new_dist != dist_[source] || new_sigma != sigma_[source]) {
+      dist_[source] = new_dist;
+      sigma_[source] = new_sigma;
+      mark_dirty(static_cast<NodeId>(source), neighbor_dist_.size());
+    }
+  }
+
+  std::size_t updates_per_edge_;
+  int id_bits_ = 0;
+  std::vector<NodeId> dist_;
+  std::vector<double> sigma_;
+  std::vector<std::vector<NodeId>> neighbor_dist_;
+  std::vector<std::vector<double>> neighbor_sigma_;
+  std::vector<std::vector<bool>> dirty_;
+  std::vector<std::deque<std::size_t>> pending_;
+};
+
+/// Phase B: dependency accumulation — a pure dataflow from BFS leaves
+/// toward each source, pipelined across all sources with queueing.
+class SpbcBackwardNode final : public NodeProcess {
+ public:
+  struct Config {
+    std::vector<NodeId> dist;                        // per source
+    std::vector<double> sigma;                       // per source
+    std::vector<std::vector<NodeId>> neighbor_dist;  // [slot][source]
+    std::vector<std::vector<double>> neighbor_sigma;
+    std::size_t updates_per_edge = 2;
+  };
+
+  explicit SpbcBackwardNode(Config config) : config_(std::move(config)) {}
+
+  void on_start(NodeContext& ctx) override {
+    const auto n = static_cast<std::size_t>(ctx.node_count());
+    const auto degree = static_cast<std::size_t>(ctx.degree());
+    id_bits_ = bits_for(static_cast<std::uint64_t>(ctx.node_count()));
+    const auto message_bits =
+        static_cast<std::uint64_t>(id_bits_ + kFloatBits);
+    config_.updates_per_edge = std::max<std::size_t>(
+        1, std::min<std::uint64_t>(config_.updates_per_edge,
+                                   ctx.bit_budget() / message_bits));
+    delta_.assign(n, 0.0);
+    waiting_.assign(n, 0);
+    pending_.resize(degree);
+    // Count successors per source; sources with none are ready at once.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (config_.dist[s] < 0) continue;  // unreachable (connected: none)
+      std::size_t successors = 0;
+      for (std::size_t slot = 0; slot < degree; ++slot) {
+        if (config_.neighbor_dist[slot][s] == config_.dist[s] + 1) {
+          ++successors;
+        }
+      }
+      waiting_[s] = successors;
+      if (successors == 0) emit(ctx, s);
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    const auto neighbors = ctx.neighbors();
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      const auto source = static_cast<std::size_t>(reader.read(id_bits_));
+      const double contribution = decode_approx_float(
+          reader.read(kFloatBits), kMantissaBits, kExponentBits);
+      delta_[source] += contribution;
+      RWBC_ASSERT(waiting_[source] > 0, "unexpected dependency message");
+      if (--waiting_[source] == 0) emit(ctx, source);
+    }
+    bool any_pending = false;
+    for (std::size_t slot = 0; slot < pending_.size(); ++slot) {
+      std::size_t sent = 0;
+      while (!pending_[slot].empty() && sent < config_.updates_per_edge) {
+        const auto [source, value] = pending_[slot].front();
+        pending_[slot].pop_front();
+        BitWriter w;
+        w.write(source, id_bits_);
+        w.write(encode_approx_float(value, kMantissaBits, kExponentBits),
+                kFloatBits);
+        ctx.send(neighbors[slot], w);
+        ++sent;
+      }
+      any_pending = any_pending || !pending_[slot].empty();
+    }
+    if (!any_pending) ctx.halt();
+  }
+
+  const std::vector<double>& delta() const { return delta_; }
+
+ private:
+  /// All successor contributions for `source` have arrived: forward
+  /// sigma_pred / sigma_v * (1 + delta_v) to every predecessor.
+  void emit(NodeContext& ctx, std::size_t source) {
+    if (static_cast<NodeId>(source) == ctx.id()) return;  // the source stops
+    const double share = (1.0 + delta_[source]) / config_.sigma[source];
+    for (std::size_t slot = 0; slot < pending_.size(); ++slot) {
+      if (config_.neighbor_dist[slot][source] == config_.dist[source] - 1) {
+        pending_[slot].push_back(
+            {source, config_.neighbor_sigma[slot][source] * share});
+      }
+    }
+  }
+
+  Config config_;
+  int id_bits_ = 0;
+  std::vector<double> delta_;
+  std::vector<std::size_t> waiting_;
+  std::vector<std::deque<std::pair<std::size_t, double>>> pending_;
+};
+
+}  // namespace
+
+DistributedSpbcResult distributed_spbc(const Graph& g,
+                                       const DistributedSpbcOptions& options) {
+  const NodeId n = g.node_count();
+  RWBC_REQUIRE(n >= 2, "distributed SPBC needs n >= 2");
+  RWBC_REQUIRE(options.updates_per_edge_per_round >= 1,
+               "need at least one update slot per edge");
+  require_connected(g, "distributed SPBC");
+
+  DistributedSpbcResult result;
+  Network forward(g, options.congest);
+  RWBC_REQUIRE(
+      forward.bit_budget() >=
+          static_cast<std::uint64_t>(
+              2 * bits_for(static_cast<std::uint64_t>(n)) + kFloatBits),
+      "SPBC updates carry 2 log n + 30 bits; raise congest.bit_floor for "
+      "very small graphs");
+  forward.set_all_nodes([&](NodeId) {
+    return std::make_unique<SpbcForwardNode>(
+        options.updates_per_edge_per_round);
+  });
+  result.forward_metrics = forward.run();
+  result.total += result.forward_metrics;
+
+  Network backward(g, options.congest);
+  backward.set_all_nodes([&](NodeId v) {
+    const auto& node = static_cast<const SpbcForwardNode&>(forward.node(v));
+    SpbcBackwardNode::Config config;
+    config.dist = node.dist();
+    config.sigma = node.sigma();
+    config.neighbor_dist = node.neighbor_dist();
+    config.neighbor_sigma = node.neighbor_sigma();
+    config.updates_per_edge = options.updates_per_edge_per_round;
+    return std::make_unique<SpbcBackwardNode>(std::move(config));
+  });
+  result.backward_metrics = backward.run();
+  result.total += result.backward_metrics;
+
+  result.betweenness.assign(static_cast<std::size_t>(n), 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& node = static_cast<const SpbcBackwardNode&>(backward.node(v));
+    double total = 0.0;
+    for (std::size_t s = 0; s < static_cast<std::size_t>(n); ++s) {
+      if (s != static_cast<std::size_t>(v)) total += node.delta()[s];
+    }
+    result.betweenness[static_cast<std::size_t>(v)] =
+        options.normalized
+            ? total / (static_cast<double>(n - 1) * static_cast<double>(n - 2))
+            : total;
+  }
+  return result;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,61 @@
+// Distributed shortest-path betweenness — the paper's own prior work
+// ([5]: Hua, Fan, Ai, Qian, Li, Shi, Jin, ICDCS 2016), which Section I
+// presents as the O(n)-round companion result ("we have proposed an O(n)
+// time distributed approximation algorithm to compute the shortest path
+// betweenness with approximation ratio (1 +/- 1/n^c)").
+//
+// This implementation follows the same two-phase structure as Brandes'
+// centralized algorithm, distributed as a dataflow computation:
+//
+//   Phase A  all-sources BFS with path counts: every node maintains
+//            (dist_s, sigma_s) per source and re-broadcasts on improvement
+//            (asynchronous Bellman-Ford-style; converges to exact BFS
+//            distances and path counts).  All n sources run concurrently;
+//            per-edge traffic is capped and queued, and quiescence ends
+//            the phase (idle nodes halt, arrivals wake them).
+//   Phase B  dependency accumulation: delta_s(v) = sum over successors w
+//            (sigma_v / sigma_w)(1 + delta_s(w)) flows from BFS leaves
+//            toward each source — a pure data dependency, so pipelining
+//            across sources needs no timing discipline at all.
+//
+// sigma_st can be exponential in n, so exact counts cannot cross an
+// O(log n)-bit edge: like [5], sigma and delta travel as bounded-precision
+// floats (22-bit mantissa), giving the (1 +/- eps) multiplicative error
+// the companion paper proves — here eps = 2^-22 per hop, measured against
+// exact Brandes in the tests.
+//
+// Rounds: O(n + D) message waves per phase under the per-edge cap — the
+// linear-time claim of [5], reproduced by E13.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Options for distributed SPBC.
+struct DistributedSpbcOptions {
+  /// Update messages an edge may carry per direction per round (each is
+  /// ~2 log n + 30 bits; the default budget fits 1-2).
+  std::size_t updates_per_edge_per_round = 2;
+  /// If true, scores are divided by (n-1)(n-2) (Brandes' normalisation).
+  bool normalized = true;
+  CongestConfig congest;
+};
+
+/// Outputs of a distributed SPBC run.
+struct DistributedSpbcResult {
+  std::vector<double> betweenness;
+  RunMetrics total;
+  RunMetrics forward_metrics;   ///< Phase A: BFS + path counting
+  RunMetrics backward_metrics;  ///< Phase B: dependency accumulation
+};
+
+/// Runs the pipeline.  Requires a connected graph with n >= 2.
+DistributedSpbcResult distributed_spbc(
+    const Graph& g, const DistributedSpbcOptions& options = {});
+
+}  // namespace rwbc

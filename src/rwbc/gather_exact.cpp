@@ -1,0 +1,197 @@
+#include "rwbc/gather_exact.hpp"
+
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "centrality/current_flow_exact.hpp"
+#include "common/error.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "congest/protocols/leader_election.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+
+namespace {
+
+constexpr std::uint64_t kScoreBits = 24;  // fixed-point scores in [0, 1]
+constexpr double kScoreScale = static_cast<double>((1u << kScoreBits) - 1);
+
+enum GatherMsg : std::uint64_t {
+  kEdge = 0,         ///< (u, v): one edge report streaming to the root
+  kSubtreeDone = 1,  ///< all edges of the sender's subtree delivered
+  kScore = 2,        ///< (node, fixed-point value) flooding down
+};
+
+/// Node program: edge gather up the tree, exact solve at the root, score
+/// flood back down.  One Network run covers all three stages.
+class GatherExactNode final : public NodeProcess {
+ public:
+  GatherExactNode(NodeId parent, std::vector<NodeId> children)
+      : parent_(parent), children_(std::move(children)) {}
+
+  void on_start(NodeContext& ctx) override {
+    id_bits_ = bits_for(static_cast<std::uint64_t>(ctx.node_count()));
+    // Each undirected edge is owned (and reported) by its smaller endpoint.
+    for (NodeId nb : ctx.neighbors()) {
+      if (nb > ctx.id()) pending_edges_.push_back(Edge{ctx.id(), nb});
+    }
+    children_done_ = 0;
+    scores_seen_ = 0;
+    if (parent_ < 0) {
+      // Root: its own edges are already "delivered".
+      for (const Edge& e : pending_edges_) collected_.push_back(e);
+      pending_edges_.clear();
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    const auto n = static_cast<std::uint64_t>(ctx.node_count());
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      switch (static_cast<GatherMsg>(reader.read(2))) {
+        case kEdge: {
+          Edge e;
+          e.u = static_cast<NodeId>(reader.read(id_bits_));
+          e.v = static_cast<NodeId>(reader.read(id_bits_));
+          if (parent_ < 0) {
+            collected_.push_back(e);
+          } else {
+            pending_edges_.push_back(e);  // relay upward
+          }
+          break;
+        }
+        case kSubtreeDone:
+          ++children_done_;
+          break;
+        case kScore: {
+          const auto node = static_cast<NodeId>(reader.read(id_bits_));
+          const std::uint64_t q = reader.read(static_cast<int>(kScoreBits));
+          if (node == ctx.id()) my_score_ = static_cast<double>(q) / kScoreScale;
+          score_queue_.push_back({node, q});
+          ++scores_seen_;
+          break;
+        }
+      }
+    }
+
+    if (parent_ >= 0 && !gather_done_) {
+      // Stream edges upward, as many per round as the bit budget allows.
+      const std::uint64_t per_edge = 2 + 2 * static_cast<std::uint64_t>(id_bits_);
+      std::uint64_t bits_left = ctx.bit_budget();
+      while (!pending_edges_.empty() && bits_left >= per_edge + 2) {
+        const Edge e = pending_edges_.front();
+        pending_edges_.pop_front();
+        BitWriter w;
+        w.write(kEdge, 2);
+        w.write(static_cast<std::uint64_t>(e.u), id_bits_);
+        w.write(static_cast<std::uint64_t>(e.v), id_bits_);
+        ctx.send(parent_, w);
+        bits_left -= per_edge;
+      }
+      if (pending_edges_.empty() && children_done_ == children_.size()) {
+        BitWriter w;
+        w.write(kSubtreeDone, 2);
+        ctx.send(parent_, w);  // 2 bits reserved above keep this in budget
+        gather_done_ = true;
+      }
+    }
+
+    if (parent_ < 0 && !gather_done_ &&
+        children_done_ == children_.size()) {
+      gather_done_ = true;
+      // Root solves exactly on the assembled topology.
+      GraphBuilder builder(ctx.node_count());
+      for (const Edge& e : collected_) builder.add_edge(e.u, e.v);
+      const Graph assembled = builder.build();
+      const std::vector<double> exact = current_flow_betweenness(assembled);
+      for (NodeId v = 0; v < ctx.node_count(); ++v) {
+        const double clamped =
+            std::min(1.0, std::max(0.0, exact[static_cast<std::size_t>(v)]));
+        const auto q = static_cast<std::uint64_t>(
+            std::llround(clamped * kScoreScale));
+        score_queue_.push_back({v, q});
+        if (v == ctx.id()) my_score_ = static_cast<double>(q) / kScoreScale;
+      }
+      scores_seen_ = n;
+    }
+
+    // Score flood: forward one queued score per child per round.
+    if (!score_queue_.empty()) {
+      const auto [node, q] = score_queue_.front();
+      score_queue_.pop_front();
+      BitWriter w;
+      w.write(kScore, 2);
+      w.write(static_cast<std::uint64_t>(node), id_bits_);
+      w.write(q, static_cast<int>(kScoreBits));
+      for (NodeId child : children_) ctx.send(child, w);
+      ++scores_forwarded_;
+    }
+    if (gather_done_ && scores_forwarded_ == n && score_queue_.empty()) {
+      ctx.halt();
+    }
+    if (gather_done_ && children_.empty() && scores_seen_ == n) {
+      ctx.halt();  // leaf: nothing to forward
+    }
+  }
+
+  double score() const { return my_score_; }
+
+ private:
+  NodeId parent_;
+  std::vector<NodeId> children_;
+  int id_bits_ = 0;
+  std::deque<Edge> pending_edges_;
+  std::vector<Edge> collected_;  // root only
+  std::size_t children_done_ = 0;
+  bool gather_done_ = false;
+  std::deque<std::pair<NodeId, std::uint64_t>> score_queue_;
+  std::uint64_t scores_seen_ = 0;
+  std::uint64_t scores_forwarded_ = 0;
+  double my_score_ = -1.0;
+};
+
+}  // namespace
+
+GatherExactResult gather_exact_rwbc(const Graph& g,
+                                    const GatherExactOptions& options) {
+  const NodeId n = g.node_count();
+  RWBC_REQUIRE(n >= 2, "gather-exact needs n >= 2");
+  require_connected(g, "gather-exact RWBC");
+
+  GatherExactResult result;
+  if (options.run_leader_election) {
+    const LeaderElectionResult election = run_leader_election(
+        g, options.congest, static_cast<std::uint64_t>(n));
+    result.leader = election.leader;
+    result.election_metrics = election.metrics;
+    result.total += election.metrics;
+  } else {
+    result.leader = 0;
+  }
+
+  const BfsTreeResult bfs = run_bfs_tree(
+      g, result.leader, options.congest, static_cast<std::uint64_t>(n) + 2);
+  result.bfs_metrics = bfs.metrics;
+  result.total += bfs.metrics;
+
+  Network net(g, options.congest);
+  net.set_all_nodes([&](NodeId v) {
+    const auto idx = static_cast<std::size_t>(v);
+    return std::make_unique<GatherExactNode>(bfs.tree.parent[idx],
+                                             bfs.tree.children[idx]);
+  });
+  result.main_metrics = net.run();
+  result.total += result.main_metrics;
+
+  result.betweenness.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& program = static_cast<const GatherExactNode&>(net.node(v));
+    RWBC_ASSERT(program.score() >= 0.0,
+                "gather-exact: node never received its score");
+    result.betweenness[static_cast<std::size_t>(v)] = program.score();
+  }
+  return result;
+}
+
+}  // namespace rwbc

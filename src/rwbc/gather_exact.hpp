@@ -1,0 +1,43 @@
+// The trivial distributed-exact baseline the paper repeatedly dismisses
+// (Sections I, V, IX): stream the whole edge list to one node over a BFS
+// tree, compute exact RWBC there, and flood the answers back down.
+//
+// Rounds: Theta(m + D) for the gather (edge reports pipelined up the tree,
+// batched to the per-round bit budget) plus Theta(n + D) for the score
+// flood — the O(m) cost that experiment E4 measures the O(n log n)
+// algorithm against.
+//
+// Scores travel as 24-bit fixed-point values in [0, 1] (node throughflow of
+// a unit current never exceeds 1); the 2^-24 quantisation is far below
+// every other error source and is part of this baseline's contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Options for the gather-exact baseline.
+struct GatherExactOptions {
+  bool run_leader_election = true;  ///< include P0's n rounds
+  CongestConfig congest;
+};
+
+/// Outputs of the baseline run.
+struct GatherExactResult {
+  std::vector<double> betweenness;  ///< exact values (fixed-point quantised)
+  NodeId leader = -1;
+  RunMetrics total;            ///< all phases summed
+  RunMetrics election_metrics; ///< P0
+  RunMetrics bfs_metrics;      ///< tree construction
+  RunMetrics main_metrics;     ///< gather + compute + score flood
+};
+
+/// Runs the baseline.  Requires a connected graph with n >= 2.
+GatherExactResult gather_exact_rwbc(const Graph& g,
+                                    const GatherExactOptions& options = {});
+
+}  // namespace rwbc

@@ -1,0 +1,32 @@
+#include "rwbc/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+std::size_t default_cutoff(NodeId n, double multiplier) {
+  RWBC_REQUIRE(n >= 1, "cutoff needs n >= 1");
+  RWBC_REQUIRE(multiplier > 0.0, "cutoff multiplier must be positive");
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(multiplier * static_cast<double>(n))));
+}
+
+std::size_t default_walks_per_source(NodeId n, double multiplier) {
+  RWBC_REQUIRE(n >= 1, "walk count needs n >= 1");
+  RWBC_REQUIRE(multiplier > 0.0, "walk multiplier must be positive");
+  const double log_n = std::log2(std::max(2.0, static_cast<double>(n)));
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(multiplier * log_n)));
+}
+
+RwbcParams default_params(NodeId n, double cutoff_multiplier,
+                          double walks_multiplier) {
+  return RwbcParams{default_cutoff(n, cutoff_multiplier),
+                    default_walks_per_source(n, walks_multiplier)};
+}
+
+}  // namespace rwbc

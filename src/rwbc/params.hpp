@@ -1,0 +1,32 @@
+// Parameter selection for the distributed RWBC algorithm.
+//
+// Theorem 1: truncating walks at l = O(n) steps leaves at most an epsilon
+// fraction of walk mass unaccounted (multiplicative (1 - epsilon) bias).
+// Theorem 3: K = O(log n) walks per source concentrate every visit count
+// w.h.p.  The theorems fix the orders; the constants are the knobs below,
+// and experiments E2/E3 chart the accuracy each choice buys.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// The (l, K) pair used by a run.
+struct RwbcParams {
+  std::size_t cutoff = 0;           ///< l: walk-length cap (Theorem 1)
+  std::size_t walks_per_source = 0; ///< K: walks per node (Theorem 3)
+};
+
+/// Theorem 1's l = O(n): ceil(multiplier * n), at least 1.
+std::size_t default_cutoff(NodeId n, double multiplier = 2.0);
+
+/// Theorem 3's K = O(log n): ceil(multiplier * log2 n), at least 1.
+std::size_t default_walks_per_source(NodeId n, double multiplier = 4.0);
+
+/// Both defaults together.
+RwbcParams default_params(NodeId n, double cutoff_multiplier = 2.0,
+                          double walks_multiplier = 4.0);
+
+}  // namespace rwbc

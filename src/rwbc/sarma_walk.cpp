@@ -1,0 +1,519 @@
+#include "rwbc/sarma_walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/bitcodec.hpp"
+#include "common/error.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+
+namespace {
+
+enum SarmaMsg : std::uint64_t {
+  kCoupon = 0,       // (owner, serial, remaining): short walk in flight
+  kSweepRequest = 1, // phase-1 termination detection, down the tree
+  kSweepReport = 2,  // rested-coupon subtree count, up the tree
+  kPhase2Start = 3,  // broadcast: all coupons rested, stitching may begin
+  kStitchUp = 4,     // (owner, serial, rem): coupon lookup toward the root
+  kStitchFind = 5,   // (owner, serial, rem): lookup broadcast down
+  kLongWalk = 6,     // (rem): a direct single step of the long walk
+  kDoneUp = 7,       // walk finished, notify the root
+  kDone = 8,         // broadcast: halt
+};
+constexpr int kTypeBits = 4;
+
+struct Coupon {
+  NodeId owner = 0;
+  std::uint64_t serial = 0;
+  std::uint64_t remaining = 0;
+};
+
+struct SarmaNodeConfig {
+  NodeId walk_source = 0;
+  std::uint64_t length = 1;
+  std::uint64_t lambda = 1;
+  std::uint64_t eta = 1;
+  std::uint64_t coupons_per_edge = 3;
+  NodeId tree_parent = -1;
+  std::vector<NodeId> tree_children;
+};
+
+class SarmaWalkNode final : public NodeProcess {
+ public:
+  explicit SarmaWalkNode(SarmaNodeConfig config)
+      : config_(std::move(config)) {}
+
+  void on_start(NodeContext& ctx) override {
+    const auto n = static_cast<std::uint64_t>(ctx.node_count());
+    id_bits_ = bits_for(n);
+    serial_bits_ = bits_for(config_.eta + 1);
+    lambda_bits_ = bits_for(config_.lambda + 1);
+    length_bits_ = bits_for(config_.length + 1);
+    rest_count_bits_ = bits_for(n * config_.eta + 1);
+    is_root_ = config_.tree_parent < 0;
+    expected_rested_ = n * config_.eta;
+    per_neighbor_.assign(static_cast<std::size_t>(ctx.degree()), {});
+    for (std::uint64_t k = 0; k < config_.eta; ++k) {
+      held_coupons_.push_back(Coupon{ctx.id(), k, config_.lambda});
+    }
+    if (ctx.id() == config_.walk_source) {
+      am_holder_ = true;
+      walk_remaining_ = config_.length;
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    process_inbox(ctx, inbox);
+    if (done_pending_) {
+      relay_done(ctx);
+      return;
+    }
+    if (finished_) {
+      ctx.halt();
+      return;
+    }
+    if (phase_ == 1) {
+      forward_coupons(ctx);
+      run_sweep_logic(ctx);
+    } else if (am_holder_ && !handed_off_) {
+      act_as_holder(ctx);
+    }
+  }
+
+  bool is_destination() const { return is_destination_; }
+  std::uint64_t stitches() const { return stitches_; }
+  std::uint64_t direct_steps() const { return direct_steps_; }
+  bool finished() const { return finished_; }
+
+ private:
+  void process_inbox(NodeContext& ctx, std::span<const Message> inbox) {
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      switch (static_cast<SarmaMsg>(reader.read(kTypeBits))) {
+        case kCoupon: {
+          Coupon coupon;
+          coupon.owner = static_cast<NodeId>(reader.read(id_bits_));
+          coupon.serial = reader.read(serial_bits_);
+          coupon.remaining = reader.read(lambda_bits_);
+          if (coupon.remaining == 0) {
+            rested_coupons_.push_back(coupon);
+            ++rested_here_;
+          } else {
+            held_coupons_.push_back(coupon);
+          }
+          break;
+        }
+        case kSweepRequest:
+          sweep_request_pending_ = true;
+          break;
+        case kSweepReport:
+          RWBC_ASSERT(sweep_reports_pending_ > 0, "unexpected sweep report");
+          sweep_accumulator_ += reader.read(rest_count_bits_);
+          --sweep_reports_pending_;
+          break;
+        case kPhase2Start:
+          enter_phase2(ctx);
+          break;
+        case kStitchUp: {
+          const auto owner = static_cast<NodeId>(reader.read(id_bits_));
+          const std::uint64_t serial = reader.read(serial_bits_);
+          const std::uint64_t rem = reader.read(length_bits_);
+          handle_stitch_lookup(ctx, owner, serial, rem, /*from_root=*/false);
+          break;
+        }
+        case kStitchFind: {
+          const auto owner = static_cast<NodeId>(reader.read(id_bits_));
+          const std::uint64_t serial = reader.read(serial_bits_);
+          const std::uint64_t rem = reader.read(length_bits_);
+          handle_stitch_find(ctx, owner, serial, rem);
+          break;
+        }
+        case kLongWalk:
+          am_holder_ = true;
+          handed_off_ = false;
+          walk_remaining_ = reader.read(length_bits_);
+          break;
+        case kDoneUp:
+          if (is_root_) {
+            done_pending_ = true;
+          } else {
+            BitWriter up;
+            up.write(kDoneUp, kTypeBits);
+            ctx.send(config_.tree_parent, up);
+          }
+          break;
+        case kDone:
+          done_pending_ = true;
+          break;
+      }
+    }
+  }
+
+  void relay_done(NodeContext& ctx) {
+    BitWriter done;
+    done.write(kDone, kTypeBits);
+    for (NodeId child : config_.tree_children) ctx.send(child, done);
+    done_pending_ = false;
+    finished_ = true;
+    ctx.halt();
+  }
+
+  void enter_phase2(NodeContext& ctx) {
+    phase_ = 2;
+    for (NodeId child : config_.tree_children) {
+      BitWriter start;
+      start.write(kPhase2Start, kTypeBits);
+      ctx.send(child, start);
+    }
+  }
+
+  // Coupon lookup reached the root (or was initiated there): check locally,
+  // else broadcast the find downward.
+  void handle_stitch_lookup(NodeContext& ctx, NodeId owner,
+                            std::uint64_t serial, std::uint64_t rem,
+                            bool from_root) {
+    if (!is_root_ && !from_root) {
+      BitWriter up;
+      up.write(kStitchUp, kTypeBits);
+      up.write(static_cast<std::uint64_t>(owner), id_bits_);
+      up.write(serial, serial_bits_);
+      up.write(rem, length_bits_);
+      ctx.send(config_.tree_parent, up);
+      return;
+    }
+    if (!try_claim_coupon(owner, serial, rem)) {
+      BitWriter find;
+      find.write(kStitchFind, kTypeBits);
+      find.write(static_cast<std::uint64_t>(owner), id_bits_);
+      find.write(serial, serial_bits_);
+      find.write(rem, length_bits_);
+      for (NodeId child : config_.tree_children) ctx.send(child, find);
+    }
+  }
+
+  void handle_stitch_find(NodeContext& ctx, NodeId owner,
+                          std::uint64_t serial, std::uint64_t rem) {
+    if (try_claim_coupon(owner, serial, rem)) return;
+    BitWriter find;
+    find.write(kStitchFind, kTypeBits);
+    find.write(static_cast<std::uint64_t>(owner), id_bits_);
+    find.write(serial, serial_bits_);
+    find.write(rem, length_bits_);
+    for (NodeId child : config_.tree_children) ctx.send(child, find);
+  }
+
+  // If this node holds the rested coupon (owner, serial), consume it and
+  // become the walk holder.  Returns true on a match.
+  bool try_claim_coupon(NodeId owner, std::uint64_t serial,
+                        std::uint64_t rem) {
+    const auto it = std::find_if(
+        rested_coupons_.begin(), rested_coupons_.end(),
+        [&](const Coupon& c) {
+          return c.owner == owner && c.serial == serial;
+        });
+    if (it == rested_coupons_.end()) return false;
+    rested_coupons_.erase(it);
+    am_holder_ = true;
+    handed_off_ = false;
+    walk_remaining_ = rem;
+    ++stitches_;
+    return true;
+  }
+
+  void act_as_holder(NodeContext& ctx) {
+    if (walk_remaining_ == 0) {
+      is_destination_ = true;
+      am_holder_ = false;
+      if (is_root_) {
+        done_pending_ = true;
+        relay_done(ctx);
+      } else {
+        BitWriter up;
+        up.write(kDoneUp, kTypeBits);
+        ctx.send(config_.tree_parent, up);
+      }
+      return;
+    }
+    if (walk_remaining_ >= config_.lambda && next_serial_ < config_.eta) {
+      const std::uint64_t serial = next_serial_++;
+      const std::uint64_t rem = walk_remaining_ - config_.lambda;
+      am_holder_ = false;
+      // A coupon may have rested on its own owner; check locally before
+      // spending O(D) rounds on the tree lookup.
+      if (try_claim_coupon(ctx.id(), serial, rem)) return;
+      handle_stitch_lookup(ctx, ctx.id(), serial, rem, /*from_root=*/is_root_);
+      return;
+    }
+    // Out of coupons, or the tail is shorter than lambda: step directly.
+    const auto neighbors = ctx.neighbors();
+    const NodeId next = neighbors[ctx.rng().next_below(neighbors.size())];
+    BitWriter step;
+    step.write(kLongWalk, kTypeBits);
+    step.write(walk_remaining_ - 1, length_bits_);
+    ctx.send(next, step);
+    ++direct_steps_;
+    am_holder_ = false;
+    handed_off_ = true;
+  }
+
+  void forward_coupons(NodeContext& ctx) {
+    if (held_coupons_.empty()) return;
+    const auto degree = static_cast<std::size_t>(ctx.degree());
+    for (auto& bucket : per_neighbor_) bucket.clear();
+    for (std::size_t c = 0; c < held_coupons_.size(); ++c) {
+      per_neighbor_[ctx.rng().next_below(degree)].push_back(c);
+    }
+    // Self-limit the per-edge coupon count to the bit budget, leaving slack
+    // for one control message (sweep traffic shares tree edges).
+    const std::uint64_t coupon_bits =
+        static_cast<std::uint64_t>(kTypeBits + id_bits_ + serial_bits_ +
+                                   lambda_bits_);
+    const std::uint64_t control_slack =
+        static_cast<std::uint64_t>(kTypeBits + rest_count_bits_);
+    const std::uint64_t budget_cap = std::max<std::uint64_t>(
+        1, (ctx.bit_budget() - std::min(ctx.bit_budget() - 1, control_slack)) /
+               coupon_bits);
+    const std::size_t cap = static_cast<std::size_t>(
+        std::min<std::uint64_t>(config_.coupons_per_edge, budget_cap));
+    std::vector<Coupon> kept;
+    const auto neighbors = ctx.neighbors();
+    for (std::size_t slot = 0; slot < degree; ++slot) {
+      auto& bucket = per_neighbor_[slot];
+      const std::size_t winners = std::min(bucket.size(), cap);
+      for (std::size_t i = 0; i < winners; ++i) {
+        const std::size_t j = i + ctx.rng().next_below(bucket.size() - i);
+        std::swap(bucket[i], bucket[j]);
+        Coupon coupon = held_coupons_[bucket[i]];
+        coupon.remaining -= 1;
+        BitWriter w;
+        w.write(kCoupon, kTypeBits);
+        w.write(static_cast<std::uint64_t>(coupon.owner), id_bits_);
+        w.write(coupon.serial, serial_bits_);
+        w.write(coupon.remaining, lambda_bits_);
+        ctx.send(neighbors[slot], w);
+      }
+      for (std::size_t i = winners; i < bucket.size(); ++i) {
+        kept.push_back(held_coupons_[bucket[i]]);
+      }
+    }
+    held_coupons_.swap(kept);
+  }
+
+  void run_sweep_logic(NodeContext& ctx) {
+    if (is_root_) {
+      if (!sweep_in_progress_) {
+        sweep_in_progress_ = true;
+        sweep_accumulator_ = 0;
+        sweep_reports_pending_ = config_.tree_children.size();
+        for (NodeId child : config_.tree_children) {
+          BitWriter req;
+          req.write(kSweepRequest, kTypeBits);
+          ctx.send(child, req);
+        }
+      }
+      if (sweep_in_progress_ && sweep_reports_pending_ == 0) {
+        const std::uint64_t total = sweep_accumulator_ + rested_here_;
+        RWBC_ASSERT(total <= expected_rested_, "coupon over-count");
+        if (total == expected_rested_) {
+          enter_phase2(ctx);
+        } else {
+          sweep_in_progress_ = false;
+        }
+      }
+      return;
+    }
+    if (sweep_request_pending_ && !sweep_in_progress_) {
+      sweep_request_pending_ = false;
+      sweep_in_progress_ = true;
+      sweep_accumulator_ = 0;
+      sweep_reports_pending_ = config_.tree_children.size();
+      for (NodeId child : config_.tree_children) {
+        BitWriter req;
+        req.write(kSweepRequest, kTypeBits);
+        ctx.send(child, req);
+      }
+    }
+    if (sweep_in_progress_ && sweep_reports_pending_ == 0) {
+      BitWriter report;
+      report.write(kSweepReport, kTypeBits);
+      report.write(sweep_accumulator_ + rested_here_, rest_count_bits_);
+      ctx.send(config_.tree_parent, report);
+      sweep_in_progress_ = false;
+    }
+  }
+
+  SarmaNodeConfig config_;
+  int id_bits_ = 0, serial_bits_ = 0, lambda_bits_ = 0, length_bits_ = 0;
+  int rest_count_bits_ = 0;
+  bool is_root_ = false;
+  int phase_ = 1;
+
+  std::vector<Coupon> held_coupons_;
+  std::vector<Coupon> rested_coupons_;
+  std::uint64_t rested_here_ = 0;
+  std::uint64_t expected_rested_ = 0;
+  std::vector<std::vector<std::size_t>> per_neighbor_;
+
+  bool sweep_in_progress_ = false;
+  bool sweep_request_pending_ = false;
+  std::size_t sweep_reports_pending_ = 0;
+  std::uint64_t sweep_accumulator_ = 0;
+
+  bool am_holder_ = false;
+  bool handed_off_ = false;
+  std::uint64_t walk_remaining_ = 0;
+  std::uint64_t next_serial_ = 0;
+  std::uint64_t stitches_ = 0;
+  std::uint64_t direct_steps_ = 0;
+  bool is_destination_ = false;
+  bool done_pending_ = false;
+  bool finished_ = false;
+};
+
+/// Naive baseline node: holds the token, steps once per round.
+class DirectWalkNode final : public NodeProcess {
+ public:
+  DirectWalkNode(NodeId source, std::uint64_t length)
+      : source_(source), length_(length) {}
+
+  void on_start(NodeContext& ctx) override {
+    length_bits_ = bits_for(length_ + 1);
+    if (ctx.id() == source_) {
+      holding_ = true;
+      remaining_ = length_;
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      remaining_ = reader.read(length_bits_);
+      holding_ = true;
+    }
+    if (holding_) {
+      if (remaining_ == 0) {
+        is_destination_ = true;
+      } else {
+        const auto neighbors = ctx.neighbors();
+        const NodeId next =
+            neighbors[ctx.rng().next_below(neighbors.size())];
+        BitWriter step;
+        step.write(remaining_ - 1, length_bits_);
+        ctx.send(next, step);
+      }
+      holding_ = false;
+    }
+    ctx.halt();  // woken again if the token returns
+  }
+
+  bool is_destination() const { return is_destination_; }
+
+ private:
+  NodeId source_;
+  std::uint64_t length_;
+  int length_bits_ = 0;
+  bool holding_ = false;
+  std::uint64_t remaining_ = 0;
+  bool is_destination_ = false;
+};
+
+}  // namespace
+
+SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
+                                       const SarmaWalkOptions& options) {
+  RWBC_REQUIRE(g.node_count() >= 2, "stitched walk needs n >= 2");
+  RWBC_REQUIRE(source >= 0 && source < g.node_count(), "source out of range");
+  RWBC_REQUIRE(options.length >= 1, "walk length must be >= 1");
+  require_connected(g, "stitched distributed walk");
+
+  SarmaWalkResult result;
+  const BfsTreeResult bfs = run_bfs_tree(
+      g, 0, options.congest, static_cast<std::uint64_t>(g.node_count()) + 2);
+  result.bfs_metrics = bfs.metrics;
+  result.total += bfs.metrics;
+
+  // D <= 2 * height of any BFS tree; lambda = sqrt(l * D) optimises
+  // lambda (phase 1) against (l / lambda) * O(D) stitches (phase 2).
+  const double diameter_bound =
+      std::max(1.0, 2.0 * static_cast<double>(bfs.tree.height));
+  std::uint64_t lambda =
+      options.short_walk_length > 0
+          ? options.short_walk_length
+          : static_cast<std::uint64_t>(std::ceil(std::sqrt(
+                static_cast<double>(options.length) * diameter_bound)));
+  lambda = std::max<std::uint64_t>(1, std::min<std::uint64_t>(
+                                          lambda, options.length));
+  // Coupon budget: only ~l/lambda coupons are consumed IN TOTAL, landing on
+  // nodes roughly by stationary weight d(v)/2m, so the per-node need is
+  // (l/lambda) * d_max/(2m) — tiny.  We provision 4x that plus slack; the
+  // direct-step fallback keeps the walk correct if a node still runs dry.
+  std::uint64_t eta = options.coupons_per_node;
+  if (eta == 0) {
+    const double stitches_total = static_cast<double>(
+        (options.length + lambda - 1) / lambda);
+    const double per_node_need =
+        stitches_total * static_cast<double>(g.max_degree()) /
+        (2.0 * static_cast<double>(g.edge_count()));
+    eta = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(std::ceil(4.0 * per_node_need)) + 1);
+  }
+
+  Network net(g, options.congest);
+  net.set_all_nodes([&](NodeId v) {
+    SarmaNodeConfig config;
+    config.walk_source = source;
+    config.length = options.length;
+    config.lambda = lambda;
+    config.eta = eta;
+    config.coupons_per_edge = options.coupons_per_edge_per_round;
+    config.tree_parent = bfs.tree.parent[static_cast<std::size_t>(v)];
+    config.tree_children = bfs.tree.children[static_cast<std::size_t>(v)];
+    return std::make_unique<SarmaWalkNode>(std::move(config));
+  });
+  result.walk_metrics = net.run();
+  result.total += result.walk_metrics;
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& node = static_cast<const SarmaWalkNode&>(net.node(v));
+    RWBC_ASSERT(node.finished(), "stitched walk did not finish everywhere");
+    result.stitches += node.stitches();
+    result.direct_steps += node.direct_steps();
+    if (node.is_destination()) {
+      RWBC_ASSERT(result.destination < 0, "two destinations reported");
+      result.destination = v;
+    }
+  }
+  RWBC_ASSERT(result.destination >= 0, "no destination reported");
+  return result;
+}
+
+DirectWalkResult direct_distributed_walk(const Graph& g, NodeId source,
+                                         std::size_t length,
+                                         const CongestConfig& config) {
+  RWBC_REQUIRE(g.node_count() >= 1, "walk needs a non-empty graph");
+  RWBC_REQUIRE(source >= 0 && source < g.node_count(), "source out of range");
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    RWBC_REQUIRE(g.degree(v) > 0, "walk needs minimum degree 1");
+  }
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId) {
+    return std::make_unique<DirectWalkNode>(source, length);
+  });
+  DirectWalkResult result;
+  result.metrics = net.run();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& node = static_cast<const DirectWalkNode&>(net.node(v));
+    if (node.is_destination()) {
+      RWBC_ASSERT(result.destination < 0, "two destinations reported");
+      result.destination = v;
+    }
+  }
+  RWBC_ASSERT(result.destination >= 0, "no destination reported");
+  return result;
+}
+
+}  // namespace rwbc

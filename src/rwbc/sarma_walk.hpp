@@ -1,0 +1,71 @@
+// Distributed single random walks — the Section II-D related work
+// (Das Sarma, Nanongkai, Pandurangan, Tetali, PODC 2010).
+//
+// Problem: perform ONE random walk of length l from a source and output the
+// destination.  The naive token walk takes exactly l rounds; the stitching
+// technique beats it:
+//
+//   Phase 1   every node launches eta anonymousish "coupon" walks of length
+//             lambda, each remembering (owner, serial); a coupon rests at
+//             its endpoint.  ~lambda rounds (plus congestion), all in
+//             parallel.
+//   Phase 2   the long walk jumps lambda steps at a time: the current
+//             holder x consumes its next unused coupon (x, k) — found via
+//             one up-broadcast/down-broadcast over a BFS tree, O(D) rounds
+//             — and the coupon's resting node becomes the new holder.
+//             A rested coupon endpoint is distributed exactly as a
+//             lambda-step walk from x, so each stitch is a faithful
+//             lambda-step jump.  l/lambda stitches -> O(lD/lambda) rounds.
+//
+// With lambda = sqrt(l D) the total is O(sqrt(l D)) rounds, the bound the
+// paper cites.  When a node exhausts its coupons (or < lambda steps
+// remain) the walk steps directly, so correctness never depends on eta.
+//
+// The paper explains why this machinery does NOT transfer to betweenness
+// (its walks are unbounded and every node must count visits, not just
+// learn the endpoint); we build it so that argument is measurable (E11).
+#pragma once
+
+#include <cstdint>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Options for the stitched walk.
+struct SarmaWalkOptions {
+  std::size_t length = 1;             ///< l: total steps (required)
+  std::size_t short_walk_length = 0;  ///< lambda; 0 = ceil(sqrt(l * D))
+  std::size_t coupons_per_node = 0;   ///< eta; 0 = 2 * ceil(l / lambda) + 4
+  /// Coupon tokens an edge may carry per direction per round in Phase 1.
+  std::size_t coupons_per_edge_per_round = 3;
+  CongestConfig congest;
+};
+
+/// Outputs of a stitched-walk run.
+struct SarmaWalkResult {
+  NodeId destination = -1;
+  std::size_t stitches = 0;      ///< lambda-step jumps taken
+  std::size_t direct_steps = 0;  ///< single-step moves taken
+  RunMetrics total;              ///< BFS phase + walk phase
+  RunMetrics bfs_metrics;
+  RunMetrics walk_metrics;
+};
+
+/// Runs the stitched walk.  Requires a connected graph with n >= 2 and an
+/// in-range source.  Deterministic per congest.seed.
+SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
+                                       const SarmaWalkOptions& options);
+
+/// The naive baseline: one token stepping once per round; exactly `length`
+/// rounds of walking.
+struct DirectWalkResult {
+  NodeId destination = -1;
+  RunMetrics metrics;
+};
+DirectWalkResult direct_distributed_walk(const Graph& g, NodeId source,
+                                         std::size_t length,
+                                         const CongestConfig& config);
+
+}  // namespace rwbc

@@ -1,0 +1,77 @@
+// Wire format of Algorithm 1's messages.
+//
+// A walk token is (source id, remaining moves): ceil(log2 n) +
+// ceil(log2(l + 1)) bits = O(log n), since l = O(n).  Control messages for
+// the termination-detection sweeps ride the same edges, so every payload
+// starts with a 2-bit type tag; the per-edge bit budget (8 * ceil(log2 n)
+// by default) accommodates one walk plus one control message per round,
+// which is all the algorithm ever sends.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitcodec.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// Message kinds of the counting phase.
+enum class CountingMsg : std::uint64_t {
+  kWalk = 0,          ///< a walk token: (source, remaining)
+  kSweepRequest = 1,  ///< root -> leaves: report your subtree's death count
+  kSweepReport = 2,   ///< leaves -> root: aggregated death count
+  kDone = 3,          ///< root -> leaves: all walks dead, halt
+};
+
+/// A random walk in flight or held by a node.
+struct WalkToken {
+  NodeId source = 0;
+  std::uint64_t remaining = 0;  ///< moves left before truncation
+};
+
+/// Field widths for a network of n nodes and cutoff l.
+struct CountingWire {
+  int type_bits = 2;
+  int id_bits = 0;
+  int length_bits = 0;
+  int count_bits = 0;  ///< for sweep reports: bits of (n-1)*K + 1
+
+  CountingWire(NodeId n, std::uint64_t cutoff, std::uint64_t walks_per_source)
+      : id_bits(bits_for(static_cast<std::uint64_t>(n))),
+        length_bits(bits_for(cutoff + 1)),
+        count_bits(bits_for(static_cast<std::uint64_t>(n) * walks_per_source +
+                            1)) {}
+
+  /// Encodes a walk token.
+  BitWriter encode_walk(const WalkToken& walk) const {
+    BitWriter w;
+    w.write(static_cast<std::uint64_t>(CountingMsg::kWalk), type_bits);
+    w.write(static_cast<std::uint64_t>(walk.source), id_bits);
+    w.write(walk.remaining, length_bits);
+    return w;
+  }
+
+  /// Encodes a sweep request (type tag only).
+  BitWriter encode_sweep_request() const {
+    BitWriter w;
+    w.write(static_cast<std::uint64_t>(CountingMsg::kSweepRequest), type_bits);
+    return w;
+  }
+
+  /// Encodes a sweep report carrying a subtree death count.
+  BitWriter encode_sweep_report(std::uint64_t died) const {
+    BitWriter w;
+    w.write(static_cast<std::uint64_t>(CountingMsg::kSweepReport), type_bits);
+    w.write(died, count_bits);
+    return w;
+  }
+
+  /// Encodes the final done broadcast.
+  BitWriter encode_done() const {
+    BitWriter w;
+    w.write(static_cast<std::uint64_t>(CountingMsg::kDone), type_bits);
+    return w;
+  }
+};
+
+}  // namespace rwbc

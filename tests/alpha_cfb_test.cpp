@@ -1,0 +1,69 @@
+// Alpha-current-flow betweenness: limit behaviour and structural sanity.
+#include <gtest/gtest.h>
+
+#include "centrality/alpha_cfb.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/ranking.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(AlphaCfb, ApproachesNewmanAsAlphaNearsOne) {
+  Rng rng(1);
+  const Graph g = make_erdos_renyi(12, 0.35, rng);
+  const auto exact = current_flow_betweenness(g);
+  const auto near_one = alpha_current_flow_betweenness(g, 0.9999);
+  EXPECT_LT(max_relative_error(exact, near_one), 0.01);
+}
+
+TEST(AlphaCfb, RankAgreementIsHighNearAlphaOne) {
+  // On a tie-free graph the alpha -> 1 ranking converges to Newman's.
+  // (Graphs with symmetric orbits have exactly tied scores whose arbitrary
+  // tie-breaks make tau non-monotone in alpha, so we use an ER instance.)
+  Rng rng(8);
+  const Graph g = make_erdos_renyi(14, 0.3, rng);
+  const auto exact = current_flow_betweenness(g);
+  const double tau_low =
+      kendall_tau(exact, alpha_current_flow_betweenness(g, 0.3));
+  const double tau_high =
+      kendall_tau(exact, alpha_current_flow_betweenness(g, 0.9999));
+  EXPECT_GT(tau_high, 0.98);
+  EXPECT_GE(tau_high, tau_low - 1e-9);
+}
+
+TEST(AlphaCfb, PotentialsAreSymmetric) {
+  const Graph g = make_grid(3, 3);
+  const DenseMatrix t = alpha_potentials(g, 0.7);
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    for (std::size_t j = 0; j < t.cols(); ++j) {
+      EXPECT_NEAR(t(i, j), t(j, i), 1e-10);
+    }
+  }
+}
+
+TEST(AlphaCfb, StarHubStillDominates) {
+  const Graph g = make_star(9);
+  const auto b = alpha_current_flow_betweenness(g, 0.8);
+  for (std::size_t v = 1; v < b.size(); ++v) {
+    EXPECT_GT(b[0], b[v]);
+  }
+}
+
+TEST(AlphaCfb, RejectsAlphaOutOfRange) {
+  const Graph g = make_cycle(4);
+  EXPECT_THROW(alpha_current_flow_betweenness(g, 0.0), Error);
+  EXPECT_THROW(alpha_current_flow_betweenness(g, 1.0), Error);
+  EXPECT_THROW(alpha_current_flow_betweenness(g, -0.5), Error);
+}
+
+TEST(AlphaCfb, RejectsDisconnectedGraphs) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(alpha_current_flow_betweenness(b.build(), 0.5), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,79 @@
+// Brandes shortest-path betweenness: closed forms and the Fig. 1 contrast.
+#include <gtest/gtest.h>
+
+#include "centrality/brandes.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Brandes, PathMiddleNode) {
+  const Graph g = make_path(5);
+  BrandesOptions raw;
+  raw.normalized = false;
+  const auto b = brandes_betweenness(g, raw);
+  // Node 2 lies on pairs {0,1}x{3,4} = 4 unordered pairs, counted twice.
+  EXPECT_DOUBLE_EQ(b[2], 8.0);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[4], 0.0);
+}
+
+TEST(Brandes, StarHubCarriesAllPairs) {
+  const NodeId n = 8;
+  const Graph g = make_star(n);
+  const auto b = brandes_betweenness(g);  // normalized
+  EXPECT_DOUBLE_EQ(b[0], 1.0);            // every leaf pair routes via hub
+  for (NodeId v = 1; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(b[static_cast<std::size_t>(v)], 0.0);
+  }
+}
+
+TEST(Brandes, CompleteGraphAllZero) {
+  const auto b = brandes_betweenness(make_complete(6));
+  for (double v : b) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Brandes, CycleSplitsEqually) {
+  const auto b = brandes_betweenness(make_cycle(5));
+  for (std::size_t v = 1; v < b.size(); ++v) {
+    EXPECT_NEAR(b[v], b[0], 1e-12);
+  }
+  EXPECT_GT(b[0], 0.0);
+}
+
+TEST(Brandes, MultiplicityIsSplitAcrossShortestPaths) {
+  // C4: pair (0,2) has two shortest paths (via 1 and via 3); each carries
+  // sigma-share 1/2, both directions -> raw 1.0 per middle node.
+  BrandesOptions raw;
+  raw.normalized = false;
+  const auto b = brandes_betweenness(make_cycle(4), raw);
+  EXPECT_DOUBLE_EQ(b[1], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 1.0);
+}
+
+TEST(Brandes, Fig1NodeCIsInvisibleToShortestPaths) {
+  const Fig1Layout layout = make_fig1_graph(6);
+  const auto b = brandes_betweenness(layout.graph);
+  EXPECT_DOUBLE_EQ(b[static_cast<std::size_t>(layout.c)], 0.0);
+  EXPECT_GT(b[static_cast<std::size_t>(layout.a)], 0.2);
+  EXPECT_GT(b[static_cast<std::size_t>(layout.b)], 0.2);
+}
+
+TEST(Brandes, HandlesDisconnectedGraphs) {
+  GraphBuilder builder(6);
+  builder.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4).add_edge(4, 5);
+  BrandesOptions raw;
+  raw.normalized = false;
+  const auto b = brandes_betweenness(builder.build(), raw);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);  // only the pair (0,2), both directions
+  EXPECT_DOUBLE_EQ(b[4], 2.0);
+}
+
+TEST(Brandes, TinyGraphsAreAllZero) {
+  const auto b = brandes_betweenness(make_path(2));
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 0.0);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,120 @@
+// Classic centrality indices: closed forms on canonical topologies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "centrality/classic.hpp"
+#include "centrality/ranking.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(DegreeCentrality, StarValues) {
+  const Graph g = make_star(5);
+  const auto c = degree_centrality(g);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  for (std::size_t v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(c[v], 0.25);
+}
+
+TEST(ClosenessCentrality, PathValues) {
+  const Graph g = make_path(5);
+  const auto c = closeness_centrality(g);
+  // Middle node: distances 2,1,1,2 -> closeness 4/6.
+  EXPECT_NEAR(c[2], 4.0 / 6.0, 1e-12);
+  // End node: distances 1,2,3,4 -> 4/10.
+  EXPECT_NEAR(c[0], 0.4, 1e-12);
+  EXPECT_GT(c[2], c[1]);
+  EXPECT_GT(c[1], c[0]);
+}
+
+TEST(ClosenessCentrality, CompleteGraphIsMaximal) {
+  const auto c = closeness_centrality(make_complete(6));
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(ClosenessCentrality, RejectsDisconnected) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(closeness_centrality(b.build()), Error);
+}
+
+TEST(HarmonicCentrality, PathValues) {
+  const Graph g = make_path(3);
+  const auto c = harmonic_centrality(g);
+  EXPECT_NEAR(c[1], 1.0, 1e-12);               // (1 + 1) / 2
+  EXPECT_NEAR(c[0], (1.0 + 0.5) / 2, 1e-12);   // dist 1, 2
+}
+
+TEST(HarmonicCentrality, HandlesDisconnected) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto c = harmonic_centrality(b.build());
+  EXPECT_NEAR(c[0], 0.5, 1e-12);  // only node 1 reachable
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(EigenvectorCentrality, StarHubDominates) {
+  const Graph g = make_star(6);
+  const auto c = eigenvector_centrality(g);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);  // normalised peak
+  for (std::size_t v = 1; v < 6; ++v) {
+    // Leaves carry hub / sqrt(n-1) of the hub weight.
+    EXPECT_NEAR(c[v], 1.0 / std::sqrt(5.0), 1e-9);
+  }
+}
+
+TEST(EigenvectorCentrality, RegularGraphIsUniform) {
+  const auto c = eigenvector_centrality(make_cycle(8));
+  for (double v : c) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(EigenvectorCentrality, SatisfiesEigenEquation) {
+  Rng rng(3);
+  const Graph g = make_erdos_renyi(12, 0.4, rng);
+  const auto c = eigenvector_centrality(g);
+  // Recover lambda from one coordinate, then check Ax = lambda x.
+  double lambda = 0.0;
+  for (NodeId w : g.neighbors(0)) lambda += c[static_cast<std::size_t>(w)];
+  lambda /= c[0];
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    double sum = 0.0;
+    for (NodeId w : g.neighbors(v)) sum += c[static_cast<std::size_t>(w)];
+    EXPECT_NEAR(sum, lambda * c[static_cast<std::size_t>(v)], 1e-6);
+  }
+}
+
+TEST(KatzCentrality, DefaultAlphaWorksAndHubDominates) {
+  const Graph g = make_star(7);
+  const auto c = katz_centrality(g);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  for (std::size_t v = 1; v < 7; ++v) {
+    EXPECT_LT(c[v], 1.0);
+    EXPECT_GT(c[v], 0.0);
+  }
+}
+
+TEST(KatzCentrality, SmallAlphaApproachesDegreeRanking) {
+  Rng rng(5);
+  const Graph g = make_barabasi_albert(20, 2, rng);
+  const auto katz = katz_centrality(g, 0.01);
+  const auto deg = degree_centrality(g);
+  EXPECT_GT(kendall_tau(katz, deg), 0.85);
+}
+
+TEST(KatzCentrality, RejectsAlphaBeyondSpectralRadius) {
+  const Graph g = make_complete(4);  // lambda_max = 3
+  EXPECT_THROW(katz_centrality(g, 0.4), Error);
+}
+
+TEST(ClassicCentrality, TinyGraphValidation) {
+  const Graph g = GraphBuilder(1).build();
+  EXPECT_THROW(degree_centrality(g), Error);
+  EXPECT_THROW(closeness_centrality(g), Error);
+  EXPECT_THROW(harmonic_centrality(g), Error);
+  EXPECT_THROW(eigenvector_centrality(g), Error);
+  EXPECT_THROW(katz_centrality(g), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

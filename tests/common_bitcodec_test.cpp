@@ -1,0 +1,74 @@
+// Bit-level codec: widths, round trips, and exhaustion errors — the
+// foundation of the simulator's per-bit CONGEST accounting.
+#include <gtest/gtest.h>
+
+#include "common/bitcodec.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(BitsFor, KnownValues) {
+  EXPECT_EQ(bits_for(1), 0);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(5), 3);
+  EXPECT_EQ(bits_for(1024), 10);
+  EXPECT_EQ(bits_for(1025), 11);
+  EXPECT_EQ(bits_for(1ULL << 63), 63);
+}
+
+TEST(BitsFor, RejectsZero) { EXPECT_THROW(bits_for(0), Error); }
+
+TEST(BitCodec, RoundTripsMixedWidths) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0, 0);  // zero-width write is a no-op
+  w.write(0xdead, 16);
+  w.write(1, 1);
+  w.write(0x123456789abcdefULL, 57);
+  EXPECT_EQ(w.bit_count(), 77);
+
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(0), 0u);
+  EXPECT_EQ(r.read(16), 0xdeadu);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(57), 0x123456789abcdefULL);
+  EXPECT_EQ(r.remaining(), 0);
+}
+
+TEST(BitCodec, FullWidthValue) {
+  BitWriter w;
+  w.write(~0ULL, 64);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.read(64), ~0ULL);
+}
+
+TEST(BitCodec, WriterRejectsOverflowingValue) {
+  BitWriter w;
+  EXPECT_THROW(w.write(4, 2), Error);   // 4 needs 3 bits
+  EXPECT_THROW(w.write(0, 65), Error);  // width out of range
+  EXPECT_THROW(w.write(0, -1), Error);
+}
+
+TEST(BitCodec, ReaderRejectsExhaustion) {
+  BitWriter w;
+  w.write(3, 2);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_THROW(r.read(2), Error);  // only 1 bit left
+}
+
+TEST(BitCodec, PayloadIsCompact) {
+  BitWriter w;
+  w.write(0x7, 3);
+  EXPECT_EQ(w.bytes().size(), 1u);
+  w.write(0x1f, 5);
+  EXPECT_EQ(w.bytes().size(), 1u);  // exactly 8 bits: still one byte
+  w.write(1, 1);
+  EXPECT_EQ(w.bytes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rwbc

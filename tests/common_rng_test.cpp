@@ -1,0 +1,87 @@
+// Deterministic RNG: reproducibility, stream independence, range
+// correctness, and rough uniformity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1), c(7, 0);
+  EXPECT_NE(a(), b());
+  Rng a2(7, 0);
+  EXPECT_EQ(a2(), c());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  const std::uint64_t bound = 5;
+  std::vector<int> hist(bound, 0);
+  const int draws = 50'000;
+  for (int i = 0; i < draws; ++i) ++hist[rng.next_below(bound)];
+  for (std::uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(static_cast<double>(hist[b]), draws / 5.0, draws * 0.02);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 50'000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50'000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace rwbc

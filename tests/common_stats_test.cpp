@@ -1,0 +1,88 @@
+// Statistics helpers: summaries, linear/power fits, and relative errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> values{1, 2, 3, 4, 5};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one{7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> xs{1.0, 1.0};
+  const std::vector<double> ys{2.0, 3.0};
+  EXPECT_THROW(fit_line(xs, ys), Error);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), Error);
+}
+
+TEST(FitPower, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 1.5));
+  }
+  const PowerFit fit = fit_power(xs, ys);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-10);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-8);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPower, RejectsNonPositive) {
+  const std::vector<double> xs{1.0, -2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(fit_power(xs, ys), Error);
+}
+
+TEST(RelativeError, MaxAndMean) {
+  const std::vector<double> exact{1.0, 2.0, 4.0};
+  const std::vector<double> approx{1.1, 2.0, 3.0};
+  EXPECT_NEAR(max_relative_error(exact, approx), 0.25, 1e-12);
+  EXPECT_NEAR(mean_relative_error(exact, approx), (0.1 + 0.0 + 0.25) / 3,
+              1e-12);
+}
+
+TEST(RelativeError, FloorGuardsTinyExactValues) {
+  const std::vector<double> exact{0.0};
+  const std::vector<double> approx{1e-13};
+  EXPECT_LE(max_relative_error(exact, approx, 1e-12), 0.1);
+}
+
+TEST(RelativeError, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(max_relative_error(a, b), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

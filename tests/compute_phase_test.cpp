@@ -1,0 +1,176 @@
+// Algorithm 2 (computing phase) in isolation: the distributed per-node
+// accumulation must equal the global betweenness_from_potentials on the
+// same counts, whatever the counts are.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "centrality/current_flow_exact.hpp"
+#include "common/rng.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/compute_node.hpp"
+
+namespace rwbc {
+namespace {
+
+struct ComputeRun {
+  std::vector<double> betweenness;
+  RunMetrics metrics;
+};
+
+// Runs Algorithm 2 with an arbitrary synthetic count matrix xi[v][s].
+ComputeRun run_compute(const Graph& g,
+                       const std::vector<std::vector<std::uint64_t>>& counts,
+                       std::uint64_t k, std::uint64_t cutoff,
+                       std::uint64_t counts_per_message = 1) {
+  CongestConfig config;
+  config.seed = 5;
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId v) {
+    ComputeNodeConfig node_config;
+    node_config.visits = counts[static_cast<std::size_t>(v)];
+    node_config.walks_per_source = k;
+    node_config.cutoff = cutoff;
+    node_config.counts_per_message = counts_per_message;
+    return std::make_unique<ComputeNode>(std::move(node_config));
+  });
+  ComputeRun run;
+  run.metrics = net.run();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& node = static_cast<const ComputeNode&>(net.node(v));
+    EXPECT_TRUE(node.finished());
+    run.betweenness.push_back(node.betweenness());
+  }
+  return run;
+}
+
+// The reference: scale counts into potentials and run the global formula.
+std::vector<double> reference_scores(
+    const Graph& g, const std::vector<std::vector<std::uint64_t>>& counts,
+    std::uint64_t k) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DenseMatrix t(n, n);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const double scale =
+        1.0 / (static_cast<double>(k) * static_cast<double>(g.degree(v)));
+    for (std::size_t s = 0; s < n; ++s) {
+      t(static_cast<std::size_t>(v), s) =
+          static_cast<double>(counts[static_cast<std::size_t>(v)][s]) * scale;
+    }
+  }
+  return betweenness_from_potentials(g, t);
+}
+
+std::vector<std::vector<std::uint64_t>> random_counts(const Graph& g,
+                                                      std::uint64_t bound,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::vector<std::uint64_t>> counts(
+      n, std::vector<std::uint64_t>(n, 0));
+  for (auto& row : counts) {
+    for (auto& cell : row) cell = rng.next_below(bound);
+  }
+  return counts;
+}
+
+TEST(ComputePhase, MatchesGlobalFormulaOnRandomCounts) {
+  Rng rng(1);
+  const Graph g = make_erdos_renyi(10, 0.4, rng);
+  const std::uint64_t k = 7, cutoff = 30;
+  const auto counts = random_counts(g, k * (cutoff + 1), 2);
+  const ComputeRun run = run_compute(g, counts, k, cutoff);
+  const auto reference = reference_scores(g, counts, k);
+  for (std::size_t v = 0; v < reference.size(); ++v) {
+    EXPECT_NEAR(run.betweenness[v], reference[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(ComputePhase, MatchesGlobalFormulaOnStar) {
+  const Graph g = make_star(9);
+  const std::uint64_t k = 3, cutoff = 10;
+  const auto counts = random_counts(g, k * (cutoff + 1), 3);
+  const ComputeRun run = run_compute(g, counts, k, cutoff);
+  const auto reference = reference_scores(g, counts, k);
+  for (std::size_t v = 0; v < reference.size(); ++v) {
+    EXPECT_NEAR(run.betweenness[v], reference[v], 1e-9);
+  }
+}
+
+TEST(ComputePhase, ZeroCountsGiveEndpointFloor) {
+  // All-zero counts: every pair's flow is zero, only Eq. 7's endpoint units
+  // remain: b_i = (n-1) / (n(n-1)/2) = 2/n for every node.
+  const Graph g = make_cycle(8);
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::vector<std::uint64_t>> counts(
+      n, std::vector<std::uint64_t>(n, 0));
+  const ComputeRun run = run_compute(g, counts, 4, 16);
+  for (double b : run.betweenness) {
+    EXPECT_NEAR(b, 2.0 / static_cast<double>(n), 1e-12);
+  }
+}
+
+TEST(ComputePhase, TakesLinearlyManyRounds) {
+  const Graph g = make_cycle(20);
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::vector<std::uint64_t>> counts(
+      n, std::vector<std::uint64_t>(n, 1));
+  const ComputeRun run = run_compute(g, counts, 1, 1);
+  // n + 2 rounds: degree round, n count rounds, final local round.
+  EXPECT_GE(run.metrics.rounds, static_cast<std::uint64_t>(n));
+  EXPECT_LE(run.metrics.rounds, static_cast<std::uint64_t>(n) + 3);
+}
+
+TEST(ComputePhase, RespectsBitBudget) {
+  const Graph g = make_grid(4, 4);
+  const std::uint64_t k = 16, cutoff = 64;
+  const auto counts = random_counts(g, k * (cutoff + 1), 4);
+  const ComputeRun run = run_compute(g, counts, k, cutoff);
+  CongestConfig config;
+  Network probe(g, config);
+  EXPECT_LE(run.metrics.max_bits_per_edge_round, probe.bit_budget());
+}
+
+TEST(ComputePhase, BatchedMessagesGiveIdenticalScoresInFewerRounds) {
+  Rng rng(6);
+  const Graph g = make_erdos_renyi(17, 0.3, rng);
+  const std::uint64_t k = 5, cutoff = 20;
+  const auto counts = random_counts(g, k * (cutoff + 1), 7);
+  const ComputeRun one = run_compute(g, counts, k, cutoff, 1);
+  const ComputeRun four = run_compute(g, counts, k, cutoff, 4);
+  const ComputeRun autofit = run_compute(g, counts, k, cutoff, 0);
+  for (std::size_t v = 0; v < one.betweenness.size(); ++v) {
+    EXPECT_NEAR(one.betweenness[v], four.betweenness[v], 1e-12);
+    EXPECT_NEAR(one.betweenness[v], autofit.betweenness[v], 1e-12);
+  }
+  EXPECT_LT(four.metrics.rounds, one.metrics.rounds);
+  EXPECT_LE(autofit.metrics.rounds, four.metrics.rounds);
+}
+
+TEST(ComputePhase, AutoBatchStillRespectsBitBudget) {
+  const Graph g = make_grid(4, 4);
+  const std::uint64_t k = 16, cutoff = 64;
+  const auto counts = random_counts(g, k * (cutoff + 1), 8);
+  const ComputeRun run = run_compute(g, counts, k, cutoff, 0);
+  CongestConfig config;
+  Network probe(g, config);
+  EXPECT_LE(run.metrics.max_bits_per_edge_round, probe.bit_budget());
+}
+
+TEST(ComputePhase, RejectsWrongSizedCounts) {
+  const Graph g = make_cycle(5);
+  CongestConfig config;
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId) {
+    ComputeNodeConfig node_config;
+    node_config.visits = {1, 2, 3};  // wrong length (n = 5)
+    node_config.walks_per_source = 1;
+    node_config.cutoff = 1;
+    return std::make_unique<ComputeNode>(std::move(node_config));
+  });
+  EXPECT_THROW(net.run(), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,265 @@
+// The CONGEST simulator itself: delivery timing, bandwidth enforcement,
+// metrics accounting, halting/wake-up semantics, cut metering, and
+// per-node RNG determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+// Sends one fixed-width token to every neighbour in round 0, records what it
+// receives in round 1, then halts.
+class PingNode final : public NodeProcess {
+ public:
+  explicit PingNode(int width) : width_(width) {}
+
+  void on_start(NodeContext&) override {}
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    for (const Message& msg : inbox) {
+      auto reader = msg.reader();
+      received_.push_back(
+          {msg.from, static_cast<std::uint64_t>(reader.read(width_))});
+    }
+    if (ctx.round() == 0) {
+      BitWriter w;
+      w.write(static_cast<std::uint64_t>(ctx.id()) & ((1u << width_) - 1),
+              width_);
+      for (NodeId nb : ctx.neighbors()) ctx.send(nb, w);
+    } else {
+      ctx.halt();
+    }
+  }
+
+  std::vector<std::pair<NodeId, std::uint64_t>> received_;
+
+ private:
+  int width_;
+};
+
+TEST(Network, DeliversNextRoundToAllNeighbors) {
+  const Graph g = make_cycle(5);
+  CongestConfig config;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<PingNode>(8); });
+  const RunMetrics metrics = net.run();
+  EXPECT_EQ(metrics.total_messages, 2 * g.edge_count());
+  for (NodeId v = 0; v < 5; ++v) {
+    const auto& node = static_cast<const PingNode&>(net.node(v));
+    ASSERT_EQ(node.received_.size(), 2u);  // both cycle neighbours
+    for (const auto& [from, value] : node.received_) {
+      EXPECT_EQ(value, static_cast<std::uint64_t>(from));
+      EXPECT_TRUE(g.has_edge(v, from));
+    }
+  }
+}
+
+// Tries to exceed the per-edge bit budget in round 0, then stays silent
+// (so in non-strict mode the run terminates instead of ping-ponging).
+class FloodNode final : public NodeProcess {
+ public:
+  void on_start(NodeContext&) override {}
+  void on_round(NodeContext& ctx, std::span<const Message>) override {
+    if (ctx.round() == 0) {
+      BitWriter w;
+      for (int i = 0; i < 8; ++i) w.write(0xff, 8);  // 64 bits
+      for (std::uint64_t burst = 0; burst * 64 <= ctx.bit_budget(); ++burst) {
+        ctx.send(ctx.neighbors()[0], w);
+      }
+    }
+    ctx.halt();
+  }
+};
+
+TEST(Network, StrictModeRejectsBudgetViolation) {
+  const Graph g = make_path(2);
+  CongestConfig config;
+  config.enforce_bandwidth = true;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<FloodNode>(); });
+  EXPECT_THROW(net.run(), Error);
+}
+
+TEST(Network, IdealModeOnlyMetersViolations) {
+  const Graph g = make_path(2);
+  CongestConfig config;
+  config.enforce_bandwidth = false;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<FloodNode>(); });
+  const RunMetrics metrics = net.run();
+  EXPECT_GT(metrics.max_bits_per_edge_round, net.bit_budget());
+}
+
+TEST(Network, SendToNonNeighborThrows) {
+  const Graph g = make_path(3);  // 0-1-2; 0 and 2 are not adjacent
+  class BadNode final : public NodeProcess {
+   public:
+    void on_start(NodeContext&) override {}
+    void on_round(NodeContext& ctx, std::span<const Message>) override {
+      if (ctx.id() == 0) {
+        BitWriter w;
+        w.write(1, 1);
+        ctx.send(2, w);
+      }
+      ctx.halt();
+    }
+  };
+  CongestConfig config;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<BadNode>(); });
+  EXPECT_THROW(net.run(), Error);
+}
+
+// Node 0 sends a wake-up to node 1 in round 2; node 1 halts immediately in
+// round 0 and must be woken to receive it.
+class LateSender final : public NodeProcess {
+ public:
+  void on_start(NodeContext&) override {}
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    if (ctx.id() == 0) {
+      if (ctx.round() == 2) {
+        BitWriter w;
+        w.write(1, 1);
+        ctx.send(1, w);
+        ctx.halt();
+      }
+    } else {
+      woken_rounds_.push_back(ctx.round());
+      if (!inbox.empty()) got_message_ = true;
+      ctx.halt();
+    }
+  }
+  std::vector<std::uint64_t> woken_rounds_;
+  bool got_message_ = false;
+};
+
+TEST(Network, MessageWakesHaltedNode) {
+  const Graph g = make_path(2);
+  CongestConfig config;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<LateSender>(); });
+  net.run();
+  const auto& receiver = static_cast<const LateSender&>(net.node(1));
+  EXPECT_TRUE(receiver.got_message_);
+  ASSERT_GE(receiver.woken_rounds_.size(), 2u);
+  EXPECT_EQ(receiver.woken_rounds_.back(), 3u);  // sent round 2 -> round 3
+}
+
+TEST(Network, MaxRoundsGuardThrows) {
+  class ForeverNode final : public NodeProcess {
+   public:
+    void on_start(NodeContext&) override {}
+    void on_round(NodeContext&, std::span<const Message>) override {}
+  };
+  const Graph g = make_path(2);
+  CongestConfig config;
+  config.max_rounds = 10;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<ForeverNode>(); });
+  EXPECT_THROW(net.run(), Error);
+}
+
+TEST(Network, CutMeteringCountsOnlyCutTraffic) {
+  const Graph g = make_path(4);  // 0-1-2-3
+  CongestConfig config;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<PingNode>(4); });
+  const Edge cut[] = {Edge{1, 2}};
+  net.register_cut(cut);
+  const RunMetrics metrics = net.run();
+  EXPECT_EQ(metrics.cut_messages, 2u);  // 1->2 and 2->1 pings
+  EXPECT_EQ(metrics.cut_bits, 8u);
+  EXPECT_GT(metrics.total_messages, metrics.cut_messages);
+}
+
+TEST(Network, RegisterCutRejectsNonEdges) {
+  const Graph g = make_path(3);
+  CongestConfig config;
+  Network net(g, config);
+  const Edge bogus[] = {Edge{0, 2}};
+  EXPECT_THROW(net.register_cut(bogus), Error);
+}
+
+TEST(Network, PerNodeRngIsDeterministicAndIndependent) {
+  class RngProbe final : public NodeProcess {
+   public:
+    void on_start(NodeContext& ctx) override { draw_ = ctx.rng()(); }
+    void on_round(NodeContext& ctx, std::span<const Message>) override {
+      ctx.halt();
+    }
+    std::uint64_t draw_ = 0;
+  };
+  const Graph g = make_path(3);
+  CongestConfig config;
+  config.seed = 42;
+  auto run_once = [&] {
+    Network net(g, config);
+    net.set_all_nodes([](NodeId) { return std::make_unique<RngProbe>(); });
+    net.run();
+    std::vector<std::uint64_t> draws;
+    for (NodeId v = 0; v < 3; ++v) {
+      draws.push_back(static_cast<const RngProbe&>(net.node(v)).draw_);
+    }
+    return draws;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);                // deterministic per seed
+  EXPECT_NE(a[0], a[1]);          // distinct streams per node
+  EXPECT_NE(a[1], a[2]);
+}
+
+TEST(Network, BudgetScalesWithLogN) {
+  CongestConfig config;
+  config.bandwidth_log_multiplier = 8;
+  config.bit_floor = 1;
+  const Graph small = make_cycle(16);   // log2 = 4
+  const Graph large = make_cycle(256);  // log2 = 8
+  EXPECT_EQ(Network(small, config).bit_budget(), 32u);
+  EXPECT_EQ(Network(large, config).bit_budget(), 64u);
+}
+
+TEST(Network, RoundObserverSeesEveryRoundAndSumsToTotals) {
+  const Graph g = make_cycle(5);
+  CongestConfig config;
+  std::vector<RoundSnapshot> snapshots;
+  config.round_observer = [&](const RoundSnapshot& s) {
+    snapshots.push_back(s);
+  };
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<PingNode>(8); });
+  const RunMetrics metrics = net.run();
+  ASSERT_EQ(snapshots.size(), metrics.rounds);
+  std::uint64_t messages = 0, bits = 0;
+  for (std::size_t r = 0; r < snapshots.size(); ++r) {
+    EXPECT_EQ(snapshots[r].round, r);
+    messages += snapshots[r].messages;
+    bits += snapshots[r].bits;
+  }
+  EXPECT_EQ(messages, metrics.total_messages);
+  EXPECT_EQ(bits, metrics.total_bits);
+  EXPECT_EQ(snapshots[0].awake_nodes, 5u);  // everyone sends in round 0
+}
+
+TEST(Network, RunTwiceThrows) {
+  const Graph g = make_path(2);
+  CongestConfig config;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<PingNode>(4); });
+  net.run();
+  EXPECT_THROW(net.run(), Error);
+}
+
+TEST(Network, MissingProgramThrows) {
+  const Graph g = make_path(2);
+  CongestConfig config;
+  Network net(g, config);
+  net.set_node(0, std::make_unique<PingNode>(4));
+  EXPECT_THROW(net.run(), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,146 @@
+// CONGEST building blocks: leader election, BFS-tree construction,
+// broadcast, and convergecast — each checked against a centrally computed
+// reference on several topologies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "congest/protocols/broadcast.hpp"
+#include "congest/protocols/convergecast.hpp"
+#include "congest/protocols/leader_election.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+namespace {
+
+CongestConfig test_config() {
+  CongestConfig config;
+  config.seed = 3;
+  return config;
+}
+
+class ProtocolSuite : public ::testing::TestWithParam<const char*> {
+ protected:
+  Graph make_graph() const {
+    const std::string name = GetParam();
+    Rng rng(17);
+    if (name == "path") return make_path(17);
+    if (name == "cycle") return make_cycle(16);
+    if (name == "star") return make_star(15);
+    if (name == "grid") return make_grid(4, 5);
+    if (name == "tree") return make_binary_tree(20);
+    if (name == "er") return make_erdos_renyi(24, 0.2, rng);
+    if (name == "ba") return make_barabasi_albert(24, 2, rng);
+    throw std::runtime_error("unknown topology " + name);
+  }
+};
+
+TEST_P(ProtocolSuite, ElectionFindsMinimumId) {
+  const Graph g = make_graph();
+  const auto result = run_leader_election(
+      g, test_config(), static_cast<std::uint64_t>(g.node_count()));
+  EXPECT_EQ(result.leader, 0);  // dense ids: 0 is the global minimum
+  EXPECT_GT(result.metrics.rounds, 0u);
+}
+
+TEST_P(ProtocolSuite, BfsTreeMatchesCentralBfs) {
+  const Graph g = make_graph();
+  const NodeId root = g.node_count() / 2;
+  const auto result = run_bfs_tree(
+      g, root, test_config(), static_cast<std::uint64_t>(g.node_count()) + 2);
+  const auto dist = bfs_distances(g, root);
+  EXPECT_EQ(result.tree.root, root);
+  EXPECT_EQ(result.tree.parent[static_cast<std::size_t>(root)], -1);
+  NodeId max_depth = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    EXPECT_EQ(result.tree.depth[vi], dist[vi]) << "node " << v;
+    max_depth = std::max(max_depth, result.tree.depth[vi]);
+    if (v != root) {
+      const NodeId p = result.tree.parent[vi];
+      ASSERT_GE(p, 0);
+      EXPECT_TRUE(g.has_edge(v, p));
+      EXPECT_EQ(dist[static_cast<std::size_t>(p)], dist[vi] - 1);
+      // The child list of the parent contains v.
+      const auto& siblings = result.tree.children[static_cast<std::size_t>(p)];
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(), v),
+                siblings.end());
+    }
+  }
+  EXPECT_EQ(result.tree.height, max_depth);
+  // Tree edge count: exactly n - 1 child links.
+  std::size_t child_links = 0;
+  for (const auto& kids : result.tree.children) child_links += kids.size();
+  EXPECT_EQ(child_links, static_cast<std::size_t>(g.node_count()) - 1);
+}
+
+TEST_P(ProtocolSuite, BroadcastReachesEveryNode) {
+  const Graph g = make_graph();
+  const auto bfs = run_bfs_tree(
+      g, 0, test_config(), static_cast<std::uint64_t>(g.node_count()) + 2);
+  const std::uint64_t value = 0x2fu;
+  const auto result = run_broadcast(g, bfs.tree, value, 8, test_config());
+  EXPECT_EQ(result.value, value);
+  // Broadcast takes about `height` rounds (plus the final empty round).
+  EXPECT_LE(result.metrics.rounds,
+            static_cast<std::uint64_t>(bfs.tree.height) + 3);
+}
+
+TEST_P(ProtocolSuite, ConvergecastSumAndMaxMatchDirectAggregates) {
+  const Graph g = make_graph();
+  const auto bfs = run_bfs_tree(
+      g, 0, test_config(), static_cast<std::uint64_t>(g.node_count()) + 2);
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(g.node_count()));
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    values[v] = (v * 7 + 3) % 23;
+  }
+  const std::uint64_t expected_sum =
+      std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  const std::uint64_t expected_max =
+      *std::max_element(values.begin(), values.end());
+  const auto sum = run_convergecast(g, bfs.tree, values, AggregateOp::kSum,
+                                    32, test_config());
+  const auto max = run_convergecast(g, bfs.tree, values, AggregateOp::kMax,
+                                    32, test_config());
+  EXPECT_EQ(sum.aggregate, expected_sum);
+  EXPECT_EQ(max.aggregate, expected_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ProtocolSuite,
+                         ::testing::Values("path", "cycle", "star", "grid",
+                                           "tree", "er", "ba"),
+                         [](const auto& info) { return info.param; });
+
+TEST(LeaderElection, SingleNodeElectsItself) {
+  GraphBuilder builder(1);
+  const Graph g = builder.build();
+  const auto result = run_leader_election(g, test_config(), 1);
+  EXPECT_EQ(result.leader, 0);
+}
+
+TEST(BfsTree, RejectsDisconnectedGraphs) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(run_bfs_tree(builder.build(), 0, test_config(), 6), Error);
+}
+
+TEST(Broadcast, RejectsOversizedValue) {
+  const Graph g = make_path(3);
+  const auto bfs = run_bfs_tree(g, 0, test_config(), 5);
+  EXPECT_THROW(run_broadcast(g, bfs.tree, 256, 8, test_config()), Error);
+}
+
+TEST(Convergecast, RejectsWrongValueCount) {
+  const Graph g = make_path(3);
+  const auto bfs = run_bfs_tree(g, 0, test_config(), 5);
+  const std::vector<std::uint64_t> wrong(2, 1);
+  EXPECT_THROW(run_convergecast(g, bfs.tree, wrong, AggregateOp::kSum, 8,
+                                test_config()),
+               Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,186 @@
+// Algorithm 1 (counting phase) in isolation: walk conservation, the
+// estimator identity E[xi_v^s] = K d(v) T_vs, target bookkeeping, and
+// termination detection on a hand-built tree.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "centrality/current_flow_exact.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/counting_node.hpp"
+
+namespace rwbc {
+namespace {
+
+struct CountingRun {
+  std::vector<std::vector<std::uint64_t>> visits;  // [node][source]
+  std::uint64_t total_died = 0;
+  RunMetrics metrics;
+};
+
+CountingRun run_counting(const Graph& g, NodeId target, std::uint64_t k,
+                         std::uint64_t cutoff, std::uint64_t seed,
+                         std::uint64_t bit_floor = 32,
+                         LengthPolicy policy = LengthPolicy::kPerMove) {
+  CongestConfig config;
+  config.seed = seed;
+  config.bit_floor = bit_floor;  // raised only for far-beyond-theorem K
+  const BfsTreeResult bfs = run_bfs_tree(
+      g, 0, config, static_cast<std::uint64_t>(g.node_count()) + 2);
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId v) {
+    CountingNodeConfig node_config;
+    node_config.target = target;
+    node_config.walks_per_source = k;
+    node_config.cutoff = cutoff;
+    node_config.tree_parent = bfs.tree.parent[static_cast<std::size_t>(v)];
+    node_config.tree_children = bfs.tree.children[static_cast<std::size_t>(v)];
+    node_config.length_policy = policy;
+    return std::make_unique<CountingNode>(std::move(node_config));
+  });
+  CountingRun run;
+  run.metrics = net.run();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& node = static_cast<const CountingNode&>(net.node(v));
+    EXPECT_TRUE(node.finished()) << "node " << v << " never saw DONE";
+    run.visits.push_back(node.visits());
+    run.total_died += node.died_here();
+  }
+  return run;
+}
+
+TEST(CountingPhase, EveryWalkDiesExactlyOnce) {
+  const Graph g = make_cycle(9);
+  const std::uint64_t k = 20;
+  const CountingRun run = run_counting(g, 4, k, 50, 1);
+  EXPECT_EQ(run.total_died, static_cast<std::uint64_t>(8) * k);
+}
+
+TEST(CountingPhase, TargetCountsStayZero) {
+  const Graph g = make_complete(6);
+  const NodeId target = 3;
+  const CountingRun run = run_counting(g, target, 16, 64, 2);
+  for (NodeId s = 0; s < 6; ++s) {
+    // Absorbed walks never score a visit at the target...
+    EXPECT_EQ(run.visits[static_cast<std::size_t>(target)]
+                        [static_cast<std::size_t>(s)], 0u);
+    // ...and the target launches no walks.
+    EXPECT_EQ(run.visits[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(target)], 0u);
+  }
+}
+
+TEST(CountingPhase, SourcesCountTheirOwnBirths) {
+  const Graph g = make_path(5);
+  const std::uint64_t k = 10;
+  const CountingRun run = run_counting(g, 4, k, 40, 3);
+  for (NodeId s = 0; s < 4; ++s) {
+    EXPECT_GE(run.visits[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(s)], k)
+        << "the r=0 occupancy of source " << s;
+  }
+}
+
+TEST(CountingPhase, CutoffOneMeansAtMostOneMove) {
+  // With l = 1 a walk contributes its birth plus at most one arrival.
+  const Graph g = make_cycle(6);
+  const std::uint64_t k = 50;
+  const CountingRun run = run_counting(g, 0, k, 1, 4);
+  for (NodeId s = 1; s < 6; ++s) {
+    std::uint64_t total = 0;
+    for (NodeId v = 0; v < 6; ++v) {
+      total += run.visits[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(s)];
+    }
+    EXPECT_GE(total, k);      // births
+    EXPECT_LE(total, 2 * k);  // births + one move each
+  }
+}
+
+TEST(CountingPhase, VisitExpectationMatchesExactPotentials) {
+  // E[xi_v^s] = K * d(v) * T_vs; a triangle with large K pins this tightly.
+  const Graph g = make_complete(3);
+  const NodeId target = 2;
+  const std::uint64_t k = 60'000;
+  const CountingRun run = run_counting(g, target, k, 400, 5, 128);
+  CurrentFlowOptions exact_options;
+  exact_options.grounding = target;
+  const DenseMatrix t = exact_potentials(g, exact_options);
+  for (NodeId v = 0; v < 3; ++v) {
+    for (NodeId s = 0; s < 3; ++s) {
+      const double estimate =
+          static_cast<double>(run.visits[static_cast<std::size_t>(v)]
+                                        [static_cast<std::size_t>(s)]) /
+          (static_cast<double>(k) * static_cast<double>(g.degree(v)));
+      EXPECT_NEAR(estimate,
+                  t(static_cast<std::size_t>(v), static_cast<std::size_t>(s)),
+                  0.02)
+          << "entry (" << v << ", " << s << ")";
+    }
+  }
+}
+
+TEST(CountingPhase, QueueingDelaysButNeverLosesWalks) {
+  // A star funnels every walk through the hub edge-by-edge: heavy
+  // congestion, yet conservation must hold and the run must end.
+  const Graph g = make_star(12);
+  const std::uint64_t k = 30;
+  const CountingRun run = run_counting(g, 6, k, 40, 6);
+  EXPECT_EQ(run.total_died, static_cast<std::uint64_t>(11) * k);
+  EXPECT_GT(run.metrics.rounds, 0u);
+}
+
+TEST(CountingPhase, RespectsBitBudget) {
+  Rng rng(99);
+  const Graph g = make_barabasi_albert(18, 2, rng);
+  const CountingRun run = run_counting(g, 1, 12, 36, 7);
+  CongestConfig config;
+  Network probe(g, config);
+  EXPECT_LE(run.metrics.max_bits_per_edge_round, probe.bit_budget());
+}
+
+TEST(CountingPhase, PerRoundPolicyConservesWalksAndBoundsRounds) {
+  // Per-round length spending: everything dies by round l, conservation
+  // still holds, and the phase ends within l plus one detection sweep.
+  const Graph g = make_star(10);  // heavy hub congestion
+  const std::uint64_t k = 40, cutoff = 30;
+  const CountingRun run =
+      run_counting(g, 3, k, cutoff, 8, 32, LengthPolicy::kPerRound);
+  EXPECT_EQ(run.total_died, static_cast<std::uint64_t>(9) * k);
+  // Rounds: at most cutoff + one full sweep (2 * height + slack).
+  EXPECT_LE(run.metrics.rounds, cutoff + 12);
+}
+
+TEST(CountingPhase, PerRoundPolicyUndercountsUnderCongestion) {
+  // Queued walks burn budget without moving, so total visits must be
+  // strictly lower than under the paper's per-move policy.
+  // Target must be a LEAF: with the hub absorbing, every walk dies after
+  // one hop and congestion never materialises.
+  const Graph g = make_star(12);
+  const std::uint64_t k = 40, cutoff = 24;
+  const CountingRun per_move = run_counting(g, 5, k, cutoff, 9);
+  const CountingRun per_round =
+      run_counting(g, 5, k, cutoff, 9, 32, LengthPolicy::kPerRound);
+  auto total_visits = [](const CountingRun& run) {
+    std::uint64_t total = 0;
+    for (const auto& row : run.visits) {
+      for (std::uint64_t v : row) total += v;
+    }
+    return total;
+  };
+  EXPECT_LT(total_visits(per_round), total_visits(per_move));
+}
+
+TEST(CountingNodeConfigValidation, RejectsZeroParameters) {
+  CountingNodeConfig config;
+  config.cutoff = 0;
+  config.walks_per_source = 1;
+  EXPECT_THROW(CountingNode{config}, Error);
+  config.cutoff = 1;
+  config.walks_per_source = 0;
+  EXPECT_THROW(CountingNode{config}, Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,267 @@
+// Exact current-flow betweenness (Newman / Section IV): closed-form cases,
+// grounding invariance, solver agreement, and the sorted-prefix pair
+// accumulation against a naive O(n^2 m) reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/current_flow_mc.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(CurrentFlowExact, PathOfThreeHasKnownValues) {
+  const Graph g = make_path(3);
+  const auto b = current_flow_betweenness(g);
+  // Middle node carries every pair: ((0,2) -> 1) + 2 endpoint pairs = 3,
+  // normalised by n(n-1)/2 = 3.
+  EXPECT_NEAR(b[1], 1.0, kTol);
+  // End nodes only appear as endpoints: 2 / 3.
+  EXPECT_NEAR(b[0], 2.0 / 3.0, kTol);
+  EXPECT_NEAR(b[2], 2.0 / 3.0, kTol);
+}
+
+TEST(CurrentFlowExact, StarHubIsMaximal) {
+  const NodeId n = 7;
+  const Graph g = make_star(n);
+  const auto b = current_flow_betweenness(g);
+  EXPECT_NEAR(b[0], 1.0, kTol);  // hub carries everything
+  for (NodeId v = 1; v < n; ++v) {
+    EXPECT_NEAR(b[static_cast<std::size_t>(v)],
+                2.0 / static_cast<double>(n), kTol);
+  }
+}
+
+TEST(CurrentFlowExact, CompleteGraphIsSymmetric) {
+  const Graph g = make_complete(5);
+  const auto b = current_flow_betweenness(g);
+  for (std::size_t v = 1; v < b.size(); ++v) {
+    EXPECT_NEAR(b[v], b[0], kTol);
+  }
+  EXPECT_GT(b[0], 2.0 / 5.0);  // strictly above the endpoint floor
+  EXPECT_LT(b[0], 1.0);
+}
+
+TEST(CurrentFlowExact, CycleFourPairThroughflowSplitsEvenly) {
+  const Graph g = make_cycle(4);
+  const DenseMatrix t = exact_potentials(g);
+  // Unit current 0 -> 2 splits half/half over the two parallel paths.
+  EXPECT_NEAR(pair_throughflow(g, t, 1, 0, 2), 0.5, kTol);
+  EXPECT_NEAR(pair_throughflow(g, t, 3, 0, 2), 0.5, kTol);
+  // Endpoints carry the full unit (Eq. 7).
+  EXPECT_NEAR(pair_throughflow(g, t, 0, 0, 2), 1.0, kTol);
+  EXPECT_NEAR(pair_throughflow(g, t, 2, 0, 2), 1.0, kTol);
+}
+
+TEST(CurrentFlowExact, PathPairThroughflowIsUnitOnTheLine) {
+  const Graph g = make_path(5);
+  const DenseMatrix t = exact_potentials(g);
+  // Every interior node of the unique 0..4 path carries the full current.
+  EXPECT_NEAR(pair_throughflow(g, t, 1, 0, 4), 1.0, kTol);
+  EXPECT_NEAR(pair_throughflow(g, t, 2, 0, 4), 1.0, kTol);
+  EXPECT_NEAR(pair_throughflow(g, t, 3, 0, 4), 1.0, kTol);
+}
+
+TEST(CurrentFlowExact, PotentialsMatrixIsSymmetric) {
+  Rng rng(7);
+  const Graph g = make_erdos_renyi(12, 0.3, rng);
+  const DenseMatrix t = exact_potentials(g);
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    for (std::size_t j = 0; j < t.cols(); ++j) {
+      EXPECT_NEAR(t(i, j), t(j, i), 1e-9);
+    }
+  }
+}
+
+TEST(CurrentFlowExact, GroundingChoiceDoesNotChangeBetweenness) {
+  Rng rng(11);
+  const Graph g = make_erdos_renyi(10, 0.4, rng);
+  CurrentFlowOptions a;
+  a.grounding = 0;
+  CurrentFlowOptions b;
+  b.grounding = g.node_count() - 1;
+  const auto ba = current_flow_betweenness(g, a);
+  const auto bb = current_flow_betweenness(g, b);
+  for (std::size_t v = 0; v < ba.size(); ++v) {
+    EXPECT_NEAR(ba[v], bb[v], 1e-8);
+  }
+}
+
+TEST(CurrentFlowExact, DenseAndCgSolversAgree) {
+  Rng rng(13);
+  const Graph g = make_erdos_renyi(14, 0.3, rng);
+  CurrentFlowOptions dense;
+  dense.solver = CurrentFlowOptions::Solver::kDenseLu;
+  CurrentFlowOptions sparse;
+  sparse.solver = CurrentFlowOptions::Solver::kSparseCg;
+  const auto bd = current_flow_betweenness(g, dense);
+  const auto bs = current_flow_betweenness(g, sparse);
+  for (std::size_t v = 0; v < bd.size(); ++v) {
+    EXPECT_NEAR(bd[v], bs[v], 1e-7);
+  }
+}
+
+// Naive O(n^2 m) accumulation of Eq. 6-8 used to validate the sorted-prefix
+// trick in betweenness_from_potentials.
+std::vector<double> naive_betweenness(const Graph& g, const DenseMatrix& t) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<double> result(n, 0.0);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    double sum = 0.0;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId tt = s + 1; tt < g.node_count(); ++tt) {
+        sum += pair_throughflow(g, t, i, s, tt);
+      }
+    }
+    result[static_cast<std::size_t>(i)] =
+        sum / (0.5 * static_cast<double>(n) * static_cast<double>(n - 1));
+  }
+  return result;
+}
+
+TEST(CurrentFlowExact, SortedPrefixAccumulationMatchesNaive) {
+  Rng rng(17);
+  const Graph g = make_erdos_renyi(11, 0.35, rng);
+  const DenseMatrix t = exact_potentials(g);
+  const auto fast = betweenness_from_potentials(g, t);
+  const auto naive = naive_betweenness(g, t);
+  for (std::size_t v = 0; v < fast.size(); ++v) {
+    EXPECT_NEAR(fast[v], naive[v], 1e-9);
+  }
+}
+
+TEST(CurrentFlowExact, Fig1NodeCHasSubstantialCentrality) {
+  const Fig1Layout layout = make_fig1_graph(5);
+  const auto b = current_flow_betweenness(layout.graph);
+  const auto c = static_cast<std::size_t>(layout.c);
+  const auto a = static_cast<std::size_t>(layout.a);
+  // C (on the parallel A-C-B path) carries real random-walk traffic: well
+  // above the 2/n endpoint floor...
+  EXPECT_GT(b[c], 1.5 * 2.0 / static_cast<double>(layout.graph.node_count()));
+  // ...while the bridge heads A and B dominate.
+  EXPECT_GT(b[a], b[c]);
+}
+
+TEST(PivotSampling, ConvergesToExact) {
+  Rng rng(37);
+  const Graph g = make_erdos_renyi(16, 0.3, rng);
+  const auto exact = current_flow_betweenness(g);
+  const auto sampled = current_flow_betweenness_pivots(g, 8000, 41);
+  double worst = 0.0;
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    worst = std::max(worst, std::abs(sampled[v] - exact[v]) / exact[v]);
+  }
+  EXPECT_LT(worst, 0.06);
+}
+
+TEST(PivotSampling, ErrorShrinksWithMorePairs) {
+  const Fig1Layout layout = make_fig1_graph(4);
+  const auto exact = current_flow_betweenness(layout.graph);
+  auto error_at = [&](std::size_t pairs) {
+    const auto sampled =
+        current_flow_betweenness_pivots(layout.graph, pairs, 43);
+    double worst = 0.0;
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+      worst = std::max(worst, std::abs(sampled[v] - exact[v]) / exact[v]);
+    }
+    return worst;
+  };
+  // 64x more pairs should cut the error by roughly 8x; demand at least 2x.
+  EXPECT_LT(error_at(12'800), error_at(200) / 2.0);
+}
+
+TEST(PivotSampling, ExactOnPairCountEqualToAllPairsStatistically) {
+  // Sampling with replacement never reproduces the exact value, but on the
+  // 3-node path every pair's I is known; the estimate must sit in range.
+  const Graph g = make_path(3);
+  const auto sampled = current_flow_betweenness_pivots(g, 5000, 5);
+  EXPECT_NEAR(sampled[1], 1.0, 0.05);       // every pair crosses the middle
+  EXPECT_NEAR(sampled[0], 2.0 / 3.0, 0.05);
+}
+
+TEST(PivotSampling, RejectsBadInputs) {
+  const Graph g = make_path(4);
+  EXPECT_THROW(current_flow_betweenness_pivots(g, 0, 1), Error);
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(current_flow_betweenness_pivots(b.build(), 10, 1), Error);
+}
+
+TEST(TruncatedPotentials, ConvergesToExactAsCutoffGrows) {
+  Rng rng(29);
+  const Graph g = make_erdos_renyi(10, 0.4, rng);
+  CurrentFlowOptions options;
+  options.grounding = 0;
+  const DenseMatrix exact = exact_potentials(g, options);
+  const DenseMatrix coarse = truncated_potentials(g, 0, 4);
+  const DenseMatrix fine = truncated_potentials(g, 0, 2000);
+  EXPECT_LT(subtract(fine, exact).max_abs(), 1e-9);
+  // Truncation only removes mass: T_l <= T entrywise, monotone in l.
+  for (std::size_t i = 0; i < exact.rows(); ++i) {
+    for (std::size_t j = 0; j < exact.cols(); ++j) {
+      EXPECT_LE(coarse(i, j), fine(i, j) + 1e-12);
+      EXPECT_LE(fine(i, j), exact(i, j) + 1e-12);
+    }
+  }
+}
+
+TEST(TruncatedPotentials, CutoffZeroIsJustTheBirthOccupancy) {
+  const Graph g = make_cycle(5);
+  const DenseMatrix t0 = truncated_potentials(g, 4, 0);
+  for (std::size_t v = 0; v < 5; ++v) {
+    for (std::size_t s = 0; s < 5; ++s) {
+      const double expected =
+          (v == s && s != 4) ? 1.0 / static_cast<double>(g.degree(
+                                         static_cast<NodeId>(v)))
+                             : 0.0;
+      EXPECT_NEAR(t0(v, s), expected, 1e-12);
+    }
+  }
+}
+
+TEST(TruncatedPotentials, MatchesMcEstimatorExpectation) {
+  // The Monte-Carlo scaled visits are an unbiased sample of T_l: with a
+  // large K they must straddle the deterministic truncated potentials.
+  const Graph g = make_complete(4);
+  const std::size_t cutoff = 6;
+  const DenseMatrix t_l = truncated_potentials(g, 3, cutoff);
+  McOptions options;
+  options.walks_per_source = 80'000;
+  options.cutoff = cutoff;
+  options.target = 3;
+  options.seed = 31;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  EXPECT_LT(subtract(mc.scaled_visits, t_l).max_abs(), 0.01);
+}
+
+TEST(CurrentFlowExact, RejectsDisconnectedGraphs) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = builder.build();
+  EXPECT_THROW(current_flow_betweenness(g), Error);
+}
+
+TEST(CurrentFlowExact, RejectsTinyGraphs) {
+  const Graph g = GraphBuilder(1).build();
+  EXPECT_THROW(current_flow_betweenness(g), Error);
+}
+
+TEST(CurrentFlowExact, BetweennessBoundsHold) {
+  Rng rng(23);
+  const Graph g = make_barabasi_albert(20, 2, rng);
+  const auto b = current_flow_betweenness(g);
+  const double floor = 2.0 / static_cast<double>(g.node_count());
+  for (double v : b) {
+    EXPECT_GE(v, floor - kTol);  // endpoint pairs alone contribute 2/n
+    EXPECT_LE(v, 1.0 + kTol);    // unit current cannot exceed 1 per pair
+  }
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,144 @@
+// Centralized Monte-Carlo estimator: convergence to the exact potentials
+// and betweenness (Theorems 1-3 in miniature), bookkeeping invariants, and
+// determinism.
+#include <gtest/gtest.h>
+
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/current_flow_mc.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(CurrentFlowMc, ScaledVisitsConvergeToExactPotentials) {
+  const Graph g = make_complete(4);
+  McOptions options;
+  options.walks_per_source = 60'000;
+  options.cutoff = 200;
+  options.target = 3;
+  options.seed = 42;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  CurrentFlowOptions exact_options;
+  exact_options.grounding = 3;
+  const DenseMatrix t = exact_potentials(g, exact_options);
+  for (std::size_t v = 0; v < t.rows(); ++v) {
+    for (std::size_t s = 0; s < t.cols(); ++s) {
+      EXPECT_NEAR(mc.scaled_visits(v, s), t(v, s), 0.02)
+          << "entry (" << v << ", " << s << ")";
+    }
+  }
+}
+
+TEST(CurrentFlowMc, BetweennessConvergesToExact) {
+  const Graph g = make_path(6);
+  McOptions options;
+  options.walks_per_source = 20'000;
+  options.cutoff = 600;  // path mixing is slow; generous cutoff
+  options.target = 0;
+  options.seed = 7;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  const auto exact = current_flow_betweenness(g);
+  EXPECT_LT(max_relative_error(exact, mc.betweenness), 0.05);
+}
+
+TEST(CurrentFlowMc, WalkAccountingIsExact) {
+  const Graph g = make_cycle(8);
+  McOptions options;
+  options.walks_per_source = 50;
+  options.cutoff = 64;
+  options.target = 2;
+  options.seed = 3;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  EXPECT_EQ(mc.absorbed_walks + mc.truncated_walks,
+            static_cast<std::uint64_t>(g.node_count() - 1) *
+                options.walks_per_source);
+}
+
+TEST(CurrentFlowMc, LargeCutoffAbsorbsNearlyEverything) {
+  const Graph g = make_complete(6);
+  McOptions options;
+  options.walks_per_source = 500;
+  options.cutoff = 2000;  // >> mixing time of K_6
+  options.target = 0;
+  options.seed = 9;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  EXPECT_EQ(mc.truncated_walks, 0u);
+}
+
+TEST(CurrentFlowMc, TinyCutoffTruncatesWalks) {
+  const Graph g = make_path(10);
+  McOptions options;
+  options.walks_per_source = 100;
+  options.cutoff = 1;  // one hop cannot reach a distant absorber
+  options.target = 9;
+  options.seed = 5;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  EXPECT_GT(mc.truncated_walks, 0u);
+}
+
+TEST(CurrentFlowMc, TargetColumnAndRowStayZero) {
+  const Graph g = make_complete(5);
+  McOptions options;
+  options.walks_per_source = 200;
+  options.cutoff = 100;
+  options.target = 2;
+  options.seed = 1;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(mc.scaled_visits(2, i), 0.0);  // absorbed: no visits
+    EXPECT_DOUBLE_EQ(mc.scaled_visits(i, 2), 0.0);  // no walks from target
+  }
+}
+
+TEST(CurrentFlowMc, DeterministicUnderSeed) {
+  const Graph g = make_grid(3, 3);
+  McOptions options;
+  options.walks_per_source = 64;
+  options.cutoff = 128;
+  options.target = 4;
+  options.seed = 1234;
+  const McResult a = current_flow_betweenness_mc(g, options);
+  const McResult b = current_flow_betweenness_mc(g, options);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.betweenness, b.betweenness);
+}
+
+TEST(CurrentFlowMc, RandomTargetIsDrawnWhenUnset) {
+  const Graph g = make_cycle(6);
+  McOptions options;
+  options.walks_per_source = 8;
+  options.cutoff = 32;
+  options.seed = 99;
+  const McResult mc = current_flow_betweenness_mc(g, options);
+  EXPECT_GE(mc.target, 0);
+  EXPECT_LT(mc.target, g.node_count());
+}
+
+TEST(AbsorptionProfile, StartsAtOneAndDecreases) {
+  const Graph g = make_complete(8);
+  const auto profile = absorption_profile(g, 0, 20'000, 60, 11);
+  EXPECT_DOUBLE_EQ(profile[0], 1.0);
+  for (std::size_t r = 1; r < profile.size(); ++r) {
+    EXPECT_LE(profile[r], profile[r - 1] + 1e-12);
+  }
+  // K_8 mixes fast: essentially everything absorbed within 60 steps.
+  EXPECT_LT(profile.back(), 0.01);
+}
+
+TEST(AbsorptionProfile, GeometricDecayOnCompleteGraph) {
+  // On K_n the survival probability per step is exactly (n-2)/(n-1) from
+  // any non-target node.
+  const NodeId n = 10;
+  const Graph g = make_complete(n);
+  const auto profile = absorption_profile(g, 0, 200'000, 20, 21);
+  const double rate = static_cast<double>(n - 2) / static_cast<double>(n - 1);
+  double expected = 1.0;
+  for (std::size_t r = 1; r <= 10; ++r) {
+    expected *= rate;
+    EXPECT_NEAR(profile[r], expected, 0.01) << "step " << r;
+  }
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,119 @@
+// Distributed alpha-current-flow betweenness (Section II-C): estimator
+// identity against the exact regularised potentials, accuracy against the
+// exact alpha-CFB, the O(log n / (1-alpha)) round profile, and compliance.
+#include <gtest/gtest.h>
+
+#include "centrality/alpha_cfb.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/distributed_alpha_cfb.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(DistributedAlphaCfb, ScaledVisitsMatchRegularisedPotentials) {
+  const Graph g = make_complete(4);
+  DistributedAlphaCfbOptions options;
+  options.alpha = 0.7;
+  options.walks_per_source = 40'000;
+  options.congest.seed = 1;
+  options.congest.bit_floor = 128;
+  const auto result = distributed_alpha_cfb(g, options);
+  const DenseMatrix t = alpha_potentials(g, 0.7);
+  EXPECT_LT(subtract(result.scaled_visits, t).max_abs(), 0.02);
+}
+
+TEST(DistributedAlphaCfb, BetweennessMatchesExactAlphaCfb) {
+  const Graph g = make_grid(3, 3);
+  DistributedAlphaCfbOptions options;
+  options.alpha = 0.8;
+  options.walks_per_source = 8000;
+  options.congest.seed = 2;
+  options.congest.bit_floor = 128;
+  const auto result = distributed_alpha_cfb(g, options);
+  const auto exact = alpha_current_flow_betweenness(g, 0.8);
+  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.08);
+}
+
+TEST(DistributedAlphaCfb, RoundsStayLogarithmicUnlikeRwbc) {
+  // The Section II-C/II-D positioning: evaporating walks die after
+  // ~1/(1-alpha) expected steps, so rounds do not grow with n the way the
+  // RWBC counting phase's l = O(n) forces.
+  const Graph small = make_cycle(32);
+  const Graph large = make_cycle(256);
+  auto rounds_for = [](const Graph& g) {
+    DistributedAlphaCfbOptions options;
+    options.alpha = 0.8;
+    options.walks_per_source = 8;
+    options.compute_scores = false;
+    options.congest.seed = 3;
+    // Subtract the tree phases, which are Theta(n) by themselves.
+    const auto r = distributed_alpha_cfb(g, options);
+    return r.counting_metrics.rounds;
+  };
+  const auto small_rounds = rounds_for(small);
+  const auto large_rounds = rounds_for(large);
+  // 8x the nodes must cost far less than 8x the counting rounds.
+  EXPECT_LT(large_rounds, 3 * small_rounds);
+  // ... while the RWBC counting phase grows near-linearly (sanity anchor).
+  DistributedRwbcOptions rwbc_options;
+  rwbc_options.walks_per_source = 8;
+  rwbc_options.compute_scores = false;
+  rwbc_options.run_leader_election = false;
+  rwbc_options.congest.seed = 3;
+  const auto rwbc_large = distributed_rwbc(large, rwbc_options);
+  EXPECT_GT(rwbc_large.counting_metrics.rounds, 4 * large_rounds);
+}
+
+TEST(DistributedAlphaCfb, CapIsStatisticallyInvisible) {
+  const Graph g = make_cycle(8);
+  DistributedAlphaCfbOptions options;
+  options.alpha = 0.6;
+  options.walks_per_source = 2000;
+  options.congest.seed = 4;
+  options.congest.bit_floor = 128;
+  const auto result = distributed_alpha_cfb(g, options);
+  // The default cap sits at the w.h.p. bound: virtually no walk reaches it.
+  EXPECT_EQ(result.capped_walks, 0u);
+}
+
+TEST(DistributedAlphaCfb, RespectsCongestBudget) {
+  const Graph g = make_star(20);
+  DistributedAlphaCfbOptions options;
+  options.alpha = 0.85;
+  options.walks_per_source = 12;
+  options.congest.seed = 5;
+  const auto result = distributed_alpha_cfb(g, options);
+  Network probe(g, options.congest);
+  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+}
+
+TEST(DistributedAlphaCfb, DeterministicUnderSeed) {
+  const Graph g = make_grid(3, 3);
+  DistributedAlphaCfbOptions options;
+  options.alpha = 0.75;
+  options.walks_per_source = 32;
+  options.congest.seed = 6;
+  options.congest.bit_floor = 64;
+  const auto a = distributed_alpha_cfb(g, options);
+  const auto b = distributed_alpha_cfb(g, options);
+  EXPECT_EQ(a.betweenness, b.betweenness);
+  EXPECT_EQ(a.total.rounds, b.total.rounds);
+}
+
+TEST(DistributedAlphaCfb, RejectsBadInputs) {
+  const Graph g = make_cycle(4);
+  DistributedAlphaCfbOptions bad;
+  bad.alpha = 1.0;
+  EXPECT_THROW(distributed_alpha_cfb(g, bad), Error);
+  bad.alpha = 0.0;
+  EXPECT_THROW(distributed_alpha_cfb(g, bad), Error);
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  DistributedAlphaCfbOptions ok;
+  EXPECT_THROW(distributed_alpha_cfb(b.build(), ok), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,83 @@
+// Distributed CONGEST PageRank: convergence to power iteration, the short
+// O(log n / eps) round profile, and token-count compression compliance.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "centrality/pagerank.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/distributed_pagerank.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(DistributedPagerank, ConvergesToPowerIteration) {
+  const Graph g = make_star(10);
+  DistributedPagerankOptions options;
+  options.walks_per_node = 20'000;
+  options.congest.seed = 1;
+  const auto result = distributed_pagerank(g, options);
+  const auto power = pagerank_power(g);
+  EXPECT_LT(max_relative_error(power, result.pagerank), 0.05);
+}
+
+TEST(DistributedPagerank, EstimatesSumToOne) {
+  Rng rng(2);
+  const Graph g = make_erdos_renyi(20, 0.3, rng);
+  DistributedPagerankOptions options;
+  options.walks_per_node = 500;
+  options.congest.seed = 2;
+  const auto result = distributed_pagerank(g, options);
+  EXPECT_NEAR(std::accumulate(result.pagerank.begin(), result.pagerank.end(),
+                              0.0),
+              1.0, 1e-12);
+}
+
+TEST(DistributedPagerank, FinishesInLogarithmicallyManyRounds) {
+  // Geometric walk lengths: even with thousands of walks the longest one is
+  // ~log(total)/eps steps, far below n for a big cycle.
+  const Graph g = make_cycle(300);
+  DistributedPagerankOptions options;
+  options.walks_per_node = 32;
+  options.congest.seed = 3;
+  const auto result = distributed_pagerank(g, options);
+  EXPECT_LT(result.metrics.rounds, 300u);
+  EXPECT_GT(result.metrics.rounds, 5u);
+}
+
+TEST(DistributedPagerank, TokenCompressionKeepsBudget) {
+  // A star hub relays nearly all walks every round: without count
+  // compression this would smash the per-edge budget.
+  const Graph g = make_star(40);
+  DistributedPagerankOptions options;
+  options.walks_per_node = 2000;
+  options.congest.seed = 4;
+  const auto result = distributed_pagerank(g, options);
+  Network probe(g, options.congest);
+  EXPECT_LE(result.metrics.max_bits_per_edge_round, probe.bit_budget());
+}
+
+TEST(DistributedPagerank, DeterministicUnderSeed) {
+  const Graph g = make_grid(4, 4);
+  DistributedPagerankOptions options;
+  options.walks_per_node = 64;
+  options.congest.seed = 5;
+  const auto a = distributed_pagerank(g, options);
+  const auto b = distributed_pagerank(g, options);
+  EXPECT_EQ(a.pagerank, b.pagerank);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+TEST(DistributedPagerank, RejectsBadInputs) {
+  const Graph isolated = GraphBuilder(2).build();
+  EXPECT_THROW(distributed_pagerank(isolated), Error);
+  const Graph g = make_cycle(4);
+  DistributedPagerankOptions bad;
+  bad.reset_probability = 0.0;
+  EXPECT_THROW(distributed_pagerank(g, bad), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,214 @@
+// End-to-end tests of the distributed pipeline: accuracy against the exact
+// solver, CONGEST compliance, per-phase metrics, determinism, and the
+// estimator identity between the distributed counts and exact potentials.
+#include <gtest/gtest.h>
+
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/ranking.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+namespace rwbc {
+namespace {
+
+DistributedRwbcOptions accurate_options(std::uint64_t seed) {
+  DistributedRwbcOptions options;
+  options.walks_per_source = 3000;
+  options.cutoff = 400;
+  options.congest.seed = seed;
+  // These runs crank K far beyond Theorem 3's O(log n) to pin statistical
+  // error; count messages then need log K extra bits, so the budget floor
+  // rises accordingly (the theorem-parameter runs keep the default floor).
+  options.congest.bit_floor = 128;
+  return options;
+}
+
+TEST(DistributedRwbc, MatchesExactOnCompleteGraph) {
+  const Graph g = make_complete(5);
+  const auto result = distributed_rwbc(g, accurate_options(1));
+  const auto exact = current_flow_betweenness(g);
+  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.05);
+}
+
+TEST(DistributedRwbc, MatchesExactOnPath) {
+  const Graph g = make_path(6);
+  DistributedRwbcOptions options = accurate_options(2);
+  options.cutoff = 800;  // slow mixing on paths
+  const auto result = distributed_rwbc(g, options);
+  const auto exact = current_flow_betweenness(g);
+  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.08);
+}
+
+TEST(DistributedRwbc, MatchesExactOnFig1Graph) {
+  const Fig1Layout layout = make_fig1_graph(3);
+  const auto result = distributed_rwbc(layout.graph, accurate_options(3));
+  const auto exact = current_flow_betweenness(layout.graph);
+  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.08);
+  // Clique members have near-tied exact scores, so sampling noise flips
+  // some of those pairs; 0.7 still rules out any structural disagreement.
+  EXPECT_GT(kendall_tau(exact, result.betweenness), 0.70);
+}
+
+TEST(DistributedRwbc, ScaledVisitsMatchExactPotentials) {
+  const Graph g = make_cycle(6);
+  DistributedRwbcOptions options = accurate_options(4);
+  options.forced_target = 2;
+  options.cutoff = 600;
+  const auto result = distributed_rwbc(g, options);
+  ASSERT_EQ(result.target, 2);
+  CurrentFlowOptions exact_options;
+  exact_options.grounding = 2;
+  const DenseMatrix t = exact_potentials(g, exact_options);
+  for (std::size_t v = 0; v < t.rows(); ++v) {
+    for (std::size_t s = 0; s < t.cols(); ++s) {
+      EXPECT_NEAR(result.scaled_visits(v, s), t(v, s), 0.06)
+          << "entry (" << v << ", " << s << ")";
+    }
+  }
+}
+
+TEST(DistributedRwbc, RespectsCongestBandwidth) {
+  Rng rng(5);
+  const Graph g = make_erdos_renyi(24, 0.2, rng);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 16;
+  options.cutoff = 64;
+  options.congest.seed = 6;
+  const auto result = distributed_rwbc(g, options);
+  Network probe(g, options.congest);  // for the budget value
+  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+  EXPECT_GT(result.total.max_bits_per_edge_round, 0u);
+}
+
+TEST(DistributedRwbc, DeterministicUnderSeed) {
+  const Graph g = make_grid(3, 4);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 32;
+  options.cutoff = 96;
+  options.congest.seed = 77;
+  const auto a = distributed_rwbc(g, options);
+  const auto b = distributed_rwbc(g, options);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.total.rounds, b.total.rounds);
+  EXPECT_EQ(a.betweenness, b.betweenness);
+}
+
+TEST(DistributedRwbc, PhaseMetricsSumToTotal) {
+  const Graph g = make_cycle(10);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 8;
+  options.cutoff = 40;
+  options.congest.seed = 8;
+  const auto r = distributed_rwbc(g, options);
+  EXPECT_EQ(r.total.rounds,
+            r.election_metrics.rounds + r.bfs_metrics.rounds +
+                r.dissemination_metrics.rounds + r.counting_metrics.rounds +
+                r.computing_metrics.rounds);
+  EXPECT_GT(r.election_metrics.rounds, 0u);
+  EXPECT_GT(r.bfs_metrics.rounds, 0u);
+  EXPECT_GT(r.dissemination_metrics.rounds, 0u);
+  EXPECT_GT(r.counting_metrics.rounds, 0u);
+  EXPECT_GT(r.computing_metrics.rounds, 0u);
+}
+
+TEST(DistributedRwbc, ForcedTargetIsUsed) {
+  const Graph g = make_star(8);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 8;
+  options.cutoff = 32;
+  options.forced_target = 5;
+  options.congest.seed = 9;
+  const auto result = distributed_rwbc(g, options);
+  EXPECT_EQ(result.target, 5);
+  // No walks start at the target: its potentials column is zero.
+  for (std::size_t v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(result.scaled_visits(v, 5), 0.0);
+  }
+}
+
+TEST(DistributedRwbc, TargetChoiceDoesNotBiasScores) {
+  const Graph g = make_complete(5);
+  DistributedRwbcOptions a = accurate_options(10);
+  a.forced_target = 0;
+  DistributedRwbcOptions b = accurate_options(11);
+  b.forced_target = 4;
+  const auto ra = distributed_rwbc(g, a);
+  const auto rb = distributed_rwbc(g, b);
+  EXPECT_LT(max_relative_error(ra.betweenness, rb.betweenness), 0.08);
+}
+
+TEST(DistributedRwbc, ScoreFreeModeSkipsScoresButCountsRounds) {
+  const Graph g = make_cycle(8);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 8;
+  options.cutoff = 32;
+  options.compute_scores = false;
+  options.congest.seed = 12;
+  const auto result = distributed_rwbc(g, options);
+  EXPECT_TRUE(result.betweenness.empty());
+  // Algorithm 2's n+2 message rounds still happen.
+  EXPECT_GE(result.computing_metrics.rounds,
+            static_cast<std::uint64_t>(g.node_count()));
+}
+
+TEST(DistributedRwbc, SkippingElectionSavesRoundsAndKeepsScores) {
+  const Graph g = make_complete(5);
+  DistributedRwbcOptions with = accurate_options(13);
+  DistributedRwbcOptions without = accurate_options(13);
+  without.run_leader_election = false;
+  const auto rw = distributed_rwbc(g, with);
+  const auto ro = distributed_rwbc(g, without);
+  EXPECT_EQ(ro.election_metrics.rounds, 0u);
+  EXPECT_LT(ro.total.rounds, rw.total.rounds);
+  EXPECT_LT(max_relative_error(rw.betweenness, ro.betweenness), 0.08);
+}
+
+TEST(DistributedRwbc, DefaultParamsFollowTheTheorems) {
+  const Graph g = make_cycle(32);
+  DistributedRwbcOptions options;
+  options.congest.seed = 14;
+  options.walks_per_source = 4;  // keep the run fast...
+  options.cutoff = 0;            // ...but let l default to Theorem 1's O(n)
+  const auto result = distributed_rwbc(g, options);
+  EXPECT_EQ(result.params.cutoff, default_cutoff(32));
+  EXPECT_EQ(result.params.walks_per_source, 4u);
+}
+
+TEST(DistributedRwbc, BatchedComputePhaseGivesIdenticalScores) {
+  const Graph g = make_grid(3, 4);
+  DistributedRwbcOptions one = accurate_options(20);
+  one.walks_per_source = 64;
+  one.cutoff = 48;
+  DistributedRwbcOptions batched = one;
+  batched.counts_per_message = 0;  // auto-fit
+  const auto r1 = distributed_rwbc(g, one);
+  const auto rb = distributed_rwbc(g, batched);
+  EXPECT_EQ(r1.betweenness, rb.betweenness);  // same walks, same scores
+  EXPECT_LT(rb.computing_metrics.rounds, r1.computing_metrics.rounds);
+}
+
+TEST(DistributedRwbc, PerRoundPolicyRunsEndToEnd) {
+  const Graph g = make_cycle(10);
+  DistributedRwbcOptions options = accurate_options(21);
+  options.walks_per_source = 64;
+  options.cutoff = 60;
+  options.length_policy = LengthPolicy::kPerRound;
+  const auto r = distributed_rwbc(g, options);
+  // Counting ends within cutoff + detection slack.
+  EXPECT_LE(r.counting_metrics.rounds, 60u + 30u);
+  const auto exact = current_flow_betweenness(g);
+  // Cycle with low congestion: per-round spending still lands close.
+  EXPECT_LT(max_relative_error(exact, r.betweenness), 0.5);
+}
+
+TEST(DistributedRwbc, RejectsBadInputs) {
+  GraphBuilder disconnected(4);
+  disconnected.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(distributed_rwbc(disconnected.build(), {}), Error);
+  const Graph tiny = GraphBuilder(1).build();
+  EXPECT_THROW(distributed_rwbc(tiny, {}), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,140 @@
+// Distributed shortest-path betweenness (the companion result [5]):
+// equality with exact Brandes up to the bounded-precision sigma encoding,
+// round profile, and compliance.
+#include <gtest/gtest.h>
+
+#include "centrality/brandes.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/distributed_spbc.hpp"
+
+namespace rwbc {
+namespace {
+
+DistributedSpbcOptions test_options(std::uint64_t seed) {
+  DistributedSpbcOptions options;
+  options.congest.seed = seed;
+  options.congest.bit_floor = 64;  // small-n tests need the float width
+  return options;
+}
+
+class SpbcFamily : public ::testing::TestWithParam<const char*> {
+ protected:
+  Graph graph() const {
+    const std::string name = GetParam();
+    Rng rng(5);
+    if (name == "path") return make_path(9);
+    if (name == "cycle") return make_cycle(10);
+    if (name == "star") return make_star(11);
+    if (name == "grid") return make_grid(3, 4);
+    if (name == "tree") return make_binary_tree(12);
+    if (name == "barbell") return make_barbell(4, 2);
+    if (name == "fig1") return make_fig1_graph(3).graph;
+    if (name == "er") return make_erdos_renyi(14, 0.3, rng);
+    if (name == "ba") return make_barabasi_albert(14, 2, rng);
+    throw std::runtime_error("unknown family " + name);
+  }
+};
+
+TEST_P(SpbcFamily, MatchesBrandesExactly) {
+  // No sampling anywhere: the only error source is the 22-bit sigma/delta
+  // mantissa, so agreement must be essentially exact.
+  const Graph g = graph();
+  const auto distributed = distributed_spbc(g, test_options(1));
+  const auto exact = brandes_betweenness(g);
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_NEAR(distributed.betweenness[v], exact[v], 1e-5)
+        << "family " << GetParam() << " node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SpbcFamily,
+                         ::testing::Values("path", "cycle", "star", "grid",
+                                           "tree", "barbell", "fig1", "er",
+                                           "ba"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DistributedSpbc, Fig1NodeCScoresZero) {
+  const Fig1Layout layout = make_fig1_graph(4);
+  const auto result = distributed_spbc(layout.graph, test_options(2));
+  EXPECT_NEAR(result.betweenness[static_cast<std::size_t>(layout.c)], 0.0,
+              1e-9);
+}
+
+TEST(DistributedSpbc, UnnormalizedMatchesBrandesRawCounts) {
+  const Graph g = make_path(6);
+  DistributedSpbcOptions options = test_options(3);
+  options.normalized = false;
+  const auto distributed = distributed_spbc(g, options);
+  BrandesOptions raw;
+  raw.normalized = false;
+  const auto exact = brandes_betweenness(g, raw);
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_NEAR(distributed.betweenness[v], exact[v], 1e-4);
+  }
+}
+
+TEST(DistributedSpbc, RoundsGrowNearLinearly) {
+  // The [5] claim: O(n) rounds.  Fit the growth exponent across a sweep.
+  std::vector<double> ns, rounds;
+  for (NodeId n : {16, 32, 64, 128}) {
+    Rng rng(7);
+    const Graph g = make_erdos_renyi(n, 4.0 / static_cast<double>(n), rng);
+    const auto result = distributed_spbc(g, test_options(4));
+    ns.push_back(static_cast<double>(n));
+    rounds.push_back(static_cast<double>(result.total.rounds));
+  }
+  const PowerFit fit = fit_power(ns, rounds);
+  EXPECT_GT(fit.exponent, 0.5);
+  EXPECT_LT(fit.exponent, 1.6);
+}
+
+TEST(DistributedSpbc, RespectsCongestBudget) {
+  Rng rng(9);
+  const Graph g = make_barabasi_albert(24, 2, rng);
+  const DistributedSpbcOptions options = test_options(5);
+  const auto result = distributed_spbc(g, options);
+  Network probe(g, options.congest);
+  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+}
+
+TEST(DistributedSpbc, DeterministicAndSeedInvariant) {
+  // The computation has no randomness at all: different seeds must give
+  // identical results (scheduling is fixed by the simulator).
+  const Graph g = make_grid(3, 3);
+  const auto a = distributed_spbc(g, test_options(10));
+  const auto b = distributed_spbc(g, test_options(11));
+  EXPECT_EQ(a.betweenness, b.betweenness);
+  EXPECT_EQ(a.total.rounds, b.total.rounds);
+}
+
+TEST(DistributedSpbc, RejectsBadInputs) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(distributed_spbc(b.build(), test_options(12)), Error);
+  const Graph tiny = GraphBuilder(1).build();
+  EXPECT_THROW(distributed_spbc(tiny, test_options(13)), Error);
+}
+
+TEST(ApproxFloat, RoundTripsWithinRelativePrecision) {
+  for (double value : {0.0, 1.0, 3.25, 1e-6, 123456789.0, 7.3e20}) {
+    const auto encoded = encode_approx_float(value, 22, 8);
+    const double decoded = decode_approx_float(encoded, 22, 8);
+    if (value == 0.0) {
+      EXPECT_EQ(decoded, 0.0);
+    } else {
+      EXPECT_NEAR(decoded / value, 1.0, 1e-6) << value;
+    }
+  }
+}
+
+TEST(ApproxFloat, RejectsBadWidths) {
+  EXPECT_THROW(encode_approx_float(1.0, 0, 8), Error);
+  EXPECT_THROW(encode_approx_float(1.0, 22, 1), Error);
+  EXPECT_THROW(encode_approx_float(-1.0, 22, 8), Error);
+  EXPECT_THROW(decode_approx_float(1, 60, 8), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

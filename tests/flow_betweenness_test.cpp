@@ -1,0 +1,64 @@
+// Freeman network-flow betweenness: structural expectations on known
+// topologies and its Fig. 1 behaviour.
+#include <gtest/gtest.h>
+
+#include "centrality/brandes.hpp"
+#include "centrality/flow_betweenness.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(FlowBetweenness, PathMiddleDominates) {
+  const Graph g = make_path(5);
+  const auto b = flow_betweenness(g);
+  EXPECT_GT(b[2], b[0]);
+  EXPECT_GT(b[2], b[4]);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);  // endpoints pass no through-flow
+}
+
+TEST(FlowBetweenness, StarHubTakesEverything) {
+  const Graph g = make_star(7);
+  const auto b = flow_betweenness(g);
+  for (std::size_t v = 1; v < b.size(); ++v) {
+    EXPECT_DOUBLE_EQ(b[v], 0.0);
+  }
+  EXPECT_GT(b[0], 0.5);
+}
+
+TEST(FlowBetweenness, SymmetricOnCycles) {
+  const Graph g = make_cycle(6);
+  const auto b = flow_betweenness(g);
+  for (std::size_t v = 1; v < b.size(); ++v) {
+    EXPECT_NEAR(b[v], b[0], 1e-12);
+  }
+}
+
+TEST(FlowBetweenness, UnnormalizedCountsRawFlow) {
+  const Graph g = make_path(4);
+  FlowBetweennessOptions raw;
+  raw.normalized = false;
+  const auto b = flow_betweenness(g, raw);
+  // Node 1 carries pairs (0,2), (0,3): one unit each.
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+}
+
+TEST(FlowBetweenness, Fig1NodeCSeesFlow) {
+  // Unlike shortest paths, max flow does exploit the parallel A-C-B route.
+  const Fig1Layout layout = make_fig1_graph(3);
+  const auto flow = flow_betweenness(layout.graph);
+  const auto sp = brandes_betweenness(layout.graph);
+  const auto c = static_cast<std::size_t>(layout.c);
+  EXPECT_DOUBLE_EQ(sp[c], 0.0);
+  EXPECT_GT(flow[c], 0.0);
+}
+
+TEST(FlowBetweenness, RejectsBadInputs) {
+  EXPECT_THROW(flow_betweenness(make_path(2)), Error);
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(flow_betweenness(b.build()), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,82 @@
+// The trivial gather-exact baseline: answer correctness (to fixed-point
+// resolution) and the Theta(m) round cost the paper attributes to it.
+#include <gtest/gtest.h>
+
+#include "centrality/current_flow_exact.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "rwbc/gather_exact.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(GatherExact, ReproducesExactScoresOnSmallGraphs) {
+  for (const Graph& g : {make_path(8), make_cycle(9), make_star(7),
+                         make_grid(3, 4), make_complete(6)}) {
+    const GatherExactResult result = gather_exact_rwbc(g);
+    const auto exact = current_flow_betweenness(g);
+    ASSERT_EQ(result.betweenness.size(), exact.size());
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+      EXPECT_NEAR(result.betweenness[v], exact[v], 1e-6)  // 24-bit quantised
+          << "node " << v;
+    }
+  }
+}
+
+TEST(GatherExact, ReproducesExactScoresOnRandomGraph) {
+  Rng rng(4);
+  const Graph g = make_erdos_renyi(24, 0.25, rng);
+  const GatherExactResult result = gather_exact_rwbc(g);
+  const auto exact = current_flow_betweenness(g);
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_NEAR(result.betweenness[v], exact[v], 1e-6);
+  }
+}
+
+TEST(GatherExact, RoundsScaleWithEdgeCountThroughABottleneck) {
+  // On barbells every right-clique edge report crosses the single bridge,
+  // so the gather cost is Theta(m): fitting rounds against m across the
+  // family must give a near-linear exponent.  (On high-degree BFS trees the
+  // gather parallelises and is *cheaper* than Theta(m) — see DESIGN.md.)
+  std::vector<double> ms, rounds;
+  GatherExactOptions options;
+  options.run_leader_election = false;
+  for (NodeId k : {8, 12, 16, 24, 32}) {
+    const Graph g = make_barbell(k, 2);
+    const auto r = gather_exact_rwbc(g, options);
+    ms.push_back(static_cast<double>(g.edge_count()));
+    rounds.push_back(static_cast<double>(r.main_metrics.rounds));
+  }
+  const PowerFit fit = fit_power(ms, rounds);
+  EXPECT_GT(fit.exponent, 0.6);
+  EXPECT_LT(fit.exponent, 1.3);
+  EXPECT_GT(fit.r_squared, 0.95);
+  EXPECT_GT(rounds.back(), 2.5 * rounds.front());
+}
+
+TEST(GatherExact, RespectsCongestBudget) {
+  const Graph g = make_grid(4, 5);
+  const GatherExactResult result = gather_exact_rwbc(g);
+  CongestConfig config;
+  Network probe(g, config);
+  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+}
+
+TEST(GatherExact, PhaseMetricsAddUp) {
+  const Graph g = make_cycle(12);
+  const GatherExactResult r = gather_exact_rwbc(g);
+  EXPECT_EQ(r.total.rounds, r.election_metrics.rounds +
+                                r.bfs_metrics.rounds + r.main_metrics.rounds);
+  EXPECT_EQ(r.leader, 0);
+}
+
+TEST(GatherExact, RejectsBadInputs) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(gather_exact_rwbc(b.build()), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,137 @@
+// Generator families: sizes, degrees, connectivity, and the structural
+// promises each generator documents.
+#include <gtest/gtest.h>
+
+#include "centrality/brandes.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(diameter(g), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = make_star(9);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(g.degree(0), 8);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12);
+  EXPECT_EQ(g.edge_count(), 17u);  // 3*3 horizontal + 2*4 vertical
+  EXPECT_EQ(diameter(g), 5);       // Manhattan corner to corner
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = make_binary_tree(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(3), 1);  // leaf
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = make_barbell(4, 2);
+  EXPECT_EQ(g.node_count(), 10);
+  // Two K_4 (6 edges each) + path edges 3-4, 4-5, 5-6.
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, ErdosRenyiIsAlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const Graph g = make_erdos_renyi(30, 0.05, rng);  // sparse: stitching on
+    EXPECT_TRUE(is_connected(g)) << "seed " << seed;
+    EXPECT_EQ(g.node_count(), 30);
+  }
+}
+
+TEST(Generators, ErdosRenyiExtremeProbabilities) {
+  Rng rng(1);
+  const Graph empty_p = make_erdos_renyi(8, 0.0, rng);
+  EXPECT_TRUE(is_connected(empty_p));  // stitching makes a spanning structure
+  EXPECT_EQ(empty_p.edge_count(), 7u);
+  const Graph full_p = make_erdos_renyi(8, 1.0, rng);
+  EXPECT_EQ(full_p.edge_count(), 28u);
+}
+
+TEST(Generators, BarabasiAlbertDegreeSkew) {
+  Rng rng(2);
+  const Graph g = make_barabasi_albert(200, 2, rng);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GE(stats.min, 2);
+  EXPECT_GT(stats.max, 4 * static_cast<NodeId>(stats.mean));  // hubs exist
+}
+
+TEST(Generators, WattsStrogatzKeepsDegreeMassAndConnectivity) {
+  Rng rng(3);
+  const Graph g = make_watts_strogatz(40, 4, 0.3, rng);
+  EXPECT_EQ(g.node_count(), 40);
+  EXPECT_EQ(g.edge_count(), 80u);  // rewiring preserves edge count
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WattsStrogatzZeroBetaIsTheRingLattice) {
+  Rng rng(4);
+  const Graph g = make_watts_strogatz(20, 4, 0.0, rng);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, Fig1LayoutMatchesThePaper) {
+  const Fig1Layout layout = make_fig1_graph(4);
+  const Graph& g = layout.graph;
+  EXPECT_EQ(g.node_count(), 11);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(layout.a, layout.b));
+  EXPECT_TRUE(g.has_edge(layout.a, layout.c));
+  EXPECT_TRUE(g.has_edge(layout.c, layout.b));
+  EXPECT_EQ(g.degree(layout.c), 2);  // C touches only A and B
+  // A connects to every left-community node, B to every right one.
+  for (NodeId v = 0; v < 4; ++v) EXPECT_TRUE(g.has_edge(layout.a, v));
+  for (NodeId v = 4; v < 8; ++v) EXPECT_TRUE(g.has_edge(layout.b, v));
+  // The paper's headline: C lies on no shortest path at all.
+  const auto spbc = brandes_betweenness(g);
+  EXPECT_DOUBLE_EQ(spbc[static_cast<std::size_t>(layout.c)], 0.0);
+}
+
+TEST(Generators, InvalidParametersThrow) {
+  Rng rng(5);
+  EXPECT_THROW(make_path(0), Error);
+  EXPECT_THROW(make_cycle(2), Error);
+  EXPECT_THROW(make_star(1), Error);
+  EXPECT_THROW(make_grid(0, 3), Error);
+  EXPECT_THROW(make_barbell(1, 0), Error);
+  EXPECT_THROW(make_erdos_renyi(5, 1.5, rng), Error);
+  EXPECT_THROW(make_barabasi_albert(3, 3, rng), Error);
+  EXPECT_THROW(make_watts_strogatz(10, 3, 0.1, rng), Error);  // odd k
+  EXPECT_THROW(make_fig1_graph(1), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

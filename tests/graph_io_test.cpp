@@ -1,0 +1,107 @@
+// Edge-list IO: round trips, comments/blank lines, and malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(GraphIo, StreamRoundTripPreservesStructure) {
+  Rng rng(1);
+  const Graph g = make_erdos_renyi(20, 0.2, rng);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph parsed = read_edge_list(buffer);
+  EXPECT_EQ(parsed.node_count(), g.node_count());
+  ASSERT_EQ(parsed.edge_count(), g.edge_count());
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    EXPECT_EQ(parsed.edges()[i], g.edges()[i]);
+  }
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "3 2\n"
+      "  # another\n"
+      "0 1\n"
+      "\n"
+      "1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = make_cycle(7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rwbc_io_test.txt").string();
+  save_edge_list(g, path);
+  const Graph loaded = load_edge_list(path);
+  EXPECT_EQ(loaded.edge_count(), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MalformedInputsThrow) {
+  {
+    std::stringstream in("");
+    EXPECT_THROW(read_edge_list(in), Error);
+  }
+  {
+    std::stringstream in("not numbers\n");
+    EXPECT_THROW(read_edge_list(in), Error);
+  }
+  {
+    std::stringstream in("3 2\n0 1\n");  // fewer edges than declared
+    EXPECT_THROW(read_edge_list(in), Error);
+  }
+  {
+    std::stringstream in("2 1\n0 5\n");  // endpoint out of range
+    EXPECT_THROW(read_edge_list(in), Error);
+  }
+  {
+    std::stringstream in("2 1\n1 1\n");  // self loop
+    EXPECT_THROW(read_edge_list(in), Error);
+  }
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/rwbc.txt"), Error);
+}
+
+TEST(GraphIo, DotExportBareGraph) {
+  const Graph g = make_path(3);
+  std::ostringstream out;
+  write_dot(g, out);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(GraphIo, DotExportWithScores) {
+  const Graph g = make_path(3);
+  const std::vector<double> scores{0.1, 0.9, 0.1};
+  std::ostringstream out;
+  write_dot(g, out, scores);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("label=\"1\\n0.9\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"grey40\""), std::string::npos);  // peak
+}
+
+TEST(GraphIo, DotExportRejectsWrongScoreCount) {
+  const Graph g = make_path(3);
+  const std::vector<double> wrong{1.0};
+  std::ostringstream out;
+  EXPECT_THROW(write_dot(g, out, wrong), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

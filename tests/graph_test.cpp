@@ -1,0 +1,106 @@
+// Graph core: builder semantics (dedup, canonical form, validation) and
+// adjacency queries.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(GraphBuilder, BuildsEmptyGraph) {
+  const Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphBuilder, DeduplicatesEdgesInBothOrientations) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+  EXPECT_EQ(b.edge_count(), 1u);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), Error);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), Error);
+  EXPECT_THROW(b.add_edge(-1, 0), Error);
+}
+
+TEST(GraphBuilder, HasEdgeTracksAdditions) {
+  GraphBuilder b(4);
+  b.add_edge(2, 3);
+  EXPECT_TRUE(b.has_edge(2, 3));
+  EXPECT_TRUE(b.has_edge(3, 2));
+  EXPECT_FALSE(b.has_edge(0, 1));
+  EXPECT_FALSE(b.has_edge(2, 2));
+}
+
+TEST(GraphBuilder, AddEdgesBulkInsert) {
+  GraphBuilder b(4);
+  const Edge edges[] = {{0, 1}, {1, 2}, {2, 3}};
+  b.add_edges(edges);
+  EXPECT_EQ(b.edge_count(), 3u);
+}
+
+TEST(GraphBuilder, IsReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(1, 2);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.edge_count(), 1u);
+  EXPECT_EQ(g2.edge_count(), 2u);
+}
+
+TEST(Graph, NeighborsAreSortedAndComplete) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4).add_edge(2, 0).add_edge(2, 3).add_edge(2, 1);
+  const Graph g = b.build();
+  const auto ns = g.neighbors(2);
+  ASSERT_EQ(ns.size(), 4u);
+  EXPECT_EQ(ns[0], 0);
+  EXPECT_EQ(ns[1], 1);
+  EXPECT_EQ(ns[2], 3);
+  EXPECT_EQ(ns[3], 4);
+}
+
+TEST(Graph, EdgesAreCanonicalAndSorted) {
+  GraphBuilder b(4);
+  b.add_edge(3, 1).add_edge(2, 0).add_edge(1, 0);
+  const Graph g = b.build();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{1, 3}));
+}
+
+TEST(Graph, HasEdgeAndDegreeAndMaxDegree) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_EQ(g.degree_sum(), 6u);
+}
+
+TEST(Graph, OutOfRangeQueriesThrow) {
+  const Graph g = GraphBuilder(2).build();
+  EXPECT_THROW(g.degree(2), Error);
+  EXPECT_THROW(g.neighbors(-1), Error);
+  EXPECT_THROW(g.has_edge(0, 5), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

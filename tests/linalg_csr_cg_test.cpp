@@ -1,0 +1,127 @@
+// CSR assembly/SpMV and the conjugate-gradient solver.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/lu.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Csr, AssemblySumsDuplicates) {
+  std::vector<Triplet> triplets{{0, 0, 1.0}, {0, 0, 2.0}, {1, 0, -1.0}};
+  const CsrMatrix m(2, 2, triplets);
+  EXPECT_EQ(m.nonzeros(), 2u);
+  const DenseMatrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 0.0);
+}
+
+TEST(Csr, OutOfRangeTripletThrows) {
+  std::vector<Triplet> triplets{{2, 0, 1.0}};
+  EXPECT_THROW(CsrMatrix(2, 2, triplets), Error);
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  Rng rng(3);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 30; ++i) {
+    triplets.push_back({rng.next_below(8), rng.next_below(8),
+                        rng.next_double() - 0.5});
+  }
+  const CsrMatrix sparse(8, 8, triplets);
+  const DenseMatrix dense = sparse.to_dense();
+  Vector x(8);
+  for (auto& v : x) v = rng.next_double();
+  const Vector ys = sparse.multiply(x);
+  const Vector yd = multiply(dense, x);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(Csr, MultiplyAddAccumulates) {
+  std::vector<Triplet> triplets{{0, 0, 2.0}, {1, 1, 3.0}};
+  const CsrMatrix m(2, 2, triplets);
+  Vector y{10.0, 20.0};
+  const Vector x{1.0, 1.0};
+  m.multiply_add(x, -1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 17.0);
+}
+
+TEST(Csr, DiagonalExtraction) {
+  std::vector<Triplet> triplets{{0, 0, 5.0}, {1, 0, 1.0}, {1, 1, 7.0}};
+  const CsrMatrix m(2, 2, triplets);
+  const Vector diag = m.diagonal();
+  EXPECT_DOUBLE_EQ(diag[0], 5.0);
+  EXPECT_DOUBLE_EQ(diag[1], 7.0);
+}
+
+TEST(Cg, SolvesReducedLaplacianLikeLu) {
+  Rng rng(7);
+  const Graph g = make_erdos_renyi(16, 0.3, rng);
+  const NodeId ground = 15;
+  const CsrMatrix sparse = reduced_laplacian_csr(g, ground);
+  const DenseMatrix dense = reduced_laplacian_matrix(g, ground);
+  Vector b(sparse.rows(), 0.0);
+  b[3] = 1.0;
+  Vector x(sparse.rows(), 0.0);
+  const CgResult result = conjugate_gradient(sparse, b, x);
+  EXPECT_TRUE(result.converged);
+  const Vector reference = lu_solve(dense, b);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], reference[i], 1e-7);
+  }
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const Graph g = make_cycle(5);
+  const CsrMatrix a = reduced_laplacian_csr(g, 0);
+  const Vector b(a.rows(), 0.0);
+  Vector x(a.rows(), 1.0);  // non-zero initial guess must be overwritten
+  const CgResult result = conjugate_gradient(a, b, x);
+  EXPECT_TRUE(result.converged);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Cg, WorksWithoutPreconditioner) {
+  const Graph g = make_grid(4, 4);
+  const CsrMatrix a = reduced_laplacian_csr(g, 0);
+  Vector b(a.rows(), 0.0);
+  b[0] = 1.0;
+  Vector x_jacobi(a.rows(), 0.0), x_plain(a.rows(), 0.0);
+  CgOptions plain;
+  plain.jacobi_preconditioner = false;
+  EXPECT_TRUE(conjugate_gradient(a, b, x_jacobi).converged);
+  EXPECT_TRUE(conjugate_gradient(a, b, x_plain, plain).converged);
+  for (std::size_t i = 0; i < x_jacobi.size(); ++i) {
+    EXPECT_NEAR(x_jacobi[i], x_plain[i], 1e-7);
+  }
+}
+
+TEST(Cg, IterationCapReportsNonConvergence) {
+  const Graph g = make_path(64);  // ill-conditioned chain
+  const CsrMatrix a = reduced_laplacian_csr(g, 0);
+  Vector b(a.rows(), 0.0);
+  b[60] = 1.0;
+  Vector x(a.rows(), 0.0);
+  CgOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 1e-14;
+  const CgResult result = conjugate_gradient(a, b, x, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 2u);
+}
+
+TEST(Cg, SizeMismatchThrows) {
+  const Graph g = make_cycle(4);
+  const CsrMatrix a = reduced_laplacian_csr(g, 0);
+  Vector b(2, 0.0), x(3, 0.0);
+  EXPECT_THROW(conjugate_gradient(a, b, x), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,100 @@
+// Dense matrix/vector operations used by the exact solver.
+#include <gtest/gtest.h>
+
+#include "linalg/dense.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(DenseMatrix, IdentityAndIndexing) {
+  const DenseMatrix i3 = DenseMatrix::identity(3);
+  EXPECT_EQ(i3.rows(), 3u);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 2), 0.0);
+}
+
+TEST(DenseMatrix, MultiplyMatrices) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  DenseMatrix b(3, 2);
+  b(0, 0) = 7;  b(0, 1) = 8;
+  b(1, 0) = 9;  b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const DenseMatrix c = multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(DenseMatrix, MultiplyVector) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const Vector x{5, 6};
+  const Vector y = multiply(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 17);
+  EXPECT_DOUBLE_EQ(y[1], 39);
+}
+
+TEST(DenseMatrix, ShapeMismatchThrows) {
+  const DenseMatrix a(2, 3), b(2, 2);
+  EXPECT_THROW(multiply(a, b), Error);
+  EXPECT_THROW(add(a, b), Error);
+  EXPECT_THROW(subtract(a, b), Error);
+  const Vector x{1, 2};
+  EXPECT_THROW(multiply(a, x), Error);
+}
+
+TEST(DenseMatrix, AddSubtractScaleTranspose) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  const DenseMatrix sum = add(a, a);
+  EXPECT_DOUBLE_EQ(sum(1, 0), 6);
+  const DenseMatrix zero = subtract(a, a);
+  EXPECT_DOUBLE_EQ(zero.max_abs(), 0.0);
+  const DenseMatrix half = scale(a, 0.5);
+  EXPECT_DOUBLE_EQ(half(1, 1), 2.0);
+  const DenseMatrix t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+}
+
+TEST(DenseMatrix, OneNormIsMaxColumnSum) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = -5;
+  a(1, 0) = 2; a(1, 1) = 3;
+  EXPECT_DOUBLE_EQ(a.one_norm(), 8.0);  // column 1: |-5| + |3|
+}
+
+TEST(DenseMatrix, RemoveAndInsertRowColAreInverse) {
+  DenseMatrix a(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = static_cast<double>(r * 3 + c + 1);
+    }
+  }
+  const DenseMatrix reduced = remove_row_col(a, 1);
+  ASSERT_EQ(reduced.rows(), 2u);
+  EXPECT_DOUBLE_EQ(reduced(0, 0), 1);
+  EXPECT_DOUBLE_EQ(reduced(0, 1), 3);
+  EXPECT_DOUBLE_EQ(reduced(1, 0), 7);
+  EXPECT_DOUBLE_EQ(reduced(1, 1), 9);
+  const DenseMatrix padded = insert_zero_row_col(reduced, 1);
+  ASSERT_EQ(padded.rows(), 3u);
+  EXPECT_DOUBLE_EQ(padded(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(padded(0, 0), 1);
+  EXPECT_DOUBLE_EQ(padded(2, 2), 9);
+  EXPECT_DOUBLE_EQ(padded(0, 1), 0.0);
+}
+
+TEST(DenseVector, DotAndNorm) {
+  const Vector a{3, 4};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  const Vector b{1};
+  EXPECT_THROW(dot(a, b), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,125 @@
+// Graph-matrix bridges: structure of A, D, M, L and their reduced forms,
+// plus the spectral machinery behind Theorem 1's cutoff prediction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Laplacian, AdjacencyAndDegreeStructure) {
+  const Graph g = make_path(3);
+  const DenseMatrix a = adjacency_matrix(g);
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 0.0);
+  const DenseMatrix d = degree_matrix(g);
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Laplacian, TransitionColumnsSumToOne) {
+  const Graph g = make_star(6);
+  const DenseMatrix m = transition_matrix(g);
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.rows(); ++i) sum += m(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // M_ij = A_ij / d(j): hub column splits 1/5 to each leaf.
+  EXPECT_NEAR(m(1, 0), 0.2, 1e-12);
+  EXPECT_NEAR(m(0, 1), 1.0, 1e-12);
+}
+
+TEST(Laplacian, TransitionRequiresMinDegreeOne) {
+  const Graph g = GraphBuilder(2).build();  // two isolated nodes
+  EXPECT_THROW(transition_matrix(g), Error);
+}
+
+TEST(Laplacian, LaplacianRowsSumToZero) {
+  const Graph g = make_cycle(5);
+  const DenseMatrix l = laplacian_matrix(g);
+  for (std::size_t r = 0; r < l.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < l.cols(); ++c) sum += l(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(Laplacian, ReducedFormsDropTheTarget) {
+  const Graph g = make_cycle(4);
+  const DenseMatrix mt = reduced_transition_matrix(g, 2);
+  EXPECT_EQ(mt.rows(), 3u);
+  const DenseMatrix lt = reduced_laplacian_matrix(g, 2);
+  EXPECT_EQ(lt.rows(), 3u);
+  EXPECT_DOUBLE_EQ(lt(0, 0), 2.0);  // degrees survive the removal
+}
+
+TEST(Laplacian, ReducedCsrMatchesDense) {
+  const Graph g = make_grid(3, 3);
+  const NodeId target = 4;
+  const DenseMatrix dense = reduced_laplacian_matrix(g, target);
+  const DenseMatrix sparse = reduced_laplacian_csr(g, target).to_dense();
+  EXPECT_LT(subtract(dense, sparse).max_abs(), 1e-12);
+}
+
+TEST(Laplacian, ReducedIndexMapping) {
+  EXPECT_EQ(reduced_index(0, 3), 0u);
+  EXPECT_EQ(reduced_index(2, 3), 2u);
+  EXPECT_EQ(reduced_index(4, 3), 3u);
+  EXPECT_THROW(reduced_index(3, 3), Error);
+}
+
+TEST(Spectral, CompleteGraphHasKnownSurvivalRate) {
+  // On K_n, survival per step from any node is (n-2)/(n-1) — the dominant
+  // eigenvalue of M_t.
+  const NodeId n = 8;
+  const Graph g = make_complete(n);
+  const double rho = spectral_radius_reduced_transition(g, 0);
+  EXPECT_NEAR(rho, static_cast<double>(n - 2) / static_cast<double>(n - 1),
+              1e-6);
+}
+
+TEST(Spectral, RadiusIsBelowOneOnConnectedGraphs) {
+  for (const Graph& g : {make_path(10), make_cycle(9), make_grid(3, 4)}) {
+    const double rho = spectral_radius_reduced_transition(g, 0);
+    EXPECT_GT(rho, 0.0);
+    EXPECT_LT(rho, 1.0);
+  }
+}
+
+TEST(Spectral, StarWithHubTargetIsNilpotent) {
+  // Removing the hub isolates every leaf: M_t = 0, walks die in one step.
+  const Graph g = make_star(7);
+  EXPECT_DOUBLE_EQ(spectral_radius_reduced_transition(g, 0), 0.0);
+  // With a leaf target the chain survives through the hub.
+  const double rho = spectral_radius_reduced_transition(g, 1);
+  EXPECT_GT(rho, 0.0);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(Spectral, PredictedCutoffBehaviour) {
+  // Smaller epsilon or slower mixing -> longer cutoff.
+  EXPECT_GE(predicted_cutoff_for_epsilon(0.9, 0.01),
+            predicted_cutoff_for_epsilon(0.9, 0.1));
+  EXPECT_GE(predicted_cutoff_for_epsilon(0.99, 0.1),
+            predicted_cutoff_for_epsilon(0.5, 0.1));
+  // Exact check: rho^l <= eps at the returned l.
+  const std::size_t l = predicted_cutoff_for_epsilon(0.8, 0.05);
+  EXPECT_LE(std::pow(0.8, static_cast<double>(l)), 0.05 + 1e-12);
+  EXPECT_GT(std::pow(0.8, static_cast<double>(l - 1)), 0.05 - 1e-12);
+}
+
+TEST(Spectral, PredictedCutoffEdgeCases) {
+  EXPECT_EQ(predicted_cutoff_for_epsilon(0.0, 0.1), 1u);
+  EXPECT_EQ(predicted_cutoff_for_epsilon(0.999999, 0.5, 100), 100u);  // cap
+  EXPECT_THROW(predicted_cutoff_for_epsilon(1.0, 0.1), Error);
+  EXPECT_THROW(predicted_cutoff_for_epsilon(0.5, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

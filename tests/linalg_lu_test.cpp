@@ -1,0 +1,88 @@
+// LU factorisation: solves, inverses, determinants, pivoting, singularity.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/lu.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const Vector b{5, 10};
+  const Vector x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the first diagonal: naive elimination would divide by zero.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const Vector b{2, 3};
+  const Vector x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, InverseOnRandomMatrix) {
+  Rng rng(5);
+  const std::size_t n = 12;
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.next_double() - 0.5;
+    }
+    a(r, r) += static_cast<double>(n);  // diagonally dominant: nonsingular
+  }
+  const DenseMatrix inv = lu_inverse(a);
+  const DenseMatrix prod = multiply(a, inv);
+  const DenseMatrix diff = subtract(prod, DenseMatrix::identity(n));
+  EXPECT_LT(diff.max_abs(), 1e-10);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 8;
+  a(1, 0) = 4; a(1, 1) = 6;
+  EXPECT_NEAR(LuDecomposition(a).determinant(), -14.0, 1e-10);
+  EXPECT_NEAR(LuDecomposition(DenseMatrix::identity(5)).determinant(), 1.0,
+              1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;  // rank 1
+  EXPECT_THROW(LuDecomposition{a}, Error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  const DenseMatrix a(2, 3);
+  EXPECT_THROW(LuDecomposition{a}, Error);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const LuDecomposition lu(a);
+  const DenseMatrix x = lu.solve(DenseMatrix::identity(2));
+  const DenseMatrix check = multiply(a, x);
+  EXPECT_LT(subtract(check, DenseMatrix::identity(2)).max_abs(), 1e-12);
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(1, 1) = 1;
+  const LuDecomposition lu(a);
+  const Vector wrong{1, 2, 3};
+  EXPECT_THROW(lu.solve(wrong), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

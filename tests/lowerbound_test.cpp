@@ -1,0 +1,129 @@
+// Section VIII machinery: gadget structure, the Lemma 4 separation
+// (b_P minimal iff the instance is disjoint), the Lemma 5 single-edge case,
+// and disjointness-instance generation.
+#include <gtest/gtest.h>
+
+#include "centrality/current_flow_exact.hpp"
+#include "common/rng.hpp"
+#include "graph/properties.hpp"
+#include "lowerbound/disjointness.hpp"
+#include "lowerbound/gadget.hpp"
+
+namespace rwbc {
+namespace {
+
+double exact_b_p(const GadgetLayout& layout) {
+  const auto b = current_flow_betweenness(layout.graph);
+  return b[static_cast<std::size_t>(layout.p)];
+}
+
+TEST(Gadget, StructureMatchesFig2) {
+  // M = 4, N = 2 — the paper's own illustration size.
+  const std::vector<std::vector<int>> x{{0, 1}, {0, 1}};
+  const std::vector<std::vector<int>> y{{2, 3}, {2, 3}};
+  const GadgetLayout layout = build_disjointness_gadget(4, x, y);
+  const Graph& g = layout.graph;
+  EXPECT_EQ(g.node_count(), 4 + 4 + 2 + 2 + 3);  // 2M + 2N + 3
+  EXPECT_TRUE(is_connected(g));
+  // Rails.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(g.has_edge(layout.left[i], layout.right[i]));
+    EXPECT_TRUE(g.has_edge(layout.a, layout.left[i]));
+    EXPECT_TRUE(g.has_edge(layout.b, layout.right[i]));
+  }
+  EXPECT_TRUE(g.has_edge(layout.a, layout.b));
+  // S_i joins X_i; T_j joins complement(Y_j) = {0, 1}.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(g.has_edge(layout.sources[i], layout.left[0]));
+    EXPECT_TRUE(g.has_edge(layout.sources[i], layout.left[1]));
+    EXPECT_FALSE(g.has_edge(layout.sources[i], layout.left[2]));
+    EXPECT_TRUE(g.has_edge(layout.sinks[i], layout.right[0]));
+    EXPECT_TRUE(g.has_edge(layout.sinks[i], layout.right[1]));
+    EXPECT_FALSE(g.has_edge(layout.sinks[i], layout.right[2]));
+    EXPECT_TRUE(g.has_edge(layout.p, layout.sources[i]));
+    EXPECT_TRUE(g.has_edge(layout.p, layout.sinks[i]));
+  }
+}
+
+TEST(Gadget, CutEdgesAreTheRailsPlusAB) {
+  const std::vector<std::vector<int>> x{{0, 1}};
+  const std::vector<std::vector<int>> y{{2, 3}};
+  const GadgetLayout layout = build_disjointness_gadget(4, x, y);
+  const auto cut = gadget_cut_edges(layout);
+  EXPECT_EQ(cut.size(), 5u);  // M rails + A-B
+  for (const Edge& e : cut) {
+    EXPECT_TRUE(layout.graph.has_edge(e.u, e.v));
+  }
+}
+
+TEST(Gadget, Lemma5SingleEdgeCase) {
+  // N = 1, single links: S1 - L0 fixed; b_P is minimal when T1 - R0
+  // (i.e. S1 "=" T1) compared against every other attachment.
+  const int m = 4;
+  const std::vector<std::vector<int>> s{{0}};
+  const double matched = exact_b_p(build_gadget(m, s, {{0}}));
+  for (int other = 1; other < m; ++other) {
+    const double mismatched = exact_b_p(build_gadget(m, s, {{other}}));
+    EXPECT_LT(matched, mismatched) << "T1 attached to rail " << other;
+  }
+}
+
+TEST(Gadget, Lemma4SeparationOnPaperSize) {
+  // Disjoint wiring (X = {0,1}, Y = {2,3} so T joins {0,1}) vs an
+  // intersecting one: b_P must be strictly smaller for the disjoint case.
+  const std::vector<std::vector<int>> x{{0, 1}, {0, 1}};
+  const std::vector<std::vector<int>> y_disjoint{{2, 3}, {2, 3}};
+  const std::vector<std::vector<int>> y_hit{{0, 3}, {2, 3}};
+  const double b_disjoint =
+      exact_b_p(build_disjointness_gadget(4, x, y_disjoint));
+  const double b_hit = exact_b_p(build_disjointness_gadget(4, x, y_hit));
+  EXPECT_LT(b_disjoint, b_hit);
+}
+
+class Lemma4Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma4Sweep, DisjointInstancesMinimiseBp) {
+  Rng rng(GetParam());
+  const int rails = 6, family = 3;
+  const DisjointnessInstance yes = make_disjoint_instance(rails, family, rng);
+  const DisjointnessInstance no =
+      make_intersecting_instance(rails, family, rng);
+  ASSERT_TRUE(instance_is_disjoint(yes));
+  ASSERT_FALSE(instance_is_disjoint(no));
+  const double b_yes =
+      exact_b_p(build_disjointness_gadget(rails, yes.x, yes.y));
+  const double b_no = exact_b_p(build_disjointness_gadget(rails, no.x, no.y));
+  EXPECT_LT(b_yes, b_no);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma4Sweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Disjointness, GeneratorInvariants) {
+  Rng rng(9);
+  const auto yes = make_disjoint_instance(8, 4, rng);
+  EXPECT_TRUE(instance_is_disjoint(yes));
+  EXPECT_EQ(yes.x.size(), 4u);
+  for (const auto& xi : yes.x) EXPECT_EQ(xi.size(), 4u);
+  const auto no = make_intersecting_instance(8, 4, rng, 2);
+  EXPECT_FALSE(instance_is_disjoint(no));
+  for (const auto& yj : no.y) EXPECT_EQ(yj.size(), 4u);
+}
+
+TEST(Disjointness, BoundGrowsAsNLogN) {
+  EXPECT_DOUBLE_EQ(disjointness_bits_lower_bound(2), 2.0);
+  EXPECT_GT(disjointness_bits_lower_bound(64),
+            8 * disjointness_bits_lower_bound(4));
+}
+
+TEST(Gadget, ValidationRejectsBadWiring) {
+  EXPECT_THROW(build_gadget(4, {}, {{0}}), Error);
+  EXPECT_THROW(build_gadget(4, {{0}}, {{}}), Error);
+  EXPECT_THROW(build_gadget(4, {{4}}, {{0}}), Error);
+  EXPECT_THROW(build_disjointness_gadget(3, {{0}}, {{0}}), Error);  // odd M
+  EXPECT_THROW(build_disjointness_gadget(4, {{0}}, {{0, 1}}), Error);
+  EXPECT_THROW(build_disjointness_gadget(4, {{0, 1}}, {{0, 0}}), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,82 @@
+// Edmonds-Karp on unit capacities: Menger equivalence and flow validity.
+#include <gtest/gtest.h>
+
+#include "centrality/maxflow.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(MaxFlow, PathCarriesOneUnit) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(max_flow(g, 0, 4).value, 1);
+}
+
+TEST(MaxFlow, CycleCarriesTwoUnits) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(max_flow(g, 0, 3).value, 2);
+}
+
+TEST(MaxFlow, CompleteGraphValueIsDegree) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(max_flow(g, 0, 4).value, 4);  // n-1 edge-disjoint paths
+}
+
+TEST(MaxFlow, StarLeafPairsCarryOne) {
+  const Graph g = make_star(6);
+  EXPECT_EQ(max_flow(g, 1, 5).value, 1);
+  EXPECT_EQ(max_flow(g, 0, 3).value, 1);
+}
+
+TEST(MaxFlow, DisconnectedPairCarriesZero) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_EQ(max_flow(b.build(), 0, 3).value, 0);
+}
+
+TEST(MaxFlow, FlowMatrixIsAntisymmetricAndConserved) {
+  const Graph g = make_grid(3, 3);
+  const NodeId s = 0, t = 8;
+  const MaxFlowResult result = max_flow(g, s, t);
+  const auto n = static_cast<std::size_t>(g.node_count());
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_DOUBLE_EQ(result.flow(u, v), -result.flow(v, u));
+    }
+  }
+  // Conservation at interior nodes; +/- value at the endpoints.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    double net_out = 0.0;
+    for (NodeId w : g.neighbors(v)) {
+      net_out += result.flow(static_cast<std::size_t>(v),
+                             static_cast<std::size_t>(w));
+    }
+    if (v == s) {
+      EXPECT_DOUBLE_EQ(net_out, static_cast<double>(result.value));
+    } else if (v == t) {
+      EXPECT_DOUBLE_EQ(net_out, -static_cast<double>(result.value));
+    } else {
+      EXPECT_DOUBLE_EQ(net_out, 0.0);
+    }
+  }
+}
+
+TEST(MaxFlow, CapacitiesAreRespected) {
+  const Graph g = make_cycle(5);
+  const MaxFlowResult result = max_flow(g, 0, 2);
+  for (const Edge& e : g.edges()) {
+    const double f = result.flow(static_cast<std::size_t>(e.u),
+                                 static_cast<std::size_t>(e.v));
+    EXPECT_LE(std::abs(f), 1.0);
+  }
+}
+
+TEST(MaxFlow, InvalidEndpointsThrow) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(max_flow(g, 0, 0), Error);
+  EXPECT_THROW(max_flow(g, 0, 5), Error);
+  EXPECT_THROW(max_flow(g, -1, 2), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

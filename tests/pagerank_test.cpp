@@ -1,0 +1,97 @@
+// PageRank: power iteration references, Monte-Carlo convergence.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "centrality/pagerank.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(PagerankPower, SumsToOne) {
+  Rng rng(1);
+  const Graph g = make_barabasi_albert(40, 2, rng);
+  const auto pr = pagerank_power(g);
+  const double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PagerankPower, UniformOnRegularGraphs) {
+  // On a vertex-transitive graph every node has the same rank.
+  const Graph g = make_cycle(10);
+  const auto pr = pagerank_power(g);
+  for (double v : pr) EXPECT_NEAR(v, 0.1, 1e-9);
+}
+
+TEST(PagerankPower, HubOutranksLeaves) {
+  const Graph g = make_star(10);
+  const auto pr = pagerank_power(g);
+  for (std::size_t v = 1; v < pr.size(); ++v) {
+    EXPECT_GT(pr[0], pr[v]);
+  }
+}
+
+TEST(PagerankPower, SatisfiesFixedPointEquation) {
+  Rng rng(2);
+  const Graph g = make_erdos_renyi(15, 0.3, rng);
+  PagerankOptions options;
+  const auto pr = pagerank_power(g, options);
+  const double eps = options.reset_probability;
+  const auto n = static_cast<double>(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    double incoming = 0.0;
+    for (NodeId w : g.neighbors(v)) {
+      incoming += pr[static_cast<std::size_t>(w)] /
+                  static_cast<double>(g.degree(w));
+    }
+    const double expected = eps / n + (1.0 - eps) * incoming;
+    EXPECT_NEAR(pr[static_cast<std::size_t>(v)], expected, 1e-8);
+  }
+}
+
+TEST(PagerankPower, RejectsIsolatedNodes) {
+  const Graph g = GraphBuilder(3).build();
+  EXPECT_THROW(pagerank_power(g), Error);
+}
+
+TEST(PagerankMc, ConvergesToPowerIteration) {
+  const Graph g = make_star(8);
+  PagerankMcOptions mc_options;
+  mc_options.walks_per_node = 40'000;
+  mc_options.seed = 3;
+  const auto mc = pagerank_monte_carlo(g, mc_options);
+  const auto power = pagerank_power(g);
+  EXPECT_LT(max_relative_error(power, mc), 0.05);
+}
+
+TEST(PagerankMc, EstimatesSumToOne) {
+  const Graph g = make_grid(3, 3);
+  PagerankMcOptions options;
+  options.walks_per_node = 100;
+  const auto mc = pagerank_monte_carlo(g, options);
+  EXPECT_NEAR(std::accumulate(mc.begin(), mc.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(PagerankMc, DeterministicUnderSeed) {
+  const Graph g = make_cycle(7);
+  PagerankMcOptions options;
+  options.walks_per_node = 50;
+  options.seed = 77;
+  EXPECT_EQ(pagerank_monte_carlo(g, options),
+            pagerank_monte_carlo(g, options));
+}
+
+TEST(Pagerank, RejectsBadResetProbability) {
+  const Graph g = make_cycle(4);
+  PagerankOptions bad;
+  bad.reset_probability = 0.0;
+  EXPECT_THROW(pagerank_power(g, bad), Error);
+  PagerankMcOptions bad_mc;
+  bad_mc.reset_probability = 1.0;
+  EXPECT_THROW(pagerank_monte_carlo(g, bad_mc), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,91 @@
+// Structural queries: BFS distances, components, diameter, degree stats.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Properties, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Properties, BfsMarksUnreachableAsMinusOne) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(Properties, ConnectedComponentsLabels) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+  const Graph g = b.build();
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(Properties, IsConnectedCases) {
+  EXPECT_TRUE(is_connected(GraphBuilder(0).build()));
+  EXPECT_TRUE(is_connected(GraphBuilder(1).build()));
+  EXPECT_TRUE(is_connected(make_cycle(4)));
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(is_connected(b.build()));
+}
+
+TEST(Properties, DiameterKnownValues) {
+  EXPECT_EQ(diameter(make_path(7)), 6);
+  EXPECT_EQ(diameter(make_cycle(8)), 4);
+  EXPECT_EQ(diameter(make_star(10)), 2);
+  EXPECT_EQ(diameter(make_complete(5)), 1);
+  EXPECT_EQ(diameter(GraphBuilder(1).build()), 0);
+}
+
+TEST(Properties, EccentricityOnPath) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(eccentricity(g, 0), 4);
+  EXPECT_EQ(eccentricity(g, 2), 2);
+}
+
+TEST(Properties, EccentricityRequiresConnectivity) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(eccentricity(b.build(), 0), Error);
+}
+
+TEST(Properties, DegreeStats) {
+  const Graph g = make_star(5);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_EQ(stats.max, 4);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+}
+
+TEST(Properties, RequireConnectedThrowsWithAlgorithmName) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  try {
+    require_connected(b.build(), "unit-test-algo");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unit-test-algo"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,83 @@
+// Rank-agreement metrics: hand-checked values, ties, and degeneracies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "centrality/ranking.hpp"
+#include "common/error.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(KendallTau, PerfectAgreementAndReversal) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> rev{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(a, rev), -1.0);
+}
+
+TEST(KendallTau, KnownMixedValue) {
+  // Pairs: (1,2)&(2,1) discordant with others... direct count:
+  // a = [1,2,3], b = [1,3,2]: pairs (0,1) C, (0,2) C, (1,2) D -> tau = 1/3.
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{1, 3, 2};
+  EXPECT_NEAR(kendall_tau(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTau, TieCorrection) {
+  // b has a tie; tau-b uses the tie-corrected denominator.
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{1, 2, 2};
+  // concordant = 2 ((0,1),(0,2)); pair (1,2) tied in b only.
+  // tau-b = 2 / sqrt(3 * 2).
+  EXPECT_NEAR(kendall_tau(a, b), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(KendallTau, FullyTiedVectorThrows) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> tied{5, 5, 5};
+  EXPECT_THROW(kendall_tau(a, tied), Error);
+}
+
+TEST(SpearmanRho, MonotoneMapsGivePerfectRho) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{10, 100, 1000, 10000, 100000};
+  EXPECT_NEAR(spearman_rho(a, b), 1.0, 1e-12);
+  const std::vector<double> rev{5, 4, 3, 2, 1};
+  EXPECT_NEAR(spearman_rho(a, rev), -1.0, 1e-12);
+}
+
+TEST(SpearmanRho, AverageTieRanks) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{1, 2, 2, 4};
+  const double rho = spearman_rho(a, b);
+  EXPECT_GT(rho, 0.9);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(TopKOverlap, CountsSharedLeaders) {
+  const std::vector<double> a{9, 8, 1, 2, 7};
+  const std::vector<double> b{9, 1, 8, 2, 7};
+  // top-2 of a = {0, 1}; top-2 of b = {0, 2} -> overlap 1/2.
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, a, 3), 1.0);
+}
+
+TEST(TopKOverlap, RejectsBadK) {
+  const std::vector<double> a{1, 2};
+  EXPECT_THROW(top_k_overlap(a, a, 0), Error);
+  EXPECT_THROW(top_k_overlap(a, a, 3), Error);
+}
+
+TEST(RankOrder, SortsDescendingWithIndexTieBreak) {
+  const std::vector<double> scores{3, 7, 7, 1};
+  const auto order = rank_order(scores);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // 7 at lower index first
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+}  // namespace
+}  // namespace rwbc

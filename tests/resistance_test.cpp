@@ -1,0 +1,136 @@
+// Effective resistance & Matrix-Tree invariants — closed forms that
+// cross-validate the exact potentials pipeline of Section IV.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "linalg/resistance.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(EffectiveResistance, PathIsDistance) {
+  const Graph g = make_path(6);
+  EXPECT_NEAR(effective_resistance(g, 0, 5), 5.0, 1e-10);
+  EXPECT_NEAR(effective_resistance(g, 1, 3), 2.0, 1e-10);
+}
+
+TEST(EffectiveResistance, CycleIsParallelPaths) {
+  // C_n: R(s, t) = d (n - d) / n for hop distance d.
+  const NodeId n = 8;
+  const Graph g = make_cycle(n);
+  EXPECT_NEAR(effective_resistance(g, 0, 4), 4.0 * 4.0 / 8.0, 1e-10);
+  EXPECT_NEAR(effective_resistance(g, 0, 1), 1.0 * 7.0 / 8.0, 1e-10);
+}
+
+TEST(EffectiveResistance, CompleteGraphIsTwoOverN) {
+  const NodeId n = 7;
+  const Graph g = make_complete(n);
+  EXPECT_NEAR(effective_resistance(g, 2, 5), 2.0 / static_cast<double>(n),
+              1e-10);
+}
+
+TEST(EffectiveResistance, MatrixMatchesPairQueries) {
+  Rng rng(3);
+  const Graph g = make_erdos_renyi(10, 0.4, rng);
+  const DenseMatrix r = effective_resistance_matrix(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    EXPECT_DOUBLE_EQ(r(static_cast<std::size_t>(s),
+                       static_cast<std::size_t>(s)), 0.0);
+    for (NodeId t = s + 1; t < g.node_count(); ++t) {
+      EXPECT_NEAR(r(static_cast<std::size_t>(s), static_cast<std::size_t>(t)),
+                  effective_resistance(g, s, t), 1e-8);
+    }
+  }
+}
+
+TEST(EffectiveResistance, IsAMetric) {
+  // Triangle inequality R(a,c) <= R(a,b) + R(b,c) — resistance distance is
+  // a metric, a strong structural test of the potentials matrix.
+  Rng rng(5);
+  const Graph g = make_barabasi_albert(12, 2, rng);
+  const DenseMatrix r = effective_resistance_matrix(g);
+  for (std::size_t a = 0; a < r.rows(); ++a) {
+    for (std::size_t b = 0; b < r.rows(); ++b) {
+      for (std::size_t c = 0; c < r.rows(); ++c) {
+        EXPECT_LE(r(a, c), r(a, b) + r(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(EffectiveResistance, RejectsBadInput) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(effective_resistance(g, 0, 0), Error);
+  EXPECT_THROW(effective_resistance(g, 0, 5), Error);
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(effective_resistance(b.build(), 0, 2), Error);
+}
+
+TEST(KirchhoffIndex, PathClosedForm) {
+  // Kf(P_n) = sum_{s<t} |s - t| = n(n^2 - 1)/6.
+  const NodeId n = 6;
+  const Graph g = make_path(n);
+  EXPECT_NEAR(kirchhoff_index(g),
+              static_cast<double>(n) * (n * n - 1.0) / 6.0, 1e-8);
+}
+
+TEST(SpanningTrees, ClosedForms) {
+  EXPECT_NEAR(spanning_tree_count(make_path(5)), 1.0, 1e-9);
+  EXPECT_NEAR(spanning_tree_count(make_cycle(7)), 7.0, 1e-8);
+  // Cayley: K_n has n^(n-2) spanning trees.
+  EXPECT_NEAR(spanning_tree_count(make_complete(4)), 16.0, 1e-7);
+  EXPECT_NEAR(spanning_tree_count(make_complete(5)), 125.0, 1e-6);
+  EXPECT_NEAR(spanning_tree_count(make_star(9)), 1.0, 1e-9);
+  const Graph single = GraphBuilder(1).build();
+  EXPECT_DOUBLE_EQ(spanning_tree_count(single), 1.0);
+}
+
+TEST(CurrentFlowCloseness, StarHubIsClosest) {
+  const Graph g = make_star(7);
+  const auto c = current_flow_closeness(g);
+  for (std::size_t v = 1; v < c.size(); ++v) {
+    EXPECT_GT(c[0], c[v]);
+  }
+}
+
+TEST(CurrentFlowCloseness, CompleteGraphClosedForm) {
+  // K_n: every pair's resistance is 2/n, so C(v) = (n-1)/((n-1)*2/n) = n/2.
+  const NodeId n = 6;
+  const auto c = current_flow_closeness(make_complete(n));
+  for (double v : c) {
+    EXPECT_NEAR(v, static_cast<double>(n) / 2.0, 1e-9);
+  }
+}
+
+TEST(CurrentFlowCloseness, DominatedByShortestPathCloseness) {
+  // Resistance distance <= shortest-path distance, so current-flow
+  // closeness >= classic closeness ... with equality on trees (where the
+  // unique path makes them identical).
+  const Graph tree = make_binary_tree(9);
+  const auto cf = current_flow_closeness(tree);
+  // On a tree, resistance = hop distance: spot-check the root.
+  const auto dist_sum = [&] {
+    double total = 0.0;
+    for (NodeId t = 1; t < tree.node_count(); ++t) {
+      total += static_cast<double>(bfs_distances(tree, 0)
+                                       [static_cast<std::size_t>(t)]);
+    }
+    return total;
+  }();
+  EXPECT_NEAR(cf[0], static_cast<double>(tree.node_count() - 1) / dist_sum,
+              1e-9);
+}
+
+TEST(SpanningTrees, RejectsDisconnected) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(spanning_tree_count(b.build()), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,40 @@
+// Parameter selection: the Theorem 1/3 defaults and their knobs.
+#include <gtest/gtest.h>
+
+#include "rwbc/params.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(Params, CutoffIsLinearInN) {
+  EXPECT_EQ(default_cutoff(100, 2.0), 200u);
+  EXPECT_EQ(default_cutoff(100, 0.5), 50u);
+  EXPECT_EQ(default_cutoff(1, 0.001), 1u);  // floor at 1
+}
+
+TEST(Params, WalksAreLogarithmicInN) {
+  EXPECT_EQ(default_walks_per_source(1024, 4.0), 40u);  // 4 * log2(1024)
+  EXPECT_EQ(default_walks_per_source(2, 1.0), 1u);
+  EXPECT_EQ(default_walks_per_source(1, 1.0), 1u);  // log floor at 2
+}
+
+TEST(Params, DefaultsComposePerTheorems) {
+  const RwbcParams p = default_params(256);
+  EXPECT_EQ(p.cutoff, 512u);           // 2n
+  EXPECT_EQ(p.walks_per_source, 32u);  // 4 log2 n
+}
+
+TEST(Params, GrowthIsMonotone) {
+  EXPECT_LT(default_cutoff(64), default_cutoff(128));
+  EXPECT_LE(default_walks_per_source(64), default_walks_per_source(128));
+}
+
+TEST(Params, RejectsInvalidArguments) {
+  EXPECT_THROW(default_cutoff(0), Error);
+  EXPECT_THROW(default_cutoff(8, 0.0), Error);
+  EXPECT_THROW(default_walks_per_source(0), Error);
+  EXPECT_THROW(default_walks_per_source(8, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -1,0 +1,188 @@
+// Weighted (conductance) extension: the WeightedGraph view, weighted exact
+// current-flow betweenness, the weighted Monte-Carlo estimator, and the
+// weighted distributed pipeline — all cross-validated against closed forms
+// and against the unweighted code at weight 1.
+#include <gtest/gtest.h>
+
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/current_flow_weighted.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(WeightedGraph, BasicAccessors) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  WeightedGraph wg(b.build(), {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(wg.edge_weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(wg.edge_weight(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(wg.strength(1), 7.0);
+  EXPECT_DOUBLE_EQ(wg.strength(0), 2.0);
+  EXPECT_TRUE(wg.has_integer_weights());
+  EXPECT_DOUBLE_EQ(wg.max_weight(), 5.0);
+  const auto weights = wg.neighbor_weights(1);  // neighbours sorted: 0, 2
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], 2.0);
+  EXPECT_DOUBLE_EQ(weights[1], 5.0);
+}
+
+TEST(WeightedGraph, ValidatesInput) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  EXPECT_THROW(WeightedGraph(b.build(), {1.0}), Error);          // count
+  EXPECT_THROW(WeightedGraph(b.build(), {1.0, 0.0}), Error);     // zero
+  EXPECT_THROW(WeightedGraph(b.build(), {1.0, -2.0}), Error);    // negative
+  WeightedGraph fractional(b.build(), {1.0, 2.5});
+  EXPECT_FALSE(fractional.has_integer_weights());
+}
+
+TEST(WeightedGraph, SamplingFollowsWeights) {
+  GraphBuilder b(3);
+  b.add_edge(1, 0).add_edge(1, 2);
+  WeightedGraph wg(b.build(), {3.0, 1.0});  // edges (0,1) w=3, (1,2) w=1
+  Rng rng(7);
+  int to_zero = 0;
+  const int draws = 40'000;
+  for (int i = 0; i < draws; ++i) {
+    if (wg.sample_neighbor(1, rng.next_double()) == 0) ++to_zero;
+  }
+  EXPECT_NEAR(static_cast<double>(to_zero) / draws, 0.75, 0.01);
+}
+
+TEST(WeightedExact, UnitWeightsReduceToUnweighted) {
+  Rng rng(3);
+  const Graph g = make_erdos_renyi(12, 0.35, rng);
+  const WeightedGraph wg = WeightedGraph::uniform(g);
+  const auto weighted = current_flow_betweenness(wg);
+  const auto unweighted = current_flow_betweenness(g);
+  for (std::size_t v = 0; v < weighted.size(); ++v) {
+    EXPECT_NEAR(weighted[v], unweighted[v], 1e-9);
+  }
+}
+
+TEST(WeightedExact, ConductanceSplitsCurrentOnParallelPaths) {
+  // 0 - 1 - 3 and 0 - 2 - 3: two parallel 2-hop paths.  With conductances
+  // 3 on the top path and 1 on the bottom, the top path's series
+  // conductance is 3/2 vs 1/2: node 1 carries 3/4 of the 0->3 current.
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(1, 3).add_edge(0, 2).add_edge(2, 3);
+  // canonical edge order: (0,1), (0,2), (1,3), (2,3)
+  WeightedGraph wg(b.build(), {3.0, 1.0, 3.0, 1.0});
+  const DenseMatrix t = exact_potentials(wg, 3);
+  const double v0 = t(0, 0);
+  const double v1 = t(1, 0);
+  // current through 1 = w01 * (V0 - V1) must be 3/4.
+  EXPECT_NEAR(3.0 * (v0 - v1), 0.75, 1e-9);
+  // And the betweenness of node 1 exceeds node 2's.
+  const auto scores = current_flow_betweenness(wg);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+TEST(WeightedExact, HeavyEdgeAttractsFlow) {
+  // On a cycle, making one arc heavy pulls current (and betweenness)
+  // toward the nodes on that arc.
+  const Graph g = make_cycle(6);
+  std::vector<double> weights(6, 1.0);
+  // canonical edges of C6: (0,1),(0,5),(1,2),(2,3),(3,4),(4,5)
+  weights[0] = 10.0;  // (0,1)
+  weights[2] = 10.0;  // (1,2)
+  const WeightedGraph wg(g, weights);
+  const auto scores = current_flow_betweenness(wg);
+  EXPECT_GT(scores[1], scores[4]);  // node 1 sits on the superhighway
+}
+
+TEST(WeightedExact, GroundingInvariance) {
+  Rng rng(11);
+  const WeightedGraph wg = randomly_weighted(make_grid(3, 3), 5, rng);
+  const auto a = current_flow_betweenness(wg, 0);
+  const auto b = current_flow_betweenness(wg, 8);
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_NEAR(a[v], b[v], 1e-8);
+  }
+}
+
+TEST(WeightedMc, ConvergesToWeightedExact) {
+  Rng rng(13);
+  const WeightedGraph wg = randomly_weighted(make_complete(5), 4, rng);
+  McOptions options;
+  options.walks_per_source = 40'000;
+  options.cutoff = 300;
+  options.target = 0;
+  options.seed = 17;
+  const McResult mc = current_flow_betweenness_mc(wg, options);
+  const auto exact = current_flow_betweenness(wg);
+  EXPECT_LT(max_relative_error(exact, mc.betweenness), 0.05);
+  // And the potentials estimate matches entrywise.
+  const DenseMatrix t = exact_potentials(wg, 0);
+  EXPECT_LT(subtract(mc.scaled_visits, t).max_abs(), 0.02);
+}
+
+TEST(WeightedDistributed, MatchesWeightedExact) {
+  Rng rng(19);
+  const WeightedGraph wg = randomly_weighted(make_cycle(6), 3, rng);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 3000;
+  options.cutoff = 600;
+  options.congest.seed = 23;
+  options.congest.bit_floor = 128;
+  const auto result = distributed_rwbc(wg, options);
+  const auto exact = current_flow_betweenness(wg);
+  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.10);
+}
+
+TEST(WeightedDistributed, ScaledVisitsMatchWeightedPotentials) {
+  Rng rng(29);
+  const WeightedGraph wg = randomly_weighted(make_complete(4), 4, rng);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 20'000;
+  options.cutoff = 200;
+  options.forced_target = 3;
+  options.congest.seed = 31;
+  options.congest.bit_floor = 128;
+  const auto result = distributed_rwbc(wg, options);
+  const DenseMatrix t = exact_potentials(wg, 3);
+  EXPECT_LT(subtract(result.scaled_visits, t).max_abs(), 0.02);
+}
+
+TEST(WeightedDistributed, UnitWeightsMatchUnweightedPipeline) {
+  // With weight 1 the weighted pipeline must follow the same code paths
+  // statistically: compare both against exact with the same tolerance.
+  const Graph g = make_grid(3, 3);
+  const WeightedGraph wg = WeightedGraph::uniform(g);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 2000;
+  options.cutoff = 300;
+  options.forced_target = 0;
+  options.congest.seed = 37;
+  options.congest.bit_floor = 128;
+  const auto weighted = distributed_rwbc(wg, options);
+  const auto exact = current_flow_betweenness(g);
+  EXPECT_LT(max_relative_error(exact, weighted.betweenness), 0.1);
+}
+
+TEST(WeightedDistributed, RejectsFractionalWeights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  const WeightedGraph wg(b.build(), {1.0, 2.5});
+  EXPECT_THROW(distributed_rwbc(wg, {}), Error);
+}
+
+TEST(WeightedDistributed, RespectsCongestBudget) {
+  Rng rng(41);
+  const WeightedGraph wg = randomly_weighted(make_grid(4, 4), 7, rng);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 16;
+  options.cutoff = 64;
+  options.congest.seed = 43;
+  const auto result = distributed_rwbc(wg, options);
+  Network probe(wg.topology(), options.congest);
+  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+}
+
+}  // namespace
+}  // namespace rwbc

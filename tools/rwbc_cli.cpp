@@ -1,0 +1,229 @@
+// rwbc_cli — command-line front end for the library.
+//
+//   rwbc_cli generate <family> <n> <seed> [out.edges]
+//       emit a generated graph as an edge list (stdout or file)
+//   rwbc_cli exact <graph.edges> [--dot out.dot]
+//       exact random-walk betweenness (Newman); optional DOT rendering
+//   rwbc_cli distributed <graph.edges> [K] [l] [seed]
+//       the paper's CONGEST pipeline with metrics
+//   rwbc_cli compare <graph.edges> [K] [l] [seed]
+//       exact vs distributed, with error and rank agreement
+//   rwbc_cli measures <graph.edges>
+//       the full centrality panel (degree/closeness/eigenvector/Katz/
+//       SPBC/RWBC/PageRank)
+//   rwbc_cli spbc <graph.edges> [seed]
+//       the distributed shortest-path betweenness of [5], vs Brandes
+//
+// Graph files use the `n m` + `u v` edge-list format (see graph/io.hpp);
+// "-" reads from stdin.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "centrality/brandes.hpp"
+#include "centrality/classic.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "centrality/pagerank.hpp"
+#include "centrality/ranking.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/distributed_spbc.hpp"
+
+namespace {
+
+using namespace rwbc;
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage:\n"
+         "  rwbc_cli generate <family> <n> <seed> [out.edges]\n"
+         "  rwbc_cli exact <graph.edges> [--dot out.dot]\n"
+         "  rwbc_cli distributed <graph.edges> [K] [l] [seed]\n"
+         "  rwbc_cli compare <graph.edges> [K] [l] [seed]\n"
+         "  rwbc_cli measures <graph.edges>\n"
+         "  rwbc_cli spbc <graph.edges> [seed]\n"
+         "families: path cycle star grid tree complete barbell er ba ws "
+         "fig1\n";
+  std::exit(2);
+}
+
+Graph load(const std::string& path) {
+  if (path == "-") return read_edge_list(std::cin);
+  return load_edge_list(path);
+}
+
+Graph generate(const std::string& family, NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "path") return make_path(n);
+  if (family == "cycle") return make_cycle(n);
+  if (family == "star") return make_star(n);
+  if (family == "grid") {
+    NodeId side = 1;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return make_grid(side, side);
+  }
+  if (family == "tree") return make_binary_tree(n);
+  if (family == "complete") return make_complete(n);
+  if (family == "barbell") return make_barbell(n / 2, 2);
+  if (family == "er") {
+    return make_erdos_renyi(n, std::min(1.0, 4.0 / static_cast<double>(n)),
+                            rng);
+  }
+  if (family == "ba") return make_barabasi_albert(n, 2, rng);
+  if (family == "ws") return make_watts_strogatz(n, 4, 0.2, rng);
+  if (family == "fig1") return make_fig1_graph(n / 2).graph;
+  throw Error("unknown family: " + family);
+}
+
+void print_scores(const Graph& g, const std::vector<double>& scores,
+                  const char* name) {
+  Table table({"node", "degree", name});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    table.add_row({Table::fmt(v), Table::fmt(g.degree(v)),
+                   Table::fmt(scores[static_cast<std::size_t>(v)], 6)});
+  }
+  table.print(std::cout);
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 5) usage();
+  const Graph g = generate(argv[2], static_cast<NodeId>(std::atoi(argv[3])),
+                           static_cast<std::uint64_t>(std::atoll(argv[4])));
+  if (argc > 5) {
+    save_edge_list(g, argv[5]);
+    std::cerr << "wrote " << g.node_count() << " nodes / " << g.edge_count()
+              << " edges to " << argv[5] << "\n";
+  } else {
+    write_edge_list(g, std::cout);
+  }
+  return 0;
+}
+
+int cmd_exact(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load(argv[2]);
+  const auto scores = current_flow_betweenness(g);
+  print_scores(g, scores, "exact RWBC");
+  if (argc >= 5 && std::string(argv[3]) == "--dot") {
+    std::ofstream out(argv[4]);
+    RWBC_REQUIRE(out.good(), std::string("cannot write ") + argv[4]);
+    write_dot(g, out, scores);
+    std::cerr << "wrote DOT to " << argv[4] << "\n";
+  }
+  return 0;
+}
+
+DistributedRwbcResult run_distributed(const Graph& g, int argc, char** argv) {
+  DistributedRwbcOptions options;
+  if (argc > 3) options.walks_per_source = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 4) options.cutoff = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) {
+    options.congest.seed = std::strtoull(argv[5], nullptr, 10);
+  }
+  // Users often pass big K; widen the budget floor accordingly.
+  options.congest.bit_floor = 128;
+  return distributed_rwbc(g, options);
+}
+
+int cmd_distributed(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load(argv[2]);
+  const auto result = run_distributed(g, argc, argv);
+  print_scores(g, result.betweenness, "distributed RWBC");
+  std::cout << "\ntarget = " << result.target
+            << ", K = " << result.params.walks_per_source
+            << ", l = " << result.params.cutoff
+            << "\nrounds = " << result.total.rounds
+            << ", messages = " << result.total.total_messages
+            << ", peak bits/edge/round = "
+            << result.total.max_bits_per_edge_round << "\n";
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load(argv[2]);
+  const auto exact = current_flow_betweenness(g);
+  const auto result = run_distributed(g, argc, argv);
+  Table table({"node", "exact", "distributed", "rel err"});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const double err = std::abs(result.betweenness[vi] - exact[vi]) /
+                       std::max(std::abs(exact[vi]), 1e-12);
+    table.add_row({Table::fmt(v), Table::fmt(exact[vi], 6),
+                   Table::fmt(result.betweenness[vi], 6),
+                   Table::fmt(err, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmax rel err = "
+            << max_relative_error(exact, result.betweenness)
+            << ", Kendall tau = "
+            << kendall_tau(exact, result.betweenness)
+            << ", rounds = " << result.total.rounds << "\n";
+  return 0;
+}
+
+int cmd_spbc(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load(argv[2]);
+  DistributedSpbcOptions options;
+  options.congest.bit_floor = 64;
+  if (argc > 3) options.congest.seed = std::strtoull(argv[3], nullptr, 10);
+  const auto result = distributed_spbc(g, options);
+  print_scores(g, result.betweenness, "distributed SPBC");
+  const auto exact = brandes_betweenness(g);
+  std::cout << "\nrounds = " << result.total.rounds
+            << " (forward " << result.forward_metrics.rounds << ", backward "
+            << result.backward_metrics.rounds << ")"
+            << ", max |diff| vs Brandes = "
+            << max_relative_error(exact, result.betweenness, 1e-6) << "\n";
+  return 0;
+}
+
+int cmd_measures(int argc, char** argv) {
+  if (argc < 3) usage();
+  const Graph g = load(argv[2]);
+  const auto degree = degree_centrality(g);
+  const auto closeness = closeness_centrality(g);
+  const auto eigen = eigenvector_centrality(g);
+  const auto katz = katz_centrality(g);
+  const auto spbc = brandes_betweenness(g);
+  const auto rw = current_flow_betweenness(g);
+  const auto pr = pagerank_power(g);
+  Table table({"node", "degree", "closeness", "eigenvector", "katz", "SPBC",
+               "RWBC", "pagerank"});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    table.add_row({Table::fmt(v), Table::fmt(degree[vi]),
+                   Table::fmt(closeness[vi]), Table::fmt(eigen[vi]),
+                   Table::fmt(katz[vi]), Table::fmt(spbc[vi]),
+                   Table::fmt(rw[vi]), Table::fmt(pr[vi])});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "exact") return cmd_exact(argc, argv);
+    if (command == "distributed") return cmd_distributed(argc, argv);
+    if (command == "compare") return cmd_compare(argc, argv);
+    if (command == "measures") return cmd_measures(argc, argv);
+    if (command == "spbc") return cmd_spbc(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+}
