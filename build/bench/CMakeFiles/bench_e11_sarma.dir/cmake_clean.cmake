@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_sarma.dir/bench_e11_sarma.cpp.o"
+  "CMakeFiles/bench_e11_sarma.dir/bench_e11_sarma.cpp.o.d"
+  "bench_e11_sarma"
+  "bench_e11_sarma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_sarma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_alpha.dir/bench_e12_alpha.cpp.o"
+  "CMakeFiles/bench_e12_alpha.dir/bench_e12_alpha.cpp.o.d"
+  "bench_e12_alpha"
+  "bench_e12_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

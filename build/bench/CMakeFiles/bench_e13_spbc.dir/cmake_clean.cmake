@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_spbc.dir/bench_e13_spbc.cpp.o"
+  "CMakeFiles/bench_e13_spbc.dir/bench_e13_spbc.cpp.o.d"
+  "bench_e13_spbc"
+  "bench_e13_spbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_spbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_cutoff.dir/bench_e2_cutoff.cpp.o"
+  "CMakeFiles/bench_e2_cutoff.dir/bench_e2_cutoff.cpp.o.d"
+  "bench_e2_cutoff"
+  "bench_e2_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_walks.dir/bench_e3_walks.cpp.o"
+  "CMakeFiles/bench_e3_walks.dir/bench_e3_walks.cpp.o.d"
+  "bench_e3_walks"
+  "bench_e3_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_congest.dir/bench_e5_congest.cpp.o"
+  "CMakeFiles/bench_e5_congest.dir/bench_e5_congest.cpp.o.d"
+  "bench_e5_congest"
+  "bench_e5_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

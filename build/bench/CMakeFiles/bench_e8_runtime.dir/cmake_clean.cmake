@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_runtime.dir/bench_e8_runtime.cpp.o"
+  "CMakeFiles/bench_e8_runtime.dir/bench_e8_runtime.cpp.o.d"
+  "bench_e8_runtime"
+  "bench_e8_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

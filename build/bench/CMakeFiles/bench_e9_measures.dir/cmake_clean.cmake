@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_measures.dir/bench_e9_measures.cpp.o"
+  "CMakeFiles/bench_e9_measures.dir/bench_e9_measures.cpp.o.d"
+  "bench_e9_measures"
+  "bench_e9_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

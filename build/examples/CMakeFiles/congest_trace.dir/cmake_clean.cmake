@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congest_trace.dir/congest_trace.cpp.o"
+  "CMakeFiles/congest_trace.dir/congest_trace.cpp.o.d"
+  "congest_trace"
+  "congest_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congest_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_network.dir/weighted_network.cpp.o"
+  "CMakeFiles/weighted_network.dir/weighted_network.cpp.o.d"
+  "weighted_network"
+  "weighted_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/centrality/alpha_cfb.cpp" "src/CMakeFiles/rwbc.dir/centrality/alpha_cfb.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/alpha_cfb.cpp.o.d"
+  "/root/repo/src/centrality/brandes.cpp" "src/CMakeFiles/rwbc.dir/centrality/brandes.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/brandes.cpp.o.d"
+  "/root/repo/src/centrality/classic.cpp" "src/CMakeFiles/rwbc.dir/centrality/classic.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/classic.cpp.o.d"
+  "/root/repo/src/centrality/current_flow_exact.cpp" "src/CMakeFiles/rwbc.dir/centrality/current_flow_exact.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/current_flow_exact.cpp.o.d"
+  "/root/repo/src/centrality/current_flow_mc.cpp" "src/CMakeFiles/rwbc.dir/centrality/current_flow_mc.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/current_flow_mc.cpp.o.d"
+  "/root/repo/src/centrality/current_flow_weighted.cpp" "src/CMakeFiles/rwbc.dir/centrality/current_flow_weighted.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/current_flow_weighted.cpp.o.d"
+  "/root/repo/src/centrality/flow_betweenness.cpp" "src/CMakeFiles/rwbc.dir/centrality/flow_betweenness.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/flow_betweenness.cpp.o.d"
+  "/root/repo/src/centrality/maxflow.cpp" "src/CMakeFiles/rwbc.dir/centrality/maxflow.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/maxflow.cpp.o.d"
+  "/root/repo/src/centrality/pagerank.cpp" "src/CMakeFiles/rwbc.dir/centrality/pagerank.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/pagerank.cpp.o.d"
+  "/root/repo/src/centrality/ranking.cpp" "src/CMakeFiles/rwbc.dir/centrality/ranking.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/centrality/ranking.cpp.o.d"
+  "/root/repo/src/common/bitcodec.cpp" "src/CMakeFiles/rwbc.dir/common/bitcodec.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/common/bitcodec.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/rwbc.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/rwbc.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/rwbc.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/rwbc.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/common/table.cpp.o.d"
+  "/root/repo/src/congest/metrics.cpp" "src/CMakeFiles/rwbc.dir/congest/metrics.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/congest/metrics.cpp.o.d"
+  "/root/repo/src/congest/network.cpp" "src/CMakeFiles/rwbc.dir/congest/network.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/congest/network.cpp.o.d"
+  "/root/repo/src/congest/protocols/bfs_tree.cpp" "src/CMakeFiles/rwbc.dir/congest/protocols/bfs_tree.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/congest/protocols/bfs_tree.cpp.o.d"
+  "/root/repo/src/congest/protocols/broadcast.cpp" "src/CMakeFiles/rwbc.dir/congest/protocols/broadcast.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/congest/protocols/broadcast.cpp.o.d"
+  "/root/repo/src/congest/protocols/convergecast.cpp" "src/CMakeFiles/rwbc.dir/congest/protocols/convergecast.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/congest/protocols/convergecast.cpp.o.d"
+  "/root/repo/src/congest/protocols/leader_election.cpp" "src/CMakeFiles/rwbc.dir/congest/protocols/leader_election.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/congest/protocols/leader_election.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/rwbc.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/rwbc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/rwbc.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/CMakeFiles/rwbc.dir/graph/properties.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/graph/properties.cpp.o.d"
+  "/root/repo/src/graph/weighted.cpp" "src/CMakeFiles/rwbc.dir/graph/weighted.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/graph/weighted.cpp.o.d"
+  "/root/repo/src/linalg/cg.cpp" "src/CMakeFiles/rwbc.dir/linalg/cg.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/linalg/cg.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/CMakeFiles/rwbc.dir/linalg/csr.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/linalg/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/rwbc.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/laplacian.cpp" "src/CMakeFiles/rwbc.dir/linalg/laplacian.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/linalg/laplacian.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/rwbc.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/resistance.cpp" "src/CMakeFiles/rwbc.dir/linalg/resistance.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/linalg/resistance.cpp.o.d"
+  "/root/repo/src/lowerbound/disjointness.cpp" "src/CMakeFiles/rwbc.dir/lowerbound/disjointness.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/lowerbound/disjointness.cpp.o.d"
+  "/root/repo/src/lowerbound/gadget.cpp" "src/CMakeFiles/rwbc.dir/lowerbound/gadget.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/lowerbound/gadget.cpp.o.d"
+  "/root/repo/src/rwbc/compute_node.cpp" "src/CMakeFiles/rwbc.dir/rwbc/compute_node.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/compute_node.cpp.o.d"
+  "/root/repo/src/rwbc/counting_node.cpp" "src/CMakeFiles/rwbc.dir/rwbc/counting_node.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/counting_node.cpp.o.d"
+  "/root/repo/src/rwbc/distributed_alpha_cfb.cpp" "src/CMakeFiles/rwbc.dir/rwbc/distributed_alpha_cfb.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/distributed_alpha_cfb.cpp.o.d"
+  "/root/repo/src/rwbc/distributed_pagerank.cpp" "src/CMakeFiles/rwbc.dir/rwbc/distributed_pagerank.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/distributed_pagerank.cpp.o.d"
+  "/root/repo/src/rwbc/distributed_rwbc.cpp" "src/CMakeFiles/rwbc.dir/rwbc/distributed_rwbc.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/distributed_rwbc.cpp.o.d"
+  "/root/repo/src/rwbc/distributed_spbc.cpp" "src/CMakeFiles/rwbc.dir/rwbc/distributed_spbc.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/distributed_spbc.cpp.o.d"
+  "/root/repo/src/rwbc/gather_exact.cpp" "src/CMakeFiles/rwbc.dir/rwbc/gather_exact.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/gather_exact.cpp.o.d"
+  "/root/repo/src/rwbc/params.cpp" "src/CMakeFiles/rwbc.dir/rwbc/params.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/params.cpp.o.d"
+  "/root/repo/src/rwbc/sarma_walk.cpp" "src/CMakeFiles/rwbc.dir/rwbc/sarma_walk.cpp.o" "gcc" "src/CMakeFiles/rwbc.dir/rwbc/sarma_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alpha_cfb_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/alpha_cfb_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/alpha_cfb_test.cpp.o.d"
+  "/root/repo/tests/brandes_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/brandes_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/brandes_test.cpp.o.d"
+  "/root/repo/tests/classic_centrality_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/classic_centrality_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/classic_centrality_test.cpp.o.d"
+  "/root/repo/tests/common_bitcodec_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/common_bitcodec_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/common_bitcodec_test.cpp.o.d"
+  "/root/repo/tests/common_rng_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/common_rng_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/common_rng_test.cpp.o.d"
+  "/root/repo/tests/common_stats_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/common_stats_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/common_stats_test.cpp.o.d"
+  "/root/repo/tests/common_table_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/common_table_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/common_table_test.cpp.o.d"
+  "/root/repo/tests/compute_phase_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/compute_phase_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/compute_phase_test.cpp.o.d"
+  "/root/repo/tests/congest_network_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/congest_network_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/congest_network_test.cpp.o.d"
+  "/root/repo/tests/congest_protocols_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/congest_protocols_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/congest_protocols_test.cpp.o.d"
+  "/root/repo/tests/counting_phase_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/counting_phase_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/counting_phase_test.cpp.o.d"
+  "/root/repo/tests/current_flow_exact_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/current_flow_exact_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/current_flow_exact_test.cpp.o.d"
+  "/root/repo/tests/current_flow_mc_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/current_flow_mc_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/current_flow_mc_test.cpp.o.d"
+  "/root/repo/tests/distributed_alpha_cfb_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/distributed_alpha_cfb_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/distributed_alpha_cfb_test.cpp.o.d"
+  "/root/repo/tests/distributed_pagerank_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/distributed_pagerank_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/distributed_pagerank_test.cpp.o.d"
+  "/root/repo/tests/distributed_rwbc_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/distributed_rwbc_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/distributed_rwbc_test.cpp.o.d"
+  "/root/repo/tests/distributed_spbc_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/distributed_spbc_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/distributed_spbc_test.cpp.o.d"
+  "/root/repo/tests/flow_betweenness_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/flow_betweenness_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/flow_betweenness_test.cpp.o.d"
+  "/root/repo/tests/gather_exact_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/gather_exact_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/gather_exact_test.cpp.o.d"
+  "/root/repo/tests/generators_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/graph_io_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/graph_io_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/graph_io_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/linalg_csr_cg_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/linalg_csr_cg_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/linalg_csr_cg_test.cpp.o.d"
+  "/root/repo/tests/linalg_dense_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/linalg_dense_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/linalg_dense_test.cpp.o.d"
+  "/root/repo/tests/linalg_laplacian_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/linalg_laplacian_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/linalg_laplacian_test.cpp.o.d"
+  "/root/repo/tests/linalg_lu_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/linalg_lu_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/linalg_lu_test.cpp.o.d"
+  "/root/repo/tests/lowerbound_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/lowerbound_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/lowerbound_test.cpp.o.d"
+  "/root/repo/tests/maxflow_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/maxflow_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/maxflow_test.cpp.o.d"
+  "/root/repo/tests/pagerank_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/pagerank_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/pagerank_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/ranking_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/ranking_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/ranking_test.cpp.o.d"
+  "/root/repo/tests/resistance_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/resistance_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/resistance_test.cpp.o.d"
+  "/root/repo/tests/rwbc_params_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/rwbc_params_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/rwbc_params_test.cpp.o.d"
+  "/root/repo/tests/sarma_walk_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/sarma_walk_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/sarma_walk_test.cpp.o.d"
+  "/root/repo/tests/weighted_test.cpp" "tests/CMakeFiles/rwbc_tests.dir/weighted_test.cpp.o" "gcc" "tests/CMakeFiles/rwbc_tests.dir/weighted_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwbc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

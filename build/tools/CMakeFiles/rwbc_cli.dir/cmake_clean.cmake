@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwbc_cli.dir/rwbc_cli.cpp.o"
+  "CMakeFiles/rwbc_cli.dir/rwbc_cli.cpp.o.d"
+  "rwbc_cli"
+  "rwbc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwbc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
