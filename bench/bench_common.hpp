@@ -3,7 +3,9 @@
 // self-describing and diffable.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,31 @@
 #include "graph/generators.hpp"
 
 namespace rwbc::bench {
+
+/// Simulator threads for the experiment harness, from the RWBC_THREADS
+/// environment variable (0 = serial, N = pool of N, -1 = hardware).
+/// Results are bit-identical across settings (the scheduler's determinism
+/// contract), so sweeping RWBC_THREADS re-times E4/E5/E8/E10/E14 without
+/// perturbing any measured round or bit count.
+inline int threads_from_env() {
+  const char* value = std::getenv("RWBC_THREADS");
+  return value == nullptr ? 0 : std::atoi(value);
+}
+
+/// Thread-count sweep for E14: RWBC_THREAD_SWEEP as a comma-separated list
+/// (e.g. "0,2,4,8"); default {0, 2, 4, 8}.
+inline std::vector<int> thread_sweep_from_env() {
+  const char* value = std::getenv("RWBC_THREAD_SWEEP");
+  if (value == nullptr) return {0, 2, 4, 8};
+  std::vector<int> sweep;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) sweep.push_back(std::atoi(item.c_str()));
+  }
+  if (sweep.empty()) sweep.push_back(0);
+  return sweep;
+}
 
 /// Builds a named family member at (approximately) n nodes.
 inline Graph make_family(const std::string& family, NodeId n,

@@ -49,6 +49,7 @@ int main() {
         DistributedRwbcOptions options;  // l = 2n default
         options.walks_multiplier = tier.walks_multiplier;
         options.congest.seed = seed;
+        options.congest.num_threads = bench::threads_from_env();
         options.congest.bit_floor = tier.bit_floor;
         const auto r = distributed_rwbc(g, options);
         max_errs.push_back(max_relative_error(exact, r.betweenness));

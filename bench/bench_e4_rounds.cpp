@@ -38,6 +38,7 @@ int main() {
       options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
       options.compute_scores = false;
       options.congest.seed = 5;
+      options.congest.num_threads = bench::threads_from_env();
       const auto r = distributed_rwbc(g, options);
       const double nl = static_cast<double>(g.node_count()) *
                         std::log2(static_cast<double>(g.node_count()));
@@ -76,6 +77,7 @@ int main() {
     approx_options.run_leader_election = false;
     approx_options.compute_scores = false;
     approx_options.congest.seed = 5;
+    approx_options.congest.num_threads = bench::threads_from_env();
     const auto approx = distributed_rwbc(g, approx_options);
     ms.push_back(static_cast<double>(g.edge_count()));
     gather_rounds.push_back(static_cast<double>(gather.total.rounds));
@@ -100,6 +102,7 @@ int main() {
     DistributedPagerankOptions pr_options;
     pr_options.walks_per_node = 32;
     pr_options.congest.seed = 5;
+    pr_options.congest.num_threads = bench::threads_from_env();
     const auto pr = distributed_pagerank(g, pr_options);
     DistributedRwbcOptions options;
     options.walks_per_source = static_cast<std::size_t>(

@@ -28,6 +28,7 @@ int main() {
       DistributedRwbcOptions options;  // theorem defaults: l = 2n, K = 4logn
       options.compute_scores = false;
       options.congest.seed = 13;
+      options.congest.num_threads = bench::threads_from_env();
       const auto r = distributed_rwbc(g, options);
       Network probe(g, options.congest);
       const double log_n = static_cast<double>(

@@ -66,6 +66,7 @@ void BM_DistributedSimulation(benchmark::State& state) {
   for (auto _ : state) {
     DistributedRwbcOptions options;  // theorem defaults
     options.congest.seed = 31;
+    options.congest.num_threads = rwbc::bench::threads_from_env();
     benchmark::DoNotOptimize(distributed_rwbc(g, options));
   }
 }

@@ -1,0 +1,99 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+ThreadPool::ThreadPool(std::size_t num_threads) : thread_count_(num_threads) {
+  RWBC_REQUIRE(num_threads >= 1, "ThreadPool needs at least one thread");
+  workers_.reserve(num_threads - 1);
+  for (std::size_t w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_main(std::size_t chunk) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+    run_chunk(chunk);
+    lock.lock();
+    if (--pending_workers_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run_chunk(std::size_t chunk) {
+  // Static partition: pure arithmetic in (count, size()), so the index ->
+  // thread mapping never depends on timing.
+  const std::size_t begin = chunk * count_ / thread_count_;
+  const std::size_t end = (chunk + 1) * count_ / thread_count_;
+  for (std::size_t i = begin; i < end; ++i) {
+    try {
+      (*body_)(i);
+    } catch (...) {
+      record_failure(i);
+      return;  // serial semantics within the chunk: nothing after a throw
+    }
+  }
+}
+
+void ThreadPool::record_failure(std::size_t index) {
+  // Keep the smallest failing index: chunks cover ascending disjoint
+  // ranges and each chunk stops at its first failure, so the minimum over
+  // chunks is exactly the index a serial loop would have thrown at.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failure_ == nullptr || index < failed_index_) {
+    failed_index_ = index;
+    failure_ = std::current_exception();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (thread_count_ == 1) {  // inline fast path: no synchronisation at all
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ = count;
+    body_ = &body;
+    failure_ = nullptr;
+    failed_index_ = count;
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the caller is chunk 0
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+    body_ = nullptr;
+    failure = failure_;
+    failure_ = nullptr;
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace rwbc

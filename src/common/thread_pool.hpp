@@ -1,0 +1,81 @@
+// A fixed-size fork-join thread pool with static index partitioning.
+//
+// Built for the CONGEST simulator's round loop, whose determinism contract
+// forbids any scheduling-dependent behaviour: parallel_for(count, body)
+// splits [0, count) into size() contiguous chunks decided by arithmetic
+// alone (chunk t covers [t*count/size(), (t+1)*count/size())), so which
+// thread runs which index is a pure function of (count, size()) — no work
+// stealing, no dynamic load balancing.  Callers that need identical results
+// across thread counts must therefore make body(i) independent of execution
+// order, which the simulator guarantees by giving every node its own RNG,
+// mailboxes, and metric tallies (see congest/network.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rwbc {
+
+/// A reusable fork-join pool.  parallel_for blocks the caller until every
+/// index ran; the calling thread itself executes chunk 0, so a pool of size
+/// 1 degenerates to an inline loop with zero synchronisation.
+///
+/// Thread-compatibility: one parallel_for at a time (the simulator drives
+/// one round at a time); nested parallel_for calls from inside a body are
+/// not supported and deadlock by design rather than silently oversubscribe.
+class ThreadPool {
+ public:
+  /// Creates a pool running bodies on `num_threads` threads total: the
+  /// caller plus num_threads - 1 persistent workers.  Requires
+  /// num_threads >= 1 (throws rwbc::Error otherwise).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers.  Must not race with an in-flight parallel_for.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute bodies (caller included).
+  std::size_t size() const { return thread_count_; }
+
+  /// Invokes body(i) for every i in [0, count) and blocks until done.
+  ///
+  /// Exceptions: if any body throws, the exception raised at the SMALLEST
+  /// failing index is rethrown here — the same exception a serial
+  /// `for (i = 0; i < count; ++i) body(i)` loop would surface — and the
+  /// chunk that threw stops at its failure point (other chunks still run
+  /// to completion, so shared state they touch stays consistent).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_main(std::size_t chunk);
+  void run_chunk(std::size_t chunk);
+  void record_failure(std::size_t index);
+
+  const std::size_t thread_count_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;    // bumped once per parallel_for
+  std::size_t pending_workers_ = 0; // workers not yet finished this generation
+  std::size_t count_ = 0;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t failed_index_ = 0;
+  std::exception_ptr failure_;
+};
+
+}  // namespace rwbc

@@ -5,12 +5,21 @@
 
 #include "common/bitcodec.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rwbc {
 
 // Per-node view handed to NodeProcess callbacks.  Owns the node's mailboxes
 // and per-round bandwidth accounting; all sends funnel through here so the
 // Network can meter them.
+//
+// Thread-safety contract (the deterministic parallel round path): while
+// on_round runs — possibly concurrently across nodes — a context touches
+// only its own members plus const Network state (graph, bit budget, round
+// number, cut flags).  All metering accumulates into per-context tallies
+// that the single-threaded driver merges in canonical node-id order after
+// the round, so serial and parallel execution produce bit-identical
+// metrics, snapshots, and delivery order.
 class Network::ContextImpl final : public NodeContext {
  public:
   ContextImpl(Network& net, NodeId id)
@@ -46,7 +55,12 @@ class Network::ContextImpl final : public NodeContext {
                        std::to_string(id_) + "->" + std::to_string(neighbor) +
                        " in round " + std::to_string(net_.round_));
     }
-    net_.record_send(id_, neighbor, bits);
+    round_messages_ += 1;
+    round_bits_ += bits;
+    if (net_.has_cut_ && net_.is_cut_edge(id_, neighbor)) {
+      round_cut_messages_ += 1;
+      round_cut_bits_ += bits;
+    }
     Message msg;
     msg.from = id_;
     msg.to = neighbor;
@@ -62,6 +76,10 @@ class Network::ContextImpl final : public NodeContext {
   void begin_round() {
     std::fill(bits_this_round_.begin(), bits_this_round_.end(), 0);
     std::fill(msgs_this_round_.begin(), msgs_this_round_.end(), 0);
+    round_messages_ = 0;
+    round_bits_ = 0;
+    round_cut_messages_ = 0;
+    round_cut_bits_ = 0;
   }
 
   std::uint64_t peak_bits() const {
@@ -83,6 +101,10 @@ class Network::ContextImpl final : public NodeContext {
   std::span<const NodeId> neighbors_;
   std::vector<std::uint64_t> bits_this_round_;
   std::vector<std::uint64_t> msgs_this_round_;
+  std::uint64_t round_messages_ = 0;
+  std::uint64_t round_bits_ = 0;
+  std::uint64_t round_cut_messages_ = 0;
+  std::uint64_t round_cut_bits_ = 0;
   std::vector<Message> inbox_;
   std::vector<Message> outbox_;
   bool halted_ = false;
@@ -134,19 +156,12 @@ void Network::register_cut(std::span<const Edge> cut_edges) {
   }
 }
 
-void Network::record_send(NodeId from, NodeId to, std::uint64_t bits) {
-  metrics_.total_messages += 1;
-  metrics_.total_bits += bits;
-  if (has_cut_) {
-    Edge e{std::min(from, to), std::max(from, to)};
-    const auto all = graph_.edges();
-    const auto it = std::lower_bound(all.begin(), all.end(), e);
-    if (it != all.end() && *it == e &&
-        cut_edge_flags_[static_cast<std::size_t>(it - all.begin())]) {
-      metrics_.cut_bits += bits;
-      metrics_.cut_messages += 1;
-    }
-  }
+bool Network::is_cut_edge(NodeId from, NodeId to) const {
+  Edge e{std::min(from, to), std::max(from, to)};
+  const auto all = graph_.edges();
+  const auto it = std::lower_bound(all.begin(), all.end(), e);
+  return it != all.end() && *it == e &&
+         cut_edge_flags_[static_cast<std::size_t>(it - all.begin())];
 }
 
 NodeProcess& Network::node(NodeId v) {
@@ -171,6 +186,11 @@ RunMetrics Network::run() {
     RWBC_REQUIRE(processes_[v] != nullptr,
                  "every node needs a program before run()");
   }
+  const std::size_t pool_threads =
+      config_.num_threads < 0
+          ? ThreadPool::hardware_threads()
+          : static_cast<std::size_t>(config_.num_threads);
+  if (pool_threads > 0) pool_ = std::make_unique<ThreadPool>(pool_threads);
   for (std::size_t v = 0; v < n; ++v) {
     processes_[v]->on_start(*contexts_[v]);
   }
@@ -189,25 +209,51 @@ RunMetrics Network::run() {
 
     for (std::size_t v = 0; v < n; ++v) contexts_[v]->begin_round();
 
-    const std::uint64_t messages_before = metrics_.total_messages;
-    const std::uint64_t bits_before = metrics_.total_bits;
+    // Execute on_round for every awake node — concurrently when a pool is
+    // configured.  Node programs only touch their own context (per-node
+    // RNG, mailboxes, tallies), so the only ordering freedom is which node
+    // runs first, and nothing observable depends on it: all sends land in
+    // per-context outboxes and all metering lands in per-context tallies,
+    // both merged below in canonical node-id order.  A bandwidth violation
+    // throws inside a worker; the pool rethrows the smallest-node-id
+    // exception — exactly what the serial loop would have raised.
+    awake_.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!contexts_[v]->halted_) awake_.push_back(v);
+    }
+    const std::function<void(std::size_t)> run_node = [this](std::size_t i) {
+      const std::size_t v = awake_[i];
+      processes_[v]->on_round(*contexts_[v], contexts_[v]->inbox_);
+    };
+    if (pool_) {
+      pool_->parallel_for(awake_.size(), run_node);
+    } else {
+      for (std::size_t i = 0; i < awake_.size(); ++i) run_node(i);
+    }
+
+    // Canonical merge: fold per-context tallies into the run metrics in
+    // node-id order (halted nodes tallied zeros in begin_round).
+    std::uint64_t round_messages = 0;
+    std::uint64_t round_bits = 0;
     std::uint64_t round_peak_bits = 0;
     std::uint64_t round_peak_msgs = 0;
-    std::uint64_t awake_nodes = 0;
     for (std::size_t v = 0; v < n; ++v) {
-      ContextImpl& ctx = *contexts_[v];
-      if (ctx.halted_) continue;
-      ++awake_nodes;
-      processes_[v]->on_round(ctx, ctx.inbox_);
+      const ContextImpl& ctx = *contexts_[v];
+      round_messages += ctx.round_messages_;
+      round_bits += ctx.round_bits_;
+      metrics_.cut_messages += ctx.round_cut_messages_;
+      metrics_.cut_bits += ctx.round_cut_bits_;
       round_peak_bits = std::max(round_peak_bits, ctx.peak_bits());
       round_peak_msgs = std::max(round_peak_msgs, ctx.peak_msgs());
     }
+    metrics_.total_messages += round_messages;
+    metrics_.total_bits += round_bits;
     if (config_.round_observer) {
       RoundSnapshot snapshot;
       snapshot.round = round_;
-      snapshot.messages = metrics_.total_messages - messages_before;
-      snapshot.bits = metrics_.total_bits - bits_before;
-      snapshot.awake_nodes = awake_nodes;
+      snapshot.messages = round_messages;
+      snapshot.bits = round_bits;
+      snapshot.awake_nodes = awake_.size();
       config_.round_observer(snapshot);
     }
     metrics_.max_bits_per_edge_round =
@@ -241,6 +287,7 @@ RunMetrics Network::run() {
       if (all_halted) break;
     }
   }
+  pool_.reset();  // join workers; ~Network covers the exceptional paths
   return metrics_;
 }
 

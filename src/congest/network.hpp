@@ -18,6 +18,8 @@
 
 namespace rwbc {
 
+class ThreadPool;
+
 /// Per-round telemetry passed to a CongestConfig::round_observer.
 struct RoundSnapshot {
   std::uint64_t round = 0;     ///< 0-based round index within this run
@@ -43,6 +45,14 @@ struct CongestConfig {
 
   /// Hard stop for runaway algorithms; run() throws if it is reached.
   std::uint64_t max_rounds = 50'000'000;
+
+  /// Round-execution threads: 0 = serial in the calling thread, N > 0 = a
+  /// fork-join pool of N threads, -1 = one thread per hardware thread.
+  /// Every setting produces bit-identical results — per-node RNG streams
+  /// isolate randomness and sends are merged in canonical (sender id, send
+  /// order) order after each round (see DESIGN.md, "Deterministic parallel
+  /// round execution") — so this knob trades wall-clock only, never output.
+  int num_threads = 0;
 
   /// Edges whose traffic is metered as "cut" traffic (Section VIII
   /// experiments).  Registered automatically on construction, so multi-phase
@@ -93,7 +103,7 @@ class Network {
  private:
   class ContextImpl;
 
-  void record_send(NodeId from, NodeId to, std::uint64_t bits);
+  bool is_cut_edge(NodeId from, NodeId to) const;
 
   const Graph& graph_;
   CongestConfig config_;
@@ -105,6 +115,8 @@ class Network {
   std::vector<bool> cut_edge_flags_;  // indexed like graph_.edges()
   bool has_cut_ = false;
   bool ran_ = false;
+  std::unique_ptr<ThreadPool> pool_;   // live only while run() executes
+  std::vector<std::size_t> awake_;     // scratch: awake node ids, ascending
 };
 
 }  // namespace rwbc

@@ -39,6 +39,8 @@ struct DistributedAlphaCfbOptions {
   std::size_t max_steps = 0;
   std::size_t walks_per_edge_per_round = 1;
   bool compute_scores = true;
+  /// congest.num_threads parallelises counting + computing rounds
+  /// deterministically (bit-identical to serial).
   CongestConfig congest;
 };
 

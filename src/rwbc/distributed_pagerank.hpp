@@ -22,6 +22,8 @@ namespace rwbc {
 struct DistributedPagerankOptions {
   double reset_probability = 0.15;  ///< per-step stop probability epsilon
   std::size_t walks_per_node = 64;  ///< walks each node launches
+  /// congest.num_threads parallelises the walk rounds deterministically
+  /// (bit-identical to serial).
   CongestConfig congest;
 };
 

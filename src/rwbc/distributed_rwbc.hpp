@@ -57,7 +57,10 @@ struct DistributedRwbcOptions {
   /// O(log n) bits per edge per round).
   std::uint64_t counts_per_message = 1;
 
-  /// Simulator settings (seed, bandwidth budget, enforcement).
+  /// Simulator settings (seed, bandwidth budget, enforcement, and
+  /// congest.num_threads — the deterministic parallel round scheduler,
+  /// applied to every phase P0-P4; results are bit-identical across
+  /// thread counts).
   CongestConfig congest;
 };
 

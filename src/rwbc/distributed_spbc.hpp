@@ -43,6 +43,8 @@ struct DistributedSpbcOptions {
   std::size_t updates_per_edge_per_round = 2;
   /// If true, scores are divided by (n-1)(n-2) (Brandes' normalisation).
   bool normalized = true;
+  /// congest.num_threads parallelises both phases' rounds
+  /// deterministically (bit-identical to serial).
   CongestConfig congest;
 };
 

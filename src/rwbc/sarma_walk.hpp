@@ -40,6 +40,8 @@ struct SarmaWalkOptions {
   std::size_t coupons_per_node = 0;   ///< eta; 0 = 2 * ceil(l / lambda) + 4
   /// Coupon tokens an edge may carry per direction per round in Phase 1.
   std::size_t coupons_per_edge_per_round = 3;
+  /// congest.num_threads parallelises every phase's rounds
+  /// deterministically (bit-identical to serial).
   CongestConfig congest;
 };
 

@@ -112,7 +112,7 @@ TEST_P(ProtocolSuite, ConvergecastSumAndMaxMatchDirectAggregates) {
 INSTANTIATE_TEST_SUITE_P(Topologies, ProtocolSuite,
                          ::testing::Values("path", "cycle", "star", "grid",
                                            "tree", "er", "ba"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& suite_info) { return suite_info.param; });
 
 TEST(LeaderElection, SingleNodeElectsItself) {
   GraphBuilder builder(1);

@@ -53,7 +53,7 @@ INSTANTIATE_TEST_SUITE_P(Families, SpbcFamily,
                          ::testing::Values("path", "cycle", "star", "grid",
                                            "tree", "barbell", "fig1", "er",
                                            "ba"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& suite_info) { return suite_info.param; });
 
 TEST(DistributedSpbc, Fig1NodeCScoresZero) {
   const Fig1Layout layout = make_fig1_graph(4);

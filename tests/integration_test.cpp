@@ -96,7 +96,7 @@ INSTANTIATE_TEST_SUITE_P(Families, FamilyIntegration,
                          ::testing::Values("path", "cycle", "star", "complete",
                                            "grid", "tree", "barbell", "fig1",
                                            "er", "ba", "ws"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& suite_info) { return suite_info.param; });
 
 TEST(Integration, Fig1StoryHoldsEndToEnd) {
   // The paper's motivating claim, reproduced on the full distributed stack:

@@ -1,0 +1,307 @@
+// Serial-vs-parallel equivalence of the CONGEST simulator — the contract
+// that makes CongestConfig::num_threads a pure wall-clock knob.
+//
+// The golden run is the serial scheduler (num_threads = 0).  For every
+// graph family, seed, and thread count we assert the parallel scheduler
+// reproduces it BIT-IDENTICALLY: betweenness scores and scaled visits
+// (double ==, not approximate), every phase's RunMetrics field by field,
+// and the full round_observer snapshot stream across all five pipeline
+// phases.  Determinism holds because each node draws from its own
+// Rng(seed, id) stream and the driver merges per-node send tallies in
+// canonical node-id order — see DESIGN.md, "Deterministic parallel round
+// execution".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted.hpp"
+#include "rwbc/distributed_alpha_cfb.hpp"
+#include "rwbc/distributed_pagerank.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/distributed_spbc.hpp"
+#include "rwbc/sarma_walk.hpp"
+
+namespace rwbc {
+namespace {
+
+// Thread counts the equivalence contract is checked at; -1 exercises the
+// hardware_concurrency resolution path on whatever machine runs the tests.
+const int kThreadCounts[] = {1, 2, 3, 8, -1};
+
+// Adversarial seeds: both trivial values and dense bit patterns.
+const std::uint64_t kSeeds[] = {0u, 1u, 0xdeadbeefULL,
+                                0xffffffffffffffffULL};
+
+Graph family_graph(const std::string& family, std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  if (family == "er") return make_erdos_renyi(14, 0.3, rng);
+  if (family == "ba") return make_barabasi_albert(14, 2, rng);
+  if (family == "ws") return make_watts_strogatz(14, 4, 0.3, rng);
+  if (family == "grid") return make_grid(3, 5);
+  if (family == "tree") return make_binary_tree(13);
+  if (family == "barbell") return make_barbell(4, 3);
+  if (family == "cycle") return make_cycle(14);
+  throw std::runtime_error("unknown family " + family);
+}
+
+void expect_metrics_identical(const RunMetrics& golden, const RunMetrics& got,
+                              const std::string& label) {
+  EXPECT_EQ(golden.rounds, got.rounds) << label;
+  EXPECT_EQ(golden.total_messages, got.total_messages) << label;
+  EXPECT_EQ(golden.total_bits, got.total_bits) << label;
+  EXPECT_EQ(golden.max_bits_per_edge_round, got.max_bits_per_edge_round)
+      << label;
+  EXPECT_EQ(golden.max_messages_per_edge_round,
+            got.max_messages_per_edge_round)
+      << label;
+  EXPECT_EQ(golden.cut_bits, got.cut_bits) << label;
+  EXPECT_EQ(golden.cut_messages, got.cut_messages) << label;
+}
+
+void expect_snapshots_identical(const std::vector<RoundSnapshot>& golden,
+                                const std::vector<RoundSnapshot>& got,
+                                const std::string& label) {
+  ASSERT_EQ(golden.size(), got.size()) << label;
+  for (std::size_t r = 0; r < golden.size(); ++r) {
+    EXPECT_EQ(golden[r].round, got[r].round) << label << " r=" << r;
+    EXPECT_EQ(golden[r].messages, got[r].messages) << label << " r=" << r;
+    EXPECT_EQ(golden[r].bits, got[r].bits) << label << " r=" << r;
+    EXPECT_EQ(golden[r].awake_nodes, got[r].awake_nodes)
+        << label << " r=" << r;
+  }
+}
+
+struct PipelineRun {
+  DistributedRwbcResult result;
+  std::vector<RoundSnapshot> snapshots;  // concatenated across all phases
+};
+
+template <typename GraphLike>
+PipelineRun run_rwbc(const GraphLike& g, std::uint64_t seed, int threads) {
+  PipelineRun run;
+  DistributedRwbcOptions options;
+  options.congest.seed = seed;
+  options.congest.num_threads = threads;
+  options.congest.round_observer = [&run](const RoundSnapshot& s) {
+    run.snapshots.push_back(s);
+  };
+  run.result = distributed_rwbc(g, options);
+  return run;
+}
+
+void expect_runs_identical(const PipelineRun& golden, const PipelineRun& got,
+                           const std::string& label) {
+  EXPECT_EQ(golden.result.leader, got.result.leader) << label;
+  EXPECT_EQ(golden.result.target, got.result.target) << label;
+  EXPECT_EQ(golden.result.params.cutoff, got.result.params.cutoff) << label;
+  EXPECT_EQ(golden.result.params.walks_per_source,
+            got.result.params.walks_per_source)
+      << label;
+  // Bit-identical outputs: exact double equality, no tolerance.
+  EXPECT_EQ(golden.result.betweenness, got.result.betweenness) << label;
+  EXPECT_EQ(golden.result.scaled_visits, got.result.scaled_visits) << label;
+  expect_metrics_identical(golden.result.total, got.result.total,
+                           label + " total");
+  expect_metrics_identical(golden.result.election_metrics,
+                           got.result.election_metrics, label + " election");
+  expect_metrics_identical(golden.result.bfs_metrics, got.result.bfs_metrics,
+                           label + " bfs");
+  expect_metrics_identical(golden.result.dissemination_metrics,
+                           got.result.dissemination_metrics,
+                           label + " dissemination");
+  expect_metrics_identical(golden.result.counting_metrics,
+                           got.result.counting_metrics, label + " counting");
+  expect_metrics_identical(golden.result.computing_metrics,
+                           got.result.computing_metrics, label + " computing");
+  expect_snapshots_identical(golden.snapshots, got.snapshots,
+                             label + " snapshots");
+}
+
+using FamilySeed = std::tuple<const char*, std::uint64_t>;
+
+class ParallelEquivalence : public ::testing::TestWithParam<FamilySeed> {};
+
+TEST_P(ParallelEquivalence, UnweightedPipelineIsBitIdentical) {
+  const auto& [family, seed] = GetParam();
+  const Graph g = family_graph(family, seed);
+  const PipelineRun golden = run_rwbc(g, seed, 0);
+  for (int threads : kThreadCounts) {
+    const PipelineRun got = run_rwbc(g, seed, threads);
+    expect_runs_identical(golden, got,
+                          std::string(family) + " threads=" +
+                              std::to_string(threads));
+  }
+}
+
+TEST_P(ParallelEquivalence, WeightedPipelineIsBitIdentical) {
+  const auto& [family, seed] = GetParam();
+  Rng wrng(seed + 17);
+  const WeightedGraph wg =
+      randomly_weighted(family_graph(family, seed), 5, wrng);
+  const PipelineRun golden = run_rwbc(wg, seed, 0);
+  for (int threads : kThreadCounts) {
+    const PipelineRun got = run_rwbc(wg, seed, threads);
+    expect_runs_identical(golden, got,
+                          std::string(family) + " weighted threads=" +
+                              std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEquivalence,
+    ::testing::Combine(::testing::Values("er", "ba", "ws", "grid", "tree",
+                                         "barbell", "cycle"),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const auto& suite_info) {
+      return std::string(std::get<0>(suite_info.param)) + "_s" +
+             std::to_string(std::get<1>(suite_info.param) &
+                            0xffffffffULL);
+    });
+
+// The sibling protocols share the simulator, so their equivalence is one
+// cheap test each: identical outputs and total metrics across thread counts.
+
+TEST(ParallelProtocolEquivalence, DistributedSpbc) {
+  Rng rng(5);
+  const Graph g = make_erdos_renyi(12, 0.35, rng);
+  DistributedSpbcOptions options;
+  options.congest.seed = 5;
+  options.congest.bit_floor = 64;  // SPBC updates carry 2 log n + 30 bits
+  const auto golden = distributed_spbc(g, options);
+  for (int threads : kThreadCounts) {
+    options.congest.num_threads = threads;
+    const auto got = distributed_spbc(g, options);
+    EXPECT_EQ(golden.betweenness, got.betweenness);
+    expect_metrics_identical(golden.total, got.total,
+                             "spbc threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelProtocolEquivalence, DistributedPagerank) {
+  Rng rng(6);
+  const Graph g = make_barabasi_albert(24, 2, rng);
+  DistributedPagerankOptions options;
+  options.congest.seed = 6;
+  const auto golden = distributed_pagerank(g, options);
+  for (int threads : kThreadCounts) {
+    options.congest.num_threads = threads;
+    const auto got = distributed_pagerank(g, options);
+    EXPECT_EQ(golden.pagerank, got.pagerank);
+    expect_metrics_identical(golden.metrics, got.metrics,
+                             "pagerank threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelProtocolEquivalence, DistributedAlphaCfb) {
+  Rng rng(7);
+  const Graph g = make_watts_strogatz(16, 4, 0.2, rng);
+  DistributedAlphaCfbOptions options;
+  options.congest.seed = 7;
+  const auto golden = distributed_alpha_cfb(g, options);
+  for (int threads : kThreadCounts) {
+    options.congest.num_threads = threads;
+    const auto got = distributed_alpha_cfb(g, options);
+    EXPECT_EQ(golden.betweenness, got.betweenness);
+    EXPECT_EQ(golden.scaled_visits, got.scaled_visits);
+    EXPECT_EQ(golden.capped_walks, got.capped_walks);
+    expect_metrics_identical(golden.total, got.total,
+                             "alpha threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelProtocolEquivalence, SarmaWalk) {
+  Rng rng(8);
+  const Graph g = make_erdos_renyi(20, 0.25, rng);
+  SarmaWalkOptions options;
+  options.length = 64;
+  options.congest.seed = 8;
+  const auto golden = sarma_distributed_walk(g, 3, options);
+  for (int threads : kThreadCounts) {
+    options.congest.num_threads = threads;
+    const auto got = sarma_distributed_walk(g, 3, options);
+    EXPECT_EQ(golden.destination, got.destination);
+    EXPECT_EQ(golden.stitches, got.stitches);
+    EXPECT_EQ(golden.direct_steps, got.direct_steps);
+    expect_metrics_identical(golden.total, got.total,
+                             "sarma threads=" + std::to_string(threads));
+  }
+}
+
+// Cut metering under threads: per-context cut tallies must merge to the
+// serial numbers (barbell bridge carries all cross-bell traffic).
+TEST(ParallelProtocolEquivalence, CutMeteringMatchesSerial) {
+  const Graph g = make_barbell(5, 2);
+  auto run_with = [&](int threads) {
+    DistributedRwbcOptions options;
+    options.congest.seed = 11;
+    options.congest.num_threads = threads;
+    options.congest.metered_cut = {Edge{4, 5}, Edge{6, 7}};
+    return distributed_rwbc(g, options);
+  };
+  const auto golden = run_with(0);
+  EXPECT_GT(golden.total.cut_messages, 0u);
+  for (int threads : kThreadCounts) {
+    const auto got = run_with(threads);
+    EXPECT_EQ(golden.total.cut_bits, got.total.cut_bits);
+    EXPECT_EQ(golden.total.cut_messages, got.total.cut_messages);
+    EXPECT_EQ(golden.betweenness, got.betweenness);
+  }
+}
+
+// Strict mode must keep throwing (an rwbc::Error, not a race or a torn
+// metric) when nodes overrun the per-edge budget concurrently.
+class ParallelFloodNode final : public NodeProcess {
+ public:
+  void on_start(NodeContext&) override {}
+  void on_round(NodeContext& ctx, std::span<const Message>) override {
+    if (ctx.round() == 0) {
+      BitWriter w;
+      for (int i = 0; i < 8; ++i) w.write(0xff, 8);  // 64 bits per send
+      for (std::uint64_t burst = 0; burst * 64 <= ctx.bit_budget(); ++burst) {
+        for (NodeId nb : ctx.neighbors()) ctx.send(nb, w);
+      }
+    }
+    ctx.halt();
+  }
+};
+
+TEST(ParallelStrictMode, BandwidthViolationStillThrowsUnderThreads) {
+  const Graph g = make_complete(12);  // every node floods every edge
+  for (int threads : kThreadCounts) {
+    CongestConfig config;
+    config.enforce_bandwidth = true;
+    config.num_threads = threads;
+    Network net(g, config);
+    net.set_all_nodes(
+        [](NodeId) { return std::make_unique<ParallelFloodNode>(); });
+    EXPECT_THROW(net.run(), Error) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelStrictMode, IdealModeMetersIdenticallyUnderThreads) {
+  const Graph g = make_cycle(10);
+  auto run_with = [&](int threads) {
+    CongestConfig config;
+    config.enforce_bandwidth = false;
+    config.num_threads = threads;
+    Network net(g, config);
+    net.set_all_nodes(
+        [](NodeId) { return std::make_unique<ParallelFloodNode>(); });
+    return net.run();
+  };
+  const RunMetrics golden = run_with(0);
+  EXPECT_GT(golden.max_bits_per_edge_round, 0u);
+  for (int threads : kThreadCounts) {
+    expect_metrics_identical(golden, run_with(threads),
+                             "ideal threads=" + std::to_string(threads));
+  }
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -139,9 +139,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("er", "ba", "ws", "grid", "tree",
                                          "barbell"),
                        ::testing::Values(1u, 2u, 3u)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_s" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& suite_info) {
+      return std::string(std::get<0>(suite_info.param)) + "_s" +
+             std::to_string(std::get<1>(suite_info.param));
     });
 
 class EstimatorInvariants : public ::testing::TestWithParam<FamilySeed> {};
@@ -174,9 +174,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, EstimatorInvariants,
     ::testing::Combine(::testing::Values("er", "grid", "tree"),
                        ::testing::Values(1u, 2u)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_s" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& suite_info) {
+      return std::string(std::get<0>(suite_info.param)) + "_s" +
+             std::to_string(std::get<1>(suite_info.param));
     });
 
 // Fuzz: on random small graphs, the DISTRIBUTED counting phase's scaled
@@ -212,6 +212,49 @@ TEST_P(DistributedEstimatorFuzz, ScaledVisitsMatchTruncatedPotentials) {
 INSTANTIATE_TEST_SUITE_P(Fuzz, DistributedEstimatorFuzz,
                          ::testing::Range(std::uint64_t{1},
                                           std::uint64_t{13}));
+
+// Randomized-seed invariant sweep for the parallel scheduler: on 25 random
+// (generator, seed, n) triples, the parallel pipeline must reproduce the
+// serial pipeline exactly — same round count, same bit volume, same scores.
+// This complements parallel_network_test.cpp's fixed-family golden sweep
+// with topologies and sizes drawn at random each from its own seed.
+class ParallelScheduleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelScheduleFuzz, ParallelAndSerialRunsAreIdentical) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 77 + 13);
+  const NodeId n = static_cast<NodeId>(8 + rng.next_below(10));
+  const char* families[] = {"er", "ba", "ws", "grid", "tree", "barbell"};
+  const std::string family = families[rng.next_below(6)];
+  Graph g = [&] {
+    if (family == "er") return make_erdos_renyi(n, 0.4, rng);
+    if (family == "ba") return make_barabasi_albert(n, 2, rng);
+    if (family == "ws") return make_watts_strogatz(n, 4, 0.3, rng);
+    if (family == "grid") return make_grid(3, 1 + n / 3);
+    if (family == "tree") return make_binary_tree(n);
+    return make_barbell(4, static_cast<NodeId>(rng.next_below(4)));
+  }();
+
+  DistributedRwbcOptions options;
+  options.congest.seed = seed;
+  auto run_with = [&](int threads) {
+    options.congest.num_threads = threads;
+    return distributed_rwbc(g, options);
+  };
+  const auto serial = run_with(0);
+  const int threads = 1 + static_cast<int>(rng.next_below(8));
+  const auto parallel = run_with(threads);
+  EXPECT_EQ(serial.total.rounds, parallel.total.rounds)
+      << family << " n=" << n << " threads=" << threads;
+  EXPECT_EQ(serial.total.total_bits, parallel.total.total_bits)
+      << family << " n=" << n << " threads=" << threads;
+  EXPECT_EQ(serial.betweenness, parallel.betweenness)
+      << family << " n=" << n << " threads=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ParallelScheduleFuzz,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{26}));
 
 }  // namespace
 }  // namespace rwbc

@@ -1,0 +1,142 @@
+// The fork-join pool under the CONGEST scheduler: construction/teardown,
+// static partition coverage, serial-equivalent exception propagation, reuse
+// across many rounds, and tasks far shorter than scheduling overhead.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace rwbc {
+namespace {
+
+TEST(ThreadPool, ConstructionAndTeardownAcrossSizes) {
+  for (std::size_t threads : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+  }  // destructor joins; leaking or deadlocking here hangs the test
+}
+
+TEST(ThreadPool, ZeroThreadsIsRejected) {
+  EXPECT_THROW(ThreadPool(0), Error);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (std::size_t count : {0u, 1u, 2u, 7u, 8u, 100u, 1000u}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.parallel_for(count,
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, CountSmallerThanPoolLeavesChunksEmpty) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(3, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3u);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerTaskPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 97) {  // lands in the last worker's chunk
+                            throw std::runtime_error("worker boom");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SmallestFailingIndexWinsLikeASerialLoop) {
+  // Failures at 5 (chunk 0, the caller) and 97 (a worker chunk): a serial
+  // loop would throw at 5 first, so the pool must surface that one.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [](std::size_t i) {
+      if (i == 5) throw std::runtime_error("first");
+      if (i == 97) throw std::runtime_error("second");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   10, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(10, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10u);
+}
+
+TEST(ThreadPool, ReuseAcrossManyParallelForCalls) {
+  // The simulator calls parallel_for once per round; a long run is tens of
+  // thousands of fork-joins on one pool.
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> cells(64, 0);
+  const int iterations = 20'000;
+  for (int it = 0; it < iterations; ++it) {
+    pool.parallel_for(cells.size(), [&](std::size_t i) { ++cells[i]; });
+  }
+  for (std::uint64_t c : cells) {
+    EXPECT_EQ(c, static_cast<std::uint64_t>(iterations));
+  }
+}
+
+TEST(ThreadPool, StressTasksShorterThanSchedulingOverhead) {
+  // Each body is a single add — far below the cost of a fork-join — so this
+  // hammers the wake/sleep handshake rather than the work itself.
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  const int iterations = 5'000;
+  for (int it = 0; it < iterations; ++it) {
+    pool.parallel_for(8, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(iterations) * 36u);
+}
+
+TEST(ThreadPool, PartitionIsStaticAndContiguous) {
+  // Record which thread ran each index: every chunk must be one contiguous
+  // ascending range, the arithmetic partition [t*count/T, (t+1)*count/T).
+  const std::size_t threads = 4;
+  const std::size_t count = 103;
+  ThreadPool pool(threads);
+  std::vector<std::thread::id> owner(count);
+  pool.parallel_for(count,
+                    [&](std::size_t i) { owner[i] = std::this_thread::get_id(); });
+  std::set<std::thread::id> seen;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t begin = t * count / threads;
+    const std::size_t end = (t + 1) * count / threads;
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      EXPECT_EQ(owner[i], owner[begin]) << "chunk " << t << " split at " << i;
+    }
+    if (begin < end) seen.insert(owner[begin]);
+  }
+  EXPECT_LE(seen.size(), threads);
+}
+
+}  // namespace
+}  // namespace rwbc

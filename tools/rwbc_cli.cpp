@@ -39,9 +39,15 @@ namespace {
 
 using namespace rwbc;
 
+// Simulator threads for every subcommand that runs the CONGEST pipeline;
+// set by the global --threads flag (0 = serial, -1 = hardware threads).
+// Results are bit-identical across settings; only wall-clock changes.
+int g_threads = 0;
+
 [[noreturn]] void usage() {
   std::cerr
       << "usage:\n"
+         "  rwbc_cli [--threads N] <command> ...\n"
          "  rwbc_cli generate <family> <n> <seed> [out.edges]\n"
          "  rwbc_cli exact <graph.edges> [--dot out.dot]\n"
          "  rwbc_cli distributed <graph.edges> [K] [l] [seed]\n"
@@ -49,7 +55,9 @@ using namespace rwbc;
          "  rwbc_cli measures <graph.edges>\n"
          "  rwbc_cli spbc <graph.edges> [seed]\n"
          "families: path cycle star grid tree complete barbell er ba ws "
-         "fig1\n";
+         "fig1\n"
+         "--threads N runs the simulator's rounds on N threads (0 = serial,\n"
+         "-1 = one per hardware thread); output is identical either way.\n";
   std::exit(2);
 }
 
@@ -128,6 +136,7 @@ DistributedRwbcResult run_distributed(const Graph& g, int argc, char** argv) {
   }
   // Users often pass big K; widen the budget floor accordingly.
   options.congest.bit_floor = 128;
+  options.congest.num_threads = g_threads;
   return distributed_rwbc(g, options);
 }
 
@@ -174,6 +183,7 @@ int cmd_spbc(int argc, char** argv) {
   const Graph g = load(argv[2]);
   DistributedSpbcOptions options;
   options.congest.bit_floor = 64;
+  options.congest.num_threads = g_threads;
   if (argc > 3) options.congest.seed = std::strtoull(argv[3], nullptr, 10);
   const auto result = distributed_spbc(g, options);
   print_scores(g, result.betweenness, "distributed SPBC");
@@ -212,6 +222,18 @@ int cmd_measures(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --threads flag before dispatching on the subcommand.
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::string(args[i]) == "--threads") {
+      g_threads = std::atoi(args[i + 1]);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
