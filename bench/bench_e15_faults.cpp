@@ -1,0 +1,139 @@
+// E15 — fault injection: estimator degradation vs the self-healing layer.
+//
+// The deterministic fault engine (congest/faults.hpp) drops / duplicates
+// messages at the delivery point of the data phases P3/P4.  Walk tokens are
+// Algorithm 1's only state, so the unreliable baseline loses walks
+// permanently — visit counts bias low and the death-count termination stalls
+// until the deadline backstop fires.  The self-healing transport
+// (rwbc/reliable_token.hpp) retransmits lost tokens and deduplicates
+// arrivals, at a constant-factor cost in rounds and bandwidth.  Claims:
+//   (a) with drops in 1-5%, the self-healing pipeline's mean absolute error
+//       vs exact RWBC is strictly below the baseline's;
+//   (b) the reliability overhead at drop 0 is a small constant factor in
+//       rounds/bits, not an asymptotic change;
+//   (c) both modes stay deterministic: the fault schedule lives on its own
+//       RNG stream, so every row reproduces bit-identically at any
+//       RWBC_THREADS setting.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "centrality/current_flow_exact.hpp"
+#include "common/table.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+namespace {
+
+using namespace rwbc;
+
+double mean_abs_error(const std::vector<double>& exact,
+                      const std::vector<double>& estimate) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    total += std::abs(exact[i] - estimate[i]);
+  }
+  return total / static_cast<double>(exact.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E15: fault injection and self-healing walks",
+                "claims: baseline RWBC biases low under message loss; the "
+                "reliable transport restores accuracy for constant-factor "
+                "round/bit overhead");
+
+  const NodeId n = 32;
+  const std::size_t walks = 384;
+  const int fault_seeds = 3;
+
+  for (const std::string& family : {std::string("ws"), std::string("grid")}) {
+    const Graph g = bench::make_family(family, n, 17);
+    const auto exact = current_flow_betweenness(g);
+    std::cout << "family = " << family << " (n = " << g.node_count()
+              << ", m = " << g.edge_count() << ", K = " << walks << ")\n";
+    Table table({"drop", "mode", "mean |err|", "rounds", "dropped", "retx",
+                 "peak bits/edge"});
+    for (const double drop : {0.0, 0.01, 0.02, 0.05}) {
+      for (const bool reliable : {false, true}) {
+        double err_sum = 0.0;
+        std::uint64_t rounds = 0, dropped = 0, retx = 0, peak = 0;
+        // Average over fault schedules; walk randomness (congest.seed)
+        // stays fixed so rows differ only by the faults themselves.
+        for (int fs = 0; fs < fault_seeds; ++fs) {
+          DistributedRwbcOptions options;
+          options.walks_per_source = walks;
+          options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+          options.run_leader_election = false;
+          options.congest.seed = 23;
+          options.congest.bit_floor = 128;
+          options.congest.num_threads = bench::threads_from_env();
+          options.congest.faults.seed = 1000 + fs;
+          options.congest.faults.drop_prob = drop;
+          options.reliable_transport = reliable;
+          // Explicit backstop (instead of the auto O(Kn) one) so the
+          // baseline's stalled termination costs bounded time.
+          options.fault_deadline_rounds = 8000;
+          const auto r = distributed_rwbc(g, options);
+          err_sum += mean_abs_error(exact, r.betweenness);
+          rounds += r.total.rounds;
+          dropped += r.total.dropped_messages;
+          retx += r.total.retransmissions;
+          peak = std::max(peak, r.total.max_bits_per_edge_round);
+          if (drop == 0.0) break;  // no faults: every seed is identical
+        }
+        const int runs = drop == 0.0 ? 1 : fault_seeds;
+        table.add_row({Table::fmt(drop, 2),
+                       reliable ? "self-healing" : "baseline",
+                       Table::fmt(err_sum / runs, 5),
+                       Table::fmt(rounds / static_cast<std::uint64_t>(runs)),
+                       Table::fmt(dropped / static_cast<std::uint64_t>(runs)),
+                       Table::fmt(retx / static_cast<std::uint64_t>(runs)),
+                       Table::fmt(peak)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Duplication and crash-stop spot checks: dedup keeps self-healing exact
+  // under dup_prob; a crash permanently costs that node's walks in either
+  // mode (re-routing only heals the topology around it).
+  std::cout << "spot checks (ws family):\n";
+  {
+    const Graph g = bench::make_family("ws", n, 17);
+    const auto exact = current_flow_betweenness(g);
+    Table table({"scenario", "mode", "mean |err|", "rounds", "crashed"});
+    for (const bool crash : {false, true}) {
+      for (const bool reliable : {false, true}) {
+        DistributedRwbcOptions options;
+        options.walks_per_source = walks;
+        options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+        options.run_leader_election = false;
+        options.congest.seed = 23;
+        options.congest.bit_floor = 128;
+        options.congest.num_threads = bench::threads_from_env();
+        options.congest.faults.seed = 1000;
+        if (crash) {
+          options.congest.faults.crashes.push_back(CrashEvent{3, 60});
+        } else {
+          options.congest.faults.dup_prob = 0.05;
+        }
+        options.reliable_transport = reliable;
+        options.fault_deadline_rounds = 8000;
+        const auto r = distributed_rwbc(g, options);
+        table.add_row({crash ? "crash node 3 @ round 60" : "dup 5%",
+                       reliable ? "self-healing" : "baseline",
+                       Table::fmt(mean_abs_error(exact, r.betweenness), 5),
+                       Table::fmt(r.total.rounds),
+                       Table::fmt(r.total.crashed_nodes)});
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nReading: at 1-5% drop the self-healing error tracks the "
+               "drop-free sampling error while the baseline collapses "
+               "toward the uniform floor; retransmissions and the widened "
+               "budget are the constant price.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "congest/faults.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+namespace {
+
+// Stream tag folded into the fault seed so a FaultPlan whose seed happens to
+// equal CongestConfig::seed still draws from a different sequence than any
+// node's Rng(seed, id) stream.
+constexpr std::uint64_t kFaultStreamTag = 0xfa017ede7ec7ab1eULL;
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& graph)
+    : plan_(plan),
+      rng_(plan.seed ^ kFaultStreamTag, 0xfa017ULL),
+      crash_round_(static_cast<std::size_t>(graph.node_count()),
+                   std::numeric_limits<std::uint64_t>::max()),
+      crash_reported_(static_cast<std::size_t>(graph.node_count()), false) {
+  RWBC_REQUIRE(plan_.drop_prob >= 0.0 && plan_.drop_prob <= 1.0,
+               "FaultPlan drop_prob must be in [0, 1]");
+  RWBC_REQUIRE(plan_.dup_prob >= 0.0 && plan_.dup_prob <= 1.0,
+               "FaultPlan dup_prob must be in [0, 1]");
+  for (const CrashEvent& crash : plan_.crashes) {
+    RWBC_REQUIRE(crash.node >= 0 && crash.node < graph.node_count(),
+                 "FaultPlan crash node out of range");
+    auto& scheduled = crash_round_[static_cast<std::size_t>(crash.node)];
+    scheduled = std::min(scheduled, crash.round);
+    has_crashes_ = true;
+  }
+  const auto edges = graph.edges();
+  for (const LinkDownInterval& down : plan_.link_downs) {
+    const Edge e{std::min(down.edge.u, down.edge.v),
+                 std::max(down.edge.u, down.edge.v)};
+    const auto it = std::lower_bound(edges.begin(), edges.end(), e);
+    RWBC_REQUIRE(it != edges.end() && *it == e,
+                 "FaultPlan link-down edge " + std::to_string(e.u) + "-" +
+                     std::to_string(e.v) + " is not an edge of the graph");
+    RWBC_REQUIRE(down.first_round <= down.last_round,
+                 "FaultPlan link-down interval is empty (first > last)");
+  }
+}
+
+FaultInjector::Fate FaultInjector::draw_fate() {
+  // Two draws ALWAYS happen — the coupling contract (see faults.hpp).
+  const double u_drop = rng_.next_double();
+  const double u_dup = rng_.next_double();
+  if (u_drop < plan_.drop_prob) return Fate::kDrop;
+  if (u_dup < plan_.dup_prob) return Fate::kDuplicate;
+  return Fate::kDeliver;
+}
+
+bool FaultInjector::link_down(NodeId u, NodeId v, std::uint64_t round) const {
+  if (plan_.link_downs.empty()) return false;
+  const NodeId lo = std::min(u, v);
+  const NodeId hi = std::max(u, v);
+  for (const LinkDownInterval& down : plan_.link_downs) {
+    const NodeId dlo = std::min(down.edge.u, down.edge.v);
+    const NodeId dhi = std::max(down.edge.u, down.edge.v);
+    if (dlo == lo && dhi == hi && round >= down.first_round &&
+        round <= down.last_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::activate_crashes(std::uint64_t round) {
+  if (!has_crashes_) return 0;
+  std::uint64_t newly = 0;
+  for (std::size_t v = 0; v < crash_round_.size(); ++v) {
+    if (!crash_reported_[v] && crash_round_[v] <= round) {
+      crash_reported_[v] = true;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+}  // namespace rwbc

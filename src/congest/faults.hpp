@@ -1,0 +1,118 @@
+// Deterministic fault injection for the CONGEST simulator.
+//
+// The paper's model (Section III-A) assumes a perfectly reliable synchronous
+// network.  A FaultPlan relaxes that assumption on purpose: per-message
+// Bernoulli drops and duplications, crash-stop node failures at scheduled
+// rounds, and link-down intervals — so the experiment suite can measure how
+// Algorithm 1/2's approximation degrades when walk tokens (the sole state
+// carrier) are lost, and how much the self-healing transport wins back.
+//
+// Determinism contract: all fault coin flips come from a DEDICATED RNG
+// stream seeded by FaultPlan::seed, never from any node's private
+// Rng(seed, id) stream.  Fault draws happen at the simulator's serial
+// delivery-merge point, where messages are already in canonical (sender id,
+// send order) order, so a given plan produces the SAME drops, duplicates,
+// and crashes at every thread count — PR 1's serial-vs-parallel
+// bit-identity is preserved with faults enabled.
+//
+// Coupling contract: every random-faultable message consumes exactly TWO
+// uniform draws (one for drop, one for duplication), whether or not either
+// fault fires.  With a fixed seed this couples runs across fault rates:
+// raising drop_prob can only turn more of the same draw sequence into
+// drops, so delivered-message counts are exactly monotone in the rate
+// (asserted by tests/faults_test.cpp, not just in expectation).
+// Structural faults (crashed destination, link-down) are decided before the
+// coin flips and consume no draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+/// A crash-stop failure: the node executes rounds < `round` and nothing
+/// afterwards — it never runs on_round again, sends nothing, and every
+/// message addressed to it from round `round` on is dropped.  `round` 0
+/// means the node never executes a round at all (on_start still runs; it
+/// models state that existed before the failure).
+struct CrashEvent {
+  NodeId node = 0;
+  std::uint64_t round = 0;
+};
+
+/// An interval [first_round, last_round] (inclusive, in SEND rounds) during
+/// which an edge delivers nothing in either direction.
+struct LinkDownInterval {
+  Edge edge{0, 0};
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = 0;
+};
+
+/// A deterministic fault schedule, configured on CongestConfig.  A
+/// default-constructed plan injects nothing and adds no per-message cost.
+struct FaultPlan {
+  /// Seed of the dedicated fault RNG stream (independent of node streams).
+  std::uint64_t seed = 0;
+
+  /// Per-delivered-message drop probability (Bernoulli, per direction).
+  double drop_prob = 0.0;
+
+  /// Per-delivered-message duplication probability: the receiver sees two
+  /// copies of the message in the SAME round's inbox.
+  double dup_prob = 0.0;
+
+  /// Crash-stop failures.  Multiple events for one node take the earliest.
+  std::vector<CrashEvent> crashes;
+
+  /// Link-down intervals; edges must exist in the simulated graph.
+  std::vector<LinkDownInterval> link_downs;
+
+  /// True if this plan can inject any fault at all.
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || !crashes.empty() ||
+           !link_downs.empty();
+  }
+};
+
+/// The per-run fault engine the Network drives.  Owns the dedicated RNG
+/// stream and the crash bookkeeping; all methods are called from the
+/// simulator's single-threaded driver sections only.
+class FaultInjector {
+ public:
+  /// Validates the plan against the graph (probabilities in [0, 1], crash
+  /// nodes and link-down edges in range); throws rwbc::Error otherwise.
+  FaultInjector(const FaultPlan& plan, const Graph& graph);
+
+  /// What the coin flips decide for one faultable message.
+  enum class Fate { kDeliver, kDrop, kDuplicate };
+
+  /// Draws the fate of one message.  Consumes exactly two uniforms.
+  Fate draw_fate();
+
+  /// True if `node` does not execute round `round` (crash-stop).
+  bool node_crashed(NodeId node, std::uint64_t round) const {
+    return crash_round_[static_cast<std::size_t>(node)] <= round;
+  }
+
+  /// True if the edge {u, v} is down for messages sent in `round`.
+  bool link_down(NodeId u, NodeId v, std::uint64_t round) const;
+
+  /// Number of nodes whose crash round is <= `round` and that were not yet
+  /// reported by an earlier call; the Network folds this into
+  /// RunMetrics::crashed_nodes exactly once per node.
+  std::uint64_t activate_crashes(std::uint64_t round);
+
+  bool has_crashes() const { return has_crashes_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<std::uint64_t> crash_round_;  ///< per node; UINT64_MAX = never
+  std::vector<bool> crash_reported_;
+  bool has_crashes_ = false;
+};
+
+}  // namespace rwbc

@@ -14,6 +14,10 @@ RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
       std::max(max_messages_per_edge_round, other.max_messages_per_edge_round);
   cut_bits += other.cut_bits;
   cut_messages += other.cut_messages;
+  dropped_messages += other.dropped_messages;
+  duplicated_messages += other.duplicated_messages;
+  crashed_nodes += other.crashed_nodes;
+  retransmissions += other.retransmissions;
   return *this;
 }
 

@@ -27,7 +27,22 @@ struct RunMetrics {
   /// Messages carried by cut edges.
   std::uint64_t cut_messages = 0;
 
-  /// Accumulates another phase's metrics (rounds add; peaks take max).
+  // Fault-injection observables (all 0 when no FaultPlan is configured).
+  /// Messages removed at the delivery point: Bernoulli drops, link-down
+  /// casualties, and messages addressed to crashed nodes.
+  std::uint64_t dropped_messages = 0;
+  /// Messages the receiver saw twice in one round (dup_prob faults).
+  std::uint64_t duplicated_messages = 0;
+  /// Nodes that crash-stopped during the run (each counted once).
+  std::uint64_t crashed_nodes = 0;
+  /// Retransmissions reported by reliability layers via
+  /// NodeContext::note_retransmission (the self-healing overhead metric).
+  std::uint64_t retransmissions = 0;
+
+  /// Accumulates another phase's metrics: counters (rounds, totals, cut
+  /// traffic, fault/retransmission tallies) ADD; the per-edge-round peaks
+  /// take MAX — a pipeline's peak is the worst single round of any phase,
+  /// while its round/bit/fault budgets are the sum over phases.
   RunMetrics& operator+=(const RunMetrics& other);
 };
 

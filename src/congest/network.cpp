@@ -71,6 +71,8 @@ class Network::ContextImpl final : public NodeContext {
 
   void halt() override { halted_ = true; }
 
+  void note_retransmission() override { round_retransmissions_ += 1; }
+
   // --- driver-side hooks -------------------------------------------------
 
   void begin_round() {
@@ -80,6 +82,7 @@ class Network::ContextImpl final : public NodeContext {
     round_bits_ = 0;
     round_cut_messages_ = 0;
     round_cut_bits_ = 0;
+    round_retransmissions_ = 0;
   }
 
   std::uint64_t peak_bits() const {
@@ -105,6 +108,7 @@ class Network::ContextImpl final : public NodeContext {
   std::uint64_t round_bits_ = 0;
   std::uint64_t round_cut_messages_ = 0;
   std::uint64_t round_cut_bits_ = 0;
+  std::uint64_t round_retransmissions_ = 0;
   std::vector<Message> inbox_;
   std::vector<Message> outbox_;
   bool halted_ = false;
@@ -126,6 +130,9 @@ Network::Network(const Graph& graph, CongestConfig config)
   cut_edge_flags_.assign(graph.edge_count(), false);
   if (!config_.metered_cut.empty()) {
     register_cut(config_.metered_cut);
+  }
+  if (config_.faults.any()) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults, graph_);
   }
 }
 
@@ -199,9 +206,23 @@ RunMetrics Network::run() {
   while (true) {
     RWBC_REQUIRE(round_ < config_.max_rounds,
                  "simulation exceeded the configured max_rounds");
+    // Crash-stop failures scheduled for this round take effect before
+    // anything else: a crashed node is permanently halted, cannot be woken
+    // by messages, and counts toward RunMetrics::crashed_nodes exactly
+    // once.  (Messages addressed to it were already discarded at the
+    // delivery point below.)
+    if (injector_ != nullptr && injector_->has_crashes()) {
+      metrics_.crashed_nodes += injector_->activate_crashes(round_);
+    }
     // A message arriving at a halted node wakes it.
     bool any_awake = false;
     for (std::size_t v = 0; v < n; ++v) {
+      if (injector_ != nullptr &&
+          injector_->node_crashed(static_cast<NodeId>(v), round_)) {
+        contexts_[v]->halted_ = true;
+        contexts_[v]->inbox_.clear();
+        continue;
+      }
       if (!contexts_[v]->inbox_.empty()) contexts_[v]->halted_ = false;
       if (!contexts_[v]->halted_) any_awake = true;
     }
@@ -237,40 +258,78 @@ RunMetrics Network::run() {
     std::uint64_t round_bits = 0;
     std::uint64_t round_peak_bits = 0;
     std::uint64_t round_peak_msgs = 0;
+    std::uint64_t round_retransmissions = 0;
     for (std::size_t v = 0; v < n; ++v) {
       const ContextImpl& ctx = *contexts_[v];
       round_messages += ctx.round_messages_;
       round_bits += ctx.round_bits_;
       metrics_.cut_messages += ctx.round_cut_messages_;
       metrics_.cut_bits += ctx.round_cut_bits_;
+      round_retransmissions += ctx.round_retransmissions_;
       round_peak_bits = std::max(round_peak_bits, ctx.peak_bits());
       round_peak_msgs = std::max(round_peak_msgs, ctx.peak_msgs());
     }
     metrics_.total_messages += round_messages;
     metrics_.total_bits += round_bits;
-    if (config_.round_observer) {
-      RoundSnapshot snapshot;
-      snapshot.round = round_;
-      snapshot.messages = round_messages;
-      snapshot.bits = round_bits;
-      snapshot.awake_nodes = awake_.size();
-      config_.round_observer(snapshot);
-    }
+    metrics_.retransmissions += round_retransmissions;
     metrics_.max_bits_per_edge_round =
         std::max(metrics_.max_bits_per_edge_round, round_peak_bits);
     metrics_.max_messages_per_edge_round =
         std::max(metrics_.max_messages_per_edge_round, round_peak_msgs);
 
     // Deliver: every outbox message becomes next round's inbox content.
+    // This merge is the fault-injection point: it runs serially with
+    // messages in canonical (sender id, send order) order, so the fault
+    // RNG stream sees the same sequence at every thread count.  Senders
+    // were already charged bandwidth at send time — a dropped message is
+    // traffic spent, value lost, exactly like a real lossy link.
+    std::uint64_t round_dropped = 0;
+    std::uint64_t round_duplicated = 0;
     for (std::size_t v = 0; v < n; ++v) contexts_[v]->inbox_.clear();
     bool delivered_any = false;
     for (std::size_t v = 0; v < n; ++v) {
       for (Message& msg : contexts_[v]->outbox_) {
+        if (injector_ != nullptr) {
+          // Structural faults first (no RNG draws): dead destination or a
+          // downed link.  The destination is dead iff it will not execute
+          // the round this message would be read in (round_ + 1).
+          if (injector_->node_crashed(msg.to, round_ + 1) ||
+              injector_->link_down(msg.from, msg.to, round_)) {
+            ++round_dropped;
+            continue;
+          }
+          switch (injector_->draw_fate()) {
+            case FaultInjector::Fate::kDrop:
+              ++round_dropped;
+              continue;
+            case FaultInjector::Fate::kDuplicate:
+              ++round_duplicated;
+              contexts_[static_cast<std::size_t>(msg.to)]->inbox_.push_back(
+                  msg);  // deliberate copy: both copies arrive this round
+              break;
+            case FaultInjector::Fate::kDeliver:
+              break;
+          }
+        }
         delivered_any = true;
         contexts_[static_cast<std::size_t>(msg.to)]->inbox_.push_back(
             std::move(msg));
       }
       contexts_[v]->outbox_.clear();
+    }
+    metrics_.dropped_messages += round_dropped;
+    metrics_.duplicated_messages += round_duplicated;
+    if (config_.round_observer) {
+      RoundSnapshot snapshot;
+      snapshot.round = round_;
+      snapshot.messages = round_messages;
+      snapshot.bits = round_bits;
+      snapshot.awake_nodes = awake_.size();
+      snapshot.dropped_messages = round_dropped;
+      snapshot.duplicated_messages = round_duplicated;
+      snapshot.crashed_nodes = metrics_.crashed_nodes;
+      snapshot.retransmissions = round_retransmissions;
+      config_.round_observer(snapshot);
     }
     ++round_;
     metrics_.rounds = round_;

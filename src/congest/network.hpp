@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/metrics.hpp"
 #include "congest/node.hpp"
 #include "graph/graph.hpp"
@@ -26,6 +27,11 @@ struct RoundSnapshot {
   std::uint64_t messages = 0;  ///< messages sent in this round
   std::uint64_t bits = 0;      ///< payload bits sent in this round
   std::uint64_t awake_nodes = 0;  ///< nodes whose on_round ran
+  // Fault-injection telemetry (0 when no FaultPlan is configured).
+  std::uint64_t dropped_messages = 0;     ///< of this round's sends
+  std::uint64_t duplicated_messages = 0;  ///< of this round's sends
+  std::uint64_t crashed_nodes = 0;  ///< cumulative crash-stopped nodes
+  std::uint64_t retransmissions = 0;  ///< reliability-layer resends this round
 };
 
 /// Simulator configuration.
@@ -58,6 +64,16 @@ struct CongestConfig {
   /// experiments).  Registered automatically on construction, so multi-phase
   /// pipelines meter the cut across every phase.
   std::vector<Edge> metered_cut;
+
+  /// Deterministic fault schedule (drops, duplications, crash-stop
+  /// failures, link-down intervals), applied at the delivery merge point.
+  /// A default-constructed plan injects nothing and leaves every run
+  /// bit-identical to the fault-free simulator; with faults enabled the
+  /// plan's own seeded RNG stream keeps serial and parallel execution
+  /// bit-identical at every num_threads setting.  Rounds in the plan are
+  /// local to each Network instance (multi-phase pipelines decide per
+  /// phase whether the plan applies).
+  FaultPlan faults;
 
   /// Optional per-round observer, invoked after each round's sends are
   /// collected.  Used by the experiment harness to chart live quantities
@@ -115,6 +131,7 @@ class Network {
   std::vector<bool> cut_edge_flags_;  // indexed like graph_.edges()
   bool has_cut_ = false;
   bool ran_ = false;
+  std::unique_ptr<FaultInjector> injector_;  // null when faults.any() false
   std::unique_ptr<ThreadPool> pool_;   // live only while run() executes
   std::vector<std::size_t> awake_;     // scratch: awake node ids, ascending
 };

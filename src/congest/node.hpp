@@ -62,6 +62,12 @@ class NodeContext {
   /// The enforced bit budget per edge-direction per round (for nodes that
   /// want to pack multiple logical items into one round's traffic).
   virtual std::uint64_t bit_budget() const = 0;
+
+  /// Reliability layers call this once per resent frame so the simulator
+  /// can meter self-healing overhead (RunMetrics::retransmissions).  The
+  /// resent frame itself still goes through send() and is charged
+  /// bandwidth like any other message.  Default: not metered.
+  virtual void note_retransmission() {}
 };
 
 /// A node program.  Implementations must be deterministic given the

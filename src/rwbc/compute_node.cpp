@@ -26,8 +26,26 @@ void ComputeNode::on_start(NodeContext& ctx) {
   count_bits_ = bits_for(config_.walks_per_source * (config_.cutoff + 1) + 1);
   if (config_.counts_per_message == 0) {
     // Auto-fit: as many counts as the per-edge budget holds per round.
+    std::uint64_t payload_budget = ctx.bit_budget();
+    if (config_.reliable_transport) {
+      // The wrapper adds [kind+seq+frame] per DATA frame and up to `window`
+      // DATA frames plus one ack frame can share an edge in one round; keep
+      // the worst round under the (pipeline-widened) budget.
+      const auto window =
+          static_cast<std::uint64_t>(config_.reliable_link.window);
+      const auto seq_bits =
+          static_cast<std::uint64_t>(config_.reliable_link.seq_bits);
+      const std::uint64_t frame_header =
+          1 + seq_bits + static_cast<std::uint64_t>(id_bits_) + 1;
+      const std::uint64_t ack_reserve = 1 + 4 + window * seq_bits;
+      const std::uint64_t per_frame =
+          payload_budget > ack_reserve
+              ? (payload_budget - ack_reserve) / std::max<std::uint64_t>(window, 1)
+              : 0;
+      payload_budget = per_frame > frame_header ? per_frame - frame_header : 0;
+    }
     batch_size_ = std::max<std::uint64_t>(
-        1, ctx.bit_budget() / static_cast<std::uint64_t>(count_bits_));
+        1, payload_budget / static_cast<std::uint64_t>(count_bits_));
   } else {
     batch_size_ = config_.counts_per_message;
   }
@@ -49,9 +67,26 @@ void ComputeNode::on_start(NodeContext& ctx) {
     neighbor_scaled_.assign(static_cast<std::size_t>(ctx.degree()),
                             std::vector<double>(n, 0.0));
   }
+  if (config_.reliable_transport) {
+    const auto degree = static_cast<std::size_t>(ctx.degree());
+    link_ = std::make_unique<ReliableLink>(config_.reliable_link, degree);
+    const std::uint64_t batches =
+        (static_cast<std::uint64_t>(n) + batch_size_ - 1) / batch_size_;
+    total_frames_ = 1 + batches;  // frame 0 = strength, frame f = batch f-1
+    frame_bits_ = bits_for(total_frames_ + 1);
+    next_frame_.assign(degree, 0);
+    frames_received_.assign(degree, 0);
+    if (config_.compute_score) {
+      neighbor_raw_.assign(degree, std::vector<std::uint64_t>(n, 0));
+    }
+  }
 }
 
 void ComputeNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
+  if (link_) {
+    on_round_reliable(ctx, inbox);
+    return;
+  }
   const auto n = static_cast<std::uint64_t>(ctx.node_count());
   const auto neighbors = ctx.neighbors();
   auto slot_of = [&](NodeId from) {
@@ -75,7 +110,9 @@ void ComputeNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
           std::min(nn, begin + static_cast<std::size_t>(batch_size_));
       for (std::size_t source = begin; source < end; ++source) {
         const std::uint64_t raw = reader.read(count_bits_);
-        if (config_.compute_score) {
+        // A strength of 0 means round 1's message was lost to fault
+        // injection; leave the scaled count at 0 rather than divide by it.
+        if (config_.compute_score && neighbor_strengths_[slot] > 0) {
           neighbor_scaled_[slot][source] =
               static_cast<double>(raw) /
               (static_cast<double>(config_.walks_per_source) *
@@ -101,7 +138,108 @@ void ComputeNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
   } else {
     // The last batch arrived this round; finish locally.
     finish(ctx);
+    ctx.halt();
   }
+}
+
+void ComputeNode::on_round_reliable(NodeContext& ctx,
+                                    std::span<const Message> inbox) {
+  const auto degree = static_cast<std::size_t>(ctx.degree());
+  const auto neighbors = ctx.neighbors();
+  auto slot_of = [&](NodeId from) {
+    const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), from);
+    RWBC_ASSERT(it != neighbors.end() && *it == from,
+                "message from a non-neighbor");
+    return static_cast<std::size_t>(it - neighbors.begin());
+  };
+
+  std::vector<ReliableDelivery> deliveries;
+  for (const Message& msg : inbox) {
+    link_->on_message(slot_of(msg.from), msg, deliveries);
+  }
+  for (const ReliableDelivery& delivery : deliveries) {
+    BitReader reader(delivery.bytes, delivery.bit_count);
+    handle_frame(delivery.slot, reader);
+  }
+  // A give-up marks its slot dead; the frames themselves are deliberately
+  // abandoned (a crashed neighbour has no use for our counts).
+  link_->take_give_ups();
+
+  if (!finished_) {
+    // Stream frames through each live slot's window.
+    for (std::size_t slot = 0; slot < degree; ++slot) {
+      while (!link_->slot_dead(slot) && next_frame_[slot] < total_frames_ &&
+             link_->data_capacity(slot) > 0) {
+        link_->send(slot, encode_frame(next_frame_[slot]));
+        ++next_frame_[slot];
+      }
+    }
+    // Done when every live slot has swapped all frames both ways (idle()
+    // covers acks on our side); a dead slot's counts are lost by design.
+    bool complete = link_->idle();
+    for (std::size_t slot = 0; slot < degree && complete; ++slot) {
+      if (link_->slot_dead(slot)) continue;
+      complete = next_frame_[slot] == total_frames_ &&
+                 frames_received_[slot] == total_frames_;
+    }
+    const bool deadline_hit = config_.deadline_rounds > 0 &&
+                              ctx.round() >= config_.deadline_rounds;
+    if (complete || deadline_hit) {
+      if (deadline_hit) link_->shutdown();
+      if (config_.compute_score) {
+        // Scale the raw counts now that every strength that will ever
+        // arrive has arrived (an unseen strength leaves zeros behind).
+        const std::size_t n = config_.visits.size();
+        for (std::size_t slot = 0; slot < degree; ++slot) {
+          if (neighbor_strengths_[slot] == 0) continue;
+          const double denom =
+              static_cast<double>(config_.walks_per_source) *
+              static_cast<double>(neighbor_strengths_[slot]);
+          for (std::size_t source = 0; source < n; ++source) {
+            neighbor_scaled_[slot][source] =
+                static_cast<double>(neighbor_raw_[slot][source]) / denom;
+          }
+        }
+      }
+      finish(ctx);
+    }
+  }
+  link_->flush(ctx);
+  if (finished_ && link_->idle()) ctx.halt();
+}
+
+void ComputeNode::handle_frame(std::size_t slot, BitReader& reader) {
+  const std::uint64_t frame = reader.read(frame_bits_);
+  if (frame == 0) {
+    neighbor_strengths_[slot] = reader.read(strength_bits_);
+  } else {
+    const std::size_t begin =
+        static_cast<std::size_t>((frame - 1) * batch_size_);
+    const std::size_t end = std::min(
+        config_.visits.size(), begin + static_cast<std::size_t>(batch_size_));
+    for (std::size_t source = begin; source < end; ++source) {
+      const std::uint64_t raw = reader.read(count_bits_);
+      if (config_.compute_score) neighbor_raw_[slot][source] = raw;
+    }
+  }
+  ++frames_received_[slot];
+}
+
+BitWriter ComputeNode::encode_frame(std::uint64_t frame) const {
+  BitWriter writer;
+  writer.write(frame, frame_bits_);
+  if (frame == 0) {
+    writer.write(config_.strength, strength_bits_);
+  } else {
+    const std::size_t begin =
+        static_cast<std::size_t>((frame - 1) * batch_size_);
+    const std::size_t end = std::min(
+        config_.visits.size(), begin + static_cast<std::size_t>(batch_size_));
+    for (std::size_t source = begin; source < end; ++source) {
+      writer.write(config_.visits[source], count_bits_);
+    }
+  }
+  return writer;
 }
 
 void ComputeNode::finish(NodeContext& ctx) {
@@ -133,7 +271,6 @@ void ComputeNode::finish(NodeContext& ctx) {
         (0.5 * throughflow + (nn - 1.0)) / (0.5 * nn * (nn - 1.0));
   }
   finished_ = true;
-  ctx.halt();
 }
 
 }  // namespace rwbc

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "congest/node.hpp"
+#include "rwbc/reliable_token.hpp"
 
 namespace rwbc {
 
@@ -48,6 +50,20 @@ struct ComputeNodeConfig {
   /// Per-neighbour edge weights for the local Eq. 6 accumulation
   /// (current = conductance * potential difference).  Empty = all 1.
   std::vector<double> neighbor_weights;
+
+  // Robustness knobs (DESIGN.md, "Fault model and self-healing walks").
+  /// The baseline positional protocol terminates on a fixed schedule even
+  /// under faults (dropped batches just leave zeros behind, guarded
+  /// against division by an unseen strength); the reliable mode instead
+  /// exchanges self-describing frames [frame:index][payload] over a
+  /// ReliableLink, so every batch survives drops/duplication and only a
+  /// crashed neighbour's counts are lost.
+  bool reliable_transport = false;
+  ReliableLinkConfig reliable_link;
+  /// Force-finish round for the reliable mode (phase-local); 0 = none.
+  /// Covers the undetectable case: a neighbour that acked everything and
+  /// then crashed before sending its own frames.
+  std::uint64_t deadline_rounds = 0;
 };
 
 /// Node program for Algorithm 2.
@@ -70,6 +86,9 @@ class ComputeNode final : public NodeProcess {
 
  private:
   void finish(NodeContext& ctx);
+  void on_round_reliable(NodeContext& ctx, std::span<const Message> inbox);
+  void handle_frame(std::size_t slot, BitReader& reader);
+  BitWriter encode_frame(std::uint64_t frame) const;
 
   /// First source index of the batch sent in round `round` (round >= 1).
   std::size_t batch_begin(std::uint64_t round) const {
@@ -86,6 +105,14 @@ class ComputeNode final : public NodeProcess {
   std::vector<std::vector<double>> neighbor_scaled_;  // [slot][source]
   double betweenness_ = 0.0;
   bool finished_ = false;
+
+  // Reliable-transport state (unused in the baseline positional mode).
+  std::unique_ptr<ReliableLink> link_;
+  int frame_bits_ = 0;
+  std::uint64_t total_frames_ = 0;  ///< 1 strength frame + ceil(n/batch)
+  std::vector<std::uint64_t> next_frame_;       ///< per slot, next to queue
+  std::vector<std::uint64_t> frames_received_;  ///< per slot
+  std::vector<std::vector<std::uint64_t>> neighbor_raw_;  ///< [slot][source]
 };
 
 }  // namespace rwbc

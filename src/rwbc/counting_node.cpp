@@ -27,6 +27,10 @@ void CountingNode::on_start(NodeContext& ctx) {
   expected_total_deaths_ =
       static_cast<std::uint64_t>(n - 1) * config_.walks_per_source;
   per_neighbor_.assign(static_cast<std::size_t>(ctx.degree()), {});
+  if (config_.reliable_transport) {
+    link_ = std::make_unique<ReliableLink>(
+        config_.reliable_link, static_cast<std::size_t>(ctx.degree()));
+  }
   if (!config_.neighbor_weights.empty()) {
     RWBC_REQUIRE(config_.neighbor_weights.size() ==
                      static_cast<std::size_t>(ctx.degree()),
@@ -55,41 +59,95 @@ void CountingNode::on_start(NodeContext& ctx) {
 
 void CountingNode::record_kill() { ++died_; }
 
-void CountingNode::process_inbox(NodeContext& ctx,
-                                 std::span<const Message> inbox) {
-  for (const Message& msg : inbox) {
-    auto reader = msg.reader();
-    const auto type = static_cast<CountingMsg>(reader.read(wire_.type_bits));
-    switch (type) {
-      case CountingMsg::kWalk: {
-        WalkToken walk;
-        walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
-        walk.remaining = reader.read(wire_.length_bits);
-        if (ctx.id() == config_.target) {
-          record_kill();  // absorbed; the target's counts stay zero
+std::size_t CountingNode::slot_of(NodeContext& ctx, NodeId v) const {
+  const auto neighbors = ctx.neighbors();
+  const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), v);
+  RWBC_ASSERT(it != neighbors.end() && *it == v,
+              "message arrived from a non-neighbour");
+  return static_cast<std::size_t>(it - neighbors.begin());
+}
+
+void CountingNode::send_control(NodeContext& ctx, NodeId to,
+                                const BitWriter& payload) {
+  // Control traffic (sweeps, DONE) is urgent: it bypasses the window so a
+  // congested link cannot stall termination detection.
+  if (link_) {
+    link_->send(slot_of(ctx, to), payload, /*urgent=*/true);
+  } else {
+    ctx.send(to, payload);
+  }
+}
+
+void CountingNode::handle_payload(NodeContext& ctx, BitReader& reader) {
+  const auto type = static_cast<CountingMsg>(reader.read(wire_.type_bits));
+  switch (type) {
+    case CountingMsg::kWalk: {
+      WalkToken walk;
+      walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
+      walk.remaining = reader.read(wire_.length_bits);
+      if (ctx.id() == config_.target) {
+        record_kill();  // absorbed; the target's counts stay zero
+      } else {
+        ++visits_[static_cast<std::size_t>(walk.source)];
+        if (walk.remaining == 0) {
+          record_kill();  // expired on arrival
         } else {
-          ++visits_[static_cast<std::size_t>(walk.source)];
-          if (walk.remaining == 0) {
-            record_kill();  // expired on arrival
-          } else {
-            held_walks_.push_back(HeldWalk{walk, -1});
-          }
+          held_walks_.push_back(HeldWalk{walk, -1});
         }
+      }
+      break;
+    }
+    case CountingMsg::kSweepRequest:
+      sweep_request_pending_ = true;
+      break;
+    case CountingMsg::kSweepReport:
+      if (sweep_reports_pending_ == 0) {
+        // A duplicated report from an earlier sweep; only possible under
+        // fault injection (dup_prob) without the reliable layer's dedup.
+        RWBC_ASSERT(config_.fault_tolerant, "unexpected sweep report");
         break;
       }
-      case CountingMsg::kSweepRequest:
-        sweep_request_pending_ = true;
-        break;
-      case CountingMsg::kSweepReport:
-        RWBC_ASSERT(sweep_reports_pending_ > 0,
-                    "unexpected sweep report");
-        sweep_accumulator_ += reader.read(wire_.count_bits);
-        --sweep_reports_pending_;
-        break;
-      case CountingMsg::kDone:
-        done_pending_ = true;
-        break;
+      sweep_accumulator_ += reader.read(wire_.count_bits);
+      --sweep_reports_pending_;
+      break;
+    case CountingMsg::kDone:
+      done_pending_ = true;
+      break;
+  }
+}
+
+void CountingNode::process_inbox(NodeContext& ctx,
+                                 std::span<const Message> inbox) {
+  if (link_) {
+    std::vector<ReliableDelivery> deliveries;
+    for (const Message& msg : inbox) {
+      link_->on_message(slot_of(ctx, msg.from), msg, deliveries);
     }
+    for (const ReliableDelivery& delivery : deliveries) {
+      BitReader reader(delivery.bytes, delivery.bit_count);
+      handle_payload(ctx, reader);
+    }
+    return;
+  }
+  for (const Message& msg : inbox) {
+    auto reader = msg.reader();
+    handle_payload(ctx, reader);
+  }
+}
+
+void CountingNode::absorb_give_ups() {
+  // Frames the link gave up on (neighbour suspected crashed).  Walk tokens
+  // come back into the held pool with their move refunded and no committed
+  // slot, so the next forward re-routes them around the dead link; control
+  // frames are abandoned — the deadline backstop covers a broken tree.
+  for (ReliableGiveUp& give_up : link_->take_give_ups()) {
+    BitReader reader(give_up.bytes, give_up.bit_count);
+    const auto type = static_cast<CountingMsg>(reader.read(wire_.type_bits));
+    if (type != CountingMsg::kWalk) continue;
+    WalkToken walk;
+    walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
+    walk.remaining = reader.read(wire_.length_bits) + 1;  // move never happened
+    held_walks_.push_back(HeldWalk{walk, -1});
   }
 }
 
@@ -110,13 +168,35 @@ std::size_t CountingNode::draw_neighbor_slot(NodeContext& ctx) {
 void CountingNode::forward_walks(NodeContext& ctx) {
   if (held_walks_.empty()) return;
   const auto degree = static_cast<std::size_t>(ctx.degree());
+  if (link_) {
+    // Self-healing re-route: a suspected-dead neighbour takes no further
+    // walks.  Walks committed to it redraw; with every neighbour dead the
+    // walks cannot move again and die in place (so the death count the
+    // root waits for still converges).
+    std::size_t live = 0;
+    for (std::size_t slot = 0; slot < degree; ++slot) {
+      if (!link_->slot_dead(slot)) ++live;
+    }
+    if (live == 0) {
+      for (std::size_t w = 0; w < held_walks_.size(); ++w) record_kill();
+      held_walks_.clear();
+      return;
+    }
+    for (HeldWalk& held : held_walks_) {
+      if (held.committed_slot >= 0 &&
+          link_->slot_dead(static_cast<std::size_t>(held.committed_slot))) {
+        held.committed_slot = -1;
+      }
+    }
+  }
   for (auto& bucket : per_neighbor_) bucket.clear();
   for (std::size_t w = 0; w < held_walks_.size(); ++w) {
     // Commit-and-queue: draw a destination once; losers keep theirs so the
     // realized transitions match the drawn distribution under contention.
     if (held_walks_[w].committed_slot < 0) {
-      held_walks_[w].committed_slot =
-          static_cast<int>(draw_neighbor_slot(ctx));
+      std::size_t slot = draw_neighbor_slot(ctx);
+      while (link_ && link_->slot_dead(slot)) slot = draw_neighbor_slot(ctx);
+      held_walks_[w].committed_slot = static_cast<int>(slot);
     }
     per_neighbor_[static_cast<std::size_t>(held_walks_[w].committed_slot)]
         .push_back(w);
@@ -125,8 +205,14 @@ void CountingNode::forward_walks(NodeContext& ctx) {
   const auto neighbors = ctx.neighbors();
   for (std::size_t slot = 0; slot < degree; ++slot) {
     auto& bucket = per_neighbor_[slot];
-    const std::size_t winners =
-        std::min<std::size_t>(bucket.size(), config_.walks_per_edge_per_round);
+    // The reliable layer's window throttles walk traffic too: a slot with
+    // unacked frames in flight admits fewer (or no) new walks this round;
+    // losers simply stay queued with their commitment, like lottery losers.
+    const std::size_t capacity =
+        link_ ? link_->data_capacity(slot) : bucket.size();
+    const std::size_t winners = std::min(
+        {bucket.size(), static_cast<std::size_t>(config_.walks_per_edge_per_round),
+         capacity});
     // Partial Fisher-Yates: the first `winners` entries become a uniform
     // random subset (paper line 6: "just send a random walk to v randomly").
     for (std::size_t i = 0; i < winners; ++i) {
@@ -136,7 +222,11 @@ void CountingNode::forward_walks(NodeContext& ctx) {
       WalkToken walk = held_walks_[bucket[i]].token;
       RWBC_ASSERT(walk.remaining >= 1, "held walk must have moves left");
       walk.remaining -= 1;  // the move consumes one step
-      ctx.send(neighbors[slot], wire_.encode_walk(walk));
+      if (link_) {
+        link_->send(slot, wire_.encode_walk(walk));
+      } else {
+        ctx.send(neighbors[slot], wire_.encode_walk(walk));
+      }
     }
     for (std::size_t i = winners; i < bucket.size(); ++i) {
       kept.push_back(held_walks_[bucket[i]]);
@@ -167,19 +257,21 @@ void CountingNode::run_sweep_logic(NodeContext& ctx) {
       sweep_accumulator_ = 0;
       sweep_reports_pending_ = config_.tree_children.size();
       for (NodeId child : config_.tree_children) {
-        ctx.send(child, wire_.encode_sweep_request());
+        send_control(ctx, child, wire_.encode_sweep_request());
       }
     }
     if (sweep_in_progress_ && sweep_reports_pending_ == 0) {
       const std::uint64_t total = sweep_accumulator_ + died_;
-      RWBC_ASSERT(total <= expected_total_deaths_,
+      // Duplicated walk/report messages (baseline under dup_prob) can push
+      // the total past the true walk count; fault-tolerant mode treats the
+      // overshoot as "everything died" and finishes.
+      RWBC_ASSERT(config_.fault_tolerant || total <= expected_total_deaths_,
                   "death count exceeded the number of walks");
-      if (total == expected_total_deaths_) {
+      if (total >= expected_total_deaths_) {
         for (NodeId child : config_.tree_children) {
-          ctx.send(child, wire_.encode_done());
+          send_control(ctx, child, wire_.encode_done());
         }
         finished_ = true;
-        ctx.halt();
       } else {
         sweep_in_progress_ = false;  // next round starts a fresh sweep
       }
@@ -193,34 +285,56 @@ void CountingNode::run_sweep_logic(NodeContext& ctx) {
     sweep_accumulator_ = 0;
     sweep_reports_pending_ = config_.tree_children.size();
     for (NodeId child : config_.tree_children) {
-      ctx.send(child, wire_.encode_sweep_request());
+      send_control(ctx, child, wire_.encode_sweep_request());
     }
   }
   if (sweep_in_progress_ && sweep_reports_pending_ == 0) {
-    ctx.send(config_.tree_parent,
-             wire_.encode_sweep_report(sweep_accumulator_ + died_));
+    send_control(ctx, config_.tree_parent,
+                 wire_.encode_sweep_report(sweep_accumulator_ + died_));
     sweep_in_progress_ = false;
   }
 }
 
 void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
   process_inbox(ctx, inbox);
+  if (!finished_ && config_.deadline_rounds > 0 &&
+      ctx.round() >= config_.deadline_rounds) {
+    // Termination backstop: every node force-finishes at the same round,
+    // abandoning surviving walks and outstanding retransmissions.
+    held_walks_.clear();
+    done_pending_ = false;
+    if (link_) link_->shutdown();
+    finished_ = true;
+  }
   if (done_pending_ && !finished_) {
-    RWBC_ASSERT(held_walks_.empty(),
-                "DONE broadcast arrived while walks are still alive");
+    if (config_.fault_tolerant) {
+      // Faults can make the root's death count converge before every walk
+      // is truly dead (duplication overshoot); abandon the stragglers.
+      held_walks_.clear();
+    } else {
+      RWBC_ASSERT(held_walks_.empty(),
+                  "DONE broadcast arrived while walks are still alive");
+    }
     for (NodeId child : config_.tree_children) {
-      ctx.send(child, wire_.encode_done());
+      send_control(ctx, child, wire_.encode_done());
     }
     finished_ = true;
-    ctx.halt();
-    return;
   }
-  if (finished_) {
-    ctx.halt();
-    return;
+  if (!finished_) {
+    if (link_) absorb_give_ups();
+    forward_walks(ctx);
+    run_sweep_logic(ctx);  // the root may decide DONE and set finished_
   }
-  forward_walks(ctx);
-  run_sweep_logic(ctx);
+  if (link_) {
+    // One flush per round: batched acks, timed-out retransmissions, queued
+    // frames.  A finished node keeps flushing until its in-flight frames
+    // are acked (halting earlier would strand an unacked DONE forever);
+    // peers' retransmissions wake it if an ack of ours is lost.
+    link_->flush(ctx);
+    if (finished_ && link_->idle()) ctx.halt();
+  } else if (finished_) {
+    ctx.halt();
+  }
 }
 
 }  // namespace rwbc

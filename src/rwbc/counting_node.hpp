@@ -24,9 +24,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "congest/node.hpp"
+#include "rwbc/reliable_token.hpp"
 #include "rwbc/walk_token.hpp"
 
 namespace rwbc {
@@ -58,6 +60,24 @@ struct CountingNodeConfig {
   /// node's sorted neighbour list (local knowledge — a node knows its
   /// incident conductances).  Empty = unweighted uniform moves.
   std::vector<double> neighbor_weights;
+
+  // Robustness knobs (DESIGN.md, "Fault model and self-healing walks").
+  /// Relaxes the exact-count invariant asserts that message faults break:
+  /// duplicate sweep reports are ignored, a death total past (n-1)*K ends
+  /// the phase instead of aborting, and a DONE that arrives while walks are
+  /// still held abandons them.  Off = faults in the phase are a bug.
+  bool fault_tolerant = false;
+  /// Force-finish round (phase-local); 0 = none.  The termination backstop
+  /// for fault schedules that break exact death counting (crashed nodes
+  /// take their kill records with them): every node independently finishes
+  /// when ctx.round() reaches the deadline, abandoning surviving walks.
+  std::uint64_t deadline_rounds = 0;
+  /// Wraps every message (walks, sweeps, DONE) in a ReliableLink so pure
+  /// message-loss/duplication schedules still count exactly: walks are
+  /// deduplicated, lost tokens retransmit, and a neighbour that exhausts
+  /// its retries is treated as crashed — its walks re-route elsewhere.
+  bool reliable_transport = false;
+  ReliableLinkConfig reliable_link;
 };
 
 /// Node program for Algorithm 1.
@@ -79,9 +99,13 @@ class CountingNode final : public NodeProcess {
 
  private:
   void process_inbox(NodeContext& ctx, std::span<const Message> inbox);
+  void handle_payload(NodeContext& ctx, BitReader& reader);
+  void absorb_give_ups();
   void forward_walks(NodeContext& ctx);
   void run_sweep_logic(NodeContext& ctx);
   void record_kill();
+  void send_control(NodeContext& ctx, NodeId to, const BitWriter& payload);
+  std::size_t slot_of(NodeContext& ctx, NodeId v) const;
 
   /// A walk waiting at this node, with its committed next hop (-1 = none).
   struct HeldWalk {
@@ -91,6 +115,7 @@ class CountingNode final : public NodeProcess {
 
   CountingNodeConfig config_;
   CountingWire wire_;
+  std::unique_ptr<ReliableLink> link_;  ///< null unless reliable_transport
   std::vector<std::uint64_t> visits_;
   std::vector<HeldWalk> held_walks_;
   std::uint64_t died_ = 0;

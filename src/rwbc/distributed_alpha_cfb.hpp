@@ -40,7 +40,10 @@ struct DistributedAlphaCfbOptions {
   std::size_t walks_per_edge_per_round = 1;
   bool compute_scores = true;
   /// congest.num_threads parallelises counting + computing rounds
-  /// deterministically (bit-identical to serial).
+  /// deterministically (bit-identical to serial).  congest.faults applies
+  /// to both phases; alpha-CFB's implicit termination (walks die by the
+  /// alpha-coin, no death-count convergecast) makes it naturally robust to
+  /// drops — lost walks shrink the sample, they cannot hang the run.
   CongestConfig congest;
 };
 

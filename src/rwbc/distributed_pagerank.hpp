@@ -23,7 +23,10 @@ struct DistributedPagerankOptions {
   double reset_probability = 0.15;  ///< per-step stop probability epsilon
   std::size_t walks_per_node = 64;  ///< walks each node launches
   /// congest.num_threads parallelises the walk rounds deterministically
-  /// (bit-identical to serial).
+  /// (bit-identical to serial).  congest.faults injects deterministic
+  /// message/node faults into every round; this protocol has no reliability
+  /// layer, so dropped walkers silently bias the stationary estimate
+  /// (the self-healing machinery lives in the RWBC pipeline only).
   CongestConfig congest;
 };
 

@@ -31,10 +31,16 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
           ? options.walks_per_source
           : default_walks_per_source(n, options.walks_multiplier);
 
+  // Fault policy: the plan targets the data phases P3/P4; the setup phases
+  // run fault-free (see DistributedRwbcOptions::congest).
+  const bool faulty = options.congest.faults.any();
+  CongestConfig setup_congest = options.congest;
+  setup_congest.faults = FaultPlan{};
+
   // P0: leader election (the node that will draw the absorbing target).
   if (options.run_leader_election) {
     const LeaderElectionResult election = run_leader_election(
-        g, options.congest, static_cast<std::uint64_t>(n));
+        g, setup_congest, static_cast<std::uint64_t>(n));
     result.leader = election.leader;
     result.election_metrics = election.metrics;
     result.total += election.metrics;
@@ -44,7 +50,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
 
   // P1: BFS spanning tree rooted at the leader.
   const BfsTreeResult bfs = run_bfs_tree(
-      g, result.leader, options.congest, static_cast<std::uint64_t>(n) + 2);
+      g, result.leader, setup_congest, static_cast<std::uint64_t>(n) + 2);
   result.bfs_metrics = bfs.metrics;
   result.total += bfs.metrics;
   const SpanningTree& tree = bfs.tree;
@@ -59,7 +65,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
     }
     const ConvergecastResult height = run_convergecast(
         g, tree, depths, AggregateOp::kMax,
-        bits_for(static_cast<std::uint64_t>(n)), options.congest);
+        bits_for(static_cast<std::uint64_t>(n)), setup_congest);
     RWBC_ASSERT(height.aggregate == static_cast<std::uint64_t>(tree.height),
                 "distributed height disagrees with the assembled tree");
     result.dissemination_metrics += height.metrics;
@@ -78,15 +84,43 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
     const int id_bits = bits_for(static_cast<std::uint64_t>(n));
     const BroadcastResult bc =
         run_broadcast(g, tree, static_cast<std::uint64_t>(target), id_bits,
-                      options.congest);
+                      setup_congest);
     result.target = static_cast<NodeId>(bc.value);
     result.dissemination_metrics += bc.metrics;
   }
   result.total += result.dissemination_metrics;
 
+  // P3/P4 run on the possibly-faulty config; the reliable wrapper widens
+  // the bit budget by its constant factor so strict enforcement still
+  // meters a meaningful bound (see reliable_token.hpp, "Bit budget").
+  CongestConfig data_congest = options.congest;
+  if (options.reliable_transport) {
+    RWBC_REQUIRE(options.reliable_bandwidth_factor >= 1,
+                 "reliable_bandwidth_factor must be >= 1");
+    data_congest.bandwidth_log_multiplier *=
+        options.reliable_bandwidth_factor;
+    data_congest.bit_floor *= options.reliable_bandwidth_factor;
+  }
+  // Termination backstop when faults can break exact death counting: a
+  // generous multiple of the fault-free round bounds (Lemma 2: O(Kn + l)
+  // for P3; n + 2 for P4), so it never fires on a healthy run.
+  const std::uint64_t counting_deadline =
+      faulty ? (options.fault_deadline_rounds > 0
+                    ? options.fault_deadline_rounds
+                    : 10 * (result.params.walks_per_source *
+                                static_cast<std::uint64_t>(n) +
+                            result.params.cutoff) +
+                          100)
+             : 0;
+  const std::uint64_t computing_deadline =
+      faulty ? (options.fault_deadline_rounds > 0
+                    ? options.fault_deadline_rounds
+                    : 20 * static_cast<std::uint64_t>(n) + 200)
+             : 0;
+
   // P3: Algorithm 1 — the counting phase.
   {
-    Network net(g, options.congest);
+    Network net(g, data_congest);
     net.set_all_nodes([&](NodeId v) {
       CountingNodeConfig config;
       config.target = result.target;
@@ -96,6 +130,10 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       config.tree_children = tree.children[static_cast<std::size_t>(v)];
       config.walks_per_edge_per_round = options.walks_per_edge_per_round;
       config.length_policy = options.length_policy;
+      config.fault_tolerant = faulty;
+      config.deadline_rounds = counting_deadline;
+      config.reliable_transport = options.reliable_transport;
+      config.reliable_link = options.reliable_link;
       if (wg != nullptr) {
         const auto weights = wg->neighbor_weights(v);
         config.neighbor_weights.assign(weights.begin(), weights.end());
@@ -106,16 +144,22 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
     result.total += result.counting_metrics;
 
     // P4: Algorithm 2 — the computing phase, fed with P3's counts.
-    Network compute_net(g, options.congest);
+    Network compute_net(g, data_congest);
     compute_net.set_all_nodes([&](NodeId v) {
       const auto& counter = static_cast<const CountingNode&>(net.node(v));
-      RWBC_ASSERT(counter.finished(), "counting phase did not finish");
+      // A crashed node never sees the DONE broadcast; its partial counts
+      // still feed P4 (it may crash again there — rounds are phase-local).
+      RWBC_ASSERT(faulty || counter.finished(),
+                  "counting phase did not finish");
       ComputeNodeConfig config;
       config.visits = counter.visits();
       config.walks_per_source = result.params.walks_per_source;
       config.cutoff = result.params.cutoff;
       config.compute_score = options.compute_scores;
       config.counts_per_message = options.counts_per_message;
+      config.reliable_transport = options.reliable_transport;
+      config.reliable_link = options.reliable_link;
+      config.deadline_rounds = computing_deadline;
       if (wg != nullptr) {
         config.strength = static_cast<std::uint64_t>(wg->strength(v));
         config.strength_bits = bits_for(
@@ -137,7 +181,8 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       for (NodeId v = 0; v < n; ++v) {
         const auto& compute =
             static_cast<const ComputeNode&>(compute_net.node(v));
-        RWBC_ASSERT(compute.finished(), "computing phase did not finish");
+        RWBC_ASSERT(faulty || compute.finished(),
+                    "computing phase did not finish");
         result.betweenness[static_cast<std::size_t>(v)] =
             compute.betweenness();
         for (std::size_t s = 0; s < nn; ++s) {

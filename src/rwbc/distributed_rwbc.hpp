@@ -61,7 +61,35 @@ struct DistributedRwbcOptions {
   /// congest.num_threads — the deterministic parallel round scheduler,
   /// applied to every phase P0-P4; results are bit-identical across
   /// thread counts).
+  ///
+  /// congest.faults configures deterministic fault injection.  The plan is
+  /// applied to the DATA phases P3 (counting) and P4 (computing) only; the
+  /// setup phases P0-P2 run fault-free (the paper's algorithms start from
+  /// an established spanning tree — faulting the scaffolding would study
+  /// the setup protocols, not Algorithms 1 and 2).  Fault rounds are
+  /// phase-local, so e.g. a crash at round 50 fires in both P3 and P4.
+  /// When a plan is active the counting/compute programs run in
+  /// fault-tolerant mode (relaxed exact-count invariants plus a
+  /// deadline-round termination backstop, see fault_deadline_rounds).
   CongestConfig congest;
+
+  /// Self-healing transport for P3/P4: wraps walk tokens and count frames
+  /// in the ack/retransmission layer of rwbc/reliable_token.hpp, so pure
+  /// message-loss/duplication schedules cost retransmission rounds instead
+  /// of estimator bias.  Off = the unreliable baseline (the E15 ablation).
+  bool reliable_transport = false;
+  /// Transport tuning when reliable_transport is on.
+  ReliableLinkConfig reliable_link;
+  /// The reliable wrapper's constant-factor bandwidth overhead (headers,
+  /// acks, retransmissions sharing a round with new frames).  P3/P4 widen
+  /// their per-edge budget by this factor so strict-mode enforcement still
+  /// meters a meaningful O(log n) bound.
+  std::uint64_t reliable_bandwidth_factor = 4;
+  /// Termination backstop for faulty runs (phase-local round at which every
+  /// node force-finishes).  0 = derive one from (n, K, l) automatically
+  /// when a fault plan is active; ignored on fault-free runs, where exact
+  /// termination detection needs no backstop.
+  std::uint64_t fault_deadline_rounds = 0;
 };
 
 /// Outputs of a distributed RWBC run.

@@ -44,7 +44,11 @@ struct DistributedSpbcOptions {
   /// If true, scores are divided by (n-1)(n-2) (Brandes' normalisation).
   bool normalized = true;
   /// congest.num_threads parallelises both phases' rounds
-  /// deterministically (bit-identical to serial).
+  /// deterministically (bit-identical to serial).  congest.faults applies
+  /// to both phases; the BFS/accumulation waves are not fault-tolerant, so
+  /// a lossy plan can deadlock the dependency-counting accumulation
+  /// (bounded by congest.max_rounds) — fault ablations belong to the RWBC
+  /// pipeline.
   CongestConfig congest;
 };
 

@@ -1,0 +1,214 @@
+#include "rwbc/reliable_token.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+namespace {
+
+// Max sequence numbers one ACK frame can carry (4-bit count field).
+constexpr std::size_t kMaxAcksPerFrame = 15;
+
+// Re-packs `bits` bits of an LSB-first byte buffer into the writer.
+void append_bits(BitWriter& writer, const std::vector<std::uint8_t>& bytes,
+                 int bits) {
+  int written = 0;
+  for (std::size_t i = 0; written < bits; ++i) {
+    const int chunk = std::min(8, bits - written);
+    const std::uint64_t value = bytes[i] & ((1u << chunk) - 1u);
+    writer.write(value, chunk);
+    written += chunk;
+  }
+}
+
+}  // namespace
+
+ReliableLink::ReliableLink(ReliableLinkConfig config, std::size_t degree)
+    : config_(config) {
+  RWBC_REQUIRE(config_.seq_bits >= 2 && config_.seq_bits <= 32,
+               "ReliableLink seq_bits out of range");
+  RWBC_REQUIRE(config_.ack_timeout >= 2,
+               "ReliableLink ack_timeout must cover the 2-round round trip");
+  RWBC_REQUIRE(config_.window >= 1, "ReliableLink window must be >= 1");
+  // The receive window (half the sequence space) must dominate everything
+  // that can be legitimately in flight, else dedup misclassifies.
+  RWBC_REQUIRE((1ULL << (config_.seq_bits - 1)) > 2 * config_.window,
+               "ReliableLink sequence space too small for the window");
+  seq_mask_ = (config_.seq_bits == 64)
+                  ? ~0ULL
+                  : ((1ULL << config_.seq_bits) - 1ULL);
+  slots_.resize(degree);
+  dead_.assign(degree, false);
+}
+
+std::size_t ReliableLink::data_capacity(std::size_t slot) const {
+  if (dead_[slot]) return 0;
+  const std::size_t outstanding = slots_[slot].outgoing.size();
+  return outstanding >= config_.window ? 0 : config_.window - outstanding;
+}
+
+void ReliableLink::send(std::size_t slot, const BitWriter& inner,
+                        bool urgent) {
+  if (dead_[slot]) {
+    ReliableGiveUp give_up;
+    give_up.slot = slot;
+    give_up.bytes = inner.bytes();
+    give_up.bit_count = inner.bit_count();
+    give_ups_.push_back(std::move(give_up));
+    return;
+  }
+  SlotState& state = slots_[slot];
+  Frame frame;
+  frame.seq = state.next_seq++;
+  frame.bytes = inner.bytes();
+  frame.bit_count = inner.bit_count();
+  frame.urgent = urgent;
+  state.outgoing.push_back(std::move(frame));
+}
+
+void ReliableLink::on_message(std::size_t slot, const Message& msg,
+                              std::vector<ReliableDelivery>& deliveries) {
+  BitReader reader = msg.reader();
+  const std::uint64_t kind = reader.read(1);
+  SlotState& state = slots_[slot];
+  if (kind == 1) {  // ACK frame: retire matching in-flight DATA frames.
+    const auto count = static_cast<std::size_t>(reader.read(4));
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t wire_seq = reader.read(config_.seq_bits);
+      auto& outgoing = state.outgoing;
+      for (auto it = outgoing.begin(); it != outgoing.end(); ++it) {
+        if (it->sent && (it->seq & seq_mask_) == wire_seq) {
+          outgoing.erase(it);
+          break;
+        }
+      }
+    }
+    return;
+  }
+  // DATA frame.  Always re-ack (the previous ack may have been dropped).
+  const std::uint64_t wire_seq = reader.read(config_.seq_bits);
+  state.pending_acks.push_back(wire_seq);
+  // De-duplicate: map the wire seq to an absolute offset from recv_floor.
+  // Deltas in the upper half of the sequence space are frames from the
+  // past (already acked and consumed); deltas within the 64-bit bitmap are
+  // trackable; anything beyond is impossible with a sane window but is
+  // treated as a duplicate rather than corrupting the bitmap.
+  const std::uint64_t delta =
+      (wire_seq - (state.recv_floor & seq_mask_)) & seq_mask_;
+  const std::uint64_t half = 1ULL << (config_.seq_bits - 1);
+  if (delta >= half || delta >= 64) return;
+  const std::uint64_t bit = 1ULL << delta;
+  if (state.recv_bitmap & bit) return;  // duplicate (retransmit or dup fault)
+  state.recv_bitmap |= bit;
+  while (state.recv_bitmap & 1ULL) {
+    state.recv_bitmap >>= 1;
+    ++state.recv_floor;
+  }
+  ReliableDelivery delivery;
+  delivery.slot = slot;
+  delivery.bit_count = reader.remaining();
+  delivery.bytes.reserve((static_cast<std::size_t>(delivery.bit_count) + 7) / 8);
+  for (int left = delivery.bit_count; left > 0; left -= 8) {
+    const int chunk = std::min(8, left);
+    delivery.bytes.push_back(static_cast<std::uint8_t>(reader.read(chunk)));
+  }
+  deliveries.push_back(std::move(delivery));
+}
+
+void ReliableLink::flush(NodeContext& ctx) {
+  const std::uint64_t round = ctx.round();
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    SlotState& state = slots_[slot];
+    const NodeId neighbor = ctx.neighbors()[static_cast<std::size_t>(slot)];
+    // 1. One batched ACK frame per neighbour per round.
+    if (!state.pending_acks.empty()) {
+      const std::size_t count =
+          std::min(state.pending_acks.size(), kMaxAcksPerFrame);
+      BitWriter ack;
+      ack.write(1, 1);
+      ack.write(count, 4);
+      for (std::size_t i = 0; i < count; ++i) {
+        ack.write(state.pending_acks[i], config_.seq_bits);
+      }
+      state.pending_acks.erase(state.pending_acks.begin(),
+                               state.pending_acks.begin() +
+                                   static_cast<std::ptrdiff_t>(count));
+      ctx.send(neighbor, ack);
+    }
+    if (dead_[slot]) continue;
+    // 2. Timed-out retransmissions; exhausting retries kills the slot.
+    bool gave_up = false;
+    for (Frame& frame : state.outgoing) {
+      if (!frame.sent) continue;
+      if (round - frame.last_sent_round < config_.ack_timeout) continue;
+      if (frame.retries >= config_.max_retries) {
+        give_up_slot(slot);
+        gave_up = true;
+        break;
+      }
+      ++frame.retries;
+      ctx.note_retransmission();
+      wrap_and_send(ctx, slot, frame);
+      frame.last_sent_round = round;
+    }
+    if (gave_up) continue;
+    // 3. Admit queued frames: urgent frames always go; regular frames only
+    // while the in-flight count is under the window.
+    std::size_t in_flight = 0;
+    for (const Frame& frame : state.outgoing) {
+      if (frame.sent) ++in_flight;
+    }
+    for (Frame& frame : state.outgoing) {
+      if (frame.sent) continue;
+      if (!frame.urgent && in_flight >= config_.window) continue;
+      frame.sent = true;
+      frame.last_sent_round = round;
+      wrap_and_send(ctx, slot, frame);
+      ++in_flight;
+    }
+  }
+}
+
+std::vector<ReliableGiveUp> ReliableLink::take_give_ups() {
+  return std::exchange(give_ups_, {});
+}
+
+bool ReliableLink::idle() const {
+  for (const SlotState& state : slots_) {
+    if (!state.outgoing.empty()) return false;
+  }
+  return true;
+}
+
+void ReliableLink::shutdown() {
+  for (SlotState& state : slots_) {
+    state.outgoing.clear();
+  }
+}
+
+void ReliableLink::wrap_and_send(NodeContext& ctx, std::size_t slot,
+                                 Frame& frame) {
+  BitWriter data;
+  data.write(0, 1);
+  data.write(frame.seq & seq_mask_, config_.seq_bits);
+  append_bits(data, frame.bytes, frame.bit_count);
+  ctx.send(ctx.neighbors()[slot], data);
+}
+
+void ReliableLink::give_up_slot(std::size_t slot) {
+  dead_[slot] = true;
+  SlotState& state = slots_[slot];
+  for (Frame& frame : state.outgoing) {
+    ReliableGiveUp give_up;
+    give_up.slot = slot;
+    give_up.bytes = std::move(frame.bytes);
+    give_up.bit_count = frame.bit_count;
+    give_ups_.push_back(std::move(give_up));
+  }
+  state.outgoing.clear();
+}
+
+}  // namespace rwbc

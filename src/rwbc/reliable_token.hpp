@@ -1,0 +1,152 @@
+// A per-node ack/timeout/retransmission wrapper for CONGEST messages — the
+// transport half of the self-healing walk protocols.
+//
+// The paper's walk tokens are the SOLE carrier of Algorithm 1's state: a
+// single lost token silently biases every downstream betweenness estimate
+// (see DESIGN.md, "Fault model and self-healing walks").  ReliableLink
+// restores exactly-once delivery over the lossy simulator of
+// congest/faults.hpp with the classic sliding-window recipe:
+//
+//   - every DATA frame carries a per-neighbour sequence number;
+//   - the receiver acks each frame (acks batch into one frame per
+//     neighbour per round) and de-duplicates via a seq window, so
+//     retransmissions and dup_prob faults deliver at most once;
+//   - the sender retransmits unacked frames after ack_timeout rounds, up
+//     to max_retries times, then GIVES the frame back to the caller and
+//     marks the neighbour suspected-dead (crash-stop links never ack) —
+//     the caller re-routes walk tokens around the dead neighbour, which is
+//     the "self-healing" in the protocol's name.
+//
+// Wire format (all on top of the caller's inner payload, so the CONGEST
+// budget meters the true overhead):
+//   DATA: [0:1][seq:seq_bits][inner payload...]
+//   ACK:  [1:1][count:4][seq:seq_bits]*count        (never retransmitted)
+//
+// Bit budget: with window W unacked frames per neighbour, one round can
+// carry at most W data frames (new + retransmitted combined — retransmits
+// occupy window slots) plus one ack frame per direction: a constant-factor
+// bandwidth overhead, still O(log n) bits per edge per round.  Pipelines
+// that enable the layer widen their budget by a constant
+// (DistributedRwbcOptions::reliable_bandwidth_factor) to keep strict-mode
+// enforcement meaningful.
+//
+// Determinism: the link draws no randomness at all — every decision is a
+// function of round numbers and (deterministically faulted) arrivals — so
+// the serial-vs-parallel bit-identity of the simulator is preserved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitcodec.hpp"
+#include "congest/node.hpp"
+
+namespace rwbc {
+
+/// Tuning knobs for a ReliableLink.
+struct ReliableLinkConfig {
+  int seq_bits = 8;  ///< per-neighbour sequence space (window must be <<)
+  /// Rounds without an ack before a frame is retransmitted.  Must exceed
+  /// the 2-round send->ack round trip.
+  std::uint64_t ack_timeout = 4;
+  /// Retransmissions per frame before giving up and declaring the
+  /// neighbour dead (ack_timeout * max_retries rounds of silence).
+  std::uint64_t max_retries = 8;
+  /// Max unacked DATA frames per neighbour (window-throttled callers query
+  /// data_capacity() before committing a walk to the link).
+  std::size_t window = 2;
+};
+
+/// An outgoing payload the link gave up on (neighbour suspected dead).
+/// The inner payload is returned verbatim so the caller can re-route it.
+struct ReliableGiveUp {
+  std::size_t slot = 0;  ///< neighbour slot the frame was addressed to
+  std::vector<std::uint8_t> bytes;
+  int bit_count = 0;
+};
+
+/// An inner payload delivered exactly once to the caller.
+struct ReliableDelivery {
+  std::size_t slot = 0;  ///< neighbour slot the frame arrived from
+  std::vector<std::uint8_t> bytes;
+  int bit_count = 0;
+};
+
+/// The sliding-window transport for one node; `slot` indexes the node's
+/// sorted neighbour list.  Per round, call on_message() for each inbox
+/// message, then flush() exactly once after queuing sends.
+class ReliableLink {
+ public:
+  ReliableLink(ReliableLinkConfig config, std::size_t degree);
+
+  /// Free window slots for new DATA frames toward `slot` (0 if dead).
+  std::size_t data_capacity(std::size_t slot) const;
+
+  /// Queues an inner payload for `slot`; sent at the next flush().
+  /// Regular frames respect the window (callers should check
+  /// data_capacity first; overflow is still queued, just deferred).
+  /// Urgent frames (control traffic: sweeps, DONE) bypass the window.
+  /// Payloads for a dead slot become immediate give-ups.
+  void send(std::size_t slot, const BitWriter& inner, bool urgent = false);
+
+  /// Parses one wrapped inbox message: acks update the in-flight table,
+  /// DATA frames are deduplicated and appended to `deliveries` at most
+  /// once, and an ack for them is scheduled for the next flush().
+  void on_message(std::size_t slot, const Message& msg,
+                  std::vector<ReliableDelivery>& deliveries);
+
+  /// Sends this round's traffic through `ctx`: pending acks, timed-out
+  /// retransmissions (metered via ctx.note_retransmission()), and queued
+  /// new frames up to the window.  Frames out of retries become give-ups
+  /// and mark their slot dead.
+  void flush(NodeContext& ctx);
+
+  /// Drains the give-ups accumulated since the last call.
+  std::vector<ReliableGiveUp> take_give_ups();
+
+  /// True once `slot` exhausted a frame's retries (suspected crash-stop).
+  bool slot_dead(std::size_t slot) const { return dead_[slot]; }
+
+  /// True when nothing is outstanding: no queued or unacked DATA frames.
+  /// (Pending acks don't count; a node may halt with acks owed — the
+  /// peer's retransmission will wake it and re-trigger the ack.)
+  bool idle() const;
+
+  /// Abandons all outgoing state (queued + in-flight, no give-ups
+  /// recorded) while keeping receive/ack state, so a node that terminates
+  /// via deadline still acks stragglers instead of forcing peers through
+  /// their full retry budgets.
+  void shutdown();
+
+ private:
+  struct Frame {
+    std::uint64_t seq = 0;  ///< absolute (wire seq = seq mod 2^seq_bits)
+    std::vector<std::uint8_t> bytes;  ///< inner payload
+    int bit_count = 0;
+    std::uint64_t last_sent_round = 0;
+    std::uint64_t retries = 0;
+    bool sent = false;  ///< queued frames become in-flight on first send
+    bool urgent = false;
+  };
+
+  struct SlotState {
+    std::vector<Frame> outgoing;  ///< queued + in-flight, seq order
+    std::uint64_t next_seq = 0;
+    // Receive side: all seqs < recv_floor received; bitmap covers
+    // [recv_floor, recv_floor + 64).
+    std::uint64_t recv_floor = 0;
+    std::uint64_t recv_bitmap = 0;
+    std::vector<std::uint64_t> pending_acks;  ///< wire seqs to ack
+  };
+
+  void wrap_and_send(NodeContext& ctx, std::size_t slot, Frame& frame);
+  void give_up_slot(std::size_t slot);
+
+  ReliableLinkConfig config_;
+  std::uint64_t seq_mask_ = 0;
+  std::vector<SlotState> slots_;
+  std::vector<bool> dead_;
+  std::vector<ReliableGiveUp> give_ups_;
+};
+
+}  // namespace rwbc

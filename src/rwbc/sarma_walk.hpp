@@ -41,7 +41,10 @@ struct SarmaWalkOptions {
   /// Coupon tokens an edge may carry per direction per round in Phase 1.
   std::size_t coupons_per_edge_per_round = 3;
   /// congest.num_threads parallelises every phase's rounds
-  /// deterministically (bit-identical to serial).
+  /// deterministically (bit-identical to serial).  congest.faults applies
+  /// to every phase; the coupon/stitch protocols are not fault-tolerant, so
+  /// a lossy plan can stall Phase 2's token hand-off (bounded by
+  /// congest.max_rounds) — fault ablations belong to the RWBC pipeline.
   CongestConfig congest;
 };
 

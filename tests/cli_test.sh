@@ -1,0 +1,88 @@
+#!/bin/sh
+# Black-box tests for rwbc_cli's flag handling: invalid flags must exit
+# non-zero with a single-line `error: ...` message (no backtrace, no abort),
+# and the fault/reliability flags must run end to end.
+#
+# Usage: cli_test.sh <path-to-rwbc_cli>
+set -u
+
+CLI=${1:?usage: cli_test.sh <path-to-rwbc_cli>}
+TMPDIR=$(mktemp -d)
+trap 'rm -rf "$TMPDIR"' EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# expect_error <description> <expected-substring> -- <args...>
+# The command must exit non-zero and print exactly one stderr line that
+# starts with "error: " and contains the expected substring.
+expect_error() {
+  desc=$1
+  want=$2
+  shift 3
+  stderr_file="$TMPDIR/stderr"
+  if "$CLI" "$@" >/dev/null 2>"$stderr_file"; then
+    fail "$desc: expected non-zero exit"
+    return
+  fi
+  lines=$(wc -l <"$stderr_file")
+  if [ "$lines" -ne 1 ]; then
+    fail "$desc: expected one error line, got $lines"
+    return
+  fi
+  case "$(cat "$stderr_file")" in
+    "error: "*"$want"*) ;;
+    *) fail "$desc: stderr was '$(cat "$stderr_file")', want '*$want*'" ;;
+  esac
+}
+
+expect_ok() {
+  desc=$1
+  shift
+  if ! "$CLI" "$@" >"$TMPDIR/stdout" 2>"$TMPDIR/stderr"; then
+    fail "$desc: expected exit 0, stderr: $(cat "$TMPDIR/stderr")"
+  fi
+}
+
+GRAPH="$TMPDIR/graph.edges"
+expect_ok "generate a test graph" generate er 14 3 "$GRAPH"
+[ -s "$GRAPH" ] || fail "generate wrote no graph file"
+
+# Invalid flag values: one-line errors, non-zero exit.
+expect_error "drop-prob above 1" "--drop-prob" -- \
+  --drop-prob 1.5 distributed "$GRAPH"
+expect_error "negative drop-prob" "--drop-prob" -- \
+  --drop-prob -0.1 distributed "$GRAPH"
+expect_error "non-numeric dup-prob" "--dup-prob" -- \
+  --dup-prob banana distributed "$GRAPH"
+expect_error "malformed crash spec" "--crash" -- \
+  --crash bogus distributed "$GRAPH"
+expect_error "crash without round" "--crash" -- \
+  --crash 3@ distributed "$GRAPH"
+expect_error "flag missing its value" "requires a value" -- \
+  distributed "$GRAPH" --drop-prob
+expect_error "unknown flag" "unknown flag" -- \
+  --frobnicate distributed "$GRAPH"
+expect_error "unknown family" "unknown family" -- \
+  generate nosuch 10 1
+expect_error "crash node out of range" "crash" -- \
+  --crash 99@5 distributed "$GRAPH" 4 10 3
+
+# Fault flags run end to end (small K/l keep this fast).
+expect_ok "fault injection baseline" \
+  --drop-prob 0.03 --dup-prob 0.01 --fault-seed 7 \
+  distributed "$GRAPH" 4 10 3
+expect_ok "self-healing transport" \
+  --drop-prob 0.03 --reliable distributed "$GRAPH" 4 10 3
+expect_ok "crash-stop schedule" \
+  --crash 5@40 --reliable distributed "$GRAPH" 4 10 3
+grep -q "rounds = " "$TMPDIR/stdout" || fail "distributed printed no metrics"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES CLI test(s) failed" >&2
+  exit 1
+fi
+echo "all CLI tests passed"

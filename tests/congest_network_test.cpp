@@ -4,12 +4,28 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "congest/network.hpp"
 #include "graph/generators.hpp"
 
 namespace rwbc {
 namespace {
+
+// Negative-path contract: the simulator's precondition failures surface as
+// rwbc::Error with a stable, actionable message — not as a crash or a
+// generic exception.  Asserting the message substring pins which check
+// fired (EXPECT_THROW alone would pass if a different guard tripped first).
+template <typename Fn>
+void expect_error_contains(Fn&& fn, const std::string& want) {
+  try {
+    fn();
+    FAIL() << "expected rwbc::Error containing '" << want << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(want), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
 
 // Sends one fixed-width token to every neighbour in round 0, records what it
 // receives in round 1, then halts.
@@ -80,7 +96,8 @@ TEST(Network, StrictModeRejectsBudgetViolation) {
   config.enforce_bandwidth = true;
   Network net(g, config);
   net.set_all_nodes([](NodeId) { return std::make_unique<FloodNode>(); });
-  EXPECT_THROW(net.run(), Error);
+  expect_error_contains([&] { net.run(); },
+                        "CONGEST bandwidth budget exceeded");
 }
 
 TEST(Network, IdealModeOnlyMetersViolations) {
@@ -110,7 +127,7 @@ TEST(Network, SendToNonNeighborThrows) {
   CongestConfig config;
   Network net(g, config);
   net.set_all_nodes([](NodeId) { return std::make_unique<BadNode>(); });
-  EXPECT_THROW(net.run(), Error);
+  expect_error_contains([&] { net.run(); }, "send target is not a neighbor");
 }
 
 // Node 0 sends a wake-up to node 1 in round 2; node 1 halts immediately in
@@ -250,7 +267,8 @@ TEST(Network, RunTwiceThrows) {
   Network net(g, config);
   net.set_all_nodes([](NodeId) { return std::make_unique<PingNode>(4); });
   net.run();
-  EXPECT_THROW(net.run(), Error);
+  expect_error_contains([&] { net.run(); },
+                        "Network::run may only be called once");
 }
 
 TEST(Network, MissingProgramThrows) {
@@ -258,7 +276,61 @@ TEST(Network, MissingProgramThrows) {
   CongestConfig config;
   Network net(g, config);
   net.set_node(0, std::make_unique<PingNode>(4));
-  EXPECT_THROW(net.run(), Error);
+  expect_error_contains([&] { net.run(); },
+                        "every node needs a program before run()");
+}
+
+// RunMetrics::operator+= is the pipeline's accounting rule: counters
+// (rounds, totals, cut traffic, fault tallies) ADD across phases, while
+// the per-edge-round peaks take the MAX — a pipeline's peak is its worst
+// single round, not a sum.  Pinned field by field so a new counter that
+// forgets to pick a side shows up here.
+TEST(RunMetricsAccumulate, CountersAddAndPeaksTakeMax) {
+  RunMetrics a;
+  a.rounds = 10;
+  a.total_messages = 100;
+  a.total_bits = 1000;
+  a.max_bits_per_edge_round = 64;
+  a.max_messages_per_edge_round = 3;
+  a.cut_bits = 40;
+  a.cut_messages = 4;
+  a.dropped_messages = 7;
+  a.duplicated_messages = 2;
+  a.crashed_nodes = 1;
+  a.retransmissions = 9;
+  RunMetrics b;
+  b.rounds = 5;
+  b.total_messages = 50;
+  b.total_bits = 500;
+  b.max_bits_per_edge_round = 32;  // smaller peak: must NOT accumulate
+  b.max_messages_per_edge_round = 8;  // larger peak: must win
+  b.cut_bits = 10;
+  b.cut_messages = 1;
+  b.dropped_messages = 3;
+  b.duplicated_messages = 5;
+  b.crashed_nodes = 2;
+  b.retransmissions = 11;
+
+  RunMetrics sum = a;
+  sum += b;
+  EXPECT_EQ(sum.rounds, 15u);
+  EXPECT_EQ(sum.total_messages, 150u);
+  EXPECT_EQ(sum.total_bits, 1500u);
+  EXPECT_EQ(sum.max_bits_per_edge_round, 64u);
+  EXPECT_EQ(sum.max_messages_per_edge_round, 8u);
+  EXPECT_EQ(sum.cut_bits, 50u);
+  EXPECT_EQ(sum.cut_messages, 5u);
+  EXPECT_EQ(sum.dropped_messages, 10u);
+  EXPECT_EQ(sum.duplicated_messages, 7u);
+  EXPECT_EQ(sum.crashed_nodes, 3u);
+  EXPECT_EQ(sum.retransmissions, 20u);
+
+  // Max semantics hold in the other accumulation order too.
+  RunMetrics rev = b;
+  rev += a;
+  EXPECT_EQ(rev.max_bits_per_edge_round, 64u);
+  EXPECT_EQ(rev.max_messages_per_edge_round, 8u);
+  EXPECT_EQ(rev.rounds, sum.rounds);
 }
 
 }  // namespace

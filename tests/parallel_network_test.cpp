@@ -62,6 +62,10 @@ void expect_metrics_identical(const RunMetrics& golden, const RunMetrics& got,
       << label;
   EXPECT_EQ(golden.cut_bits, got.cut_bits) << label;
   EXPECT_EQ(golden.cut_messages, got.cut_messages) << label;
+  EXPECT_EQ(golden.dropped_messages, got.dropped_messages) << label;
+  EXPECT_EQ(golden.duplicated_messages, got.duplicated_messages) << label;
+  EXPECT_EQ(golden.crashed_nodes, got.crashed_nodes) << label;
+  EXPECT_EQ(golden.retransmissions, got.retransmissions) << label;
 }
 
 void expect_snapshots_identical(const std::vector<RoundSnapshot>& golden,
@@ -73,6 +77,14 @@ void expect_snapshots_identical(const std::vector<RoundSnapshot>& golden,
     EXPECT_EQ(golden[r].messages, got[r].messages) << label << " r=" << r;
     EXPECT_EQ(golden[r].bits, got[r].bits) << label << " r=" << r;
     EXPECT_EQ(golden[r].awake_nodes, got[r].awake_nodes)
+        << label << " r=" << r;
+    EXPECT_EQ(golden[r].dropped_messages, got[r].dropped_messages)
+        << label << " r=" << r;
+    EXPECT_EQ(golden[r].duplicated_messages, got[r].duplicated_messages)
+        << label << " r=" << r;
+    EXPECT_EQ(golden[r].crashed_nodes, got[r].crashed_nodes)
+        << label << " r=" << r;
+    EXPECT_EQ(golden[r].retransmissions, got[r].retransmissions)
         << label << " r=" << r;
   }
 }
@@ -163,6 +175,45 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(suite_info.param) &
                             0xffffffffULL);
     });
+
+// Fault injection must not break the serial-vs-parallel contract: every
+// fault draw happens on the plan's dedicated RNG stream at the serial
+// delivery merge point, so a faulty run — Bernoulli drops and duplications,
+// a crash-stop mid-counting, and the self-healing transport retransmitting
+// through all of it — reproduces bit-identically at every thread count:
+// outputs, every metrics field (including the fault tallies), and the full
+// snapshot stream.  This test also runs under RWBC_SANITIZE=thread in CI,
+// putting the fault engine and reliability layer themselves under TSan.
+PipelineRun run_faulty_rwbc(const Graph& g, int threads) {
+  PipelineRun run;
+  DistributedRwbcOptions options;
+  options.congest.seed = 9;
+  options.congest.num_threads = threads;
+  options.congest.faults.seed = 77;
+  options.congest.faults.drop_prob = 0.03;
+  options.congest.faults.dup_prob = 0.01;
+  options.congest.faults.crashes.push_back(CrashEvent{5, 40});
+  options.reliable_transport = true;
+  options.congest.round_observer = [&run](const RoundSnapshot& s) {
+    run.snapshots.push_back(s);
+  };
+  run.result = distributed_rwbc(g, options);
+  return run;
+}
+
+TEST(ParallelFaultEquivalence, FaultyPipelineIsBitIdentical) {
+  Rng rng(9 ^ 0x9e3779b97f4a7c15ULL);
+  const Graph g = make_erdos_renyi(14, 0.3, rng);
+  const PipelineRun golden = run_faulty_rwbc(g, 0);
+  EXPECT_GT(golden.result.total.dropped_messages, 0u);
+  EXPECT_GT(golden.result.total.retransmissions, 0u);
+  EXPECT_GE(golden.result.total.crashed_nodes, 1u);
+  for (int threads : kThreadCounts) {
+    const PipelineRun got = run_faulty_rwbc(g, threads);
+    expect_runs_identical(golden, got,
+                          "faulty threads=" + std::to_string(threads));
+  }
+}
 
 // The sibling protocols share the simulator, so their equivalence is one
 // cheap test each: identical outputs and total metrics across thread counts.

@@ -16,6 +16,7 @@
 //
 // Graph files use the `n m` + `u v` edge-list format (see graph/io.hpp);
 // "-" reads from stdin.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -44,10 +45,16 @@ using namespace rwbc;
 // Results are bit-identical across settings; only wall-clock changes.
 int g_threads = 0;
 
+// Deterministic fault injection for the `distributed`/`compare` pipelines,
+// set by the global --drop-prob/--dup-prob/--crash/--fault-seed flags;
+// --reliable turns on the self-healing transport.
+FaultPlan g_faults;
+bool g_reliable = false;
+
 [[noreturn]] void usage() {
   std::cerr
       << "usage:\n"
-         "  rwbc_cli [--threads N] <command> ...\n"
+         "  rwbc_cli [flags] <command> ...\n"
          "  rwbc_cli generate <family> <n> <seed> [out.edges]\n"
          "  rwbc_cli exact <graph.edges> [--dot out.dot]\n"
          "  rwbc_cli distributed <graph.edges> [K] [l] [seed]\n"
@@ -56,9 +63,41 @@ int g_threads = 0;
          "  rwbc_cli spbc <graph.edges> [seed]\n"
          "families: path cycle star grid tree complete barbell er ba ws "
          "fig1\n"
-         "--threads N runs the simulator's rounds on N threads (0 = serial,\n"
-         "-1 = one per hardware thread); output is identical either way.\n";
+         "flags:\n"
+         "  --threads N      simulator threads (0 = serial, -1 = one per\n"
+         "                   hardware thread); output is identical either way\n"
+         "  --drop-prob P    drop each message with probability P in [0,1]\n"
+         "  --dup-prob P     duplicate surviving messages with prob. P\n"
+         "  --crash V@R      crash-stop node V at round R (repeatable)\n"
+         "  --fault-seed S   dedicated RNG seed for the fault schedule\n"
+         "  --reliable       self-healing ack/retransmit transport\n"
+         "fault flags apply to the distributed/compare data phases only.\n";
   std::exit(2);
+}
+
+double parse_probability(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(value >= 0.0 && value <= 1.0)) {
+    throw Error(std::string(flag) + " expects a probability in [0,1], got '" +
+                text + "'");
+  }
+  return value;
+}
+
+CrashEvent parse_crash(const char* text) {
+  const std::string spec(text);
+  const std::size_t at = spec.find('@');
+  char* end = nullptr;
+  CrashEvent crash;
+  if (at != std::string::npos) {
+    crash.node = static_cast<NodeId>(
+        std::strtol(spec.c_str(), &end, 10));
+    const bool node_ok = end == spec.c_str() + at && crash.node >= 0;
+    crash.round = std::strtoull(spec.c_str() + at + 1, &end, 10);
+    if (node_ok && *end == '\0' && at + 1 < spec.size()) return crash;
+  }
+  throw Error(std::string("--crash expects NODE@ROUND, got '") + text + "'");
 }
 
 Graph load(const std::string& path) {
@@ -137,6 +176,8 @@ DistributedRwbcResult run_distributed(const Graph& g, int argc, char** argv) {
   // Users often pass big K; widen the budget floor accordingly.
   options.congest.bit_floor = 128;
   options.congest.num_threads = g_threads;
+  options.congest.faults = g_faults;
+  options.reliable_transport = g_reliable;
   return distributed_rwbc(g, options);
 }
 
@@ -152,6 +193,13 @@ int cmd_distributed(int argc, char** argv) {
             << ", messages = " << result.total.total_messages
             << ", peak bits/edge/round = "
             << result.total.max_bits_per_edge_round << "\n";
+  if (g_faults.any() || g_reliable) {
+    std::cout << "faults: dropped = " << result.total.dropped_messages
+              << ", duplicated = " << result.total.duplicated_messages
+              << ", crashed = " << result.total.crashed_nodes
+              << ", retransmissions = " << result.total.retransmissions
+              << "\n";
+  }
   return 0;
 }
 
@@ -222,30 +270,56 @@ int cmd_measures(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --threads flag before dispatching on the subcommand.
-  std::vector<char*> args(argv, argv + argc);
-  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
-    if (std::string(args[i]) == "--threads") {
-      g_threads = std::atoi(args[i + 1]);
+  try {
+    // Strip the global flags before dispatching on the subcommand.  Flag
+    // errors throw rwbc::Error, so a bad value exits with one line on
+    // stderr, never a backtrace.
+    std::vector<char*> args(argv, argv + argc);
+    std::size_t i = 1;
+    while (i < args.size()) {
+      const std::string flag(args[i]);
+      const bool takes_value = flag == "--threads" || flag == "--drop-prob" ||
+                               flag == "--dup-prob" || flag == "--crash" ||
+                               flag == "--fault-seed";
+      if (takes_value && i + 1 >= args.size()) {
+        throw Error(flag + " requires a value");
+      }
+      if (flag == "--threads") {
+        g_threads = std::atoi(args[i + 1]);
+      } else if (flag == "--drop-prob") {
+        g_faults.drop_prob = parse_probability("--drop-prob", args[i + 1]);
+      } else if (flag == "--dup-prob") {
+        g_faults.dup_prob = parse_probability("--dup-prob", args[i + 1]);
+      } else if (flag == "--crash") {
+        g_faults.crashes.push_back(parse_crash(args[i + 1]));
+      } else if (flag == "--fault-seed") {
+        g_faults.seed = std::strtoull(args[i + 1], nullptr, 10);
+      } else if (flag == "--reliable") {
+        g_reliable = true;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      } else if (flag.rfind("--", 0) == 0 && flag != "--dot") {
+        throw Error("unknown flag: " + flag);
+      } else {
+        ++i;
+        continue;
+      }
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      break;
     }
-  }
-  argc = static_cast<int>(args.size());
-  argv = args.data();
-  if (argc < 2) usage();
-  const std::string command = argv[1];
-  try {
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+    if (argc < 2) usage();
+    const std::string command = argv[1];
     if (command == "generate") return cmd_generate(argc, argv);
     if (command == "exact") return cmd_exact(argc, argv);
     if (command == "distributed") return cmd_distributed(argc, argv);
     if (command == "compare") return cmd_compare(argc, argv);
     if (command == "measures") return cmd_measures(argc, argv);
     if (command == "spbc") return cmd_spbc(argc, argv);
+    usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  usage();
 }
