@@ -6,6 +6,7 @@
 // `std::runtime_error` so callers can catch either granularly or wholesale.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -22,6 +23,31 @@ class Error : public std::runtime_error {
 class InternalError : public std::runtime_error {
  public:
   explicit InternalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when external input (an edge-list file, a CLI argument) fails to
+/// parse.  Carries the 1-based line number when one is known so tools can
+/// point the user at the offending line; line() is 0 when not applicable.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what, std::size_t line = 0)
+      : Error(line == 0 ? what : "line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_ = 0;
+};
+
+/// Thrown when a checkpoint file is missing, truncated, corrupted (checksum
+/// mismatch), from an unsupported format version, or incompatible with the
+/// run being resumed.  Distinct from Error so recovery code (RunSupervisor)
+/// can fall back to an older snapshot on exactly these failures while still
+/// propagating genuine usage errors.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

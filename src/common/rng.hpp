@@ -9,6 +9,8 @@
 // high-quality, and trivially splittable, which std::mt19937 is not.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -88,6 +90,16 @@ class Rng {
 
   /// Bernoulli trial with success probability p.
   bool next_bool(double p) { return next_double() < p; }
+
+  /// The raw 256-bit generator state, for checkpointing.  Restoring via
+  /// set_state() resumes the stream exactly where state() captured it.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,184 @@
+#include "congest/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace rwbc {
+
+namespace {
+
+// "RWBCCKP" + format-family byte.  Distinct from any text format so a
+// truncated edge list handed to --resume by mistake is rejected on byte 0.
+constexpr std::array<std::uint8_t, 8> kMagic = {'R', 'W', 'B', 'C',
+                                               'C', 'K', 'P', 1};
+constexpr std::size_t kHeaderBytes =
+    kMagic.size() + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+    sizeof(std::uint32_t);
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void CheckpointWriter::u32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void CheckpointWriter::u64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void CheckpointWriter::f64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  u64(bits);
+}
+
+void CheckpointWriter::blob(std::span<const std::uint8_t> bytes) {
+  u64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void CheckpointWriter::str(const std::string& text) {
+  u64(text.size());
+  buffer_.insert(buffer_.end(), text.begin(), text.end());
+}
+
+void CheckpointReader::need(std::size_t bytes) const {
+  if (payload_.size() - cursor_ < bytes) {
+    throw CheckpointError("checkpoint payload truncated: need " +
+                          std::to_string(bytes) + " byte(s) at offset " +
+                          std::to_string(cursor_) + ", have " +
+                          std::to_string(payload_.size() - cursor_));
+  }
+}
+
+std::uint8_t CheckpointReader::u8() {
+  need(1);
+  return payload_[cursor_++];
+}
+
+std::uint32_t CheckpointReader::u32() {
+  need(4);
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(payload_[cursor_++]) << shift;
+  }
+  return value;
+}
+
+std::uint64_t CheckpointReader::u64() {
+  need(8);
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<std::uint64_t>(payload_[cursor_++]) << shift;
+  }
+  return value;
+}
+
+double CheckpointReader::f64() {
+  const std::uint64_t bits = u64();
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+bool CheckpointReader::boolean() {
+  const std::uint8_t byte = u8();
+  if (byte > 1) {
+    throw CheckpointError("checkpoint payload corrupt: boolean byte " +
+                          std::to_string(byte));
+  }
+  return byte == 1;
+}
+
+std::vector<std::uint8_t> CheckpointReader::blob() {
+  const std::uint64_t size = u64();
+  need(size);
+  std::vector<std::uint8_t> bytes(payload_.begin() + cursor_,
+                                  payload_.begin() + cursor_ + size);
+  cursor_ += size;
+  return bytes;
+}
+
+std::string CheckpointReader::str() {
+  const std::uint64_t size = u64();
+  need(size);
+  std::string text(payload_.begin() + cursor_,
+                   payload_.begin() + cursor_ + size);
+  cursor_ += size;
+  return text;
+}
+
+std::vector<std::uint8_t> seal_checkpoint(const CheckpointWriter& payload) {
+  const std::vector<std::uint8_t>& body = payload.buffer();
+  CheckpointWriter header;
+  for (std::uint8_t byte : kMagic) header.u8(byte);
+  header.u32(kCheckpointVersion);
+  header.u64(body.size());
+  header.u32(crc32_ieee(body));
+  std::vector<std::uint8_t> sealed = header.buffer();
+  sealed.insert(sealed.end(), body.begin(), body.end());
+  return sealed;
+}
+
+CheckpointReader open_checkpoint(std::span<const std::uint8_t> sealed,
+                                 const std::string& context) {
+  if (sealed.size() < kHeaderBytes) {
+    throw CheckpointError(context + ": truncated header (" +
+                          std::to_string(sealed.size()) + " byte(s), need " +
+                          std::to_string(kHeaderBytes) + ")");
+  }
+  for (std::size_t i = 0; i < kMagic.size(); ++i) {
+    if (sealed[i] != kMagic[i]) {
+      throw CheckpointError(context + ": bad magic (not an RWBC checkpoint)");
+    }
+  }
+  CheckpointReader header(std::vector<std::uint8_t>(
+      sealed.begin() + kMagic.size(), sealed.begin() + kHeaderBytes));
+  const std::uint32_t version = header.u32();
+  if (version != kCheckpointVersion) {
+    throw CheckpointError(context + ": unsupported version " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint64_t payload_len = header.u64();
+  const std::uint32_t stored_crc = header.u32();
+  if (sealed.size() - kHeaderBytes != payload_len) {
+    throw CheckpointError(
+        context + ": truncated payload (" +
+        std::to_string(sealed.size() - kHeaderBytes) + " byte(s), header says " +
+        std::to_string(payload_len) + ")");
+  }
+  std::vector<std::uint8_t> body(sealed.begin() + kHeaderBytes, sealed.end());
+  const std::uint32_t actual_crc = crc32_ieee(body);
+  if (actual_crc != stored_crc) {
+    throw CheckpointError(context + ": checksum mismatch (corrupted payload)");
+  }
+  return CheckpointReader(std::move(body));
+}
+
+}  // namespace rwbc

@@ -1,0 +1,100 @@
+// Versioned, checksummed binary checkpoints for the CONGEST simulator.
+//
+// A long RWBC run (O(n log n) rounds, paper Section V-VI) that dies at 90%
+// loses everything: walk tokens are the sole carrier of Algorithm 1's state
+// and live spread across every node's held pool, the in-flight mailboxes,
+// and the reliability layer's retransmission windows.  A checkpoint captures
+// ALL of that — per-node program state, per-node RNG streams, undelivered
+// messages, the fault injector's dedicated RNG and crash bookkeeping, and
+// the accumulated RunMetrics — so a resumed run replays the remaining
+// rounds BIT-IDENTICALLY to an uninterrupted one, at any thread count
+// (snapshots are taken in the serial driver section, where state is already
+// in canonical node-id order; see DESIGN.md §7).
+//
+// Wire format (all little-endian):
+//
+//   envelope  :=  magic[8]="RWBCCKP\1"  version:u32  payload_len:u64
+//                 crc32:u32  payload[payload_len]
+//   payload   :=  caller sections (CheckpointWriter primitives)
+//
+// The CRC32 (IEEE 802.3 polynomial) covers the payload only, so a truncated
+// file fails the length check and a bit-flipped one fails the checksum —
+// both surface as rwbc::CheckpointError, never as garbage state.  Format
+// changes bump kCheckpointVersion; readers reject every other version
+// outright (a checkpoint is a process-lifetime artifact, not an archive
+// format — no cross-version migration is attempted).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+/// Current checkpoint format version; bump on any layout change.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// CRC32 (IEEE, reflected, init/final 0xffffffff) of `data`.
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data);
+
+/// Append-only little-endian byte buffer for checkpoint payloads.
+class CheckpointWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(value); }
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+  /// Doubles travel as their IEEE-754 bit pattern — bit-identical restore.
+  void f64(double value);
+  void boolean(bool value) { u8(value ? 1 : 0); }
+  /// Length-prefixed byte blob.
+  void blob(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed UTF-8 string.
+  void str(const std::string& text);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Sequential reader over a checkpoint payload.  Every primitive throws
+/// rwbc::CheckpointError on overrun, so a truncated payload can never be
+/// silently mis-parsed into plausible state.
+class CheckpointReader {
+ public:
+  /// Reads over a payload the reader takes ownership of.
+  explicit CheckpointReader(std::vector<std::uint8_t> payload)
+      : payload_(std::move(payload)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean();
+  std::vector<std::uint8_t> blob();
+  std::string str();
+
+  std::size_t remaining() const { return payload_.size() - cursor_; }
+
+ private:
+  void need(std::size_t bytes) const;
+
+  std::vector<std::uint8_t> payload_;
+  std::size_t cursor_ = 0;
+};
+
+/// Wraps a payload in the magic/version/length/CRC envelope.
+std::vector<std::uint8_t> seal_checkpoint(const CheckpointWriter& payload);
+
+/// Verifies the envelope (magic, version, length, CRC) and returns a reader
+/// over the payload; throws rwbc::CheckpointError naming the defect
+/// (`context` prefixes the message, e.g. the file path).
+CheckpointReader open_checkpoint(std::span<const std::uint8_t> sealed,
+                                 const std::string& context = "checkpoint");
+
+}  // namespace rwbc

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 
 namespace rwbc {
 
@@ -69,6 +70,25 @@ bool FaultInjector::link_down(NodeId u, NodeId v, std::uint64_t round) const {
     }
   }
   return false;
+}
+
+void FaultInjector::save_state(CheckpointWriter& out) const {
+  for (std::uint64_t word : rng_.state()) out.u64(word);
+  out.u64(crash_reported_.size());
+  for (bool reported : crash_reported_) out.boolean(reported);
+}
+
+void FaultInjector::load_state(CheckpointReader& in) {
+  std::array<std::uint64_t, 4> state{};
+  for (auto& word : state) word = in.u64();
+  rng_.set_state(state);
+  const std::uint64_t count = in.u64();
+  if (count != crash_reported_.size()) {
+    throw CheckpointError("fault injector crash table size mismatch");
+  }
+  for (std::size_t v = 0; v < crash_reported_.size(); ++v) {
+    crash_reported_[v] = in.boolean();
+  }
 }
 
 std::uint64_t FaultInjector::activate_crashes(std::uint64_t round) {

@@ -33,6 +33,9 @@
 
 namespace rwbc {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// A crash-stop failure: the node executes rounds < `round` and nothing
 /// afterwards — it never runs on_round again, sends nothing, and every
 /// message addressed to it from round `round` on is dropped.  `round` 0
@@ -106,6 +109,12 @@ class FaultInjector {
   std::uint64_t activate_crashes(std::uint64_t round);
 
   bool has_crashes() const { return has_crashes_; }
+
+  /// Checkpoints the mutable engine state: the dedicated RNG stream and the
+  /// crash-reported bits.  The schedule itself (crash_round_, plan) is
+  /// static and rebuilt from the FaultPlan on restore.
+  void save_state(CheckpointWriter& out) const;
+  void load_state(CheckpointReader& in);
 
  private:
   FaultPlan plan_;

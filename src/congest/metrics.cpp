@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "congest/checkpoint.hpp"
+
 namespace rwbc {
 
 RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
@@ -19,6 +21,36 @@ RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
   crashed_nodes += other.crashed_nodes;
   retransmissions += other.retransmissions;
   return *this;
+}
+
+void save_metrics(CheckpointWriter& out, const RunMetrics& metrics) {
+  out.u64(metrics.rounds);
+  out.u64(metrics.total_messages);
+  out.u64(metrics.total_bits);
+  out.u64(metrics.max_bits_per_edge_round);
+  out.u64(metrics.max_messages_per_edge_round);
+  out.u64(metrics.cut_bits);
+  out.u64(metrics.cut_messages);
+  out.u64(metrics.dropped_messages);
+  out.u64(metrics.duplicated_messages);
+  out.u64(metrics.crashed_nodes);
+  out.u64(metrics.retransmissions);
+}
+
+RunMetrics load_metrics(CheckpointReader& in) {
+  RunMetrics metrics;
+  metrics.rounds = in.u64();
+  metrics.total_messages = in.u64();
+  metrics.total_bits = in.u64();
+  metrics.max_bits_per_edge_round = in.u64();
+  metrics.max_messages_per_edge_round = in.u64();
+  metrics.cut_bits = in.u64();
+  metrics.cut_messages = in.u64();
+  metrics.dropped_messages = in.u64();
+  metrics.duplicated_messages = in.u64();
+  metrics.crashed_nodes = in.u64();
+  metrics.retransmissions = in.u64();
+  return metrics;
 }
 
 }  // namespace rwbc

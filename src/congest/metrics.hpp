@@ -46,4 +46,13 @@ struct RunMetrics {
   RunMetrics& operator+=(const RunMetrics& other);
 };
 
+class CheckpointWriter;
+class CheckpointReader;
+
+/// Checkpoint serialization: the 11 fields above, in declaration order,
+/// as u64s.  Used by Network snapshots and by pipeline prologues that
+/// carry completed-phase metrics across a resume.
+void save_metrics(CheckpointWriter& out, const RunMetrics& metrics);
+RunMetrics load_metrics(CheckpointReader& in);
+
 }  // namespace rwbc

@@ -6,6 +6,7 @@
 #include "common/bitcodec.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "congest/checkpoint.hpp"
 
 namespace rwbc {
 
@@ -185,8 +186,133 @@ const NodeProcess& Network::node(NodeId v) const {
   return *p;
 }
 
+void Network::save_checkpoint(CheckpointWriter& out) const {
+  if (config_.checkpoint_prologue) config_.checkpoint_prologue(out);
+  // Fingerprint: enough to reject a snapshot resumed against the wrong
+  // graph, seed, or pipeline phase before any state is touched.
+  out.str(config_.checkpoint_label);
+  out.u64(static_cast<std::uint64_t>(graph_.node_count()));
+  out.u64(graph_.edge_count());
+  out.u64(config_.seed);
+  out.u64(bit_budget_);
+  out.u64(round_);
+  save_metrics(out, metrics_);
+  // Fault-injector engine state (schedule is rebuilt from the plan).
+  out.boolean(injector_ != nullptr);
+  if (injector_ != nullptr) injector_->save_state(out);
+  // Per-node: RNG stream, halted flag, pending inbox, program state.  The
+  // program blob is length-prefixed so restore can verify each program
+  // consumes exactly what it saved.
+  for (std::size_t v = 0; v < contexts_.size(); ++v) {
+    const ContextImpl& ctx = *contexts_[v];
+    for (std::uint64_t word : ctx.rng_.state()) out.u64(word);
+    out.boolean(ctx.halted_);
+    out.u64(ctx.inbox_.size());
+    for (const Message& msg : ctx.inbox_) {
+      out.u32(static_cast<std::uint32_t>(msg.from));
+      out.u64(static_cast<std::uint64_t>(msg.bit_count));
+      out.blob(msg.payload);
+    }
+    CheckpointWriter program;
+    processes_[v]->save_state(program);
+    out.blob(program.buffer());
+  }
+}
+
+void Network::restore_checkpoint(CheckpointReader& in) {
+  RWBC_REQUIRE(!ran_, "restore_checkpoint must be called before run()");
+  const auto n = static_cast<std::size_t>(graph_.node_count());
+  for (std::size_t v = 0; v < n; ++v) {
+    RWBC_REQUIRE(processes_[v] != nullptr,
+                 "every node needs a program before restore_checkpoint()");
+  }
+  const std::string label = in.str();
+  if (label != config_.checkpoint_label) {
+    throw CheckpointError("checkpoint label mismatch: snapshot is '" + label +
+                          "', network expects '" + config_.checkpoint_label +
+                          "'");
+  }
+  const std::uint64_t nodes = in.u64();
+  const std::uint64_t edges = in.u64();
+  const std::uint64_t seed = in.u64();
+  const std::uint64_t budget = in.u64();
+  if (nodes != static_cast<std::uint64_t>(graph_.node_count()) ||
+      edges != graph_.edge_count()) {
+    throw CheckpointError("checkpoint graph mismatch: snapshot has " +
+                          std::to_string(nodes) + " nodes / " +
+                          std::to_string(edges) + " edges");
+  }
+  if (seed != config_.seed) {
+    throw CheckpointError("checkpoint seed mismatch: snapshot used seed " +
+                          std::to_string(seed));
+  }
+  if (budget != bit_budget_) {
+    throw CheckpointError("checkpoint bandwidth mismatch: snapshot budget " +
+                          std::to_string(budget) + " bits, network has " +
+                          std::to_string(bit_budget_));
+  }
+  // Rebuild derived state exactly as an uninterrupted run would have, then
+  // overwrite everything mutable with the snapshot.  on_start never sends
+  // (outboxes are cleared below regardless) and its RNG draws are undone by
+  // the stream restore.
+  for (std::size_t v = 0; v < n; ++v) {
+    processes_[v]->on_start(*contexts_[v]);
+  }
+  round_ = in.u64();
+  metrics_ = load_metrics(in);
+  const bool snapshot_has_injector = in.boolean();
+  if (snapshot_has_injector != (injector_ != nullptr)) {
+    throw CheckpointError(
+        "checkpoint fault-plan mismatch: snapshot and network disagree on "
+        "fault injection");
+  }
+  if (injector_ != nullptr) injector_->load_state(in);
+  for (std::size_t v = 0; v < n; ++v) {
+    ContextImpl& ctx = *contexts_[v];
+    std::array<std::uint64_t, 4> rng_state{};
+    for (auto& word : rng_state) word = in.u64();
+    ctx.rng_.set_state(rng_state);
+    ctx.halted_ = in.boolean();
+    ctx.inbox_.clear();
+    ctx.outbox_.clear();
+    const std::uint64_t inbox_size = in.u64();
+    for (std::uint64_t i = 0; i < inbox_size; ++i) {
+      Message msg;
+      msg.from = static_cast<NodeId>(in.u32());
+      msg.to = static_cast<NodeId>(v);
+      msg.bit_count = static_cast<std::size_t>(in.u64());
+      msg.payload = in.blob();
+      ctx.inbox_.push_back(std::move(msg));
+    }
+    CheckpointReader program(in.blob());
+    processes_[v]->load_state(program);
+    if (program.remaining() != 0) {
+      throw CheckpointError("node " + std::to_string(v) + " left " +
+                            std::to_string(program.remaining()) +
+                            " unread byte(s) in its checkpoint blob");
+    }
+  }
+  if (in.remaining() != 0) {
+    throw CheckpointError("trailing " + std::to_string(in.remaining()) +
+                          " byte(s) after checkpoint payload");
+  }
+  resumed_ = true;
+  last_checkpoint_round_ = round_;
+}
+
 RunMetrics Network::run() {
   RWBC_REQUIRE(!ran_, "Network::run may only be called once");
+  if (!resumed_ && !config_.resume_checkpoint.empty()) {
+    // Label-selective resume (see CongestConfig::resume_checkpoint): peek
+    // the snapshot's label with a throwaway reader; only a match restores.
+    CheckpointReader peek =
+        open_checkpoint(config_.resume_checkpoint, "resume checkpoint");
+    if (peek.str() == config_.checkpoint_label) {
+      CheckpointReader reader =
+          open_checkpoint(config_.resume_checkpoint, "resume checkpoint");
+      restore_checkpoint(reader);
+    }
+  }
   ran_ = true;
   const auto n = static_cast<std::size_t>(graph_.node_count());
   for (std::size_t v = 0; v < n; ++v) {
@@ -198,14 +324,32 @@ RunMetrics Network::run() {
           ? ThreadPool::hardware_threads()
           : static_cast<std::size_t>(config_.num_threads);
   if (pool_threads > 0) pool_ = std::make_unique<ThreadPool>(pool_threads);
-  for (std::size_t v = 0; v < n; ++v) {
-    processes_[v]->on_start(*contexts_[v]);
+  if (!resumed_) {
+    for (std::size_t v = 0; v < n; ++v) {
+      processes_[v]->on_start(*contexts_[v]);
+    }
+    round_ = 0;
   }
+  // When resumed, round_/metrics_/mailboxes/RNG streams were installed by
+  // restore_checkpoint(); the loop below continues exactly where the
+  // snapshot was taken.
 
-  round_ = 0;
   while (true) {
     RWBC_REQUIRE(round_ < config_.max_rounds,
                  "simulation exceeded the configured max_rounds");
+    // Snapshot point: top of the loop, before this round's crash
+    // activation.  Inboxes hold last round's deliveries in canonical
+    // (sender id, send order) order and outboxes are empty, so the
+    // serialized bytes are identical at every thread count.  Skipped at
+    // round 0 (nothing to save) and at the round we just resumed from.
+    if (config_.checkpoint_interval > 0 && config_.checkpoint_sink &&
+        round_ > 0 && round_ % config_.checkpoint_interval == 0 &&
+        round_ != last_checkpoint_round_) {
+      CheckpointWriter writer;
+      save_checkpoint(writer);
+      config_.checkpoint_sink(round_, seal_checkpoint(writer));
+      last_checkpoint_round_ = round_;
+    }
     // Crash-stop failures scheduled for this round take effect before
     // anything else: a crashed node is permanently halted, cannot be woken
     // by messages, and counts toward RunMetrics::crashed_nodes exactly

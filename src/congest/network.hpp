@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "congest/faults.hpp"
@@ -20,6 +21,8 @@
 namespace rwbc {
 
 class ThreadPool;
+class CheckpointWriter;
+class CheckpointReader;
 
 /// Per-round telemetry passed to a CongestConfig::round_observer.
 struct RoundSnapshot {
@@ -81,6 +84,45 @@ struct CongestConfig {
   /// node programs.  Round numbers are phase-local when a pipeline runs
   /// multiple Network instances.
   std::function<void(const RoundSnapshot&)> round_observer;
+
+  /// Snapshot cadence: every `checkpoint_interval` rounds (at the top of the
+  /// round loop, where per-node state is in canonical order at every thread
+  /// count) the network serializes itself and hands the sealed bytes to
+  /// `checkpoint_sink`.  0 disables checkpointing.  Requires every node
+  /// program to implement save_state/load_state.
+  std::uint64_t checkpoint_interval = 0;
+
+  /// Receives each sealed snapshot (envelope + payload) with the round it
+  /// captures.  Typically writes through a RunSupervisor.  Runs on the
+  /// driver thread; an exception aborts the run (it propagates out of
+  /// run()), which the kill-drill harness exploits deliberately.
+  std::function<void(std::uint64_t round,
+                     const std::vector<std::uint8_t>& sealed)>
+      checkpoint_sink;
+
+  /// Optional pipeline header written at the very start of each snapshot
+  /// payload, before the network section.  A multi-phase pipeline records
+  /// which phase the snapshot belongs to (plus phase-level parameters and
+  /// carried-over metrics) so resume can rebuild the right Network before
+  /// calling restore_checkpoint(); the resume path consumes this header
+  /// itself and hands the reader to the network positioned at its section.
+  std::function<void(CheckpointWriter&)> checkpoint_prologue;
+
+  /// Free-form label baked into the snapshot fingerprint (e.g. the pipeline
+  /// phase name); restore rejects a snapshot whose label differs.
+  std::string checkpoint_label;
+
+  /// Sealed snapshot bytes to resume from (as produced by checkpoint_sink).
+  /// Empty = start fresh.  The restore is LABEL-SELECTIVE: if the
+  /// snapshot's label differs from checkpoint_label the network ignores it
+  /// and starts fresh, which makes resume work through multi-phase
+  /// pipelines that thread one CongestConfig through several Network
+  /// instances — only the phase that wrote the snapshot restores; phases
+  /// before it re-run deterministically and phases after it start fresh,
+  /// reproducing the uninterrupted run exactly.  Only valid for snapshots
+  /// written without a checkpoint_prologue (a prologue-bearing pipeline
+  /// consumes its own header and calls restore_checkpoint directly).
+  std::vector<std::uint8_t> resume_checkpoint;
 };
 
 /// A synchronous message-passing network over a fixed graph.
@@ -116,6 +158,23 @@ class Network {
   /// The enforced per-edge-direction bit budget.
   std::uint64_t bit_budget() const { return bit_budget_; }
 
+  /// Serializes the complete simulator state — fingerprint, round, metrics,
+  /// fault-injector state, and per node: RNG stream, halted flag, pending
+  /// inbox, and the program's save_state() blob.  Writes the configured
+  /// checkpoint_prologue (if any) first.  Normally invoked internally on
+  /// the checkpoint_interval cadence; public for tests and benchmarks.
+  void save_checkpoint(CheckpointWriter& out) const;
+
+  /// Restores state saved by save_checkpoint().  Must be called after all
+  /// programs are installed and before run(); the reader must be positioned
+  /// past any pipeline prologue (the caller consumes its own header).  Runs
+  /// each program's on_start() to rebuild derived state, then overwrites
+  /// RNG streams, mailboxes, metrics, and program state with the snapshot.
+  /// run() then continues from the captured round, bit-identical to the
+  /// uninterrupted run.  Throws rwbc::CheckpointError on any fingerprint or
+  /// payload mismatch.
+  void restore_checkpoint(CheckpointReader& in);
+
  private:
   class ContextImpl;
 
@@ -131,6 +190,11 @@ class Network {
   std::vector<bool> cut_edge_flags_;  // indexed like graph_.edges()
   bool has_cut_ = false;
   bool ran_ = false;
+  bool resumed_ = false;
+  /// Round of the snapshot this run resumed from (or last one written);
+  /// suppresses an immediate re-checkpoint when the resume round itself
+  /// lies on the interval grid.
+  std::uint64_t last_checkpoint_round_ = 0;
   std::unique_ptr<FaultInjector> injector_;  // null when faults.any() false
   std::unique_ptr<ThreadPool> pool_;   // live only while run() executes
   std::vector<std::size_t> awake_;     // scratch: awake node ids, ascending

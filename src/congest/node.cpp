@@ -1,0 +1,20 @@
+#include "congest/node.hpp"
+
+#include <typeinfo>
+
+#include "common/error.hpp"
+#include "congest/checkpoint.hpp"
+
+namespace rwbc {
+
+void NodeProcess::save_state(CheckpointWriter&) const {
+  throw Error(std::string("node program ") + typeid(*this).name() +
+              " does not support checkpointing");
+}
+
+void NodeProcess::load_state(CheckpointReader&) {
+  throw Error(std::string("node program ") + typeid(*this).name() +
+              " does not support checkpointing");
+}
+
+}  // namespace rwbc

@@ -70,6 +70,9 @@ class NodeContext {
   virtual void note_retransmission() {}
 };
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// A node program.  Implementations must be deterministic given the
 /// NodeContext RNG (no other randomness, no global state).
 class NodeProcess {
@@ -81,6 +84,17 @@ class NodeProcess {
 
   /// Called every round the node is awake with the messages addressed to it.
   virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
+
+  /// Serializes all round-to-round mutable state into `out`.  Derived data
+  /// that on_start() reconstructs from the config need not be written.  The
+  /// default refuses, so pipelines that never implemented checkpointing
+  /// fail loudly at snapshot time rather than resuming from partial state.
+  virtual void save_state(CheckpointWriter& out) const;
+
+  /// Inverse of save_state().  The Network calls it after on_start(), so
+  /// implementations overwrite freshly-initialized state with the saved
+  /// values (including any state on_start() created, e.g. initial walks).
+  virtual void load_state(CheckpointReader& in);
 };
 
 }  // namespace rwbc

@@ -1,0 +1,123 @@
+#include "congest/supervisor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+namespace {
+
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".rwbc";
+
+std::string snapshot_name(std::uint64_t round) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%012llu%s", kPrefix,
+                static_cast<unsigned long long>(round), kSuffix);
+  return buf;
+}
+
+/// Parses the round out of a snapshot file name; nullopt for foreign files.
+std::optional<std::uint64_t> parse_round(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  const std::string prefix = kPrefix;
+  const std::string suffix = kSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  std::uint64_t round = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    round = round * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return round;
+}
+
+}  // namespace
+
+RunSupervisor::RunSupervisor(std::filesystem::path dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  RWBC_REQUIRE(keep_ >= 1, "snapshot rotation must keep at least one file");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  RWBC_REQUIRE(!ec, "cannot create checkpoint directory " + dir_.string() +
+                        ": " + ec.message());
+}
+
+std::vector<std::filesystem::path> RunSupervisor::snapshots() const {
+  std::vector<std::filesystem::path> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file() && parse_round(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::filesystem::path RunSupervisor::write_snapshot(
+    std::uint64_t round, const std::vector<std::uint8_t>& sealed) {
+  const std::filesystem::path final_path = dir_ / snapshot_name(round);
+  // Write-to-temp + rename keeps the rotation free of half-written files:
+  // a crash mid-write leaves only a .tmp that load_latest() never considers.
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    RWBC_REQUIRE(out.good(),
+                 "cannot open checkpoint file " + tmp_path.string());
+    out.write(reinterpret_cast<const char*>(sealed.data()),
+              static_cast<std::streamsize>(sealed.size()));
+    out.flush();
+    RWBC_REQUIRE(out.good(),
+                 "short write to checkpoint file " + tmp_path.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  RWBC_REQUIRE(!ec, "cannot rename checkpoint file " + tmp_path.string() +
+                        ": " + ec.message());
+
+  std::vector<std::filesystem::path> existing = snapshots();
+  while (existing.size() > keep_) {
+    std::filesystem::remove(existing.front(), ec);  // best-effort prune
+    existing.erase(existing.begin());
+  }
+  return final_path;
+}
+
+std::optional<LoadedSnapshot> RunSupervisor::load_latest() const {
+  std::vector<std::filesystem::path> paths = snapshots();
+  std::size_t skipped = 0;
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    std::ifstream in(*it, std::ios::binary);
+    if (!in.good()) {
+      ++skipped;
+      continue;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    try {
+      open_checkpoint(bytes, it->string());  // envelope verification only
+    } catch (const CheckpointError&) {
+      ++skipped;
+      continue;
+    }
+    LoadedSnapshot snapshot;
+    snapshot.path = *it;
+    snapshot.round = *parse_round(*it);
+    snapshot.sealed = std::move(bytes);
+    snapshot.skipped = skipped;
+    return snapshot;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rwbc

@@ -1,0 +1,58 @@
+// Crash-recovery supervision: durable snapshot rotation with graceful
+// degradation.
+//
+// RunSupervisor owns a checkpoint directory.  Writes are atomic
+// (tmp + rename), named by round so lexicographic order is chronological,
+// and pruned to a bounded rotation of the newest `keep` snapshots.  Loads
+// scan newest-first and *verify each candidate's envelope* (magic, version,
+// length, CRC32) before accepting it: a snapshot truncated by the very
+// crash we are recovering from — or corrupted on disk — is skipped, and the
+// previous good one is used instead.  Only when every candidate fails does
+// load fail.  This is the degradation ladder the recovery drill
+// (tests/recovery_drill.sh) exercises by corrupting the newest file.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/checkpoint.hpp"
+
+namespace rwbc {
+
+/// A snapshot successfully loaded and envelope-verified from disk.
+struct LoadedSnapshot {
+  std::filesystem::path path;
+  std::uint64_t round = 0;          ///< Round parsed from the file name.
+  std::vector<std::uint8_t> sealed; ///< Full file contents (envelope + payload).
+  std::size_t skipped = 0;          ///< Newer candidates rejected as corrupt.
+};
+
+class RunSupervisor {
+ public:
+  /// Creates `dir` (and parents) if needed.  `keep` bounds the rotation;
+  /// must be >= 1.
+  RunSupervisor(std::filesystem::path dir, std::size_t keep = 3);
+
+  /// Atomically writes `sealed` as the snapshot for `round` and prunes the
+  /// rotation.  Returns the final path.
+  std::filesystem::path write_snapshot(std::uint64_t round,
+                                       const std::vector<std::uint8_t>& sealed);
+
+  /// Returns the newest snapshot whose envelope verifies, skipping corrupt
+  /// or truncated candidates; nullopt when no usable snapshot exists.
+  std::optional<LoadedSnapshot> load_latest() const;
+
+  /// Snapshot paths currently on disk, oldest first.
+  std::vector<std::filesystem::path> snapshots() const;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::size_t keep_;
+};
+
+}  // namespace rwbc

@@ -1,15 +1,21 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace rwbc {
 
 namespace {
-bool next_data_line(std::istream& in, std::string& line) {
+/// Reads the next non-blank, non-comment line, tracking the 1-based line
+/// number so parse errors point at the offending input line.
+bool next_data_line(std::istream& in, std::string& line, std::size_t& lineno) {
   while (std::getline(in, line)) {
+    ++lineno;
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;   // blank
     if (line[first] == '#') continue;           // comment
@@ -17,25 +23,90 @@ bool next_data_line(std::istream& in, std::string& line) {
   }
   return false;
 }
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Strict non-negative integer parse: the whole token must be digits (so
+/// "3x", "-1", "2.5", and "0x10" are all rejected, unlike `istream >>`,
+/// which accepts prefixes and negatives silently).  The length bound keeps
+/// the value far from the long long overflow edge.
+long long parse_count(const std::string& token, const char* what,
+                      std::size_t lineno) {
+  const bool digits =
+      !token.empty() && token.size() <= 18 &&
+      std::all_of(token.begin(), token.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      });
+  if (!digits) {
+    throw ParseError(std::string("edge list: ") + what +
+                         " must be a non-negative integer, got '" + token +
+                         "'",
+                     lineno);
+  }
+  return std::stoll(token);
+}
 }  // namespace
 
 Graph read_edge_list(std::istream& in) {
   std::string line;
-  RWBC_REQUIRE(next_data_line(in, line), "edge list: missing `n m` header");
-  std::istringstream header(line);
-  long long n = -1, m = -1;
-  header >> n >> m;
-  RWBC_REQUIRE(n >= 0 && m >= 0 && !header.fail(),
-               "edge list: malformed `n m` header");
+  std::size_t lineno = 0;
+  if (!next_data_line(in, line, lineno)) {
+    throw ParseError("edge list: missing `n m` header");
+  }
+  const auto header = tokenize(line);
+  if (header.size() != 2) {
+    throw ParseError("edge list: header must be exactly `n m`, got " +
+                         std::to_string(header.size()) + " token(s)",
+                     lineno);
+  }
+  const long long n = parse_count(header[0], "node count", lineno);
+  const long long m = parse_count(header[1], "edge count", lineno);
+  if (n > static_cast<long long>(std::numeric_limits<NodeId>::max())) {
+    throw ParseError("edge list: node count " + std::to_string(n) +
+                         " exceeds the supported maximum",
+                     lineno);
+  }
   GraphBuilder builder(static_cast<NodeId>(n));
   for (long long i = 0; i < m; ++i) {
-    RWBC_REQUIRE(next_data_line(in, line),
-                 "edge list: fewer edges than the header declared");
-    std::istringstream row(line);
-    long long u = -1, v = -1;
-    row >> u >> v;
-    RWBC_REQUIRE(!row.fail(), "edge list: malformed edge line");
+    if (!next_data_line(in, line, lineno)) {
+      throw ParseError("edge list: truncated — header declared " +
+                       std::to_string(m) + " edge(s) but only " +
+                       std::to_string(i) + " present");
+    }
+    const auto tokens = tokenize(line);
+    if (tokens.size() != 2) {
+      throw ParseError("edge list: edge line must be exactly `u v`, got " +
+                           std::to_string(tokens.size()) + " token(s)",
+                       lineno);
+    }
+    const long long u = parse_count(tokens[0], "edge endpoint", lineno);
+    const long long v = parse_count(tokens[1], "edge endpoint", lineno);
+    if (u >= n || v >= n) {
+      throw ParseError("edge list: endpoint out of range for n = " +
+                           std::to_string(n) + ": `" + line + "`",
+                       lineno);
+    }
+    if (u == v) {
+      throw ParseError(
+          "edge list: self-loop at node " + std::to_string(u) +
+              " (walks move to a neighbor; the graph must be simple)",
+          lineno);
+    }
+    if (builder.has_edge(static_cast<NodeId>(u), static_cast<NodeId>(v))) {
+      throw ParseError("edge list: duplicate edge `" + line + "`", lineno);
+    }
     builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  if (next_data_line(in, line, lineno)) {
+    throw ParseError("edge list: trailing data after the declared " +
+                         std::to_string(m) + " edge(s): `" + line + "`",
+                     lineno);
   }
   return builder.build();
 }
@@ -43,7 +114,11 @@ Graph read_edge_list(std::istream& in) {
 Graph load_edge_list(const std::string& path) {
   std::ifstream in(path);
   RWBC_REQUIRE(in.good(), "cannot open graph file: " + path);
-  return read_edge_list(in);
+  try {
+    return read_edge_list(in);
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {

@@ -13,10 +13,14 @@
 
 namespace rwbc {
 
-/// Parses a graph from a stream; throws rwbc::Error on malformed input.
+/// Parses a graph from a stream; throws rwbc::ParseError (with the 1-based
+/// input line number) on malformed input: bad or missing header, truncated
+/// edge lists, non-numeric tokens, out-of-range endpoints, self-loops,
+/// duplicate edges, and trailing data are all rejected.
 Graph read_edge_list(std::istream& in);
 
-/// Loads a graph from a file; throws rwbc::Error if unreadable/malformed.
+/// Loads a graph from a file; throws rwbc::Error if the file cannot be
+/// opened and rwbc::ParseError (prefixed with the path) if malformed.
 Graph load_edge_list(const std::string& path);
 
 /// Writes the `n m` header and all edges in canonical order.

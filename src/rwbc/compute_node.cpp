@@ -4,6 +4,7 @@
 
 #include "common/bitcodec.hpp"
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 
 namespace rwbc {
 
@@ -79,6 +80,83 @@ void ComputeNode::on_start(NodeContext& ctx) {
     if (config_.compute_score) {
       neighbor_raw_.assign(degree, std::vector<std::uint64_t>(n, 0));
     }
+  }
+}
+
+namespace {
+
+void write_u64_vector(CheckpointWriter& out,
+                      const std::vector<std::uint64_t>& values) {
+  out.u64(values.size());
+  for (std::uint64_t value : values) out.u64(value);
+}
+
+void read_u64_vector(CheckpointReader& in, std::vector<std::uint64_t>& values,
+                     const char* what) {
+  if (in.u64() != values.size()) {
+    throw CheckpointError(std::string("compute node ") + what +
+                          " size mismatch");
+  }
+  for (auto& value : values) value = in.u64();
+}
+
+void write_f64_vector(CheckpointWriter& out, const std::vector<double>& values) {
+  out.u64(values.size());
+  for (double value : values) out.f64(value);
+}
+
+void read_f64_vector(CheckpointReader& in, std::vector<double>& values,
+                     const char* what) {
+  if (in.u64() != values.size()) {
+    throw CheckpointError(std::string("compute node ") + what +
+                          " size mismatch");
+  }
+  for (auto& value : values) value = in.f64();
+}
+
+}  // namespace
+
+void ComputeNode::save_state(CheckpointWriter& out) const {
+  write_u64_vector(out, config_.visits);
+  write_f64_vector(out, scaled_visits_);
+  write_u64_vector(out, neighbor_strengths_);
+  out.u64(neighbor_scaled_.size());
+  for (const auto& row : neighbor_scaled_) write_f64_vector(out, row);
+  out.f64(betweenness_);
+  out.boolean(finished_);
+  out.boolean(link_ != nullptr);
+  if (link_) {
+    write_u64_vector(out, next_frame_);
+    write_u64_vector(out, frames_received_);
+    out.u64(neighbor_raw_.size());
+    for (const auto& row : neighbor_raw_) write_u64_vector(out, row);
+    link_->save_state(out);
+  }
+}
+
+void ComputeNode::load_state(CheckpointReader& in) {
+  read_u64_vector(in, config_.visits, "visit table");
+  read_f64_vector(in, scaled_visits_, "scaled visits");
+  read_u64_vector(in, neighbor_strengths_, "neighbor strengths");
+  if (in.u64() != neighbor_scaled_.size()) {
+    throw CheckpointError("compute node neighbor_scaled size mismatch");
+  }
+  for (auto& row : neighbor_scaled_) read_f64_vector(in, row, "scaled row");
+  betweenness_ = in.f64();
+  finished_ = in.boolean();
+  const bool has_link = in.boolean();
+  if (has_link != (link_ != nullptr)) {
+    throw CheckpointError(
+        "compute node reliable-transport mismatch with snapshot");
+  }
+  if (link_) {
+    read_u64_vector(in, next_frame_, "next_frame");
+    read_u64_vector(in, frames_received_, "frames_received");
+    if (in.u64() != neighbor_raw_.size()) {
+      throw CheckpointError("compute node neighbor_raw size mismatch");
+    }
+    for (auto& row : neighbor_raw_) read_u64_vector(in, row, "raw row");
+    link_->load_state(in);
   }
 }
 

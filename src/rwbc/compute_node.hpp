@@ -73,6 +73,12 @@ class ComputeNode final : public NodeProcess {
 
   void on_start(NodeContext& ctx) override;
   void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+  /// Serializes config_.visits too — the phase input lives in the config,
+  /// so a resume can install ComputeNodes with placeholder (all-zero)
+  /// visits and recover the real counts from the snapshot instead of
+  /// re-running the counting phase.
+  void save_state(CheckpointWriter& out) const override;
+  void load_state(CheckpointReader& in) override;
 
   /// After the run: this node's random-walk betweenness estimate
   /// (meaningful only when compute_score was set).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 
 namespace rwbc {
 
@@ -55,6 +56,59 @@ void CountingNode::on_start(NodeContext& ctx) {
     }
     visits_[static_cast<std::size_t>(ctx.id())] += config_.walks_per_source;
   }
+}
+
+void CountingNode::save_state(CheckpointWriter& out) const {
+  // Dynamic state only; wire_, is_root_, expected_total_deaths_,
+  // cumulative_weights_, and the link allocation are rebuilt by on_start
+  // (load_state then overwrites the link's transport state).
+  out.u64(visits_.size());
+  for (std::uint64_t count : visits_) out.u64(count);
+  out.u64(held_walks_.size());
+  for (const HeldWalk& held : held_walks_) {
+    out.u32(static_cast<std::uint32_t>(held.token.source));
+    out.u64(held.token.remaining);
+    out.i64(held.committed_slot);
+  }
+  out.u64(died_);
+  out.boolean(sweep_in_progress_);
+  out.boolean(sweep_request_pending_);
+  out.u64(sweep_reports_pending_);
+  out.u64(sweep_accumulator_);
+  out.boolean(done_pending_);
+  out.boolean(finished_);
+  out.boolean(link_ != nullptr);
+  if (link_) link_->save_state(out);
+}
+
+void CountingNode::load_state(CheckpointReader& in) {
+  const std::uint64_t visit_count = in.u64();
+  if (visit_count != visits_.size()) {
+    throw CheckpointError("counting node visit table size mismatch");
+  }
+  for (std::size_t s = 0; s < visits_.size(); ++s) visits_[s] = in.u64();
+  held_walks_.clear();
+  const std::uint64_t held = in.u64();
+  for (std::uint64_t i = 0; i < held; ++i) {
+    HeldWalk walk;
+    walk.token.source = static_cast<NodeId>(in.u32());
+    walk.token.remaining = in.u64();
+    walk.committed_slot = static_cast<int>(in.i64());
+    held_walks_.push_back(walk);
+  }
+  died_ = in.u64();
+  sweep_in_progress_ = in.boolean();
+  sweep_request_pending_ = in.boolean();
+  sweep_reports_pending_ = static_cast<std::size_t>(in.u64());
+  sweep_accumulator_ = in.u64();
+  done_pending_ = in.boolean();
+  finished_ = in.boolean();
+  const bool has_link = in.boolean();
+  if (has_link != (link_ != nullptr)) {
+    throw CheckpointError(
+        "counting node reliable-transport mismatch with snapshot");
+  }
+  if (link_) link_->load_state(in);
 }
 
 void CountingNode::record_kill() { ++died_; }

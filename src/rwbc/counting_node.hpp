@@ -87,6 +87,8 @@ class CountingNode final : public NodeProcess {
 
   void on_start(NodeContext& ctx) override;
   void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+  void save_state(CheckpointWriter& out) const override;
+  void load_state(CheckpointReader& in) override;
 
   /// After the run: visit counts xi_v^s indexed by source s.
   const std::vector<std::uint64_t>& visits() const { return visits_; }

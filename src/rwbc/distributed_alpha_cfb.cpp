@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 #include "graph/properties.hpp"
 #include "rwbc/compute_node.hpp"
 #include "rwbc/params.hpp"
@@ -56,6 +57,37 @@ class AlphaCountingNode final : public NodeProcess {
 
   const std::vector<std::uint64_t>& visits() const { return visits_; }
   std::uint64_t capped_walks() const { return capped_; }
+
+  void save_state(CheckpointWriter& out) const override {
+    out.u64(visits_.size());
+    for (std::uint64_t count : visits_) out.u64(count);
+    out.u64(held_walks_.size());
+    for (const HeldWalk& held : held_walks_) {
+      out.u32(static_cast<std::uint32_t>(held.token.source));
+      out.u64(held.token.remaining);
+      out.i64(held.committed_slot);
+    }
+    out.u64(died_);
+    out.u64(capped_);
+  }
+
+  void load_state(CheckpointReader& in) override {
+    if (in.u64() != visits_.size()) {
+      throw CheckpointError("alpha-CFB node visit table size mismatch");
+    }
+    for (auto& count : visits_) count = in.u64();
+    held_walks_.clear();
+    const std::uint64_t held = in.u64();
+    for (std::uint64_t i = 0; i < held; ++i) {
+      HeldWalk walk;
+      walk.token.source = static_cast<NodeId>(in.u32());
+      walk.token.remaining = in.u64();
+      walk.committed_slot = static_cast<int>(in.i64());
+      held_walks_.push_back(walk);
+    }
+    died_ = in.u64();
+    capped_ = in.u64();
+  }
 
  private:
   struct HeldWalk {
@@ -168,7 +200,9 @@ DistributedAlphaCfbResult distributed_alpha_cfb(
         std::ceil((std::log(total_walks) + 16.0) / -std::log(options.alpha)));
   }
 
-  Network net(g, options.congest);
+  CongestConfig counting_congest = options.congest;
+  counting_congest.checkpoint_label = "alpha-counting";
+  Network net(g, counting_congest);
   net.set_all_nodes([&](NodeId) {
     AlphaCountingNode::Config config;
     config.alpha = options.alpha;
@@ -180,7 +214,9 @@ DistributedAlphaCfbResult distributed_alpha_cfb(
   result.counting_metrics = net.run();
   result.total += result.counting_metrics;
 
-  Network compute_net(g, options.congest);
+  CongestConfig computing_congest = options.congest;
+  computing_congest.checkpoint_label = "alpha-computing";
+  Network compute_net(g, computing_congest);
   compute_net.set_all_nodes([&](NodeId v) {
     const auto& counter = static_cast<const AlphaCountingNode&>(net.node(v));
     ComputeNodeConfig config;

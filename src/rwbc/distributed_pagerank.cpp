@@ -4,6 +4,7 @@
 
 #include "common/bitcodec.hpp"
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 
 namespace rwbc {
 
@@ -57,6 +58,16 @@ class PagerankNode final : public NodeProcess {
 
   std::uint64_t endings() const { return endings_; }
 
+  void save_state(CheckpointWriter& out) const override {
+    out.u64(walks_);
+    out.u64(endings_);
+  }
+
+  void load_state(CheckpointReader& in) override {
+    walks_ = in.u64();
+    endings_ = in.u64();
+  }
+
  private:
   double reset_probability_;
   std::uint64_t walks_;
@@ -77,7 +88,9 @@ DistributedPagerankResult distributed_pagerank(
     RWBC_REQUIRE(g.degree(v) > 0, "pagerank needs minimum degree 1");
   }
 
-  Network net(g, options.congest);
+  CongestConfig congest = options.congest;
+  congest.checkpoint_label = "pagerank";
+  Network net(g, congest);
   net.set_all_nodes([&](NodeId) {
     return std::make_unique<PagerankNode>(options.reset_probability,
                                           options.walks_per_node);

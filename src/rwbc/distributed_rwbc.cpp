@@ -1,8 +1,12 @@
 #include "rwbc/distributed_rwbc.hpp"
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
+#include "congest/supervisor.hpp"
 #include "congest/protocols/bfs_tree.hpp"
 #include "congest/protocols/broadcast.hpp"
 #include "congest/protocols/convergecast.hpp"
@@ -32,10 +36,57 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
           : default_walks_per_source(n, options.walks_multiplier);
 
   // Fault policy: the plan targets the data phases P3/P4; the setup phases
-  // run fault-free (see DistributedRwbcOptions::congest).
+  // run fault-free (see DistributedRwbcOptions::congest).  Checkpointing
+  // likewise covers only P3/P4 — setup-phase nodes do not checkpoint and
+  // their phases are recomputed on resume.
   const bool faulty = options.congest.faults.any();
   CongestConfig setup_congest = options.congest;
   setup_congest.faults = FaultPlan{};
+  setup_congest.checkpoint_interval = 0;
+  setup_congest.checkpoint_sink = nullptr;
+  setup_congest.resume_checkpoint.clear();
+
+  // Checkpoint/resume plumbing (see DistributedRwbcOptions::Checkpointing).
+  const bool snapshotting =
+      !options.checkpoint.dir.empty() && options.checkpoint.interval > 0;
+  std::unique_ptr<RunSupervisor> supervisor;
+  if (!options.checkpoint.dir.empty()) {
+    supervisor = std::make_unique<RunSupervisor>(options.checkpoint.dir,
+                                                 options.checkpoint.keep);
+  }
+  int resume_phase = 0;  // 0 = fresh run, 3 = P3 snapshot, 4 = P4 snapshot
+  std::optional<CheckpointReader> resume_reader;
+  NodeId resume_leader = -1;
+  NodeId resume_target = -1;
+  std::uint64_t resume_walks = 0;
+  std::uint64_t resume_cutoff = 0;
+  RunMetrics resume_counting_metrics;
+  if (options.checkpoint.resume) {
+    RWBC_REQUIRE(supervisor != nullptr,
+                 "checkpoint.resume requires checkpoint.dir");
+    std::optional<LoadedSnapshot> snapshot = supervisor->load_latest();
+    if (!snapshot) {
+      throw CheckpointError("no usable checkpoint in " +
+                            options.checkpoint.dir);
+    }
+    resume_reader.emplace(
+        open_checkpoint(snapshot->sealed, snapshot->path.string()));
+    // Pipeline prologue: phase id, setup results, parameters, and (for a
+    // P4 snapshot) the completed counting phase's metrics.
+    const std::uint8_t phase = resume_reader->u8();
+    if (phase != 3 && phase != 4) {
+      throw CheckpointError("checkpoint names unknown pipeline phase " +
+                            std::to_string(phase));
+    }
+    resume_phase = phase;
+    resume_leader = static_cast<NodeId>(resume_reader->u32());
+    resume_target = static_cast<NodeId>(resume_reader->u32());
+    resume_walks = resume_reader->u64();
+    resume_cutoff = resume_reader->u64();
+    if (resume_phase == 4) {
+      resume_counting_metrics = load_metrics(*resume_reader);
+    }
+  }
 
   // P0: leader election (the node that will draw the absorbing target).
   if (options.run_leader_election) {
@@ -90,6 +141,18 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
   }
   result.total += result.dissemination_metrics;
 
+  // A snapshot written by a run with a different graph, seed, or parameter
+  // set would desynchronise silently; the recomputed setup exposes it.
+  if (resume_phase != 0 &&
+      (resume_leader != result.leader || resume_target != result.target ||
+       resume_walks !=
+           static_cast<std::uint64_t>(result.params.walks_per_source) ||
+       resume_cutoff != static_cast<std::uint64_t>(result.params.cutoff))) {
+    throw CheckpointError(
+        "checkpoint disagrees with this run's recomputed setup "
+        "(different graph, seed, or parameters?)");
+  }
+
   // P3/P4 run on the possibly-faulty config; the reliable wrapper widens
   // the bit budget by its constant factor so strict enforcement still
   // meters a meaningful bound (see reliable_token.hpp, "Bit budget").
@@ -118,41 +181,99 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
                     : 20 * static_cast<std::uint64_t>(n) + 200)
              : 0;
 
-  // P3: Algorithm 1 — the counting phase.
+  // The prologue written ahead of every P3/P4 snapshot; the resume path
+  // above consumes it to rebuild the right phase before the network's own
+  // restore runs.
+  const auto write_prologue = [&result](std::uint8_t phase,
+                                        CheckpointWriter& out) {
+    out.u8(phase);
+    out.u32(static_cast<std::uint32_t>(result.leader));
+    out.u32(static_cast<std::uint32_t>(result.target));
+    out.u64(static_cast<std::uint64_t>(result.params.walks_per_source));
+    out.u64(static_cast<std::uint64_t>(result.params.cutoff));
+  };
+
+  // P3: Algorithm 1 — the counting phase.  Skipped entirely when resuming
+  // from a P4 snapshot: its outputs (the visit counts) ride inside the
+  // snapshot's ComputeNode state, and its metrics inside the prologue.
   {
-    Network net(g, data_congest);
-    net.set_all_nodes([&](NodeId v) {
-      CountingNodeConfig config;
-      config.target = result.target;
-      config.walks_per_source = result.params.walks_per_source;
-      config.cutoff = result.params.cutoff;
-      config.tree_parent = tree.parent[static_cast<std::size_t>(v)];
-      config.tree_children = tree.children[static_cast<std::size_t>(v)];
-      config.walks_per_edge_per_round = options.walks_per_edge_per_round;
-      config.length_policy = options.length_policy;
-      config.fault_tolerant = faulty;
-      config.deadline_rounds = counting_deadline;
-      config.reliable_transport = options.reliable_transport;
-      config.reliable_link = options.reliable_link;
-      if (wg != nullptr) {
-        const auto weights = wg->neighbor_weights(v);
-        config.neighbor_weights.assign(weights.begin(), weights.end());
+    std::optional<Network> counting_net;
+    if (resume_phase == 4) {
+      result.counting_metrics = resume_counting_metrics;
+    } else {
+      CongestConfig counting_congest = data_congest;
+      counting_congest.checkpoint_label = "rwbc-counting";
+      if (snapshotting) {
+        counting_congest.checkpoint_interval = options.checkpoint.interval;
+        counting_congest.checkpoint_prologue = [&](CheckpointWriter& out) {
+          write_prologue(3, out);
+        };
+        counting_congest.checkpoint_sink =
+            [&](std::uint64_t round, const std::vector<std::uint8_t>& sealed) {
+              supervisor->write_snapshot(round, sealed);
+            };
       }
-      return std::make_unique<CountingNode>(std::move(config));
-    });
-    result.counting_metrics = net.run();
+      counting_net.emplace(g, counting_congest);
+      counting_net->set_all_nodes([&](NodeId v) {
+        CountingNodeConfig config;
+        config.target = result.target;
+        config.walks_per_source = result.params.walks_per_source;
+        config.cutoff = result.params.cutoff;
+        config.tree_parent = tree.parent[static_cast<std::size_t>(v)];
+        config.tree_children = tree.children[static_cast<std::size_t>(v)];
+        config.walks_per_edge_per_round = options.walks_per_edge_per_round;
+        config.length_policy = options.length_policy;
+        config.fault_tolerant = faulty;
+        config.deadline_rounds = counting_deadline;
+        config.reliable_transport = options.reliable_transport;
+        config.reliable_link = options.reliable_link;
+        if (wg != nullptr) {
+          const auto weights = wg->neighbor_weights(v);
+          config.neighbor_weights.assign(weights.begin(), weights.end());
+        }
+        return std::make_unique<CountingNode>(std::move(config));
+      });
+      if (resume_phase == 3) {
+        counting_net->restore_checkpoint(*resume_reader);
+      }
+      result.counting_metrics = counting_net->run();
+    }
     result.total += result.counting_metrics;
 
     // P4: Algorithm 2 — the computing phase, fed with P3's counts.
-    Network compute_net(g, data_congest);
+    CongestConfig computing_congest = data_congest;
+    computing_congest.checkpoint_label = "rwbc-computing";
+    if (snapshotting) {
+      // Offset P4 snapshot names by P3's length so they sort after every
+      // P3 snapshot (load_latest picks the lexicographically newest).
+      const std::uint64_t round_offset = result.counting_metrics.rounds;
+      computing_congest.checkpoint_interval = options.checkpoint.interval;
+      computing_congest.checkpoint_prologue = [&](CheckpointWriter& out) {
+        write_prologue(4, out);
+        save_metrics(out, result.counting_metrics);
+      };
+      computing_congest.checkpoint_sink =
+          [&, round_offset](std::uint64_t round,
+                            const std::vector<std::uint8_t>& sealed) {
+            supervisor->write_snapshot(round_offset + round, sealed);
+          };
+    }
+    Network compute_net(g, computing_congest);
     compute_net.set_all_nodes([&](NodeId v) {
-      const auto& counter = static_cast<const CountingNode&>(net.node(v));
-      // A crashed node never sees the DONE broadcast; its partial counts
-      // still feed P4 (it may crash again there — rounds are phase-local).
-      RWBC_ASSERT(faulty || counter.finished(),
-                  "counting phase did not finish");
       ComputeNodeConfig config;
-      config.visits = counter.visits();
+      if (resume_phase == 4) {
+        // Placeholder counts with the right shape; ComputeNode::load_state
+        // restores the real ones (config.visits is serialized state).
+        config.visits.assign(static_cast<std::size_t>(n), 0);
+      } else {
+        const auto& counter =
+            static_cast<const CountingNode&>(counting_net->node(v));
+        // A crashed node never sees the DONE broadcast; its partial counts
+        // still feed P4 (it may crash again there — rounds are phase-local).
+        RWBC_ASSERT(faulty || counter.finished(),
+                    "counting phase did not finish");
+        config.visits = counter.visits();
+      }
       config.walks_per_source = result.params.walks_per_source;
       config.cutoff = result.params.cutoff;
       config.compute_score = options.compute_scores;
@@ -171,6 +292,9 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       }
       return std::make_unique<ComputeNode>(std::move(config));
     });
+    if (resume_phase == 4) {
+      compute_net.restore_checkpoint(*resume_reader);
+    }
     result.computing_metrics = compute_net.run();
     result.total += result.computing_metrics;
 

@@ -90,6 +90,30 @@ struct DistributedRwbcOptions {
   /// when a fault plan is active; ignored on fault-free runs, where exact
   /// termination detection needs no backstop.
   std::uint64_t fault_deadline_rounds = 0;
+
+  /// Durable checkpoint/restore for the long data phases (P3 counting, P4
+  /// computing).  Setup phases P0-P2 are cheap and deterministic, so a
+  /// resumed run simply recomputes them and validates the snapshot against
+  /// the recomputed leader/target/parameters.  Snapshots are rotated by a
+  /// RunSupervisor in `dir`; a resumed run is bit-identical to the
+  /// uninterrupted one at every congest.num_threads setting.  See
+  /// DESIGN.md section 7 for the format and determinism contract.
+  struct Checkpointing {
+    /// Snapshot directory (created if missing).  Empty = no checkpointing.
+    std::string dir;
+    /// Phase-local rounds between snapshots.  0 writes no snapshots (a
+    /// non-empty dir with interval 0 still permits resume-only runs).
+    std::uint64_t interval = 0;
+    /// Rotation bound: snapshots kept on disk (>= 1, oldest pruned).
+    std::size_t keep = 3;
+    /// Resume from the newest usable snapshot in `dir` (corrupt or
+    /// truncated candidates are skipped, falling back to the previous
+    /// good one).  Throws rwbc::CheckpointError if no usable snapshot
+    /// exists or the snapshot disagrees with this run's recomputed setup
+    /// (different graph, seed, or parameters).
+    bool resume = false;
+  };
+  Checkpointing checkpoint;
 };
 
 /// Outputs of a distributed RWBC run.

@@ -6,6 +6,7 @@
 
 #include "common/bitcodec.hpp"
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 #include "graph/properties.hpp"
 
 namespace rwbc {
@@ -15,6 +16,12 @@ namespace {
 constexpr int kMantissaBits = 22;  // the (1 +/- eps) precision of [5]
 constexpr int kExponentBits = 8;
 constexpr int kFloatBits = kMantissaBits + kExponentBits;
+
+void check_size(std::uint64_t stored, std::size_t expected, const char* what) {
+  if (stored != expected) {
+    throw CheckpointError(std::string("spbc node ") + what + " size mismatch");
+  }
+}
 
 /// Phase A: all-sources BFS with path counts, as a self-stabilising
 /// dataflow — (dist, sigma) updates re-broadcast on improvement until the
@@ -90,6 +97,39 @@ class SpbcForwardNode final : public NodeProcess {
   }
   const std::vector<std::vector<double>>& neighbor_sigma() const {
     return neighbor_sigma_;
+  }
+
+  void save_state(CheckpointWriter& out) const override {
+    out.u64(dist_.size());
+    for (NodeId d : dist_) out.i64(d);
+    for (double s : sigma_) out.f64(s);
+    out.u64(neighbor_dist_.size());
+    for (std::size_t slot = 0; slot < neighbor_dist_.size(); ++slot) {
+      for (NodeId d : neighbor_dist_[slot]) out.i64(d);
+      for (double s : neighbor_sigma_[slot]) out.f64(s);
+      for (bool dirty : dirty_[slot]) out.boolean(dirty);
+      out.u64(pending_[slot].size());
+      for (std::size_t source : pending_[slot]) out.u64(source);
+    }
+  }
+
+  void load_state(CheckpointReader& in) override {
+    check_size(in.u64(), dist_.size(), "dist");
+    for (auto& d : dist_) d = static_cast<NodeId>(in.i64());
+    for (auto& s : sigma_) s = in.f64();
+    check_size(in.u64(), neighbor_dist_.size(), "neighbor table");
+    for (std::size_t slot = 0; slot < neighbor_dist_.size(); ++slot) {
+      for (auto& d : neighbor_dist_[slot]) d = static_cast<NodeId>(in.i64());
+      for (auto& s : neighbor_sigma_[slot]) s = in.f64();
+      for (std::size_t i = 0; i < dirty_[slot].size(); ++i) {
+        dirty_[slot][i] = in.boolean();
+      }
+      pending_[slot].clear();
+      const std::uint64_t queued = in.u64();
+      for (std::uint64_t i = 0; i < queued; ++i) {
+        pending_[slot].push_back(static_cast<std::size_t>(in.u64()));
+      }
+    }
   }
 
  private:
@@ -211,6 +251,54 @@ class SpbcBackwardNode final : public NodeProcess {
 
   const std::vector<double>& delta() const { return delta_; }
 
+  /// Serializes the config arrays too: the backward phase's inputs come
+  /// from the forward phase, so a resume-from-file can install nodes with
+  /// correctly-shaped placeholder configs and recover the real values here
+  /// instead of re-running the forward phase.
+  void save_state(CheckpointWriter& out) const override {
+    out.u64(config_.dist.size());
+    for (NodeId d : config_.dist) out.i64(d);
+    for (double s : config_.sigma) out.f64(s);
+    out.u64(config_.neighbor_dist.size());
+    for (std::size_t slot = 0; slot < config_.neighbor_dist.size(); ++slot) {
+      for (NodeId d : config_.neighbor_dist[slot]) out.i64(d);
+      for (double s : config_.neighbor_sigma[slot]) out.f64(s);
+    }
+    for (double d : delta_) out.f64(d);
+    for (std::size_t w : waiting_) out.u64(w);
+    for (const auto& queue : pending_) {
+      out.u64(queue.size());
+      for (const auto& [source, value] : queue) {
+        out.u64(source);
+        out.f64(value);
+      }
+    }
+  }
+
+  void load_state(CheckpointReader& in) override {
+    check_size(in.u64(), config_.dist.size(), "config dist");
+    for (auto& d : config_.dist) d = static_cast<NodeId>(in.i64());
+    for (auto& s : config_.sigma) s = in.f64();
+    check_size(in.u64(), config_.neighbor_dist.size(), "config neighbors");
+    for (std::size_t slot = 0; slot < config_.neighbor_dist.size(); ++slot) {
+      for (auto& d : config_.neighbor_dist[slot]) {
+        d = static_cast<NodeId>(in.i64());
+      }
+      for (auto& s : config_.neighbor_sigma[slot]) s = in.f64();
+    }
+    for (auto& d : delta_) d = in.f64();
+    for (auto& w : waiting_) w = static_cast<std::size_t>(in.u64());
+    for (auto& queue : pending_) {
+      queue.clear();
+      const std::uint64_t queued = in.u64();
+      for (std::uint64_t i = 0; i < queued; ++i) {
+        const auto source = static_cast<std::size_t>(in.u64());
+        const double value = in.f64();
+        queue.push_back({source, value});
+      }
+    }
+  }
+
  private:
   /// All successor contributions for `source` have arrived: forward
   /// sigma_pred / sigma_v * (1 + delta_v) to every predecessor.
@@ -243,7 +331,9 @@ DistributedSpbcResult distributed_spbc(const Graph& g,
   require_connected(g, "distributed SPBC");
 
   DistributedSpbcResult result;
-  Network forward(g, options.congest);
+  CongestConfig forward_congest = options.congest;
+  forward_congest.checkpoint_label = "spbc-forward";
+  Network forward(g, forward_congest);
   RWBC_REQUIRE(
       forward.bit_budget() >=
           static_cast<std::uint64_t>(
@@ -257,7 +347,9 @@ DistributedSpbcResult distributed_spbc(const Graph& g,
   result.forward_metrics = forward.run();
   result.total += result.forward_metrics;
 
-  Network backward(g, options.congest);
+  CongestConfig backward_congest = options.congest;
+  backward_congest.checkpoint_label = "spbc-backward";
+  Network backward(g, backward_congest);
   backward.set_all_nodes([&](NodeId v) {
     const auto& node = static_cast<const SpbcForwardNode&>(forward.node(v));
     SpbcBackwardNode::Config config;

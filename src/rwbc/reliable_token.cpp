@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 
 namespace rwbc {
 
@@ -186,6 +187,76 @@ bool ReliableLink::idle() const {
 void ReliableLink::shutdown() {
   for (SlotState& state : slots_) {
     state.outgoing.clear();
+  }
+}
+
+void ReliableLink::save_state(CheckpointWriter& out) const {
+  out.u64(slots_.size());
+  for (const SlotState& state : slots_) {
+    out.u64(state.outgoing.size());
+    for (const Frame& frame : state.outgoing) {
+      out.u64(frame.seq);
+      out.blob(frame.bytes);
+      out.i64(frame.bit_count);
+      out.u64(frame.last_sent_round);
+      out.u64(frame.retries);
+      out.boolean(frame.sent);
+      out.boolean(frame.urgent);
+    }
+    out.u64(state.next_seq);
+    out.u64(state.recv_floor);
+    out.u64(state.recv_bitmap);
+    out.u64(state.pending_acks.size());
+    for (std::uint64_t seq : state.pending_acks) out.u64(seq);
+  }
+  for (bool dead : dead_) out.boolean(dead);
+  out.u64(give_ups_.size());
+  for (const ReliableGiveUp& give_up : give_ups_) {
+    out.u64(give_up.slot);
+    out.blob(give_up.bytes);
+    out.i64(give_up.bit_count);
+  }
+}
+
+void ReliableLink::load_state(CheckpointReader& in) {
+  const std::uint64_t slot_count = in.u64();
+  if (slot_count != slots_.size()) {
+    throw CheckpointError("reliable link slot count mismatch");
+  }
+  for (SlotState& state : slots_) {
+    state.outgoing.clear();
+    const std::uint64_t frames = in.u64();
+    for (std::uint64_t i = 0; i < frames; ++i) {
+      Frame frame;
+      frame.seq = in.u64();
+      frame.bytes = in.blob();
+      frame.bit_count = static_cast<int>(in.i64());
+      frame.last_sent_round = in.u64();
+      frame.retries = in.u64();
+      frame.sent = in.boolean();
+      frame.urgent = in.boolean();
+      state.outgoing.push_back(std::move(frame));
+    }
+    state.next_seq = in.u64();
+    state.recv_floor = in.u64();
+    state.recv_bitmap = in.u64();
+    state.pending_acks.clear();
+    const std::uint64_t acks = in.u64();
+    for (std::uint64_t i = 0; i < acks; ++i) {
+      state.pending_acks.push_back(in.u64());
+    }
+  }
+  for (std::size_t slot = 0; slot < dead_.size(); ++slot) {
+    dead_[slot] = in.boolean();
+  }
+  give_ups_.clear();
+  const std::uint64_t give_ups = in.u64();
+  for (std::uint64_t i = 0; i < give_ups; ++i) {
+    ReliableGiveUp give_up;
+    give_up.slot = static_cast<std::size_t>(in.u64());
+    give_up.bytes = in.blob();
+    give_up.bit_count = static_cast<int>(in.i64());
+    give_ups_.push_back(std::move(give_up));
   }
 }
 

@@ -118,6 +118,13 @@ class ReliableLink {
   /// their full retry budgets.
   void shutdown();
 
+  /// Checkpoints all transport state: per-slot windows (queued + in-flight
+  /// frames with their retry clocks), receive floors/bitmaps, pending
+  /// acks, dead flags, and undrained give-ups.  The config itself is
+  /// static and recreated by the owning node program.
+  void save_state(CheckpointWriter& out) const;
+  void load_state(CheckpointReader& in);
+
  private:
   struct Frame {
     std::uint64_t seq = 0;  ///< absolute (wire seq = seq mod 2^seq_bits)

@@ -6,6 +6,7 @@
 
 #include "common/bitcodec.hpp"
 #include "common/error.hpp"
+#include "congest/checkpoint.hpp"
 #include "congest/protocols/bfs_tree.hpp"
 #include "graph/properties.hpp"
 
@@ -88,6 +89,65 @@ class SarmaWalkNode final : public NodeProcess {
   std::uint64_t stitches() const { return stitches_; }
   std::uint64_t direct_steps() const { return direct_steps_; }
   bool finished() const { return finished_; }
+
+  void save_state(CheckpointWriter& out) const override {
+    out.i64(phase_);
+    auto write_coupons = [&out](const std::vector<Coupon>& coupons) {
+      out.u64(coupons.size());
+      for (const Coupon& coupon : coupons) {
+        out.u32(static_cast<std::uint32_t>(coupon.owner));
+        out.u64(coupon.serial);
+        out.u64(coupon.remaining);
+      }
+    };
+    write_coupons(held_coupons_);
+    write_coupons(rested_coupons_);
+    out.u64(rested_here_);
+    out.boolean(sweep_in_progress_);
+    out.boolean(sweep_request_pending_);
+    out.u64(sweep_reports_pending_);
+    out.u64(sweep_accumulator_);
+    out.boolean(am_holder_);
+    out.boolean(handed_off_);
+    out.u64(walk_remaining_);
+    out.u64(next_serial_);
+    out.u64(stitches_);
+    out.u64(direct_steps_);
+    out.boolean(is_destination_);
+    out.boolean(done_pending_);
+    out.boolean(finished_);
+  }
+
+  void load_state(CheckpointReader& in) override {
+    phase_ = static_cast<int>(in.i64());
+    auto read_coupons = [&in](std::vector<Coupon>& coupons) {
+      coupons.clear();
+      const std::uint64_t count = in.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Coupon coupon;
+        coupon.owner = static_cast<NodeId>(in.u32());
+        coupon.serial = in.u64();
+        coupon.remaining = in.u64();
+        coupons.push_back(coupon);
+      }
+    };
+    read_coupons(held_coupons_);
+    read_coupons(rested_coupons_);
+    rested_here_ = in.u64();
+    sweep_in_progress_ = in.boolean();
+    sweep_request_pending_ = in.boolean();
+    sweep_reports_pending_ = static_cast<std::size_t>(in.u64());
+    sweep_accumulator_ = in.u64();
+    am_holder_ = in.boolean();
+    handed_off_ = in.boolean();
+    walk_remaining_ = in.u64();
+    next_serial_ = in.u64();
+    stitches_ = in.u64();
+    direct_steps_ = in.u64();
+    is_destination_ = in.boolean();
+    done_pending_ = in.boolean();
+    finished_ = in.boolean();
+  }
 
  private:
   void process_inbox(NodeContext& ctx, std::span<const Message> inbox) {
@@ -412,6 +472,18 @@ class DirectWalkNode final : public NodeProcess {
 
   bool is_destination() const { return is_destination_; }
 
+  void save_state(CheckpointWriter& out) const override {
+    out.boolean(holding_);
+    out.u64(remaining_);
+    out.boolean(is_destination_);
+  }
+
+  void load_state(CheckpointReader& in) override {
+    holding_ = in.boolean();
+    remaining_ = in.u64();
+    is_destination_ = in.boolean();
+  }
+
  private:
   NodeId source_;
   std::uint64_t length_;
@@ -431,8 +503,14 @@ SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
   require_connected(g, "stitched distributed walk");
 
   SarmaWalkResult result;
+  // The BFS setup phase uses tree nodes that do not checkpoint; strip any
+  // checkpoint configuration so only the walk phase snapshots/resumes.
+  CongestConfig setup_congest = options.congest;
+  setup_congest.checkpoint_interval = 0;
+  setup_congest.checkpoint_sink = nullptr;
+  setup_congest.resume_checkpoint.clear();
   const BfsTreeResult bfs = run_bfs_tree(
-      g, 0, options.congest, static_cast<std::uint64_t>(g.node_count()) + 2);
+      g, 0, setup_congest, static_cast<std::uint64_t>(g.node_count()) + 2);
   result.bfs_metrics = bfs.metrics;
   result.total += bfs.metrics;
 
@@ -462,7 +540,9 @@ SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
         2, static_cast<std::uint64_t>(std::ceil(4.0 * per_node_need)) + 1);
   }
 
-  Network net(g, options.congest);
+  CongestConfig walk_congest = options.congest;
+  walk_congest.checkpoint_label = "sarma-walk";
+  Network net(g, walk_congest);
   net.set_all_nodes([&](NodeId v) {
     SarmaNodeConfig config;
     config.walk_source = source;
@@ -499,7 +579,9 @@ DirectWalkResult direct_distributed_walk(const Graph& g, NodeId source,
   for (NodeId v = 0; v < g.node_count(); ++v) {
     RWBC_REQUIRE(g.degree(v) > 0, "walk needs minimum degree 1");
   }
-  Network net(g, config);
+  CongestConfig walk_congest = config;
+  walk_congest.checkpoint_label = "direct-walk";
+  Network net(g, walk_congest);
   net.set_all_nodes([&](NodeId) {
     return std::make_unique<DirectWalkNode>(source, length);
   });

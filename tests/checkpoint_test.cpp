@@ -1,0 +1,511 @@
+// Checkpoint/restore: envelope integrity, supervisor rotation and
+// degradation, bit-identical resume of the full RWBC pipeline at every
+// thread count (with and without faults + reliable transport), and the
+// generic label-selective resume path used by the family pipelines.
+//
+// The in-process analogue of the CLI kill drill: a round_observer that
+// throws after N cumulative rounds aborts the run exactly where
+// `rwbc_cli --kill-at-round N` would SIGKILL it; the checkpoint directory
+// left behind is then resumed and the result compared field-by-field
+// against an uninterrupted golden run.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "congest/checkpoint.hpp"
+#include "congest/supervisor.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/distributed_alpha_cfb.hpp"
+#include "rwbc/distributed_pagerank.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/distributed_spbc.hpp"
+#include "rwbc/sarma_walk.hpp"
+
+namespace rwbc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory (removed up-front so reruns start clean).
+fs::path scratch_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("rwbc-ckpt-test-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void flip_byte(const fs::path& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.get(byte);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(byte ^ 0x5a));
+}
+
+void expect_metrics_eq(const RunMetrics& a, const RunMetrics& b,
+                       const char* what) {
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.total_messages, b.total_messages) << what;
+  EXPECT_EQ(a.total_bits, b.total_bits) << what;
+  EXPECT_EQ(a.max_bits_per_edge_round, b.max_bits_per_edge_round) << what;
+  EXPECT_EQ(a.max_messages_per_edge_round, b.max_messages_per_edge_round)
+      << what;
+  EXPECT_EQ(a.cut_bits, b.cut_bits) << what;
+  EXPECT_EQ(a.cut_messages, b.cut_messages) << what;
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages) << what;
+  EXPECT_EQ(a.duplicated_messages, b.duplicated_messages) << what;
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes) << what;
+  EXPECT_EQ(a.retransmissions, b.retransmissions) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Envelope: seal/open round trip and every rejection path.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointEnvelope, RoundTripsAllPrimitives) {
+  CheckpointWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.f64(-0.0);
+  w.boolean(true);
+  w.boolean(false);
+  w.blob(std::vector<std::uint8_t>{1, 2, 3});
+  w.str("rwbc-counting");
+
+  const auto sealed = seal_checkpoint(w);
+  CheckpointReader r = open_checkpoint(sealed, "unit");
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not just value
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.str(), "rwbc-counting");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(CheckpointEnvelope, RejectsPayloadBitFlip) {
+  CheckpointWriter w;
+  w.u64(7);
+  w.str("state");
+  auto sealed = seal_checkpoint(w);
+  // Envelope header is magic[8] + version u32 + payload_len u64 + crc u32.
+  const std::size_t header = 8 + 4 + 8 + 4;
+  ASSERT_GT(sealed.size(), header);
+  sealed[header] ^= 0x01;
+  EXPECT_THROW(open_checkpoint(sealed, "unit"), CheckpointError);
+}
+
+TEST(CheckpointEnvelope, RejectsBadMagicWrongVersionAndTruncation) {
+  CheckpointWriter w;
+  w.u64(7);
+  const auto sealed = seal_checkpoint(w);
+
+  auto bad_magic = sealed;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(open_checkpoint(bad_magic, "unit"), CheckpointError);
+
+  auto bad_version = sealed;
+  bad_version[8] ^= 0x02;  // version field, not covered by the payload CRC
+  EXPECT_THROW(open_checkpoint(bad_version, "unit"), CheckpointError);
+
+  auto truncated = sealed;
+  truncated.pop_back();
+  EXPECT_THROW(open_checkpoint(truncated, "unit"), CheckpointError);
+
+  auto stub = sealed;
+  stub.resize(10);
+  EXPECT_THROW(open_checkpoint(stub, "unit"), CheckpointError);
+}
+
+TEST(CheckpointEnvelope, ReaderOverrunThrowsInsteadOfMisparsing) {
+  CheckpointReader r(std::vector<std::uint8_t>{0x01, 0x02});
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_THROW(r.u32(), CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// RunSupervisor: rotation, newest-first load, corrupt-candidate fallback.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> sealed_marker(std::uint64_t round) {
+  CheckpointWriter w;
+  w.u64(round);
+  return seal_checkpoint(w);
+}
+
+TEST(RunSupervisorTest, RotatesToKeepAndLoadsNewest) {
+  const fs::path dir = scratch_dir("rotation");
+  RunSupervisor sup(dir, 3);
+  for (const std::uint64_t round : {10u, 20u, 30u, 40u, 50u}) {
+    sup.write_snapshot(round, sealed_marker(round));
+  }
+  EXPECT_EQ(sup.snapshots().size(), 3u);
+
+  const auto latest = sup.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->round, 50u);
+  EXPECT_EQ(latest->skipped, 0u);
+  CheckpointReader r = open_checkpoint(latest->sealed, "unit");
+  EXPECT_EQ(r.u64(), 50u);
+}
+
+TEST(RunSupervisorTest, SkipsCorruptNewestAndFallsBack) {
+  const fs::path dir = scratch_dir("fallback");
+  RunSupervisor sup(dir, 3);
+  fs::path newest;
+  for (const std::uint64_t round : {100u, 200u, 300u}) {
+    newest = sup.write_snapshot(round, sealed_marker(round));
+  }
+  flip_byte(newest, 24);  // first payload byte -> CRC mismatch
+
+  const auto latest = sup.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->round, 200u);
+  EXPECT_EQ(latest->skipped, 1u);
+  CheckpointReader r = open_checkpoint(latest->sealed, "unit");
+  EXPECT_EQ(r.u64(), 200u);
+}
+
+TEST(RunSupervisorTest, AllCorruptOrEmptyYieldsNullopt) {
+  const fs::path dir = scratch_dir("all-corrupt");
+  RunSupervisor sup(dir, 3);
+  EXPECT_FALSE(sup.load_latest().has_value());  // empty dir
+
+  for (const std::uint64_t round : {1u, 2u}) {
+    const fs::path path = sup.write_snapshot(round, sealed_marker(round));
+    fs::resize_file(path, 5);  // truncate below the envelope header
+  }
+  EXPECT_FALSE(sup.load_latest().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Full-pipeline resume: kill mid-phase, resume, compare against golden.
+// ---------------------------------------------------------------------------
+
+/// Thrown by the round observer to abort a run at an exact cumulative round
+/// (the in-process stand-in for the CLI drill's SIGKILL).
+struct AbortRun {};
+
+Graph drill_graph() {
+  Rng rng(7);
+  return make_watts_strogatz(16, 4, 0.2, rng);
+}
+
+DistributedRwbcOptions drill_options(bool faults) {
+  DistributedRwbcOptions options;
+  options.walks_per_source = 4;
+  options.cutoff = 30;
+  options.congest.seed = 9;
+  options.congest.bit_floor = 128;
+  if (faults) {
+    options.congest.faults.seed = 321;
+    options.congest.faults.drop_prob = 0.05;
+    options.congest.faults.dup_prob = 0.05;
+    options.reliable_transport = true;
+  }
+  return options;
+}
+
+void expect_same_run(const DistributedRwbcResult& golden,
+                     const DistributedRwbcResult& resumed) {
+  EXPECT_EQ(resumed.leader, golden.leader);
+  EXPECT_EQ(resumed.target, golden.target);
+  EXPECT_EQ(resumed.params.cutoff, golden.params.cutoff);
+  EXPECT_EQ(resumed.params.walks_per_source, golden.params.walks_per_source);
+  ASSERT_EQ(resumed.betweenness.size(), golden.betweenness.size());
+  for (std::size_t i = 0; i < golden.betweenness.size(); ++i) {
+    EXPECT_EQ(resumed.betweenness[i], golden.betweenness[i]) << "node " << i;
+  }
+  ASSERT_EQ(resumed.scaled_visits.rows(), golden.scaled_visits.rows());
+  ASSERT_EQ(resumed.scaled_visits.cols(), golden.scaled_visits.cols());
+  for (std::size_t r = 0; r < golden.scaled_visits.rows(); ++r) {
+    for (std::size_t c = 0; c < golden.scaled_visits.cols(); ++c) {
+      EXPECT_EQ(resumed.scaled_visits(r, c), golden.scaled_visits(r, c));
+    }
+  }
+  expect_metrics_eq(resumed.counting_metrics, golden.counting_metrics,
+                    "counting");
+  expect_metrics_eq(resumed.computing_metrics, golden.computing_metrics,
+                    "computing");
+  expect_metrics_eq(resumed.total, golden.total, "total");
+}
+
+/// Runs with checkpointing on and aborts after `kill_round` cumulative
+/// rounds (counted across all phases, exactly like --kill-at-round).
+void run_killed(const Graph& g, DistributedRwbcOptions options,
+                const fs::path& dir, std::uint64_t kill_round) {
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.interval = 8;
+  auto seen = std::make_shared<std::uint64_t>(0);
+  options.congest.round_observer = [seen, kill_round](const RoundSnapshot&) {
+    if (++*seen == kill_round) throw AbortRun{};
+  };
+  bool aborted = false;
+  try {
+    distributed_rwbc(g, options);
+  } catch (const AbortRun&) {
+    aborted = true;
+  }
+  ASSERT_TRUE(aborted) << "kill round " << kill_round
+                       << " was past the end of the run";
+  ASSERT_FALSE(fs::is_empty(dir)) << "no snapshot written before the kill";
+}
+
+DistributedRwbcResult run_resumed(const Graph& g,
+                                  DistributedRwbcOptions options,
+                                  const fs::path& dir, int threads) {
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.resume = true;
+  options.congest.num_threads = threads;
+  return distributed_rwbc(g, options);
+}
+
+TEST(CheckpointResume, KillMidCountingResumesBitIdenticalAcrossThreads) {
+  const Graph g = drill_graph();
+  const auto golden = distributed_rwbc(g, drill_options(false));
+
+  const std::uint64_t setup = golden.election_metrics.rounds +
+                              golden.bfs_metrics.rounds +
+                              golden.dissemination_metrics.rounds;
+  ASSERT_GT(golden.counting_metrics.rounds, 16u);
+  const std::uint64_t kill = setup + golden.counting_metrics.rounds / 2;
+
+  const fs::path dir = scratch_dir("kill-p3");
+  run_killed(g, drill_options(false), dir, kill);
+  for (const int threads : {1, 8, -1}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    expect_same_run(golden, run_resumed(g, drill_options(false), dir, threads));
+  }
+}
+
+TEST(CheckpointResume, KillMidComputingSkipsCountingOnResume) {
+  const Graph g = drill_graph();
+  const auto golden = distributed_rwbc(g, drill_options(false));
+
+  const std::uint64_t setup = golden.election_metrics.rounds +
+                              golden.bfs_metrics.rounds +
+                              golden.dissemination_metrics.rounds;
+  ASSERT_GT(golden.computing_metrics.rounds, 10u);
+  const std::uint64_t kill =
+      setup + golden.counting_metrics.rounds + 10;
+
+  const fs::path dir = scratch_dir("kill-p4");
+  run_killed(g, drill_options(false), dir, kill);
+  for (const int threads : {1, -1}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    expect_same_run(golden, run_resumed(g, drill_options(false), dir, threads));
+  }
+}
+
+TEST(CheckpointResume, KillUnderFaultsWithReliableTransportResumesBitIdentical) {
+  const Graph g = drill_graph();
+  const auto golden = distributed_rwbc(g, drill_options(true));
+  EXPECT_GT(golden.total.dropped_messages, 0u);
+  EXPECT_GT(golden.total.retransmissions, 0u);
+
+  const std::uint64_t setup = golden.election_metrics.rounds +
+                              golden.bfs_metrics.rounds +
+                              golden.dissemination_metrics.rounds;
+  ASSERT_GT(golden.counting_metrics.rounds, 16u);
+  const std::uint64_t kill = setup + golden.counting_metrics.rounds / 2;
+
+  const fs::path dir = scratch_dir("kill-faulty");
+  run_killed(g, drill_options(true), dir, kill);
+  for (const int threads : {1, 8, -1}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    expect_same_run(golden, run_resumed(g, drill_options(true), dir, threads));
+  }
+}
+
+TEST(CheckpointResume, CorruptNewestSnapshotFallsBackToPreviousGood) {
+  const Graph g = drill_graph();
+  const auto golden = distributed_rwbc(g, drill_options(false));
+
+  const std::uint64_t setup = golden.election_metrics.rounds +
+                              golden.bfs_metrics.rounds +
+                              golden.dissemination_metrics.rounds;
+  const std::uint64_t kill = setup + golden.counting_metrics.rounds / 2;
+
+  const fs::path dir = scratch_dir("corrupt-fallback");
+  run_killed(g, drill_options(false), dir, kill);
+
+  RunSupervisor sup(dir);
+  const auto files = sup.snapshots();
+  ASSERT_GE(files.size(), 2u) << "need a previous snapshot to fall back to";
+  flip_byte(files.back(), 40);  // newest, somewhere inside the payload
+
+  const auto resumed = run_resumed(g, drill_options(false), dir, 1);
+  expect_same_run(golden, resumed);
+  const auto latest = sup.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->skipped, 1u);
+}
+
+TEST(CheckpointResume, MissingCheckpointThrows) {
+  const Graph g = drill_graph();
+  const fs::path dir = scratch_dir("missing");
+  DistributedRwbcOptions options = drill_options(false);
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.resume = true;
+  EXPECT_THROW(distributed_rwbc(g, options), CheckpointError);
+}
+
+TEST(CheckpointResume, MismatchedParametersRejected) {
+  const Graph g = drill_graph();
+  const auto golden = distributed_rwbc(g, drill_options(false));
+  const std::uint64_t setup = golden.election_metrics.rounds +
+                              golden.bfs_metrics.rounds +
+                              golden.dissemination_metrics.rounds;
+  const std::uint64_t kill = setup + golden.counting_metrics.rounds / 2;
+
+  const fs::path dir = scratch_dir("mismatch");
+  run_killed(g, drill_options(false), dir, kill);
+
+  DistributedRwbcOptions other = drill_options(false);
+  other.walks_per_source = 5;  // K disagrees with the snapshot prologue
+  other.checkpoint.dir = dir.string();
+  other.checkpoint.resume = true;
+  EXPECT_THROW(distributed_rwbc(g, other), CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Generic label-selective resume: each family pipeline restores only the
+// phase that wrote the snapshot; earlier phases re-run deterministically.
+// ---------------------------------------------------------------------------
+
+/// Captures every sealed snapshot a pipeline run emits.
+std::function<void(std::uint64_t, const std::vector<std::uint8_t>&)>
+capture_into(std::shared_ptr<std::vector<std::vector<std::uint8_t>>> snaps) {
+  return [snaps](std::uint64_t, const std::vector<std::uint8_t>& sealed) {
+    snaps->push_back(sealed);
+  };
+}
+
+TEST(LabelSelectiveResume, PagerankResumesBitIdentical) {
+  Rng rng(11);
+  const Graph g = make_erdos_renyi(14, 0.35, rng);
+  DistributedPagerankOptions options;
+  options.walks_per_node = 16;
+  options.congest.seed = 5;
+  const auto golden = distributed_pagerank(g, options);
+
+  auto snaps = std::make_shared<std::vector<std::vector<std::uint8_t>>>();
+  DistributedPagerankOptions capture = options;
+  capture.congest.checkpoint_interval = 5;
+  capture.congest.checkpoint_sink = capture_into(snaps);
+  const auto captured = distributed_pagerank(g, capture);
+  ASSERT_FALSE(snaps->empty());
+  EXPECT_EQ(captured.pagerank, golden.pagerank);
+
+  DistributedPagerankOptions resume = options;
+  resume.congest.resume_checkpoint = snaps->at(snaps->size() / 2);
+  const auto resumed = distributed_pagerank(g, resume);
+  EXPECT_EQ(resumed.pagerank, golden.pagerank);
+  expect_metrics_eq(resumed.metrics, golden.metrics, "pagerank");
+}
+
+TEST(LabelSelectiveResume, SarmaWalkResumesBitIdentical) {
+  Rng rng(12);
+  const Graph g = make_erdos_renyi(14, 0.35, rng);
+  SarmaWalkOptions options;
+  options.length = 64;
+  options.congest.seed = 6;
+  const auto golden = sarma_distributed_walk(g, 0, options);
+
+  auto snaps = std::make_shared<std::vector<std::vector<std::uint8_t>>>();
+  SarmaWalkOptions capture = options;
+  capture.congest.checkpoint_interval = 5;
+  capture.congest.checkpoint_sink = capture_into(snaps);
+  const auto captured = sarma_distributed_walk(g, 0, capture);
+  ASSERT_FALSE(snaps->empty());
+  EXPECT_EQ(captured.destination, golden.destination);
+
+  SarmaWalkOptions resume = options;
+  resume.congest.resume_checkpoint = snaps->back();
+  const auto resumed = sarma_distributed_walk(g, 0, resume);
+  EXPECT_EQ(resumed.destination, golden.destination);
+  EXPECT_EQ(resumed.stitches, golden.stitches);
+  EXPECT_EQ(resumed.direct_steps, golden.direct_steps);
+  expect_metrics_eq(resumed.walk_metrics, golden.walk_metrics, "walk");
+}
+
+TEST(LabelSelectiveResume, SpbcBackwardPhaseSnapshotSkipsForwardRestore) {
+  Rng rng(13);
+  const Graph g = make_erdos_renyi(12, 0.4, rng);
+  DistributedSpbcOptions options;
+  options.congest.seed = 7;
+  options.congest.bit_floor = 128;  // SPBC updates need ~2 log n + 30 bits
+  const auto golden = distributed_spbc(g, options);
+
+  auto snaps = std::make_shared<std::vector<std::vector<std::uint8_t>>>();
+  DistributedSpbcOptions capture = options;
+  capture.congest.checkpoint_interval = 4;
+  capture.congest.checkpoint_sink = capture_into(snaps);
+  const auto captured = distributed_spbc(g, capture);
+  ASSERT_FALSE(snaps->empty());
+  EXPECT_EQ(captured.betweenness, golden.betweenness);
+
+  // The last snapshot belongs to the backward phase (labels differ per
+  // phase): the forward network must ignore it and re-run, the backward
+  // network must restore from it.  First snapshot exercises the converse.
+  for (const auto& snapshot : {snaps->front(), snaps->back()}) {
+    DistributedSpbcOptions resume = options;
+    resume.congest.resume_checkpoint = snapshot;
+    const auto resumed = distributed_spbc(g, resume);
+    EXPECT_EQ(resumed.betweenness, golden.betweenness);
+    expect_metrics_eq(resumed.forward_metrics, golden.forward_metrics,
+                      "forward");
+    expect_metrics_eq(resumed.backward_metrics, golden.backward_metrics,
+                      "backward");
+  }
+}
+
+TEST(LabelSelectiveResume, AlphaCfbResumesBitIdentical) {
+  Rng rng(14);
+  const Graph g = make_erdos_renyi(12, 0.4, rng);
+  DistributedAlphaCfbOptions options;
+  options.walks_per_source = 4;
+  options.congest.seed = 8;
+  const auto golden = distributed_alpha_cfb(g, options);
+
+  auto snaps = std::make_shared<std::vector<std::vector<std::uint8_t>>>();
+  DistributedAlphaCfbOptions capture = options;
+  capture.congest.checkpoint_interval = 4;
+  capture.congest.checkpoint_sink = capture_into(snaps);
+  const auto captured = distributed_alpha_cfb(g, capture);
+  ASSERT_FALSE(snaps->empty());
+  EXPECT_EQ(captured.betweenness, golden.betweenness);
+
+  DistributedAlphaCfbOptions resume = options;
+  resume.congest.resume_checkpoint = snaps->at(snaps->size() / 2);
+  const auto resumed = distributed_alpha_cfb(g, resume);
+  EXPECT_EQ(resumed.betweenness, golden.betweenness);
+  EXPECT_EQ(resumed.capped_walks, golden.capped_walks);
+  expect_metrics_eq(resumed.counting_metrics, golden.counting_metrics,
+                    "counting");
+  expect_metrics_eq(resumed.computing_metrics, golden.computing_metrics,
+                    "computing");
+}
+
+}  // namespace
+}  // namespace rwbc

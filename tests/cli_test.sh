@@ -71,6 +71,36 @@ expect_error "unknown family" "unknown family" -- \
 expect_error "crash node out of range" "crash" -- \
   --crash 99@5 distributed "$GRAPH" 4 10 3
 
+# Checkpoint flags: dependency validation and resume failure modes must be
+# one-line errors too (the happy path lives in recovery_drill.sh).
+expect_error "resume without a checkpoint dir" "requires --checkpoint-dir" -- \
+  --resume distributed "$GRAPH" 4 10 3
+expect_error "interval without a checkpoint dir" "requires --checkpoint-dir" -- \
+  --checkpoint-every 8 distributed "$GRAPH" 4 10 3
+expect_error "checkpoint-every missing its value" "requires a value" -- \
+  distributed "$GRAPH" --checkpoint-every
+mkdir -p "$TMPDIR/empty.ckpt"
+expect_error "resume from an empty dir" "no usable checkpoint" -- \
+  --checkpoint-dir "$TMPDIR/empty.ckpt" --resume distributed "$GRAPH" 4 10 3
+mkdir -p "$TMPDIR/corrupt.ckpt"
+printf 'not a checkpoint' >"$TMPDIR/corrupt.ckpt/ckpt-000000000008.rwbc"
+expect_error "resume from a corrupt-only dir" "no usable checkpoint" -- \
+  --checkpoint-dir "$TMPDIR/corrupt.ckpt" --resume distributed "$GRAPH" 4 10 3
+
+# Checkpointing run end to end: snapshots land on disk, resume reproduces
+# the uninterrupted stdout byte for byte.
+expect_ok "uninterrupted reference run" distributed "$GRAPH" 4 10 3
+cp "$TMPDIR/stdout" "$TMPDIR/reference.out"
+expect_ok "checkpointing run" \
+  --checkpoint-dir "$TMPDIR/run.ckpt" --checkpoint-every 8 \
+  distributed "$GRAPH" 4 10 3
+[ -n "$(ls "$TMPDIR/run.ckpt" 2>/dev/null)" ] \
+  || fail "checkpointing run wrote no snapshots"
+expect_ok "resume from final snapshot" \
+  --checkpoint-dir "$TMPDIR/run.ckpt" --resume distributed "$GRAPH" 4 10 3
+cmp -s "$TMPDIR/reference.out" "$TMPDIR/stdout" \
+  || fail "resumed stdout differs from the uninterrupted run"
+
 # Fault flags run end to end (small K/l keep this fast).
 expect_ok "fault injection baseline" \
   --drop-prob 0.03 --dup-prob 0.01 --fault-seed 7 \

@@ -26,6 +26,7 @@
 #include "centrality/current_flow_exact.hpp"
 #include "common/rng.hpp"
 #include "congest/network.hpp"
+#include "congest/protocols/bfs_tree.hpp"
 #include "graph/generators.hpp"
 #include "rwbc/distributed_rwbc.hpp"
 
@@ -366,6 +367,148 @@ TEST(SelfHealing, BeatsBaselineAccuracyUnderDrops) {
   EXPECT_LT(healed.total.rounds, 7000u);
   EXPECT_GT(healed.total.retransmissions, 0u);
   EXPECT_EQ(baseline.total.retransmissions, 0u);
+}
+
+// --- 8. The give-up path under combined high drop + dup rates ------------
+//
+// The transport's only unsafe edge is a FALSE dead-slot suspicion: a frame
+// whose every ack is lost gets given back to the caller and re-routed even
+// though the neighbour delivered it — forking the walk and double-counting
+// a death.  The tests below drive the counting phase standalone (so the
+// per-node death tallies are observable) and pin that with a retry budget
+// sized for the fault rate, exactly-once accounting survives drop and dup
+// rates far past anything the E15 benchmarks use.
+
+struct ReliableCountingRun {
+  RunMetrics metrics;
+  std::uint64_t total_died = 0;
+  std::uint64_t finished_nodes = 0;
+};
+
+ReliableCountingRun run_reliable_counting(const Graph& g,
+                                          const FaultPlan& plan,
+                                          std::uint64_t max_retries,
+                                          std::uint64_t deadline,
+                                          int threads = 0) {
+  const std::uint64_t k = 8;
+  CongestConfig config;
+  config.seed = 11;
+  config.bit_floor = 128;  // reliable wrapper overhead, as the pipeline does
+  config.num_threads = threads;
+  const BfsTreeResult bfs = run_bfs_tree(
+      g, 0, config, static_cast<std::uint64_t>(g.node_count()) + 2);
+  config.faults = plan;
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId v) {
+    CountingNodeConfig node_config;
+    node_config.target = 3;
+    node_config.walks_per_source = k;
+    node_config.cutoff = 40;
+    node_config.tree_parent = bfs.tree.parent[static_cast<std::size_t>(v)];
+    node_config.tree_children = bfs.tree.children[static_cast<std::size_t>(v)];
+    node_config.fault_tolerant = plan.any();
+    node_config.deadline_rounds = deadline;
+    node_config.reliable_transport = true;
+    node_config.reliable_link.max_retries = max_retries;
+    return std::make_unique<CountingNode>(std::move(node_config));
+  });
+  ReliableCountingRun run;
+  run.metrics = net.run();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& node = static_cast<const CountingNode&>(net.node(v));
+    run.total_died += node.died_here();
+    if (node.finished()) ++run.finished_nodes;
+  }
+  return run;
+}
+
+TEST(SelfHealingStress, ExactlyOnceUnderCombinedHighDropAndDup) {
+  Rng rng(29);
+  const Graph g = make_erdos_renyi(16, 0.3, rng);
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.drop_prob = 0.25;
+  plan.dup_prob = 0.25;
+  // A retry budget sized for the rate: at 25% drop each attempt still goes
+  // unacked with probability ~0.44, so 8 retries would falsely suspect a
+  // live neighbour roughly once per few thousand frames — a double-counted
+  // walk.  16 retries pushes the false-suspicion odds below one in 10^6
+  // per frame, and the run below pins that NO fork happened: the death
+  // total is exact, not merely >= expected.
+  const ReliableCountingRun run =
+      run_reliable_counting(g, plan, /*max_retries=*/16, /*deadline=*/20000);
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  EXPECT_EQ(run.total_died, (n - 1) * 8) << "a walk was lost or forked";
+  EXPECT_EQ(run.finished_nodes, n) << "termination was not organic";
+  EXPECT_LT(run.metrics.rounds, 20000u) << "deadline backstop fired";
+  EXPECT_GT(run.metrics.dropped_messages, 0u);
+  EXPECT_GT(run.metrics.duplicated_messages, 0u);
+  EXPECT_GT(run.metrics.retransmissions, 0u);
+}
+
+TEST(SelfHealingStress, DeadSlotRedrawNeverOvercounts) {
+  Rng rng(29);
+  const Graph g = make_erdos_renyi(16, 0.3, rng);
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_prob = 0.2;
+  plan.dup_prob = 0.2;
+  plan.crashes.push_back({/*node=*/7, /*round=*/6});
+  // The default (small) retry budget here is deliberate: senders suspect
+  // the genuinely crashed node quickly, so the give-up/redraw path runs
+  // hot while drops and dups hammer the acks.  Every redraw must be a walk
+  // the crashed node never processed — the tally can only fall short of
+  // (n-1)K by walks the crash swallowed, never exceed it.
+  const auto run_at = [&](int threads) {
+    return run_reliable_counting(g, plan, /*max_retries=*/8,
+                                 /*deadline=*/4000, threads);
+  };
+  const ReliableCountingRun run = run_at(0);
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  EXPECT_LE(run.total_died, (n - 1) * 8) << "a redraw double-counted a walk";
+  EXPECT_GE(run.total_died, (n - 2) * 8)
+      << "re-routing lost more than the crashed node's own holdings";
+  EXPECT_GT(run.metrics.retransmissions, 0u);
+  EXPECT_EQ(run.metrics.crashed_nodes, 1u);
+  // The whole drill — crash detection, give-ups, redraws — must stay on
+  // the deterministic schedule at every thread count.
+  for (const int threads : {8, -1}) {
+    const ReliableCountingRun again = run_at(threads);
+    EXPECT_EQ(again.total_died, run.total_died) << "threads=" << threads;
+    EXPECT_EQ(again.metrics.rounds, run.metrics.rounds)
+        << "threads=" << threads;
+    EXPECT_EQ(again.metrics.retransmissions, run.metrics.retransmissions)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SelfHealingStress, RetransmissionsExactlyMonotoneInDropRate) {
+  Rng rng(29);
+  const Graph g = make_erdos_renyi(16, 0.3, rng);
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const double rate : {0.0, 0.1, 0.2, 0.3}) {
+    FaultPlan plan;
+    plan.seed = 4242;  // fixed schedule stream across rates
+    plan.drop_prob = rate;
+    plan.dup_prob = 0.2;
+    const ReliableCountingRun run =
+        run_reliable_counting(g, plan, /*max_retries=*/16,
+                              /*deadline=*/20000);
+    if (first) {
+      EXPECT_EQ(run.metrics.retransmissions, 0u)
+          << "retransmissions without drops";
+      first = false;
+    } else {
+      EXPECT_GT(run.metrics.retransmissions, previous)
+          << "retransmissions not monotone at drop rate " << rate;
+    }
+    previous = run.metrics.retransmissions;
+    // Whatever the rate, accounting stays exactly-once.
+    EXPECT_EQ(run.total_died,
+              (static_cast<std::uint64_t>(g.node_count()) - 1) * 8)
+        << "drop rate " << rate;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Malformed-input hardening for the edge-list reader (graph/io.hpp).
+//
+// Table-driven: each case is one malformed input document plus a fragment
+// its ParseError message must contain.  The reader's contract is typed,
+// line-numbered errors — never a silent mis-parse, a crash, or a partially
+// constructed graph.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/io.hpp"
+
+namespace rwbc {
+namespace {
+
+struct BadInputCase {
+  const char* name;
+  const char* input;
+  const char* expect_fragment;  // must appear in the ParseError message
+  std::size_t expect_line;      // 0 = unchecked (e.g. EOF-truncation cases)
+};
+
+class GraphIoErrorTest : public ::testing::TestWithParam<BadInputCase> {};
+
+TEST_P(GraphIoErrorTest, RejectsWithTypedLineNumberedError) {
+  const BadInputCase& c = GetParam();
+  std::istringstream in(c.input);
+  try {
+    read_edge_list(in);
+    FAIL() << "expected ParseError for case: " << c.name;
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(c.expect_fragment), std::string::npos)
+        << "case " << c.name << ": message was '" << e.what() << "'";
+    if (c.expect_line != 0) {
+      EXPECT_EQ(e.line(), c.expect_line) << "case " << c.name;
+      EXPECT_NE(std::string(e.what()).find(
+                    "line " + std::to_string(c.expect_line)),
+                std::string::npos)
+          << "case " << c.name << ": message was '" << e.what() << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedEdgeLists, GraphIoErrorTest,
+    ::testing::Values(
+        BadInputCase{"empty_stream", "", "missing `n m` header", 0},
+        BadInputCase{"comment_only", "# nothing here\n\n",
+                     "missing `n m` header", 0},
+        BadInputCase{"header_one_token", "5\n", "header must be exactly",
+                     1},
+        BadInputCase{"header_three_tokens", "5 4 1\n0 1\n",
+                     "header must be exactly", 1},
+        BadInputCase{"header_non_numeric", "five 4\n",
+                     "node count must be a non-negative integer", 1},
+        BadInputCase{"header_negative_m", "5 -1\n",
+                     "edge count must be a non-negative integer", 1},
+        BadInputCase{"header_float_n", "5.0 4\n",
+                     "node count must be a non-negative integer", 1},
+        BadInputCase{"node_count_overflow",
+                     "99999999999999999 1\n0 1\n",
+                     "exceeds the supported maximum", 1},
+        BadInputCase{"truncated_no_edges", "3 2\n0 1\n",
+                     "truncated — header declared 2 edge(s) but only 1",
+                     0},
+        BadInputCase{"truncated_comments_dont_count",
+                     "3 2\n0 1\n# not an edge\n",
+                     "truncated", 0},
+        BadInputCase{"edge_one_token", "3 1\n0\n",
+                     "edge line must be exactly `u v`", 2},
+        BadInputCase{"edge_three_tokens", "3 1\n0 1 7\n",
+                     "edge line must be exactly `u v`", 2},
+        BadInputCase{"edge_non_numeric", "3 1\n0 x\n",
+                     "edge endpoint must be a non-negative integer", 2},
+        BadInputCase{"edge_numeric_prefix", "3 1\n0 1garbage\n",
+                     "edge endpoint must be a non-negative integer", 2},
+        BadInputCase{"edge_negative_endpoint", "3 1\n0 -2\n",
+                     "edge endpoint must be a non-negative integer", 2},
+        BadInputCase{"endpoint_out_of_range", "3 1\n0 3\n",
+                     "endpoint out of range for n = 3", 2},
+        BadInputCase{"endpoint_way_out_of_range", "3 1\n0 400\n",
+                     "endpoint out of range", 2},
+        BadInputCase{"self_loop", "3 1\n2 2\n", "self-loop at node 2", 2},
+        BadInputCase{"duplicate_edge", "3 3\n0 1\n1 2\n0 1\n",
+                     "duplicate edge", 4},
+        BadInputCase{"duplicate_edge_reversed", "3 2\n0 1\n1 0\n",
+                     "duplicate edge", 3},
+        BadInputCase{"trailing_data", "2 1\n0 1\n0 1\n",
+                     "trailing data after the declared 1 edge(s)", 3},
+        BadInputCase{"line_numbers_skip_comments",
+                     "# header next\n3 1\n# edge next\n0 zz\n",
+                     "edge endpoint must be a non-negative integer", 4}),
+    [](const ::testing::TestParamInfo<BadInputCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(GraphIoErrorTest, WellFormedInputStillParses) {
+  std::istringstream in(
+      "# a comment\n"
+      "4 3\n"
+      "\n"
+      "0 1\n"
+      "# mid-list comment\n"
+      "1 2\n"
+      "2 3\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(GraphIoErrorTest, LoadEdgeListPrefixesPath) {
+  try {
+    load_edge_list("/nonexistent/definitely-missing.edges");
+    FAIL() << "expected Error for missing file";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rwbc

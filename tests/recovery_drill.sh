@@ -1,0 +1,110 @@
+#!/bin/sh
+# Crash-recovery drill: run rwbc_cli with checkpointing enabled, SIGKILL it
+# mid-run (--kill-at-round), resume from the snapshot directory, and assert
+# the resumed stdout is byte-identical to an uninterrupted golden run.
+# Scenarios:
+#   1. fault-free run, resumed at a different thread count
+#   2. drop+dup fault plan with the self-healing transport
+#   3. newest snapshot truncated by hand -> supervisor falls back to the
+#      previous good one, output still golden
+#
+# Usage: recovery_drill.sh <path-to-rwbc_cli>
+# RWBC_DRILL_DIR: when set, scratch space lives there and is kept on
+# failure so CI can upload it as an artifact (cleaned on success).
+set -u
+
+CLI=${1:?usage: recovery_drill.sh <path-to-rwbc_cli>}
+
+if [ -n "${RWBC_DRILL_DIR:-}" ]; then
+  WORK="$RWBC_DRILL_DIR"
+  rm -rf "$WORK"
+  mkdir -p "$WORK"
+else
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+fi
+FAILURES=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+GRAPH="$WORK/graph.edges"
+"$CLI" generate ws 16 7 "$GRAPH" >/dev/null 2>&1 \
+  || { echo "FAIL: could not generate drill graph" >&2; exit 1; }
+
+K=4
+L=30
+SEED=9
+
+# drill <name> <kill-round> <resume-threads> [fault flags...]
+#
+# Golden run (uninterrupted), then a checkpointing run killed by SIGKILL at
+# the given cumulative round, then a resume whose stdout must match golden.
+drill() {
+  name=$1
+  kill_round=$2
+  resume_threads=$3
+  shift 3
+  dir="$WORK/$name.ckpt"
+  golden="$WORK/$name.golden"
+
+  "$CLI" "$@" distributed "$GRAPH" "$K" "$L" "$SEED" \
+    >"$golden" 2>"$WORK/$name.golden.err" \
+    || { fail "$name: golden run failed: $(cat "$WORK/$name.golden.err")"; return; }
+
+  ("$CLI" "$@" --checkpoint-dir "$dir" --checkpoint-every 8 \
+    --kill-at-round "$kill_round" distributed "$GRAPH" "$K" "$L" "$SEED" \
+    >"$WORK/$name.killed.out" 2>&1)
+  status=$?
+  [ "$status" -eq 137 ] \
+    || fail "$name: expected SIGKILL exit 137 at round $kill_round, got $status"
+  [ -n "$(ls "$dir" 2>/dev/null)" ] \
+    || { fail "$name: kill left no snapshot on disk"; return; }
+
+  "$CLI" "$@" --threads "$resume_threads" --checkpoint-dir "$dir" --resume \
+    distributed "$GRAPH" "$K" "$L" "$SEED" \
+    >"$WORK/$name.resumed" 2>"$WORK/$name.resumed.err" \
+    || { fail "$name: resume failed: $(cat "$WORK/$name.resumed.err")"; return; }
+  cmp -s "$golden" "$WORK/$name.resumed" \
+    || fail "$name: resumed output differs from the uninterrupted run"
+}
+
+# Scenario 1: fault-free; the killed run is serial, the resume uses one
+# thread per core — resume determinism must hold across thread counts.
+drill plain 90 -1
+
+# Scenario 2: message loss + duplication healed by the reliable transport;
+# the checkpoint must carry the fault injector's RNG and the
+# retransmission windows for the resume to replay identically.
+drill faulty 110 0 --drop-prob 0.05 --dup-prob 0.05 --fault-seed 321 --reliable
+
+# Scenario 3: corrupt the newest snapshot from scenario 1 (truncate to 40
+# bytes — fails the envelope length check) and resume again: the
+# supervisor must fall back to the previous good snapshot.
+DIR="$WORK/plain.ckpt"
+if [ -d "$DIR" ]; then
+  count=$(ls "$DIR" | wc -l)
+  if [ "$count" -ge 2 ]; then
+    newest="$DIR/$(ls "$DIR" | sort | tail -1)"
+    dd if="$newest" of="$newest.trunc" bs=1 count=40 2>/dev/null
+    mv "$newest.trunc" "$newest"
+    "$CLI" --checkpoint-dir "$DIR" --resume \
+      distributed "$GRAPH" "$K" "$L" "$SEED" \
+      >"$WORK/fallback.resumed" 2>"$WORK/fallback.resumed.err" \
+      || fail "fallback: resume failed: $(cat "$WORK/fallback.resumed.err")"
+    cmp -s "$WORK/plain.golden" "$WORK/fallback.resumed" \
+      || fail "fallback: output differs after corrupt-newest fallback"
+  else
+    fail "fallback: expected >= 2 snapshots in rotation, found $count"
+  fi
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES recovery drill(s) failed (scratch kept at $WORK)" >&2
+  trap - EXIT
+  exit 1
+fi
+[ -n "${RWBC_DRILL_DIR:-}" ] && rm -rf "$WORK"
+echo "all recovery drills passed"

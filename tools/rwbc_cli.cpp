@@ -16,9 +16,11 @@
 //
 // Graph files use the `n m` + `u v` edge-list format (see graph/io.hpp);
 // "-" reads from stdin.
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,15 @@ int g_threads = 0;
 FaultPlan g_faults;
 bool g_reliable = false;
 
+// Checkpoint/restore for the `distributed`/`compare` pipelines, set by the
+// global --checkpoint-dir/--checkpoint-every/--resume flags.  --kill-at-round
+// hard-kills the process (SIGKILL, no cleanup) after the given cumulative
+// simulator round — the crash half of the recovery drill.
+std::string g_checkpoint_dir;
+std::uint64_t g_checkpoint_every = 0;
+bool g_resume = false;
+std::uint64_t g_kill_at_round = 0;  // 0 = never
+
 [[noreturn]] void usage() {
   std::cerr
       << "usage:\n"
@@ -71,6 +82,13 @@ bool g_reliable = false;
          "  --crash V@R      crash-stop node V at round R (repeatable)\n"
          "  --fault-seed S   dedicated RNG seed for the fault schedule\n"
          "  --reliable       self-healing ack/retransmit transport\n"
+         "  --checkpoint-dir D   snapshot directory for distributed/compare\n"
+         "  --checkpoint-every R snapshot every R phase rounds (default 0 =\n"
+         "                   off; requires --checkpoint-dir)\n"
+         "  --resume         resume from the newest usable snapshot in\n"
+         "                   --checkpoint-dir\n"
+         "  --kill-at-round R    SIGKILL the process after cumulative\n"
+         "                   simulator round R (crash-recovery drills)\n"
          "fault flags apply to the distributed/compare data phases only.\n";
   std::exit(2);
 }
@@ -178,6 +196,19 @@ DistributedRwbcResult run_distributed(const Graph& g, int argc, char** argv) {
   options.congest.num_threads = g_threads;
   options.congest.faults = g_faults;
   options.reliable_transport = g_reliable;
+  options.checkpoint.dir = g_checkpoint_dir;
+  options.checkpoint.interval = g_checkpoint_every;
+  options.checkpoint.resume = g_resume;
+  if (g_kill_at_round > 0) {
+    // Crash drill: count rounds across every phase (observers see
+    // phase-local numbers; the shared counter makes the kill point global)
+    // and die with no chance to flush or unwind — exactly what a power
+    // loss or OOM kill would do.
+    auto rounds_seen = std::make_shared<std::uint64_t>(0);
+    options.congest.round_observer = [rounds_seen](const RoundSnapshot&) {
+      if (++*rounds_seen == g_kill_at_round) std::raise(SIGKILL);
+    };
+  }
   return distributed_rwbc(g, options);
 }
 
@@ -280,7 +311,10 @@ int main(int argc, char** argv) {
       const std::string flag(args[i]);
       const bool takes_value = flag == "--threads" || flag == "--drop-prob" ||
                                flag == "--dup-prob" || flag == "--crash" ||
-                               flag == "--fault-seed";
+                               flag == "--fault-seed" ||
+                               flag == "--checkpoint-dir" ||
+                               flag == "--checkpoint-every" ||
+                               flag == "--kill-at-round";
       if (takes_value && i + 1 >= args.size()) {
         throw Error(flag + " requires a value");
       }
@@ -294,8 +328,18 @@ int main(int argc, char** argv) {
         g_faults.crashes.push_back(parse_crash(args[i + 1]));
       } else if (flag == "--fault-seed") {
         g_faults.seed = std::strtoull(args[i + 1], nullptr, 10);
+      } else if (flag == "--checkpoint-dir") {
+        g_checkpoint_dir = args[i + 1];
+      } else if (flag == "--checkpoint-every") {
+        g_checkpoint_every = std::strtoull(args[i + 1], nullptr, 10);
+      } else if (flag == "--kill-at-round") {
+        g_kill_at_round = std::strtoull(args[i + 1], nullptr, 10);
       } else if (flag == "--reliable") {
         g_reliable = true;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      } else if (flag == "--resume") {
+        g_resume = true;
         args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
         continue;
       } else if (flag.rfind("--", 0) == 0 && flag != "--dot") {
@@ -309,6 +353,12 @@ int main(int argc, char** argv) {
     }
     argc = static_cast<int>(args.size());
     argv = args.data();
+    if (g_resume && g_checkpoint_dir.empty()) {
+      throw Error("--resume requires --checkpoint-dir");
+    }
+    if (g_checkpoint_every > 0 && g_checkpoint_dir.empty()) {
+      throw Error("--checkpoint-every requires --checkpoint-dir");
+    }
     if (argc < 2) usage();
     const std::string command = argv[1];
     if (command == "generate") return cmd_generate(argc, argv);
