@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
+#include "rwbc/pipeline.hpp"
 
 namespace rwbc::bench {
 
@@ -18,11 +19,9 @@ namespace rwbc::bench {
 /// environment variable (0 = serial, N = pool of N, -1 = hardware).
 /// Results are bit-identical across settings (the scheduler's determinism
 /// contract), so sweeping RWBC_THREADS re-times E4/E5/E8/E10/E14 without
-/// perturbing any measured round or bit count.
-inline int threads_from_env() {
-  const char* value = std::getenv("RWBC_THREADS");
-  return value == nullptr ? 0 : std::atoi(value);
-}
+/// perturbing any measured round or bit count.  Parsing lives with the
+/// --threads flag in rwbc/pipeline.hpp.
+inline int threads_from_env() { return pipeline_threads_from_env(); }
 
 /// Thread-count sweep for E14: RWBC_THREAD_SWEEP as a comma-separated list
 /// (e.g. "0,2,4,8"); default {0, 2, 4, 8}.

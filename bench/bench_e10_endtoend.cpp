@@ -14,7 +14,7 @@
 #include "centrality/ranking.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/pipeline.hpp"
 
 int main() {
   using namespace rwbc;
@@ -46,20 +46,26 @@ int main() {
       std::uint64_t rounds = 0;
       bool compliant = true;
       for (std::uint64_t seed : {1u, 2u, 3u}) {
-        DistributedRwbcOptions options;  // l = 2n default
-        options.walks_multiplier = tier.walks_multiplier;
-        options.congest.seed = seed;
-        options.congest.num_threads = bench::threads_from_env();
-        options.congest.bit_floor = tier.bit_floor;
-        const auto r = distributed_rwbc(g, options);
-        max_errs.push_back(max_relative_error(exact, r.betweenness));
-        mean_errs.push_back(mean_relative_error(exact, r.betweenness));
-        taus.push_back(kendall_tau(exact, r.betweenness));
-        tops.push_back(top_k_overlap(exact, r.betweenness, 5));
-        rounds = r.total.rounds;
-        Network probe(g, options.congest);
+        PipelineSpec spec;  // algorithm "rwbc", l = 2n default
+        spec.rwbc.walks_multiplier = tier.walks_multiplier;
+        spec.seed = seed;
+        spec.threads = pipeline_threads_from_env();
+        spec.bit_floor = tier.bit_floor;
+        DistributedRwbcResult r;
+        spec.rwbc_result = &r;
+        const RunReport report = run_pipeline(g, spec);
+        max_errs.push_back(max_relative_error(exact, report.scores));
+        mean_errs.push_back(mean_relative_error(exact, report.scores));
+        taus.push_back(kendall_tau(exact, report.scores));
+        tops.push_back(top_k_overlap(exact, report.scores, 5));
+        rounds = report.rounds;
+        CongestConfig probe_config;
+        probe_config.seed = seed;
+        probe_config.bit_floor = tier.bit_floor;
+        Network probe(g, probe_config);
         compliant = compliant &&
-                    r.total.max_bits_per_edge_round <= probe.bit_budget();
+                    report.metrics.max_bits_per_edge_round <=
+                        probe.bit_budget();
       }
       const double nl = static_cast<double>(g.node_count()) *
                         std::log2(static_cast<double>(g.node_count()));

@@ -24,7 +24,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "congest/network.hpp"
-#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/pipeline.hpp"
 
 namespace {
 
@@ -81,16 +81,16 @@ Timed run_synthetic(const Graph& g, int threads) {
 }
 
 Timed run_rwbc_pipeline(const Graph& g, int threads) {
-  DistributedRwbcOptions options;
-  options.walks_per_source = 4;
-  options.cutoff = static_cast<std::size_t>(g.node_count()) / 4;
-  options.run_leader_election = false;
-  options.compute_scores = false;  // keep n = 4096 out of O(n^2) memory
-  options.congest.seed = 14;
-  options.congest.num_threads = threads;
+  PipelineSpec spec;  // algorithm "rwbc"
+  spec.rwbc.walks_per_source = 4;
+  spec.rwbc.cutoff = static_cast<std::size_t>(g.node_count()) / 4;
+  spec.rwbc.run_leader_election = false;
+  spec.rwbc.compute_scores = false;  // keep n = 4096 out of O(n^2) memory
+  spec.seed = 14;
+  spec.threads = threads;
   const double start = now_ms();
   Timed timed;
-  timed.metrics = distributed_rwbc(g, options).total;
+  timed.metrics = run_pipeline(g, spec).metrics;
   timed.ms = now_ms() - start;
   return timed;
 }

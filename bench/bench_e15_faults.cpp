@@ -20,7 +20,7 @@
 #include "bench_common.hpp"
 #include "centrality/current_flow_exact.hpp"
 #include "common/table.hpp"
-#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/pipeline.hpp"
 
 namespace {
 
@@ -61,25 +61,25 @@ int main() {
         // Average over fault schedules; walk randomness (congest.seed)
         // stays fixed so rows differ only by the faults themselves.
         for (int fs = 0; fs < fault_seeds; ++fs) {
-          DistributedRwbcOptions options;
-          options.walks_per_source = walks;
-          options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
-          options.run_leader_election = false;
-          options.congest.seed = 23;
-          options.congest.bit_floor = 128;
-          options.congest.num_threads = bench::threads_from_env();
-          options.congest.faults.seed = 1000 + fs;
-          options.congest.faults.drop_prob = drop;
-          options.reliable_transport = reliable;
+          PipelineSpec spec;  // algorithm "rwbc"
+          spec.rwbc.walks_per_source = walks;
+          spec.rwbc.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+          spec.rwbc.run_leader_election = false;
+          spec.seed = 23;
+          spec.bit_floor = 128;
+          spec.threads = pipeline_threads_from_env();
+          spec.faults.seed = 1000 + fs;
+          spec.faults.drop_prob = drop;
+          spec.reliable_transport = reliable;
           // Explicit backstop (instead of the auto O(Kn) one) so the
           // baseline's stalled termination costs bounded time.
-          options.fault_deadline_rounds = 8000;
-          const auto r = distributed_rwbc(g, options);
-          err_sum += mean_abs_error(exact, r.betweenness);
-          rounds += r.total.rounds;
-          dropped += r.total.dropped_messages;
-          retx += r.total.retransmissions;
-          peak = std::max(peak, r.total.max_bits_per_edge_round);
+          spec.rwbc.fault_deadline_rounds = 8000;
+          const RunReport r = run_pipeline(g, spec);
+          err_sum += mean_abs_error(exact, r.scores);
+          rounds += r.rounds;
+          dropped += r.metrics.dropped_messages;
+          retx += r.metrics.retransmissions;
+          peak = std::max(peak, r.metrics.max_bits_per_edge_round);
           if (drop == 0.0) break;  // no faults: every seed is identical
         }
         const int runs = drop == 0.0 ? 1 : fault_seeds;
@@ -106,27 +106,27 @@ int main() {
     Table table({"scenario", "mode", "mean |err|", "rounds", "crashed"});
     for (const bool crash : {false, true}) {
       for (const bool reliable : {false, true}) {
-        DistributedRwbcOptions options;
-        options.walks_per_source = walks;
-        options.cutoff = 2 * static_cast<std::size_t>(g.node_count());
-        options.run_leader_election = false;
-        options.congest.seed = 23;
-        options.congest.bit_floor = 128;
-        options.congest.num_threads = bench::threads_from_env();
-        options.congest.faults.seed = 1000;
+        PipelineSpec spec;  // algorithm "rwbc"
+        spec.rwbc.walks_per_source = walks;
+        spec.rwbc.cutoff = 2 * static_cast<std::size_t>(g.node_count());
+        spec.rwbc.run_leader_election = false;
+        spec.seed = 23;
+        spec.bit_floor = 128;
+        spec.threads = pipeline_threads_from_env();
+        spec.faults.seed = 1000;
         if (crash) {
-          options.congest.faults.crashes.push_back(CrashEvent{3, 60});
+          spec.faults.crashes.push_back(CrashEvent{3, 60});
         } else {
-          options.congest.faults.dup_prob = 0.05;
+          spec.faults.dup_prob = 0.05;
         }
-        options.reliable_transport = reliable;
-        options.fault_deadline_rounds = 8000;
-        const auto r = distributed_rwbc(g, options);
+        spec.reliable_transport = reliable;
+        spec.rwbc.fault_deadline_rounds = 8000;
+        const RunReport r = run_pipeline(g, spec);
         table.add_row({crash ? "crash node 3 @ round 60" : "dup 5%",
                        reliable ? "self-healing" : "baseline",
-                       Table::fmt(mean_abs_error(exact, r.betweenness), 5),
-                       Table::fmt(r.total.rounds),
-                       Table::fmt(r.total.crashed_nodes)});
+                       Table::fmt(mean_abs_error(exact, r.scores), 5),
+                       Table::fmt(r.rounds),
+                       Table::fmt(r.metrics.crashed_nodes)});
       }
     }
     table.print(std::cout);

@@ -15,7 +15,7 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
-#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/pipeline.hpp"
 
 int main() {
   using namespace rwbc;
@@ -40,23 +40,23 @@ int main() {
           fs::temp_directory_path() / ("rwbc-e16-" + family);
       fs::remove_all(dir);
 
-      DistributedRwbcOptions options;
-      options.congest.seed = 17;
-      options.congest.num_threads = bench::threads_from_env();
+      PipelineSpec spec;  // algorithm "rwbc"
+      spec.seed = 17;
+      spec.threads = pipeline_threads_from_env();
       if (interval > 0) {
-        options.checkpoint.dir = dir.string();
-        options.checkpoint.interval = interval;
-        options.checkpoint.keep = 1u << 20;  // keep all: we meter bytes
+        spec.checkpoint_dir = dir.string();
+        spec.checkpoint_every = interval;
+        spec.rwbc.checkpoint.keep = 1u << 20;  // keep all: we meter bytes
       }
 
       const auto start = clock::now();
-      const auto result = distributed_rwbc(g, options);
+      const RunReport result = run_pipeline(g, spec);
       const double ms =
           std::chrono::duration<double, std::milli>(clock::now() - start)
               .count();
       if (interval == 0) {
         baseline_ms = ms;
-        golden = result.betweenness;
+        golden = result.scores;
       }
 
       std::size_t snapshots = 0;
@@ -72,10 +72,10 @@ int main() {
       // and demand the golden scores back, bit for bit.
       bool resume_ok = true;
       if (interval > 0) {
-        DistributedRwbcOptions resume = options;
-        resume.checkpoint.interval = 0;
-        resume.checkpoint.resume = true;
-        resume_ok = distributed_rwbc(g, resume).betweenness == golden;
+        PipelineSpec resume = spec;
+        resume.checkpoint_every = 0;
+        resume.resume = true;
+        resume_ok = run_pipeline(g, resume).scores == golden;
       }
 
       table.add_row(
@@ -88,7 +88,7 @@ int main() {
                : Table::fmt(static_cast<double>(bytes) / 1024.0 /
                                 static_cast<double>(snapshots),
                             1),
-           Table::fmt(result.total.rounds), Table::fmt(ms, 1),
+           Table::fmt(result.rounds), Table::fmt(ms, 1),
            interval == 0
                ? "baseline"
                : Table::fmt(100.0 * (ms - baseline_ms) / baseline_ms, 1) +

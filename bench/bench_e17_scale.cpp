@@ -1,0 +1,247 @@
+// E17 — the arena message path at scale.
+//
+// The arena rewrite (congest/arena.hpp, DESIGN.md section 8) exists so the
+// simulator's per-round cost is linear in delivered traffic with no
+// per-message allocation — the regime the paper's O(n log n)-round claim
+// needs at n >= 10^5.  This bench runs the counting phase (Algorithm 1's
+// message-heavy inner loop) alone at n = 50k (--quick) and n = 100k over
+// ws / grid / ba, with the BFS tree built centrally (setup phases are not
+// what scales) and CountingNodeConfig::track_visits off (the per-node
+// visit table is O(n) words per node — Theta(n^2) total — and the outputs
+// here are round/bit/wall metrics, not scores).
+//
+// Output: a table plus optional machine-readable JSON (--json FILE).  With
+// --baseline FILE (the committed bench/baselines/e17_scale_baseline.json)
+// the run gates itself: any family whose wall-clock exceeds gate x baseline
+// (--gate, default 2.0 — CI machines are noisy) fails the process, which is
+// the scheduled "scale smoke" CI job's regression signal.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "congest/network.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "rwbc/counting_node.hpp"
+
+namespace {
+
+using namespace rwbc;
+
+/// Central BFS from `root`, producing the same min-id-parent layered tree
+/// the distributed protocol converges to (neighbors() is sorted, so the
+/// first discoverer at the shallower layer is the minimum-id parent).
+SpanningTree central_bfs_tree(const Graph& g, NodeId root) {
+  SpanningTree tree;
+  tree.root = root;
+  const std::size_t n = static_cast<std::size_t>(g.node_count());
+  tree.parent.assign(n, -1);
+  tree.children.assign(n, {});
+  tree.depth.assign(n, -1);
+  std::queue<NodeId> frontier;
+  tree.depth[static_cast<std::size_t>(root)] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    tree.height = std::max(tree.height, tree.depth[static_cast<std::size_t>(u)]);
+    for (const NodeId v : g.neighbors(u)) {
+      if (tree.depth[static_cast<std::size_t>(v)] >= 0) continue;
+      tree.depth[static_cast<std::size_t>(v)] =
+          tree.depth[static_cast<std::size_t>(u)] + 1;
+      tree.parent[static_cast<std::size_t>(v)] = u;
+      tree.children[static_cast<std::size_t>(u)].push_back(v);
+      frontier.push(v);
+    }
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (tree.depth[static_cast<std::size_t>(v)] < 0) {
+      throw Error("E17 needs a connected graph; family member is not");
+    }
+  }
+  return tree;
+}
+
+struct ScaleResult {
+  std::string family;
+  NodeId n = 0;
+  std::size_t m = 0;
+  RunMetrics metrics;
+  double wall_ms = 0.0;
+  double ms_per_round() const {
+    return metrics.rounds == 0 ? 0.0
+                               : wall_ms / static_cast<double>(metrics.rounds);
+  }
+};
+
+/// Counting phase only: K walks per source toward a fixed target, central
+/// tree, visit tallies off.  (K, l) are kept small — the bench measures the
+/// simulator's per-round delivery cost, not estimator accuracy.
+ScaleResult run_counting_phase(const std::string& family, NodeId n,
+                               int threads) {
+  ScaleResult result;
+  result.family = family;
+  const Graph g = bench::make_family(family, n, 17);
+  result.n = g.node_count();
+  result.m = g.edge_count();
+  const SpanningTree tree = central_bfs_tree(g, 0);
+
+  const std::uint64_t walks_per_source = 2;
+  std::uint64_t cutoff = 2;
+  while ((1ull << cutoff) < static_cast<std::uint64_t>(g.node_count())) {
+    ++cutoff;  // l = 2 log2 n: enough rounds to flood traffic, not O(n)
+  }
+  cutoff *= 2;
+
+  CongestConfig config;
+  config.seed = 17;
+  config.bit_floor = 128;
+  config.num_threads = threads;
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId v) {
+    CountingNodeConfig node_config;
+    node_config.target = 1;
+    node_config.walks_per_source = walks_per_source;
+    node_config.cutoff = cutoff;
+    node_config.tree_parent = tree.parent[static_cast<std::size_t>(v)];
+    node_config.tree_children = tree.children[static_cast<std::size_t>(v)];
+    node_config.track_visits = false;
+    return std::make_unique<CountingNode>(std::move(node_config));
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  result.metrics = net.run();
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+void write_json(const std::string& path, bool quick, NodeId n,
+                const std::vector<ScaleResult>& results) {
+  std::ofstream out(path);
+  if (!out.good()) throw Error("cannot write JSON to " + path);
+  out << "{\n  \"bench\": \"e17_scale\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"n\": " << n << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    out << "    {\"family\": \"" << r.family << "\", \"n\": " << r.n
+        << ", \"rounds\": " << r.metrics.rounds
+        << ", \"messages\": " << r.metrics.total_messages
+        << ", \"bits\": " << r.metrics.total_bits
+        << ", \"wall_ms\": " << r.wall_ms << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+/// Minimal reader for the baseline file: extracts ("family", wall_ms)
+/// pairs from the fixed format write_json produces.  No JSON library — the
+/// file is ours, one entry per line.
+std::vector<std::pair<std::string, double>> read_baseline(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw Error("cannot read baseline " + path);
+  std::vector<std::pair<std::string, double>> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t fam_key = line.find("\"family\": \"");
+    const std::size_t ms_key = line.find("\"wall_ms\": ");
+    if (fam_key == std::string::npos || ms_key == std::string::npos) continue;
+    const std::size_t fam_start = fam_key + 11;
+    const std::size_t fam_end = line.find('"', fam_start);
+    const std::string family = line.substr(fam_start, fam_end - fam_start);
+    const double ms = std::strtod(line.c_str() + ms_key + 11, nullptr);
+    entries.emplace_back(family, ms);
+  }
+  if (entries.empty()) throw Error("no entries in baseline " + path);
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path, baseline_path;
+  double gate = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error(flag + " requires a value");
+      return argv[++i];
+    };
+    if (flag == "--quick") {
+      quick = true;
+    } else if (flag == "--json") {
+      json_path = value();
+    } else if (flag == "--baseline") {
+      baseline_path = value();
+    } else if (flag == "--gate") {
+      gate = std::strtod(value().c_str(), nullptr);
+    } else {
+      std::cerr << "error: unknown flag: " << flag << "\n"
+                << "usage: bench_e17_scale [--quick] [--json FILE] "
+                   "[--baseline FILE] [--gate FACTOR]\n";
+      return 2;
+    }
+  }
+
+  const NodeId n = quick ? 50000 : 100000;
+  bench::banner("E17: arena message path at scale",
+                "claim: the arena delivery path holds linear per-round cost "
+                "at n >= 10^5\n(counting phase only, central BFS tree, "
+                "visit tallies off)");
+  const int threads = bench::threads_from_env();
+  std::cout << "n = " << n << (quick ? " (--quick)" : "") << ", threads = "
+            << threads << " (RWBC_THREADS)\n\n";
+
+  std::vector<ScaleResult> results;
+  Table table({"family", "n", "m", "rounds", "messages", "total bits",
+               "wall ms", "ms/round", "msgs/ms"});
+  for (const std::string& family :
+       {std::string("ws"), std::string("grid"), std::string("ba")}) {
+    const ScaleResult r = run_counting_phase(family, n, threads);
+    table.add_row(
+        {r.family, Table::fmt(r.n),
+         Table::fmt(static_cast<std::uint64_t>(r.m)),
+         Table::fmt(r.metrics.rounds), Table::fmt(r.metrics.total_messages),
+         Table::fmt(r.metrics.total_bits), Table::fmt(r.wall_ms, 1),
+         Table::fmt(r.ms_per_round(), 3),
+         Table::fmt(static_cast<double>(r.metrics.total_messages) / r.wall_ms,
+                    1)});
+    results.push_back(r);
+  }
+  table.print(std::cout);
+
+  if (!json_path.empty()) write_json(json_path, quick, n, results);
+
+  int failures = 0;
+  if (!baseline_path.empty()) {
+    const auto baseline = read_baseline(baseline_path);
+    std::cout << "\nregression gate (must stay under " << gate
+              << "x the committed baseline):\n";
+    for (const ScaleResult& r : results) {
+      for (const auto& [family, ms] : baseline) {
+        if (family != r.family) continue;
+        const bool ok = r.wall_ms <= gate * ms;
+        std::cout << "  " << family << ": " << Table::fmt(r.wall_ms, 1)
+                  << " ms vs baseline " << Table::fmt(ms, 1) << " ms — "
+                  << (ok ? "ok" : "REGRESSION") << "\n";
+        if (!ok) ++failures;
+      }
+    }
+  }
+  std::cout << "\nReading: ms/round is the arena path's cost per delivered "
+               "batch; it should track messages/round, not n^2 — the "
+               "pre-arena serial merge failed this at n ~ 4096.\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -54,10 +54,17 @@ std::uint64_t encode_approx_float(double value, int mantissa_bits,
 double decode_approx_float(std::uint64_t encoded, int mantissa_bits,
                            int exponent_bits);
 
-/// Sequential reader over a BitWriter payload.
+/// Sequential reader over a BitWriter payload.  Stores a raw pointer to the
+/// payload bytes (not a copy): the storage — a BitWriter buffer, a message
+/// arena slice, a checkpoint blob — must outlive the reader.
 class BitReader {
  public:
   BitReader(const std::vector<std::uint8_t>& bytes, int bit_count)
+      : bytes_(bytes.data()), bit_count_(bit_count) {}
+
+  /// Reader over raw payload bytes (e.g. an arena-backed message slice);
+  /// `bytes` must cover at least ceil(bit_count / 8) bytes.
+  BitReader(const std::uint8_t* bytes, int bit_count)
       : bytes_(bytes), bit_count_(bit_count) {}
 
   /// Reads `width` bits; throws if the payload is exhausted.
@@ -67,7 +74,7 @@ class BitReader {
   int remaining() const { return bit_count_ - cursor_; }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  const std::uint8_t* bytes_;
   int bit_count_;
   int cursor_ = 0;
 };

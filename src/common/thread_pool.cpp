@@ -46,6 +46,15 @@ void ThreadPool::run_chunk(std::size_t chunk) {
   // thread mapping never depends on timing.
   const std::size_t begin = chunk * count_ / thread_count_;
   const std::size_t end = (chunk + 1) * count_ / thread_count_;
+  if (range_body_ != nullptr) {
+    if (begin >= end) return;
+    try {
+      (*range_body_)(begin, end);
+    } catch (...) {
+      record_failure(begin);
+    }
+    return;
+  }
   for (std::size_t i = begin; i < end; ++i) {
     try {
       (*body_)(i);
@@ -78,6 +87,7 @@ void ThreadPool::parallel_for(std::size_t count,
     std::lock_guard<std::mutex> lock(mutex_);
     count_ = count;
     body_ = &body;
+    range_body_ = nullptr;
     failure_ = nullptr;
     failed_index_ = count;
     pending_workers_ = workers_.size();
@@ -90,6 +100,37 @@ void ThreadPool::parallel_for(std::size_t count,
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
     body_ = nullptr;
+    failure = failure_;
+    failure_ = nullptr;
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (thread_count_ == 1) {  // inline fast path: no synchronisation at all
+    body(0, count);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ = count;
+    body_ = nullptr;
+    range_body_ = &body;
+    failure_ = nullptr;
+    failed_index_ = count;
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the caller is chunk 0
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+    range_body_ = nullptr;
     failure = failure_;
     failure_ = nullptr;
   }

@@ -54,6 +54,17 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
+  /// Range flavour for cheap per-index work (the arena's counting and
+  /// prefix passes): each chunk invokes body(begin, end) ONCE over its
+  /// contiguous index range, so the per-index cost is a plain loop
+  /// iteration instead of a std::function call.  Chunk boundaries are the
+  /// same arithmetic as parallel_for.  A throwing body is reported at its
+  /// chunk's begin index (the body owns the range; the pool cannot know
+  /// which index failed) and the smallest such index's exception wins.
+  void parallel_for_ranges(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to return 0 when unknown).
   static std::size_t hardware_threads();
@@ -74,6 +85,7 @@ class ThreadPool {
   std::size_t pending_workers_ = 0; // workers not yet finished this generation
   std::size_t count_ = 0;
   const std::function<void(std::size_t)>* body_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* range_body_ = nullptr;
   std::size_t failed_index_ = 0;
   std::exception_ptr failure_;
 };

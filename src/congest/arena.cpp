@@ -1,0 +1,168 @@
+#include "congest/arena.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace rwbc {
+
+namespace {
+
+/// Runs body(begin, end) over [0, count), split across the pool when one is
+/// configured (serial otherwise).  The chunk boundaries never affect what is
+/// written where — every body below writes to ranges derived from the index
+/// alone — so pool size is a pure wall-clock knob here too.
+void for_ranges(ThreadPool* pool, std::size_t count,
+                const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for_ranges(count, body);
+  } else if (count > 0) {
+    body(0, count);
+  }
+}
+
+}  // namespace
+
+void RoundArena::prepare(std::size_t node_count, std::size_t message_count,
+                         std::size_t payload_bytes) {
+  messages_.resize(message_count);
+  bytes_.resize(payload_bytes);
+  offsets_.assign(node_count, 0);
+  counts_.assign(node_count, 0);
+}
+
+DeliveryPlanner::DeliveryPlanner(const Graph& g, bool with_fault_buffers)
+    : node_count_(static_cast<std::size_t>(g.node_count())),
+      edge_count_(g.degree_sum()),
+      fault_buffers_(with_fault_buffers) {
+  // in_edges_ stores dense directed-edge ids as u32; 2m must fit.
+  RWBC_REQUIRE(edge_count_ <= std::numeric_limits<std::uint32_t>::max(),
+               "graph too large for the delivery index (2m must fit in 32 "
+               "bits)");
+  out_base_.resize(node_count_ + 1);
+  in_base_.resize(node_count_ + 1);
+  out_base_[0] = 0;
+  in_base_[0] = 0;
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    // An undirected edge contributes one outgoing and one incoming directed
+    // edge at each endpoint, so both bases advance by degree(v).
+    const auto deg =
+        static_cast<std::size_t>(g.degree(static_cast<NodeId>(v)));
+    out_base_[v + 1] = out_base_[v] + deg;
+    in_base_[v + 1] = in_base_[v] + deg;
+  }
+  // Counting-sort the directed edges by destination.  Senders are visited in
+  // ascending id order, so each destination's incoming-edge list comes out
+  // sorted by sender id — the canonical inbox block order.
+  in_edges_.resize(edge_count_);
+  std::vector<std::size_t> cursor(in_base_.begin(), in_base_.end() - 1);
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    const auto neighbors = g.neighbors(static_cast<NodeId>(u));
+    for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+      const auto v = static_cast<std::size_t>(neighbors[slot]);
+      in_edges_[cursor[v]++] = static_cast<std::uint32_t>(out_base_[u] + slot);
+    }
+  }
+
+  sent_bits_.assign(edge_count_, 0);
+  sent_msgs_.assign(edge_count_, 0);
+  sent_bytes_.assign(edge_count_, 0);
+  if (fault_buffers_) {
+    deliv_msgs_.assign(edge_count_, 0);
+    deliv_bytes_.assign(edge_count_, 0);
+  }
+  place_msg_.resize(edge_count_);
+  place_byte_.resize(edge_count_);
+  node_msgs_.resize(node_count_);
+  node_bytes_.resize(node_count_);
+  node_msg_off_.resize(node_count_);
+  node_byte_off_.resize(node_count_);
+}
+
+std::span<const std::uint64_t> DeliveryPlanner::sent_bits_segment(
+    NodeId u) const {
+  const auto v = static_cast<std::size_t>(u);
+  return {sent_bits_.data() + out_base_[v], out_base_[v + 1] - out_base_[v]};
+}
+
+std::span<const std::uint32_t> DeliveryPlanner::sent_msgs_segment(
+    NodeId u) const {
+  const auto v = static_cast<std::size_t>(u);
+  return {sent_msgs_.data() + out_base_[v], out_base_[v + 1] - out_base_[v]};
+}
+
+void DeliveryPlanner::zero_round(ThreadPool* pool) {
+  for_ranges(pool, edge_count_, [this](std::size_t begin, std::size_t end) {
+    std::fill(sent_bits_.begin() + static_cast<std::ptrdiff_t>(begin),
+              sent_bits_.begin() + static_cast<std::ptrdiff_t>(end), 0);
+    std::fill(sent_msgs_.begin() + static_cast<std::ptrdiff_t>(begin),
+              sent_msgs_.begin() + static_cast<std::ptrdiff_t>(end), 0);
+    std::fill(sent_bytes_.begin() + static_cast<std::ptrdiff_t>(begin),
+              sent_bytes_.begin() + static_cast<std::ptrdiff_t>(end), 0);
+    if (fault_buffers_) {
+      std::fill(deliv_msgs_.begin() + static_cast<std::ptrdiff_t>(begin),
+                deliv_msgs_.begin() + static_cast<std::ptrdiff_t>(end), 0);
+      std::fill(deliv_bytes_.begin() + static_cast<std::ptrdiff_t>(begin),
+                deliv_bytes_.begin() + static_cast<std::ptrdiff_t>(end), 0);
+    }
+  });
+}
+
+DeliveryTotals DeliveryPlanner::schedule(bool use_delivered, RoundArena& arena,
+                                         ThreadPool* pool) {
+  RWBC_ASSERT(!use_delivered || fault_buffers_,
+              "fault schedule requested without fault buffers");
+  const std::uint32_t* msgs =
+      use_delivered ? deliv_msgs_.data() : sent_msgs_.data();
+  const std::uint32_t* bytes =
+      use_delivered ? deliv_bytes_.data() : sent_bytes_.data();
+
+  // Pass 1 (parallel over destinations): each destination's totals come
+  // from its own incoming edges only, so the writes are disjoint per v.
+  for_ranges(pool, node_count_, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      std::size_t m = 0;
+      std::size_t b = 0;
+      for (std::uint32_t e : in_edges(static_cast<NodeId>(v))) {
+        m += msgs[e];
+        b += bytes[e];
+      }
+      node_msgs_[v] = m;
+      node_bytes_[v] = b;
+    }
+  });
+
+  // Serial prefix sum: node-id order fixes every inbox slice, independent
+  // of any thread schedule.
+  DeliveryTotals totals;
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    node_msg_off_[v] = totals.messages;
+    node_byte_off_[v] = totals.payload_bytes;
+    totals.messages += node_msgs_[v];
+    totals.payload_bytes += node_bytes_[v];
+  }
+  arena.prepare(node_count_, totals.messages, totals.payload_bytes);
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    arena.set_inbox(static_cast<NodeId>(v), node_msg_off_[v], node_msgs_[v]);
+  }
+
+  // Pass 2 (parallel over destinations): within each inbox, sender blocks
+  // follow ascending sender id — in_edges(v) is already in that order.
+  for_ranges(pool, node_count_, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      std::size_t m = node_msg_off_[v];
+      std::size_t b = node_byte_off_[v];
+      for (std::uint32_t e : in_edges(static_cast<NodeId>(v))) {
+        place_msg_[e] = m;
+        place_byte_[e] = b;
+        m += msgs[e];
+        b += bytes[e];
+      }
+    }
+  });
+  return totals;
+}
+
+}  // namespace rwbc

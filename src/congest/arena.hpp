@@ -1,0 +1,188 @@
+// Arena-backed message delivery for the CONGEST simulator.
+//
+// The seed implementation delivered messages by a serial merge: one thread
+// walked every sender's outbox and push_back'ed heap-owning Message objects
+// into per-node inbox vectors.  Past n ~ 4096 that merge (and its per-message
+// allocations) dominates wall-clock and blocks the linear-scaling sweeps the
+// paper's O(n log n)-round claim is about.  This module replaces it with a
+// two-pass count-then-place scheme over flat, round-double-buffered storage:
+//
+//   RoundArena        one round's delivered messages: a flat Message array
+//                     plus a single payload byte buffer; each node's inbox is
+//                     an (offset, count) slice.  Two arenas double-buffer the
+//                     round loop — nodes read the front arena while the back
+//                     arena is rebuilt, then the buffers swap.
+//
+//   DeliveryPlanner   the count-then-place machinery.  Sends tally per
+//                     DIRECTED EDGE at send time (edge (u -> v) is touched
+//                     only by u's thread, so counting is conflict-free).
+//                     schedule() then computes, per destination, where each
+//                     sender's block of messages lands: a parallel pass sums
+//                     each destination's incoming-edge counts, a serial O(n)
+//                     prefix sum assigns inbox slices, and a second parallel
+//                     pass derives per-edge placement cursors in ascending
+//                     sender order.  The placement pass (driven by the
+//                     Network) then copies payload bytes in parallel over
+//                     senders: edge e's cursor is advanced only by its
+//                     sender's thread, and distinct edges own disjoint slice
+//                     ranges, so no two threads ever write the same slot.
+//
+// Determinism: a destination's inbox is the concatenation, over senders in
+// ascending id order, of that sender's messages in send order — exactly the
+// canonical (sender id, send order) sequence the seed's serial merge
+// produced.  Which thread places a block never affects where it lands, so
+// the arena path is bit-identical at every thread count (extending the
+// DESIGN.md section 5 argument; the shuffled-placement property test in
+// tests/arena_test.cpp exercises this directly).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace rwbc {
+
+class ThreadPool;
+
+/// Flat storage for one round's delivered messages.  Owns the Message slots
+/// and the payload bytes they point into; node inboxes are (offset, count)
+/// slices.  Buffers are bump-style: prepare() sizes them once per round (no
+/// per-message allocation; capacity is retained across rounds) and the
+/// placement pass fills the slots in place.
+class RoundArena {
+ public:
+  /// Sizes the arena for one round: `message_count` Message slots,
+  /// `payload_bytes` payload bytes, `node_count` inboxes.  Slice assignments
+  /// are reset; slot contents are undefined until placed.
+  void prepare(std::size_t node_count, std::size_t message_count,
+               std::size_t payload_bytes);
+
+  /// Assigns node v's inbox slice [offset, offset + count).
+  void set_inbox(NodeId v, std::size_t offset, std::size_t count) {
+    offsets_[static_cast<std::size_t>(v)] = offset;
+    counts_[static_cast<std::size_t>(v)] = count;
+  }
+
+  /// Empties node v's inbox (crash-stop: pending deliveries are discarded).
+  void clear_inbox(NodeId v) { counts_[static_cast<std::size_t>(v)] = 0; }
+
+  /// Node v's delivered messages, in canonical (sender id, send order)
+  /// order.  Valid until the next prepare() on this arena.
+  std::span<const Message> inbox(NodeId v) const {
+    return {messages_.data() + offsets_[static_cast<std::size_t>(v)],
+            counts_[static_cast<std::size_t>(v)]};
+  }
+
+  std::size_t inbox_count(NodeId v) const {
+    return counts_[static_cast<std::size_t>(v)];
+  }
+
+  std::size_t message_count() const { return messages_.size(); }
+  std::size_t payload_byte_count() const { return bytes_.size(); }
+
+  /// Raw slots for the placement pass.  Pointers are stable between
+  /// prepare() calls on this arena.
+  Message* message_slots() { return messages_.data(); }
+  std::uint8_t* payload_slots() { return bytes_.data(); }
+
+ private:
+  std::vector<Message> messages_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::size_t> offsets_;  // per node, index into messages_
+  std::vector<std::size_t> counts_;   // per node
+};
+
+/// Totals of one round's delivered traffic (after faults, if any).
+struct DeliveryTotals {
+  std::size_t messages = 0;
+  std::size_t payload_bytes = 0;
+};
+
+/// The count-then-place scheduler.  Directed edge (u -> neighbors(u)[slot])
+/// has the dense id out_base(u) + slot; all per-round tallies and placement
+/// cursors are flat arrays over these ids, and every id is touched by
+/// exactly one sender's thread during counting and placement.
+class DeliveryPlanner {
+ public:
+  /// Builds the directed-edge index from the graph.  `with_fault_buffers`
+  /// additionally allocates the delivered-count arrays the fault fate pass
+  /// writes (drops and duplications change what lands versus what was sent).
+  DeliveryPlanner(const Graph& g, bool with_fault_buffers);
+
+  std::size_t directed_edge_count() const { return edge_count_; }
+
+  /// First directed-edge id of sender u (its slot s maps to out_base + s).
+  std::size_t out_base(NodeId u) const {
+    return out_base_[static_cast<std::size_t>(u)];
+  }
+
+  // Per-round send tallies, as segment pointers for sender u: index by the
+  // neighbour slot.  Written only by u's thread while its on_round runs.
+  std::uint64_t* sent_bits(NodeId u) { return sent_bits_.data() + out_base(u); }
+  std::uint32_t* sent_msgs(NodeId u) { return sent_msgs_.data() + out_base(u); }
+  std::uint32_t* sent_bytes(NodeId u) {
+    return sent_bytes_.data() + out_base(u);
+  }
+  std::span<const std::uint64_t> sent_bits_segment(NodeId u) const;
+  std::span<const std::uint32_t> sent_msgs_segment(NodeId u) const;
+
+  // Delivered tallies (fault path only): what actually lands per edge after
+  // the serial fate pass applied drops and duplications.
+  std::uint32_t* delivered_msgs(NodeId u) {
+    return deliv_msgs_.data() + out_base(u);
+  }
+  std::uint32_t* delivered_bytes(NodeId u) {
+    return deliv_bytes_.data() + out_base(u);
+  }
+
+  /// Zeroes all per-round tallies (parallel when a pool is given).  Runs at
+  /// the top of every round, before any on_round may send.
+  void zero_round(ThreadPool* pool);
+
+  /// The two-pass schedule: from the per-edge counts (`use_delivered` picks
+  /// the fate-pass outputs over the raw send tallies), computes every node's
+  /// inbox slice in `arena` and every edge's placement cursors, and sizes
+  /// the arena's buffers.  Parallel over destinations where a pool is given;
+  /// the only serial part is the O(n) prefix sum over nodes.
+  DeliveryTotals schedule(bool use_delivered, RoundArena& arena,
+                          ThreadPool* pool);
+
+  // Placement cursors (written by schedule(), advanced by the placement
+  // pass; edge e's cursor is touched only by its sender's thread).
+  std::size_t* place_msg() { return place_msg_.data(); }
+  std::size_t* place_byte() { return place_byte_.data(); }
+
+ private:
+  std::span<const std::uint32_t> in_edges(NodeId v) const {
+    return {in_edges_.data() + in_base_[static_cast<std::size_t>(v)],
+            in_base_[static_cast<std::size_t>(v) + 1] -
+                in_base_[static_cast<std::size_t>(v)]};
+  }
+
+  std::size_t node_count_ = 0;
+  std::size_t edge_count_ = 0;  // directed: 2m
+  bool fault_buffers_ = false;
+
+  std::vector<std::size_t> out_base_;    // n+1: sender u's first edge id
+  std::vector<std::size_t> in_base_;     // n+1: offsets into in_edges_
+  std::vector<std::uint32_t> in_edges_;  // edge ids into v, ascending sender
+
+  std::vector<std::uint64_t> sent_bits_;
+  std::vector<std::uint32_t> sent_msgs_;
+  std::vector<std::uint32_t> sent_bytes_;
+  std::vector<std::uint32_t> deliv_msgs_;
+  std::vector<std::uint32_t> deliv_bytes_;
+  std::vector<std::size_t> place_msg_;
+  std::vector<std::size_t> place_byte_;
+
+  // schedule() scratch, one entry per node.
+  std::vector<std::size_t> node_msgs_;
+  std::vector<std::size_t> node_bytes_;
+  std::vector<std::size_t> node_msg_off_;
+  std::vector<std::size_t> node_byte_off_;
+};
+
+}  // namespace rwbc

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/bitcodec.hpp"
 #include "graph/graph.hpp"
@@ -16,11 +15,22 @@ namespace rwbc {
 /// An in-flight message. `from`/`to` are filled by the network at send time;
 /// they model the fact that a receiver knows which port a message arrived on
 /// (standard in CONGEST) and are not charged against the payload budget.
+///
+/// A Message does not own its payload: `payload` points into the network's
+/// per-round message arena (see congest/arena.hpp), which stays immutable
+/// for exactly the round in which the inbox span is handed to on_round.
+/// Node programs that need a payload beyond the round must decode it (the
+/// existing contract — inbox spans were never stable across rounds).
 struct Message {
   NodeId from = -1;
   NodeId to = -1;
-  std::vector<std::uint8_t> payload;
+  const std::uint8_t* payload = nullptr;  ///< arena-backed payload bytes
   int bit_count = 0;
+
+  /// Number of payload bytes backing `bit_count` bits.
+  std::size_t payload_bytes() const {
+    return (static_cast<std::size_t>(bit_count) + 7) / 8;
+  }
 
   /// Reader over the payload.
   BitReader reader() const { return BitReader(payload, bit_count); }

@@ -1,6 +1,7 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "common/bitcodec.hpp"
@@ -10,26 +11,46 @@
 
 namespace rwbc {
 
-// Per-node view handed to NodeProcess callbacks.  Owns the node's mailboxes
+namespace {
+
+/// Per-message fate codes recorded by the serial fate pass and consumed by
+/// the parallel placement pass (fault-injected runs only).
+constexpr std::uint8_t kFateDeliver = 0;
+constexpr std::uint8_t kFateDrop = 1;
+constexpr std::uint8_t kFateDuplicate = 2;
+
+}  // namespace
+
+// Per-node view handed to NodeProcess callbacks.  Owns the node's outbox
 // and per-round bandwidth accounting; all sends funnel through here so the
 // Network can meter them.
 //
 // Thread-safety contract (the deterministic parallel round path): while
 // on_round runs — possibly concurrently across nodes — a context touches
-// only its own members plus const Network state (graph, bit budget, round
-// number, cut flags).  All metering accumulates into per-context tallies
-// that the single-threaded driver merges in canonical node-id order after
-// the round, so serial and parallel execution produce bit-identical
-// metrics, snapshots, and delivery order.
+// only its own members, its own segments of the planner's flat per-edge
+// tally arrays (directed edge (u -> v) belongs to u alone), plus const
+// Network state (graph, bit budget, round number, cut flags).  All metering
+// accumulates into per-context tallies that the single-threaded driver
+// merges in canonical node-id order after the round, so serial and parallel
+// execution produce bit-identical metrics, snapshots, and delivery order.
 class Network::ContextImpl final : public NodeContext {
  public:
+  /// One queued send: the payload bytes live in out_bytes_, packed in send
+  /// order (ceil(bit_count / 8) bytes each, exactly as BitWriter packs).
+  struct PendingSend {
+    NodeId to = -1;
+    std::uint32_t slot = 0;  ///< index of `to` in the sender's neighbour list
+    std::int32_t bit_count = 0;
+  };
+
   ContextImpl(Network& net, NodeId id)
       : net_(net),
         id_(id),
         rng_(net.config_.seed, static_cast<std::uint64_t>(id)),
         neighbors_(net.graph_.neighbors(id)),
-        bits_this_round_(neighbors_.size(), 0),
-        msgs_this_round_(neighbors_.size(), 0) {}
+        slot_bits_(net.planner_.sent_bits(id)),
+        slot_msgs_(net.planner_.sent_msgs(id)),
+        slot_bytes_(net.planner_.sent_bytes(id)) {}
 
   NodeId id() const override { return id_; }
   NodeId node_count() const override { return net_.graph_.node_count(); }
@@ -48,10 +69,11 @@ class Network::ContextImpl final : public NodeContext {
                  "send target is not a neighbor");
     const auto slot = static_cast<std::size_t>(it - neighbors_.begin());
     const auto bits = static_cast<std::uint64_t>(payload.bit_count());
-    bits_this_round_[slot] += bits;
-    msgs_this_round_[slot] += 1;
+    slot_bits_[slot] += bits;
+    slot_msgs_[slot] += 1;
+    slot_bytes_[slot] += static_cast<std::uint32_t>(payload.bytes().size());
     if (net_.config_.enforce_bandwidth) {
-      RWBC_REQUIRE(bits_this_round_[slot] <= net_.bit_budget_,
+      RWBC_REQUIRE(slot_bits_[slot] <= net_.bit_budget_,
                    "CONGEST bandwidth budget exceeded on edge " +
                        std::to_string(id_) + "->" + std::to_string(neighbor) +
                        " in round " + std::to_string(net_.round_));
@@ -62,12 +84,10 @@ class Network::ContextImpl final : public NodeContext {
       round_cut_messages_ += 1;
       round_cut_bits_ += bits;
     }
-    Message msg;
-    msg.from = id_;
-    msg.to = neighbor;
-    msg.payload = payload.bytes();
-    msg.bit_count = payload.bit_count();
-    outbox_.push_back(std::move(msg));
+    out_meta_.push_back(PendingSend{neighbor, static_cast<std::uint32_t>(slot),
+                                    payload.bit_count()});
+    out_bytes_.insert(out_bytes_.end(), payload.bytes().begin(),
+                      payload.bytes().end());
   }
 
   void halt() override { halted_ = true; }
@@ -77,46 +97,50 @@ class Network::ContextImpl final : public NodeContext {
   // --- driver-side hooks -------------------------------------------------
 
   void begin_round() {
-    std::fill(bits_this_round_.begin(), bits_this_round_.end(), 0);
-    std::fill(msgs_this_round_.begin(), msgs_this_round_.end(), 0);
+    // The flat per-edge tallies are zeroed in bulk by the planner; only the
+    // per-context scalars and the outbox reset live here.
     round_messages_ = 0;
     round_bits_ = 0;
     round_cut_messages_ = 0;
     round_cut_bits_ = 0;
     round_retransmissions_ = 0;
+    out_meta_.clear();
+    out_bytes_.clear();
   }
 
   std::uint64_t peak_bits() const {
-    return bits_this_round_.empty()
-               ? 0
-               : *std::max_element(bits_this_round_.begin(),
-                                   bits_this_round_.end());
+    const auto seg = net_.planner_.sent_bits_segment(id_);
+    return seg.empty() ? 0 : *std::max_element(seg.begin(), seg.end());
   }
   std::uint64_t peak_msgs() const {
-    return msgs_this_round_.empty()
-               ? 0
-               : *std::max_element(msgs_this_round_.begin(),
-                                   msgs_this_round_.end());
+    const auto seg = net_.planner_.sent_msgs_segment(id_);
+    return seg.empty() ? 0 : *std::max_element(seg.begin(), seg.end());
   }
 
   Network& net_;
   NodeId id_;
   Rng rng_;
   std::span<const NodeId> neighbors_;
-  std::vector<std::uint64_t> bits_this_round_;
-  std::vector<std::uint64_t> msgs_this_round_;
+  // Per-slot send tallies: this context's segments of the planner's flat
+  // per-directed-edge arrays (zeroed in bulk each round).
+  std::uint64_t* slot_bits_;
+  std::uint32_t* slot_msgs_;
+  std::uint32_t* slot_bytes_;
   std::uint64_t round_messages_ = 0;
   std::uint64_t round_bits_ = 0;
   std::uint64_t round_cut_messages_ = 0;
   std::uint64_t round_cut_bits_ = 0;
   std::uint64_t round_retransmissions_ = 0;
-  std::vector<Message> inbox_;
-  std::vector<Message> outbox_;
+  std::vector<PendingSend> out_meta_;   ///< this round's sends, in order
+  std::vector<std::uint8_t> out_bytes_; ///< their payload bytes, packed
+  std::vector<std::uint8_t> fates_;     ///< per-send fate (faulty rounds)
   bool halted_ = false;
 };
 
 Network::Network(const Graph& graph, CongestConfig config)
-    : graph_(graph), config_(config) {
+    : graph_(graph),
+      config_(std::move(config)),
+      planner_(graph, config_.faults.any()) {
   const auto n = static_cast<std::uint64_t>(
       std::max<NodeId>(graph.node_count(), 2));
   bit_budget_ = std::max(
@@ -128,6 +152,7 @@ Network::Network(const Graph& graph, CongestConfig config)
   for (NodeId v = 0; v < graph.node_count(); ++v) {
     contexts_.push_back(std::make_unique<ContextImpl>(*this, v));
   }
+  front_.prepare(static_cast<std::size_t>(graph.node_count()), 0, 0);
   cut_edge_flags_.assign(graph.edge_count(), false);
   if (!config_.metered_cut.empty()) {
     register_cut(config_.metered_cut);
@@ -201,17 +226,22 @@ void Network::save_checkpoint(CheckpointWriter& out) const {
   out.boolean(injector_ != nullptr);
   if (injector_ != nullptr) injector_->save_state(out);
   // Per-node: RNG stream, halted flag, pending inbox, program state.  The
-  // program blob is length-prefixed so restore can verify each program
-  // consumes exactly what it saved.
+  // inbox is serialized from the front arena (which at the snapshot point
+  // holds last round's deliveries in canonical order), in exactly the byte
+  // layout the pre-arena format used: count, then per message the sender,
+  // bit count, and length-prefixed payload.  The program blob is
+  // length-prefixed so restore can verify each program consumes exactly
+  // what it saved.
   for (std::size_t v = 0; v < contexts_.size(); ++v) {
     const ContextImpl& ctx = *contexts_[v];
     for (std::uint64_t word : ctx.rng_.state()) out.u64(word);
     out.boolean(ctx.halted_);
-    out.u64(ctx.inbox_.size());
-    for (const Message& msg : ctx.inbox_) {
+    const auto inbox = front_.inbox(static_cast<NodeId>(v));
+    out.u64(inbox.size());
+    for (const Message& msg : inbox) {
       out.u32(static_cast<std::uint32_t>(msg.from));
       out.u64(static_cast<std::uint64_t>(msg.bit_count));
-      out.blob(msg.payload);
+      out.blob({msg.payload, msg.payload_bytes()});
     }
     CheckpointWriter program;
     processes_[v]->save_state(program);
@@ -253,8 +283,8 @@ void Network::restore_checkpoint(CheckpointReader& in) {
   }
   // Rebuild derived state exactly as an uninterrupted run would have, then
   // overwrite everything mutable with the snapshot.  on_start never sends
-  // (outboxes are cleared below regardless) and its RNG draws are undone by
-  // the stream restore.
+  // (outboxes are reset at the top of each round regardless) and its RNG
+  // draws are undone by the stream restore.
   for (std::size_t v = 0; v < n; ++v) {
     processes_[v]->on_start(*contexts_[v]);
   }
@@ -267,22 +297,38 @@ void Network::restore_checkpoint(CheckpointReader& in) {
         "fault injection");
   }
   if (injector_ != nullptr) injector_->load_state(in);
+  // In-flight messages are collected first (the reader is sequential), then
+  // rebuilt into the front arena in one pass — slice pointers are taken
+  // only after the payload buffer has its final size.
+  struct RestoredMessage {
+    NodeId from;
+    NodeId to;
+    std::int32_t bit_count;
+    std::size_t byte_offset;
+  };
+  std::vector<RestoredMessage> restored;
+  std::vector<std::uint8_t> restored_bytes;
+  std::vector<std::size_t> inbox_counts(n, 0);
   for (std::size_t v = 0; v < n; ++v) {
     ContextImpl& ctx = *contexts_[v];
     std::array<std::uint64_t, 4> rng_state{};
     for (auto& word : rng_state) word = in.u64();
     ctx.rng_.set_state(rng_state);
     ctx.halted_ = in.boolean();
-    ctx.inbox_.clear();
-    ctx.outbox_.clear();
+    ctx.out_meta_.clear();
+    ctx.out_bytes_.clear();
     const std::uint64_t inbox_size = in.u64();
+    inbox_counts[v] = static_cast<std::size_t>(inbox_size);
     for (std::uint64_t i = 0; i < inbox_size; ++i) {
-      Message msg;
+      RestoredMessage msg;
       msg.from = static_cast<NodeId>(in.u32());
       msg.to = static_cast<NodeId>(v);
-      msg.bit_count = static_cast<std::size_t>(in.u64());
-      msg.payload = in.blob();
-      ctx.inbox_.push_back(std::move(msg));
+      msg.bit_count = static_cast<std::int32_t>(in.u64());
+      msg.byte_offset = restored_bytes.size();
+      const std::vector<std::uint8_t> payload = in.blob();
+      restored_bytes.insert(restored_bytes.end(), payload.begin(),
+                            payload.end());
+      restored.push_back(msg);
     }
     CheckpointReader program(in.blob());
     processes_[v]->load_state(program);
@@ -296,8 +342,122 @@ void Network::restore_checkpoint(CheckpointReader& in) {
     throw CheckpointError("trailing " + std::to_string(in.remaining()) +
                           " byte(s) after checkpoint payload");
   }
+  front_.prepare(n, restored.size(), restored_bytes.size());
+  if (!restored_bytes.empty()) {
+    std::memcpy(front_.payload_slots(), restored_bytes.data(),
+                restored_bytes.size());
+  }
+  Message* slots = front_.message_slots();
+  const std::uint8_t* bytes = front_.payload_slots();
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    const RestoredMessage& msg = restored[i];
+    slots[i] = Message{msg.from, msg.to, bytes + msg.byte_offset,
+                       msg.bit_count};
+  }
+  std::size_t offset = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    front_.set_inbox(static_cast<NodeId>(v), offset, inbox_counts[v]);
+    offset += inbox_counts[v];
+  }
   resumed_ = true;
   last_checkpoint_round_ = round_;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Network::run_fate_pass() {
+  // Serial on purpose: the injector's dedicated RNG stream must see the
+  // messages in canonical (sender id, send order) order — the same sequence
+  // the pre-arena delivery merge consumed — so a given plan produces the
+  // same drops and duplicates at every thread count AND the same bytes as
+  // every checkpoint written before this refactor.
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  const std::size_t n = contexts_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    ContextImpl& ctx = *contexts_[v];
+    ctx.fates_.resize(ctx.out_meta_.size());
+    std::uint32_t* deliv_msgs = planner_.delivered_msgs(ctx.id_);
+    std::uint32_t* deliv_bytes = planner_.delivered_bytes(ctx.id_);
+    for (std::size_t j = 0; j < ctx.out_meta_.size(); ++j) {
+      const ContextImpl::PendingSend& send = ctx.out_meta_[j];
+      // Structural faults first (no RNG draws): dead destination or a
+      // downed link.  The destination is dead iff it will not execute the
+      // round this message would be read in (round_ + 1).
+      if (injector_->node_crashed(send.to, round_ + 1) ||
+          injector_->link_down(ctx.id_, send.to, round_)) {
+        ctx.fates_[j] = kFateDrop;
+        ++dropped;
+        continue;
+      }
+      std::uint32_t copies = 1;
+      switch (injector_->draw_fate()) {
+        case FaultInjector::Fate::kDrop:
+          ctx.fates_[j] = kFateDrop;
+          ++dropped;
+          continue;
+        case FaultInjector::Fate::kDuplicate:
+          ctx.fates_[j] = kFateDuplicate;
+          ++duplicated;
+          copies = 2;
+          break;
+        case FaultInjector::Fate::kDeliver:
+          ctx.fates_[j] = kFateDeliver;
+          break;
+      }
+      deliv_msgs[send.slot] += copies;
+      deliv_bytes[send.slot] +=
+          copies * static_cast<std::uint32_t>(
+                       (static_cast<std::uint32_t>(send.bit_count) + 7) / 8);
+    }
+  }
+  return {dropped, duplicated};
+}
+
+void Network::place_messages() {
+  // Parallel over awake senders (halted nodes have empty outboxes): each
+  // message is copied into the arena slot its edge's cursor points at.
+  // Edge (u -> v)'s cursor is advanced only by u's thread and distinct
+  // edges own disjoint slice ranges, so the writes never overlap; the final
+  // buffer is a pure function of the outboxes, independent of scheduling.
+  const bool faulty = injector_ != nullptr;
+  Message* slots = back_.message_slots();
+  std::uint8_t* bytes = back_.payload_slots();
+  std::size_t* place_msg = planner_.place_msg();
+  std::size_t* place_byte = planner_.place_byte();
+  const std::function<void(std::size_t)> place_sender =
+      [&](std::size_t i) {
+        ContextImpl& ctx = *contexts_[awake_[i]];
+        const std::size_t edge_base = planner_.out_base(ctx.id_);
+        const std::uint8_t* src = ctx.out_bytes_.data();
+        std::size_t src_offset = 0;
+        for (std::size_t j = 0; j < ctx.out_meta_.size(); ++j) {
+          const ContextImpl::PendingSend& send = ctx.out_meta_[j];
+          const std::size_t len =
+              (static_cast<std::size_t>(send.bit_count) + 7) / 8;
+          const std::uint8_t fate = faulty ? ctx.fates_[j] : kFateDeliver;
+          if (fate != kFateDrop) {
+            const std::size_t e = edge_base + send.slot;
+            // A duplicate lands as two adjacent, identical copies — the
+            // same receiver-side picture the pre-arena merge produced.
+            const int copies = fate == kFateDuplicate ? 2 : 1;
+            for (int c = 0; c < copies; ++c) {
+              const std::size_t slot_index = place_msg[e]++;
+              const std::size_t byte_index = place_byte[e];
+              place_byte[e] += len;
+              if (len > 0) {
+                std::memcpy(bytes + byte_index, src + src_offset, len);
+              }
+              slots[slot_index] = Message{ctx.id_, send.to, bytes + byte_index,
+                                          send.bit_count};
+            }
+          }
+          src_offset += len;
+        }
+      };
+  if (pool_) {
+    pool_->parallel_for(awake_.size(), place_sender);
+  } else {
+    for (std::size_t i = 0; i < awake_.size(); ++i) place_sender(i);
+  }
 }
 
 RunMetrics Network::run() {
@@ -338,9 +498,9 @@ RunMetrics Network::run() {
     RWBC_REQUIRE(round_ < config_.max_rounds,
                  "simulation exceeded the configured max_rounds");
     // Snapshot point: top of the loop, before this round's crash
-    // activation.  Inboxes hold last round's deliveries in canonical
-    // (sender id, send order) order and outboxes are empty, so the
-    // serialized bytes are identical at every thread count.  Skipped at
+    // activation.  The front arena holds last round's deliveries in
+    // canonical (sender id, send order) order and outboxes are empty, so
+    // the serialized bytes are identical at every thread count.  Skipped at
     // round 0 (nothing to save) and at the round we just resumed from.
     if (config_.checkpoint_interval > 0 && config_.checkpoint_sink &&
         round_ > 0 && round_ % config_.checkpoint_interval == 0 &&
@@ -364,31 +524,36 @@ RunMetrics Network::run() {
       if (injector_ != nullptr &&
           injector_->node_crashed(static_cast<NodeId>(v), round_)) {
         contexts_[v]->halted_ = true;
-        contexts_[v]->inbox_.clear();
+        front_.clear_inbox(static_cast<NodeId>(v));
         continue;
       }
-      if (!contexts_[v]->inbox_.empty()) contexts_[v]->halted_ = false;
+      if (front_.inbox_count(static_cast<NodeId>(v)) > 0) {
+        contexts_[v]->halted_ = false;
+      }
       if (!contexts_[v]->halted_) any_awake = true;
     }
     if (!any_awake) break;
 
     for (std::size_t v = 0; v < n; ++v) contexts_[v]->begin_round();
+    planner_.zero_round(pool_.get());
 
     // Execute on_round for every awake node — concurrently when a pool is
     // configured.  Node programs only touch their own context (per-node
-    // RNG, mailboxes, tallies), so the only ordering freedom is which node
+    // RNG, outbox, tallies), so the only ordering freedom is which node
     // runs first, and nothing observable depends on it: all sends land in
-    // per-context outboxes and all metering lands in per-context tallies,
-    // both merged below in canonical node-id order.  A bandwidth violation
-    // throws inside a worker; the pool rethrows the smallest-node-id
-    // exception — exactly what the serial loop would have raised.
+    // per-context outboxes (and the sender-owned per-edge tallies) and all
+    // metering lands in per-context tallies, both merged below in canonical
+    // node-id order.  A bandwidth violation throws inside a worker; the
+    // pool rethrows the smallest-node-id exception — exactly what the
+    // serial loop would have raised.
     awake_.clear();
     for (std::size_t v = 0; v < n; ++v) {
       if (!contexts_[v]->halted_) awake_.push_back(v);
     }
     const std::function<void(std::size_t)> run_node = [this](std::size_t i) {
       const std::size_t v = awake_[i];
-      processes_[v]->on_round(*contexts_[v], contexts_[v]->inbox_);
+      processes_[v]->on_round(*contexts_[v],
+                              front_.inbox(static_cast<NodeId>(v)));
     };
     if (pool_) {
       pool_->parallel_for(awake_.size(), run_node);
@@ -421,46 +586,25 @@ RunMetrics Network::run() {
     metrics_.max_messages_per_edge_round =
         std::max(metrics_.max_messages_per_edge_round, round_peak_msgs);
 
-    // Deliver: every outbox message becomes next round's inbox content.
-    // This merge is the fault-injection point: it runs serially with
-    // messages in canonical (sender id, send order) order, so the fault
-    // RNG stream sees the same sequence at every thread count.  Senders
-    // were already charged bandwidth at send time — a dropped message is
-    // traffic spent, value lost, exactly like a real lossy link.
+    // Deliver: every outbox message becomes next round's inbox content, by
+    // the two-pass count-then-place scheme (see congest/arena.hpp).  With a
+    // fault plan active, the serial fate pass first decides every message's
+    // fate — preserving the injector's canonical draw order — and rewrites
+    // the per-edge counts to what actually lands; the schedule and the
+    // placement then run exactly as in the fault-free case.  Senders were
+    // already charged bandwidth at send time — a dropped message is traffic
+    // spent, value lost, exactly like a real lossy link.
     std::uint64_t round_dropped = 0;
     std::uint64_t round_duplicated = 0;
-    for (std::size_t v = 0; v < n; ++v) contexts_[v]->inbox_.clear();
-    bool delivered_any = false;
-    for (std::size_t v = 0; v < n; ++v) {
-      for (Message& msg : contexts_[v]->outbox_) {
-        if (injector_ != nullptr) {
-          // Structural faults first (no RNG draws): dead destination or a
-          // downed link.  The destination is dead iff it will not execute
-          // the round this message would be read in (round_ + 1).
-          if (injector_->node_crashed(msg.to, round_ + 1) ||
-              injector_->link_down(msg.from, msg.to, round_)) {
-            ++round_dropped;
-            continue;
-          }
-          switch (injector_->draw_fate()) {
-            case FaultInjector::Fate::kDrop:
-              ++round_dropped;
-              continue;
-            case FaultInjector::Fate::kDuplicate:
-              ++round_duplicated;
-              contexts_[static_cast<std::size_t>(msg.to)]->inbox_.push_back(
-                  msg);  // deliberate copy: both copies arrive this round
-              break;
-            case FaultInjector::Fate::kDeliver:
-              break;
-          }
-        }
-        delivered_any = true;
-        contexts_[static_cast<std::size_t>(msg.to)]->inbox_.push_back(
-            std::move(msg));
-      }
-      contexts_[v]->outbox_.clear();
+    if (injector_ != nullptr) {
+      const auto [dropped, duplicated] = run_fate_pass();
+      round_dropped = dropped;
+      round_duplicated = duplicated;
     }
+    const DeliveryTotals delivered =
+        planner_.schedule(injector_ != nullptr, back_, pool_.get());
+    place_messages();
+    std::swap(front_, back_);
     metrics_.dropped_messages += round_dropped;
     metrics_.duplicated_messages += round_duplicated;
     if (config_.round_observer) {
@@ -478,7 +622,7 @@ RunMetrics Network::run() {
     ++round_;
     metrics_.rounds = round_;
 
-    if (!delivered_any) {
+    if (delivered.messages == 0) {
       // No traffic: the run ends as soon as everyone is halted.
       bool all_halted = true;
       for (std::size_t v = 0; v < n; ++v) {

@@ -11,8 +11,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "congest/arena.hpp"
 #include "congest/faults.hpp"
 #include "congest/metrics.hpp"
 #include "congest/node.hpp"
@@ -180,8 +182,25 @@ class Network {
 
   bool is_cut_edge(NodeId from, NodeId to) const;
 
+  /// The serial fate pass of faulty rounds: walks every sender's outbox in
+  /// canonical (sender id, send order) order, draws each message's fate
+  /// from the injector's dedicated RNG stream (preserving the PR 2 draw
+  /// sequence exactly), and recomputes per-edge delivered counts for the
+  /// placement schedule.  Returns {dropped, duplicated} for this round.
+  std::pair<std::uint64_t, std::uint64_t> run_fate_pass();
+
+  /// The parallel placement pass: copies every surviving message of the
+  /// awake senders into its canonical arena slot in `back_`.
+  void place_messages();
+
   const Graph& graph_;
   CongestConfig config_;
+  /// Directed-edge counting + placement machinery (see congest/arena.hpp).
+  DeliveryPlanner planner_;
+  /// Double-buffered round storage: nodes read front_ while back_ is
+  /// rebuilt; the buffers swap after each round's delivery.
+  RoundArena front_;
+  RoundArena back_;
   std::uint64_t bit_budget_ = 0;
   std::uint64_t round_ = 0;
   RunMetrics metrics_;

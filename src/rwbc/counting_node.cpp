@@ -23,7 +23,7 @@ void CountingNode::on_start(NodeContext& ctx) {
   RWBC_REQUIRE(config_.target >= 0 && config_.target < n,
                "counting phase target out of range");
   wire_ = CountingWire(n, config_.cutoff, config_.walks_per_source);
-  visits_.assign(static_cast<std::size_t>(n), 0);
+  visits_.assign(config_.track_visits ? static_cast<std::size_t>(n) : 0, 0);
   is_root_ = config_.tree_parent < 0;
   expected_total_deaths_ =
       static_cast<std::uint64_t>(n - 1) * config_.walks_per_source;
@@ -54,7 +54,9 @@ void CountingNode::on_start(NodeContext& ctx) {
     for (std::uint64_t k = 0; k < config_.walks_per_source; ++k) {
       held_walks_.push_back(HeldWalk{WalkToken{ctx.id(), config_.cutoff}, -1});
     }
-    visits_[static_cast<std::size_t>(ctx.id())] += config_.walks_per_source;
+    if (config_.track_visits) {
+      visits_[static_cast<std::size_t>(ctx.id())] += config_.walks_per_source;
+    }
   }
 }
 
@@ -142,7 +144,9 @@ void CountingNode::handle_payload(NodeContext& ctx, BitReader& reader) {
       if (ctx.id() == config_.target) {
         record_kill();  // absorbed; the target's counts stay zero
       } else {
-        ++visits_[static_cast<std::size_t>(walk.source)];
+        if (config_.track_visits) {
+          ++visits_[static_cast<std::size_t>(walk.source)];
+        }
         if (walk.remaining == 0) {
           record_kill();  // expired on arrival
         } else {

@@ -78,6 +78,12 @@ struct CountingNodeConfig {
   /// its retries is treated as crashed — its walks re-route elsewhere.
   bool reliable_transport = false;
   ReliableLinkConfig reliable_link;
+  /// When false, the per-source visit table (O(n) words on every node) is
+  /// neither allocated nor updated.  Walk dynamics, RNG draws, and every
+  /// message stay identical — only the tally that the computing phase would
+  /// read is skipped.  For counting-phase-only scaling runs (E17) whose
+  /// outputs are round/bit metrics, not scores.
+  bool track_visits = true;
 };
 
 /// Node program for Algorithm 1.

@@ -247,6 +247,8 @@ DistributedAlphaCfbResult distributed_alpha_cfb(
       }
     }
   }
+  result.report = make_run_report("alpha-cfb", result.betweenness,
+                                  result.total, options.congest.seed);
   return result;
 }
 

@@ -27,6 +27,7 @@
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense.hpp"
+#include "rwbc/report.hpp"
 
 namespace rwbc {
 
@@ -49,6 +50,13 @@ struct DistributedAlphaCfbOptions {
 
 /// Outputs of a distributed alpha-CFB run.
 struct DistributedAlphaCfbResult {
+  /// The unified report (algorithm "alpha-cfb"): report.scores mirrors
+  /// `betweenness`, report.metrics mirrors `total`.  The named fields
+  /// below remain for one deprecation cycle (README, "RunReport
+  /// migration").
+  RunReport report;
+
+  /// Deprecated alias of report.scores.
   std::vector<double> betweenness;  ///< alpha-CFB estimates per node
   DenseMatrix scaled_visits;        ///< estimates T_alpha(v, s)
   std::size_t walks_per_source = 0;

@@ -105,6 +105,8 @@ DistributedPagerankResult distributed_pagerank(
     result.pagerank[static_cast<std::size_t>(v)] =
         static_cast<double>(program.endings()) / total;
   }
+  result.report = make_run_report("pagerank", result.pagerank, result.metrics,
+                                  options.congest.seed);
   return result;
 }
 

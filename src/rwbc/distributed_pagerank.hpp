@@ -15,6 +15,7 @@
 
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
+#include "rwbc/report.hpp"
 
 namespace rwbc {
 
@@ -32,7 +33,15 @@ struct DistributedPagerankOptions {
 
 /// Outputs of a distributed PageRank run.
 struct DistributedPagerankResult {
+  /// The unified report (algorithm "pagerank"): report.scores mirrors
+  /// `pagerank`, report.metrics mirrors `metrics`.  The named fields
+  /// below remain for one deprecation cycle (README, "RunReport
+  /// migration").
+  RunReport report;
+
+  /// Deprecated alias of report.scores.
   std::vector<double> pagerank;  ///< end-point estimates (sum to 1)
+  /// Deprecated alias of report.metrics.
   RunMetrics metrics;
 };
 

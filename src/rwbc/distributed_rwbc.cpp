@@ -55,6 +55,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
                                                  options.checkpoint.keep);
   }
   int resume_phase = 0;  // 0 = fresh run, 3 = P3 snapshot, 4 = P4 snapshot
+  std::int64_t resumed_from_round = -1;  // pipeline-local snapshot round
   std::optional<CheckpointReader> resume_reader;
   NodeId resume_leader = -1;
   NodeId resume_target = -1;
@@ -79,6 +80,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
                             std::to_string(phase));
     }
     resume_phase = phase;
+    resumed_from_round = static_cast<std::int64_t>(snapshot->round);
     resume_leader = static_cast<NodeId>(resume_reader->u32());
     resume_target = static_cast<NodeId>(resume_reader->u32());
     resume_walks = resume_reader->u64();
@@ -316,6 +318,8 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       }
     }
   }
+  result.report = make_run_report("rwbc", result.betweenness, result.total,
+                                  options.congest.seed, resumed_from_round);
   return result;
 }
 

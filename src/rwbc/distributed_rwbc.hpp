@@ -21,6 +21,7 @@
 #include "linalg/dense.hpp"
 #include "rwbc/counting_node.hpp"
 #include "rwbc/params.hpp"
+#include "rwbc/report.hpp"
 
 namespace rwbc {
 
@@ -118,7 +119,15 @@ struct DistributedRwbcOptions {
 
 /// Outputs of a distributed RWBC run.
 struct DistributedRwbcResult {
+  /// The unified report (algorithm "rwbc"): report.scores mirrors
+  /// `betweenness`, report.metrics mirrors `total`, and
+  /// report.resumed_from_round records the snapshot round on a resumed
+  /// run.  The named fields below remain for one deprecation cycle; new
+  /// code should read the report (see README, "RunReport migration").
+  RunReport report;
+
   /// Per-node betweenness estimates (empty when compute_scores is false).
+  /// Deprecated alias of report.scores.
   std::vector<double> betweenness;
   /// The estimated potentials T_hat(v, s) (empty when compute_scores off).
   DenseMatrix scaled_visits;

@@ -375,6 +375,8 @@ DistributedSpbcResult distributed_spbc(const Graph& g,
             ? total / (static_cast<double>(n - 1) * static_cast<double>(n - 2))
             : total;
   }
+  result.report = make_run_report("spbc", result.betweenness, result.total,
+                                  options.congest.seed);
   return result;
 }
 

@@ -33,6 +33,7 @@
 
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
+#include "rwbc/report.hpp"
 
 namespace rwbc {
 
@@ -54,7 +55,15 @@ struct DistributedSpbcOptions {
 
 /// Outputs of a distributed SPBC run.
 struct DistributedSpbcResult {
+  /// The unified report (algorithm "spbc"): report.scores mirrors
+  /// `betweenness`, report.metrics mirrors `total`.  The named fields
+  /// below remain for one deprecation cycle (README, "RunReport
+  /// migration").
+  RunReport report;
+
+  /// Deprecated alias of report.scores.
   std::vector<double> betweenness;
+  /// Deprecated alias of report.metrics.
   RunMetrics total;
   RunMetrics forward_metrics;   ///< Phase A: BFS + path counting
   RunMetrics backward_metrics;  ///< Phase B: dependency accumulation

@@ -1,0 +1,205 @@
+#include "rwbc/pipeline.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace rwbc {
+
+namespace {
+
+double parse_probability(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(value >= 0.0 && value <= 1.0)) {
+    throw Error(std::string(flag) + " expects a probability in [0,1], got '" +
+                text + "'");
+  }
+  return value;
+}
+
+CrashEvent parse_crash(const char* text) {
+  const std::string spec(text);
+  const std::size_t at = spec.find('@');
+  char* end = nullptr;
+  CrashEvent crash;
+  if (at != std::string::npos) {
+    crash.node = static_cast<NodeId>(std::strtol(spec.c_str(), &end, 10));
+    const bool node_ok = end == spec.c_str() + at && crash.node >= 0;
+    crash.round = std::strtoull(spec.c_str() + at + 1, &end, 10);
+    if (node_ok && *end == '\0' && at + 1 < spec.size()) return crash;
+  }
+  throw Error(std::string("--crash expects NODE@ROUND, got '") + text + "'");
+}
+
+/// Applies the spec's shared fields to a pipeline's CongestConfig — the one
+/// overlay point, so every algorithm interprets --threads/--drop-prob/...
+/// identically.
+void overlay_congest(const PipelineSpec& spec, CongestConfig& congest) {
+  congest.seed = spec.seed;
+  congest.num_threads = spec.threads;
+  congest.faults = spec.faults;
+  if (spec.bit_floor > 0) congest.bit_floor = spec.bit_floor;
+  if (spec.kill_at_round > 0) {
+    // Crash drill: count rounds across every phase (observers see
+    // phase-local numbers; the shared counter makes the kill point global)
+    // and die with no chance to flush or unwind — exactly what a power
+    // loss or OOM kill would do.
+    auto rounds_seen = std::make_shared<std::uint64_t>(0);
+    const std::uint64_t kill_at = spec.kill_at_round;
+    auto inner = spec.round_observer;
+    congest.round_observer = [rounds_seen, kill_at,
+                              inner](const RoundSnapshot& snapshot) {
+      if (inner) inner(snapshot);
+      if (++*rounds_seen == kill_at) std::raise(SIGKILL);
+    };
+  } else if (spec.round_observer) {
+    congest.round_observer = spec.round_observer;
+  }
+}
+
+DistributedRwbcOptions rwbc_options(const PipelineSpec& spec) {
+  DistributedRwbcOptions options = spec.rwbc;
+  overlay_congest(spec, options.congest);
+  options.reliable_transport =
+      options.reliable_transport || spec.reliable_transport;
+  options.checkpoint.dir = spec.checkpoint_dir;
+  options.checkpoint.interval = spec.checkpoint_every;
+  options.checkpoint.resume = spec.resume;
+  return options;
+}
+
+/// The non-rwbc pipelines have no reliable transport or checkpointing;
+/// reject rather than silently ignore a spec that asks for them.
+void require_rwbc_only_knobs_unset(const PipelineSpec& spec) {
+  RWBC_REQUIRE(!spec.reliable_transport,
+               "--reliable is only supported by the rwbc pipeline");
+  RWBC_REQUIRE(spec.checkpoint_dir.empty() && spec.checkpoint_every == 0 &&
+                   !spec.resume,
+               "checkpointing is only supported by the rwbc pipeline");
+}
+
+}  // namespace
+
+RunReport run_pipeline(const Graph& g, const PipelineSpec& spec) {
+  validate_pipeline_spec(spec);
+  if (spec.algorithm == "rwbc") {
+    DistributedRwbcResult result = distributed_rwbc(g, rwbc_options(spec));
+    RunReport report = result.report;
+    if (spec.rwbc_result != nullptr) *spec.rwbc_result = std::move(result);
+    return report;
+  }
+  require_rwbc_only_knobs_unset(spec);
+  if (spec.algorithm == "spbc") {
+    DistributedSpbcOptions options = spec.spbc;
+    overlay_congest(spec, options.congest);
+    DistributedSpbcResult result = distributed_spbc(g, options);
+    RunReport report = result.report;
+    if (spec.spbc_result != nullptr) *spec.spbc_result = std::move(result);
+    return report;
+  }
+  if (spec.algorithm == "alpha-cfb") {
+    DistributedAlphaCfbOptions options = spec.alpha_cfb;
+    overlay_congest(spec, options.congest);
+    DistributedAlphaCfbResult result = distributed_alpha_cfb(g, options);
+    RunReport report = result.report;
+    if (spec.alpha_cfb_result != nullptr) {
+      *spec.alpha_cfb_result = std::move(result);
+    }
+    return report;
+  }
+  if (spec.algorithm == "pagerank") {
+    DistributedPagerankOptions options = spec.pagerank;
+    overlay_congest(spec, options.congest);
+    DistributedPagerankResult result = distributed_pagerank(g, options);
+    RunReport report = result.report;
+    if (spec.pagerank_result != nullptr) {
+      *spec.pagerank_result = std::move(result);
+    }
+    return report;
+  }
+  if (spec.algorithm == "sarma-walk") {
+    SarmaWalkOptions options = spec.sarma;
+    overlay_congest(spec, options.congest);
+    SarmaWalkResult result =
+        sarma_distributed_walk(g, spec.walk_source, options);
+    RunReport report = result.report;
+    if (spec.sarma_result != nullptr) *spec.sarma_result = std::move(result);
+    return report;
+  }
+  throw Error("unknown pipeline algorithm: " + spec.algorithm);
+}
+
+RunReport run_pipeline(const WeightedGraph& wg, const PipelineSpec& spec) {
+  validate_pipeline_spec(spec);
+  RWBC_REQUIRE(spec.algorithm == "rwbc",
+               "weighted graphs are only supported by the rwbc pipeline");
+  DistributedRwbcResult result = distributed_rwbc(wg, rwbc_options(spec));
+  RunReport report = result.report;
+  if (spec.rwbc_result != nullptr) *spec.rwbc_result = std::move(result);
+  return report;
+}
+
+void strip_pipeline_flags(std::vector<char*>& args, PipelineSpec& spec) {
+  std::size_t i = 1;
+  while (i < args.size()) {
+    const std::string flag(args[i]);
+    const bool takes_value = flag == "--threads" || flag == "--drop-prob" ||
+                             flag == "--dup-prob" || flag == "--crash" ||
+                             flag == "--fault-seed" ||
+                             flag == "--checkpoint-dir" ||
+                             flag == "--checkpoint-every" ||
+                             flag == "--kill-at-round";
+    if (takes_value && i + 1 >= args.size()) {
+      throw Error(flag + " requires a value");
+    }
+    if (flag == "--threads") {
+      spec.threads = std::atoi(args[i + 1]);
+    } else if (flag == "--drop-prob") {
+      spec.faults.drop_prob = parse_probability("--drop-prob", args[i + 1]);
+    } else if (flag == "--dup-prob") {
+      spec.faults.dup_prob = parse_probability("--dup-prob", args[i + 1]);
+    } else if (flag == "--crash") {
+      spec.faults.crashes.push_back(parse_crash(args[i + 1]));
+    } else if (flag == "--fault-seed") {
+      spec.faults.seed = std::strtoull(args[i + 1], nullptr, 10);
+    } else if (flag == "--checkpoint-dir") {
+      spec.checkpoint_dir = args[i + 1];
+    } else if (flag == "--checkpoint-every") {
+      spec.checkpoint_every = std::strtoull(args[i + 1], nullptr, 10);
+    } else if (flag == "--kill-at-round") {
+      spec.kill_at_round = std::strtoull(args[i + 1], nullptr, 10);
+    } else if (flag == "--reliable") {
+      spec.reliable_transport = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    } else if (flag == "--resume") {
+      spec.resume = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    } else {
+      ++i;  // not a shared flag: leave it for the caller
+      continue;
+    }
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+  }
+}
+
+void validate_pipeline_spec(const PipelineSpec& spec) {
+  if (spec.resume && spec.checkpoint_dir.empty()) {
+    throw Error("--resume requires --checkpoint-dir");
+  }
+  if (spec.checkpoint_every > 0 && spec.checkpoint_dir.empty()) {
+    throw Error("--checkpoint-every requires --checkpoint-dir");
+  }
+}
+
+int pipeline_threads_from_env() {
+  const char* value = std::getenv("RWBC_THREADS");
+  return value == nullptr ? 0 : std::atoi(value);
+}
+
+}  // namespace rwbc

@@ -1,0 +1,118 @@
+// The unified pipeline entry point.
+//
+// Five distributed pipelines (RWBC, SPBC, alpha-CFB, PageRank, the Sarma
+// stitched walk) share one simulator and one set of operational knobs —
+// threads, fault plans, the reliable transport, checkpoint/restore — but
+// each historically exposed its own options struct, and every front end
+// (the CLI, the benchmark harness, the shell drills) re-parsed and
+// re-validated the shared flags itself.  PipelineSpec + run_pipeline
+// collapse that: one spec selects the algorithm and carries the shared
+// knobs exactly once; strip_pipeline_flags / validate_pipeline_spec are THE
+// parser and validator for the shared command-line surface (--threads,
+// --drop-prob, --dup-prob, --crash, --fault-seed, --reliable,
+// --checkpoint-dir, --checkpoint-every, --resume, --kill-at-round) — the
+// CLI, the benches, and cli_test.sh all go through them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rwbc/distributed_alpha_cfb.hpp"
+#include "rwbc/distributed_pagerank.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/distributed_spbc.hpp"
+#include "rwbc/report.hpp"
+#include "rwbc/sarma_walk.hpp"
+
+namespace rwbc {
+
+/// One pipeline run: which algorithm, its per-algorithm options, and the
+/// shared operational knobs.  The shared fields are the single source of
+/// truth — run_pipeline overlays them onto the selected options struct's
+/// CongestConfig, overwriting whatever the sub-struct carried, so a spec
+/// can never run with a seed or fault plan that disagrees with its own
+/// shared fields.
+struct PipelineSpec {
+  /// "rwbc" | "spbc" | "alpha-cfb" | "pagerank" | "sarma-walk".
+  std::string algorithm = "rwbc";
+
+  // Per-algorithm options.  Only the struct matching `algorithm` is read;
+  // set expert knobs (walks_per_source, length_policy, alpha, ...) here.
+  // The congest sub-configs inside these are overlaid by the shared fields
+  // below before the run.
+  DistributedRwbcOptions rwbc;
+  DistributedSpbcOptions spbc;
+  DistributedAlphaCfbOptions alpha_cfb;
+  DistributedPagerankOptions pagerank;
+  SarmaWalkOptions sarma;
+  /// Sarma walk only: the walk's source node.
+  NodeId walk_source = 0;
+
+  // --- shared operational knobs (the CLI flag surface) ------------------
+  /// Simulator threads (0 = serial, N = pool, -1 = hardware); wall-clock
+  /// only, never output.  [--threads]
+  int threads = 0;
+  /// Global simulator seed (per-node streams are Rng(seed, v)).
+  std::uint64_t seed = 1;
+  /// Per-edge bit-budget floor; 0 keeps the selected options struct's
+  /// value.  (The CLI uses 128 for rwbc runs so big K fits, 64 for spbc.)
+  std::uint64_t bit_floor = 0;
+  /// Deterministic fault schedule for the data phases.  [--drop-prob,
+  /// --dup-prob, --crash, --fault-seed]
+  FaultPlan faults;
+  /// Self-healing ack/retransmit transport (rwbc only).  [--reliable]
+  bool reliable_transport = false;
+  /// Checkpoint/restore (rwbc only).  [--checkpoint-dir,
+  /// --checkpoint-every, --resume]
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every = 0;
+  bool resume = false;
+  /// Crash drill: SIGKILL the process after this many cumulative simulator
+  /// rounds (0 = never).  Counted across all phases via a round observer
+  /// installed by run_pipeline.  [--kill-at-round]
+  std::uint64_t kill_at_round = 0;
+  /// Optional per-round observer, invoked in addition to the kill drill.
+  std::function<void(const RoundSnapshot&)> round_observer;
+
+  // --- optional full-result receivers -----------------------------------
+  // The RunReport carries the common fields; pipeline-specific outputs
+  // (the rwbc target and (K, l), the Sarma destination, ...) are exposed
+  // by setting the receiver matching `algorithm`, filled after the run.
+  DistributedRwbcResult* rwbc_result = nullptr;
+  DistributedSpbcResult* spbc_result = nullptr;
+  DistributedAlphaCfbResult* alpha_cfb_result = nullptr;
+  DistributedPagerankResult* pagerank_result = nullptr;
+  SarmaWalkResult* sarma_result = nullptr;
+};
+
+/// Dispatches to the selected pipeline and returns its unified report.
+/// Throws rwbc::Error on an unknown algorithm or a spec that fails
+/// validate_pipeline_spec.
+RunReport run_pipeline(const Graph& g, const PipelineSpec& spec);
+
+/// Weighted overload — only algorithm "rwbc" supports weighted graphs
+/// (throws rwbc::Error otherwise).
+RunReport run_pipeline(const WeightedGraph& wg, const PipelineSpec& spec);
+
+/// THE parser for the shared flag surface: scans `args` (an argv vector,
+/// program name at index 0), consumes every shared flag it recognises
+/// (erasing flag + value), and fills the spec's shared fields.  Unknown
+/// arguments are left in place for the caller (subcommands, positionals,
+/// tool-specific flags).  Throws rwbc::Error on a missing or malformed
+/// value, with single-line messages suitable for `error: ...` output.
+void strip_pipeline_flags(std::vector<char*>& args, PipelineSpec& spec);
+
+/// THE cross-flag validator: --resume and --checkpoint-every both require
+/// --checkpoint-dir.  Throws rwbc::Error; called by run_pipeline too, so
+/// programmatic specs get the same checks as parsed ones.
+void validate_pipeline_spec(const PipelineSpec& spec);
+
+/// Simulator threads from the RWBC_THREADS environment variable (0 =
+/// serial, N = pool of N, -1 = hardware); the benchmark harness's
+/// equivalent of --threads, kept here so the env convention lives with the
+/// flag it mirrors.
+int pipeline_threads_from_env();
+
+}  // namespace rwbc

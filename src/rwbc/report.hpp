@@ -1,0 +1,71 @@
+// The unified run report shared by every distributed pipeline.
+//
+// Each `Distributed*Result` historically invented its own field names for
+// the same quantities (scores lived in `betweenness` or `pagerank`; metrics
+// in `total` or `metrics`; round/bit totals required reaching into
+// RunMetrics).  Tooling that compares pipelines — the CLI's tabular output,
+// the benchmark harness, the experiment scripts — had to special-case all
+// five.  RunReport is the common denominator: every result struct embeds
+// one, filled by its runner, with the same meaning everywhere.  The legacy
+// per-struct fields remain for one deprecation cycle (they mirror the
+// report; see the README migration notes) and will be removed after it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "congest/metrics.hpp"
+
+namespace rwbc {
+
+/// Common outputs of one distributed pipeline run.
+struct RunReport {
+  /// Which pipeline produced this report ("rwbc", "spbc", "alpha-cfb",
+  /// "pagerank", "sarma-walk").
+  std::string algorithm;
+
+  /// Per-node scores — the pipeline's primary output (betweenness,
+  /// PageRank mass, ...).  Empty when the run was configured not to
+  /// compute scores, or when the pipeline has no per-node score (the
+  /// Sarma walk reports a destination instead).
+  std::vector<double> scores;
+
+  /// All phases summed (counters add, per-edge-round peaks take max).
+  RunMetrics metrics;
+
+  /// Convenience mirrors of metrics.rounds / metrics.total_bits, so report
+  /// consumers never reach into RunMetrics for the two headline numbers.
+  std::uint64_t rounds = 0;
+  std::uint64_t bits = 0;
+
+  /// The congest.seed the run used (per-node streams are Rng(seed, v)).
+  std::uint64_t seed = 0;
+
+  /// Pipeline-local round of the snapshot this run resumed from, or -1
+  /// for a fresh (uninterrupted) run.  Phases completed before the
+  /// snapshot re-ran deterministically or were skipped; either way the
+  /// outputs are bit-identical to the uninterrupted run.
+  std::int64_t resumed_from_round = -1;
+};
+
+/// Assembles a report from a finished run.  `scores` is moved in;
+/// `resumed_from_round` defaults to the fresh-run sentinel.
+inline RunReport make_run_report(std::string algorithm,
+                                 std::vector<double> scores,
+                                 const RunMetrics& metrics,
+                                 std::uint64_t seed,
+                                 std::int64_t resumed_from_round = -1) {
+  RunReport report;
+  report.algorithm = std::move(algorithm);
+  report.scores = std::move(scores);
+  report.metrics = metrics;
+  report.rounds = metrics.rounds;
+  report.bits = metrics.total_bits;
+  report.seed = seed;
+  report.resumed_from_round = resumed_from_round;
+  return report;
+}
+
+}  // namespace rwbc

@@ -568,6 +568,8 @@ SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
     }
   }
   RWBC_ASSERT(result.destination >= 0, "no destination reported");
+  result.report = make_run_report("sarma-walk", {}, result.total,
+                                  options.congest.seed);
   return result;
 }
 

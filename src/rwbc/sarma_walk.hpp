@@ -30,6 +30,7 @@
 
 #include "congest/network.hpp"
 #include "graph/graph.hpp"
+#include "rwbc/report.hpp"
 
 namespace rwbc {
 
@@ -50,6 +51,12 @@ struct SarmaWalkOptions {
 
 /// Outputs of a stitched-walk run.
 struct SarmaWalkResult {
+  /// The unified report (algorithm "sarma-walk"): report.metrics mirrors
+  /// `total`; report.scores is empty — this pipeline outputs a walk
+  /// destination, not per-node scores.  The named fields below remain for
+  /// one deprecation cycle (README, "RunReport migration").
+  RunReport report;
+
   NodeId destination = -1;
   std::size_t stitches = 0;      ///< lambda-step jumps taken
   std::size_t direct_steps = 0;  ///< single-step moves taken

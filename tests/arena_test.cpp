@@ -1,0 +1,296 @@
+// The arena-backed message path (congest/arena.hpp).
+//
+// Contract under test:
+//   1. The count-then-place scheme is placement-order invariant: the final
+//      inbox slices are a pure function of the outboxes.  We drive
+//      DeliveryPlanner + RoundArena directly and place senders' blocks in
+//      many shuffled orders — the delivered bytes never change.  This is
+//      the arena's half of the determinism argument (DESIGN.md section 8);
+//      the thread-equivalence suite covers the scheduling half.
+//   2. Inboxes come out in the canonical (sender id, send order) sequence.
+//   3. Slice geometry is exact: offsets partition the message buffer with
+//      no gaps or overlaps, and totals match the tallies.
+//   4. At scale (n = 20k, the ISSUE floor for the sanitizer job) a full
+//      Network run over the arena path is bit-identical between the serial
+//      scheduler and a hardware-sized pool, down to a per-node digest of
+//      every delivered payload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "congest/arena.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+
+namespace rwbc {
+namespace {
+
+// One synthetic outbox entry, mirroring ContextImpl::PendingSend plus the
+// payload bytes the context would have appended to its byte stream.
+struct SimSend {
+  std::uint32_t slot = 0;  // neighbour index at the sender
+  NodeId to = -1;
+  int bit_count = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// A delivered message, flattened for comparison.
+struct Delivered {
+  NodeId from = -1;
+  NodeId to = -1;
+  int bit_count = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Delivered& other) const = default;
+};
+
+// Deterministic synthetic outboxes: per directed edge, 0-3 messages of 0-6
+// payload bytes each, bit counts not always byte-aligned.
+std::vector<std::vector<SimSend>> make_outboxes(const Graph& g,
+                                                std::uint64_t seed) {
+  std::vector<std::vector<SimSend>> outboxes(
+      static_cast<std::size_t>(g.node_count()));
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    Rng rng(seed, u);
+    const auto neighbors = g.neighbors(u);
+    for (std::uint32_t s = 0; s < neighbors.size(); ++s) {
+      const std::uint64_t count = rng.next_below(4);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        SimSend send;
+        send.slot = s;
+        send.to = neighbors[s];
+        const std::size_t len =
+            static_cast<std::size_t>(rng.next_below(7));
+        send.payload.resize(len);
+        for (std::uint8_t& b : send.payload) {
+          b = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        // Any value in [8 len - 7, 8 len] rounds up to exactly len bytes.
+        send.bit_count =
+            len == 0 ? 0 : static_cast<int>(8 * len - rng.next_below(8));
+        outboxes[static_cast<std::size_t>(u)].push_back(std::move(send));
+      }
+    }
+  }
+  return outboxes;
+}
+
+// Tallies the outboxes into the planner, exactly as ContextImpl::send does.
+void tally(DeliveryPlanner& planner,
+           const std::vector<std::vector<SimSend>>& outboxes) {
+  planner.zero_round(nullptr);
+  for (NodeId u = 0; u < static_cast<NodeId>(outboxes.size()); ++u) {
+    std::uint64_t* bits = planner.sent_bits(u);
+    std::uint32_t* msgs = planner.sent_msgs(u);
+    std::uint32_t* bytes = planner.sent_bytes(u);
+    for (const SimSend& send : outboxes[static_cast<std::size_t>(u)]) {
+      bits[send.slot] += static_cast<std::uint64_t>(send.bit_count);
+      msgs[send.slot] += 1;
+      bytes[send.slot] += static_cast<std::uint32_t>(send.payload.size());
+    }
+  }
+}
+
+// Places every sender's block in the given sender order, mirroring
+// Network::place_messages (fault-free path), then flattens all inboxes.
+std::vector<std::vector<Delivered>> place_and_collect(
+    const Graph& g, DeliveryPlanner& planner, RoundArena& arena,
+    const std::vector<std::vector<SimSend>>& outboxes,
+    const std::vector<NodeId>& sender_order) {
+  Message* slots = arena.message_slots();
+  std::uint8_t* bytes = arena.payload_slots();
+  std::size_t* place_msg = planner.place_msg();
+  std::size_t* place_byte = planner.place_byte();
+  for (const NodeId u : sender_order) {
+    const std::size_t edge_base = planner.out_base(u);
+    for (const SimSend& send : outboxes[static_cast<std::size_t>(u)]) {
+      const std::size_t e = edge_base + send.slot;
+      const std::size_t slot_index = place_msg[e]++;
+      const std::size_t byte_index = place_byte[e];
+      place_byte[e] += send.payload.size();
+      std::copy(send.payload.begin(), send.payload.end(), bytes + byte_index);
+      slots[slot_index] =
+          Message{u, send.to, bytes + byte_index, send.bit_count};
+    }
+  }
+  std::vector<std::vector<Delivered>> inboxes(
+      static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const Message& msg : arena.inbox(v)) {
+      Delivered d;
+      d.from = msg.from;
+      d.to = msg.to;
+      d.bit_count = msg.bit_count;
+      d.payload.assign(msg.payload, msg.payload + msg.payload_bytes());
+      inboxes[static_cast<std::size_t>(v)].push_back(std::move(d));
+    }
+  }
+  return inboxes;
+}
+
+TEST(ArenaProperty, ShuffledPlacementOrderNeverChangesInboxContents) {
+  Rng graph_rng(77);
+  const Graph g = make_erdos_renyi(40, 0.15, graph_rng);
+  const auto outboxes = make_outboxes(g, 1234);
+
+  DeliveryPlanner planner(g, /*with_fault_buffers=*/false);
+  RoundArena arena;
+  tally(planner, outboxes);
+
+  // Canonical placement: senders in ascending id order.
+  std::vector<NodeId> order(static_cast<std::size_t>(g.node_count()));
+  std::iota(order.begin(), order.end(), 0);
+  planner.schedule(/*use_delivered=*/false, arena, nullptr);
+  const auto golden = place_and_collect(g, planner, arena, outboxes, order);
+
+  // The canonical receiver-side sequence: ascending sender id, and within a
+  // sender, send order (pinned by payload equality below).
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& inbox = golden[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i + 1 < inbox.size(); ++i) {
+      EXPECT_LE(inbox[i].from, inbox[i + 1].from) << "inbox of node " << v;
+    }
+    for (const Delivered& d : inbox) EXPECT_EQ(d.to, v);
+  }
+
+  // Any placement order lands every byte in the same slot.  schedule() is
+  // re-run before each shuffle to reset the cursors from the same tallies.
+  Rng shuffle_rng(4321);
+  for (int trial = 0; trial < 12; ++trial) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(shuffle_rng.next_below(i))]);
+    }
+    planner.schedule(false, arena, nullptr);
+    const auto got = place_and_collect(g, planner, arena, outboxes, order);
+    ASSERT_EQ(got, golden) << "placement order changed inbox contents "
+                              "(trial " << trial << ")";
+  }
+}
+
+TEST(ArenaProperty, SliceGeometryPartitionsTheBuffersExactly) {
+  Rng graph_rng(99);
+  const Graph g = make_barabasi_albert(60, 3, graph_rng);
+  const auto outboxes = make_outboxes(g, 567);
+
+  DeliveryPlanner planner(g, false);
+  RoundArena arena;
+  tally(planner, outboxes);
+  const DeliveryTotals totals = planner.schedule(false, arena, nullptr);
+
+  std::size_t expect_msgs = 0, expect_bytes = 0;
+  for (const auto& outbox : outboxes) {
+    expect_msgs += outbox.size();
+    for (const SimSend& send : outbox) expect_bytes += send.payload.size();
+  }
+  EXPECT_EQ(totals.messages, expect_msgs);
+  EXPECT_EQ(totals.payload_bytes, expect_bytes);
+  EXPECT_EQ(arena.message_count(), expect_msgs);
+  EXPECT_EQ(arena.payload_byte_count(), expect_bytes);
+
+  // Inbox slices tile [0, message_count) in node order: contiguous,
+  // non-overlapping, nothing dropped.
+  std::size_t cursor = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::span<const Message> inbox = arena.inbox(v);
+    if (!inbox.empty()) {
+      EXPECT_EQ(inbox.data(), arena.message_slots() + cursor)
+          << "inbox of node " << v << " does not start at the cursor";
+    }
+    cursor += inbox.size();
+  }
+  EXPECT_EQ(cursor, expect_msgs);
+}
+
+TEST(ArenaProperty, EmptyRoundSchedulesZeroEverything) {
+  const Graph g = make_cycle(8);
+  DeliveryPlanner planner(g, false);
+  RoundArena arena;
+  planner.zero_round(nullptr);
+  const DeliveryTotals totals = planner.schedule(false, arena, nullptr);
+  EXPECT_EQ(totals.messages, 0u);
+  EXPECT_EQ(totals.payload_bytes, 0u);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_TRUE(arena.inbox(v).empty());
+  }
+}
+
+// --- 4. Scale: n = 20k through the full Network, serial vs pool ----------
+//
+// Every node floods an 8-bit token to all neighbours for a fixed number of
+// rounds and folds every delivered (sender, payload) pair into a running
+// digest.  The per-node digest vector is a complete receiver-side
+// transcript: if the pool run's arena placement raced or re-ordered
+// anything, some digest would differ.  This test is the workload the CI
+// sanitizer job (ASan/TSan) runs at n = 20k.
+class DigestNode final : public NodeProcess {
+ public:
+  static constexpr std::uint64_t kRounds = 6;
+
+  void on_start(NodeContext&) override {}
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    for (const Message& msg : inbox) {
+      std::uint64_t state =
+          digest_ ^ static_cast<std::uint64_t>(msg.from) ^
+          (msg.reader().read(8) << 32);
+      digest_ = splitmix64(state);
+    }
+    if (ctx.round() < kRounds) {
+      BitWriter w;
+      w.write((static_cast<std::uint64_t>(ctx.id()) + ctx.round()) & 0xff, 8);
+      for (NodeId nb : ctx.neighbors()) ctx.send(nb, w);
+    } else {
+      ctx.halt();
+    }
+  }
+
+  std::uint64_t digest_ = 0;
+};
+
+struct ScaleRun {
+  RunMetrics metrics;
+  std::vector<std::uint64_t> digests;
+};
+
+ScaleRun run_scale(const Graph& g, int threads) {
+  CongestConfig config;
+  config.seed = 20;
+  config.num_threads = threads;
+  config.bit_floor = 16;
+  Network net(g, config);
+  net.set_all_nodes([](NodeId) { return std::make_unique<DigestNode>(); });
+  ScaleRun run;
+  run.metrics = net.run();
+  run.digests.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    run.digests.push_back(static_cast<const DigestNode&>(net.node(v)).digest_);
+  }
+  return run;
+}
+
+TEST(ArenaScale, TwentyThousandNodesBitIdenticalSerialVsPool) {
+  Rng rng(2024);
+  const Graph g = make_watts_strogatz(20000, 4, 0.1, rng);
+  const ScaleRun serial = run_scale(g, 0);
+  EXPECT_EQ(serial.metrics.rounds, DigestNode::kRounds + 1);
+  EXPECT_EQ(serial.metrics.total_messages,
+            2 * g.edge_count() * DigestNode::kRounds);
+  for (const int threads : {2, -1}) {
+    const ScaleRun pooled = run_scale(g, threads);
+    EXPECT_EQ(pooled.metrics.rounds, serial.metrics.rounds)
+        << "threads=" << threads;
+    EXPECT_EQ(pooled.metrics.total_bits, serial.metrics.total_bits)
+        << "threads=" << threads;
+    EXPECT_EQ(pooled.metrics.total_messages, serial.metrics.total_messages)
+        << "threads=" << threads;
+    ASSERT_EQ(pooled.digests, serial.digests) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace rwbc

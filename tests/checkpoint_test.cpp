@@ -24,10 +24,12 @@
 #include "congest/checkpoint.hpp"
 #include "congest/supervisor.hpp"
 #include "graph/generators.hpp"
+#include "graph/weighted.hpp"
 #include "rwbc/distributed_alpha_cfb.hpp"
 #include "rwbc/distributed_pagerank.hpp"
 #include "rwbc/distributed_rwbc.hpp"
 #include "rwbc/distributed_spbc.hpp"
+#include "rwbc/pipeline.hpp"
 #include "rwbc/sarma_walk.hpp"
 
 namespace rwbc {
@@ -334,6 +336,84 @@ TEST(CheckpointResume, KillUnderFaultsWithReliableTransportResumesBitIdentical) 
   for (const int threads : {1, 8, -1}) {
     SCOPED_TRACE("threads = " + std::to_string(threads));
     expect_same_run(golden, run_resumed(g, drill_options(true), dir, threads));
+  }
+}
+
+// Weighted-pipeline parity: the same kill/resume drill on a WeightedGraph,
+// driven entirely through the unified run_pipeline entrypoint (the spec's
+// checkpoint knobs, observer, and thread overlay — not hand-built options).
+TEST(CheckpointResume, WeightedPipelineResumesBitIdenticalAcrossThreads) {
+  Rng graph_rng(7);
+  Graph base = make_watts_strogatz(16, 4, 0.2, graph_rng);
+  Rng weight_rng(70);
+  const WeightedGraph wg = randomly_weighted(std::move(base), 5, weight_rng);
+
+  auto make_spec = [](bool faults) {
+    PipelineSpec spec;  // algorithm "rwbc"
+    spec.rwbc.walks_per_source = 4;
+    spec.rwbc.cutoff = 30;
+    spec.seed = 9;
+    spec.bit_floor = 128;
+    if (faults) {
+      spec.faults.seed = 321;
+      spec.faults.drop_prob = 0.05;
+      spec.faults.dup_prob = 0.05;
+      spec.reliable_transport = true;
+    }
+    return spec;
+  };
+
+  for (const bool faults : {false, true}) {
+    SCOPED_TRACE(faults ? "with fault plan" : "fault-free");
+    DistributedRwbcResult golden_full;
+    PipelineSpec golden_spec = make_spec(faults);
+    golden_spec.rwbc_result = &golden_full;
+    const RunReport golden = run_pipeline(wg, golden_spec);
+    EXPECT_EQ(golden.resumed_from_round, -1);
+
+    const std::uint64_t setup = golden_full.election_metrics.rounds +
+                                golden_full.bfs_metrics.rounds +
+                                golden_full.dissemination_metrics.rounds;
+    ASSERT_GT(golden_full.counting_metrics.rounds, 16u);
+    const std::uint64_t kill =
+        setup + golden_full.counting_metrics.rounds / 2;
+
+    const fs::path dir =
+        scratch_dir(faults ? "weighted-kill-faulty" : "weighted-kill");
+    {
+      PipelineSpec spec = make_spec(faults);
+      spec.checkpoint_dir = dir.string();
+      spec.checkpoint_every = 8;
+      auto seen = std::make_shared<std::uint64_t>(0);
+      spec.round_observer = [seen, kill](const RoundSnapshot&) {
+        if (++*seen == kill) throw AbortRun{};
+      };
+      bool aborted = false;
+      try {
+        run_pipeline(wg, spec);
+      } catch (const AbortRun&) {
+        aborted = true;
+      }
+      ASSERT_TRUE(aborted) << "kill round " << kill << " past end of run";
+      ASSERT_FALSE(fs::is_empty(dir)) << "no snapshot before the kill";
+    }
+
+    for (const int threads : {1, 8, -1}) {
+      SCOPED_TRACE("threads = " + std::to_string(threads));
+      DistributedRwbcResult resumed_full;
+      PipelineSpec resume = make_spec(faults);
+      resume.checkpoint_dir = dir.string();
+      resume.resume = true;
+      resume.threads = threads;
+      resume.rwbc_result = &resumed_full;
+      const RunReport resumed = run_pipeline(wg, resume);
+      EXPECT_GE(resumed.resumed_from_round, 0);
+      EXPECT_EQ(resumed.scores, golden.scores);
+      EXPECT_EQ(resumed.rounds, golden.rounds);
+      EXPECT_EQ(resumed.bits, golden.bits);
+      expect_same_run(golden_full, resumed_full);
+    }
+    fs::remove_all(dir);
   }
 }
 

@@ -28,7 +28,9 @@
 #include "congest/network.hpp"
 #include "congest/protocols/bfs_tree.hpp"
 #include "graph/generators.hpp"
+#include "graph/weighted.hpp"
 #include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/pipeline.hpp"
 
 namespace rwbc {
 namespace {
@@ -508,6 +510,103 @@ TEST(SelfHealingStress, RetransmissionsExactlyMonotoneInDropRate) {
     EXPECT_EQ(run.total_died,
               (static_cast<std::uint64_t>(g.node_count()) - 1) * 8)
         << "drop rate " << rate;
+  }
+}
+
+// --- 8. Weighted-pipeline parity through the unified entrypoint ----------
+//
+// The weighted (conductance) extension runs through the same simulator, so
+// every fault contract above must hold for WeightedGraph runs too.  These
+// sweeps go through run_pipeline — the entrypoint the CLI and benches use —
+// so they also pin that the PipelineSpec overlay (seed, threads, faults,
+// reliable transport) reaches the weighted runner unchanged.
+
+WeightedGraph weighted_drill_graph() {
+  Rng graph_rng(29);
+  Graph g = make_watts_strogatz(14, 4, 0.2, graph_rng);
+  Rng weight_rng(92);
+  return randomly_weighted(std::move(g), 5, weight_rng);
+}
+
+PipelineSpec weighted_drill_spec(bool faults) {
+  PipelineSpec spec;  // algorithm "rwbc"
+  spec.rwbc.walks_per_source = 8;
+  spec.rwbc.cutoff = 48;
+  spec.seed = 29;
+  spec.bit_floor = 128;
+  if (faults) {
+    spec.faults.seed = 888;
+    spec.faults.drop_prob = 0.03;
+    spec.faults.dup_prob = 0.02;
+    spec.reliable_transport = true;
+  }
+  return spec;
+}
+
+TEST(WeightedPipeline, DefaultPlanMatchesDirectWeightedRun) {
+  const WeightedGraph wg = weighted_drill_graph();
+  // A fault seed with no scheduled faults must not perturb the weighted
+  // run, and the unified entrypoint must add nothing over a direct call.
+  PipelineSpec spec = weighted_drill_spec(false);
+  spec.faults.seed = 5555;
+  const RunReport report = run_pipeline(wg, spec);
+
+  DistributedRwbcOptions direct;
+  direct.walks_per_source = spec.rwbc.walks_per_source;
+  direct.cutoff = spec.rwbc.cutoff;
+  direct.congest.seed = spec.seed;
+  direct.congest.bit_floor = spec.bit_floor;
+  const auto golden = distributed_rwbc(wg, direct);
+  EXPECT_EQ(hash_vec(report.scores), hash_vec(golden.betweenness));
+  EXPECT_EQ(report.rounds, golden.total.rounds);
+  EXPECT_EQ(report.bits, golden.total.total_bits);
+  EXPECT_EQ(report.metrics.dropped_messages, 0u);
+  EXPECT_EQ(report.metrics.duplicated_messages, 0u);
+}
+
+TEST(WeightedPipeline, FaultyWeightedSweepIsThreadCountInvariant) {
+  const WeightedGraph wg = weighted_drill_graph();
+  auto run_with = [&](int threads) {
+    PipelineSpec spec = weighted_drill_spec(true);
+    spec.threads = threads;
+    return run_pipeline(wg, spec);
+  };
+  const RunReport golden = run_with(0);
+  EXPECT_GT(golden.metrics.dropped_messages, 0u);
+  EXPECT_GT(golden.metrics.retransmissions, 0u);
+  for (const int threads : {2, 8, -1}) {
+    const RunReport got = run_with(threads);
+    EXPECT_EQ(golden.scores, got.scores) << "threads=" << threads;
+    EXPECT_EQ(golden.rounds, got.rounds) << "threads=" << threads;
+    EXPECT_EQ(golden.bits, got.bits) << "threads=" << threads;
+    EXPECT_EQ(golden.metrics.dropped_messages, got.metrics.dropped_messages)
+        << "threads=" << threads;
+    EXPECT_EQ(golden.metrics.duplicated_messages,
+              got.metrics.duplicated_messages)
+        << "threads=" << threads;
+    EXPECT_EQ(golden.metrics.retransmissions, got.metrics.retransmissions)
+        << "threads=" << threads;
+  }
+}
+
+TEST(WeightedPipeline, DropCountMonotoneInDropProbOnWeightedRuns) {
+  const WeightedGraph wg = weighted_drill_graph();
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const double rate : {0.0, 0.02, 0.05, 0.10}) {
+    PipelineSpec spec = weighted_drill_spec(true);
+    spec.faults.drop_prob = rate;
+    spec.faults.dup_prob = 0.0;
+    spec.rwbc.fault_deadline_rounds = 8000;
+    const RunReport report = run_pipeline(wg, spec);
+    if (first) {
+      EXPECT_EQ(report.metrics.dropped_messages, 0u);
+      first = false;
+    } else {
+      EXPECT_GT(report.metrics.dropped_messages, previous)
+          << "drop count not monotone at rate " << rate;
+    }
+    previous = report.metrics.dropped_messages;
   }
 }
 

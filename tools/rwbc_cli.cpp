@@ -16,7 +16,6 @@
 //
 // Graph files use the `n m` + `u v` edge-list format (see graph/io.hpp);
 // "-" reads from stdin.
-#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -35,32 +34,17 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
-#include "rwbc/distributed_rwbc.hpp"
-#include "rwbc/distributed_spbc.hpp"
+#include "rwbc/pipeline.hpp"
 
 namespace {
 
 using namespace rwbc;
 
-// Simulator threads for every subcommand that runs the CONGEST pipeline;
-// set by the global --threads flag (0 = serial, -1 = hardware threads).
-// Results are bit-identical across settings; only wall-clock changes.
-int g_threads = 0;
-
-// Deterministic fault injection for the `distributed`/`compare` pipelines,
-// set by the global --drop-prob/--dup-prob/--crash/--fault-seed flags;
-// --reliable turns on the self-healing transport.
-FaultPlan g_faults;
-bool g_reliable = false;
-
-// Checkpoint/restore for the `distributed`/`compare` pipelines, set by the
-// global --checkpoint-dir/--checkpoint-every/--resume flags.  --kill-at-round
-// hard-kills the process (SIGKILL, no cleanup) after the given cumulative
-// simulator round — the crash half of the recovery drill.
-std::string g_checkpoint_dir;
-std::uint64_t g_checkpoint_every = 0;
-bool g_resume = false;
-std::uint64_t g_kill_at_round = 0;  // 0 = never
+// The shared operational knobs (--threads, fault flags, checkpoint flags,
+// --kill-at-round), parsed and validated by rwbc/pipeline.hpp — the CLI
+// owns no flag parsing of its own.  Subcommands copy this spec, set their
+// per-algorithm fields, and dispatch through run_pipeline.
+PipelineSpec g_spec;
 
 [[noreturn]] void usage() {
   std::cerr
@@ -91,31 +75,6 @@ std::uint64_t g_kill_at_round = 0;  // 0 = never
          "                   simulator round R (crash-recovery drills)\n"
          "fault flags apply to the distributed/compare data phases only.\n";
   std::exit(2);
-}
-
-double parse_probability(const char* flag, const char* text) {
-  char* end = nullptr;
-  const double value = std::strtod(text, &end);
-  if (end == text || *end != '\0' || !(value >= 0.0 && value <= 1.0)) {
-    throw Error(std::string(flag) + " expects a probability in [0,1], got '" +
-                text + "'");
-  }
-  return value;
-}
-
-CrashEvent parse_crash(const char* text) {
-  const std::string spec(text);
-  const std::size_t at = spec.find('@');
-  char* end = nullptr;
-  CrashEvent crash;
-  if (at != std::string::npos) {
-    crash.node = static_cast<NodeId>(
-        std::strtol(spec.c_str(), &end, 10));
-    const bool node_ok = end == spec.c_str() + at && crash.node >= 0;
-    crash.round = std::strtoull(spec.c_str() + at + 1, &end, 10);
-    if (node_ok && *end == '\0' && at + 1 < spec.size()) return crash;
-  }
-  throw Error(std::string("--crash expects NODE@ROUND, got '") + text + "'");
 }
 
 Graph load(const std::string& path) {
@@ -185,31 +144,19 @@ int cmd_exact(int argc, char** argv) {
 }
 
 DistributedRwbcResult run_distributed(const Graph& g, int argc, char** argv) {
-  DistributedRwbcOptions options;
-  if (argc > 3) options.walks_per_source = std::strtoull(argv[3], nullptr, 10);
-  if (argc > 4) options.cutoff = std::strtoull(argv[4], nullptr, 10);
-  if (argc > 5) {
-    options.congest.seed = std::strtoull(argv[5], nullptr, 10);
+  PipelineSpec spec = g_spec;
+  spec.algorithm = "rwbc";
+  if (argc > 3) {
+    spec.rwbc.walks_per_source = std::strtoull(argv[3], nullptr, 10);
   }
+  if (argc > 4) spec.rwbc.cutoff = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) spec.seed = std::strtoull(argv[5], nullptr, 10);
   // Users often pass big K; widen the budget floor accordingly.
-  options.congest.bit_floor = 128;
-  options.congest.num_threads = g_threads;
-  options.congest.faults = g_faults;
-  options.reliable_transport = g_reliable;
-  options.checkpoint.dir = g_checkpoint_dir;
-  options.checkpoint.interval = g_checkpoint_every;
-  options.checkpoint.resume = g_resume;
-  if (g_kill_at_round > 0) {
-    // Crash drill: count rounds across every phase (observers see
-    // phase-local numbers; the shared counter makes the kill point global)
-    // and die with no chance to flush or unwind — exactly what a power
-    // loss or OOM kill would do.
-    auto rounds_seen = std::make_shared<std::uint64_t>(0);
-    options.congest.round_observer = [rounds_seen](const RoundSnapshot&) {
-      if (++*rounds_seen == g_kill_at_round) std::raise(SIGKILL);
-    };
-  }
-  return distributed_rwbc(g, options);
+  spec.bit_floor = 128;
+  DistributedRwbcResult result;
+  spec.rwbc_result = &result;
+  run_pipeline(g, spec);
+  return result;
 }
 
 int cmd_distributed(int argc, char** argv) {
@@ -224,7 +171,7 @@ int cmd_distributed(int argc, char** argv) {
             << ", messages = " << result.total.total_messages
             << ", peak bits/edge/round = "
             << result.total.max_bits_per_edge_round << "\n";
-  if (g_faults.any() || g_reliable) {
+  if (g_spec.faults.any() || g_spec.reliable_transport) {
     std::cout << "faults: dropped = " << result.total.dropped_messages
               << ", duplicated = " << result.total.duplicated_messages
               << ", crashed = " << result.total.crashed_nodes
@@ -260,11 +207,20 @@ int cmd_compare(int argc, char** argv) {
 int cmd_spbc(int argc, char** argv) {
   if (argc < 3) usage();
   const Graph g = load(argv[2]);
-  DistributedSpbcOptions options;
-  options.congest.bit_floor = 64;
-  options.congest.num_threads = g_threads;
-  if (argc > 3) options.congest.seed = std::strtoull(argv[3], nullptr, 10);
-  const auto result = distributed_spbc(g, options);
+  PipelineSpec spec = g_spec;
+  spec.algorithm = "spbc";
+  spec.bit_floor = 64;
+  // Fault/reliability/checkpoint flags apply to the distributed/compare
+  // data phases only (see usage()); spbc runs clean regardless.
+  spec.faults = FaultPlan{};
+  spec.reliable_transport = false;
+  spec.checkpoint_dir.clear();
+  spec.checkpoint_every = 0;
+  spec.resume = false;
+  if (argc > 3) spec.seed = std::strtoull(argv[3], nullptr, 10);
+  DistributedSpbcResult result;
+  spec.spbc_result = &result;
+  run_pipeline(g, spec);
   print_scores(g, result.betweenness, "distributed SPBC");
   const auto exact = brandes_betweenness(g);
   std::cout << "\nrounds = " << result.total.rounds
@@ -302,63 +258,21 @@ int cmd_measures(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
-    // Strip the global flags before dispatching on the subcommand.  Flag
+    // Strip the shared pipeline flags before dispatching on the
+    // subcommand; parsing and validation live in rwbc/pipeline.hpp.  Flag
     // errors throw rwbc::Error, so a bad value exits with one line on
     // stderr, never a backtrace.
     std::vector<char*> args(argv, argv + argc);
-    std::size_t i = 1;
-    while (i < args.size()) {
+    strip_pipeline_flags(args, g_spec);
+    for (std::size_t i = 1; i < args.size(); ++i) {
       const std::string flag(args[i]);
-      const bool takes_value = flag == "--threads" || flag == "--drop-prob" ||
-                               flag == "--dup-prob" || flag == "--crash" ||
-                               flag == "--fault-seed" ||
-                               flag == "--checkpoint-dir" ||
-                               flag == "--checkpoint-every" ||
-                               flag == "--kill-at-round";
-      if (takes_value && i + 1 >= args.size()) {
-        throw Error(flag + " requires a value");
-      }
-      if (flag == "--threads") {
-        g_threads = std::atoi(args[i + 1]);
-      } else if (flag == "--drop-prob") {
-        g_faults.drop_prob = parse_probability("--drop-prob", args[i + 1]);
-      } else if (flag == "--dup-prob") {
-        g_faults.dup_prob = parse_probability("--dup-prob", args[i + 1]);
-      } else if (flag == "--crash") {
-        g_faults.crashes.push_back(parse_crash(args[i + 1]));
-      } else if (flag == "--fault-seed") {
-        g_faults.seed = std::strtoull(args[i + 1], nullptr, 10);
-      } else if (flag == "--checkpoint-dir") {
-        g_checkpoint_dir = args[i + 1];
-      } else if (flag == "--checkpoint-every") {
-        g_checkpoint_every = std::strtoull(args[i + 1], nullptr, 10);
-      } else if (flag == "--kill-at-round") {
-        g_kill_at_round = std::strtoull(args[i + 1], nullptr, 10);
-      } else if (flag == "--reliable") {
-        g_reliable = true;
-        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
-        continue;
-      } else if (flag == "--resume") {
-        g_resume = true;
-        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
-        continue;
-      } else if (flag.rfind("--", 0) == 0 && flag != "--dot") {
+      if (flag.rfind("--", 0) == 0 && flag != "--dot") {
         throw Error("unknown flag: " + flag);
-      } else {
-        ++i;
-        continue;
       }
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     }
     argc = static_cast<int>(args.size());
     argv = args.data();
-    if (g_resume && g_checkpoint_dir.empty()) {
-      throw Error("--resume requires --checkpoint-dir");
-    }
-    if (g_checkpoint_every > 0 && g_checkpoint_dir.empty()) {
-      throw Error("--checkpoint-every requires --checkpoint-dir");
-    }
+    validate_pipeline_spec(g_spec);
     if (argc < 2) usage();
     const std::string command = argv[1];
     if (command == "generate") return cmd_generate(argc, argv);
