@@ -39,9 +39,9 @@ int main() {
     table.add_row(
         {Table::fmt(static_cast<std::uint64_t>(length)),
          Table::fmt(direct.metrics.rounds),
-         Table::fmt(stitched.total.rounds),
+         Table::fmt(stitched.report.metrics.rounds),
          Table::fmt(static_cast<double>(direct.metrics.rounds) /
-                        static_cast<double>(stitched.total.rounds),
+                        static_cast<double>(stitched.report.metrics.rounds),
                     2),
          Table::fmt(stitched.stitches), Table::fmt(stitched.direct_steps),
          Table::fmt(std::sqrt(static_cast<double>(length) *

@@ -42,8 +42,8 @@ int main() {
       alpha_table.add_row(
           {Table::fmt(alpha, 2), Table::fmt(r.counting_metrics.rounds),
            Table::fmt(1.0 / (1.0 - alpha), 1),
-           Table::fmt(max_relative_error(exact, r.betweenness)),
-           Table::fmt(kendall_tau(exact_rwbc, r.betweenness), 3)});
+           Table::fmt(max_relative_error(exact, r.report.scores)),
+           Table::fmt(kendall_tau(exact_rwbc, r.report.scores), 3)});
     }
   }
   alpha_table.print(std::cout);

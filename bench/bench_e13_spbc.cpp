@@ -35,7 +35,7 @@ int main() {
     double worst = 0.0;
     for (std::size_t v = 0; v < exact.size(); ++v) {
       worst = std::max(worst,
-                       std::abs(distributed.betweenness[v] - exact[v]));
+                       std::abs(distributed.report.scores[v] - exact[v]));
     }
     agree.add_row({family, Table::fmt(g.node_count()), Table::fmt(worst, 9)});
   }
@@ -51,12 +51,12 @@ int main() {
     options.congest.seed = 2;
     const auto r = distributed_spbc(g, options);
     ns.push_back(static_cast<double>(g.node_count()));
-    rounds.push_back(static_cast<double>(r.total.rounds));
+    rounds.push_back(static_cast<double>(r.report.metrics.rounds));
     rounds_table.add_row(
         {Table::fmt(g.node_count()),
          Table::fmt(static_cast<std::uint64_t>(g.edge_count())),
          Table::fmt(r.forward_metrics.rounds),
-         Table::fmt(r.backward_metrics.rounds), Table::fmt(r.total.rounds)});
+         Table::fmt(r.backward_metrics.rounds), Table::fmt(r.report.metrics.rounds)});
   }
   rounds_table.print(std::cout);
   const PowerFit fit = fit_power(ns, rounds);
@@ -78,8 +78,8 @@ int main() {
     rwbc_options.compute_scores = false;
     rwbc_options.congest.seed = 3;
     const auto rwbc = distributed_rwbc(g, rwbc_options);
-    narrative.add_row({Table::fmt(n), Table::fmt(spbc.total.rounds),
-                       Table::fmt(rwbc.total.rounds)});
+    narrative.add_row({Table::fmt(n), Table::fmt(spbc.report.metrics.rounds),
+                       Table::fmt(rwbc.report.metrics.rounds)});
   }
   narrative.print(std::cout);
   std::cout << "\nReading: shortest-path betweenness admits an (almost) "

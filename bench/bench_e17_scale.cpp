@@ -111,6 +111,10 @@ ScaleResult run_counting_phase(const std::string& family, NodeId n,
     node_config.target = 1;
     node_config.walks_per_source = walks_per_source;
     node_config.cutoff = cutoff;
+    // The coalesced hot path: all tokens crossing one directed edge in a
+    // round ride one packed payload.  8 is a ceiling — CountingNode clamps
+    // the actual batch to what the per-edge bit budget fits (batch_cap_).
+    node_config.walks_per_edge_per_round = 8;
     node_config.tree_parent = tree.parent[static_cast<std::size_t>(v)];
     node_config.tree_children = tree.children[static_cast<std::size_t>(v)];
     node_config.track_visits = false;

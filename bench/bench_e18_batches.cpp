@@ -1,0 +1,192 @@
+// E18 — coalesced walk batches: tokens-per-edge histogram and before/after
+// wall clock.
+//
+// The coalesced hot path (rwbc/walk_token.hpp WalkBatchWire, DESIGN.md
+// section 9) packs every walk token crossing one directed edge in a round
+// into a single payload.  This bench quantifies what that buys on the E17
+// workload (counting phase alone, central tree, visit tallies off):
+//
+//   1. the batch-size distribution — how many coalesced sends carried
+//      1, 2, ..., wpepr tokens (CountingNodeConfig::batch_histogram);
+//   2. wall clock of the coalesced wire vs the legacy one-message-per-token
+//      wire at the same walks_per_edge_per_round, same trajectories aside
+//      (at wpepr > 1 the two wires order receiver pools differently, so
+//      message counts — not scores — are the comparable outputs).
+//
+// Runs serially (the histogram is collected without synchronisation).
+// Usage: bench_e18_batches [--n N] [--wpepr W]
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "congest/network.hpp"
+#include "congest/protocols/bfs_tree.hpp"
+#include "rwbc/counting_node.hpp"
+
+namespace {
+
+using namespace rwbc;
+
+/// Same central min-id-parent BFS the E17 bench uses (setup phases are not
+/// what this experiment measures).
+SpanningTree central_bfs_tree(const Graph& g, NodeId root) {
+  SpanningTree tree;
+  tree.root = root;
+  const std::size_t n = static_cast<std::size_t>(g.node_count());
+  tree.parent.assign(n, -1);
+  tree.children.assign(n, {});
+  tree.depth.assign(n, -1);
+  std::queue<NodeId> frontier;
+  tree.depth[static_cast<std::size_t>(root)] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    tree.height =
+        std::max(tree.height, tree.depth[static_cast<std::size_t>(u)]);
+    for (const NodeId v : g.neighbors(u)) {
+      if (tree.depth[static_cast<std::size_t>(v)] >= 0) continue;
+      tree.depth[static_cast<std::size_t>(v)] =
+          tree.depth[static_cast<std::size_t>(u)] + 1;
+      tree.parent[static_cast<std::size_t>(v)] = u;
+      tree.children[static_cast<std::size_t>(u)].push_back(v);
+      frontier.push(v);
+    }
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (tree.depth[static_cast<std::size_t>(v)] < 0) {
+      throw Error("E18 needs a connected graph; family member is not");
+    }
+  }
+  return tree;
+}
+
+struct BatchRun {
+  RunMetrics metrics;
+  double wall_ms = 0.0;
+  std::vector<std::uint64_t> histogram;  ///< empty for the legacy wire
+};
+
+BatchRun run_counting(const Graph& g, const SpanningTree& tree,
+                      std::uint64_t wpepr, bool coalesce) {
+  BatchRun run;
+  if (coalesce) run.histogram.assign(static_cast<std::size_t>(wpepr), 0);
+
+  const std::uint64_t walks_per_source = 2;
+  std::uint64_t cutoff = 2;
+  while ((1ull << cutoff) < static_cast<std::uint64_t>(g.node_count())) {
+    ++cutoff;
+  }
+  cutoff *= 2;
+
+  CongestConfig config;
+  config.seed = 17;
+  // Both wires get room for the full wpepr = 8: the legacy path needs
+  // 8 separate (tag + id + length) messages per edge per round (~192 bits
+  // at n = 50k), which the E17 floor of 128 cannot carry.
+  config.bit_floor = 256;
+  config.num_threads = 0;  // serial: the histogram is unsynchronised
+  Network net(g, config);
+  net.set_all_nodes([&](NodeId v) {
+    CountingNodeConfig node_config;
+    node_config.target = 1;
+    node_config.walks_per_source = walks_per_source;
+    node_config.cutoff = cutoff;
+    node_config.walks_per_edge_per_round = wpepr;
+    node_config.coalesce_walks = coalesce;
+    node_config.tree_parent = tree.parent[static_cast<std::size_t>(v)];
+    node_config.tree_children = tree.children[static_cast<std::size_t>(v)];
+    node_config.track_visits = false;
+    if (coalesce) node_config.batch_histogram = &run.histogram;
+    return std::make_unique<CountingNode>(std::move(node_config));
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  run.metrics = net.run();
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  NodeId n = 50000;
+  std::uint64_t wpepr = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--n") {
+      n = static_cast<NodeId>(std::atoi(value()));
+    } else if (flag == "--wpepr") {
+      wpepr = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::cerr << "usage: bench_e18_batches [--n N] [--wpepr W]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "E18: coalesced batch sizes and wall clock, n = " << n
+            << ", wpepr = " << wpepr << ", threads = 0 (serial)\n\n";
+
+  Table table({"family", "wire", "rounds", "messages", "total bits",
+               "wall ms", "tokens/msg"});
+  for (const std::string family : {"ws", "grid", "ba"}) {
+    const Graph g = bench::make_family(family, n, 17);
+    const SpanningTree tree = central_bfs_tree(g, 0);
+
+    const BatchRun legacy = run_counting(g, tree, wpepr, /*coalesce=*/false);
+    const BatchRun coalesced = run_counting(g, tree, wpepr, /*coalesce=*/true);
+
+    // Mean batch size, from the histogram (bucket i = batches of i+1).
+    std::uint64_t batches = 0, tokens = 0;
+    for (std::size_t i = 0; i < coalesced.histogram.size(); ++i) {
+      batches += coalesced.histogram[i];
+      tokens += coalesced.histogram[i] * (i + 1);
+    }
+    table.add_row({family, "legacy", Table::fmt(legacy.metrics.rounds),
+                   Table::fmt(legacy.metrics.total_messages),
+                   Table::fmt(legacy.metrics.total_bits),
+                   Table::fmt(legacy.wall_ms, 1), "1.000"});
+    table.add_row({family, "coalesced", Table::fmt(coalesced.metrics.rounds),
+                   Table::fmt(coalesced.metrics.total_messages),
+                   Table::fmt(coalesced.metrics.total_bits),
+                   Table::fmt(coalesced.wall_ms, 1),
+                   Table::fmt(batches == 0
+                                  ? 0.0
+                                  : static_cast<double>(tokens) /
+                                        static_cast<double>(batches),
+                              3)});
+
+    std::cout << family << " batch-size histogram (walk sends by token "
+              << "count):\n";
+    for (std::size_t i = 0; i < coalesced.histogram.size(); ++i) {
+      if (coalesced.histogram[i] == 0) continue;
+      std::cout << "  " << (i + 1)
+                << (i + 1 == coalesced.histogram.size() ? "+" : "")
+                << " tokens: " << coalesced.histogram[i] << " ("
+                << Table::fmt(100.0 *
+                                  static_cast<double>(coalesced.histogram[i]) /
+                                  static_cast<double>(batches),
+                              1)
+                << "%)\n";
+    }
+    std::cout << "\n";
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -43,14 +43,14 @@ int main() {
       const double nl = static_cast<double>(g.node_count()) *
                         std::log2(static_cast<double>(g.node_count()));
       ns.push_back(static_cast<double>(g.node_count()));
-      rounds.push_back(static_cast<double>(r.total.rounds));
+      rounds.push_back(static_cast<double>(r.report.metrics.rounds));
       table.add_row({Table::fmt(g.node_count()),
                      Table::fmt(static_cast<std::uint64_t>(g.edge_count())),
                      Table::fmt(static_cast<std::uint64_t>(
                          r.params.walks_per_source)),
                      Table::fmt(static_cast<std::uint64_t>(r.params.cutoff)),
-                     Table::fmt(r.total.rounds),
-                     Table::fmt(static_cast<double>(r.total.rounds) / nl, 2),
+                     Table::fmt(r.report.metrics.rounds),
+                     Table::fmt(static_cast<double>(r.report.metrics.rounds) / nl, 2),
                      Table::fmt(r.counting_metrics.rounds),
                      Table::fmt(r.computing_metrics.rounds)});
     }
@@ -84,9 +84,9 @@ int main() {
     gather_table.add_row(
         {Table::fmt(k), Table::fmt(g.node_count()),
          Table::fmt(static_cast<std::uint64_t>(g.edge_count())),
-         Table::fmt(gather.total.rounds), Table::fmt(approx.total.rounds),
+         Table::fmt(gather.total.rounds), Table::fmt(approx.report.metrics.rounds),
          Table::fmt(static_cast<double>(gather.total.rounds) /
-                        static_cast<double>(approx.total.rounds),
+                        static_cast<double>(approx.report.metrics.rounds),
                     2)});
   }
   gather_table.print(std::cout);
@@ -111,8 +111,8 @@ int main() {
     options.compute_scores = false;
     options.congest.seed = 5;
     const auto rw = distributed_rwbc(g, options);
-    pr_table.add_row({Table::fmt(n), Table::fmt(pr.metrics.rounds),
-                      Table::fmt(rw.total.rounds)});
+    pr_table.add_row({Table::fmt(n), Table::fmt(pr.report.metrics.rounds),
+                      Table::fmt(rw.report.metrics.rounds)});
   }
   pr_table.print(std::cout);
   std::cout << "\n";

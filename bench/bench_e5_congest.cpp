@@ -36,12 +36,12 @@ int main() {
       table.add_row(
           {family, Table::fmt(g.node_count()),
            Table::fmt(probe.bit_budget()),
-           Table::fmt(r.total.max_bits_per_edge_round),
-           Table::fmt(r.total.max_messages_per_edge_round),
-           r.total.max_bits_per_edge_round <= probe.bit_budget() ? "yes"
+           Table::fmt(r.report.metrics.max_bits_per_edge_round),
+           Table::fmt(r.report.metrics.max_messages_per_edge_round),
+           r.report.metrics.max_bits_per_edge_round <= probe.bit_budget() ? "yes"
                                                                  : "NO",
            Table::fmt(
-               static_cast<double>(r.total.max_bits_per_edge_round) / log_n,
+               static_cast<double>(r.report.metrics.max_bits_per_edge_round) / log_n,
                2)});
     }
   }

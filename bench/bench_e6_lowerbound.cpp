@@ -95,9 +95,9 @@ int main() {
         {Table::fmt(m), Table::fmt(fam),
          Table::fmt(layout.graph.node_count()),
          Table::fmt(static_cast<std::uint64_t>(m + 1)),
-         Table::fmt(r.total.cut_bits),
+         Table::fmt(r.report.metrics.cut_bits),
          Table::fmt(disjointness_bits_lower_bound(fam), 1),
-         Table::fmt(r.total.rounds),
+         Table::fmt(r.report.metrics.rounds),
          Table::fmt(n / std::log2(n), 1)});
   }
   cut_table.print(std::cout);

@@ -53,8 +53,8 @@ int main() {
             {strict ? "strict CONGEST" : "ideal bandwidth",
              strict ? Table::fmt(static_cast<std::uint64_t>(slots)) : "inf",
              Table::fmt(r.counting_metrics.rounds),
-             Table::fmt(max_relative_error(exact, r.betweenness)),
-             Table::fmt(r.total.max_bits_per_edge_round)});
+             Table::fmt(max_relative_error(exact, r.report.scores)),
+             Table::fmt(r.report.metrics.max_bits_per_edge_round)});
       }
     }
     table.print(std::cout);
@@ -87,7 +87,7 @@ int main() {
            policy == LengthPolicy::kPerMove ? "per-move (paper)"
                                             : "per-round",
            Table::fmt(r.counting_metrics.rounds),
-           Table::fmt(max_relative_error(exact, r.betweenness))});
+           Table::fmt(max_relative_error(exact, r.report.scores))});
     }
   }
   policy_table.print(std::cout);
@@ -121,8 +121,8 @@ int main() {
       batch_table.add_row(
           {batch == 0 ? "auto" : Table::fmt(batch),
            Table::fmt(r.computing_metrics.rounds),
-           Table::fmt(r.total.max_bits_per_edge_round),
-           Table::fmt(max_relative_error(exact, r.betweenness))});
+           Table::fmt(r.report.metrics.max_bits_per_edge_round),
+           Table::fmt(max_relative_error(exact, r.report.scores))});
     }
   }
   batch_table.print(std::cout);

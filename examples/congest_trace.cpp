@@ -82,14 +82,14 @@ int main(int argc, char** argv) {
                                result.counting_metrics));
     phases.add_row(metrics_row("P4 computing (Alg.2)",
                                result.computing_metrics));
-    phases.add_row(metrics_row("total", result.total));
+    phases.add_row(metrics_row("total", result.report.metrics));
     phases.print(std::cout);
 
     Network probe(g, options.congest);
     std::cout << "\nCONGEST budget: " << probe.bit_budget()
               << " bits/edge/round; peak observed: "
-              << result.total.max_bits_per_edge_round << " -> "
-              << (result.total.max_bits_per_edge_round <= probe.bit_budget()
+              << result.report.metrics.max_bits_per_edge_round << " -> "
+              << (result.report.metrics.max_bits_per_edge_round <= probe.bit_budget()
                       ? "COMPLIANT"
                       : "VIOLATION")
               << "\n";
@@ -105,16 +105,16 @@ int main(int argc, char** argv) {
     std::cout << "\nRound-count comparison (Section I / II):\n";
     Table compare({"algorithm", "rounds", "asymptotic"});
     compare.add_row({"distributed RWBC (this paper)",
-                     Table::fmt(result.total.rounds), "O(n log n)"});
+                     Table::fmt(result.report.metrics.rounds), "O(n log n)"});
     compare.add_row({"trivial gather-exact",
                      Table::fmt(gather.total.rounds), "O(m + D) [Theta(m) on bottlenecks]"});
     compare.add_row({"distributed PageRank",
-                     Table::fmt(pagerank.metrics.rounds), "O(log n / eps)"});
+                     Table::fmt(pagerank.report.metrics.rounds), "O(log n / eps)"});
     DistributedSpbcOptions spbc_options;
     spbc_options.congest.seed = seed;
     spbc_options.congest.bit_floor = 64;
     const auto spbc = distributed_spbc(g, spbc_options);
-    compare.add_row({"distributed SPBC [5]", Table::fmt(spbc.total.rounds),
+    compare.add_row({"distributed SPBC [5]", Table::fmt(spbc.report.metrics.rounds),
                      "O(n)"});
     compare.print(std::cout);
   } catch (const std::exception& e) {

@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
       const auto result = distributed_rwbc(layout.graph, options);
 
       table.add_row({Table::fmt(s), want_disjoint ? "yes" : "no",
-                     Table::fmt(b_p, 6), Table::fmt(result.total.cut_bits),
-                     Table::fmt(result.total.cut_messages),
+                     Table::fmt(b_p, 6), Table::fmt(result.report.metrics.cut_bits),
+                     Table::fmt(result.report.metrics.cut_messages),
                      Table::fmt(disjointness_bits_lower_bound(family), 1)});
     }
     table.print(std::cout);

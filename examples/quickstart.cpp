@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       const auto vi = static_cast<std::size_t>(v);
       table.add_row({Table::fmt(v), Table::fmt(g.degree(v)),
                      Table::fmt(exact[vi]),
-                     Table::fmt(distributed.betweenness[vi]),
+                     Table::fmt(distributed.report.scores[vi]),
                      Table::fmt(mc.betweenness[vi])});
     }
     table.print(std::cout);
@@ -67,15 +67,15 @@ int main(int argc, char** argv) {
     std::cout << "\nDistributed run: target = " << distributed.target
               << ", l = " << distributed.params.cutoff
               << ", K = " << distributed.params.walks_per_source << "\n"
-              << "rounds = " << distributed.total.rounds << " ("
+              << "rounds = " << distributed.report.metrics.rounds << " ("
               << distributed.counting_metrics.rounds << " counting, "
               << distributed.computing_metrics.rounds << " computing)\n"
               << "max bits/edge/round = "
-              << distributed.total.max_bits_per_edge_round << "\n"
+              << distributed.report.metrics.max_bits_per_edge_round << "\n"
               << "max relative error vs exact = "
-              << max_relative_error(exact, distributed.betweenness) << "\n"
+              << max_relative_error(exact, distributed.report.scores) << "\n"
               << "Kendall tau vs exact = "
-              << kendall_tau(exact, distributed.betweenness) << "\n";
+              << kendall_tau(exact, distributed.report.scores) << "\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

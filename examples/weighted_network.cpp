@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
       const auto vi = static_cast<std::size_t>(v);
       table.add_row({Table::fmt(v), Table::fmt(wg.strength(v), 0),
                      Table::fmt(uniform[vi]), Table::fmt(exact[vi]),
-                     Table::fmt(distributed.betweenness[vi])});
+                     Table::fmt(distributed.report.scores[vi])});
     }
     table.print(std::cout);
 
@@ -64,9 +64,9 @@ int main(int argc, char** argv) {
               << exact[1] / uniform[1]
               << "x its uniform value because walks preferentially route "
                  "through it.\n"
-              << "Distributed run: " << distributed.total.rounds
+              << "Distributed run: " << distributed.report.metrics.rounds
               << " rounds, max rel err vs exact = "
-              << max_relative_error(exact, distributed.betweenness) << "\n";
+              << max_relative_error(exact, distributed.report.scores) << "\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -65,31 +65,59 @@ void BitWriter::write(std::uint64_t value, int width) {
   RWBC_REQUIRE(width >= 0 && width <= 64, "bit width out of range");
   RWBC_REQUIRE(width == 64 || value < (1ULL << width),
                "value does not fit in declared bit width");
-  for (int i = 0; i < width; ++i) {
-    const int bit_index = bit_count_ + i;
-    const auto byte_index = static_cast<std::size_t>(bit_index >> 3);
-    if (byte_index >= bytes_.size()) bytes_.push_back(0);
-    if ((value >> i) & 1ULL) {
-      bytes_[byte_index] =
-          static_cast<std::uint8_t>(bytes_[byte_index] | (1u << (bit_index & 7)));
-    }
+  if (width == 0) return;
+  const int end_bit = bit_count_ + width;
+  bytes_.resize(static_cast<std::size_t>((end_bit + 7) >> 3), 0);
+  auto byte_index = static_cast<std::size_t>(bit_count_ >> 3);
+  const int offset = bit_count_ & 7;
+  int written = 0;
+  if (offset != 0) {
+    // Fill the partial tail byte first (it already holds earlier bits).
+    bytes_[byte_index] |= static_cast<std::uint8_t>(value << offset);
+    written = 8 - offset;
+    ++byte_index;
   }
-  bit_count_ += width;
+  while (written < width) {
+    bytes_[byte_index++] = static_cast<std::uint8_t>(value >> written);
+    written += 8;
+  }
+  bit_count_ = end_bit;
 }
 
 std::uint64_t BitReader::read(int width) {
   RWBC_REQUIRE(width >= 0 && width <= 64, "bit width out of range");
   RWBC_REQUIRE(cursor_ + width <= bit_count_, "bit payload exhausted");
-  std::uint64_t value = 0;
-  for (int i = 0; i < width; ++i) {
-    const int bit_index = cursor_ + i;
-    const auto byte_index = static_cast<std::size_t>(bit_index >> 3);
-    if ((bytes_[byte_index] >> (bit_index & 7)) & 1u) {
-      value |= (1ULL << i);
-    }
+  if (width == 0) return 0;
+  auto byte_index = static_cast<std::size_t>(cursor_ >> 3);
+  const int offset = cursor_ & 7;
+  std::uint64_t value = bytes_[byte_index] >> offset;
+  int have = 8 - offset;
+  while (have < width) {
+    value |= static_cast<std::uint64_t>(bytes_[++byte_index]) << have;
+    have += 8;
   }
+  if (width < 64) value &= (1ULL << width) - 1;
   cursor_ += width;
   return value;
+}
+
+void write_gamma(BitWriter& w, std::uint64_t value) {
+  RWBC_REQUIRE(value >= 1, "gamma codes positive values only");
+  int k = 0;
+  while ((value >> k) > 1) ++k;  // k = floor(log2 value)
+  // k zero bits then a one, LSB-first: the single set bit of 1 << k.
+  w.write(1ULL << k, k + 1);
+  if (k > 0) w.write(value & ((1ULL << k) - 1), k);
+}
+
+std::uint64_t read_gamma(BitReader& r) {
+  int k = 0;
+  while (r.read(1) == 0) {
+    ++k;
+    RWBC_REQUIRE(k < 64, "malformed gamma prefix");
+  }
+  if (k == 0) return 1;
+  return (1ULL << k) | r.read(k);
 }
 
 }  // namespace rwbc

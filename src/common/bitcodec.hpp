@@ -36,6 +36,14 @@ class BitWriter {
   /// The packed payload (last byte zero-padded).
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
+  /// Resets to empty while keeping the byte buffer's capacity, so a
+  /// per-node scratch writer encodes thousands of messages per round
+  /// without reallocating.
+  void clear() {
+    bytes_.clear();
+    bit_count_ = 0;
+  }
+
  private:
   std::vector<std::uint8_t> bytes_;
   int bit_count_ = 0;
@@ -78,5 +86,15 @@ class BitReader {
   int bit_count_;
   int cursor_ = 0;
 };
+
+/// Elias-gamma codes a POSITIVE value: k = floor(log2 v) zero bits, a one
+/// bit, then the k low-order bits of v — 2*floor(log2 v) + 1 bits total.
+/// Small values are cheap (1 encodes in a single bit), which is what makes
+/// delta-coded token batches competitive with fixed-width records.
+void write_gamma(BitWriter& w, std::uint64_t value);
+
+/// Inverse of write_gamma.  Throws rwbc::Error on exhausted or malformed
+/// payloads (a run of 64+ zero bits cannot be a valid prefix).
+std::uint64_t read_gamma(BitReader& r);
 
 }  // namespace rwbc

@@ -90,4 +90,43 @@ class ThreadPool {
   std::exception_ptr failure_;
 };
 
+/// Deterministic map-reduce over [0, count): `map(begin, end)` produces one
+/// partial per fixed-width chunk (width independent of the pool size), and
+/// the partials are combined left-to-right in ascending chunk order — so
+/// the result is bit-identical at every thread count, including for
+/// non-associative combines like double addition.  A null pool (or a pool
+/// of size 1) folds the same chunks serially in the same order.
+///
+/// This is the REDUCTION idiom the counting phase uses to merge per-node
+/// tallies: each map chunk owns a disjoint index range (no shared writes),
+/// and the combine order is a pure function of `count` and `chunk_width`.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(ThreadPool* pool, std::size_t count, T identity,
+                  const Map& map, const Combine& combine,
+                  std::size_t chunk_width = 2048) {
+  if (count == 0) return identity;
+  const std::size_t chunks = (count + chunk_width - 1) / chunk_width;
+  if (pool == nullptr || pool->size() == 1 || chunks == 1) {
+    T acc = identity;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * chunk_width;
+      const std::size_t end = begin + chunk_width < count
+                                  ? begin + chunk_width
+                                  : count;
+      acc = combine(acc, map(begin, end));
+    }
+    return acc;
+  }
+  std::vector<T> partials(chunks, identity);
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk_width;
+    const std::size_t end =
+        begin + chunk_width < count ? begin + chunk_width : count;
+    partials[c] = map(begin, end);
+  });
+  T acc = identity;
+  for (std::size_t c = 0; c < chunks; ++c) acc = combine(acc, partials[c]);
+  return acc;
+}
+
 }  // namespace rwbc

@@ -29,8 +29,19 @@ void RoundArena::prepare(std::size_t node_count, std::size_t message_count,
                          std::size_t payload_bytes) {
   messages_.resize(message_count);
   bytes_.resize(payload_bytes);
-  offsets_.assign(node_count, 0);
-  counts_.assign(node_count, 0);
+  if (offsets_.size() != node_count) {
+    offsets_.assign(node_count, 0);
+    counts_.assign(node_count, 0);
+  } else {
+    // Sparse reset: only inboxes assigned since the previous prepare() can
+    // be nonzero.  (clear_inbox zeroes a count without delisting the node,
+    // which just makes this loop clear it again — harmless.)
+    for (const NodeId v : active_) {
+      offsets_[static_cast<std::size_t>(v)] = 0;
+      counts_[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+  active_.clear();
 }
 
 DeliveryPlanner::DeliveryPlanner(const Graph& g, bool with_fault_buffers)
@@ -57,50 +68,33 @@ DeliveryPlanner::DeliveryPlanner(const Graph& g, bool with_fault_buffers)
   // ascending id order, so each destination's incoming-edge list comes out
   // sorted by sender id — the canonical inbox block order.
   in_edges_.resize(edge_count_);
+  edge_dest_.resize(edge_count_);
   std::vector<std::size_t> cursor(in_base_.begin(), in_base_.end() - 1);
   for (std::size_t u = 0; u < node_count_; ++u) {
     const auto neighbors = g.neighbors(static_cast<NodeId>(u));
     for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
       const auto v = static_cast<std::size_t>(neighbors[slot]);
       in_edges_[cursor[v]++] = static_cast<std::uint32_t>(out_base_[u] + slot);
+      edge_dest_[out_base_[u] + slot] = static_cast<std::uint32_t>(v);
     }
   }
+  dest_stamp_.assign(node_count_, 0);
 
-  sent_bits_.assign(edge_count_, 0);
-  sent_msgs_.assign(edge_count_, 0);
-  sent_bytes_.assign(edge_count_, 0);
+  edges_.assign(edge_count_, EdgeTally{});
   if (fault_buffers_) {
     deliv_msgs_.assign(edge_count_, 0);
     deliv_bytes_.assign(edge_count_, 0);
   }
-  place_msg_.resize(edge_count_);
-  place_byte_.resize(edge_count_);
-  node_msgs_.resize(node_count_);
-  node_bytes_.resize(node_count_);
-  node_msg_off_.resize(node_count_);
-  node_byte_off_.resize(node_count_);
-}
-
-std::span<const std::uint64_t> DeliveryPlanner::sent_bits_segment(
-    NodeId u) const {
-  const auto v = static_cast<std::size_t>(u);
-  return {sent_bits_.data() + out_base_[v], out_base_[v + 1] - out_base_[v]};
-}
-
-std::span<const std::uint32_t> DeliveryPlanner::sent_msgs_segment(
-    NodeId u) const {
-  const auto v = static_cast<std::size_t>(u);
-  return {sent_msgs_.data() + out_base_[v], out_base_[v + 1] - out_base_[v]};
+  nodes_.resize(node_count_);
 }
 
 void DeliveryPlanner::zero_round(ThreadPool* pool) {
   for_ranges(pool, edge_count_, [this](std::size_t begin, std::size_t end) {
-    std::fill(sent_bits_.begin() + static_cast<std::ptrdiff_t>(begin),
-              sent_bits_.begin() + static_cast<std::ptrdiff_t>(end), 0);
-    std::fill(sent_msgs_.begin() + static_cast<std::ptrdiff_t>(begin),
-              sent_msgs_.begin() + static_cast<std::ptrdiff_t>(end), 0);
-    std::fill(sent_bytes_.begin() + static_cast<std::ptrdiff_t>(begin),
-              sent_bytes_.begin() + static_cast<std::ptrdiff_t>(end), 0);
+    for (std::size_t e = begin; e < end; ++e) {
+      edges_[e].bits = 0;
+      edges_[e].msgs = 0;
+      edges_[e].bytes = 0;
+    }
     if (fault_buffers_) {
       std::fill(deliv_msgs_.begin() + static_cast<std::ptrdiff_t>(begin),
                 deliv_msgs_.begin() + static_cast<std::ptrdiff_t>(end), 0);
@@ -114,10 +108,12 @@ DeliveryTotals DeliveryPlanner::schedule(bool use_delivered, RoundArena& arena,
                                          ThreadPool* pool) {
   RWBC_ASSERT(!use_delivered || fault_buffers_,
               "fault schedule requested without fault buffers");
-  const std::uint32_t* msgs =
-      use_delivered ? deliv_msgs_.data() : sent_msgs_.data();
-  const std::uint32_t* bytes =
-      use_delivered ? deliv_bytes_.data() : sent_bytes_.data();
+  const auto edge_msgs = [&](std::uint32_t e) -> std::size_t {
+    return use_delivered ? deliv_msgs_[e] : edges_[e].msgs;
+  };
+  const auto edge_bytes = [&](std::uint32_t e) -> std::size_t {
+    return use_delivered ? deliv_bytes_[e] : edges_[e].bytes;
+  };
 
   // Pass 1 (parallel over destinations): each destination's totals come
   // from its own incoming edges only, so the writes are disjoint per v.
@@ -126,11 +122,11 @@ DeliveryTotals DeliveryPlanner::schedule(bool use_delivered, RoundArena& arena,
       std::size_t m = 0;
       std::size_t b = 0;
       for (std::uint32_t e : in_edges(static_cast<NodeId>(v))) {
-        m += msgs[e];
-        b += bytes[e];
+        m += edge_msgs(e);
+        b += edge_bytes(e);
       }
-      node_msgs_[v] = m;
-      node_bytes_[v] = b;
+      nodes_[v].msgs = m;
+      nodes_[v].bytes = b;
     }
   });
 
@@ -138,30 +134,93 @@ DeliveryTotals DeliveryPlanner::schedule(bool use_delivered, RoundArena& arena,
   // of any thread schedule.
   DeliveryTotals totals;
   for (std::size_t v = 0; v < node_count_; ++v) {
-    node_msg_off_[v] = totals.messages;
-    node_byte_off_[v] = totals.payload_bytes;
-    totals.messages += node_msgs_[v];
-    totals.payload_bytes += node_bytes_[v];
+    nodes_[v].msg_off = totals.messages;
+    nodes_[v].byte_off = totals.payload_bytes;
+    totals.messages += nodes_[v].msgs;
+    totals.payload_bytes += nodes_[v].bytes;
   }
   arena.prepare(node_count_, totals.messages, totals.payload_bytes);
   for (std::size_t v = 0; v < node_count_; ++v) {
-    arena.set_inbox(static_cast<NodeId>(v), node_msg_off_[v], node_msgs_[v]);
+    arena.set_inbox(static_cast<NodeId>(v), nodes_[v].msg_off, nodes_[v].msgs);
   }
 
   // Pass 2 (parallel over destinations): within each inbox, sender blocks
   // follow ascending sender id — in_edges(v) is already in that order.
   for_ranges(pool, node_count_, [&](std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
-      std::size_t m = node_msg_off_[v];
-      std::size_t b = node_byte_off_[v];
+      std::size_t m = nodes_[v].msg_off;
+      std::size_t b = nodes_[v].byte_off;
       for (std::uint32_t e : in_edges(static_cast<NodeId>(v))) {
-        place_msg_[e] = m;
-        place_byte_[e] = b;
-        m += msgs[e];
-        b += bytes[e];
+        edges_[e].place_msg = m;
+        edges_[e].place_byte = b;
+        m += edge_msgs(e);
+        b += edge_bytes(e);
       }
     }
   });
+  return totals;
+}
+
+DeliveryTotals DeliveryPlanner::schedule_sparse(
+    std::span<const std::uint32_t> touched, RoundArena& arena,
+    std::vector<NodeId>& receivers) {
+  // Pass 1: per-destination totals over exactly the touched edges.  The
+  // stamp dedups destinations without any O(n) clearing.  Bit totals and
+  // per-edge peaks ride along — the arrays are already hot here, and the
+  // driver can then skip a whole per-context tally pass.
+  DeliveryTotals totals;
+  receivers.clear();
+  ++stamp_;
+  for (const std::uint32_t e : touched) {
+    const EdgeTally& t = edges_[e];
+    const auto v = static_cast<std::size_t>(edge_dest_[e]);
+    if (dest_stamp_[v] != stamp_) {
+      dest_stamp_[v] = stamp_;
+      nodes_[v].msgs = 0;
+      nodes_[v].bytes = 0;
+      receivers.push_back(static_cast<NodeId>(v));
+    }
+    nodes_[v].msgs += t.msgs;
+    nodes_[v].bytes += t.bytes;
+    totals.bits += t.bits;
+    totals.peak_bits = std::max(totals.peak_bits, t.bits);
+    totals.peak_msgs =
+        std::max(totals.peak_msgs, static_cast<std::uint64_t>(t.msgs));
+  }
+  // Receivers ascending: busy rounds (most of the graph receiving) come out
+  // of an O(n) stamp scan, sparse rounds out of a small sort.
+  if (receivers.size() > node_count_ / 16) {
+    receivers.clear();
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (dest_stamp_[v] == stamp_) receivers.push_back(static_cast<NodeId>(v));
+    }
+  } else {
+    std::sort(receivers.begin(), receivers.end());
+  }
+
+  // Prefix sum in ascending receiver order, then per-edge placement cursors
+  // in ascending edge-id (sender-major) order: within each inbox, sender
+  // blocks ascend exactly as the dense schedule lays them out.
+  for (const NodeId r : receivers) {
+    const auto v = static_cast<std::size_t>(r);
+    nodes_[v].msg_off = totals.messages;
+    nodes_[v].byte_off = totals.payload_bytes;
+    totals.messages += nodes_[v].msgs;
+    totals.payload_bytes += nodes_[v].bytes;
+  }
+  arena.prepare(node_count_, totals.messages, totals.payload_bytes);
+  for (const NodeId r : receivers) {
+    const auto v = static_cast<std::size_t>(r);
+    arena.set_inbox(r, nodes_[v].msg_off, nodes_[v].msgs);
+  }
+  for (const std::uint32_t e : touched) {
+    EdgeTally& t = edges_[e];
+    NodeSched& d = nodes_[static_cast<std::size_t>(edge_dest_[e])];
+    t.place_msg = d.msg_off;
+    t.place_byte = d.byte_off;
+    d.msg_off += t.msgs;
+    d.byte_off += t.bytes;
+  }
   return totals;
 }
 

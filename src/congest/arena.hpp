@@ -56,7 +56,9 @@ class RoundArena {
  public:
   /// Sizes the arena for one round: `message_count` Message slots,
   /// `payload_bytes` payload bytes, `node_count` inboxes.  Slice assignments
-  /// are reset; slot contents are undefined until placed.
+  /// are reset; slot contents are undefined until placed.  The reset is
+  /// sparse: only the inboxes set since the previous prepare() are cleared,
+  /// so an almost-quiet round costs O(active), not O(n).
   void prepare(std::size_t node_count, std::size_t message_count,
                std::size_t payload_bytes);
 
@@ -64,6 +66,7 @@ class RoundArena {
   void set_inbox(NodeId v, std::size_t offset, std::size_t count) {
     offsets_[static_cast<std::size_t>(v)] = offset;
     counts_[static_cast<std::size_t>(v)] = count;
+    active_.push_back(v);
   }
 
   /// Empties node v's inbox (crash-stop: pending deliveries are discarded).
@@ -93,12 +96,44 @@ class RoundArena {
   std::vector<std::uint8_t> bytes_;
   std::vector<std::size_t> offsets_;  // per node, index into messages_
   std::vector<std::size_t> counts_;   // per node
+  std::vector<NodeId> active_;        // inboxes assigned since last prepare
 };
 
 /// Totals of one round's delivered traffic (after faults, if any).
 struct DeliveryTotals {
   std::size_t messages = 0;
   std::size_t payload_bytes = 0;
+  // Filled by schedule_sparse only (the fault-free path, where sent ==
+  // delivered): total sent bits and the per-edge peaks, read straight off
+  // the planner's tally arrays while the schedule walks the touched edges.
+  // Lets the serial driver skip its per-context tally pass entirely.  The
+  // dense schedule() leaves them zero — its callers tally per context.
+  std::uint64_t bits = 0;
+  std::uint64_t peak_bits = 0;
+  std::uint64_t peak_msgs = 0;
+};
+
+/// Per-directed-edge round state, packed into one 32-byte struct so the send
+/// path, the sparse schedule, and the placement pass each touch ONE cache
+/// line per edge instead of scattering loads over five parallel arrays.
+/// `bits`/`msgs`/`bytes` are the send tallies (written by the sender's
+/// thread, cleared sparsely at end of round); the placement cursors are
+/// schedule scratch, rewritten every round they are used.
+struct EdgeTally {
+  std::uint64_t bits = 0;
+  std::uint32_t msgs = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t place_msg = 0;
+  std::uint64_t place_byte = 0;
+};
+
+/// Per-node schedule scratch, packed for the same reason: the sparse
+/// schedule's three walks over a round's receivers touch one line per node.
+struct NodeSched {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t msg_off = 0;
+  std::uint64_t byte_off = 0;
 };
 
 /// The count-then-place scheduler.  Directed edge (u -> neighbors(u)[slot])
@@ -119,15 +154,12 @@ class DeliveryPlanner {
     return out_base_[static_cast<std::size_t>(u)];
   }
 
-  // Per-round send tallies, as segment pointers for sender u: index by the
-  // neighbour slot.  Written only by u's thread while its on_round runs.
-  std::uint64_t* sent_bits(NodeId u) { return sent_bits_.data() + out_base(u); }
-  std::uint32_t* sent_msgs(NodeId u) { return sent_msgs_.data() + out_base(u); }
-  std::uint32_t* sent_bytes(NodeId u) {
-    return sent_bytes_.data() + out_base(u);
-  }
-  std::span<const std::uint64_t> sent_bits_segment(NodeId u) const;
-  std::span<const std::uint32_t> sent_msgs_segment(NodeId u) const;
+  /// Per-round send tallies + placement cursors, as a segment pointer for
+  /// sender u: index by the neighbour slot.  Tallies are written only by
+  /// u's thread while its on_round runs.
+  EdgeTally* edge_tally(NodeId u) { return edges_.data() + out_base(u); }
+  /// The whole per-directed-edge array, indexed by dense edge id.
+  EdgeTally* edge_tallies() { return edges_.data(); }
 
   // Delivered tallies (fault path only): what actually lands per edge after
   // the serial fate pass applied drops and duplications.
@@ -138,8 +170,10 @@ class DeliveryPlanner {
     return deliv_bytes_.data() + out_base(u);
   }
 
-  /// Zeroes all per-round tallies (parallel when a pool is given).  Runs at
-  /// the top of every round, before any on_round may send.
+  /// Zeroes all per-round tallies (parallel when a pool is given).  The
+  /// fault-free round loop clears tallies sparsely instead (each context
+  /// zeroes exactly the slots it touched); this dense sweep remains for
+  /// callers that lose track of what was touched.
   void zero_round(ThreadPool* pool);
 
   /// The two-pass schedule: from the per-edge counts (`use_delivered` picks
@@ -150,10 +184,19 @@ class DeliveryPlanner {
   DeliveryTotals schedule(bool use_delivered, RoundArena& arena,
                           ThreadPool* pool);
 
-  // Placement cursors (written by schedule(), advanced by the placement
-  // pass; edge e's cursor is touched only by its sender's thread).
-  std::size_t* place_msg() { return place_msg_.data(); }
-  std::size_t* place_byte() { return place_byte_.data(); }
+  /// Sparse flavour of schedule() for fault-free rounds: `touched` is the
+  /// exact set of directed edges carrying traffic this round, in ascending
+  /// edge-id (= sender-major) order.  Cost is O(touched + receivers) — no
+  /// per-round O(n + m) scans — and the resulting inbox CONTENT is
+  /// identical to the dense schedule's (inbox slices may be laid out in a
+  /// different order inside the arena, which nothing observes).  Also
+  /// returns the distinct destination nodes in `receivers`, ascending —
+  /// the round loop uses them to wake sleepers and maintain the awake set
+  /// incrementally.  Serial by construction: the work is proportional to
+  /// actual traffic, which is what the sparse regime makes small.
+  DeliveryTotals schedule_sparse(std::span<const std::uint32_t> touched,
+                                 RoundArena& arena,
+                                 std::vector<NodeId>& receivers);
 
  private:
   std::span<const std::uint32_t> in_edges(NodeId v) const {
@@ -169,20 +212,19 @@ class DeliveryPlanner {
   std::vector<std::size_t> out_base_;    // n+1: sender u's first edge id
   std::vector<std::size_t> in_base_;     // n+1: offsets into in_edges_
   std::vector<std::uint32_t> in_edges_;  // edge ids into v, ascending sender
+  std::vector<std::uint32_t> edge_dest_; // destination node of each edge
 
-  std::vector<std::uint64_t> sent_bits_;
-  std::vector<std::uint32_t> sent_msgs_;
-  std::vector<std::uint32_t> sent_bytes_;
+  // schedule_sparse() per-destination dedup: a destination is "seen this
+  // round" iff its stamp equals the current round stamp — no O(n) clearing.
+  std::vector<std::uint64_t> dest_stamp_;
+  std::uint64_t stamp_ = 0;
+
+  std::vector<EdgeTally> edges_;          // per directed edge
   std::vector<std::uint32_t> deliv_msgs_;
   std::vector<std::uint32_t> deliv_bytes_;
-  std::vector<std::size_t> place_msg_;
-  std::vector<std::size_t> place_byte_;
 
   // schedule() scratch, one entry per node.
-  std::vector<std::size_t> node_msgs_;
-  std::vector<std::size_t> node_bytes_;
-  std::vector<std::size_t> node_msg_off_;
-  std::vector<std::size_t> node_byte_off_;
+  std::vector<NodeSched> nodes_;
 };
 
 }  // namespace rwbc

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/bitcodec.hpp"
 #include "graph/graph.hpp"
@@ -16,24 +17,58 @@ namespace rwbc {
 /// they model the fact that a receiver knows which port a message arrived on
 /// (standard in CONGEST) and are not charged against the payload budget.
 ///
-/// A Message does not own its payload: `payload` points into the network's
-/// per-round message arena (see congest/arena.hpp), which stays immutable
-/// for exactly the round in which the inbox span is handed to on_round.
-/// Node programs that need a payload beyond the round must decode it (the
-/// existing contract — inbox spans were never stable across rounds).
+/// Payload storage is small-buffer inlined: a payload of up to kInlineBytes
+/// (which covers every O(log n) CONGEST payload this repo sends, batched
+/// walk payloads included) lives INSIDE the Message, so delivering a message
+/// touches exactly one cache line end to end — no separate payload arena
+/// write at placement, no pointer chase at read.  Longer payloads fall back
+/// to a pointer into the network's per-round byte arena (congest/arena.hpp),
+/// which stays immutable for exactly the round in which the inbox span is
+/// handed to on_round.  Node programs that need a payload beyond the round
+/// must decode it (the existing contract — inbox spans were never stable
+/// across rounds).  Copying a Message copies an inline payload with it; a
+/// spilled payload stays backed by the arena.
 struct Message {
+  /// Spill threshold: one 32-byte struct = ids + bit count + this buffer.
+  static constexpr std::size_t kInlineBytes = 16;
+
   NodeId from = -1;
   NodeId to = -1;
-  const std::uint8_t* payload = nullptr;  ///< arena-backed payload bytes
-  int bit_count = 0;
+  std::int32_t bit_count = 0;
+  union Store {
+    const std::uint8_t* ptr;  ///< payload_bytes() >  kInlineBytes
+    std::uint8_t buf[kInlineBytes];  ///< payload_bytes() <= kInlineBytes
+  } store_ = {nullptr};
+
+  Message() = default;
+
+  /// Builds a message, inlining the payload when it fits.  `bytes` may be
+  /// null when `bits` is 0.  When the payload spills, `bytes` must stay
+  /// alive as long as the message is readable (the arena contract above).
+  Message(NodeId from_id, NodeId to_id, const std::uint8_t* bytes, int bits)
+      : from(from_id), to(to_id), bit_count(bits) {
+    const std::size_t len = payload_bytes();
+    if (len <= kInlineBytes) {
+      if (len > 0) std::memcpy(store_.buf, bytes, len);
+    } else {
+      store_.ptr = bytes;
+    }
+  }
 
   /// Number of payload bytes backing `bit_count` bits.
   std::size_t payload_bytes() const {
     return (static_cast<std::size_t>(bit_count) + 7) / 8;
   }
 
+  /// The payload bytes (inline or arena-backed).
+  const std::uint8_t* payload() const {
+    return payload_bytes() <= kInlineBytes ? store_.buf : store_.ptr;
+  }
+
   /// Reader over the payload.
-  BitReader reader() const { return BitReader(payload, bit_count); }
+  BitReader reader() const { return BitReader(payload(), bit_count); }
 };
+
+static_assert(sizeof(Message) == 32, "Message should stay one half-line");
 
 }  // namespace rwbc

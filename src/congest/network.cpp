@@ -48,9 +48,14 @@ class Network::ContextImpl final : public NodeContext {
         id_(id),
         rng_(net.config_.seed, static_cast<std::uint64_t>(id)),
         neighbors_(net.graph_.neighbors(id)),
-        slot_bits_(net.planner_.sent_bits(id)),
-        slot_msgs_(net.planner_.sent_msgs(id)),
-        slot_bytes_(net.planner_.sent_bytes(id)) {}
+        edge_base_(net.planner_.out_base(id)),
+        slot_tally_(net.planner_.edge_tally(id)),
+        slot_deliv_msgs_(net.config_.faults.any()
+                             ? net.planner_.delivered_msgs(id)
+                             : nullptr),
+        slot_deliv_bytes_(net.config_.faults.any()
+                              ? net.planner_.delivered_bytes(id)
+                              : nullptr) {}
 
   NodeId id() const override { return id_; }
   NodeId node_count() const override { return net_.graph_.node_count(); }
@@ -67,17 +72,55 @@ class Network::ContextImpl final : public NodeContext {
         std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
     RWBC_REQUIRE(it != neighbors_.end() && *it == neighbor,
                  "send target is not a neighbor");
-    const auto slot = static_cast<std::size_t>(it - neighbors_.begin());
+    send_impl(static_cast<std::size_t>(it - neighbors_.begin()), neighbor,
+              payload);
+  }
+
+  void send_to_slot(NodeId slot, const BitWriter& payload) override {
+    RWBC_REQUIRE(slot >= 0 &&
+                     static_cast<std::size_t>(slot) < neighbors_.size(),
+                 "send_to_slot index out of range");
+    send_impl(static_cast<std::size_t>(slot),
+              neighbors_[static_cast<std::size_t>(slot)], payload);
+  }
+
+  void send_impl(std::size_t slot, NodeId neighbor, const BitWriter& payload) {
     const auto bits = static_cast<std::uint64_t>(payload.bit_count());
-    slot_bits_[slot] += bits;
-    slot_msgs_[slot] += 1;
-    slot_bytes_[slot] += static_cast<std::uint32_t>(payload.bytes().size());
+    EdgeTally& tally = slot_tally_[slot];
+    if (tally.msgs == 0) {
+      // Track sortedness as slots are recorded: almost every node sends in
+      // ascending slot order (neighbour-loop order), so the end-of-round
+      // touched-edge assembly can skip its sort entirely.
+      if (!touched_slots_.empty() &&
+          slot < touched_slots_.back()) {
+        touched_sorted_ = false;
+      }
+      touched_slots_.push_back(static_cast<std::uint32_t>(slot));
+      if (net_.serial_touch_) {
+        // Serial fast path: feed the sparse schedule's edge list directly,
+        // replacing the whole per-context assembly pass.
+        const auto e = static_cast<std::uint32_t>(edge_base_ + slot);
+        if (!net_.touched_edges_.empty() && e < net_.touched_edges_.back()) {
+          net_.touched_edges_sorted_ = false;
+        }
+        net_.touched_edges_.push_back(e);
+      }
+    }
+    tally.bits += bits;
+    tally.msgs += 1;
+    tally.bytes += static_cast<std::uint32_t>(payload.bytes().size());
     if (net_.config_.enforce_bandwidth) {
-      RWBC_REQUIRE(slot_bits_[slot] <= net_.bit_budget_,
+      RWBC_REQUIRE(tally.bits <= net_.bit_budget_,
                    "CONGEST bandwidth budget exceeded on edge " +
                        std::to_string(id_) + "->" + std::to_string(neighbor) +
                        " in round " + std::to_string(net_.round_));
     }
+    // Peak tallies kept at send time (slot tallies only grow within a
+    // round, so the running max equals the end-of-round segment max) —
+    // this replaces the per-round scans over every edge segment.
+    round_peak_bits_ = std::max(round_peak_bits_, tally.bits);
+    round_peak_msgs_ = std::max(round_peak_msgs_,
+                                static_cast<std::uint64_t>(tally.msgs));
     round_messages_ += 1;
     round_bits_ += bits;
     if (net_.has_cut_ && net_.is_cut_edge(id_, neighbor)) {
@@ -96,41 +139,59 @@ class Network::ContextImpl final : public NodeContext {
 
   // --- driver-side hooks -------------------------------------------------
 
-  void begin_round() {
-    // The flat per-edge tallies are zeroed in bulk by the planner; only the
-    // per-context scalars and the outbox reset live here.
+  /// Resets everything a round writes, ready for the next one: the per-edge
+  /// tallies this round's sends touched (the sparse replacement for the
+  /// planner's dense zero_round sweep), the per-round scalar counters, and
+  /// the outbox.  Runs at the END of each round, after the schedule and
+  /// placement consumed the tallies, for awake nodes only — a halted node's
+  /// state was already reset when it last ran, and freshly constructed
+  /// contexts are zeroed.  (on_start never sends, so no top-of-round reset
+  /// is needed; restore_checkpoint re-establishes the invariant on resume.)
+  void clear_round_tallies() {
+    for (const std::uint32_t slot : touched_slots_) {
+      slot_tally_[slot].bits = 0;
+      slot_tally_[slot].msgs = 0;
+      slot_tally_[slot].bytes = 0;
+      if (slot_deliv_msgs_ != nullptr) {
+        slot_deliv_msgs_[slot] = 0;
+        slot_deliv_bytes_[slot] = 0;
+      }
+    }
+    touched_slots_.clear();
+    touched_sorted_ = true;
     round_messages_ = 0;
     round_bits_ = 0;
     round_cut_messages_ = 0;
     round_cut_bits_ = 0;
     round_retransmissions_ = 0;
+    round_peak_bits_ = 0;
+    round_peak_msgs_ = 0;
     out_meta_.clear();
     out_bytes_.clear();
-  }
-
-  std::uint64_t peak_bits() const {
-    const auto seg = net_.planner_.sent_bits_segment(id_);
-    return seg.empty() ? 0 : *std::max_element(seg.begin(), seg.end());
-  }
-  std::uint64_t peak_msgs() const {
-    const auto seg = net_.planner_.sent_msgs_segment(id_);
-    return seg.empty() ? 0 : *std::max_element(seg.begin(), seg.end());
   }
 
   Network& net_;
   NodeId id_;
   Rng rng_;
   std::span<const NodeId> neighbors_;
-  // Per-slot send tallies: this context's segments of the planner's flat
-  // per-directed-edge arrays (zeroed in bulk each round).
-  std::uint64_t* slot_bits_;
-  std::uint32_t* slot_msgs_;
-  std::uint32_t* slot_bytes_;
+  std::size_t edge_base_;  ///< planner_.out_base(id_): first directed edge id
+  // Per-slot send tallies: this context's segment of the planner's flat
+  // per-directed-edge array (cleared sparsely each round).
+  EdgeTally* slot_tally_;
+  // Fault-path delivered tallies (null without fault buffers).  The fate
+  // pass only ever writes slots that carried sends, so the sparse clearing
+  // above covers them too.
+  std::uint32_t* slot_deliv_msgs_;
+  std::uint32_t* slot_deliv_bytes_;
   std::uint64_t round_messages_ = 0;
   std::uint64_t round_bits_ = 0;
   std::uint64_t round_cut_messages_ = 0;
   std::uint64_t round_cut_bits_ = 0;
   std::uint64_t round_retransmissions_ = 0;
+  std::uint64_t round_peak_bits_ = 0;
+  std::uint64_t round_peak_msgs_ = 0;
+  std::vector<std::uint32_t> touched_slots_;  ///< slots with sends this round
+  bool touched_sorted_ = true;  ///< touched_slots_ recorded in ascending order
   std::vector<PendingSend> out_meta_;   ///< this round's sends, in order
   std::vector<std::uint8_t> out_bytes_; ///< their payload bytes, packed
   std::vector<std::uint8_t> fates_;     ///< per-send fate (faulty rounds)
@@ -150,7 +211,7 @@ Network::Network(const Graph& graph, CongestConfig config)
   processes_.resize(static_cast<std::size_t>(graph.node_count()));
   contexts_.reserve(processes_.size());
   for (NodeId v = 0; v < graph.node_count(); ++v) {
-    contexts_.push_back(std::make_unique<ContextImpl>(*this, v));
+    contexts_.emplace_back(*this, v);
   }
   front_.prepare(static_cast<std::size_t>(graph.node_count()), 0, 0);
   cut_edge_flags_.assign(graph.edge_count(), false);
@@ -233,7 +294,7 @@ void Network::save_checkpoint(CheckpointWriter& out) const {
   // length-prefixed so restore can verify each program consumes exactly
   // what it saved.
   for (std::size_t v = 0; v < contexts_.size(); ++v) {
-    const ContextImpl& ctx = *contexts_[v];
+    const ContextImpl& ctx = contexts_[v];
     for (std::uint64_t word : ctx.rng_.state()) out.u64(word);
     out.boolean(ctx.halted_);
     const auto inbox = front_.inbox(static_cast<NodeId>(v));
@@ -241,7 +302,7 @@ void Network::save_checkpoint(CheckpointWriter& out) const {
     for (const Message& msg : inbox) {
       out.u32(static_cast<std::uint32_t>(msg.from));
       out.u64(static_cast<std::uint64_t>(msg.bit_count));
-      out.blob({msg.payload, msg.payload_bytes()});
+      out.blob({msg.payload(), msg.payload_bytes()});
     }
     CheckpointWriter program;
     processes_[v]->save_state(program);
@@ -283,10 +344,10 @@ void Network::restore_checkpoint(CheckpointReader& in) {
   }
   // Rebuild derived state exactly as an uninterrupted run would have, then
   // overwrite everything mutable with the snapshot.  on_start never sends
-  // (outboxes are reset at the top of each round regardless) and its RNG
+  // (the per-context reset below would discard it anyway) and its RNG
   // draws are undone by the stream restore.
   for (std::size_t v = 0; v < n; ++v) {
-    processes_[v]->on_start(*contexts_[v]);
+    processes_[v]->on_start(contexts_[v]);
   }
   round_ = in.u64();
   metrics_ = load_metrics(in);
@@ -310,13 +371,15 @@ void Network::restore_checkpoint(CheckpointReader& in) {
   std::vector<std::uint8_t> restored_bytes;
   std::vector<std::size_t> inbox_counts(n, 0);
   for (std::size_t v = 0; v < n; ++v) {
-    ContextImpl& ctx = *contexts_[v];
+    ContextImpl& ctx = contexts_[v];
     std::array<std::uint64_t, 4> rng_state{};
     for (auto& word : rng_state) word = in.u64();
     ctx.rng_.set_state(rng_state);
     ctx.halted_ = in.boolean();
-    ctx.out_meta_.clear();
-    ctx.out_bytes_.clear();
+    // Re-establish the between-rounds invariant (tallies zero, outbox
+    // empty) that the end-of-round clear normally maintains, in case this
+    // context carried state from before the restore.
+    ctx.clear_round_tallies();
     const std::uint64_t inbox_size = in.u64();
     inbox_counts[v] = static_cast<std::size_t>(inbox_size);
     for (std::uint64_t i = 0; i < inbox_size; ++i) {
@@ -369,11 +432,13 @@ std::pair<std::uint64_t, std::uint64_t> Network::run_fate_pass() {
   // the pre-arena delivery merge consumed — so a given plan produces the
   // same drops and duplicates at every thread count AND the same bytes as
   // every checkpoint written before this refactor.
+  // Iterating the awake set (ascending, so canonical order is preserved)
+  // is equivalent to iterating every node: halted nodes have empty
+  // outboxes, so they never contributed a draw.
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
-  const std::size_t n = contexts_.size();
-  for (std::size_t v = 0; v < n; ++v) {
-    ContextImpl& ctx = *contexts_[v];
+  for (const std::size_t v : awake_) {
+    ContextImpl& ctx = contexts_[v];
     ctx.fates_.resize(ctx.out_meta_.size());
     std::uint32_t* deliv_msgs = planner_.delivered_msgs(ctx.id_);
     std::uint32_t* deliv_bytes = planner_.delivered_bytes(ctx.id_);
@@ -421,40 +486,49 @@ void Network::place_messages() {
   const bool faulty = injector_ != nullptr;
   Message* slots = back_.message_slots();
   std::uint8_t* bytes = back_.payload_slots();
-  std::size_t* place_msg = planner_.place_msg();
-  std::size_t* place_byte = planner_.place_byte();
-  const std::function<void(std::size_t)> place_sender =
-      [&](std::size_t i) {
-        ContextImpl& ctx = *contexts_[awake_[i]];
-        const std::size_t edge_base = planner_.out_base(ctx.id_);
-        const std::uint8_t* src = ctx.out_bytes_.data();
-        std::size_t src_offset = 0;
-        for (std::size_t j = 0; j < ctx.out_meta_.size(); ++j) {
-          const ContextImpl::PendingSend& send = ctx.out_meta_[j];
-          const std::size_t len =
-              (static_cast<std::size_t>(send.bit_count) + 7) / 8;
-          const std::uint8_t fate = faulty ? ctx.fates_[j] : kFateDeliver;
-          if (fate != kFateDrop) {
-            const std::size_t e = edge_base + send.slot;
-            // A duplicate lands as two adjacent, identical copies — the
-            // same receiver-side picture the pre-arena merge produced.
-            const int copies = fate == kFateDuplicate ? 2 : 1;
-            for (int c = 0; c < copies; ++c) {
-              const std::size_t slot_index = place_msg[e]++;
-              const std::size_t byte_index = place_byte[e];
-              place_byte[e] += len;
-              if (len > 0) {
-                std::memcpy(bytes + byte_index, src + src_offset, len);
-              }
-              slots[slot_index] = Message{ctx.id_, send.to, bytes + byte_index,
-                                          send.bit_count};
-            }
+  EdgeTally* edges = planner_.edge_tallies();
+  const auto place_sender = [&](std::size_t i) {
+    ContextImpl& ctx = contexts_[awake_[i]];
+    const std::size_t edge_base = ctx.edge_base_;
+    const std::uint8_t* src = ctx.out_bytes_.data();
+    std::size_t src_offset = 0;
+    for (std::size_t j = 0; j < ctx.out_meta_.size(); ++j) {
+      const ContextImpl::PendingSend& send = ctx.out_meta_[j];
+      const std::size_t len =
+          (static_cast<std::size_t>(send.bit_count) + 7) / 8;
+      const std::uint8_t fate = faulty ? ctx.fates_[j] : kFateDeliver;
+      if (fate != kFateDrop) {
+        EdgeTally& cursor = edges[edge_base + send.slot];
+        // A duplicate lands as two adjacent, identical copies — the
+        // same receiver-side picture the pre-arena merge produced.
+        const int copies = fate == kFateDuplicate ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+          const std::size_t slot_index = cursor.place_msg++;
+          const std::size_t byte_index = cursor.place_byte;
+          cursor.place_byte += len;
+          if (len > Message::kInlineBytes) {
+            // Spill: the payload rides the byte arena, as before the
+            // small-buffer optimization.  (The arena is sized for every
+            // payload; inline ones just leave their slice unwritten.)
+            std::memcpy(bytes + byte_index, src + src_offset, len);
+            slots[slot_index] = Message{ctx.id_, send.to, bytes + byte_index,
+                                        send.bit_count};
+          } else {
+            // Inline: one 32-byte slot write delivers the whole message.
+            slots[slot_index] = Message{ctx.id_, send.to, src + src_offset,
+                                        send.bit_count};
           }
-          src_offset += len;
         }
-      };
+      }
+      src_offset += len;
+    }
+  };
   if (pool_) {
-    pool_->parallel_for(awake_.size(), place_sender);
+    // Range flavour: one std::function hop per chunk, plain calls inside.
+    pool_->parallel_for_ranges(
+        awake_.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) place_sender(i);
+        });
   } else {
     for (std::size_t i = 0; i < awake_.size(); ++i) place_sender(i);
   }
@@ -486,13 +560,32 @@ RunMetrics Network::run() {
   if (pool_threads > 0) pool_ = std::make_unique<ThreadPool>(pool_threads);
   if (!resumed_) {
     for (std::size_t v = 0; v < n; ++v) {
-      processes_[v]->on_start(*contexts_[v]);
+      processes_[v]->on_start(contexts_[v]);
     }
     round_ = 0;
   }
   // When resumed, round_/metrics_/mailboxes/RNG streams were installed by
   // restore_checkpoint(); the loop below continues exactly where the
   // snapshot was taken.
+
+  // Fault-free rounds run the sparse path: the schedule walks only the
+  // edges that carried traffic, tallies are cleared sparsely, and the awake
+  // set is maintained incrementally from survivors + receivers instead of
+  // an O(n) wake scan.  All of it is serial, deterministic bookkeeping —
+  // inbox content, metrics, and checkpoints are bit-identical to the dense
+  // path at every thread count.  Fault plans keep the dense path (the fate
+  // pass and crash activation need the full picture).
+  const bool fault_free = injector_ == nullptr;
+  // Serial fault-free runs let send_impl feed the sparse schedule's
+  // touched-edge list directly (see the member's comment); contexts run in
+  // ascending node-id order there, so the list comes out sorted.
+  serial_touch_ = fault_free && !pool_;
+  touched_edges_.clear();
+  touched_edges_sorted_ = true;
+  bool sparse_wake_ready = false;  // awake_ valid from the previous round?
+  std::vector<std::size_t> next_awake;
+  std::vector<NodeId> receivers;
+  std::vector<std::uint32_t> touched_edges;
 
   while (true) {
     RWBC_REQUIRE(round_ < config_.max_rounds,
@@ -518,24 +611,27 @@ RunMetrics Network::run() {
     if (injector_ != nullptr && injector_->has_crashes()) {
       metrics_.crashed_nodes += injector_->activate_crashes(round_);
     }
-    // A message arriving at a halted node wakes it.
-    bool any_awake = false;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (injector_ != nullptr &&
-          injector_->node_crashed(static_cast<NodeId>(v), round_)) {
-        contexts_[v]->halted_ = true;
-        front_.clear_inbox(static_cast<NodeId>(v));
-        continue;
+    // A message arriving at a halted node wakes it.  The dense wake scan
+    // runs on the first iteration, after a resume, and on every faulty
+    // round; fault-free rounds afterwards reuse the incrementally
+    // maintained awake set (survivors + last round's receivers).
+    if (!sparse_wake_ready) {
+      awake_.clear();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (injector_ != nullptr &&
+            injector_->node_crashed(static_cast<NodeId>(v), round_)) {
+          contexts_[v].halted_ = true;
+          front_.clear_inbox(static_cast<NodeId>(v));
+          continue;
+        }
+        if (front_.inbox_count(static_cast<NodeId>(v)) > 0) {
+          contexts_[v].halted_ = false;
+        }
+        if (!contexts_[v].halted_) awake_.push_back(v);
       }
-      if (front_.inbox_count(static_cast<NodeId>(v)) > 0) {
-        contexts_[v]->halted_ = false;
-      }
-      if (!contexts_[v]->halted_) any_awake = true;
     }
-    if (!any_awake) break;
-
-    for (std::size_t v = 0; v < n; ++v) contexts_[v]->begin_round();
-    planner_.zero_round(pool_.get());
+    if (awake_.empty()) break;
+    const std::uint64_t awake_count = awake_.size();
 
     // Execute on_round for every awake node — concurrently when a pool is
     // configured.  Node programs only touch their own context (per-node
@@ -544,96 +640,228 @@ RunMetrics Network::run() {
     // per-context outboxes (and the sender-owned per-edge tallies) and all
     // metering lands in per-context tallies, both merged below in canonical
     // node-id order.  A bandwidth violation throws inside a worker; the
-    // pool rethrows the smallest-node-id exception — exactly what the
-    // serial loop would have raised.
-    awake_.clear();
-    for (std::size_t v = 0; v < n; ++v) {
-      if (!contexts_[v]->halted_) awake_.push_back(v);
-    }
-    const std::function<void(std::size_t)> run_node = [this](std::size_t i) {
+    // pool rethrows the smallest failing node's exception — exactly what
+    // the serial loop would have raised.
+    const auto run_node = [this](std::size_t i) {
       const std::size_t v = awake_[i];
-      processes_[v]->on_round(*contexts_[v],
+      processes_[v]->on_round(contexts_[v],
                               front_.inbox(static_cast<NodeId>(v)));
     };
     if (pool_) {
-      pool_->parallel_for(awake_.size(), run_node);
+      pool_->parallel_for_ranges(awake_.size(),
+                                 [&](std::size_t begin, std::size_t end) {
+                                   for (std::size_t i = begin; i < end; ++i) {
+                                     run_node(i);
+                                   }
+                                 });
     } else {
       for (std::size_t i = 0; i < awake_.size(); ++i) run_node(i);
     }
 
-    // Canonical merge: fold per-context tallies into the run metrics in
-    // node-id order (halted nodes tallied zeros in begin_round).
-    std::uint64_t round_messages = 0;
-    std::uint64_t round_bits = 0;
-    std::uint64_t round_peak_bits = 0;
-    std::uint64_t round_peak_msgs = 0;
-    std::uint64_t round_retransmissions = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      const ContextImpl& ctx = *contexts_[v];
-      round_messages += ctx.round_messages_;
-      round_bits += ctx.round_bits_;
-      metrics_.cut_messages += ctx.round_cut_messages_;
-      metrics_.cut_bits += ctx.round_cut_bits_;
-      round_retransmissions += ctx.round_retransmissions_;
-      round_peak_bits = std::max(round_peak_bits, ctx.peak_bits());
-      round_peak_msgs = std::max(round_peak_msgs, ctx.peak_msgs());
+    // Canonical merge: fold per-context tallies into the run metrics with
+    // the fixed-chunk reduction — per-thread partials combined in ascending
+    // chunk order, so the result is the serial fold's exactly (integer sums
+    // and maxes over disjoint awake ranges; halted nodes contribute
+    // nothing).
+    struct RoundTally {
+      std::uint64_t messages = 0;
+      std::uint64_t bits = 0;
+      std::uint64_t cut_messages = 0;
+      std::uint64_t cut_bits = 0;
+      std::uint64_t retransmissions = 0;
+      std::uint64_t peak_bits = 0;
+      std::uint64_t peak_msgs = 0;
+    };
+    const auto tally_range = [&](std::size_t begin, std::size_t end) {
+      RoundTally t;
+      for (std::size_t i = begin; i < end; ++i) {
+        const ContextImpl& ctx = contexts_[awake_[i]];
+        t.messages += ctx.round_messages_;
+        t.bits += ctx.round_bits_;
+        t.cut_messages += ctx.round_cut_messages_;
+        t.cut_bits += ctx.round_cut_bits_;
+        t.retransmissions += ctx.round_retransmissions_;
+        t.peak_bits = std::max(t.peak_bits, ctx.round_peak_bits_);
+        t.peak_msgs = std::max(t.peak_msgs, ctx.round_peak_msgs_);
+      }
+      return t;
+    };
+    const auto tally_combine = [](RoundTally a, const RoundTally& b) {
+      a.messages += b.messages;
+      a.bits += b.bits;
+      a.cut_messages += b.cut_messages;
+      a.cut_bits += b.cut_bits;
+      a.retransmissions += b.retransmissions;
+      a.peak_bits = std::max(a.peak_bits, b.peak_bits);
+      a.peak_msgs = std::max(a.peak_msgs, b.peak_msgs);
+      return a;
+    };
+    // The serial fault-free fast path skips the tally pass entirely:
+    // messages/bits/peaks come off the sparse schedule's touched-edge walk
+    // (sent == delivered without faults), and the rare leftovers (cut
+    // metering, retransmission counts) fold into the awake-set merge below.
+    RoundTally tally;
+    const bool serial_fast = serial_touch_;
+    if (!serial_fast) {
+      tally = pool_ ? parallel_reduce(pool_.get(), awake_.size(), RoundTally{},
+                                      tally_range, tally_combine)
+                    : tally_range(0, awake_.size());
     }
-    metrics_.total_messages += round_messages;
-    metrics_.total_bits += round_bits;
-    metrics_.retransmissions += round_retransmissions;
-    metrics_.max_bits_per_edge_round =
-        std::max(metrics_.max_bits_per_edge_round, round_peak_bits);
-    metrics_.max_messages_per_edge_round =
-        std::max(metrics_.max_messages_per_edge_round, round_peak_msgs);
 
     // Deliver: every outbox message becomes next round's inbox content, by
-    // the two-pass count-then-place scheme (see congest/arena.hpp).  With a
-    // fault plan active, the serial fate pass first decides every message's
-    // fate — preserving the injector's canonical draw order — and rewrites
-    // the per-edge counts to what actually lands; the schedule and the
-    // placement then run exactly as in the fault-free case.  Senders were
-    // already charged bandwidth at send time — a dropped message is traffic
-    // spent, value lost, exactly like a real lossy link.
+    // the count-then-place scheme (see congest/arena.hpp).  Fault-free
+    // rounds use the sparse schedule over exactly the touched edges
+    // (assembled in ascending edge-id order, so inbox content keeps the
+    // canonical sender-major layout).  With a fault plan active, the serial
+    // fate pass first decides every message's fate — preserving the
+    // injector's canonical draw order — and rewrites the per-edge counts to
+    // what actually lands; the dense schedule then consumes them.  Senders
+    // were already charged bandwidth at send time — a dropped message is
+    // traffic spent, value lost, exactly like a real lossy link.
     std::uint64_t round_dropped = 0;
     std::uint64_t round_duplicated = 0;
-    if (injector_ != nullptr) {
+    DeliveryTotals delivered;
+    if (fault_free) {
+      if (serial_fast) {
+        // send_impl already built the touched-edge list, in ascending order
+        // unless some sender pushed slots out of order (rare; sort then).
+        if (!touched_edges_sorted_) {
+          std::sort(touched_edges_.begin(), touched_edges_.end());
+        }
+        delivered = planner_.schedule_sparse(touched_edges_, back_, receivers);
+        touched_edges_.clear();
+        touched_edges_sorted_ = true;
+      } else {
+        touched_edges.clear();
+        for (const std::size_t v : awake_) {
+          ContextImpl& ctx = contexts_[v];
+          if (ctx.touched_slots_.empty()) continue;
+          // Slots are recorded in first-send order; ascending edge ids need
+          // them sorted (senders already ascend via awake_).
+          if (!ctx.touched_sorted_) {
+            std::sort(ctx.touched_slots_.begin(), ctx.touched_slots_.end());
+          }
+          for (const std::uint32_t slot : ctx.touched_slots_) {
+            touched_edges.push_back(
+                static_cast<std::uint32_t>(ctx.edge_base_ + slot));
+          }
+        }
+        delivered = planner_.schedule_sparse(touched_edges, back_, receivers);
+      }
+    } else {
       const auto [dropped, duplicated] = run_fate_pass();
       round_dropped = dropped;
       round_duplicated = duplicated;
+      delivered = planner_.schedule(true, back_, pool_.get());
     }
-    const DeliveryTotals delivered =
-        planner_.schedule(injector_ != nullptr, back_, pool_.get());
     place_messages();
     std::swap(front_, back_);
+
+    // End-of-round bookkeeping over the awake set.  Fault-free rounds fuse
+    // it with the next-awake merge: non-halted survivors merged with the
+    // receivers (woken here, exactly as the dense scan would at the top of
+    // the next round).  Both inputs ascend, so the merge keeps the
+    // canonical order the sparse schedule depends on.  Every node that ran
+    // this round is consumed exactly once, which is where its round state
+    // is cleared (after the schedule and placement consumed the tallies) —
+    // and, on the fast path, where the tallies the schedule cannot see (cut
+    // metering, retransmissions) are folded in.
+    if (fault_free) {
+      for (const NodeId r : receivers) {
+        contexts_[static_cast<std::size_t>(r)].halted_ = false;
+      }
+      const auto consume_awake = [&](std::size_t av) {
+        ContextImpl& ctx = contexts_[av];
+        if (serial_fast) {
+          tally.cut_messages += ctx.round_cut_messages_;
+          tally.cut_bits += ctx.round_cut_bits_;
+          tally.retransmissions += ctx.round_retransmissions_;
+        }
+        ctx.clear_round_tallies();
+        return !ctx.halted_;
+      };
+      next_awake.clear();
+      std::size_t ai = 0;
+      std::size_t ri = 0;
+      while (ai < awake_.size() && ri < receivers.size()) {
+        const std::size_t av = awake_[ai];
+        const auto rv = static_cast<std::size_t>(receivers[ri]);
+        if (av < rv) {
+          if (consume_awake(av)) next_awake.push_back(av);
+          ++ai;
+        } else if (rv < av) {
+          next_awake.push_back(rv);
+          ++ri;
+        } else {
+          consume_awake(av);  // a receiver is never halted — always awake
+          next_awake.push_back(av);
+          ++ai;
+          ++ri;
+        }
+      }
+      for (; ai < awake_.size(); ++ai) {
+        if (consume_awake(awake_[ai])) next_awake.push_back(awake_[ai]);
+      }
+      for (; ri < receivers.size(); ++ri) {
+        next_awake.push_back(static_cast<std::size_t>(receivers[ri]));
+      }
+      awake_.swap(next_awake);
+      sparse_wake_ready = true;
+    } else {
+      for (const std::size_t v : awake_) contexts_[v].clear_round_tallies();
+    }
+
+    if (serial_fast) {
+      tally.messages = delivered.messages;
+      tally.bits = delivered.bits;
+      tally.peak_bits = delivered.peak_bits;
+      tally.peak_msgs = delivered.peak_msgs;
+    }
+    metrics_.total_messages += tally.messages;
+    metrics_.total_bits += tally.bits;
+    metrics_.cut_messages += tally.cut_messages;
+    metrics_.cut_bits += tally.cut_bits;
+    metrics_.retransmissions += tally.retransmissions;
+    metrics_.max_bits_per_edge_round =
+        std::max(metrics_.max_bits_per_edge_round, tally.peak_bits);
+    metrics_.max_messages_per_edge_round =
+        std::max(metrics_.max_messages_per_edge_round, tally.peak_msgs);
     metrics_.dropped_messages += round_dropped;
     metrics_.duplicated_messages += round_duplicated;
     if (config_.round_observer) {
       RoundSnapshot snapshot;
       snapshot.round = round_;
-      snapshot.messages = round_messages;
-      snapshot.bits = round_bits;
-      snapshot.awake_nodes = awake_.size();
+      snapshot.messages = tally.messages;
+      snapshot.bits = tally.bits;
+      snapshot.awake_nodes = awake_count;
       snapshot.dropped_messages = round_dropped;
       snapshot.duplicated_messages = round_duplicated;
       snapshot.crashed_nodes = metrics_.crashed_nodes;
-      snapshot.retransmissions = round_retransmissions;
+      snapshot.retransmissions = tally.retransmissions;
       config_.round_observer(snapshot);
     }
     ++round_;
     metrics_.rounds = round_;
 
     if (delivered.messages == 0) {
-      // No traffic: the run ends as soon as everyone is halted.
+      // No traffic: the run ends as soon as everyone is halted.  Nodes
+      // outside the awake set are halted by construction, so checking the
+      // (fault-free: freshly merged) awake set covers all n.
       bool all_halted = true;
-      for (std::size_t v = 0; v < n; ++v) {
-        if (!contexts_[v]->halted_) {
-          all_halted = false;
-          break;
+      if (fault_free) {
+        all_halted = awake_.empty();
+      } else {
+        for (const std::size_t v : awake_) {
+          if (!contexts_[v].halted_) {
+            all_halted = false;
+            break;
+          }
         }
       }
       if (all_halted) break;
     }
   }
+  serial_touch_ = false;
   pool_.reset();  // join workers; ~Network covers the exceptional paths
   return metrics_;
 }

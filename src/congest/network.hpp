@@ -205,7 +205,12 @@ class Network {
   std::uint64_t round_ = 0;
   RunMetrics metrics_;
   std::vector<std::unique_ptr<NodeProcess>> processes_;
-  std::vector<std::unique_ptr<ContextImpl>> contexts_;
+  /// One contiguous array (ContextImpl is complete in network.cpp only;
+  /// ~Network and the ctor are out of line, which is all vector needs).
+  /// Contiguity matters: the round loop touches every awake context, and a
+  /// flat array turns that walk into prefetchable ascending strides instead
+  /// of a pointer chase per node.
+  std::vector<ContextImpl> contexts_;
   std::vector<bool> cut_edge_flags_;  // indexed like graph_.edges()
   bool has_cut_ = false;
   bool ran_ = false;
@@ -217,6 +222,14 @@ class Network {
   std::unique_ptr<FaultInjector> injector_;  // null when faults.any() false
   std::unique_ptr<ThreadPool> pool_;   // live only while run() executes
   std::vector<std::size_t> awake_;     // scratch: awake node ids, ascending
+  /// Serial fault-free fast path: send_impl appends each directed edge the
+  /// round touches as it sees the first message for it, so the sparse
+  /// schedule needs no per-context assembly pass.  Contexts run in
+  /// ascending node-id order on the serial path, so the list is sorted
+  /// unless some node sent out of slot order (tracked by the flag).
+  bool serial_touch_ = false;
+  bool touched_edges_sorted_ = true;
+  std::vector<std::uint32_t> touched_edges_;
 };
 
 }  // namespace rwbc

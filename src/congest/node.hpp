@@ -55,6 +55,14 @@ class NodeContext {
   /// an algorithm bug, not a runtime condition to retry).
   virtual void send(NodeId neighbor, const BitWriter& payload) = 0;
 
+  /// Sends to the neighbor at position `slot` in neighbors().  Semantically
+  /// identical to send(neighbors()[slot], payload); the simulator overrides
+  /// it to skip the neighbor-id lookup, which matters on the walk-token hot
+  /// path where the sender already tracks slots, not ids.
+  virtual void send_to_slot(NodeId slot, const BitWriter& payload) {
+    send(neighbors()[static_cast<std::size_t>(slot)], payload);
+  }
+
   /// Declares local termination; rescinded automatically if a message
   /// arrives later.
   virtual void halt() = 0;

@@ -64,9 +64,9 @@ void ComputeNode::on_start(NodeContext& ctx) {
     scaled_visits_[s] = static_cast<double>(config_.visits[s]) * own_scale;
   }
   neighbor_strengths_.assign(static_cast<std::size_t>(ctx.degree()), 0);
+  stride_ = n;
   if (config_.compute_score) {
-    neighbor_scaled_.assign(static_cast<std::size_t>(ctx.degree()),
-                            std::vector<double>(n, 0.0));
+    neighbor_scaled_.assign(static_cast<std::size_t>(ctx.degree()) * n, 0.0);
   }
   if (config_.reliable_transport) {
     const auto degree = static_cast<std::size_t>(ctx.degree());
@@ -78,7 +78,7 @@ void ComputeNode::on_start(NodeContext& ctx) {
     next_frame_.assign(degree, 0);
     frames_received_.assign(degree, 0);
     if (config_.compute_score) {
-      neighbor_raw_.assign(degree, std::vector<std::uint64_t>(n, 0));
+      neighbor_raw_.assign(degree * n, 0);
     }
   }
 }
@@ -120,16 +120,14 @@ void ComputeNode::save_state(CheckpointWriter& out) const {
   write_u64_vector(out, config_.visits);
   write_f64_vector(out, scaled_visits_);
   write_u64_vector(out, neighbor_strengths_);
-  out.u64(neighbor_scaled_.size());
-  for (const auto& row : neighbor_scaled_) write_f64_vector(out, row);
+  write_f64_vector(out, neighbor_scaled_);  // one flat row-major table
   out.f64(betweenness_);
   out.boolean(finished_);
   out.boolean(link_ != nullptr);
   if (link_) {
     write_u64_vector(out, next_frame_);
     write_u64_vector(out, frames_received_);
-    out.u64(neighbor_raw_.size());
-    for (const auto& row : neighbor_raw_) write_u64_vector(out, row);
+    write_u64_vector(out, neighbor_raw_);
     link_->save_state(out);
   }
 }
@@ -138,10 +136,7 @@ void ComputeNode::load_state(CheckpointReader& in) {
   read_u64_vector(in, config_.visits, "visit table");
   read_f64_vector(in, scaled_visits_, "scaled visits");
   read_u64_vector(in, neighbor_strengths_, "neighbor strengths");
-  if (in.u64() != neighbor_scaled_.size()) {
-    throw CheckpointError("compute node neighbor_scaled size mismatch");
-  }
-  for (auto& row : neighbor_scaled_) read_f64_vector(in, row, "scaled row");
+  read_f64_vector(in, neighbor_scaled_, "neighbor_scaled table");
   betweenness_ = in.f64();
   finished_ = in.boolean();
   const bool has_link = in.boolean();
@@ -152,10 +147,7 @@ void ComputeNode::load_state(CheckpointReader& in) {
   if (link_) {
     read_u64_vector(in, next_frame_, "next_frame");
     read_u64_vector(in, frames_received_, "frames_received");
-    if (in.u64() != neighbor_raw_.size()) {
-      throw CheckpointError("compute node neighbor_raw size mismatch");
-    }
-    for (auto& row : neighbor_raw_) read_u64_vector(in, row, "raw row");
+    read_u64_vector(in, neighbor_raw_, "neighbor_raw table");
     link_->load_state(in);
   }
 }
@@ -191,7 +183,7 @@ void ComputeNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
         // A strength of 0 means round 1's message was lost to fault
         // injection; leave the scaled count at 0 rather than divide by it.
         if (config_.compute_score && neighbor_strengths_[slot] > 0) {
-          neighbor_scaled_[slot][source] =
+          neighbor_scaled_[slot * stride_ + source] =
               static_cast<double>(raw) /
               (static_cast<double>(config_.walks_per_source) *
                static_cast<double>(neighbor_strengths_[slot]));
@@ -274,8 +266,9 @@ void ComputeNode::on_round_reliable(NodeContext& ctx,
               static_cast<double>(config_.walks_per_source) *
               static_cast<double>(neighbor_strengths_[slot]);
           for (std::size_t source = 0; source < n; ++source) {
-            neighbor_scaled_[slot][source] =
-                static_cast<double>(neighbor_raw_[slot][source]) / denom;
+            neighbor_scaled_[slot * stride_ + source] =
+                static_cast<double>(neighbor_raw_[slot * stride_ + source]) /
+                denom;
           }
         }
       }
@@ -297,7 +290,7 @@ void ComputeNode::handle_frame(std::size_t slot, BitReader& reader) {
         config_.visits.size(), begin + static_cast<std::size_t>(batch_size_));
     for (std::size_t source = begin; source < end; ++source) {
       const std::uint64_t raw = reader.read(count_bits_);
-      if (config_.compute_score) neighbor_raw_[slot][source] = raw;
+      if (config_.compute_score) neighbor_raw_[slot * stride_ + source] = raw;
     }
   }
   ++frames_received_[slot];
@@ -328,10 +321,11 @@ void ComputeNode::finish(NodeContext& ctx) {
     double throughflow = 0.0;
     for (std::size_t slot = 0;
          slot < static_cast<std::size_t>(ctx.degree()); ++slot) {
+      const double* row = neighbor_scaled_.data() + slot * stride_;
       std::size_t c = 0;
       for (std::size_t s = 0; s < n; ++s) {
         if (s == own) continue;
-        diffs[c++] = scaled_visits_[s] - neighbor_scaled_[slot][s];
+        diffs[c++] = scaled_visits_[s] - row[s];
       }
       std::sort(diffs.begin(), diffs.end());
       double pair_sum = 0.0;

@@ -108,7 +108,11 @@ class ComputeNode final : public NodeProcess {
   int strength_bits_ = 0;
   std::vector<double> scaled_visits_;
   std::vector<std::uint64_t> neighbor_strengths_;  // by neighbour slot
-  std::vector<std::vector<double>> neighbor_scaled_;  // [slot][source]
+  /// Neighbours' scaled counts, one flat row-major table: entry
+  /// [slot * stride_ + source].  Flat (rather than vector-of-vectors) so
+  /// the per-batch stores and the finish() row scans are contiguous.
+  std::vector<double> neighbor_scaled_;
+  std::size_t stride_ = 0;  ///< row width = n
   double betweenness_ = 0.0;
   bool finished_ = false;
 
@@ -118,7 +122,7 @@ class ComputeNode final : public NodeProcess {
   std::uint64_t total_frames_ = 0;  ///< 1 strength frame + ceil(n/batch)
   std::vector<std::uint64_t> next_frame_;       ///< per slot, next to queue
   std::vector<std::uint64_t> frames_received_;  ///< per slot
-  std::vector<std::vector<std::uint64_t>> neighbor_raw_;  ///< [slot][source]
+  std::vector<std::uint64_t> neighbor_raw_;  ///< flat [slot * stride_ + s]
 };
 
 }  // namespace rwbc

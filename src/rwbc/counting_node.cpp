@@ -27,10 +27,30 @@ void CountingNode::on_start(NodeContext& ctx) {
   is_root_ = config_.tree_parent < 0;
   expected_total_deaths_ =
       static_cast<std::uint64_t>(n - 1) * config_.walks_per_source;
-  per_neighbor_.assign(static_cast<std::size_t>(ctx.degree()), {});
+  batch_wire_ =
+      WalkBatchWire(n, config_.cutoff, config_.walks_per_edge_per_round);
+  // Cap coalesced batches so the worst-case encoding always fits the
+  // per-edge budget (minus the reliable DATA frame header when the link is
+  // on).  A control frame — at widest, a sweep report — can share the edge
+  // with a walk batch in the same round, so its bits are reserved too.
+  // 1 at the paper's wpepr = 1, so winner selection is unchanged.
+  std::uint64_t inner_budget = ctx.bit_budget();
+  std::uint64_t reserved =
+      static_cast<std::uint64_t>(wire_.type_bits + wire_.count_bits);
   if (config_.reliable_transport) {
-    link_ = std::make_unique<ReliableLink>(
-        config_.reliable_link, static_cast<std::size_t>(ctx.degree()));
+    const auto header =
+        static_cast<std::uint64_t>(1 + config_.reliable_link.seq_bits);
+    reserved += 2 * header;  // one header for the batch, one for the control
+  }
+  inner_budget = inner_budget > reserved ? inner_budget - reserved : 0;
+  batch_cap_ =
+      std::max<std::uint64_t>(1, batch_wire_.max_batch_for_budget(inner_budget));
+  const auto degree = static_cast<std::size_t>(ctx.degree());
+  bucket_count_.assign(degree, 0);
+  bucket_off_.assign(degree + 1, 0);
+  bucket_cursor_.assign(degree, 0);
+  if (config_.reliable_transport) {
+    link_ = std::make_unique<ReliableLink>(config_.reliable_link, degree);
   }
   if (!config_.neighbor_weights.empty()) {
     RWBC_REQUIRE(config_.neighbor_weights.size() ==
@@ -50,9 +70,9 @@ void CountingNode::on_start(NodeContext& ctx) {
   if (ctx.id() != config_.target) {
     // K walks born here; their r = 0 occupancy counts as a visit (Sec. IV:
     // N_ss includes the start).
-    held_walks_.reserve(config_.walks_per_source);
+    pool_.reserve(config_.walks_per_source);
     for (std::uint64_t k = 0; k < config_.walks_per_source; ++k) {
-      held_walks_.push_back(HeldWalk{WalkToken{ctx.id(), config_.cutoff}, -1});
+      pool_.push(ctx.id(), config_.cutoff, -1);
     }
     if (config_.track_visits) {
       visits_[static_cast<std::size_t>(ctx.id())] += config_.walks_per_source;
@@ -66,11 +86,13 @@ void CountingNode::save_state(CheckpointWriter& out) const {
   // (load_state then overwrites the link's transport state).
   out.u64(visits_.size());
   for (std::uint64_t count : visits_) out.u64(count);
-  out.u64(held_walks_.size());
-  for (const HeldWalk& held : held_walks_) {
-    out.u32(static_cast<std::uint32_t>(held.token.source));
-    out.u64(held.token.remaining);
-    out.i64(held.committed_slot);
+  // Same byte layout as the seed's array-of-structs pool: (source,
+  // remaining, committed slot) per walk, pool order.
+  out.u64(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    out.u32(static_cast<std::uint32_t>(pool_.source(i)));
+    out.u64(pool_.remaining(i));
+    out.i64(pool_.committed(i));
   }
   out.u64(died_);
   out.boolean(sweep_in_progress_);
@@ -89,14 +111,13 @@ void CountingNode::load_state(CheckpointReader& in) {
     throw CheckpointError("counting node visit table size mismatch");
   }
   for (std::size_t s = 0; s < visits_.size(); ++s) visits_[s] = in.u64();
-  held_walks_.clear();
+  pool_.clear();
   const std::uint64_t held = in.u64();
   for (std::uint64_t i = 0; i < held; ++i) {
-    HeldWalk walk;
-    walk.token.source = static_cast<NodeId>(in.u32());
-    walk.token.remaining = in.u64();
-    walk.committed_slot = static_cast<int>(in.i64());
-    held_walks_.push_back(walk);
+    const auto source = static_cast<NodeId>(in.u32());
+    const std::uint64_t remaining = in.u64();
+    const auto committed = static_cast<std::int32_t>(in.i64());
+    pool_.push(source, remaining, committed);
   }
   died_ = in.u64();
   sweep_in_progress_ = in.boolean();
@@ -138,19 +159,27 @@ void CountingNode::handle_payload(NodeContext& ctx, BitReader& reader) {
   const auto type = static_cast<CountingMsg>(reader.read(wire_.type_bits));
   switch (type) {
     case CountingMsg::kWalk: {
-      WalkToken walk;
-      walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
-      walk.remaining = reader.read(wire_.length_bits);
-      if (ctx.id() == config_.target) {
-        record_kill();  // absorbed; the target's counts stay zero
+      decoded_.clear();
+      if (config_.coalesce_walks) {
+        batch_wire_.decode(reader, decoded_);
       } else {
-        if (config_.track_visits) {
-          ++visits_[static_cast<std::size_t>(walk.source)];
-        }
-        if (walk.remaining == 0) {
-          record_kill();  // expired on arrival
+        WalkToken walk;
+        walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
+        walk.remaining = reader.read(wire_.length_bits);
+        decoded_.push_back(walk);
+      }
+      for (const WalkToken& walk : decoded_) {
+        if (ctx.id() == config_.target) {
+          record_kill();  // absorbed; the target's counts stay zero
         } else {
-          held_walks_.push_back(HeldWalk{walk, -1});
+          if (config_.track_visits) {
+            ++visits_[static_cast<std::size_t>(walk.source)];
+          }
+          if (walk.remaining == 0) {
+            record_kill();  // expired on arrival
+          } else {
+            pool_.push(walk.source, walk.remaining, -1);
+          }
         }
       }
       break;
@@ -202,10 +231,18 @@ void CountingNode::absorb_give_ups() {
     BitReader reader(give_up.bytes, give_up.bit_count);
     const auto type = static_cast<CountingMsg>(reader.read(wire_.type_bits));
     if (type != CountingMsg::kWalk) continue;
-    WalkToken walk;
-    walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
-    walk.remaining = reader.read(wire_.length_bits) + 1;  // move never happened
-    held_walks_.push_back(HeldWalk{walk, -1});
+    decoded_.clear();
+    if (config_.coalesce_walks) {
+      batch_wire_.decode(reader, decoded_);
+    } else {
+      WalkToken walk;
+      walk.source = static_cast<NodeId>(reader.read(wire_.id_bits));
+      walk.remaining = reader.read(wire_.length_bits);
+      decoded_.push_back(walk);
+    }
+    for (const WalkToken& walk : decoded_) {
+      pool_.push(walk.source, walk.remaining + 1, -1);  // move never happened
+    }
   }
 }
 
@@ -224,7 +261,7 @@ std::size_t CountingNode::draw_neighbor_slot(NodeContext& ctx) {
 }
 
 void CountingNode::forward_walks(NodeContext& ctx) {
-  if (held_walks_.empty()) return;
+  if (pool_.empty()) return;
   const auto degree = static_cast<std::size_t>(ctx.degree());
   if (link_) {
     // Self-healing re-route: a suspected-dead neighbour takes no further
@@ -236,76 +273,127 @@ void CountingNode::forward_walks(NodeContext& ctx) {
       if (!link_->slot_dead(slot)) ++live;
     }
     if (live == 0) {
-      for (std::size_t w = 0; w < held_walks_.size(); ++w) record_kill();
-      held_walks_.clear();
+      for (std::size_t w = 0; w < pool_.size(); ++w) record_kill();
+      pool_.clear();
       return;
     }
-    for (HeldWalk& held : held_walks_) {
-      if (held.committed_slot >= 0 &&
-          link_->slot_dead(static_cast<std::size_t>(held.committed_slot))) {
-        held.committed_slot = -1;
+    for (std::size_t w = 0; w < pool_.size(); ++w) {
+      const std::int32_t slot = pool_.committed(w);
+      if (slot >= 0 && link_->slot_dead(static_cast<std::size_t>(slot))) {
+        pool_.set_committed(w, -1);
       }
     }
   }
-  for (auto& bucket : per_neighbor_) bucket.clear();
-  for (std::size_t w = 0; w < held_walks_.size(); ++w) {
-    // Commit-and-queue: draw a destination once; losers keep theirs so the
-    // realized transitions match the drawn distribution under contention.
-    if (held_walks_[w].committed_slot < 0) {
+  // Commit-and-queue: draw a destination once; losers keep theirs so the
+  // realized transitions match the drawn distribution under contention.
+  // The commit draws run in pool order — exactly the seed's held-walk
+  // order — and a counting sort (count / prefix / stable scatter) groups
+  // pool indices per slot with the same (slot, pool-order) layout the
+  // seed's per-neighbour vectors produced, without per-slot heap churn.
+  std::fill(bucket_count_.begin(), bucket_count_.end(), 0);
+  for (std::size_t w = 0; w < pool_.size(); ++w) {
+    if (pool_.committed(w) < 0) {
       std::size_t slot = draw_neighbor_slot(ctx);
       while (link_ && link_->slot_dead(slot)) slot = draw_neighbor_slot(ctx);
-      held_walks_[w].committed_slot = static_cast<int>(slot);
+      pool_.set_committed(w, static_cast<std::int32_t>(slot));
     }
-    per_neighbor_[static_cast<std::size_t>(held_walks_[w].committed_slot)]
-        .push_back(w);
+    ++bucket_count_[static_cast<std::size_t>(pool_.committed(w))];
   }
-  std::vector<HeldWalk> kept;
-  const auto neighbors = ctx.neighbors();
+  bucket_off_[0] = 0;
   for (std::size_t slot = 0; slot < degree; ++slot) {
-    auto& bucket = per_neighbor_[slot];
+    bucket_off_[slot + 1] = bucket_off_[slot] + bucket_count_[slot];
+    bucket_cursor_[slot] = bucket_off_[slot];
+  }
+  bucket_idx_.resize(pool_.size());
+  for (std::size_t w = 0; w < pool_.size(); ++w) {
+    const auto slot = static_cast<std::size_t>(pool_.committed(w));
+    bucket_idx_[bucket_cursor_[slot]++] = static_cast<std::uint32_t>(w);
+  }
+
+  next_pool_.clear();
+  const auto neighbors = ctx.neighbors();
+  const bool per_round = config_.length_policy == LengthPolicy::kPerRound;
+  for (std::size_t slot = 0; slot < degree; ++slot) {
+    const std::size_t len = bucket_count_[slot];
+    if (len == 0) continue;
+    std::uint32_t* bucket = bucket_idx_.data() + bucket_off_[slot];
     // The reliable layer's window throttles walk traffic too: a slot with
     // unacked frames in flight admits fewer (or no) new walks this round;
     // losers simply stay queued with their commitment, like lottery losers.
-    const std::size_t capacity =
-        link_ ? link_->data_capacity(slot) : bucket.size();
-    const std::size_t winners = std::min(
-        {bucket.size(), static_cast<std::size_t>(config_.walks_per_edge_per_round),
-         capacity});
+    // Coalesced, the whole batch rides ONE frame, so any free window slot
+    // admits it (batch_cap_ keeps it inside the bit budget); at wpepr = 1
+    // both formulas reduce to min(len, 1, capacity).
+    std::size_t winners;
+    if (config_.coalesce_walks) {
+      const std::size_t capacity = link_ ? link_->data_capacity(slot) : 1;
+      winners =
+          capacity == 0
+              ? 0
+              : std::min({len,
+                          static_cast<std::size_t>(
+                              config_.walks_per_edge_per_round),
+                          static_cast<std::size_t>(batch_cap_)});
+    } else {
+      const std::size_t capacity = link_ ? link_->data_capacity(slot) : len;
+      winners = std::min({len,
+                          static_cast<std::size_t>(
+                              config_.walks_per_edge_per_round),
+                          capacity});
+    }
     // Partial Fisher-Yates: the first `winners` entries become a uniform
     // random subset (paper line 6: "just send a random walk to v randomly").
+    // Same draws as the seed: j = i + next_below(len - i) per slot.
+    batch_.clear();
     for (std::size_t i = 0; i < winners; ++i) {
-      const std::size_t j =
-          i + ctx.rng().next_below(bucket.size() - i);
+      const std::size_t j = i + ctx.rng().next_below(len - i);
       std::swap(bucket[i], bucket[j]);
-      WalkToken walk = held_walks_[bucket[i]].token;
-      RWBC_ASSERT(walk.remaining >= 1, "held walk must have moves left");
-      walk.remaining -= 1;  // the move consumes one step
-      if (link_) {
-        link_->send(slot, wire_.encode_walk(walk));
+      const std::uint32_t idx = bucket[i];
+      RWBC_ASSERT(pool_.remaining(idx) >= 1, "held walk must have moves left");
+      // The move consumes one step.
+      batch_.push_back(WalkToken{pool_.source(idx), pool_.remaining(idx) - 1});
+    }
+    if (!batch_.empty()) {
+      if (config_.coalesce_walks) {
+        if (config_.batch_histogram != nullptr &&
+            !config_.batch_histogram->empty()) {
+          std::vector<std::uint64_t>& h = *config_.batch_histogram;
+          ++h[std::min(batch_.size() - 1, h.size() - 1)];
+        }
+        scratch_.clear();
+        batch_wire_.encode(scratch_, batch_);
+        if (link_) {
+          link_->send(slot, scratch_);
+        } else {
+          ctx.send_to_slot(static_cast<NodeId>(slot), scratch_);
+        }
       } else {
-        ctx.send(neighbors[slot], wire_.encode_walk(walk));
+        for (const WalkToken& walk : batch_) {
+          if (link_) {
+            link_->send(slot, wire_.encode_walk(walk));
+          } else {
+            ctx.send(neighbors[slot], wire_.encode_walk(walk));
+          }
+        }
       }
     }
-    for (std::size_t i = winners; i < bucket.size(); ++i) {
-      kept.push_back(held_walks_[bucket[i]]);
-    }
-  }
-  if (config_.length_policy == LengthPolicy::kPerRound) {
-    // A queued round still burns length; walks hitting zero die in place
-    // (no move, so no visit is scored).
-    std::vector<HeldWalk> alive;
-    alive.reserve(kept.size());
-    for (HeldWalk& held : kept) {
-      held.token.remaining -= 1;
-      if (held.token.remaining == 0) {
-        record_kill();
+    for (std::size_t i = winners; i < len; ++i) {
+      const std::uint32_t idx = bucket[i];
+      if (per_round) {
+        // A queued round still burns length; walks hitting zero die in
+        // place (no move, so no visit is scored).
+        const std::uint64_t rem = pool_.remaining(idx) - 1;
+        if (rem == 0) {
+          record_kill();
+        } else {
+          next_pool_.push(pool_.source(idx), rem, pool_.committed(idx));
+        }
       } else {
-        alive.push_back(held);
+        next_pool_.push(pool_.source(idx), pool_.remaining(idx),
+                        pool_.committed(idx));
       }
     }
-    kept.swap(alive);
   }
-  held_walks_.swap(kept);
+  pool_.swap(next_pool_);
 }
 
 void CountingNode::run_sweep_logic(NodeContext& ctx) {
@@ -359,7 +447,7 @@ void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
       ctx.round() >= config_.deadline_rounds) {
     // Termination backstop: every node force-finishes at the same round,
     // abandoning surviving walks and outstanding retransmissions.
-    held_walks_.clear();
+    pool_.clear();
     done_pending_ = false;
     if (link_) link_->shutdown();
     finished_ = true;
@@ -368,9 +456,9 @@ void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
     if (config_.fault_tolerant) {
       // Faults can make the root's death count converge before every walk
       // is truly dead (duplication overshoot); abandon the stragglers.
-      held_walks_.clear();
+      pool_.clear();
     } else {
-      RWBC_ASSERT(held_walks_.empty(),
+      RWBC_ASSERT(pool_.empty(),
                   "DONE broadcast arrived while walks are still alive");
     }
     for (NodeId child : config_.tree_children) {
@@ -391,6 +479,22 @@ void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
     link_->flush(ctx);
     if (finished_ && link_->idle()) ctx.halt();
   } else if (finished_) {
+    ctx.halt();
+  } else if (!is_root_ && pool_.empty() && !sweep_request_pending_ &&
+             !done_pending_ && config_.deadline_rounds == 0 &&
+             !config_.fault_tolerant &&
+             (!sweep_in_progress_ || sweep_reports_pending_ > 0)) {
+    // Idle sleep: no walks held and no sweep action possible — nothing this
+    // node can do until a message (walk, sweep report, sweep request, DONE)
+    // arrives, and delivery wakes a halted node.  A node mid-sweep that is
+    // strictly waiting on child reports sleeps too: the state only advances
+    // when a report lands, and the final report triggers the upward report
+    // in the same round it is processed (run_sweep_logic runs after
+    // process_inbox).  Excluded whenever a round-count trigger (deadline) or
+    // a fault schedule could need the node to act unprompted.  Skips work
+    // without changing it: an idle round draws no randomness and sends
+    // nothing, so sleeping through it leaves every message, draw, and visit
+    // count identical — only the awake-node telemetry shrinks.
     ctx.halt();
   }
 }

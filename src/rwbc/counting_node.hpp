@@ -56,10 +56,24 @@ struct CountingNodeConfig {
   std::vector<NodeId> tree_children;    ///< BFS-tree children
   std::uint64_t walks_per_edge_per_round = 1;  ///< paper: 1
   LengthPolicy length_policy = LengthPolicy::kPerMove;
+  /// Coalesced hot path (default): all walk tokens crossing one directed
+  /// edge in a round ride a single packed payload (WalkBatchWire).  At the
+  /// paper's walks_per_edge_per_round = 1 the batch header is zero bits
+  /// wide, so every message is byte-identical to the legacy per-token wire
+  /// — goldens, metrics, and checkpoints are unchanged (differential suite:
+  /// tests/coalesce_test.cpp).  False = the legacy one-message-per-token
+  /// path, kept as the differential baseline.  Both endpoints of an edge
+  /// must agree on this flag.
+  bool coalesce_walks = true;
   /// Weighted extension: per-neighbour edge weights aligned with the
   /// node's sorted neighbour list (local knowledge — a node knows its
   /// incident conductances).  Empty = unweighted uniform moves.
   std::vector<double> neighbor_weights;
+  /// Telemetry (EXPERIMENTS.md E18): when non-null, bucket i counts the
+  /// coalesced batches of exactly i+1 tokens this node sent (the last
+  /// bucket absorbs anything larger).  Written without synchronisation —
+  /// point all nodes at one vector in serial runs (num_threads = 0) only.
+  std::vector<std::uint64_t>* batch_histogram = nullptr;
 
   // Robustness knobs (DESIGN.md, "Fault model and self-healing walks").
   /// Relaxes the exact-count invariant asserts that message faults break:
@@ -115,17 +129,16 @@ class CountingNode final : public NodeProcess {
   void send_control(NodeContext& ctx, NodeId to, const BitWriter& payload);
   std::size_t slot_of(NodeContext& ctx, NodeId v) const;
 
-  /// A walk waiting at this node, with its committed next hop (-1 = none).
-  struct HeldWalk {
-    WalkToken token;
-    int committed_slot = -1;
-  };
-
   CountingNodeConfig config_;
   CountingWire wire_;
+  WalkBatchWire batch_wire_;
   std::unique_ptr<ReliableLink> link_;  ///< null unless reliable_transport
   std::vector<std::uint64_t> visits_;
-  std::vector<HeldWalk> held_walks_;
+  /// Walks held at this node, struct-of-arrays; committed(i) is the drawn
+  /// next-hop slot (-1 = none yet).  Pool order is the legacy held_walks_
+  /// order, so the commit-draw sequence is unchanged.
+  WalkTokenPool pool_;
+  WalkTokenPool next_pool_;  ///< survivors, double-buffered via swap
   std::uint64_t died_ = 0;
 
   // Termination-detection state.
@@ -138,8 +151,21 @@ class CountingNode final : public NodeProcess {
   bool done_pending_ = false;  ///< DONE received/decided, relay next chance
   bool finished_ = false;
 
-  // Scratch reused across rounds: walk indices grouped per neighbour slot.
-  std::vector<std::vector<std::size_t>> per_neighbor_;
+  // Scratch reused across rounds: a counting sort of pool indices by
+  // committed slot (count / prefix / stable scatter) replaces the seed's
+  // vector-of-vectors bucketing — same (slot, arrival-order) grouping, no
+  // per-slot heap churn.
+  std::vector<std::uint32_t> bucket_count_;   // per slot
+  std::vector<std::uint32_t> bucket_off_;     // per slot + 1, prefix sums
+  std::vector<std::uint32_t> bucket_cursor_;  // scatter cursors
+  std::vector<std::uint32_t> bucket_idx_;     // pool indices, slot-major
+  std::vector<WalkToken> batch_;              // per-slot outgoing batch
+  std::vector<WalkToken> decoded_;            // per-message decode scratch
+  BitWriter scratch_;                         // outgoing payload scratch
+  /// min(wpepr, largest batch whose worst-case encoding fits the per-edge
+  /// bit budget, minus the reliable-link frame header when one is used).
+  /// 1 at the paper's wpepr = 1, so winner selection is unchanged there.
+  std::uint64_t batch_cap_ = 1;
   // Weighted sampling: cumulative neighbour weights (empty = uniform).
   std::vector<double> cumulative_weights_;
 

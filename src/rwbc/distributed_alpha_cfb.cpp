@@ -212,7 +212,7 @@ DistributedAlphaCfbResult distributed_alpha_cfb(
     return std::make_unique<AlphaCountingNode>(std::move(config));
   });
   result.counting_metrics = net.run();
-  result.total += result.counting_metrics;
+  RunMetrics total_metrics = result.counting_metrics;
 
   CongestConfig computing_congest = options.congest;
   computing_congest.checkpoint_label = "alpha-computing";
@@ -227,28 +227,29 @@ DistributedAlphaCfbResult distributed_alpha_cfb(
     return std::make_unique<ComputeNode>(std::move(config));
   });
   result.computing_metrics = compute_net.run();
-  result.total += result.computing_metrics;
+  total_metrics += result.computing_metrics;
 
   for (NodeId v = 0; v < n; ++v) {
     result.capped_walks +=
         static_cast<const AlphaCountingNode&>(net.node(v)).capped_walks();
   }
+  std::vector<double> scores;
   if (options.compute_scores) {
     const auto nn = static_cast<std::size_t>(n);
-    result.betweenness.resize(nn);
+    scores.resize(nn);
     result.scaled_visits = DenseMatrix(nn, nn);
     for (NodeId v = 0; v < n; ++v) {
       const auto& compute =
           static_cast<const ComputeNode&>(compute_net.node(v));
-      result.betweenness[static_cast<std::size_t>(v)] = compute.betweenness();
+      scores[static_cast<std::size_t>(v)] = compute.betweenness();
       for (std::size_t s = 0; s < nn; ++s) {
         result.scaled_visits(static_cast<std::size_t>(v), s) =
             compute.scaled_visits()[s];
       }
     }
   }
-  result.report = make_run_report("alpha-cfb", result.betweenness,
-                                  result.total, options.congest.seed);
+  result.report = make_run_report("alpha-cfb", std::move(scores),
+                                  total_metrics, options.congest.seed);
   return result;
 }
 

@@ -50,19 +50,14 @@ struct DistributedAlphaCfbOptions {
 
 /// Outputs of a distributed alpha-CFB run.
 struct DistributedAlphaCfbResult {
-  /// The unified report (algorithm "alpha-cfb"): report.scores mirrors
-  /// `betweenness`, report.metrics mirrors `total`.  The named fields
-  /// below remain for one deprecation cycle (README, "RunReport
-  /// migration").
+  /// The unified report (algorithm "alpha-cfb"): report.scores holds the
+  /// alpha-CFB estimates per node, report.metrics sums both phases.
   RunReport report;
 
-  /// Deprecated alias of report.scores.
-  std::vector<double> betweenness;  ///< alpha-CFB estimates per node
   DenseMatrix scaled_visits;        ///< estimates T_alpha(v, s)
   std::size_t walks_per_source = 0;
   std::size_t max_steps = 0;
   std::uint64_t capped_walks = 0;  ///< walks killed by the hard cap
-  RunMetrics total;
   RunMetrics counting_metrics;
   RunMetrics computing_metrics;
 };

@@ -96,16 +96,16 @@ DistributedPagerankResult distributed_pagerank(
                                           options.walks_per_node);
   });
   DistributedPagerankResult result;
-  result.metrics = net.run();
+  const RunMetrics metrics = net.run();
   const double total = static_cast<double>(g.node_count()) *
                        static_cast<double>(options.walks_per_node);
-  result.pagerank.resize(static_cast<std::size_t>(g.node_count()));
+  std::vector<double> scores(static_cast<std::size_t>(g.node_count()));
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const auto& program = static_cast<const PagerankNode&>(net.node(v));
-    result.pagerank[static_cast<std::size_t>(v)] =
+    scores[static_cast<std::size_t>(v)] =
         static_cast<double>(program.endings()) / total;
   }
-  result.report = make_run_report("pagerank", result.pagerank, result.metrics,
+  result.report = make_run_report("pagerank", std::move(scores), metrics,
                                   options.congest.seed);
   return result;
 }

@@ -33,16 +33,9 @@ struct DistributedPagerankOptions {
 
 /// Outputs of a distributed PageRank run.
 struct DistributedPagerankResult {
-  /// The unified report (algorithm "pagerank"): report.scores mirrors
-  /// `pagerank`, report.metrics mirrors `metrics`.  The named fields
-  /// below remain for one deprecation cycle (README, "RunReport
-  /// migration").
+  /// The unified report (algorithm "pagerank"): report.scores holds the
+  /// end-point estimates (sum to 1), report.metrics the run totals.
   RunReport report;
-
-  /// Deprecated alias of report.scores.
-  std::vector<double> pagerank;  ///< end-point estimates (sum to 1)
-  /// Deprecated alias of report.metrics.
-  RunMetrics metrics;
 };
 
 /// Runs the protocol.  Requires n >= 1 and minimum degree >= 1.

@@ -27,6 +27,8 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
   require_connected(g, "distributed RWBC");
 
   DistributedRwbcResult result;
+  RunMetrics total;  // all phases summed; lands in result.report.metrics
+  std::vector<double> scores;  // per-node betweenness; moves into the report
   result.params.cutoff = options.cutoff > 0
                              ? options.cutoff
                              : default_cutoff(n, options.cutoff_multiplier);
@@ -96,7 +98,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
         g, setup_congest, static_cast<std::uint64_t>(n));
     result.leader = election.leader;
     result.election_metrics = election.metrics;
-    result.total += election.metrics;
+    total += election.metrics;
   } else {
     result.leader = 0;  // dense ids: min-id election would elect node 0
   }
@@ -105,7 +107,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
   const BfsTreeResult bfs = run_bfs_tree(
       g, result.leader, setup_congest, static_cast<std::uint64_t>(n) + 2);
   result.bfs_metrics = bfs.metrics;
-  result.total += bfs.metrics;
+  total += bfs.metrics;
   const SpanningTree& tree = bfs.tree;
 
   // P2a: convergecast the tree height (paces nothing here directly, but
@@ -141,7 +143,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
     result.target = static_cast<NodeId>(bc.value);
     result.dissemination_metrics += bc.metrics;
   }
-  result.total += result.dissemination_metrics;
+  total += result.dissemination_metrics;
 
   // A snapshot written by a run with a different graph, seed, or parameter
   // set would desynchronise silently; the recomputed setup exposes it.
@@ -225,6 +227,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
         config.tree_children = tree.children[static_cast<std::size_t>(v)];
         config.walks_per_edge_per_round = options.walks_per_edge_per_round;
         config.length_policy = options.length_policy;
+        config.coalesce_walks = options.coalesce_walks;
         config.fault_tolerant = faulty;
         config.deadline_rounds = counting_deadline;
         config.reliable_transport = options.reliable_transport;
@@ -240,7 +243,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       }
       result.counting_metrics = counting_net->run();
     }
-    result.total += result.counting_metrics;
+    total += result.counting_metrics;
 
     // P4: Algorithm 2 — the computing phase, fed with P3's counts.
     CongestConfig computing_congest = data_congest;
@@ -298,19 +301,18 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       compute_net.restore_checkpoint(*resume_reader);
     }
     result.computing_metrics = compute_net.run();
-    result.total += result.computing_metrics;
+    total += result.computing_metrics;
 
     if (options.compute_scores) {
       const auto nn = static_cast<std::size_t>(n);
-      result.betweenness.resize(nn);
+      scores.resize(nn);
       result.scaled_visits = DenseMatrix(nn, nn);
       for (NodeId v = 0; v < n; ++v) {
         const auto& compute =
             static_cast<const ComputeNode&>(compute_net.node(v));
         RWBC_ASSERT(faulty || compute.finished(),
                     "computing phase did not finish");
-        result.betweenness[static_cast<std::size_t>(v)] =
-            compute.betweenness();
+        scores[static_cast<std::size_t>(v)] = compute.betweenness();
         for (std::size_t s = 0; s < nn; ++s) {
           result.scaled_visits(static_cast<std::size_t>(v), s) =
               compute.scaled_visits()[s];
@@ -318,7 +320,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       }
     }
   }
-  result.report = make_run_report("rwbc", result.betweenness, result.total,
+  result.report = make_run_report("rwbc", std::move(scores), total,
                                   options.congest.seed, resumed_from_round);
   return result;
 }

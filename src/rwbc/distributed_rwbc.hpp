@@ -53,6 +53,11 @@ struct DistributedRwbcOptions {
   /// (the E7 ablation; see rwbc/counting_node.hpp).
   LengthPolicy length_policy = LengthPolicy::kPerMove;
 
+  /// Coalesced walk hot path (see CountingNodeConfig::coalesce_walks).
+  /// Default on; false selects the legacy one-message-per-token path used
+  /// as the differential baseline in tests/coalesce_test.cpp.
+  bool coalesce_walks = true;
+
   /// Visit counts packed per Algorithm-2 message: 1 = the paper's one
   /// count per round; 0 = auto-fit the bit budget (fewer rounds, same
   /// O(log n) bits per edge per round).
@@ -119,23 +124,18 @@ struct DistributedRwbcOptions {
 
 /// Outputs of a distributed RWBC run.
 struct DistributedRwbcResult {
-  /// The unified report (algorithm "rwbc"): report.scores mirrors
-  /// `betweenness`, report.metrics mirrors `total`, and
-  /// report.resumed_from_round records the snapshot round on a resumed
-  /// run.  The named fields below remain for one deprecation cycle; new
-  /// code should read the report (see README, "RunReport migration").
+  /// The unified report (algorithm "rwbc"): report.scores holds the
+  /// per-node betweenness estimates (empty when compute_scores is false),
+  /// report.metrics sums all phases, and report.resumed_from_round records
+  /// the snapshot round on a resumed run.
   RunReport report;
 
-  /// Per-node betweenness estimates (empty when compute_scores is false).
-  /// Deprecated alias of report.scores.
-  std::vector<double> betweenness;
   /// The estimated potentials T_hat(v, s) (empty when compute_scores off).
   DenseMatrix scaled_visits;
   NodeId leader = -1;
   NodeId target = -1;
   RwbcParams params;  ///< the (l, K) actually used
 
-  RunMetrics total;  ///< all phases summed
   RunMetrics election_metrics;
   RunMetrics bfs_metrics;
   RunMetrics dissemination_metrics;

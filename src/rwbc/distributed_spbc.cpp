@@ -331,6 +331,7 @@ DistributedSpbcResult distributed_spbc(const Graph& g,
   require_connected(g, "distributed SPBC");
 
   DistributedSpbcResult result;
+  RunMetrics total_metrics;  // both phases summed; lands in report.metrics
   CongestConfig forward_congest = options.congest;
   forward_congest.checkpoint_label = "spbc-forward";
   Network forward(g, forward_congest);
@@ -345,7 +346,7 @@ DistributedSpbcResult distributed_spbc(const Graph& g,
         options.updates_per_edge_per_round);
   });
   result.forward_metrics = forward.run();
-  result.total += result.forward_metrics;
+  total_metrics += result.forward_metrics;
 
   CongestConfig backward_congest = options.congest;
   backward_congest.checkpoint_label = "spbc-backward";
@@ -361,21 +362,21 @@ DistributedSpbcResult distributed_spbc(const Graph& g,
     return std::make_unique<SpbcBackwardNode>(std::move(config));
   });
   result.backward_metrics = backward.run();
-  result.total += result.backward_metrics;
+  total_metrics += result.backward_metrics;
 
-  result.betweenness.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
   for (NodeId v = 0; v < n; ++v) {
     const auto& node = static_cast<const SpbcBackwardNode&>(backward.node(v));
     double total = 0.0;
     for (std::size_t s = 0; s < static_cast<std::size_t>(n); ++s) {
       if (s != static_cast<std::size_t>(v)) total += node.delta()[s];
     }
-    result.betweenness[static_cast<std::size_t>(v)] =
+    scores[static_cast<std::size_t>(v)] =
         options.normalized
             ? total / (static_cast<double>(n - 1) * static_cast<double>(n - 2))
             : total;
   }
-  result.report = make_run_report("spbc", result.betweenness, result.total,
+  result.report = make_run_report("spbc", std::move(scores), total_metrics,
                                   options.congest.seed);
   return result;
 }

@@ -55,16 +55,10 @@ struct DistributedSpbcOptions {
 
 /// Outputs of a distributed SPBC run.
 struct DistributedSpbcResult {
-  /// The unified report (algorithm "spbc"): report.scores mirrors
-  /// `betweenness`, report.metrics mirrors `total`.  The named fields
-  /// below remain for one deprecation cycle (README, "RunReport
-  /// migration").
+  /// The unified report (algorithm "spbc"): report.scores holds the
+  /// per-node SPBC scores, report.metrics sums both phases.
   RunReport report;
 
-  /// Deprecated alias of report.scores.
-  std::vector<double> betweenness;
-  /// Deprecated alias of report.metrics.
-  RunMetrics total;
   RunMetrics forward_metrics;   ///< Phase A: BFS + path counting
   RunMetrics backward_metrics;  ///< Phase B: dependency accumulation
 };

@@ -151,7 +151,8 @@ void strip_pipeline_flags(std::vector<char*>& args, PipelineSpec& spec) {
                              flag == "--fault-seed" ||
                              flag == "--checkpoint-dir" ||
                              flag == "--checkpoint-every" ||
-                             flag == "--kill-at-round";
+                             flag == "--kill-at-round" ||
+                             flag == "--walks-per-edge";
     if (takes_value && i + 1 >= args.size()) {
       throw Error(flag + " requires a value");
     }
@@ -171,6 +172,14 @@ void strip_pipeline_flags(std::vector<char*>& args, PipelineSpec& spec) {
       spec.checkpoint_every = std::strtoull(args[i + 1], nullptr, 10);
     } else if (flag == "--kill-at-round") {
       spec.kill_at_round = std::strtoull(args[i + 1], nullptr, 10);
+    } else if (flag == "--walks-per-edge") {
+      const std::uint64_t wpepr = std::strtoull(args[i + 1], nullptr, 10);
+      if (wpepr < 1) throw Error("--walks-per-edge must be >= 1");
+      spec.rwbc.walks_per_edge_per_round = static_cast<std::size_t>(wpepr);
+    } else if (flag == "--no-coalesce") {
+      spec.rwbc.coalesce_walks = false;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
     } else if (flag == "--reliable") {
       spec.reliable_transport = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));

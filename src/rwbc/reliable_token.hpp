@@ -33,6 +33,15 @@
 // Determinism: the link draws no randomness at all — every decision is a
 // function of round numbers and (deterministically faulted) arrivals — so
 // the serial-vs-parallel bit-identity of the simulator is preserved.
+//
+// Payload opacity: the inner payload is opaque to the link — a frame is one
+// send()-sized unit regardless of content.  Coalesced walk batches
+// (rwbc/walk_token.hpp, WalkBatchWire) therefore ride the window, ack,
+// dedup, and give-up machinery unchanged: a batch is lost, retransmitted,
+// deduplicated, or given up AS A UNIT, and CountingNode::absorb_give_ups
+// decodes the whole batch to refund every token it carried.  At the
+// paper's walks_per_edge_per_round = 1 a batch frame is byte-identical to
+// a legacy single-token frame, so the reliable wire is unchanged too.
 #pragma once
 
 #include <cstdint>

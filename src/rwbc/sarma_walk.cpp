@@ -155,15 +155,22 @@ class SarmaWalkNode final : public NodeProcess {
       auto reader = msg.reader();
       switch (static_cast<SarmaMsg>(reader.read(kTypeBits))) {
         case kCoupon: {
-          Coupon coupon;
-          coupon.owner = static_cast<NodeId>(reader.read(id_bits_));
-          coupon.serial = reader.read(serial_bits_);
-          coupon.remaining = reader.read(lambda_bits_);
-          if (coupon.remaining == 0) {
-            rested_coupons_.push_back(coupon);
-            ++rested_here_;
-          } else {
-            held_coupons_.push_back(coupon);
+          // Coalesced batch: [gamma(count)] then fixed-width records in
+          // emission order, so the arrival sequence (and hence the
+          // held/rested lineage) matches the legacy one-message-per-coupon
+          // wire exactly — only message counts and bits differ.
+          const std::uint64_t count = read_gamma(reader);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            Coupon coupon;
+            coupon.owner = static_cast<NodeId>(reader.read(id_bits_));
+            coupon.serial = reader.read(serial_bits_);
+            coupon.remaining = reader.read(lambda_bits_);
+            if (coupon.remaining == 0) {
+              rested_coupons_.push_back(coupon);
+              ++rested_here_;
+            } else {
+              held_coupons_.push_back(coupon);
+            }
           }
           break;
         }
@@ -328,32 +335,51 @@ class SarmaWalkNode final : public NodeProcess {
       per_neighbor_[ctx.rng().next_below(degree)].push_back(c);
     }
     // Self-limit the per-edge coupon count to the bit budget, leaving slack
-    // for one control message (sweep traffic shares tree edges).
-    const std::uint64_t coupon_bits =
-        static_cast<std::uint64_t>(kTypeBits + id_bits_ + serial_bits_ +
-                                   lambda_bits_);
+    // for one control message (sweep traffic shares tree edges).  All the
+    // slot's winners ride ONE payload [kCoupon][gamma(count)][records], so
+    // the cap is the largest batch whose encoding fits the leftover budget.
+    const std::uint64_t record_bits = static_cast<std::uint64_t>(
+        id_bits_ + serial_bits_ + lambda_bits_);
     const std::uint64_t control_slack =
         static_cast<std::uint64_t>(kTypeBits + rest_count_bits_);
-    const std::uint64_t budget_cap = std::max<std::uint64_t>(
-        1, (ctx.bit_budget() - std::min(ctx.bit_budget() - 1, control_slack)) /
-               coupon_bits);
-    const std::size_t cap = static_cast<std::size_t>(
-        std::min<std::uint64_t>(config_.coupons_per_edge, budget_cap));
+    const std::uint64_t coupon_budget =
+        ctx.bit_budget() - std::min(ctx.bit_budget() - 1, control_slack);
+    auto gamma_bits = [](std::uint64_t value) {
+      int k = 0;
+      while ((value >> k) > 1) ++k;
+      return static_cast<std::uint64_t>(2 * k + 1);
+    };
+    std::uint64_t budget_cap = 1;
+    while (budget_cap < config_.coupons_per_edge &&
+           static_cast<std::uint64_t>(kTypeBits) + gamma_bits(budget_cap + 1) +
+                   (budget_cap + 1) * record_bits <=
+               coupon_budget) {
+      ++budget_cap;
+    }
+    const auto cap = static_cast<std::size_t>(budget_cap);
     std::vector<Coupon> kept;
+    std::vector<Coupon> batch;
     const auto neighbors = ctx.neighbors();
     for (std::size_t slot = 0; slot < degree; ++slot) {
       auto& bucket = per_neighbor_[slot];
       const std::size_t winners = std::min(bucket.size(), cap);
+      batch.clear();
       for (std::size_t i = 0; i < winners; ++i) {
         const std::size_t j = i + ctx.rng().next_below(bucket.size() - i);
         std::swap(bucket[i], bucket[j]);
         Coupon coupon = held_coupons_[bucket[i]];
         coupon.remaining -= 1;
+        batch.push_back(coupon);
+      }
+      if (!batch.empty()) {
         BitWriter w;
         w.write(kCoupon, kTypeBits);
-        w.write(static_cast<std::uint64_t>(coupon.owner), id_bits_);
-        w.write(coupon.serial, serial_bits_);
-        w.write(coupon.remaining, lambda_bits_);
+        write_gamma(w, batch.size());
+        for (const Coupon& coupon : batch) {
+          w.write(static_cast<std::uint64_t>(coupon.owner), id_bits_);
+          w.write(coupon.serial, serial_bits_);
+          w.write(coupon.remaining, lambda_bits_);
+        }
         ctx.send(neighbors[slot], w);
       }
       for (std::size_t i = winners; i < bucket.size(); ++i) {
@@ -512,7 +538,7 @@ SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
   const BfsTreeResult bfs = run_bfs_tree(
       g, 0, setup_congest, static_cast<std::uint64_t>(g.node_count()) + 2);
   result.bfs_metrics = bfs.metrics;
-  result.total += bfs.metrics;
+  RunMetrics total_metrics = bfs.metrics;
 
   // D <= 2 * height of any BFS tree; lambda = sqrt(l * D) optimises
   // lambda (phase 1) against (l / lambda) * O(D) stitches (phase 2).
@@ -555,7 +581,7 @@ SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
     return std::make_unique<SarmaWalkNode>(std::move(config));
   });
   result.walk_metrics = net.run();
-  result.total += result.walk_metrics;
+  total_metrics += result.walk_metrics;
 
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const auto& node = static_cast<const SarmaWalkNode&>(net.node(v));
@@ -568,7 +594,7 @@ SarmaWalkResult sarma_distributed_walk(const Graph& g, NodeId source,
     }
   }
   RWBC_ASSERT(result.destination >= 0, "no destination reported");
-  result.report = make_run_report("sarma-walk", {}, result.total,
+  result.report = make_run_report("sarma-walk", {}, total_metrics,
                                   options.congest.seed);
   return result;
 }

@@ -51,16 +51,14 @@ struct SarmaWalkOptions {
 
 /// Outputs of a stitched-walk run.
 struct SarmaWalkResult {
-  /// The unified report (algorithm "sarma-walk"): report.metrics mirrors
-  /// `total`; report.scores is empty — this pipeline outputs a walk
-  /// destination, not per-node scores.  The named fields below remain for
-  /// one deprecation cycle (README, "RunReport migration").
+  /// The unified report (algorithm "sarma-walk"): report.metrics sums the
+  /// BFS and walk phases; report.scores is empty — this pipeline outputs a
+  /// walk destination, not per-node scores.
   RunReport report;
 
   NodeId destination = -1;
   std::size_t stitches = 0;      ///< lambda-step jumps taken
   std::size_t direct_steps = 0;  ///< single-step moves taken
-  RunMetrics total;              ///< BFS phase + walk phase
   RunMetrics bfs_metrics;
   RunMetrics walk_metrics;
 };

@@ -8,9 +8,12 @@
 // which is all the algorithm ever sends.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "common/bitcodec.hpp"
+#include "common/error.hpp"
 #include "graph/graph.hpp"
 
 namespace rwbc {
@@ -27,6 +30,56 @@ enum class CountingMsg : std::uint64_t {
 struct WalkToken {
   NodeId source = 0;
   std::uint64_t remaining = 0;  ///< moves left before truncation
+};
+
+/// Struct-of-arrays pool of walks held at a node.  The counting phase's
+/// inner loop touches one field of every held walk per pass (draw committed
+/// slots, bucket by slot, decrement lengths), so parallel arrays keep each
+/// pass a dense sequential scan instead of striding over 24-byte structs.
+/// Indices into the pool are stable within a round; the pool is rebuilt
+/// (double-buffered via swap) when survivors are carried to the next round.
+class WalkTokenPool {
+ public:
+  std::size_t size() const { return source_.size(); }
+  bool empty() const { return source_.empty(); }
+
+  void clear() {
+    source_.clear();
+    remaining_.clear();
+    committed_.clear();
+  }
+
+  void reserve(std::size_t capacity) {
+    source_.reserve(capacity);
+    remaining_.reserve(capacity);
+    committed_.reserve(capacity);
+  }
+
+  /// Appends a walk; `committed` is its drawn next-hop slot (-1 = none).
+  void push(NodeId source, std::uint64_t remaining,
+            std::int32_t committed = -1) {
+    source_.push_back(source);
+    remaining_.push_back(remaining);
+    committed_.push_back(committed);
+  }
+
+  NodeId source(std::size_t i) const { return source_[i]; }
+  std::uint64_t remaining(std::size_t i) const { return remaining_[i]; }
+  std::int32_t committed(std::size_t i) const { return committed_[i]; }
+  void set_committed(std::size_t i, std::int32_t slot) {
+    committed_[i] = slot;
+  }
+
+  void swap(WalkTokenPool& other) {
+    source_.swap(other.source_);
+    remaining_.swap(other.remaining_);
+    committed_.swap(other.committed_);
+  }
+
+ private:
+  std::vector<NodeId> source_;
+  std::vector<std::uint64_t> remaining_;
+  std::vector<std::int32_t> committed_;
 };
 
 /// Field widths for a network of n nodes and cutoff l.
@@ -71,6 +124,184 @@ struct CountingWire {
     BitWriter w;
     w.write(static_cast<std::uint64_t>(CountingMsg::kDone), type_bits);
     return w;
+  }
+};
+
+/// Coalesced walk batches: every token crossing one directed edge in a
+/// round rides a single packed payload instead of one message per token
+/// (the Das Sarma et al. distributed-walk speed-up, PAPERS.md).
+///
+/// Layout after the kWalk type tag:
+///
+///   [count-1 : bits_for(wpepr)]            batch size; 0 BITS when the
+///                                          paper's wpepr = 1, so a
+///                                          1-token batch is byte-identical
+///                                          to the legacy per-token wire
+///   count == 1:  [source : id][remaining : len]         (fixed width)
+///   count >= 2:  [mode : 1] then, over tokens sorted by
+///                (source, remaining):
+///     mode 0:  [source_0 : id] [gamma(delta_i + 1)]*    delta-coded ids
+///              then every [remaining : len] fixed width
+///     mode 1:  ([source : id][remaining : len])*        all fixed width
+///
+/// The encoder sorts canonically and picks whichever mode is smaller, so
+/// the payload bytes are a pure function of the token multiset — shuffling
+/// the sender's pool order never changes the wire bytes (property-tested in
+/// tests/coalesce_test.cpp).  The decoder validates count, ids, and lengths
+/// and throws rwbc::Error on truncated or corrupt payloads.
+struct WalkBatchWire {
+  int type_bits = 2;
+  int id_bits = 0;
+  int length_bits = 0;
+  int batch_bits = 0;  ///< width of the count-1 field: bits_for(wpepr)
+  std::uint64_t wpepr = 1;
+  std::uint64_t node_count = 0;
+  std::uint64_t cutoff = 0;
+
+  WalkBatchWire() = default;
+  WalkBatchWire(NodeId n, std::uint64_t cutoff_value,
+                std::uint64_t walks_per_edge)
+      : id_bits(bits_for(static_cast<std::uint64_t>(n))),
+        length_bits(bits_for(cutoff_value + 1)),
+        batch_bits(bits_for(walks_per_edge)),
+        wpepr(walks_per_edge),
+        node_count(static_cast<std::uint64_t>(n)),
+        cutoff(cutoff_value) {}
+
+  /// Bits of a gamma code for `value` (>= 1).
+  static int gamma_bits(std::uint64_t value) {
+    int k = 0;
+    while ((value >> k) > 1) ++k;
+    return 2 * k + 1;
+  }
+
+  /// Worst-case encoded size of a `count`-token batch (mode 1).
+  int max_bits(std::uint64_t count) const {
+    return type_bits + batch_bits + (count >= 2 ? 1 : 0) +
+           static_cast<int>(count) * (id_bits + length_bits);
+  }
+
+  /// Largest batch count (capped at wpepr) whose worst-case encoding fits
+  /// in `budget` bits; 0 if not even a single token fits.
+  std::uint64_t max_batch_for_budget(std::uint64_t budget) const {
+    std::uint64_t count = 0;
+    while (count < wpepr &&
+           static_cast<std::uint64_t>(max_bits(count + 1)) <= budget) {
+      ++count;
+    }
+    return count;
+  }
+
+  /// Encodes `batch` (sorted in place when count >= 2) into `w`, type tag
+  /// included.  Requires 1 <= batch.size() <= wpepr.
+  void encode(BitWriter& w, std::vector<WalkToken>& batch) const {
+    RWBC_REQUIRE(!batch.empty() && batch.size() <= wpepr,
+                 "walk batch size out of range");
+    if (batch.size() == 1) {
+      // Hot path (the paper's wpepr = 1): every field in one write.  The
+      // bit stream is LSB-first, so concatenating fields into one word is
+      // identical to writing them separately (kWalk == 0, count-1 == 0).
+      const int total = type_bits + batch_bits + id_bits + length_bits;
+      if (total <= 64) {
+        const int shift = type_bits + batch_bits;
+        w.write((static_cast<std::uint64_t>(batch[0].source) << shift) |
+                    (batch[0].remaining << (shift + id_bits)),
+                total);
+      } else {
+        w.write(static_cast<std::uint64_t>(CountingMsg::kWalk), type_bits);
+        w.write(0, batch_bits);
+        w.write(static_cast<std::uint64_t>(batch[0].source), id_bits);
+        w.write(batch[0].remaining, length_bits);
+      }
+      return;
+    }
+    w.write(static_cast<std::uint64_t>(CountingMsg::kWalk), type_bits);
+    w.write(static_cast<std::uint64_t>(batch.size()) - 1, batch_bits);
+    std::sort(batch.begin(), batch.end(),
+              [](const WalkToken& a, const WalkToken& b) {
+                return a.source != b.source ? a.source < b.source
+                                            : a.remaining < b.remaining;
+              });
+    int delta_bits = id_bits;
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      delta_bits += gamma_bits(
+          static_cast<std::uint64_t>(batch[i].source - batch[i - 1].source) +
+          1);
+    }
+    const int fixed_bits = static_cast<int>(batch.size()) * id_bits;
+    const bool delta_mode = delta_bits <= fixed_bits;
+    w.write(delta_mode ? 0 : 1, 1);
+    if (delta_mode) {
+      w.write(static_cast<std::uint64_t>(batch[0].source), id_bits);
+      for (std::size_t i = 1; i < batch.size(); ++i) {
+        write_gamma(w, static_cast<std::uint64_t>(batch[i].source -
+                                                  batch[i - 1].source) +
+                           1);
+      }
+    } else {
+      for (const WalkToken& t : batch) {
+        w.write(static_cast<std::uint64_t>(t.source), id_bits);
+      }
+    }
+    for (const WalkToken& t : batch) w.write(t.remaining, length_bits);
+  }
+
+  /// Decodes a batch (type tag already consumed) into `out` (appended).
+  /// Throws rwbc::Error on truncation or any out-of-range field.
+  void decode(BitReader& r, std::vector<WalkToken>& out) const {
+    if (batch_bits == 0 && id_bits + length_bits <= 64) {
+      // wpepr = 1: the count field is zero bits wide, so every batch is a
+      // single token — read both fields in one call.
+      const std::uint64_t word = r.read(id_bits + length_bits);
+      WalkToken t;
+      t.source = static_cast<NodeId>(word & ((1ULL << id_bits) - 1));
+      t.remaining = word >> id_bits;
+      RWBC_REQUIRE(static_cast<std::uint64_t>(t.source) < node_count,
+                   "walk batch source out of range");
+      RWBC_REQUIRE(t.remaining <= cutoff, "walk batch length out of range");
+      out.push_back(t);
+      return;
+    }
+    const std::uint64_t count = r.read(batch_bits) + 1;
+    RWBC_REQUIRE(count <= wpepr, "walk batch count exceeds wpepr");
+    const std::size_t base = out.size();
+    if (count == 1) {
+      WalkToken t;
+      t.source = static_cast<NodeId>(r.read(id_bits));
+      RWBC_REQUIRE(static_cast<std::uint64_t>(t.source) < node_count,
+                   "walk batch source out of range");
+      t.remaining = r.read(length_bits);
+      RWBC_REQUIRE(t.remaining <= cutoff, "walk batch length out of range");
+      out.push_back(t);
+      return;
+    }
+    const std::uint64_t mode = r.read(1);
+    out.resize(base + static_cast<std::size_t>(count));
+    if (mode == 0) {
+      std::uint64_t source = r.read(id_bits);
+      RWBC_REQUIRE(source < node_count, "walk batch source out of range");
+      out[base].source = static_cast<NodeId>(source);
+      for (std::size_t i = 1; i < count; ++i) {
+        const std::uint64_t delta = read_gamma(r) - 1;
+        // Bound the delta before adding so a corrupt payload cannot wrap
+        // the accumulator back into range.
+        RWBC_REQUIRE(delta < node_count, "walk batch source out of range");
+        source += delta;
+        RWBC_REQUIRE(source < node_count, "walk batch source out of range");
+        out[base + i].source = static_cast<NodeId>(source);
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t source = r.read(id_bits);
+        RWBC_REQUIRE(source < node_count, "walk batch source out of range");
+        out[base + i].source = static_cast<NodeId>(source);
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      out[base + i].remaining = r.read(length_bits);
+      RWBC_REQUIRE(out[base + i].remaining <= cutoff,
+                   "walk batch length out of range");
+    }
   }
 };
 

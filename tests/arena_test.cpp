@@ -85,13 +85,12 @@ void tally(DeliveryPlanner& planner,
            const std::vector<std::vector<SimSend>>& outboxes) {
   planner.zero_round(nullptr);
   for (NodeId u = 0; u < static_cast<NodeId>(outboxes.size()); ++u) {
-    std::uint64_t* bits = planner.sent_bits(u);
-    std::uint32_t* msgs = planner.sent_msgs(u);
-    std::uint32_t* bytes = planner.sent_bytes(u);
+    EdgeTally* tallies = planner.edge_tally(u);
     for (const SimSend& send : outboxes[static_cast<std::size_t>(u)]) {
-      bits[send.slot] += static_cast<std::uint64_t>(send.bit_count);
-      msgs[send.slot] += 1;
-      bytes[send.slot] += static_cast<std::uint32_t>(send.payload.size());
+      tallies[send.slot].bits += static_cast<std::uint64_t>(send.bit_count);
+      tallies[send.slot].msgs += 1;
+      tallies[send.slot].bytes +=
+          static_cast<std::uint32_t>(send.payload.size());
     }
   }
 }
@@ -104,15 +103,14 @@ std::vector<std::vector<Delivered>> place_and_collect(
     const std::vector<NodeId>& sender_order) {
   Message* slots = arena.message_slots();
   std::uint8_t* bytes = arena.payload_slots();
-  std::size_t* place_msg = planner.place_msg();
-  std::size_t* place_byte = planner.place_byte();
+  EdgeTally* edges = planner.edge_tallies();
   for (const NodeId u : sender_order) {
     const std::size_t edge_base = planner.out_base(u);
     for (const SimSend& send : outboxes[static_cast<std::size_t>(u)]) {
-      const std::size_t e = edge_base + send.slot;
-      const std::size_t slot_index = place_msg[e]++;
-      const std::size_t byte_index = place_byte[e];
-      place_byte[e] += send.payload.size();
+      EdgeTally& cursor = edges[edge_base + send.slot];
+      const std::size_t slot_index = cursor.place_msg++;
+      const std::size_t byte_index = cursor.place_byte;
+      cursor.place_byte += send.payload.size();
       std::copy(send.payload.begin(), send.payload.end(), bytes + byte_index);
       slots[slot_index] =
           Message{u, send.to, bytes + byte_index, send.bit_count};
@@ -126,7 +124,7 @@ std::vector<std::vector<Delivered>> place_and_collect(
       d.from = msg.from;
       d.to = msg.to;
       d.bit_count = msg.bit_count;
-      d.payload.assign(msg.payload, msg.payload + msg.payload_bytes());
+      d.payload.assign(msg.payload(), msg.payload() + msg.payload_bytes());
       inboxes[static_cast<std::size_t>(v)].push_back(std::move(d));
     }
   }

@@ -234,9 +234,9 @@ void expect_same_run(const DistributedRwbcResult& golden,
   EXPECT_EQ(resumed.target, golden.target);
   EXPECT_EQ(resumed.params.cutoff, golden.params.cutoff);
   EXPECT_EQ(resumed.params.walks_per_source, golden.params.walks_per_source);
-  ASSERT_EQ(resumed.betweenness.size(), golden.betweenness.size());
-  for (std::size_t i = 0; i < golden.betweenness.size(); ++i) {
-    EXPECT_EQ(resumed.betweenness[i], golden.betweenness[i]) << "node " << i;
+  ASSERT_EQ(resumed.report.scores.size(), golden.report.scores.size());
+  for (std::size_t i = 0; i < golden.report.scores.size(); ++i) {
+    EXPECT_EQ(resumed.report.scores[i], golden.report.scores[i]) << "node " << i;
   }
   ASSERT_EQ(resumed.scaled_visits.rows(), golden.scaled_visits.rows());
   ASSERT_EQ(resumed.scaled_visits.cols(), golden.scaled_visits.cols());
@@ -249,7 +249,7 @@ void expect_same_run(const DistributedRwbcResult& golden,
                     "counting");
   expect_metrics_eq(resumed.computing_metrics, golden.computing_metrics,
                     "computing");
-  expect_metrics_eq(resumed.total, golden.total, "total");
+  expect_metrics_eq(resumed.report.metrics, golden.report.metrics, "total");
 }
 
 /// Runs with checkpointing on and aborts after `kill_round` cumulative
@@ -322,8 +322,8 @@ TEST(CheckpointResume, KillMidComputingSkipsCountingOnResume) {
 TEST(CheckpointResume, KillUnderFaultsWithReliableTransportResumesBitIdentical) {
   const Graph g = drill_graph();
   const auto golden = distributed_rwbc(g, drill_options(true));
-  EXPECT_GT(golden.total.dropped_messages, 0u);
-  EXPECT_GT(golden.total.retransmissions, 0u);
+  EXPECT_GT(golden.report.metrics.dropped_messages, 0u);
+  EXPECT_GT(golden.report.metrics.retransmissions, 0u);
 
   const std::uint64_t setup = golden.election_metrics.rounds +
                               golden.bfs_metrics.rounds +
@@ -336,6 +336,75 @@ TEST(CheckpointResume, KillUnderFaultsWithReliableTransportResumesBitIdentical) 
   for (const int threads : {1, 8, -1}) {
     SCOPED_TRACE("threads = " + std::to_string(threads));
     expect_same_run(golden, run_resumed(g, drill_options(true), dir, threads));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced-path resume (wpepr > 1): multi-token batches ride each edge and
+// — under the reliable transport — sit in retransmission windows across
+// round boundaries.  A snapshot sealed mid-counting must carry the SoA
+// pools and those in-flight packed payloads byte-for-byte, or the resumed
+// trajectories fork.  The shell drill (recovery_drill.sh scenario 4) runs
+// the same shape end to end with a real SIGKILL.
+// ---------------------------------------------------------------------------
+
+DistributedRwbcOptions coalesced_drill_options(bool faults) {
+  DistributedRwbcOptions options = drill_options(faults);
+  options.walks_per_edge_per_round = 8;
+  return options;
+}
+
+TEST(CoalescedCheckpointResume, KillMidCountingResumesBitIdenticalAcrossThreads) {
+  const Graph g = drill_graph();
+  const auto golden = distributed_rwbc(g, coalesced_drill_options(false));
+
+  // The workload must actually coalesce: the same run over the legacy
+  // one-message-per-token wire takes strictly more counting messages.
+  DistributedRwbcOptions legacy = coalesced_drill_options(false);
+  legacy.coalesce_walks = false;
+  const auto unbatched = distributed_rwbc(g, legacy);
+  ASSERT_LT(golden.counting_metrics.total_messages,
+            unbatched.counting_metrics.total_messages)
+      << "wpepr = 8 produced no multi-token batches; the drill is vacuous";
+
+  const std::uint64_t setup = golden.election_metrics.rounds +
+                              golden.bfs_metrics.rounds +
+                              golden.dissemination_metrics.rounds;
+  ASSERT_GT(golden.counting_metrics.rounds, 16u)
+      << "counting too short for a mid-phase snapshot at interval 8";
+  const std::uint64_t kill = setup + golden.counting_metrics.rounds / 2;
+
+  const fs::path dir = scratch_dir("kill-coalesced");
+  run_killed(g, coalesced_drill_options(false), dir, kill);
+  for (const int threads : {1, 8, -1}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    expect_same_run(golden,
+                    run_resumed(g, coalesced_drill_options(false), dir, threads));
+  }
+}
+
+TEST(CoalescedCheckpointResume,
+     KillWithBatchesInReliableWindowsResumesBitIdentical) {
+  const Graph g = drill_graph();
+  const auto golden = distributed_rwbc(g, coalesced_drill_options(true));
+  // Drops force retransmissions, so packed batch payloads are parked in
+  // the reliable windows at snapshot time — the "non-empty coalesced
+  // inbox" state the checkpoint must reproduce.
+  EXPECT_GT(golden.report.metrics.dropped_messages, 0u);
+  EXPECT_GT(golden.report.metrics.retransmissions, 0u);
+
+  const std::uint64_t setup = golden.election_metrics.rounds +
+                              golden.bfs_metrics.rounds +
+                              golden.dissemination_metrics.rounds;
+  ASSERT_GT(golden.counting_metrics.rounds, 16u);
+  const std::uint64_t kill = setup + golden.counting_metrics.rounds / 2;
+
+  const fs::path dir = scratch_dir("kill-coalesced-faulty");
+  run_killed(g, coalesced_drill_options(true), dir, kill);
+  for (const int threads : {1, 8, -1}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    expect_same_run(golden,
+                    run_resumed(g, coalesced_drill_options(true), dir, threads));
   }
 }
 
@@ -495,13 +564,13 @@ TEST(LabelSelectiveResume, PagerankResumesBitIdentical) {
   capture.congest.checkpoint_sink = capture_into(snaps);
   const auto captured = distributed_pagerank(g, capture);
   ASSERT_FALSE(snaps->empty());
-  EXPECT_EQ(captured.pagerank, golden.pagerank);
+  EXPECT_EQ(captured.report.scores, golden.report.scores);
 
   DistributedPagerankOptions resume = options;
   resume.congest.resume_checkpoint = snaps->at(snaps->size() / 2);
   const auto resumed = distributed_pagerank(g, resume);
-  EXPECT_EQ(resumed.pagerank, golden.pagerank);
-  expect_metrics_eq(resumed.metrics, golden.metrics, "pagerank");
+  EXPECT_EQ(resumed.report.scores, golden.report.scores);
+  expect_metrics_eq(resumed.report.metrics, golden.report.metrics, "pagerank");
 }
 
 TEST(LabelSelectiveResume, SarmaWalkResumesBitIdentical) {
@@ -543,7 +612,7 @@ TEST(LabelSelectiveResume, SpbcBackwardPhaseSnapshotSkipsForwardRestore) {
   capture.congest.checkpoint_sink = capture_into(snaps);
   const auto captured = distributed_spbc(g, capture);
   ASSERT_FALSE(snaps->empty());
-  EXPECT_EQ(captured.betweenness, golden.betweenness);
+  EXPECT_EQ(captured.report.scores, golden.report.scores);
 
   // The last snapshot belongs to the backward phase (labels differ per
   // phase): the forward network must ignore it and re-run, the backward
@@ -552,7 +621,7 @@ TEST(LabelSelectiveResume, SpbcBackwardPhaseSnapshotSkipsForwardRestore) {
     DistributedSpbcOptions resume = options;
     resume.congest.resume_checkpoint = snapshot;
     const auto resumed = distributed_spbc(g, resume);
-    EXPECT_EQ(resumed.betweenness, golden.betweenness);
+    EXPECT_EQ(resumed.report.scores, golden.report.scores);
     expect_metrics_eq(resumed.forward_metrics, golden.forward_metrics,
                       "forward");
     expect_metrics_eq(resumed.backward_metrics, golden.backward_metrics,
@@ -574,12 +643,12 @@ TEST(LabelSelectiveResume, AlphaCfbResumesBitIdentical) {
   capture.congest.checkpoint_sink = capture_into(snaps);
   const auto captured = distributed_alpha_cfb(g, capture);
   ASSERT_FALSE(snaps->empty());
-  EXPECT_EQ(captured.betweenness, golden.betweenness);
+  EXPECT_EQ(captured.report.scores, golden.report.scores);
 
   DistributedAlphaCfbOptions resume = options;
   resume.congest.resume_checkpoint = snaps->at(snaps->size() / 2);
   const auto resumed = distributed_alpha_cfb(g, resume);
-  EXPECT_EQ(resumed.betweenness, golden.betweenness);
+  EXPECT_EQ(resumed.report.scores, golden.report.scores);
   EXPECT_EQ(resumed.capped_walks, golden.capped_walks);
   expect_metrics_eq(resumed.counting_metrics, golden.counting_metrics,
                     "counting");

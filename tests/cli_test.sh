@@ -70,6 +70,21 @@ expect_error "unknown family" "unknown family" -- \
   generate nosuch 10 1
 expect_error "crash node out of range" "crash" -- \
   --crash 99@5 distributed "$GRAPH" 4 10 3
+expect_error "walks-per-edge of zero" "--walks-per-edge" -- \
+  --walks-per-edge 0 distributed "$GRAPH" 4 10 3
+expect_error "walks-per-edge missing its value" "requires a value" -- \
+  distributed "$GRAPH" --walks-per-edge
+
+# Coalescing knobs run end to end; --no-coalesce selects the legacy
+# one-message-per-token wire, which must print identical output at
+# wpepr = 1 (the batch header is zero bits wide there).
+expect_ok "coalesced multi-token batches" \
+  --walks-per-edge 8 distributed "$GRAPH" 4 10 3
+expect_ok "legacy walk wire" --no-coalesce distributed "$GRAPH" 4 10 3
+cp "$TMPDIR/stdout" "$TMPDIR/legacy.out"
+expect_ok "coalesced wire at wpepr 1" distributed "$GRAPH" 4 10 3
+cmp -s "$TMPDIR/legacy.out" "$TMPDIR/stdout" \
+  || fail "coalesced wpepr=1 output differs from the legacy wire"
 
 # Checkpoint flags: dependency validation and resume failure modes must be
 # one-line errors too (the happy path lives in recovery_drill.sh).

@@ -1,0 +1,354 @@
+// Differential golden-equivalence of the coalesced walk-step hot path.
+//
+// The counting phase has two wire paths (rwbc/counting_node.cpp):
+// `coalesce_walks = true` packs every token crossing a directed edge in a
+// round into one WalkBatchWire payload; `false` is the legacy
+// one-message-per-token path.  At the paper's walks_per_edge_per_round = 1
+// the batch header is zero bits wide, so the two paths must be
+// BYTE-IDENTICAL end to end — same scores, same scaled visits, same
+// per-phase metrics down to every bit count — and that identity must
+// survive the whole execution matrix: 7 graph families × 4 seeds,
+// weighted and unweighted, threads {1, 2, 8, -1}, faults {off,
+// drop 0.25 + dup 0.25}, reliable transport {off, on}.
+//
+// At wpepr > 1 the wires genuinely differ (one batch vs many messages), so
+// the contract weakens to trajectory equivalence: identical walk schedules
+// — hence identical scores and visit counts — with strictly fewer
+// messages, checked fault-free where the per-message fault draw cannot
+// skew the two message streams differently.
+//
+// Property tests pin the two mechanisms the equivalence rests on:
+// WalkBatchWire's canonical sort makes payload bytes a pure function of
+// the token multiset (shuffling the pool never changes the wire), and the
+// parallel scheduler's canonical-order reduction reproduces serial
+// accumulation exactly at every thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/bitcodec.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/weighted.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/walk_token.hpp"
+
+namespace rwbc {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8, -1};
+const std::uint64_t kSeeds[] = {0u, 1u, 0xdeadbeefULL,
+                                0xffffffffffffffffULL};
+
+Graph family_graph(const std::string& family, std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  if (family == "er") return make_erdos_renyi(14, 0.3, rng);
+  if (family == "ba") return make_barabasi_albert(14, 2, rng);
+  if (family == "ws") return make_watts_strogatz(14, 4, 0.3, rng);
+  if (family == "grid") return make_grid(3, 5);
+  if (family == "tree") return make_binary_tree(13);
+  if (family == "barbell") return make_barbell(4, 3);
+  if (family == "cycle") return make_cycle(14);
+  throw std::runtime_error("unknown family " + family);
+}
+
+struct Scenario {
+  bool faults = false;
+  bool reliable = false;
+  const char* label = "";
+};
+
+const Scenario kScenarios[] = {
+    {false, false, "clean"},
+    {false, true, "reliable"},
+    {true, false, "faulty"},
+    {true, true, "faulty+reliable"},
+};
+
+// Small but non-trivial walk load; the fault deadline bounds the lossy
+// runs (drop 0.25 without a reliable layer never converges the death
+// count, so termination comes from the deadline either way).
+DistributedRwbcOptions scenario_options(std::uint64_t seed, bool coalesce,
+                                        int threads,
+                                        const Scenario& scenario) {
+  DistributedRwbcOptions options;
+  options.walks_per_source = 4;
+  options.cutoff = 20;
+  options.coalesce_walks = coalesce;
+  options.congest.seed = seed;
+  options.congest.num_threads = threads;
+  if (scenario.faults) {
+    options.congest.faults.seed = seed ^ 0xfau;
+    options.congest.faults.drop_prob = 0.25;
+    options.congest.faults.dup_prob = 0.25;
+    options.fault_deadline_rounds = 300;
+  }
+  options.reliable_transport = scenario.reliable;
+  return options;
+}
+
+// Byte-level digest of a run's outputs: every score and visit double by
+// bit pattern, plus the headline metrics.  One number per run makes the
+// sweep's failure output readable; the EXPECT_EQs below give the detail.
+std::uint64_t run_digest(const DistributedRwbcResult& result) {
+  std::uint64_t d = 0x5eedULL;
+  const auto fold = [&d](std::uint64_t v) {
+    std::uint64_t state = d ^ v;
+    d = splitmix64(state);
+  };
+  for (double s : result.report.scores) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(s));
+    std::memcpy(&bits, &s, sizeof(bits));
+    fold(bits);
+  }
+  for (std::size_t r = 0; r < result.scaled_visits.rows(); ++r) {
+    for (std::size_t c = 0; c < result.scaled_visits.cols(); ++c) {
+      std::uint64_t bits;
+      const double v = result.scaled_visits(r, c);
+      std::memcpy(&bits, &v, sizeof(bits));
+      fold(bits);
+    }
+  }
+  fold(result.report.metrics.rounds);
+  fold(result.report.metrics.total_messages);
+  fold(result.report.metrics.total_bits);
+  fold(result.report.metrics.dropped_messages);
+  fold(result.report.metrics.retransmissions);
+  return d;
+}
+
+void expect_byte_identical(const DistributedRwbcResult& golden,
+                           const DistributedRwbcResult& got,
+                           const std::string& label) {
+  EXPECT_EQ(golden.target, got.target) << label;
+  EXPECT_EQ(golden.report.scores, got.report.scores) << label;
+  EXPECT_EQ(golden.scaled_visits, got.scaled_visits) << label;
+  EXPECT_EQ(golden.counting_metrics.rounds, got.counting_metrics.rounds)
+      << label;
+  EXPECT_EQ(golden.counting_metrics.total_messages,
+            got.counting_metrics.total_messages)
+      << label;
+  EXPECT_EQ(golden.counting_metrics.total_bits,
+            got.counting_metrics.total_bits)
+      << label;
+  EXPECT_EQ(golden.counting_metrics.max_bits_per_edge_round,
+            got.counting_metrics.max_bits_per_edge_round)
+      << label;
+  EXPECT_EQ(golden.report.metrics.rounds, got.report.metrics.rounds) << label;
+  EXPECT_EQ(golden.report.metrics.total_messages,
+            got.report.metrics.total_messages)
+      << label;
+  EXPECT_EQ(golden.report.metrics.total_bits, got.report.metrics.total_bits)
+      << label;
+  EXPECT_EQ(golden.report.metrics.dropped_messages,
+            got.report.metrics.dropped_messages)
+      << label;
+  EXPECT_EQ(golden.report.metrics.duplicated_messages,
+            got.report.metrics.duplicated_messages)
+      << label;
+  EXPECT_EQ(golden.report.metrics.retransmissions,
+            got.report.metrics.retransmissions)
+      << label;
+  EXPECT_EQ(run_digest(golden), run_digest(got)) << label;
+}
+
+using FamilySeed = std::tuple<const char*, std::uint64_t>;
+
+class CoalesceEquivalence : public ::testing::TestWithParam<FamilySeed> {};
+
+// The headline matrix at the paper's wpepr = 1: for every scenario the
+// legacy serial run is the golden, and the coalesced path must reproduce
+// it byte-identically at every thread count.
+TEST_P(CoalesceEquivalence, UnweightedMatchesLegacyByteForByte) {
+  const auto& [family, seed] = GetParam();
+  const Graph g = family_graph(family, seed);
+  for (const Scenario& scenario : kScenarios) {
+    const auto golden =
+        distributed_rwbc(g, scenario_options(seed, false, 0, scenario));
+    for (int threads : kThreadCounts) {
+      const auto got =
+          distributed_rwbc(g, scenario_options(seed, true, threads, scenario));
+      expect_byte_identical(golden, got,
+                            std::string(family) + " " + scenario.label +
+                                " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(CoalesceEquivalence, WeightedMatchesLegacyByteForByte) {
+  const auto& [family, seed] = GetParam();
+  Rng wrng(seed + 17);
+  const WeightedGraph wg =
+      randomly_weighted(family_graph(family, seed), 5, wrng);
+  for (const Scenario& scenario : kScenarios) {
+    const auto golden =
+        distributed_rwbc(wg, scenario_options(seed, false, 0, scenario));
+    for (int threads : kThreadCounts) {
+      const auto got = distributed_rwbc(
+          wg, scenario_options(seed, true, threads, scenario));
+      expect_byte_identical(golden, got,
+                            std::string(family) + " weighted " +
+                                scenario.label +
+                                " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoalesceEquivalence,
+    ::testing::Combine(::testing::Values("er", "ba", "ws", "grid", "tree",
+                                         "barbell", "cycle"),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const auto& suite_info) {
+      return std::string(std::get<0>(suite_info.param)) + "_s" +
+             std::to_string(std::get<1>(suite_info.param) & 0xffffffffULL);
+    });
+
+// wpepr > 1: the batch encoder's canonical (source, remaining) sort means
+// tokens sharing an edge arrive in sorted order rather than the legacy
+// winner order, so the commit draws land on a different (equally uniform)
+// walk schedule — the two paths are DISTRIBUTIONALLY equivalent, not
+// bitwise.  The checkable contract: the coalesced path moves the same
+// walk population (both estimators agree within sampling noise) for
+// strictly fewer messages and bits.  Bitwise determinism at wpepr > 1 is
+// pinned against the coalesced path's own serial golden below.
+TEST(CoalesceMultiToken, AgreesStatisticallyWithStrictlyFewerMessages) {
+  Rng rng(21 ^ 0x9e3779b97f4a7c15ULL);
+  const Graph g = make_erdos_renyi(14, 0.3, rng);
+  auto run_with = [&](bool coalesce) {
+    DistributedRwbcOptions options;
+    options.walks_per_source = 1024;  // sampling noise ~ 1/sqrt(K)
+    options.cutoff = 48;
+    options.walks_per_edge_per_round = 8;
+    options.congest.bit_floor = 128;  // fits an 8-token batch either way
+    options.coalesce_walks = coalesce;
+    options.congest.seed = 21;
+    return distributed_rwbc(g, options);
+  };
+  const auto legacy = run_with(false);
+  const auto coalesced = run_with(true);
+  ASSERT_EQ(legacy.report.scores.size(), coalesced.report.scores.size());
+  for (std::size_t v = 0; v < legacy.report.scores.size(); ++v) {
+    const double a = legacy.report.scores[v];
+    const double b = coalesced.report.scores[v];
+    EXPECT_NEAR(a, b, 0.2 * std::max(a, b)) << "node " << v;
+  }
+  EXPECT_LT(coalesced.counting_metrics.total_messages,
+            legacy.counting_metrics.total_messages);
+  EXPECT_LT(coalesced.counting_metrics.total_bits,
+            legacy.counting_metrics.total_bits);
+}
+
+// The multi-token batch wire under the full adversarial stack: coalesced
+// wpepr = 8 with drops, duplications, and the reliable transport must
+// stay bit-identical across thread counts (its own serial run is the
+// golden here — there is no legacy twin at wpepr > 1 under faults).
+TEST(CoalesceMultiToken, FaultyReliableBatchesBitIdenticalAcrossThreads) {
+  Rng rng(22 ^ 0x9e3779b97f4a7c15ULL);
+  const Graph g = make_watts_strogatz(14, 4, 0.3, rng);
+  auto run_with = [&](int threads) {
+    DistributedRwbcOptions options;
+    options.walks_per_source = 8;
+    options.cutoff = 20;
+    options.walks_per_edge_per_round = 8;
+    options.congest.bit_floor = 128;
+    options.congest.seed = 22;
+    options.congest.num_threads = threads;
+    options.congest.faults.seed = 220;
+    options.congest.faults.drop_prob = 0.25;
+    options.congest.faults.dup_prob = 0.25;
+    options.fault_deadline_rounds = 300;
+    options.reliable_transport = true;
+    return distributed_rwbc(g, options);
+  };
+  const auto golden = run_with(0);
+  EXPECT_GT(golden.report.metrics.dropped_messages, 0u);
+  EXPECT_GT(golden.report.metrics.retransmissions, 0u);
+  for (int threads : kThreadCounts) {
+    expect_byte_identical(golden, run_with(threads),
+                          "wpepr=8 faulty+reliable threads=" +
+                              std::to_string(threads));
+  }
+}
+
+// --- Property: payload bytes are a pure function of the token multiset --
+//
+// WalkBatchWire::encode sorts by (source, remaining) before writing, so no
+// ordering the sender's pool happens to be in can leak into the wire.
+TEST(CoalesceProperty, ShuffledPoolOrderNeverChangesPayloadBytes) {
+  const NodeId n = 50'000;
+  const std::uint64_t cutoff = 34;
+  const std::uint64_t wpepr = 8;
+  const WalkBatchWire wire(n, cutoff, wpepr);
+  Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t count =
+        1 + static_cast<std::size_t>(rng.next_below(wpepr));
+    std::vector<WalkToken> batch;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Skewed sources exercise both delta and fixed id modes; duplicate
+      // (source, remaining) pairs are legal and must stay canonical.
+      const NodeId source =
+          rng.next_below(2) == 0
+              ? static_cast<NodeId>(rng.next_below(64))
+              : static_cast<NodeId>(rng.next_below(n));
+      batch.push_back(
+          WalkToken{source, 1 + rng.next_below(cutoff)});
+    }
+    BitWriter golden;
+    {
+      std::vector<WalkToken> copy = batch;
+      wire.encode(golden, copy);
+    }
+    for (int shuffle = 0; shuffle < 8; ++shuffle) {
+      std::vector<WalkToken> copy = batch;
+      for (std::size_t i = copy.size(); i > 1; --i) {
+        std::swap(copy[i - 1], copy[rng.next_below(i)]);
+      }
+      BitWriter w;
+      wire.encode(w, copy);
+      ASSERT_EQ(w.bit_count(), golden.bit_count())
+          << "trial " << trial << " shuffle " << shuffle;
+      ASSERT_EQ(w.bytes(), golden.bytes())
+          << "trial " << trial << " shuffle " << shuffle;
+    }
+  }
+}
+
+// --- Property: per-thread reduction equals serial accumulation ----------
+//
+// The parallel scheduler accumulates per-context tallies and per-thread
+// partial metrics, then reduces in canonical node-id order.  Running the
+// coalesced counting phase at every thread count must therefore reproduce
+// the serial visit counts EXACTLY (double ==), not just statistically.
+TEST(CoalesceProperty, ParallelReductionEqualsSerialAccumulation) {
+  const Graph g = make_grid(4, 4);
+  auto run_with = [&](int threads) {
+    DistributedRwbcOptions options;
+    options.walks_per_source = 16;
+    options.cutoff = 24;
+    options.walks_per_edge_per_round = 8;
+    options.congest.bit_floor = 128;
+    options.congest.seed = 23;
+    options.congest.num_threads = threads;
+    return distributed_rwbc(g, options);
+  };
+  const auto serial = run_with(0);
+  for (int threads : kThreadCounts) {
+    const auto pooled = run_with(threads);
+    EXPECT_EQ(serial.report.scores, pooled.report.scores)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.scaled_visits, pooled.scaled_visits)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.report.metrics.total_bits, pooled.report.metrics.total_bits)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -33,7 +33,7 @@ TEST(DistributedAlphaCfb, BetweennessMatchesExactAlphaCfb) {
   options.congest.bit_floor = 128;
   const auto result = distributed_alpha_cfb(g, options);
   const auto exact = alpha_current_flow_betweenness(g, 0.8);
-  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.08);
+  EXPECT_LT(max_relative_error(exact, result.report.scores), 0.08);
 }
 
 TEST(DistributedAlphaCfb, RoundsStayLogarithmicUnlikeRwbc) {
@@ -86,7 +86,7 @@ TEST(DistributedAlphaCfb, RespectsCongestBudget) {
   options.congest.seed = 5;
   const auto result = distributed_alpha_cfb(g, options);
   Network probe(g, options.congest);
-  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+  EXPECT_LE(result.report.metrics.max_bits_per_edge_round, probe.bit_budget());
 }
 
 TEST(DistributedAlphaCfb, DeterministicUnderSeed) {
@@ -98,8 +98,8 @@ TEST(DistributedAlphaCfb, DeterministicUnderSeed) {
   options.congest.bit_floor = 64;
   const auto a = distributed_alpha_cfb(g, options);
   const auto b = distributed_alpha_cfb(g, options);
-  EXPECT_EQ(a.betweenness, b.betweenness);
-  EXPECT_EQ(a.total.rounds, b.total.rounds);
+  EXPECT_EQ(a.report.scores, b.report.scores);
+  EXPECT_EQ(a.report.metrics.rounds, b.report.metrics.rounds);
 }
 
 TEST(DistributedAlphaCfb, RejectsBadInputs) {

@@ -20,7 +20,7 @@ TEST(DistributedPagerank, ConvergesToPowerIteration) {
   options.congest.seed = 1;
   const auto result = distributed_pagerank(g, options);
   const auto power = pagerank_power(g);
-  EXPECT_LT(max_relative_error(power, result.pagerank), 0.05);
+  EXPECT_LT(max_relative_error(power, result.report.scores), 0.05);
 }
 
 TEST(DistributedPagerank, EstimatesSumToOne) {
@@ -30,7 +30,7 @@ TEST(DistributedPagerank, EstimatesSumToOne) {
   options.walks_per_node = 500;
   options.congest.seed = 2;
   const auto result = distributed_pagerank(g, options);
-  EXPECT_NEAR(std::accumulate(result.pagerank.begin(), result.pagerank.end(),
+  EXPECT_NEAR(std::accumulate(result.report.scores.begin(), result.report.scores.end(),
                               0.0),
               1.0, 1e-12);
 }
@@ -43,8 +43,8 @@ TEST(DistributedPagerank, FinishesInLogarithmicallyManyRounds) {
   options.walks_per_node = 32;
   options.congest.seed = 3;
   const auto result = distributed_pagerank(g, options);
-  EXPECT_LT(result.metrics.rounds, 300u);
-  EXPECT_GT(result.metrics.rounds, 5u);
+  EXPECT_LT(result.report.metrics.rounds, 300u);
+  EXPECT_GT(result.report.metrics.rounds, 5u);
 }
 
 TEST(DistributedPagerank, TokenCompressionKeepsBudget) {
@@ -56,7 +56,7 @@ TEST(DistributedPagerank, TokenCompressionKeepsBudget) {
   options.congest.seed = 4;
   const auto result = distributed_pagerank(g, options);
   Network probe(g, options.congest);
-  EXPECT_LE(result.metrics.max_bits_per_edge_round, probe.bit_budget());
+  EXPECT_LE(result.report.metrics.max_bits_per_edge_round, probe.bit_budget());
 }
 
 TEST(DistributedPagerank, DeterministicUnderSeed) {
@@ -66,8 +66,8 @@ TEST(DistributedPagerank, DeterministicUnderSeed) {
   options.congest.seed = 5;
   const auto a = distributed_pagerank(g, options);
   const auto b = distributed_pagerank(g, options);
-  EXPECT_EQ(a.pagerank, b.pagerank);
-  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.report.scores, b.report.scores);
+  EXPECT_EQ(a.report.metrics.rounds, b.report.metrics.rounds);
 }
 
 TEST(DistributedPagerank, RejectsBadInputs) {

@@ -28,7 +28,7 @@ TEST(DistributedRwbc, MatchesExactOnCompleteGraph) {
   const Graph g = make_complete(5);
   const auto result = distributed_rwbc(g, accurate_options(1));
   const auto exact = current_flow_betweenness(g);
-  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.05);
+  EXPECT_LT(max_relative_error(exact, result.report.scores), 0.05);
 }
 
 TEST(DistributedRwbc, MatchesExactOnPath) {
@@ -37,17 +37,17 @@ TEST(DistributedRwbc, MatchesExactOnPath) {
   options.cutoff = 800;  // slow mixing on paths
   const auto result = distributed_rwbc(g, options);
   const auto exact = current_flow_betweenness(g);
-  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.08);
+  EXPECT_LT(max_relative_error(exact, result.report.scores), 0.08);
 }
 
 TEST(DistributedRwbc, MatchesExactOnFig1Graph) {
   const Fig1Layout layout = make_fig1_graph(3);
   const auto result = distributed_rwbc(layout.graph, accurate_options(3));
   const auto exact = current_flow_betweenness(layout.graph);
-  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.08);
+  EXPECT_LT(max_relative_error(exact, result.report.scores), 0.08);
   // Clique members have near-tied exact scores, so sampling noise flips
   // some of those pairs; 0.7 still rules out any structural disagreement.
-  EXPECT_GT(kendall_tau(exact, result.betweenness), 0.70);
+  EXPECT_GT(kendall_tau(exact, result.report.scores), 0.70);
 }
 
 TEST(DistributedRwbc, ScaledVisitsMatchExactPotentials) {
@@ -77,8 +77,8 @@ TEST(DistributedRwbc, RespectsCongestBandwidth) {
   options.congest.seed = 6;
   const auto result = distributed_rwbc(g, options);
   Network probe(g, options.congest);  // for the budget value
-  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
-  EXPECT_GT(result.total.max_bits_per_edge_round, 0u);
+  EXPECT_LE(result.report.metrics.max_bits_per_edge_round, probe.bit_budget());
+  EXPECT_GT(result.report.metrics.max_bits_per_edge_round, 0u);
 }
 
 TEST(DistributedRwbc, DeterministicUnderSeed) {
@@ -90,8 +90,8 @@ TEST(DistributedRwbc, DeterministicUnderSeed) {
   const auto a = distributed_rwbc(g, options);
   const auto b = distributed_rwbc(g, options);
   EXPECT_EQ(a.target, b.target);
-  EXPECT_EQ(a.total.rounds, b.total.rounds);
-  EXPECT_EQ(a.betweenness, b.betweenness);
+  EXPECT_EQ(a.report.metrics.rounds, b.report.metrics.rounds);
+  EXPECT_EQ(a.report.scores, b.report.scores);
 }
 
 TEST(DistributedRwbc, PhaseMetricsSumToTotal) {
@@ -101,7 +101,7 @@ TEST(DistributedRwbc, PhaseMetricsSumToTotal) {
   options.cutoff = 40;
   options.congest.seed = 8;
   const auto r = distributed_rwbc(g, options);
-  EXPECT_EQ(r.total.rounds,
+  EXPECT_EQ(r.report.metrics.rounds,
             r.election_metrics.rounds + r.bfs_metrics.rounds +
                 r.dissemination_metrics.rounds + r.counting_metrics.rounds +
                 r.computing_metrics.rounds);
@@ -135,7 +135,7 @@ TEST(DistributedRwbc, TargetChoiceDoesNotBiasScores) {
   b.forced_target = 4;
   const auto ra = distributed_rwbc(g, a);
   const auto rb = distributed_rwbc(g, b);
-  EXPECT_LT(max_relative_error(ra.betweenness, rb.betweenness), 0.08);
+  EXPECT_LT(max_relative_error(ra.report.scores, rb.report.scores), 0.08);
 }
 
 TEST(DistributedRwbc, ScoreFreeModeSkipsScoresButCountsRounds) {
@@ -146,7 +146,7 @@ TEST(DistributedRwbc, ScoreFreeModeSkipsScoresButCountsRounds) {
   options.compute_scores = false;
   options.congest.seed = 12;
   const auto result = distributed_rwbc(g, options);
-  EXPECT_TRUE(result.betweenness.empty());
+  EXPECT_TRUE(result.report.scores.empty());
   // Algorithm 2's n+2 message rounds still happen.
   EXPECT_GE(result.computing_metrics.rounds,
             static_cast<std::uint64_t>(g.node_count()));
@@ -160,8 +160,8 @@ TEST(DistributedRwbc, SkippingElectionSavesRoundsAndKeepsScores) {
   const auto rw = distributed_rwbc(g, with);
   const auto ro = distributed_rwbc(g, without);
   EXPECT_EQ(ro.election_metrics.rounds, 0u);
-  EXPECT_LT(ro.total.rounds, rw.total.rounds);
-  EXPECT_LT(max_relative_error(rw.betweenness, ro.betweenness), 0.08);
+  EXPECT_LT(ro.report.metrics.rounds, rw.report.metrics.rounds);
+  EXPECT_LT(max_relative_error(rw.report.scores, ro.report.scores), 0.08);
 }
 
 TEST(DistributedRwbc, DefaultParamsFollowTheTheorems) {
@@ -184,7 +184,7 @@ TEST(DistributedRwbc, BatchedComputePhaseGivesIdenticalScores) {
   batched.counts_per_message = 0;  // auto-fit
   const auto r1 = distributed_rwbc(g, one);
   const auto rb = distributed_rwbc(g, batched);
-  EXPECT_EQ(r1.betweenness, rb.betweenness);  // same walks, same scores
+  EXPECT_EQ(r1.report.scores, rb.report.scores);  // same walks, same scores
   EXPECT_LT(rb.computing_metrics.rounds, r1.computing_metrics.rounds);
 }
 
@@ -199,7 +199,7 @@ TEST(DistributedRwbc, PerRoundPolicyRunsEndToEnd) {
   EXPECT_LE(r.counting_metrics.rounds, 60u + 30u);
   const auto exact = current_flow_betweenness(g);
   // Cycle with low congestion: per-round spending still lands close.
-  EXPECT_LT(max_relative_error(exact, r.betweenness), 0.5);
+  EXPECT_LT(max_relative_error(exact, r.report.scores), 0.5);
 }
 
 TEST(DistributedRwbc, RejectsBadInputs) {

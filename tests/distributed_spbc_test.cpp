@@ -44,7 +44,7 @@ TEST_P(SpbcFamily, MatchesBrandesExactly) {
   const auto distributed = distributed_spbc(g, test_options(1));
   const auto exact = brandes_betweenness(g);
   for (std::size_t v = 0; v < exact.size(); ++v) {
-    EXPECT_NEAR(distributed.betweenness[v], exact[v], 1e-5)
+    EXPECT_NEAR(distributed.report.scores[v], exact[v], 1e-5)
         << "family " << GetParam() << " node " << v;
   }
 }
@@ -58,7 +58,7 @@ INSTANTIATE_TEST_SUITE_P(Families, SpbcFamily,
 TEST(DistributedSpbc, Fig1NodeCScoresZero) {
   const Fig1Layout layout = make_fig1_graph(4);
   const auto result = distributed_spbc(layout.graph, test_options(2));
-  EXPECT_NEAR(result.betweenness[static_cast<std::size_t>(layout.c)], 0.0,
+  EXPECT_NEAR(result.report.scores[static_cast<std::size_t>(layout.c)], 0.0,
               1e-9);
 }
 
@@ -71,7 +71,7 @@ TEST(DistributedSpbc, UnnormalizedMatchesBrandesRawCounts) {
   raw.normalized = false;
   const auto exact = brandes_betweenness(g, raw);
   for (std::size_t v = 0; v < exact.size(); ++v) {
-    EXPECT_NEAR(distributed.betweenness[v], exact[v], 1e-4);
+    EXPECT_NEAR(distributed.report.scores[v], exact[v], 1e-4);
   }
 }
 
@@ -83,7 +83,7 @@ TEST(DistributedSpbc, RoundsGrowNearLinearly) {
     const Graph g = make_erdos_renyi(n, 4.0 / static_cast<double>(n), rng);
     const auto result = distributed_spbc(g, test_options(4));
     ns.push_back(static_cast<double>(n));
-    rounds.push_back(static_cast<double>(result.total.rounds));
+    rounds.push_back(static_cast<double>(result.report.metrics.rounds));
   }
   const PowerFit fit = fit_power(ns, rounds);
   EXPECT_GT(fit.exponent, 0.5);
@@ -96,7 +96,7 @@ TEST(DistributedSpbc, RespectsCongestBudget) {
   const DistributedSpbcOptions options = test_options(5);
   const auto result = distributed_spbc(g, options);
   Network probe(g, options.congest);
-  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+  EXPECT_LE(result.report.metrics.max_bits_per_edge_round, probe.bit_budget());
 }
 
 TEST(DistributedSpbc, DeterministicAndSeedInvariant) {
@@ -105,8 +105,8 @@ TEST(DistributedSpbc, DeterministicAndSeedInvariant) {
   const Graph g = make_grid(3, 3);
   const auto a = distributed_spbc(g, test_options(10));
   const auto b = distributed_spbc(g, test_options(11));
-  EXPECT_EQ(a.betweenness, b.betweenness);
-  EXPECT_EQ(a.total.rounds, b.total.rounds);
+  EXPECT_EQ(a.report.scores, b.report.scores);
+  EXPECT_EQ(a.report.metrics.rounds, b.report.metrics.rounds);
 }
 
 TEST(DistributedSpbc, RejectsBadInputs) {

@@ -132,16 +132,16 @@ TEST(FaultGolden, DefaultPlanIsBitIdenticalToSeedBuild) {
   options.congest.faults.seed = 12345;
   const auto r = distributed_rwbc(g, options);
   EXPECT_EQ(r.target, 11);
-  EXPECT_EQ(r.total.rounds, 164u);
-  EXPECT_EQ(r.total.total_messages, 4550u);
-  EXPECT_EQ(r.total.total_bits, 44614u);
-  EXPECT_EQ(hash_vec(r.betweenness), 0x5fce439209a592dcULL);
-  EXPECT_EQ(double_bits(r.betweenness[0]), 0x3fdbb6db6db6db6eULL);
-  EXPECT_EQ(double_bits(r.betweenness[7]), 0x3fd42df2df2df2dfULL);
-  EXPECT_EQ(r.total.dropped_messages, 0u);
-  EXPECT_EQ(r.total.duplicated_messages, 0u);
-  EXPECT_EQ(r.total.crashed_nodes, 0u);
-  EXPECT_EQ(r.total.retransmissions, 0u);
+  EXPECT_EQ(r.report.metrics.rounds, 164u);
+  EXPECT_EQ(r.report.metrics.total_messages, 4550u);
+  EXPECT_EQ(r.report.metrics.total_bits, 44614u);
+  EXPECT_EQ(hash_vec(r.report.scores), 0x5fce439209a592dcULL);
+  EXPECT_EQ(double_bits(r.report.scores[0]), 0x3fdbb6db6db6db6eULL);
+  EXPECT_EQ(double_bits(r.report.scores[7]), 0x3fd42df2df2df2dfULL);
+  EXPECT_EQ(r.report.metrics.dropped_messages, 0u);
+  EXPECT_EQ(r.report.metrics.duplicated_messages, 0u);
+  EXPECT_EQ(r.report.metrics.crashed_nodes, 0u);
+  EXPECT_EQ(r.report.metrics.retransmissions, 0u);
 }
 
 TEST(FaultGolden, DefaultPlanBarbellMatchesSeedBuild) {
@@ -150,10 +150,10 @@ TEST(FaultGolden, DefaultPlanBarbellMatchesSeedBuild) {
   options.congest.seed = 11;
   const auto r = distributed_rwbc(g, options);
   EXPECT_EQ(r.target, 11);
-  EXPECT_EQ(r.total.rounds, 191u);
-  EXPECT_EQ(r.total.total_messages, 3566u);
-  EXPECT_EQ(r.total.total_bits, 34556u);
-  EXPECT_EQ(hash_vec(r.betweenness), 0x8a47a717bf00e5aeULL);
+  EXPECT_EQ(r.report.metrics.rounds, 191u);
+  EXPECT_EQ(r.report.metrics.total_messages, 3566u);
+  EXPECT_EQ(r.report.metrics.total_bits, 34556u);
+  EXPECT_EQ(hash_vec(r.report.scores), 0x8a47a717bf00e5aeULL);
 }
 
 // --- 2./3. Coupled Bernoulli faults --------------------------------------
@@ -314,15 +314,15 @@ TEST(FaultInjection, FaultyPipelineIsThreadCountInvariant) {
     return distributed_rwbc(g, options);
   };
   const auto golden = run_with(0);
-  EXPECT_GT(golden.total.dropped_messages, 0u);
-  EXPECT_GT(golden.total.retransmissions, 0u);
+  EXPECT_GT(golden.report.metrics.dropped_messages, 0u);
+  EXPECT_GT(golden.report.metrics.retransmissions, 0u);
   for (const int threads : {2, -1}) {
     const auto got = run_with(threads);
-    EXPECT_EQ(golden.betweenness, got.betweenness) << "threads=" << threads;
-    EXPECT_EQ(golden.total.rounds, got.total.rounds) << "threads=" << threads;
-    EXPECT_EQ(golden.total.dropped_messages, got.total.dropped_messages)
+    EXPECT_EQ(golden.report.scores, got.report.scores) << "threads=" << threads;
+    EXPECT_EQ(golden.report.metrics.rounds, got.report.metrics.rounds) << "threads=" << threads;
+    EXPECT_EQ(golden.report.metrics.dropped_messages, got.report.metrics.dropped_messages)
         << "threads=" << threads;
-    EXPECT_EQ(golden.total.retransmissions, got.total.retransmissions)
+    EXPECT_EQ(golden.report.metrics.retransmissions, got.report.metrics.retransmissions)
         << "threads=" << threads;
   }
 }
@@ -360,15 +360,15 @@ TEST(SelfHealing, BeatsBaselineAccuracyUnderDrops) {
   };
   const auto baseline = run_with(false);
   const auto healed = run_with(true);
-  EXPECT_LT(mean_abs_error(healed.betweenness),
-            mean_abs_error(baseline.betweenness));
+  EXPECT_LT(mean_abs_error(healed.report.scores),
+            mean_abs_error(baseline.report.scores));
   // The baseline loses walks for good, so its death-count termination
   // stalls until the deadline backstop; the reliable run recovers every
   // token and terminates organically, well short of it.
   EXPECT_GE(baseline.counting_metrics.rounds, 8000u);
-  EXPECT_LT(healed.total.rounds, 7000u);
-  EXPECT_GT(healed.total.retransmissions, 0u);
-  EXPECT_EQ(baseline.total.retransmissions, 0u);
+  EXPECT_LT(healed.report.metrics.rounds, 7000u);
+  EXPECT_GT(healed.report.metrics.retransmissions, 0u);
+  EXPECT_EQ(baseline.report.metrics.retransmissions, 0u);
 }
 
 // --- 8. The give-up path under combined high drop + dup rates ------------
@@ -557,9 +557,9 @@ TEST(WeightedPipeline, DefaultPlanMatchesDirectWeightedRun) {
   direct.congest.seed = spec.seed;
   direct.congest.bit_floor = spec.bit_floor;
   const auto golden = distributed_rwbc(wg, direct);
-  EXPECT_EQ(hash_vec(report.scores), hash_vec(golden.betweenness));
-  EXPECT_EQ(report.rounds, golden.total.rounds);
-  EXPECT_EQ(report.bits, golden.total.total_bits);
+  EXPECT_EQ(hash_vec(report.scores), hash_vec(golden.report.scores));
+  EXPECT_EQ(report.rounds, golden.report.metrics.rounds);
+  EXPECT_EQ(report.bits, golden.report.metrics.total_bits);
   EXPECT_EQ(report.metrics.dropped_messages, 0u);
   EXPECT_EQ(report.metrics.duplicated_messages, 0u);
 }

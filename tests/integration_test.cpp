@@ -45,14 +45,14 @@ TEST_P(FamilyIntegration, DistributedTracksExact) {
   options.congest.bit_floor = 128;  // K beyond Theorem 3 needs wider counts
   const auto distributed = distributed_rwbc(g, options);
   const auto exact = current_flow_betweenness(g);
-  EXPECT_LT(max_relative_error(exact, distributed.betweenness), 0.12)
+  EXPECT_LT(max_relative_error(exact, distributed.report.scores), 0.12)
       << "family " << GetParam();
   // Rank agreement is only meaningful on families with genuinely distinct
   // scores; vertex-transitive graphs (cycle, star leaves, cliques) have
   // exact ties whose noisy tie-breaks make tau ~ 0 by construction.
   const std::string family = GetParam();
   if (family == "er" || family == "ba" || family == "grid") {
-    EXPECT_GT(kendall_tau(exact, distributed.betweenness), 0.8)
+    EXPECT_GT(kendall_tau(exact, distributed.report.scores), 0.8)
         << "family " << GetParam();
   }
 }
@@ -88,7 +88,7 @@ TEST_P(FamilyIntegration, CongestComplianceAcrossFamilies) {
   options.congest.seed = 7;
   const auto result = distributed_rwbc(g, options);
   Network probe(g, options.congest);
-  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget())
+  EXPECT_LE(result.report.metrics.max_bits_per_edge_round, probe.bit_budget())
       << "family " << GetParam();
 }
 
@@ -112,7 +112,7 @@ TEST(Integration, Fig1StoryHoldsEndToEnd) {
   const auto c = static_cast<std::size_t>(layout.c);
   const double floor =
       2.0 / static_cast<double>(layout.graph.node_count());
-  EXPECT_GT(result.betweenness[c], 1.4 * floor);
+  EXPECT_GT(result.report.scores[c], 1.4 * floor);
 }
 
 TEST(Integration, DistributedAndCentralizedMcAgreeStatistically) {
@@ -137,7 +137,7 @@ TEST(Integration, DistributedAndCentralizedMcAgreeStatistically) {
   c_options.seed = 12;
   const auto centralized = current_flow_betweenness_mc(g, c_options);
 
-  const double err_d = max_relative_error(exact, distributed.betweenness);
+  const double err_d = max_relative_error(exact, distributed.report.scores);
   const double err_c = max_relative_error(exact, centralized.betweenness);
   EXPECT_LT(err_d, 0.1);
   EXPECT_LT(err_c, 0.1);
@@ -161,7 +161,7 @@ TEST(Integration, RoundsOrderingMatchesTheComplexityStory) {
   GatherExactOptions gather_options;
   gather_options.run_leader_election = false;
   const auto gather = gather_exact_rwbc(g, gather_options);
-  EXPECT_LT(approx.total.rounds, gather.total.rounds);
+  EXPECT_LT(approx.report.metrics.rounds, gather.total.rounds);
 }
 
 }  // namespace

@@ -116,9 +116,9 @@ void expect_runs_identical(const PipelineRun& golden, const PipelineRun& got,
             got.result.params.walks_per_source)
       << label;
   // Bit-identical outputs: exact double equality, no tolerance.
-  EXPECT_EQ(golden.result.betweenness, got.result.betweenness) << label;
+  EXPECT_EQ(golden.result.report.scores, got.result.report.scores) << label;
   EXPECT_EQ(golden.result.scaled_visits, got.result.scaled_visits) << label;
-  expect_metrics_identical(golden.result.total, got.result.total,
+  expect_metrics_identical(golden.result.report.metrics, got.result.report.metrics,
                            label + " total");
   expect_metrics_identical(golden.result.election_metrics,
                            got.result.election_metrics, label + " election");
@@ -205,9 +205,9 @@ TEST(ParallelFaultEquivalence, FaultyPipelineIsBitIdentical) {
   Rng rng(9 ^ 0x9e3779b97f4a7c15ULL);
   const Graph g = make_erdos_renyi(14, 0.3, rng);
   const PipelineRun golden = run_faulty_rwbc(g, 0);
-  EXPECT_GT(golden.result.total.dropped_messages, 0u);
-  EXPECT_GT(golden.result.total.retransmissions, 0u);
-  EXPECT_GE(golden.result.total.crashed_nodes, 1u);
+  EXPECT_GT(golden.result.report.metrics.dropped_messages, 0u);
+  EXPECT_GT(golden.result.report.metrics.retransmissions, 0u);
+  EXPECT_GE(golden.result.report.metrics.crashed_nodes, 1u);
   for (int threads : kThreadCounts) {
     const PipelineRun got = run_faulty_rwbc(g, threads);
     expect_runs_identical(golden, got,
@@ -228,8 +228,8 @@ TEST(ParallelProtocolEquivalence, DistributedSpbc) {
   for (int threads : kThreadCounts) {
     options.congest.num_threads = threads;
     const auto got = distributed_spbc(g, options);
-    EXPECT_EQ(golden.betweenness, got.betweenness);
-    expect_metrics_identical(golden.total, got.total,
+    EXPECT_EQ(golden.report.scores, got.report.scores);
+    expect_metrics_identical(golden.report.metrics, got.report.metrics,
                              "spbc threads=" + std::to_string(threads));
   }
 }
@@ -243,8 +243,8 @@ TEST(ParallelProtocolEquivalence, DistributedPagerank) {
   for (int threads : kThreadCounts) {
     options.congest.num_threads = threads;
     const auto got = distributed_pagerank(g, options);
-    EXPECT_EQ(golden.pagerank, got.pagerank);
-    expect_metrics_identical(golden.metrics, got.metrics,
+    EXPECT_EQ(golden.report.scores, got.report.scores);
+    expect_metrics_identical(golden.report.metrics, got.report.metrics,
                              "pagerank threads=" + std::to_string(threads));
   }
 }
@@ -258,10 +258,10 @@ TEST(ParallelProtocolEquivalence, DistributedAlphaCfb) {
   for (int threads : kThreadCounts) {
     options.congest.num_threads = threads;
     const auto got = distributed_alpha_cfb(g, options);
-    EXPECT_EQ(golden.betweenness, got.betweenness);
+    EXPECT_EQ(golden.report.scores, got.report.scores);
     EXPECT_EQ(golden.scaled_visits, got.scaled_visits);
     EXPECT_EQ(golden.capped_walks, got.capped_walks);
-    expect_metrics_identical(golden.total, got.total,
+    expect_metrics_identical(golden.report.metrics, got.report.metrics,
                              "alpha threads=" + std::to_string(threads));
   }
 }
@@ -279,7 +279,7 @@ TEST(ParallelProtocolEquivalence, SarmaWalk) {
     EXPECT_EQ(golden.destination, got.destination);
     EXPECT_EQ(golden.stitches, got.stitches);
     EXPECT_EQ(golden.direct_steps, got.direct_steps);
-    expect_metrics_identical(golden.total, got.total,
+    expect_metrics_identical(golden.report.metrics, got.report.metrics,
                              "sarma threads=" + std::to_string(threads));
   }
 }
@@ -296,12 +296,12 @@ TEST(ParallelProtocolEquivalence, CutMeteringMatchesSerial) {
     return distributed_rwbc(g, options);
   };
   const auto golden = run_with(0);
-  EXPECT_GT(golden.total.cut_messages, 0u);
+  EXPECT_GT(golden.report.metrics.cut_messages, 0u);
   for (int threads : kThreadCounts) {
     const auto got = run_with(threads);
-    EXPECT_EQ(golden.total.cut_bits, got.total.cut_bits);
-    EXPECT_EQ(golden.total.cut_messages, got.total.cut_messages);
-    EXPECT_EQ(golden.betweenness, got.betweenness);
+    EXPECT_EQ(golden.report.metrics.cut_bits, got.report.metrics.cut_bits);
+    EXPECT_EQ(golden.report.metrics.cut_messages, got.report.metrics.cut_messages);
+    EXPECT_EQ(golden.report.scores, got.report.scores);
   }
 }
 

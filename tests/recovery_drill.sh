@@ -7,6 +7,9 @@
 #   2. drop+dup fault plan with the self-healing transport
 #   3. newest snapshot truncated by hand -> supervisor falls back to the
 #      previous good one, output still golden
+#   4. coalesced multi-token batches (--walks-per-edge 8) under faults with
+#      the reliable transport: SIGKILL lands mid-counting while walk pools
+#      and retransmission windows still hold packed batch payloads
 #
 # Usage: recovery_drill.sh <path-to-rwbc_cli>
 # RWBC_DRILL_DIR: when set, scratch space lives there and is kept on
@@ -100,6 +103,16 @@ if [ -d "$DIR" ]; then
     fail "fallback: expected >= 2 snapshots in rotation, found $count"
   fi
 fi
+
+# Scenario 4: the coalesced hot path (8 walk tokens per edge per round)
+# with drops + duplication healed by the reliable transport.  The kill
+# round sits mid counting phase, so the sealed snapshot carries SoA walk
+# pools and packed multi-token batch payloads parked in retransmission
+# windows; the resume (at one thread per core) must replay those batches
+# bit-identically.  tests/checkpoint_test.cpp (CoalescedCheckpointResume)
+# asserts the same shape in-process with phase-exact kill placement.
+drill coalesced 90 -1 --walks-per-edge 8 \
+  --drop-prob 0.05 --dup-prob 0.05 --fault-seed 321 --reliable
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES recovery drill(s) failed (scratch kept at $WORK)" >&2

@@ -1,0 +1,138 @@
+// The unified RunReport API (rwbc/report.hpp).
+//
+// PR 5 introduced RunReport as the one result surface every pipeline
+// publishes; this PR deletes the deprecated per-result aliases
+// (`betweenness`, `total`, `pagerank`, `metrics`).  This suite is the
+// compile-coverage backstop for that removal: it reads EVERY RunReport
+// accessor through each of the five pipelines, so a future rename or
+// removal of an accessor breaks here first, not in a downstream consumer.
+// The cross-checks (rounds/bits mirror metrics, seed echoes the config,
+// resumed_from_round is the fresh-run sentinel) pin the make_run_report
+// contract itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "rwbc/distributed_alpha_cfb.hpp"
+#include "rwbc/distributed_pagerank.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+#include "rwbc/distributed_spbc.hpp"
+#include "rwbc/report.hpp"
+#include "rwbc/sarma_walk.hpp"
+
+namespace rwbc {
+namespace {
+
+// Touches every field of a report and checks the invariants shared by all
+// pipelines.  `expect_scores` distinguishes score-producing pipelines from
+// the Sarma walk (destination only).
+void check_report(const RunReport& report, const std::string& algorithm,
+                  std::uint64_t seed, std::size_t n, bool expect_scores) {
+  EXPECT_EQ(report.algorithm, algorithm);
+  if (expect_scores) {
+    EXPECT_EQ(report.scores.size(), n);
+  } else {
+    EXPECT_TRUE(report.scores.empty());
+  }
+  EXPECT_GT(report.metrics.rounds, 0u);
+  EXPECT_GT(report.metrics.total_messages, 0u);
+  EXPECT_GT(report.metrics.total_bits, 0u);
+  EXPECT_EQ(report.rounds, report.metrics.rounds);
+  EXPECT_EQ(report.bits, report.metrics.total_bits);
+  EXPECT_EQ(report.seed, seed);
+  EXPECT_EQ(report.resumed_from_round, -1);
+}
+
+TEST(RunReportCoverage, Rwbc) {
+  const Graph g = make_complete(5);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 8;
+  options.cutoff = 20;
+  options.congest.seed = 11;
+  const auto result = distributed_rwbc(g, options);
+  check_report(result.report, "rwbc", 11, 5, /*expect_scores=*/true);
+  // The per-phase metrics stay on the result; the report totals them.
+  EXPECT_EQ(result.report.metrics.rounds,
+            result.election_metrics.rounds + result.bfs_metrics.rounds +
+                result.dissemination_metrics.rounds +
+                result.counting_metrics.rounds +
+                result.computing_metrics.rounds);
+}
+
+TEST(RunReportCoverage, RwbcWithoutScores) {
+  const Graph g = make_cycle(6);
+  DistributedRwbcOptions options;
+  options.walks_per_source = 8;
+  options.cutoff = 20;
+  options.compute_scores = false;
+  options.congest.seed = 12;
+  const auto result = distributed_rwbc(g, options);
+  check_report(result.report, "rwbc", 12, 6, /*expect_scores=*/false);
+}
+
+TEST(RunReportCoverage, Spbc) {
+  const Graph g = make_grid(3, 3);
+  DistributedSpbcOptions options;
+  options.congest.seed = 13;
+  options.congest.bit_floor = 64;  // updates carry 2 log n + 30 bits
+  const auto result = distributed_spbc(g, options);
+  check_report(result.report, "spbc", 13, 9, /*expect_scores=*/true);
+  EXPECT_EQ(result.report.metrics.rounds,
+            result.forward_metrics.rounds + result.backward_metrics.rounds);
+}
+
+TEST(RunReportCoverage, AlphaCfb) {
+  const Graph g = make_complete(5);
+  DistributedAlphaCfbOptions options;
+  options.walks_per_source = 8;
+  options.congest.seed = 14;
+  const auto result = distributed_alpha_cfb(g, options);
+  check_report(result.report, "alpha-cfb", 14, 5, /*expect_scores=*/true);
+  EXPECT_EQ(result.report.metrics.rounds,
+            result.counting_metrics.rounds + result.computing_metrics.rounds);
+}
+
+TEST(RunReportCoverage, Pagerank) {
+  const Graph g = make_star(6);
+  DistributedPagerankOptions options;
+  options.walks_per_node = 16;
+  options.congest.seed = 15;
+  const auto result = distributed_pagerank(g, options);
+  check_report(result.report, "pagerank", 15, 6, /*expect_scores=*/true);
+}
+
+TEST(RunReportCoverage, SarmaWalk) {
+  const Graph g = make_grid(4, 4);
+  SarmaWalkOptions options;
+  options.length = 64;
+  options.congest.seed = 16;
+  const auto result = sarma_distributed_walk(g, 0, options);
+  check_report(result.report, "sarma-walk", 16, 16, /*expect_scores=*/false);
+  EXPECT_EQ(result.report.metrics.rounds,
+            result.bfs_metrics.rounds + result.walk_metrics.rounds);
+}
+
+// make_run_report in isolation: the mirrors are copies taken at assembly
+// time, and the resumed_from_round pass-through lands verbatim.
+TEST(RunReportCoverage, MakeRunReportMirrorsMetrics) {
+  RunMetrics metrics;
+  metrics.rounds = 42;
+  metrics.total_bits = 1234;
+  metrics.total_messages = 99;
+  std::vector<double> scores = {0.5, 1.5};
+  const RunReport report =
+      make_run_report("rwbc", std::move(scores), metrics, 777, 21);
+  EXPECT_EQ(report.algorithm, "rwbc");
+  EXPECT_EQ(report.scores, (std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(report.metrics.total_messages, 99u);
+  EXPECT_EQ(report.rounds, 42u);
+  EXPECT_EQ(report.bits, 1234u);
+  EXPECT_EQ(report.seed, 777u);
+  EXPECT_EQ(report.resumed_from_round, 21);
+}
+
+}  // namespace
+}  // namespace rwbc

@@ -105,7 +105,7 @@ TEST(SarmaWalk, BeatsDirectWalkOnLongWalks) {
   direct_config.seed = 3;
   const auto direct = direct_distributed_walk(g, 0, length, direct_config);
   EXPECT_GT(stitched.stitches, 0u);
-  EXPECT_LT(stitched.total.rounds, direct.metrics.rounds);
+  EXPECT_LT(stitched.report.metrics.rounds, direct.metrics.rounds);
   EXPECT_GE(direct.metrics.rounds, length);
 }
 
@@ -116,7 +116,7 @@ TEST(SarmaWalk, RespectsCongestBudget) {
   options.congest.seed = 4;
   const auto result = sarma_distributed_walk(g, 7, options);
   Network probe(g, options.congest);
-  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+  EXPECT_LE(result.report.metrics.max_bits_per_edge_round, probe.bit_budget());
 }
 
 TEST(SarmaWalk, DeterministicUnderSeed) {
@@ -127,7 +127,7 @@ TEST(SarmaWalk, DeterministicUnderSeed) {
   const auto a = sarma_distributed_walk(g, 2, options);
   const auto b = sarma_distributed_walk(g, 2, options);
   EXPECT_EQ(a.destination, b.destination);
-  EXPECT_EQ(a.total.rounds, b.total.rounds);
+  EXPECT_EQ(a.report.metrics.rounds, b.report.metrics.rounds);
 }
 
 TEST(SarmaWalk, HandlesExhaustedCouponsCorrectly) {

@@ -132,7 +132,7 @@ TEST(WeightedDistributed, MatchesWeightedExact) {
   options.congest.bit_floor = 128;
   const auto result = distributed_rwbc(wg, options);
   const auto exact = current_flow_betweenness(wg);
-  EXPECT_LT(max_relative_error(exact, result.betweenness), 0.10);
+  EXPECT_LT(max_relative_error(exact, result.report.scores), 0.10);
 }
 
 TEST(WeightedDistributed, ScaledVisitsMatchWeightedPotentials) {
@@ -162,7 +162,7 @@ TEST(WeightedDistributed, UnitWeightsMatchUnweightedPipeline) {
   options.congest.bit_floor = 128;
   const auto weighted = distributed_rwbc(wg, options);
   const auto exact = current_flow_betweenness(g);
-  EXPECT_LT(max_relative_error(exact, weighted.betweenness), 0.1);
+  EXPECT_LT(max_relative_error(exact, weighted.report.scores), 0.1);
 }
 
 TEST(WeightedDistributed, RejectsFractionalWeights) {
@@ -181,7 +181,7 @@ TEST(WeightedDistributed, RespectsCongestBudget) {
   options.congest.seed = 43;
   const auto result = distributed_rwbc(wg, options);
   Network probe(wg.topology(), options.congest);
-  EXPECT_LE(result.total.max_bits_per_edge_round, probe.bit_budget());
+  EXPECT_LE(result.report.metrics.max_bits_per_edge_round, probe.bit_budget());
 }
 
 }  // namespace

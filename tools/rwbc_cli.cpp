@@ -73,6 +73,10 @@ PipelineSpec g_spec;
          "                   --checkpoint-dir\n"
          "  --kill-at-round R    SIGKILL the process after cumulative\n"
          "                   simulator round R (crash-recovery drills)\n"
+         "  --walks-per-edge N   walk tokens per edge direction per round\n"
+         "                   (rwbc; default 1 = the paper's model)\n"
+         "  --no-coalesce    legacy one-message-per-token walk wire (rwbc;\n"
+         "                   differential baseline for the coalesced path)\n"
          "fault flags apply to the distributed/compare data phases only.\n";
   std::exit(2);
 }
@@ -163,19 +167,19 @@ int cmd_distributed(int argc, char** argv) {
   if (argc < 3) usage();
   const Graph g = load(argv[2]);
   const auto result = run_distributed(g, argc, argv);
-  print_scores(g, result.betweenness, "distributed RWBC");
+  print_scores(g, result.report.scores, "distributed RWBC");
   std::cout << "\ntarget = " << result.target
             << ", K = " << result.params.walks_per_source
             << ", l = " << result.params.cutoff
-            << "\nrounds = " << result.total.rounds
-            << ", messages = " << result.total.total_messages
+            << "\nrounds = " << result.report.metrics.rounds
+            << ", messages = " << result.report.metrics.total_messages
             << ", peak bits/edge/round = "
-            << result.total.max_bits_per_edge_round << "\n";
+            << result.report.metrics.max_bits_per_edge_round << "\n";
   if (g_spec.faults.any() || g_spec.reliable_transport) {
-    std::cout << "faults: dropped = " << result.total.dropped_messages
-              << ", duplicated = " << result.total.duplicated_messages
-              << ", crashed = " << result.total.crashed_nodes
-              << ", retransmissions = " << result.total.retransmissions
+    std::cout << "faults: dropped = " << result.report.metrics.dropped_messages
+              << ", duplicated = " << result.report.metrics.duplicated_messages
+              << ", crashed = " << result.report.metrics.crashed_nodes
+              << ", retransmissions = " << result.report.metrics.retransmissions
               << "\n";
   }
   return 0;
@@ -189,18 +193,18 @@ int cmd_compare(int argc, char** argv) {
   Table table({"node", "exact", "distributed", "rel err"});
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const auto vi = static_cast<std::size_t>(v);
-    const double err = std::abs(result.betweenness[vi] - exact[vi]) /
+    const double err = std::abs(result.report.scores[vi] - exact[vi]) /
                        std::max(std::abs(exact[vi]), 1e-12);
     table.add_row({Table::fmt(v), Table::fmt(exact[vi], 6),
-                   Table::fmt(result.betweenness[vi], 6),
+                   Table::fmt(result.report.scores[vi], 6),
                    Table::fmt(err, 4)});
   }
   table.print(std::cout);
   std::cout << "\nmax rel err = "
-            << max_relative_error(exact, result.betweenness)
+            << max_relative_error(exact, result.report.scores)
             << ", Kendall tau = "
-            << kendall_tau(exact, result.betweenness)
-            << ", rounds = " << result.total.rounds << "\n";
+            << kendall_tau(exact, result.report.scores)
+            << ", rounds = " << result.report.metrics.rounds << "\n";
   return 0;
 }
 
@@ -221,13 +225,13 @@ int cmd_spbc(int argc, char** argv) {
   DistributedSpbcResult result;
   spec.spbc_result = &result;
   run_pipeline(g, spec);
-  print_scores(g, result.betweenness, "distributed SPBC");
+  print_scores(g, result.report.scores, "distributed SPBC");
   const auto exact = brandes_betweenness(g);
-  std::cout << "\nrounds = " << result.total.rounds
+  std::cout << "\nrounds = " << result.report.metrics.rounds
             << " (forward " << result.forward_metrics.rounds << ", backward "
             << result.backward_metrics.rounds << ")"
             << ", max |diff| vs Brandes = "
-            << max_relative_error(exact, result.betweenness, 1e-6) << "\n";
+            << max_relative_error(exact, result.report.scores, 1e-6) << "\n";
   return 0;
 }
 
