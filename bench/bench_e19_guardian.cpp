@@ -1,0 +1,121 @@
+// E19 — guardian handoff overhead: replication bandwidth and round cost.
+//
+// The guardian protocol (DESIGN.md §10) mirrors every held walk to a
+// BFS-tree guardian through compact replica-delta frames.  Fault-free that
+// buys nothing — the point of this bench is to price the insurance
+// premium:
+//
+//   1. bandwidth — replica bits as a fraction of all counting-phase bits,
+//      and replica messages per counting round;
+//   2. rounds — the counting phase's round count with and without the
+//      mirror channel (replica frames ride an urgent side channel, so the
+//      walk schedule is identical and any delta is pure drain time);
+//   3. wall clock of both runs.
+//
+// Swept at walks_per_edge_per_round in {1, 8}: wider walk traffic amortises
+// the replica channel's fixed header cost, so the overhead ratio should
+// FALL as wpepr grows.  Fault-free guardian runs score bit-identically to
+// guardian-off runs (tests/guardian_test.cpp pins this), so only cost
+// columns are printed.
+//
+// Usage: bench_e19_guardian [--n N]   (default n = 64; RWBC_THREADS
+// re-times without changing any metered column)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "rwbc/distributed_rwbc.hpp"
+
+namespace {
+
+using namespace rwbc;
+
+struct RunCost {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t replica_messages = 0;
+  std::uint64_t replica_bits = 0;
+  double wall_ms = 0.0;
+};
+
+RunCost run_once(const Graph& g, bool guardian, std::size_t wpepr,
+                 int threads) {
+  DistributedRwbcOptions options;
+  options.walks_per_source = 8;
+  options.cutoff = 0;  // Theorem 1 default, scales with n
+  options.walks_per_edge_per_round = wpepr;
+  options.guardian_handoff = guardian;
+  options.congest.seed = 19;
+  options.congest.bit_floor = 128;
+  options.congest.num_threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const DistributedRwbcResult result = distributed_rwbc(g, options);
+  const auto stop = std::chrono::steady_clock::now();
+  RunCost cost;
+  cost.rounds = result.counting_metrics.rounds;
+  cost.messages = result.counting_metrics.total_messages;
+  cost.total_bits = result.counting_metrics.total_bits;
+  cost.replica_messages = result.counting_metrics.replica_messages;
+  cost.replica_bits = result.counting_metrics.replica_bits;
+  cost.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return cost;
+}
+
+int bench_main(int argc, char** argv) {
+  NodeId n = 64;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--n") n = std::atoi(argv[i + 1]);
+  }
+  const int threads = bench::threads_from_env();
+  bench::banner("E19 — guardian replication overhead",
+                "replica-channel bandwidth and round cost of crash-lossless "
+                "counting, fault-free (the insurance premium)");
+
+  Table table({"family", "wpepr", "guardian", "rounds", "msgs",
+               "replica msgs", "replica bits", "bits total", "replica %",
+               "round overhead %", "wall ms"});
+  for (const std::string& family : {std::string("er"), std::string("ba"),
+                                    std::string("grid")}) {
+    const Graph g = bench::make_family(family, n, 19);
+    for (std::size_t wpepr : {std::size_t{1}, std::size_t{8}}) {
+      const RunCost off = run_once(g, false, wpepr, threads);
+      const RunCost on = run_once(g, true, wpepr, threads);
+      const double replica_pct =
+          on.total_bits == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(on.replica_bits) /
+                    static_cast<double>(on.total_bits);
+      const double round_overhead =
+          off.rounds == 0
+              ? 0.0
+              : 100.0 *
+                    (static_cast<double>(on.rounds) /
+                         static_cast<double>(off.rounds) -
+                     1.0);
+      table.add_row({family, Table::fmt(static_cast<std::uint64_t>(wpepr)),
+                     "off", Table::fmt(off.rounds), Table::fmt(off.messages),
+                     "-", "-", Table::fmt(off.total_bits), "-", "-",
+                     Table::fmt(off.wall_ms, 1)});
+      table.add_row({family, Table::fmt(static_cast<std::uint64_t>(wpepr)),
+                     "on", Table::fmt(on.rounds), Table::fmt(on.messages),
+                     Table::fmt(on.replica_messages),
+                     Table::fmt(on.replica_bits), Table::fmt(on.total_bits),
+                     Table::fmt(replica_pct, 1),
+                     Table::fmt(round_overhead, 1),
+                     Table::fmt(on.wall_ms, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ncolumns: replica % = replica bits / all counting-phase "
+               "bits; round overhead % vs the guardian-off run.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return bench_main(argc, argv); }

@@ -35,7 +35,8 @@
 namespace rwbc {
 
 /// Current checkpoint format version; bump on any layout change.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2: guardian-handoff fields in RunMetrics and CountingNode state.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// CRC32 (IEEE, reflected, init/final 0xffffffff) of `data`.
 std::uint32_t crc32_ieee(std::span<const std::uint8_t> data);

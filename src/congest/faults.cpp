@@ -28,6 +28,9 @@ FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& graph)
                "FaultPlan drop_prob must be in [0, 1]");
   RWBC_REQUIRE(plan_.dup_prob >= 0.0 && plan_.dup_prob <= 1.0,
                "FaultPlan dup_prob must be in [0, 1]");
+  RWBC_REQUIRE(
+      plan_.message_fault_first_round <= plan_.message_fault_last_round,
+      "FaultPlan message-fault window is empty (first > last)");
   for (const CrashEvent& crash : plan_.crashes) {
     RWBC_REQUIRE(crash.node >= 0 && crash.node < graph.node_count(),
                  "FaultPlan crash node out of range");
@@ -48,10 +51,51 @@ FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& graph)
   }
 }
 
-FaultInjector::Fate FaultInjector::draw_fate() {
+bool survivors_connected(const Graph& graph, const FaultPlan& plan) {
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  std::vector<bool> crashed(n, false);
+  for (const CrashEvent& crash : plan.crashes) {
+    if (crash.node >= 0 && static_cast<std::size_t>(crash.node) < n) {
+      crashed[static_cast<std::size_t>(crash.node)] = true;
+    }
+  }
+  // BFS over the induced survivor subgraph from the smallest survivor.
+  std::size_t start = n;
+  std::size_t survivor_count = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!crashed[v]) {
+      ++survivor_count;
+      if (start == n) start = v;
+    }
+  }
+  if (survivor_count == 0) return false;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> queue{static_cast<NodeId>(start)};
+  seen[start] = true;
+  std::size_t reached = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    ++reached;
+    for (const NodeId u : graph.neighbors(v)) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (!crashed[ui] && !seen[ui]) {
+        seen[ui] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  return reached == survivor_count;
+}
+
+FaultInjector::Fate FaultInjector::draw_fate(std::uint64_t round) {
   // Two draws ALWAYS happen — the coupling contract (see faults.hpp).
   const double u_drop = rng_.next_double();
   const double u_dup = rng_.next_double();
+  if (round < plan_.message_fault_first_round ||
+      round > plan_.message_fault_last_round) {
+    return Fate::kDeliver;
+  }
   if (u_drop < plan_.drop_prob) return Fate::kDrop;
   if (u_dup < plan_.dup_prob) return Fate::kDuplicate;
   return Fate::kDeliver;

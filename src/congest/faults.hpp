@@ -67,6 +67,19 @@ struct FaultPlan {
   /// copies of the message in the SAME round's inbox.
   double dup_prob = 0.0;
 
+  /// Send-round window (inclusive) during which drop_prob and dup_prob
+  /// apply; outside it every message delivers normally.  The fate RNG still
+  /// consumes its two uniforms per message either way, so narrowing the
+  /// window — like raising a probability — never perturbs the draw
+  /// sequence of the messages it does affect (the coupling contract
+  /// above).  The default window is the whole run.  A bounded window lets
+  /// a scenario model a loss burst the reliable transport provably rides
+  /// out: keep it shorter than the link's give-up horizon
+  /// (ack_timeout * (max_retries + 1) rounds) and no retry budget can be
+  /// exhausted, so recovery is deterministic rather than probabilistic.
+  std::uint64_t message_fault_first_round = 0;
+  std::uint64_t message_fault_last_round = ~std::uint64_t{0};
+
   /// Crash-stop failures.  Multiple events for one node take the earliest.
   std::vector<CrashEvent> crashes;
 
@@ -80,6 +93,15 @@ struct FaultPlan {
   }
 };
 
+/// True when the graph minus the plan's crash-stop nodes is non-empty and
+/// connected — the exactness condition of the guardian handoff protocol
+/// (DESIGN.md §10): with connected survivors a guardian+reliable run loses
+/// zero walks under any crash-only plan; a disconnecting crash degrades to
+/// explicit loss accounting.  Used by tests and the scenario_sweep driver
+/// to label expected outcomes, not by the protocol itself (nodes only have
+/// local knowledge).
+bool survivors_connected(const Graph& graph, const FaultPlan& plan);
+
 /// The per-run fault engine the Network drives.  Owns the dedicated RNG
 /// stream and the crash bookkeeping; all methods are called from the
 /// simulator's single-threaded driver sections only.
@@ -92,8 +114,9 @@ class FaultInjector {
   /// What the coin flips decide for one faultable message.
   enum class Fate { kDeliver, kDrop, kDuplicate };
 
-  /// Draws the fate of one message.  Consumes exactly two uniforms.
-  Fate draw_fate();
+  /// Draws the fate of one message sent in `round`.  Consumes exactly two
+  /// uniforms whether or not the round is inside the message-fault window.
+  Fate draw_fate(std::uint64_t round);
 
   /// True if `node` does not execute round `round` (crash-stop).
   bool node_crashed(NodeId node, std::uint64_t round) const {

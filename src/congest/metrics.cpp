@@ -20,6 +20,10 @@ RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
   duplicated_messages += other.duplicated_messages;
   crashed_nodes += other.crashed_nodes;
   retransmissions += other.retransmissions;
+  replica_messages += other.replica_messages;
+  replica_bits += other.replica_bits;
+  adopted_walks += other.adopted_walks;
+  abandoned_walks += other.abandoned_walks;
   return *this;
 }
 
@@ -35,6 +39,10 @@ void save_metrics(CheckpointWriter& out, const RunMetrics& metrics) {
   out.u64(metrics.duplicated_messages);
   out.u64(metrics.crashed_nodes);
   out.u64(metrics.retransmissions);
+  out.u64(metrics.replica_messages);
+  out.u64(metrics.replica_bits);
+  out.u64(metrics.adopted_walks);
+  out.u64(metrics.abandoned_walks);
 }
 
 RunMetrics load_metrics(CheckpointReader& in) {
@@ -50,6 +58,10 @@ RunMetrics load_metrics(CheckpointReader& in) {
   metrics.duplicated_messages = in.u64();
   metrics.crashed_nodes = in.u64();
   metrics.retransmissions = in.u64();
+  metrics.replica_messages = in.u64();
+  metrics.replica_bits = in.u64();
+  metrics.adopted_walks = in.u64();
+  metrics.abandoned_walks = in.u64();
   return metrics;
 }
 

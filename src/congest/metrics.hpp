@@ -39,6 +39,18 @@ struct RunMetrics {
   /// NodeContext::note_retransmission (the self-healing overhead metric).
   std::uint64_t retransmissions = 0;
 
+  // Guardian-handoff observables (all 0 unless guardian replication is on;
+  // reported via the NodeContext::note_* hooks, DESIGN.md §10).
+  /// Replica-delta frames sent by wards to their guardians.
+  std::uint64_t replica_messages = 0;
+  /// Payload bits of those frames (the replication bandwidth overhead).
+  std::uint64_t replica_bits = 0;
+  /// Orphaned walks adopted by guardians after a ward crashed.
+  std::uint64_t adopted_walks = 0;
+  /// Walks discarded at the fault deadline or a forced DONE (each walk
+  /// counted exactly once: pool, in-flight frame, or give-up record).
+  std::uint64_t abandoned_walks = 0;
+
   /// Accumulates another phase's metrics: counters (rounds, totals, cut
   /// traffic, fault/retransmission tallies) ADD; the per-edge-round peaks
   /// take MAX — a pipeline's peak is the worst single round of any phase,
@@ -49,7 +61,7 @@ struct RunMetrics {
 class CheckpointWriter;
 class CheckpointReader;
 
-/// Checkpoint serialization: the 11 fields above, in declaration order,
+/// Checkpoint serialization: the 15 fields above, in declaration order,
 /// as u64s.  Used by Network snapshots and by pipeline prologues that
 /// carry completed-phase metrics across a resume.
 void save_metrics(CheckpointWriter& out, const RunMetrics& metrics);

@@ -137,6 +137,17 @@ class Network::ContextImpl final : public NodeContext {
 
   void note_retransmission() override { round_retransmissions_ += 1; }
 
+  void note_replica_frame(std::uint64_t payload_bits) override {
+    round_replica_messages_ += 1;
+    round_replica_bits_ += payload_bits;
+  }
+  void note_adopted_walks(std::uint64_t walks) override {
+    round_adopted_walks_ += walks;
+  }
+  void note_abandoned_walks(std::uint64_t walks) override {
+    round_abandoned_walks_ += walks;
+  }
+
   // --- driver-side hooks -------------------------------------------------
 
   /// Resets everything a round writes, ready for the next one: the per-edge
@@ -164,6 +175,10 @@ class Network::ContextImpl final : public NodeContext {
     round_cut_messages_ = 0;
     round_cut_bits_ = 0;
     round_retransmissions_ = 0;
+    round_replica_messages_ = 0;
+    round_replica_bits_ = 0;
+    round_adopted_walks_ = 0;
+    round_abandoned_walks_ = 0;
     round_peak_bits_ = 0;
     round_peak_msgs_ = 0;
     out_meta_.clear();
@@ -188,6 +203,10 @@ class Network::ContextImpl final : public NodeContext {
   std::uint64_t round_cut_messages_ = 0;
   std::uint64_t round_cut_bits_ = 0;
   std::uint64_t round_retransmissions_ = 0;
+  std::uint64_t round_replica_messages_ = 0;
+  std::uint64_t round_replica_bits_ = 0;
+  std::uint64_t round_adopted_walks_ = 0;
+  std::uint64_t round_abandoned_walks_ = 0;
   std::uint64_t round_peak_bits_ = 0;
   std::uint64_t round_peak_msgs_ = 0;
   std::vector<std::uint32_t> touched_slots_;  ///< slots with sends this round
@@ -454,7 +473,7 @@ std::pair<std::uint64_t, std::uint64_t> Network::run_fate_pass() {
         continue;
       }
       std::uint32_t copies = 1;
-      switch (injector_->draw_fate()) {
+      switch (injector_->draw_fate(round_)) {
         case FaultInjector::Fate::kDrop:
           ctx.fates_[j] = kFateDrop;
           ++dropped;
@@ -669,6 +688,10 @@ RunMetrics Network::run() {
       std::uint64_t cut_messages = 0;
       std::uint64_t cut_bits = 0;
       std::uint64_t retransmissions = 0;
+      std::uint64_t replica_messages = 0;
+      std::uint64_t replica_bits = 0;
+      std::uint64_t adopted_walks = 0;
+      std::uint64_t abandoned_walks = 0;
       std::uint64_t peak_bits = 0;
       std::uint64_t peak_msgs = 0;
     };
@@ -681,6 +704,10 @@ RunMetrics Network::run() {
         t.cut_messages += ctx.round_cut_messages_;
         t.cut_bits += ctx.round_cut_bits_;
         t.retransmissions += ctx.round_retransmissions_;
+        t.replica_messages += ctx.round_replica_messages_;
+        t.replica_bits += ctx.round_replica_bits_;
+        t.adopted_walks += ctx.round_adopted_walks_;
+        t.abandoned_walks += ctx.round_abandoned_walks_;
         t.peak_bits = std::max(t.peak_bits, ctx.round_peak_bits_);
         t.peak_msgs = std::max(t.peak_msgs, ctx.round_peak_msgs_);
       }
@@ -692,6 +719,10 @@ RunMetrics Network::run() {
       a.cut_messages += b.cut_messages;
       a.cut_bits += b.cut_bits;
       a.retransmissions += b.retransmissions;
+      a.replica_messages += b.replica_messages;
+      a.replica_bits += b.replica_bits;
+      a.adopted_walks += b.adopted_walks;
+      a.abandoned_walks += b.abandoned_walks;
       a.peak_bits = std::max(a.peak_bits, b.peak_bits);
       a.peak_msgs = std::max(a.peak_msgs, b.peak_msgs);
       return a;
@@ -776,6 +807,10 @@ RunMetrics Network::run() {
           tally.cut_messages += ctx.round_cut_messages_;
           tally.cut_bits += ctx.round_cut_bits_;
           tally.retransmissions += ctx.round_retransmissions_;
+          tally.replica_messages += ctx.round_replica_messages_;
+          tally.replica_bits += ctx.round_replica_bits_;
+          tally.adopted_walks += ctx.round_adopted_walks_;
+          tally.abandoned_walks += ctx.round_abandoned_walks_;
         }
         ctx.clear_round_tallies();
         return !ctx.halted_;
@@ -822,6 +857,10 @@ RunMetrics Network::run() {
     metrics_.cut_messages += tally.cut_messages;
     metrics_.cut_bits += tally.cut_bits;
     metrics_.retransmissions += tally.retransmissions;
+    metrics_.replica_messages += tally.replica_messages;
+    metrics_.replica_bits += tally.replica_bits;
+    metrics_.adopted_walks += tally.adopted_walks;
+    metrics_.abandoned_walks += tally.abandoned_walks;
     metrics_.max_bits_per_edge_round =
         std::max(metrics_.max_bits_per_edge_round, tally.peak_bits);
     metrics_.max_messages_per_edge_round =
@@ -838,6 +877,10 @@ RunMetrics Network::run() {
       snapshot.duplicated_messages = round_duplicated;
       snapshot.crashed_nodes = metrics_.crashed_nodes;
       snapshot.retransmissions = tally.retransmissions;
+      snapshot.replica_messages = tally.replica_messages;
+      snapshot.replica_bits = tally.replica_bits;
+      snapshot.adopted_walks = tally.adopted_walks;
+      snapshot.abandoned_walks = tally.abandoned_walks;
       config_.round_observer(snapshot);
     }
     ++round_;

@@ -37,6 +37,11 @@ struct RoundSnapshot {
   std::uint64_t duplicated_messages = 0;  ///< of this round's sends
   std::uint64_t crashed_nodes = 0;  ///< cumulative crash-stopped nodes
   std::uint64_t retransmissions = 0;  ///< reliability-layer resends this round
+  // Guardian-handoff telemetry (0 unless guardian replication is on).
+  std::uint64_t replica_messages = 0;  ///< replica-delta frames this round
+  std::uint64_t replica_bits = 0;      ///< their payload bits
+  std::uint64_t adopted_walks = 0;     ///< walks adopted this round
+  std::uint64_t abandoned_walks = 0;   ///< walks abandoned this round
 };
 
 /// Simulator configuration.

@@ -76,6 +76,15 @@ class NodeContext {
   /// resent frame itself still goes through send() and is charged
   /// bandwidth like any other message.  Default: not metered.
   virtual void note_retransmission() {}
+
+  /// Guardian-handoff hooks (DESIGN.md §10), same contract as
+  /// note_retransmission: the frames/walks themselves still flow through
+  /// send() or the pool; these only meter the protocol's observables
+  /// (RunMetrics replica_messages/replica_bits/adopted_walks/
+  /// abandoned_walks).  Defaults: not metered.
+  virtual void note_replica_frame(std::uint64_t /*payload_bits*/) {}
+  virtual void note_adopted_walks(std::uint64_t /*walks*/) {}
+  virtual void note_abandoned_walks(std::uint64_t /*walks*/) {}
 };
 
 class CheckpointWriter;

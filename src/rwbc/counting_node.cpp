@@ -15,6 +15,12 @@ CountingNode::CountingNode(CountingNodeConfig config)
                "counting phase needs at least one walk per source");
   RWBC_REQUIRE(config_.walks_per_edge_per_round >= 1,
                "need at least one walk slot per edge per round");
+  // kPerRound decrements the remaining budget of QUEUED walks with no
+  // message on the wire, so a guardian's mirrored (source, remaining) pairs
+  // would silently drift from the ward's pool.
+  RWBC_REQUIRE(!config_.guardian ||
+                   config_.length_policy == LengthPolicy::kPerMove,
+               "guardian handoff requires the per-move length policy");
 }
 
 void CountingNode::on_start(NodeContext& ctx) {
@@ -22,13 +28,22 @@ void CountingNode::on_start(NodeContext& ctx) {
   RWBC_REQUIRE(n >= 2, "counting phase needs n >= 2");
   RWBC_REQUIRE(config_.target >= 0 && config_.target < n,
                "counting phase target out of range");
-  wire_ = CountingWire(n, config_.cutoff, config_.walks_per_source);
+  // Guardian frames need two extra message kinds, so the type tag widens to
+  // 3 bits; without the guardian the legacy 2-bit tag keeps every wire byte
+  // identical to earlier revisions.
+  const int type_bits = config_.guardian ? 3 : 2;
+  wire_ = CountingWire(n, config_.cutoff, config_.walks_per_source, type_bits);
   visits_.assign(config_.track_visits ? static_cast<std::size_t>(n) : 0, 0);
   is_root_ = config_.tree_parent < 0;
+  // Dynamic tree links start at the configured BFS tree; only guardian
+  // failover ever rewires them.
+  sweep_parent_ = config_.tree_parent;
+  children_ = config_.tree_children;
   expected_total_deaths_ =
       static_cast<std::uint64_t>(n - 1) * config_.walks_per_source;
   batch_wire_ =
       WalkBatchWire(n, config_.cutoff, config_.walks_per_edge_per_round);
+  batch_wire_.type_bits = type_bits;
   // Cap coalesced batches so the worst-case encoding always fits the
   // per-edge budget (minus the reliable DATA frame header when the link is
   // on).  A control frame — at widest, a sweep report — can share the edge
@@ -52,6 +67,36 @@ void CountingNode::on_start(NodeContext& ctx) {
   if (config_.reliable_transport) {
     link_ = std::make_unique<ReliableLink>(config_.reliable_link, degree);
   }
+  if (config_.guardian) {
+    RWBC_REQUIRE(config_.neighbor_depths.size() == degree,
+                 "guardian handoff needs one BFS depth per neighbour");
+    replica_wire_ =
+        ReplicaDeltaWire(n, config_.cutoff, config_.walks_per_source);
+    anchor_ = config_.guardian_id;
+    replica_epoch_ = 0;
+    snapshot_pending_ = false;
+    replica_queue_.clear();
+    last_replica_round_ = 0;
+    last_replicated_died_ = 0;
+    wards_.clear();
+    // A replica frame can share an edge-round with a worst-case walk batch
+    // and a control frame; whatever budget remains bounds the ops per
+    // frame.  max_ops_for_budget never returns 0 — a backlogged ward always
+    // drains (the pipeline widens guardian budgets by a constant factor so
+    // the floor is rarely binding).
+    std::uint64_t used =
+        static_cast<std::uint64_t>(batch_wire_.max_bits(batch_cap_)) +
+        static_cast<std::uint64_t>(wire_.type_bits + wire_.count_bits);
+    if (config_.reliable_transport) {
+      used += 3 * static_cast<std::uint64_t>(1 + config_.reliable_link.seq_bits);
+    }
+    const std::uint64_t budget = ctx.bit_budget();
+    replica_ops_cap_ =
+        replica_wire_.max_ops_for_budget(budget > used ? budget - used : 0);
+    // One custody FIFO per neighbour slot (remove-on-transmit; only the
+    // reliable link can park a committed frame without transmitting it).
+    pending_custody_.assign(link_ ? degree : 0, {});
+  }
   if (!config_.neighbor_weights.empty()) {
     RWBC_REQUIRE(config_.neighbor_weights.size() ==
                      static_cast<std::size_t>(ctx.degree()),
@@ -73,6 +118,7 @@ void CountingNode::on_start(NodeContext& ctx) {
     pool_.reserve(config_.walks_per_source);
     for (std::uint64_t k = 0; k < config_.walks_per_source; ++k) {
       pool_.push(ctx.id(), config_.cutoff, -1);
+      queue_replica_op(true, ctx.id(), config_.cutoff);
     }
     if (config_.track_visits) {
       visits_[static_cast<std::size_t>(ctx.id())] += config_.walks_per_source;
@@ -103,6 +149,59 @@ void CountingNode::save_state(CheckpointWriter& out) const {
   out.boolean(finished_);
   out.boolean(link_ != nullptr);
   if (link_) link_->save_state(out);
+  // Guardian handoff state (checkpoint v2).  Non-guardian runs record only
+  // the flag; sweep_parent_/children_ are static there and rebuilt by
+  // on_start.
+  out.boolean(config_.guardian);
+  if (config_.guardian) {
+    out.i64(anchor_);
+    out.i64(sweep_parent_);
+    out.u64(children_.size());
+    for (NodeId child : children_) out.u32(static_cast<std::uint32_t>(child));
+    out.u64(replica_epoch_);
+    out.boolean(snapshot_pending_);
+    out.u64(last_replica_round_);
+    out.u64(last_replicated_died_);
+    out.u64(replica_queue_.size());
+    for (const ReplicaOp& op : replica_queue_) {
+      out.boolean(op.add);
+      out.u32(static_cast<std::uint32_t>(op.source));
+      out.u64(op.remaining);
+    }
+    out.u64(wards_.size());
+    for (const auto& [ward, ledger] : wards_) {
+      out.u32(static_cast<std::uint32_t>(ward));
+      out.u64(ledger.epoch);
+      out.boolean(ledger.seen_snapshot);
+      out.u64(ledger.deaths);
+      out.u64(ledger.last_heard);
+      out.u64(ledger.probe_round);
+      out.boolean(ledger.adopted);
+      out.u64(ledger.walks.size());
+      for (const auto& [key, count] : ledger.walks) {
+        out.u32(static_cast<std::uint32_t>(key.first));
+        out.u64(key.second);
+        out.u64(count);
+      }
+      out.u64(ledger.owed_removes.size());
+      for (const auto& [key, count] : ledger.owed_removes) {
+        out.u32(static_cast<std::uint32_t>(key.first));
+        out.u64(key.second);
+        out.u64(count);
+      }
+    }
+    out.u64(pending_custody_.size());
+    for (const auto& fifo : pending_custody_) {
+      out.u64(fifo.size());
+      for (const std::vector<WalkToken>& frame : fifo) {
+        out.u64(frame.size());
+        for (const WalkToken& walk : frame) {
+          out.u32(static_cast<std::uint32_t>(walk.source));
+          out.u64(walk.remaining);
+        }
+      }
+    }
+  }
 }
 
 void CountingNode::load_state(CheckpointReader& in) {
@@ -132,6 +231,78 @@ void CountingNode::load_state(CheckpointReader& in) {
         "counting node reliable-transport mismatch with snapshot");
   }
   if (link_) link_->load_state(in);
+  const bool has_guardian = in.boolean();
+  if (has_guardian != config_.guardian) {
+    throw CheckpointError(
+        "counting node guardian-mode mismatch with snapshot");
+  }
+  if (config_.guardian) {
+    anchor_ = static_cast<NodeId>(in.i64());
+    sweep_parent_ = static_cast<NodeId>(in.i64());
+    children_.clear();
+    const std::uint64_t child_count = in.u64();
+    for (std::uint64_t i = 0; i < child_count; ++i) {
+      children_.push_back(static_cast<NodeId>(in.u32()));
+    }
+    replica_epoch_ = in.u64();
+    snapshot_pending_ = in.boolean();
+    last_replica_round_ = in.u64();
+    last_replicated_died_ = in.u64();
+    replica_queue_.clear();
+    const std::uint64_t op_count = in.u64();
+    for (std::uint64_t i = 0; i < op_count; ++i) {
+      ReplicaOp op;
+      op.add = in.boolean();
+      op.source = static_cast<NodeId>(in.u32());
+      op.remaining = in.u64();
+      replica_queue_.push_back(op);
+    }
+    wards_.clear();
+    const std::uint64_t ward_count = in.u64();
+    for (std::uint64_t i = 0; i < ward_count; ++i) {
+      const auto ward = static_cast<NodeId>(in.u32());
+      WardLedger ledger;
+      ledger.epoch = in.u64();
+      ledger.seen_snapshot = in.boolean();
+      ledger.deaths = in.u64();
+      ledger.last_heard = in.u64();
+      ledger.probe_round = in.u64();
+      ledger.adopted = in.boolean();
+      const std::uint64_t walk_count = in.u64();
+      for (std::uint64_t w = 0; w < walk_count; ++w) {
+        const auto source = static_cast<NodeId>(in.u32());
+        const std::uint64_t remaining = in.u64();
+        ledger.walks[{source, remaining}] = in.u64();
+      }
+      const std::uint64_t owed_count = in.u64();
+      for (std::uint64_t w = 0; w < owed_count; ++w) {
+        const auto source = static_cast<NodeId>(in.u32());
+        const std::uint64_t remaining = in.u64();
+        ledger.owed_removes[{source, remaining}] = in.u64();
+      }
+      wards_[ward] = std::move(ledger);
+    }
+    const std::uint64_t custody_slots = in.u64();
+    if (custody_slots != pending_custody_.size()) {
+      throw CheckpointError(
+          "counting node custody queue slot count mismatch");
+    }
+    for (auto& fifo : pending_custody_) {
+      fifo.clear();
+      const std::uint64_t frames = in.u64();
+      for (std::uint64_t f = 0; f < frames; ++f) {
+        std::vector<WalkToken> frame;
+        const std::uint64_t walk_count = in.u64();
+        frame.reserve(walk_count);
+        for (std::uint64_t w = 0; w < walk_count; ++w) {
+          const auto source = static_cast<NodeId>(in.u32());
+          const std::uint64_t remaining = in.u64();
+          frame.push_back(WalkToken{source, remaining});
+        }
+        fifo.push_back(std::move(frame));
+      }
+    }
+  }
 }
 
 void CountingNode::record_kill() { ++died_; }
@@ -155,8 +326,12 @@ void CountingNode::send_control(NodeContext& ctx, NodeId to,
   }
 }
 
-void CountingNode::handle_payload(NodeContext& ctx, BitReader& reader) {
-  const auto type = static_cast<CountingMsg>(reader.read(wire_.type_bits));
+void CountingNode::handle_payload(NodeContext& ctx, NodeId from,
+                                  BitReader& reader) {
+  const std::uint64_t raw_type = reader.read(wire_.type_bits);
+  RWBC_REQUIRE(raw_type <= static_cast<std::uint64_t>(CountingMsg::kPing),
+               "unknown counting message type");
+  const auto type = static_cast<CountingMsg>(raw_type);
   switch (type) {
     case CountingMsg::kWalk: {
       decoded_.clear();
@@ -179,6 +354,7 @@ void CountingNode::handle_payload(NodeContext& ctx, BitReader& reader) {
             record_kill();  // expired on arrival
           } else {
             pool_.push(walk.source, walk.remaining, -1);
+            queue_replica_op(true, walk.source, walk.remaining);
           }
         }
       }
@@ -200,25 +376,54 @@ void CountingNode::handle_payload(NodeContext& ctx, BitReader& reader) {
     case CountingMsg::kDone:
       done_pending_ = true;
       break;
+    case CountingMsg::kReplicaDelta:
+      RWBC_REQUIRE(config_.guardian, "replica frame without guardian mode");
+      handle_replica(ctx, from, replica_wire_.decode(reader));
+      break;
+    case CountingMsg::kReparent:
+      // A neighbour whose sweep parent died chose us: its future sweep
+      // reports (and replica frames) flow here.  Arrival order is
+      // deterministic, so the child list stays bit-identical across runs.
+      RWBC_REQUIRE(config_.guardian, "reparent frame without guardian mode");
+      if (std::find(children_.begin(), children_.end(), from) ==
+          children_.end()) {
+        children_.push_back(from);
+      }
+      break;
+    case CountingMsg::kPing:
+      // Guardian liveness probe.  The reliable layer's ack (sent for every
+      // delivered frame) is the actual answer; the payload carries nothing.
+      RWBC_REQUIRE(config_.guardian, "ping frame without guardian mode");
+      break;
   }
 }
 
 void CountingNode::process_inbox(NodeContext& ctx,
                                  std::span<const Message> inbox) {
+  if (config_.guardian && config_.fault_tolerant && !wards_.empty()) {
+    // Any raw traffic (acks, retransmissions, walks) proves a ward alive:
+    // silence-based adoption must never fire on a ward that is merely quiet
+    // on the replica channel while active on the link.
+    for (const Message& msg : inbox) {
+      const auto it = wards_.find(msg.from);
+      if (it != wards_.end()) it->second.last_heard = ctx.round();
+    }
+  }
   if (link_) {
     std::vector<ReliableDelivery> deliveries;
     for (const Message& msg : inbox) {
       link_->on_message(slot_of(ctx, msg.from), msg, deliveries);
     }
+    const auto neighbors = ctx.neighbors();
     for (const ReliableDelivery& delivery : deliveries) {
       BitReader reader(delivery.bytes, delivery.bit_count);
-      handle_payload(ctx, reader);
+      handle_payload(ctx, neighbors[delivery.slot], reader);
     }
     return;
   }
   for (const Message& msg : inbox) {
     auto reader = msg.reader();
-    handle_payload(ctx, reader);
+    handle_payload(ctx, msg.from, reader);
   }
 }
 
@@ -240,8 +445,25 @@ void CountingNode::absorb_give_ups() {
       walk.remaining = reader.read(wire_.length_bits);
       decoded_.push_back(walk);
     }
+    if (!give_up.sent && config_.guardian && !pending_custody_.empty()) {
+      // Never transmitted: the frame came back with its custody record
+      // still pending, so no remove op was ever mirrored — drop the record
+      // and skip the re-add below.  (Sent frames transmit in queue order,
+      // so unsent give-ups surface in FIFO order too.)
+      std::vector<std::vector<WalkToken>>& fifo =
+          pending_custody_[give_up.slot];
+      RWBC_ASSERT(!fifo.empty(), "unsent give-up without a custody record");
+      fifo.erase(fifo.begin());
+    }
     for (const WalkToken& walk : decoded_) {
       pool_.push(walk.source, walk.remaining + 1, -1);  // move never happened
+      // A transmitted frame's remove op mirrored (source, remaining + 1)
+      // leaving; the refund re-adds it, so the guardian's ledger nets back
+      // to held.  An unsent frame was never removed — re-adding would
+      // double-mirror the walk.
+      if (give_up.sent) {
+        queue_replica_op(true, walk.source, walk.remaining + 1);
+      }
     }
   }
 }
@@ -273,7 +495,10 @@ void CountingNode::forward_walks(NodeContext& ctx) {
       if (!link_->slot_dead(slot)) ++live;
     }
     if (live == 0) {
-      for (std::size_t w = 0; w < pool_.size(); ++w) record_kill();
+      for (std::size_t w = 0; w < pool_.size(); ++w) {
+        queue_replica_op(false, pool_.source(w), pool_.remaining(w));
+        record_kill();
+      }
       pool_.clear();
       return;
     }
@@ -344,6 +569,7 @@ void CountingNode::forward_walks(NodeContext& ctx) {
     // random subset (paper line 6: "just send a random walk to v randomly").
     // Same draws as the seed: j = i + next_below(len - i) per slot.
     batch_.clear();
+    custody_.clear();
     for (std::size_t i = 0; i < winners; ++i) {
       const std::size_t j = i + ctx.rng().next_below(len - i);
       std::swap(bucket[i], bucket[j]);
@@ -351,6 +577,20 @@ void CountingNode::forward_walks(NodeContext& ctx) {
       RWBC_ASSERT(pool_.remaining(idx) >= 1, "held walk must have moves left");
       // The move consumes one step.
       batch_.push_back(WalkToken{pool_.source(idx), pool_.remaining(idx) - 1});
+      if (link_ && config_.guardian) {
+        // Remove-on-transmit: the reliable link may park this frame behind
+        // a full window, and a parked walk is still in our custody — the
+        // remove op is mirrored by settle_custody only when the frame
+        // actually goes on the wire.  (Caught the hard way: a ward that
+        // crashed with a queued frame had already un-mirrored its walks,
+        // so the guardian had nothing to adopt and the run lost them.)
+        custody_.push_back(WalkToken{pool_.source(idx), pool_.remaining(idx)});
+      } else {
+        // Remove-on-send: a raw send IS the transmission, custody transfers
+        // now.  A delivered walk is the receiver's to mirror — no walk is
+        // ever double-mirrored.
+        queue_replica_op(false, pool_.source(idx), pool_.remaining(idx));
+      }
     }
     if (!batch_.empty()) {
       if (config_.coalesce_walks) {
@@ -363,15 +603,21 @@ void CountingNode::forward_walks(NodeContext& ctx) {
         batch_wire_.encode(scratch_, batch_);
         if (link_) {
           link_->send(slot, scratch_);
+          if (config_.guardian) {
+            pending_custody_[slot].push_back(std::move(custody_));
+          }
         } else {
           ctx.send_to_slot(static_cast<NodeId>(slot), scratch_);
         }
       } else {
-        for (const WalkToken& walk : batch_) {
+        for (std::size_t i = 0; i < batch_.size(); ++i) {
           if (link_) {
-            link_->send(slot, wire_.encode_walk(walk));
+            link_->send(slot, wire_.encode_walk(batch_[i]));
+            if (config_.guardian) {
+              pending_custody_[slot].push_back({custody_[i]});
+            }
           } else {
-            ctx.send(neighbors[slot], wire_.encode_walk(walk));
+            ctx.send(neighbors[slot], wire_.encode_walk(batch_[i]));
           }
         }
       }
@@ -401,8 +647,8 @@ void CountingNode::run_sweep_logic(NodeContext& ctx) {
     if (!sweep_in_progress_) {
       sweep_in_progress_ = true;
       sweep_accumulator_ = 0;
-      sweep_reports_pending_ = config_.tree_children.size();
-      for (NodeId child : config_.tree_children) {
+      sweep_reports_pending_ = children_.size();
+      for (NodeId child : children_) {
         send_control(ctx, child, wire_.encode_sweep_request());
       }
     }
@@ -414,9 +660,10 @@ void CountingNode::run_sweep_logic(NodeContext& ctx) {
       RWBC_ASSERT(config_.fault_tolerant || total <= expected_total_deaths_,
                   "death count exceeded the number of walks");
       if (total >= expected_total_deaths_) {
-        for (NodeId child : config_.tree_children) {
+        for (NodeId child : children_) {
           send_control(ctx, child, wire_.encode_done());
         }
+        finish_guardian(ctx);
         finished_ = true;
       } else {
         sweep_in_progress_ = false;  // next round starts a fresh sweep
@@ -429,14 +676,19 @@ void CountingNode::run_sweep_logic(NodeContext& ctx) {
     sweep_request_pending_ = false;
     sweep_in_progress_ = true;
     sweep_accumulator_ = 0;
-    sweep_reports_pending_ = config_.tree_children.size();
-    for (NodeId child : config_.tree_children) {
+    sweep_reports_pending_ = children_.size();
+    for (NodeId child : children_) {
       send_control(ctx, child, wire_.encode_sweep_request());
     }
   }
   if (sweep_in_progress_ && sweep_reports_pending_ == 0) {
-    send_control(ctx, config_.tree_parent,
-                 wire_.encode_sweep_report(sweep_accumulator_ + died_));
+    // An orphaned node (guardian failover found no eligible parent) has
+    // nowhere to report; the deadline backstop ends the phase and the
+    // RunReport accounts the unobserved deaths.
+    if (sweep_parent_ >= 0) {
+      send_control(ctx, sweep_parent_,
+                   wire_.encode_sweep_report(sweep_accumulator_ + died_));
+    }
     sweep_in_progress_ = false;
   }
 }
@@ -447,29 +699,53 @@ void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
       ctx.round() >= config_.deadline_rounds) {
     // Termination backstop: every node force-finishes at the same round,
     // abandoning surviving walks and outstanding retransmissions.
+    // Accounting (each walk tallied at most once, DESIGN.md §10): pool
+    // walks and walks inside never-transmitted link frames are provably
+    // still in our custody; a sent-but-unacked frame may already be held
+    // (and tallied) by the peer, so its walks fall to the RunReport's
+    // residual `lost` bucket instead of risking a double count.
+    std::uint64_t abandoned = pool_.size();
     pool_.clear();
     done_pending_ = false;
-    if (link_) link_->shutdown();
+    if (link_) {
+      for (const ReliableGiveUp& frame : link_->take_give_ups()) {
+        if (!frame.sent) abandoned += count_walks_in_frame(frame);
+      }
+      for (const ReliableGiveUp& frame : link_->drain_outgoing()) {
+        if (!frame.sent) abandoned += count_walks_in_frame(frame);
+      }
+    }
+    replica_queue_.clear();
+    for (auto& fifo : pending_custody_) fifo.clear();
+    if (abandoned > 0) ctx.note_abandoned_walks(abandoned);
     finished_ = true;
   }
   if (done_pending_ && !finished_) {
     if (config_.fault_tolerant) {
       // Faults can make the root's death count converge before every walk
-      // is truly dead (duplication overshoot); abandon the stragglers.
-      pool_.clear();
+      // is truly dead (duplication overshoot); abandon the stragglers —
+      // metered, so the RunReport separates chosen drops from silent loss.
+      if (!pool_.empty()) {
+        ctx.note_abandoned_walks(pool_.size());
+        pool_.clear();
+      }
     } else {
       RWBC_ASSERT(pool_.empty(),
                   "DONE broadcast arrived while walks are still alive");
     }
-    for (NodeId child : config_.tree_children) {
+    for (NodeId child : children_) {
       send_control(ctx, child, wire_.encode_done());
     }
+    finish_guardian(ctx);
     finished_ = true;
   }
   if (!finished_) {
     if (link_) absorb_give_ups();
+    if (config_.guardian) guardian_maintenance(ctx);
     forward_walks(ctx);
+    settle_custody(ctx);  // removes ride this round's replica frame
     run_sweep_logic(ctx);  // the root may decide DONE and set finished_
+    if (config_.guardian && !finished_) maybe_send_replica(ctx);
   }
   if (link_) {
     // One flush per round: batched acks, timed-out retransmissions, queued
@@ -482,7 +758,7 @@ void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
     ctx.halt();
   } else if (!is_root_ && pool_.empty() && !sweep_request_pending_ &&
              !done_pending_ && config_.deadline_rounds == 0 &&
-             !config_.fault_tolerant &&
+             !config_.fault_tolerant && !replica_dirty() &&
              (!sweep_in_progress_ || sweep_reports_pending_ > 0)) {
     // Idle sleep: no walks held and no sweep action possible — nothing this
     // node can do until a message (walk, sweep report, sweep request, DONE)
@@ -497,6 +773,290 @@ void CountingNode::on_round(NodeContext& ctx, std::span<const Message> inbox) {
     // count identical — only the awake-node telemetry shrinks.
     ctx.halt();
   }
+}
+
+void CountingNode::settle_custody(NodeContext& ctx) {
+  if (!link_ || !config_.guardian) return;
+  const auto degree = static_cast<std::size_t>(ctx.degree());
+  for (std::size_t slot = 0; slot < degree; ++slot) {
+    std::vector<std::vector<WalkToken>>& fifo = pending_custody_[slot];
+    if (fifo.empty()) continue;
+    // The link admits queued frames in order, so the frames this round's
+    // flush will transmit are exactly the first `sends` FIFO entries.
+    const std::size_t sends = link_->planned_data_sends(slot, ctx.round());
+    RWBC_ASSERT(sends <= fifo.size(),
+                "link will transmit a data frame with no custody record");
+    if (sends == 0) continue;
+    for (std::size_t i = 0; i < sends; ++i) {
+      for (const WalkToken& walk : fifo[i]) {
+        queue_replica_op(false, walk.source, walk.remaining);
+      }
+    }
+    fifo.erase(fifo.begin(),
+               fifo.begin() + static_cast<std::ptrdiff_t>(sends));
+  }
+}
+
+void CountingNode::queue_replica_op(bool add, NodeId source,
+                                    std::uint64_t remaining) {
+  // Orphaned wards (anchor_ < 0) mirror nowhere; their custody transitions
+  // are unobservable and surface as RunReport loss if they crash.
+  if (!config_.guardian || anchor_ < 0) return;
+  replica_queue_.push_back(ReplicaOp{add, source, remaining});
+}
+
+bool CountingNode::replica_dirty() const {
+  return config_.guardian && anchor_ >= 0 &&
+         (!replica_queue_.empty() || died_ != last_replicated_died_ ||
+          snapshot_pending_);
+}
+
+void CountingNode::maybe_send_replica(NodeContext& ctx) {
+  if (anchor_ < 0) return;
+  const std::uint64_t round = ctx.round();
+  // Heartbeats keep a CLEAN ward audible so its guardian can tell idle from
+  // dead; they only matter when adoption can fire (fault_tolerant), and
+  // skipping them otherwise preserves fault-free idle-sleep telemetry.
+  const bool heartbeat_due =
+      config_.fault_tolerant &&
+      round - last_replica_round_ >= config_.guardian_heartbeat;
+  if (replica_queue_.empty() && died_ == last_replicated_died_ &&
+      !snapshot_pending_ && !heartbeat_due) {
+    return;
+  }
+  ReplicaDelta delta;
+  delta.epoch = replica_epoch_;
+  delta.snapshot = snapshot_pending_;
+  delta.deaths = died_;
+  const std::size_t take = std::min<std::size_t>(
+      replica_queue_.size(), static_cast<std::size_t>(replica_ops_cap_));
+  for (std::size_t i = 0; i < take; ++i) {
+    const ReplicaOp& op = replica_queue_[i];
+    (op.add ? delta.adds : delta.removes)
+        .push_back(WalkToken{op.source, op.remaining});
+  }
+  scratch_.clear();
+  replica_wire_.encode(scratch_, delta);
+  // Urgent: replica frames ride outside the data window so walk admission
+  // (and therefore every RNG draw) is identical with the guardian off.
+  if (link_) {
+    link_->send(slot_of(ctx, anchor_), scratch_, /*urgent=*/true);
+  } else {
+    ctx.send(anchor_, scratch_);
+  }
+  ctx.note_replica_frame(static_cast<std::uint64_t>(scratch_.bit_count()));
+  replica_queue_.erase(replica_queue_.begin(),
+                       replica_queue_.begin() +
+                           static_cast<std::ptrdiff_t>(take));
+  snapshot_pending_ = false;
+  last_replica_round_ = round;
+  last_replicated_died_ = died_;
+}
+
+void CountingNode::finish_guardian(NodeContext& ctx) {
+  if (!config_.guardian || anchor_ < 0) return;
+  // Farewell frame: the guardian retires this ward's ledger, so clean
+  // termination is never mistaken for a crash (a DONE broadcast can take
+  // longer than guardian_silence to reach the bottom of a deep tree).
+  ReplicaDelta delta;
+  delta.epoch = replica_epoch_;
+  delta.final_frame = true;
+  delta.deaths = died_;
+  scratch_.clear();
+  replica_wire_.encode(scratch_, delta);
+  if (link_) {
+    link_->send(slot_of(ctx, anchor_), scratch_, /*urgent=*/true);
+  } else {
+    ctx.send(anchor_, scratch_);
+  }
+  ctx.note_replica_frame(static_cast<std::uint64_t>(scratch_.bit_count()));
+  replica_queue_.clear();
+  snapshot_pending_ = false;
+  last_replicated_died_ = died_;
+}
+
+void CountingNode::handle_replica(NodeContext& ctx, NodeId from,
+                                  ReplicaDelta&& delta) {
+  WardLedger& ledger = wards_[from];
+  ledger.last_heard = ctx.round();
+  if (ledger.adopted) return;
+  if (delta.final_frame) {
+    // Clean termination: from here on the ward's silence is expected, and
+    // its deaths were already counted through the sweeps.
+    ledger.adopted = true;
+    ledger.walks.clear();
+    ledger.owed_removes.clear();
+    ledger.deaths = 0;
+    return;
+  }
+  constexpr std::uint64_t kMask =
+      (1ULL << ReplicaDeltaWire::kEpochBits) - 1ULL;
+  if (delta.snapshot) {
+    if (ledger.seen_snapshot && delta.epoch == (ledger.epoch & kMask)) {
+      return;  // duplicated snapshot (dup fault without the link's dedup)
+    }
+    ledger.epoch = delta.epoch;
+    ledger.seen_snapshot = true;
+    ledger.walks.clear();
+    ledger.owed_removes.clear();
+  } else {
+    // Epoch 0 needs no snapshot: a fresh ledger and a fresh ward are both
+    // empty, so deltas replay exactly.  Any other epoch must be baselined
+    // by its snapshot first; unbaselined deltas are dropped (degrading
+    // adoption to explicit loss accounting, never to corruption).
+    const bool baselined = ledger.seen_snapshot || ledger.epoch == 0;
+    if (!baselined || delta.epoch != (ledger.epoch & kMask)) return;
+  }
+  ledger.deaths = std::max(ledger.deaths, delta.deaths);  // absolute, monotone
+  for (const WalkToken& token : delta.adds) {
+    const auto key = std::make_pair(token.source, token.remaining);
+    const auto owed = ledger.owed_removes.find(key);
+    if (owed != ledger.owed_removes.end()) {
+      if (--owed->second == 0) ledger.owed_removes.erase(owed);
+    } else {
+      ++ledger.walks[key];
+    }
+  }
+  for (const WalkToken& token : delta.removes) {
+    const auto key = std::make_pair(token.source, token.remaining);
+    const auto held = ledger.walks.find(key);
+    if (held != ledger.walks.end()) {
+      if (--held->second == 0) ledger.walks.erase(held);
+    } else {
+      // Remove before its matching add (op lists are split per frame):
+      // buffer it so the multiset stays exact once the add lands.
+      ++ledger.owed_removes[key];
+    }
+  }
+}
+
+void CountingNode::guardian_maintenance(NodeContext& ctx) {
+  // Ward side: our guardian's link died — fail over to a live neighbour
+  // strictly closer to the root, or go orphaned.
+  if (link_ && anchor_ >= 0 && link_->slot_dead(slot_of(ctx, anchor_))) {
+    re_anchor(ctx);
+  }
+  // Guardian side: adopt wards whose crash is confirmed.  Ascending ward
+  // id — wards_ is an ordered map — keeps adoption order deterministic.
+  //
+  // With the reliable link, silence alone is NOT proof: drop streaks or a
+  // link outage can mute a live ward past guardian_silence, and adopting a
+  // live ward double-counts its deaths.  So silence only triggers a tiny
+  // kPing probe through the link; a live ward's ack refreshes last_heard
+  // (raw-traffic loop in process_inbox), while a dead ward lets the probe
+  // exhaust its retransmits and the slot's death — the transport's own
+  // failure detector, ~36 rounds of unbroken loss — confirms adoption.
+  // Without the link there is no detector, so silence-only adoption stays
+  // (and message-loss faults become dup-like: counts may overshoot).
+  if (!config_.fault_tolerant) return;
+  const std::uint64_t round = ctx.round();
+  for (auto& [ward, ledger] : wards_) {
+    if (ledger.adopted) continue;
+    const bool silent = round >= ledger.last_heard &&
+                        round - ledger.last_heard >= config_.guardian_silence;
+    if (link_) {
+      if (link_->slot_dead(slot_of(ctx, ward))) {
+        adopt_ward(ctx, ward, ledger);
+      } else if (silent && (ledger.probe_round == 0 ||
+                            round - ledger.probe_round >=
+                                config_.guardian_silence)) {
+        link_->send(slot_of(ctx, ward), wire_.encode_ping(), /*urgent=*/true);
+        ledger.probe_round = round;
+      }
+    } else if (silent) {
+      adopt_ward(ctx, ward, ledger);
+    }
+  }
+}
+
+void CountingNode::adopt_ward(NodeContext& ctx, NodeId ward,
+                              WardLedger& ledger) {
+  ledger.adopted = true;
+  // The ward's deaths become ours (they were attributed to exactly one
+  // node, which no longer answers sweeps), and its mirrored walks enter our
+  // pool in custody: no visit is scored — the walk is logically still at
+  // the crash site, replayed from (source, remaining) — and each one is
+  // re-mirrored to our own guardian (chain replication survives cascades).
+  died_ += ledger.deaths;
+  std::uint64_t adopted_count = 0;
+  for (const auto& [key, count] : ledger.walks) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      pool_.push(key.first, key.second, -1);
+      queue_replica_op(true, key.first, key.second);
+    }
+    adopted_count += count;
+  }
+  ledger.walks.clear();
+  ledger.owed_removes.clear();
+  if (adopted_count > 0) ctx.note_adopted_walks(adopted_count);
+  // The dead ward can no longer answer sweeps: drop it from the child list
+  // and release a sweep blocked on its report.  The released sweep
+  // undercounts transiently; the next one re-counts from scratch and now
+  // includes the adopted deaths.
+  const auto it = std::find(children_.begin(), children_.end(), ward);
+  if (it != children_.end()) {
+    children_.erase(it);
+    if (sweep_in_progress_ && sweep_reports_pending_ > 0) {
+      --sweep_reports_pending_;
+    }
+  }
+}
+
+void CountingNode::re_anchor(NodeContext& ctx) {
+  const auto neighbors = ctx.neighbors();
+  NodeId best = -1;
+  std::uint64_t best_depth = 0;
+  for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+    if (link_->slot_dead(slot)) continue;
+    const std::uint64_t depth = config_.neighbor_depths[slot];
+    const NodeId candidate = neighbors[slot];
+    // Non-root wards only accept neighbours lexicographically closer to the
+    // root on (depth, id): every reparent strictly decreases that key, so
+    // the rewired report DAG stays acyclic.  The root has no cycle to make
+    // (nothing reports above it) and just picks its best live neighbour.
+    if (!is_root_ &&
+        (depth > config_.my_depth ||
+         (depth == config_.my_depth && candidate >= ctx.id()))) {
+      continue;
+    }
+    if (best < 0 || depth < best_depth ||
+        (depth == best_depth && candidate < best)) {
+      best = candidate;
+      best_depth = depth;
+    }
+  }
+  anchor_ = best;
+  if (!is_root_) sweep_parent_ = best;
+  replica_queue_.clear();
+  if (best < 0) {
+    // Orphaned: no eligible live neighbour.  Walks keep moving but are no
+    // longer mirrored; if this node also crashes they surface as RunReport
+    // loss, and the deadline backstop ends the phase.
+    snapshot_pending_ = false;
+    return;
+  }
+  // Re-introduce ourselves: bump the epoch, snapshot the full pool so the
+  // new guardian re-baselines, and (non-root) route future sweep reports
+  // through the new parent.
+  ++replica_epoch_;
+  snapshot_pending_ = true;
+  for (std::size_t w = 0; w < pool_.size(); ++w) {
+    replica_queue_.push_back(
+        ReplicaOp{true, pool_.source(w), pool_.remaining(w)});
+  }
+  if (!is_root_) send_control(ctx, best, wire_.encode_reparent());
+}
+
+std::uint64_t CountingNode::count_walks_in_frame(const ReliableGiveUp& frame) {
+  BitReader reader(frame.bytes, frame.bit_count);
+  if (static_cast<CountingMsg>(reader.read(wire_.type_bits)) !=
+      CountingMsg::kWalk) {
+    return 0;
+  }
+  if (!config_.coalesce_walks) return 1;  // legacy wire: one token per frame
+  decoded_.clear();
+  batch_wire_.decode(reader, decoded_);
+  return decoded_.size();
 }
 
 }  // namespace rwbc

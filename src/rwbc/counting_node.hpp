@@ -24,7 +24,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "congest/node.hpp"
@@ -92,6 +94,33 @@ struct CountingNodeConfig {
   /// its retries is treated as crashed — its walks re-route elsewhere.
   bool reliable_transport = false;
   ReliableLinkConfig reliable_link;
+  /// Crash-lossless counting (DESIGN.md §10): every node mirrors its held
+  /// walk multiset to a deterministic guardian (the BFS-tree parent; the
+  /// root uses its canonical first child) via compact replica-delta frames.
+  /// When a neighbour is declared crashed — its reliable-link slot died, or
+  /// it fell silent for guardian_silence rounds — the guardian adopts the
+  /// mirrored walks and death count and the protocol continues without
+  /// loss, provided the survivors stay connected.  Requires kPerMove (a
+  /// queued walk's remaining budget must only change on messages the
+  /// guardian can observe).  Fault-free guardian runs keep walk dynamics
+  /// and scores byte-identical to guardian-off runs: replica frames are
+  /// urgent (outside the data window) and adoption is fault_tolerant-gated.
+  bool guardian = false;
+  NodeId guardian_id = -1;      ///< this node's guardian (-1 = orphan)
+  std::uint64_t my_depth = 0;   ///< BFS-tree depth of this node
+  /// BFS-tree depth of each neighbour, aligned with the sorted neighbour
+  /// list; used to pick a replacement guardian strictly closer to the root
+  /// (lexicographically smaller (depth, id)) when the current one dies.
+  std::vector<std::uint64_t> neighbor_depths;
+  /// Max rounds between replica frames while unreplicated state exists is
+  /// implicit (a dirty ward sends every round); the heartbeat keeps a
+  /// CLEAN ward audible so guardians can tell "idle" from "dead".  Only
+  /// active under fault_tolerant (fault-free runs may idle-sleep).
+  std::uint64_t guardian_heartbeat = 2;
+  /// Rounds of total silence from a ward before its guardian adopts its
+  /// mirrored walks.  Must exceed guardian_heartbeat plus worst-case
+  /// retransmission delay to avoid false adoptions of live wards.
+  std::uint64_t guardian_silence = 12;
   /// When false, the per-source visit table (O(n) words on every node) is
   /// neither allocated nor updated.  Walk dynamics, RNG draws, and every
   /// message stay identical — only the tally that the computing phase would
@@ -116,18 +145,85 @@ class CountingNode final : public NodeProcess {
   /// After the run: walks this node terminated (absorbed or expired).
   std::uint64_t died_here() const { return died_; }
 
+  /// True if this node adopted the given ward, i.e. the ward's mirrored
+  /// deaths are already folded into died_here().
+  bool adopted_ward(NodeId ward) const {
+    auto it = wards_.find(ward);
+    return it != wards_.end() && it->second.adopted;
+  }
+
+  /// The mirrored absolute death count this node holds for an un-adopted
+  /// ward (0 if it guards no such ward).  The post-run census uses this to
+  /// credit deaths recorded at a node that crashed too late in the phase
+  /// for adoption to fire (DESIGN.md §10): `deaths` mirrors the ward's
+  /// monotone died_ counter, so it is a sound lower bound on what the ward
+  /// would have testified.
+  std::uint64_t mirrored_ward_deaths(NodeId ward) const {
+    auto it = wards_.find(ward);
+    return (it != wards_.end() && !it->second.adopted) ? it->second.deaths
+                                                       : 0;
+  }
+
   /// True once the DONE broadcast reached this node.
   bool finished() const { return finished_; }
 
  private:
+  /// One queued mirror operation toward the guardian: add = a walk entered
+  /// this node's custody (birth, arrival, give-up refund), !add = it left
+  /// (sent onward, or died in a mass-kill).  FIFO order is preserved into
+  /// frames so the guardian's ledger replays custody transitions exactly.
+  struct ReplicaOp {
+    bool add = true;
+    NodeId source = 0;
+    std::uint64_t remaining = 0;
+  };
+
+  /// Guardian-side mirror of one ward's walk custody, keyed by the ward's
+  /// node id.  walks counts tokens by (source, remaining); owed_removes
+  /// buffers removes that arrived before their matching add (op order
+  /// within a frame is canonicalised, so this keeps the multiset exact).
+  struct WardLedger {
+    std::uint64_t epoch = 0;
+    bool seen_snapshot = false;
+    std::uint64_t deaths = 0;  ///< absolute died_ of the ward (monotone max)
+    std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> walks;
+    std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> owed_removes;
+    std::uint64_t last_heard = 0;  ///< round of the last raw message seen
+    std::uint64_t probe_round = 0;  ///< round the last liveness ping was sent
+    bool adopted = false;  ///< further frames from this ward are ignored
+  };
+
   void process_inbox(NodeContext& ctx, std::span<const Message> inbox);
-  void handle_payload(NodeContext& ctx, BitReader& reader);
+  void handle_payload(NodeContext& ctx, NodeId from, BitReader& reader);
+  void handle_replica(NodeContext& ctx, NodeId from, ReplicaDelta&& delta);
   void absorb_give_ups();
   void forward_walks(NodeContext& ctx);
   void run_sweep_logic(NodeContext& ctx);
   void record_kill();
   void send_control(NodeContext& ctx, NodeId to, const BitWriter& payload);
   std::size_t slot_of(NodeContext& ctx, NodeId v) const;
+
+  // Guardian handoff (DESIGN.md §10).
+  void queue_replica_op(bool add, NodeId source, std::uint64_t remaining);
+  /// Remove-on-transmit: mirrors the remove ops for exactly the walk frames
+  /// the upcoming flush() will put on the wire (ReliableLink::
+  /// planned_data_sends).  A frame parked behind a full window has not left
+  /// the node — if the node crashes, its walks must still be in the
+  /// guardian's ledger or they are silently lost.  Runs between
+  /// forward_walks and maybe_send_replica so the removes ride the SAME
+  /// round's replica frame as the transmission they describe.
+  void settle_custody(NodeContext& ctx);
+  void maybe_send_replica(NodeContext& ctx);
+  void finish_guardian(NodeContext& ctx);  ///< farewell frame on DONE-finish
+  void guardian_maintenance(NodeContext& ctx);
+  void adopt_ward(NodeContext& ctx, NodeId ward, WardLedger& ledger);
+  void re_anchor(NodeContext& ctx);
+  /// Unreplicated state exists: the node must not idle-sleep or the mirror
+  /// would go stale while walks sit queued at a sleeping node.
+  bool replica_dirty() const;
+  /// Walks inside a link frame (0 for control/replica payloads) — deadline
+  /// accounting for in-flight custody.
+  std::uint64_t count_walks_in_frame(const ReliableGiveUp& frame);
 
   CountingNodeConfig config_;
   CountingWire wire_;
@@ -160,6 +256,7 @@ class CountingNode final : public NodeProcess {
   std::vector<std::uint32_t> bucket_cursor_;  // scatter cursors
   std::vector<std::uint32_t> bucket_idx_;     // pool indices, slot-major
   std::vector<WalkToken> batch_;              // per-slot outgoing batch
+  std::vector<WalkToken> custody_;            // pre-decrement mirror of batch_
   std::vector<WalkToken> decoded_;            // per-message decode scratch
   BitWriter scratch_;                         // outgoing payload scratch
   /// min(wpepr, largest batch whose worst-case encoding fits the per-edge
@@ -168,6 +265,35 @@ class CountingNode final : public NodeProcess {
   std::uint64_t batch_cap_ = 1;
   // Weighted sampling: cumulative neighbour weights (empty = uniform).
   std::vector<double> cumulative_weights_;
+
+  // Dynamic tree links: initialised from the config every on_start and used
+  // by sweeps/DONE in ALL modes; only guardian failover mutates them (an
+  // adopting guardian drops the dead child, a re-anchoring ward reports to
+  // its new guardian, which learns of the child via kReparent).
+  NodeId sweep_parent_ = -1;
+  std::vector<NodeId> children_;
+
+  // Guardian handoff state (all inert unless config_.guardian).
+  ReplicaDeltaWire replica_wire_;
+  NodeId anchor_ = -1;  ///< current guardian (-1 = orphaned, walks at risk)
+  std::uint64_t replica_epoch_ = 0;
+  bool snapshot_pending_ = false;  ///< next frame re-baselines the ledger
+  std::vector<ReplicaOp> replica_queue_;
+  std::uint64_t last_replica_round_ = 0;
+  std::uint64_t last_replicated_died_ = 0;
+  /// Ops per frame that fit the per-edge budget next to a worst-case walk
+  /// batch and control frame (>= 1 always; backlog spills to later rounds).
+  std::uint64_t replica_ops_cap_ = 1;
+  /// Wards this node guards, ascending id — deterministic adoption order.
+  std::map<NodeId, WardLedger> wards_;
+  /// Per-slot FIFO of the walks inside each queued-but-never-transmitted
+  /// link frame (pre-decrement (source, remaining), one entry per frame,
+  /// queue order).  Control/replica frames are urgent and never queue, so
+  /// this aligns one-to-one with the link's unsent regular frames: entries
+  /// pop when settle_custody sees the frame transmit (mirroring the remove
+  /// op then) or when a slot death returns the frame as a sent=false
+  /// give-up (no remove ever mirrored, so the refund must not re-add).
+  std::vector<std::vector<std::vector<WalkToken>>> pending_custody_;
 
   std::size_t draw_neighbor_slot(NodeContext& ctx);
 };

@@ -115,6 +115,11 @@ class AlphaCountingNode final : public NodeProcess {
         case CountingMsg::kSweepRequest:
         case CountingMsg::kSweepReport:
         case CountingMsg::kDone:
+        case CountingMsg::kReplicaDelta:
+        case CountingMsg::kReparent:
+        case CountingMsg::kPing:
+          // Guardian kinds included: alpha-CFB never runs guardian mode,
+          // so any of these on the wire is equally a protocol error.
           throw InternalError("unexpected control message");
       }
     }

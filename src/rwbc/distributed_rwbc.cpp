@@ -1,5 +1,6 @@
 #include "rwbc/distributed_rwbc.hpp"
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -64,6 +65,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
   std::uint64_t resume_walks = 0;
   std::uint64_t resume_cutoff = 0;
   RunMetrics resume_counting_metrics;
+  std::uint64_t resume_died_survivors = 0;
   if (options.checkpoint.resume) {
     RWBC_REQUIRE(supervisor != nullptr,
                  "checkpoint.resume requires checkpoint.dir");
@@ -89,6 +91,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
     resume_cutoff = resume_reader->u64();
     if (resume_phase == 4) {
       resume_counting_metrics = load_metrics(*resume_reader);
+      resume_died_survivors = resume_reader->u64();
     }
   }
 
@@ -200,13 +203,28 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
   // P3: Algorithm 1 — the counting phase.  Skipped entirely when resuming
   // from a P4 snapshot: its outputs (the visit counts) ride inside the
   // snapshot's ComputeNode state, and its metrics inside the prologue.
+  // died_survivors feeds the RunReport's walk-conservation ledger: deaths
+  // recorded at nodes that did NOT crash during P3 (a guardian's adopted
+  // deaths count here; a crashed node's own counter is lost knowledge).
+  std::uint64_t died_survivors = 0;
   {
     std::optional<Network> counting_net;
     if (resume_phase == 4) {
       result.counting_metrics = resume_counting_metrics;
+      died_survivors = resume_died_survivors;
     } else {
       CongestConfig counting_congest = data_congest;
       counting_congest.checkpoint_label = "rwbc-counting";
+      if (options.guardian_handoff) {
+        // The replica channel shares the counting phase's edges; widen only
+        // THIS phase's budget (P4 carries no walks, and widening it would
+        // change its auto-fit packing and score summation order).
+        RWBC_REQUIRE(options.guardian_bandwidth_factor >= 1,
+                     "guardian_bandwidth_factor must be >= 1");
+        counting_congest.bandwidth_log_multiplier *=
+            options.guardian_bandwidth_factor;
+        counting_congest.bit_floor *= options.guardian_bandwidth_factor;
+      }
       if (snapshotting) {
         counting_congest.checkpoint_interval = options.checkpoint.interval;
         counting_congest.checkpoint_prologue = [&](CheckpointWriter& out) {
@@ -232,6 +250,28 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
         config.deadline_rounds = counting_deadline;
         config.reliable_transport = options.reliable_transport;
         config.reliable_link = options.reliable_link;
+        if (options.guardian_handoff) {
+          config.guardian = true;
+          const auto vi = static_cast<std::size_t>(v);
+          config.my_depth = static_cast<std::uint64_t>(tree.depth[vi]);
+          // Guardian assignment: the BFS-tree parent; the root mirrors to
+          // its first (smallest-id) child.  Deterministic, degree-local,
+          // and the mutual root <-> first-child pair is harmless: each
+          // side's ledger covers the other independently.
+          config.guardian_id = config.tree_parent >= 0
+                                   ? config.tree_parent
+                                   : (tree.children[vi].empty()
+                                          ? NodeId{-1}
+                                          : tree.children[vi].front());
+          const auto neighbor_ids = g.neighbors(v);
+          config.neighbor_depths.reserve(neighbor_ids.size());
+          for (NodeId u : neighbor_ids) {
+            config.neighbor_depths.push_back(static_cast<std::uint64_t>(
+                tree.depth[static_cast<std::size_t>(u)]));
+          }
+          config.guardian_heartbeat = options.guardian_heartbeat;
+          config.guardian_silence = options.guardian_silence;
+        }
         if (wg != nullptr) {
           const auto weights = wg->neighbor_weights(v);
           config.neighbor_weights.assign(weights.begin(), weights.end());
@@ -242,6 +282,60 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
         counting_net->restore_checkpoint(*resume_reader);
       }
       result.counting_metrics = counting_net->run();
+      // Sum deaths over nodes that survived P3.  crash_round <= r means the
+      // node does not execute round r, so it crashed during the phase iff
+      // its earliest crash round is below the executed round count.
+      std::vector<std::uint64_t> crash_round(
+          static_cast<std::size_t>(n),
+          std::numeric_limits<std::uint64_t>::max());
+      for (const CrashEvent& crash : options.congest.faults.crashes) {
+        auto& scheduled = crash_round[static_cast<std::size_t>(crash.node)];
+        scheduled = std::min(scheduled, crash.round);
+      }
+      const auto survived_p3 = [&](NodeId v) {
+        return crash_round[static_cast<std::size_t>(v)] >=
+               result.counting_metrics.rounds;
+      };
+      for (NodeId v = 0; v < n; ++v) {
+        if (!survived_p3(v)) continue;
+        died_survivors +=
+            static_cast<const CountingNode&>(counting_net->node(v))
+                .died_here();
+      }
+      // A node that crashed during P3 cannot testify, but its guardian's
+      // mirrored ledger can.  If a survivor adopted the ward, its deaths
+      // are already inside that survivor's died_here(); otherwise (the
+      // crash landed too late in the phase for adoption to fire — e.g.
+      // after the root had absorbed the ward's final sweep report and the
+      // DONE wave was already in flight) credit the largest death count
+      // any surviving guardian mirrors for it.  `deaths` is the ward's
+      // absolute died_ (monotone), so max over ledgers is a sound lower
+      // bound and re-anchoring duplicates cannot double-count.
+      for (NodeId v = 0; v < n; ++v) {
+        if (survived_p3(v)) continue;
+        const auto& crashed =
+            static_cast<const CountingNode&>(counting_net->node(v));
+        if (crashed.finished()) {
+          // The DONE wave reached the node before it crashed: every walk
+          // was already dead phase-wide, so its frozen counters are final
+          // testimony (and its guardian retired the ledger on farewell).
+          died_survivors += crashed.died_here();
+          continue;
+        }
+        bool adopted = false;
+        std::uint64_t mirrored = 0;
+        for (NodeId holder = 0; holder < n; ++holder) {
+          if (!survived_p3(holder)) continue;
+          const auto& guardian =
+              static_cast<const CountingNode&>(counting_net->node(holder));
+          if (guardian.adopted_ward(v)) {
+            adopted = true;
+            break;
+          }
+          mirrored = std::max(mirrored, guardian.mirrored_ward_deaths(v));
+        }
+        if (!adopted) died_survivors += mirrored;
+      }
     }
     total += result.counting_metrics;
 
@@ -256,6 +350,7 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
       computing_congest.checkpoint_prologue = [&](CheckpointWriter& out) {
         write_prologue(4, out);
         save_metrics(out, result.counting_metrics);
+        out.u64(died_survivors);  // feeds WalkAccounting on resume-from-P4
       };
       computing_congest.checkpoint_sink =
           [&, round_offset](std::uint64_t round,
@@ -322,6 +417,20 @@ DistributedRwbcResult run_pipeline(const Graph& g, const WeightedGraph* wg,
   }
   result.report = make_run_report("rwbc", std::move(scores), total,
                                   options.congest.seed, resumed_from_round);
+  // Walk conservation ledger (DESIGN.md §10): every walk born is counted
+  // dead at a survivor, explicitly abandoned (metered), or lost.  lost == 0
+  // under crash-only plans with guardian + reliable transport and connected
+  // survivors; negative lost = duplication overcount.
+  WalkAccounting& walks = result.report.walks;
+  walks.enabled = true;
+  walks.expected = static_cast<std::uint64_t>(n - 1) *
+                   static_cast<std::uint64_t>(result.params.walks_per_source);
+  walks.died = died_survivors;
+  walks.adopted = result.counting_metrics.adopted_walks;
+  walks.abandoned = result.counting_metrics.abandoned_walks;
+  walks.lost = static_cast<std::int64_t>(walks.expected) -
+               static_cast<std::int64_t>(walks.died) -
+               static_cast<std::int64_t>(walks.abandoned);
   return result;
 }
 

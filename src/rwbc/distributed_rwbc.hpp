@@ -97,6 +97,30 @@ struct DistributedRwbcOptions {
   /// termination detection needs no backstop.
   std::uint64_t fault_deadline_rounds = 0;
 
+  /// Crash-lossless counting (DESIGN.md §10): every node mirrors its held
+  /// walks to its BFS-tree parent (the root to its first child) via compact
+  /// replica-delta frames; when a neighbour is declared crashed, the
+  /// guardian adopts the mirrored walks and deaths and the phase continues
+  /// without loss while survivors stay connected.  The RunReport's
+  /// WalkAccounting makes the guarantee auditable either way.  Combine with
+  /// reliable_transport for crash detection via dead link slots; without it
+  /// adoption falls back to silence timeouts.  Fault-free runs with the
+  /// guardian on produce bit-identical scores to guardian-off runs at
+  /// walks_per_edge_per_round = 1.
+  bool guardian_handoff = false;
+  /// Rounds between replica frames from a clean ward (fault-tolerant runs
+  /// only) so guardians can tell idle from dead.
+  std::uint64_t guardian_heartbeat = 2;
+  /// Rounds of ward silence before its guardian adopts.  Must exceed
+  /// guardian_heartbeat plus the transport's worst-case retransmission
+  /// delay, or live-but-lossy wards get falsely adopted (an overcount the
+  /// accounting surfaces as negative loss).
+  std::uint64_t guardian_silence = 12;
+  /// Counting-phase budget widening for the replica channel (the computing
+  /// phase carries no walks and is left untouched, so its auto-fit message
+  /// packing — and hence score summation order — is unchanged).
+  std::uint64_t guardian_bandwidth_factor = 4;
+
   /// Durable checkpoint/restore for the long data phases (P3 counting, P4
   /// computing).  Setup phases P0-P2 are cheap and deterministic, so a
   /// resumed run simply recomputes them and validates the snapshot against

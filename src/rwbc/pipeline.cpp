@@ -180,6 +180,14 @@ void strip_pipeline_flags(std::vector<char*>& args, PipelineSpec& spec) {
       spec.rwbc.coalesce_walks = false;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
       continue;
+    } else if (flag == "--guardian") {
+      spec.rwbc.guardian_handoff = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    } else if (flag == "--no-guardian") {
+      spec.rwbc.guardian_handoff = false;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
     } else if (flag == "--reliable") {
       spec.reliable_transport = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));

@@ -40,9 +40,12 @@ struct PipelineSpec {
 
   // Per-algorithm options.  Only the struct matching `algorithm` is read;
   // set expert knobs (walks_per_source, length_policy, alpha, ...) here.
-  // The rwbc coalescing knobs are parseable too (rwbc only):
+  // The rwbc coalescing/guardian knobs are parseable too (rwbc only):
   // [--walks-per-edge N] -> rwbc.walks_per_edge_per_round,
-  // [--no-coalesce]      -> rwbc.coalesce_walks = false (legacy wire).
+  // [--no-coalesce]      -> rwbc.coalesce_walks = false (legacy wire),
+  // [--guardian]         -> rwbc.guardian_handoff = true (crash-lossless
+  //                         counting via walk mirroring, DESIGN.md §10),
+  // [--no-guardian]      -> rwbc.guardian_handoff = false.
   // The congest sub-configs inside these are overlaid by the shared fields
   // below before the run.
   DistributedRwbcOptions rwbc;

@@ -47,8 +47,45 @@ ReliableLink::ReliableLink(ReliableLinkConfig config, std::size_t degree)
 
 std::size_t ReliableLink::data_capacity(std::size_t slot) const {
   if (dead_[slot]) return 0;
-  const std::size_t outstanding = slots_[slot].outgoing.size();
+  // Urgent frames (control sweeps, replica deltas) bypass the window at
+  // flush time, so they don't occupy admission slots either — walk traffic
+  // is throttled identically whether or not control/replica frames happen
+  // to be in flight on the same edge.
+  std::size_t outstanding = 0;
+  for (const Frame& frame : slots_[slot].outgoing) {
+    if (!frame.urgent) ++outstanding;
+  }
   return outstanding >= config_.window ? 0 : config_.window - outstanding;
+}
+
+std::size_t ReliableLink::planned_data_sends(std::size_t slot,
+                                             std::uint64_t round) const {
+  // Must mirror flush() exactly: step 2 may kill the slot (admitting
+  // nothing), otherwise step 3 walks the queue in order and admits frames
+  // while the in-flight count stays under the window.  Urgent frames
+  // (queued this round, always transmitted) bypass the window check but
+  // still increment in-flight — they can block regular frames queued after
+  // them, so they must be simulated here even though only regular frames
+  // count toward the returned total.
+  if (dead_[slot]) return 0;
+  const SlotState& state = slots_[slot];
+  std::size_t in_flight = 0;
+  for (const Frame& frame : state.outgoing) {
+    if (!frame.sent) continue;
+    if (round - frame.last_sent_round >= config_.ack_timeout &&
+        frame.retries >= config_.max_retries) {
+      return 0;  // flush() will give_up_slot() before admitting anything
+    }
+    ++in_flight;
+  }
+  std::size_t sends = 0;
+  for (const Frame& frame : state.outgoing) {
+    if (frame.sent) continue;
+    if (!frame.urgent && in_flight >= config_.window) continue;
+    if (!frame.urgent) ++sends;
+    ++in_flight;
+  }
+  return sends;
 }
 
 void ReliableLink::send(std::size_t slot, const BitWriter& inner,
@@ -190,6 +227,22 @@ void ReliableLink::shutdown() {
   }
 }
 
+std::vector<ReliableGiveUp> ReliableLink::drain_outgoing() {
+  std::vector<ReliableGiveUp> drained;
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    for (Frame& frame : slots_[slot].outgoing) {
+      ReliableGiveUp record;
+      record.slot = slot;
+      record.bytes = std::move(frame.bytes);
+      record.bit_count = frame.bit_count;
+      record.sent = frame.sent;
+      drained.push_back(std::move(record));
+    }
+    slots_[slot].outgoing.clear();
+  }
+  return drained;
+}
+
 void ReliableLink::save_state(CheckpointWriter& out) const {
   out.u64(slots_.size());
   for (const SlotState& state : slots_) {
@@ -215,6 +268,7 @@ void ReliableLink::save_state(CheckpointWriter& out) const {
     out.u64(give_up.slot);
     out.blob(give_up.bytes);
     out.i64(give_up.bit_count);
+    out.boolean(give_up.sent);
   }
 }
 
@@ -256,6 +310,7 @@ void ReliableLink::load_state(CheckpointReader& in) {
     give_up.slot = static_cast<std::size_t>(in.u64());
     give_up.bytes = in.blob();
     give_up.bit_count = static_cast<int>(in.i64());
+    give_up.sent = in.boolean();
     give_ups_.push_back(std::move(give_up));
   }
 }
@@ -277,6 +332,7 @@ void ReliableLink::give_up_slot(std::size_t slot) {
     give_up.slot = slot;
     give_up.bytes = std::move(frame.bytes);
     give_up.bit_count = frame.bit_count;
+    give_up.sent = frame.sent;
     give_ups_.push_back(std::move(give_up));
   }
   state.outgoing.clear();

@@ -72,6 +72,12 @@ struct ReliableGiveUp {
   std::size_t slot = 0;  ///< neighbour slot the frame was addressed to
   std::vector<std::uint8_t> bytes;
   int bit_count = 0;
+  /// True if the frame was transmitted at least once.  Deadline accounting
+  /// uses this to split custody: a never-sent frame's walks are provably
+  /// still ours (abandoned); a sent-but-unacked frame may already be held
+  /// by the peer, so its walks are left to the residual `lost` bucket
+  /// rather than risking a double count.
+  bool sent = false;
 };
 
 /// An inner payload delivered exactly once to the caller.
@@ -90,6 +96,16 @@ class ReliableLink {
 
   /// Free window slots for new DATA frames toward `slot` (0 if dead).
   std::size_t data_capacity(std::size_t slot) const;
+
+  /// Exactly how many queued-but-never-transmitted regular (non-urgent)
+  /// frames toward `slot` the next flush() at `round` will put on the wire
+  /// — 0 when the slot is dead or this flush will declare it dead.  A pure
+  /// pre-computation of flush()'s admission rule, so custody protocols can
+  /// act on the transmission (e.g. mirror a guardian remove op) in the SAME
+  /// round's control traffic instead of a round late: a frame parked behind
+  /// a full window has provably not left the node, and its walks must stay
+  /// mirrored as held until it actually does.
+  std::size_t planned_data_sends(std::size_t slot, std::uint64_t round) const;
 
   /// Queues an inner payload for `slot`; sent at the next flush().
   /// Regular frames respect the window (callers should check
@@ -126,6 +142,13 @@ class ReliableLink {
   /// via deadline still acks stragglers instead of forcing peers through
   /// their full retry budgets.
   void shutdown();
+
+  /// Like shutdown(), but RETURNS the abandoned frames (all slots, as
+  /// give-up-style records) without marking any slot dead — the deadline
+  /// accounting path decodes them so every walk parked in a window is
+  /// tallied as abandoned exactly once (never also refunded: the frames
+  /// leave the link here and take_give_ups() cannot see them again).
+  std::vector<ReliableGiveUp> drain_outgoing();
 
   /// Checkpoints all transport state: per-slot windows (queued + in-flight
   /// frames with their retry clocks), receive floors/bitmaps, pending

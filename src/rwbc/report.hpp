@@ -20,6 +20,28 @@
 
 namespace rwbc {
 
+/// Walk conservation accounting for pipelines with a counting phase
+/// (DESIGN.md §10).  Every walk born ends in exactly one bucket: died
+/// (killed at a surviving node, including deaths a guardian adopted from a
+/// crashed ward), abandoned (explicitly dropped with a metric — deadline
+/// backstop, DONE stragglers), or lost (the residual: state that crashed
+/// nodes took with them, or in-flight frames nobody could attest).  A
+/// negative `lost` means duplication faults overcounted deaths.
+struct WalkAccounting {
+  bool enabled = false;  ///< filled only by counting-phase pipelines
+  std::uint64_t expected = 0;   ///< (n - 1) * K walks born
+  std::uint64_t died = 0;       ///< deaths recorded at surviving nodes
+  std::uint64_t adopted = 0;    ///< walks guardians adopted from crashed wards
+  std::uint64_t abandoned = 0;  ///< walks explicitly dropped (metered)
+  std::int64_t lost = 0;        ///< expected - died - abandoned
+
+  /// The crash-lossless guarantee held: every walk was either counted or
+  /// an explicit, metered drop — nothing vanished silently.
+  bool conserved() const { return lost == 0; }
+  /// Stronger: the run terminated with every walk counted (no drops).
+  bool exact() const { return lost == 0 && abandoned == 0; }
+};
+
 /// Common outputs of one distributed pipeline run.
 struct RunReport {
   /// Which pipeline produced this report ("rwbc", "spbc", "alpha-cfb",
@@ -48,6 +70,9 @@ struct RunReport {
   /// snapshot re-ran deterministically or were skipped; either way the
   /// outputs are bit-identical to the uninterrupted run.
   std::int64_t resumed_from_round = -1;
+
+  /// Walk conservation ledger (enabled only for counting-phase pipelines).
+  WalkAccounting walks;
 };
 
 /// Assembles a report from a finished run.  `scores` is moved in;

@@ -18,12 +18,17 @@
 
 namespace rwbc {
 
-/// Message kinds of the counting phase.
+/// Message kinds of the counting phase.  The guardian-handoff kinds (4, 5)
+/// need a 3-bit type tag; a run without guardian replication keeps the
+/// legacy 2-bit tag, so its wire bytes are unchanged.
 enum class CountingMsg : std::uint64_t {
   kWalk = 0,          ///< a walk token: (source, remaining)
   kSweepRequest = 1,  ///< root -> leaves: report your subtree's death count
   kSweepReport = 2,   ///< leaves -> root: aggregated death count
   kDone = 3,          ///< root -> leaves: all walks dead, halt
+  kReplicaDelta = 4,  ///< ward -> guardian: held-walk ledger delta
+  kReparent = 5,      ///< orphaned child -> new parent: adopt my sweep reports
+  kPing = 6,          ///< guardian -> silent ward: probe liveness via the link
 };
 
 /// A random walk in flight or held by a node.
@@ -89,8 +94,10 @@ struct CountingWire {
   int length_bits = 0;
   int count_bits = 0;  ///< for sweep reports: bits of (n-1)*K + 1
 
-  CountingWire(NodeId n, std::uint64_t cutoff, std::uint64_t walks_per_source)
-      : id_bits(bits_for(static_cast<std::uint64_t>(n))),
+  CountingWire(NodeId n, std::uint64_t cutoff, std::uint64_t walks_per_source,
+               int type_bits_in = 2)
+      : type_bits(type_bits_in),
+        id_bits(bits_for(static_cast<std::uint64_t>(n))),
         length_bits(bits_for(cutoff + 1)),
         count_bits(bits_for(static_cast<std::uint64_t>(n) * walks_per_source +
                             1)) {}
@@ -111,11 +118,18 @@ struct CountingWire {
     return w;
   }
 
-  /// Encodes a sweep report carrying a subtree death count.
+  /// Encodes a sweep report carrying a subtree death count.  Duplication
+  /// faults without the reliable layer's dedup can push a subtree's total
+  /// past the fault-free bound the field was sized for; the report
+  /// saturates at field capacity — still >= the root's expected total, so
+  /// DONE detection fires, and the overshoot itself is surfaced by the
+  /// RunReport's negative `lost` residual.
   BitWriter encode_sweep_report(std::uint64_t died) const {
     BitWriter w;
     w.write(static_cast<std::uint64_t>(CountingMsg::kSweepReport), type_bits);
-    w.write(died, count_bits);
+    const std::uint64_t cap =
+        count_bits >= 64 ? ~0ULL : (1ULL << count_bits) - 1ULL;
+    w.write(std::min(died, cap), count_bits);
     return w;
   }
 
@@ -123,6 +137,25 @@ struct CountingWire {
   BitWriter encode_done() const {
     BitWriter w;
     w.write(static_cast<std::uint64_t>(CountingMsg::kDone), type_bits);
+    return w;
+  }
+
+  /// Encodes a reparent announcement (type tag only; guardian mode, so
+  /// type_bits is 3).  The receiver adds the sender to its sweep children.
+  BitWriter encode_reparent() const {
+    BitWriter w;
+    w.write(static_cast<std::uint64_t>(CountingMsg::kReparent), type_bits);
+    return w;
+  }
+
+  /// Encodes a liveness probe (type tag only; guardian mode, so type_bits
+  /// is 3).  A guardian sends this to a silent ward through the reliable
+  /// link: a live ward acks it (refreshing last_heard), while a dead ward
+  /// lets the retransmit counter exhaust and the slot's death confirms the
+  /// crash.  The payload itself is ignored on receipt.
+  BitWriter encode_ping() const {
+    BitWriter w;
+    w.write(static_cast<std::uint64_t>(CountingMsg::kPing), type_bits);
     return w;
   }
 };
@@ -302,6 +335,138 @@ struct WalkBatchWire {
       RWBC_REQUIRE(out[base + i].remaining <= cutoff,
                    "walk batch length out of range");
     }
+  }
+};
+
+/// Decoded content of a kReplicaDelta frame (guardian handoff, DESIGN.md
+/// §10): an incremental update to the ward's held-walk ledger at its
+/// guardian.
+struct ReplicaDelta {
+  std::uint64_t epoch = 0;  ///< bumped when the ward re-anchors
+  bool snapshot = false;    ///< reset the ledger before applying this frame
+  bool final_frame = false; ///< ward finished cleanly: retire its ledger
+  std::uint64_t deaths = 0; ///< ward's ABSOLUTE death count (monotone)
+  std::vector<WalkToken> adds;
+  std::vector<WalkToken> removes;
+};
+
+/// Wire format of replica-delta frames.
+///
+/// Layout: [kReplicaDelta : 3][epoch : 8][snapshot : 1][final : 1]
+///         [deaths : count_bits][gamma(n_adds + 1)]
+///         ([source : id][remaining : len])* sorted by (source, remaining)
+///         [gamma(n_removes + 1)]
+///         ([source : id][remaining : len])* sorted by (source, remaining)
+///
+/// Tokens use fixed widths (not delta coding) so the encoded size of a
+/// k-op frame is an exact closed form — the ward packs ops against the
+/// per-edge bit budget without trial encodes.  Both token lists are sorted
+/// canonically, so the bytes are a pure function of the op multisets.  The
+/// decoder validates every field and throws rwbc::Error on corruption.
+struct ReplicaDeltaWire {
+  static constexpr int kEpochBits = 8;
+
+  int type_bits = 3;
+  int id_bits = 0;
+  int length_bits = 0;
+  int count_bits = 0;  ///< deaths field: bits of n * K + 1
+  std::uint64_t node_count = 0;
+  std::uint64_t cutoff = 0;
+  std::uint64_t max_tokens = 0;  ///< n * K: bound on ops per frame
+
+  ReplicaDeltaWire() = default;
+  ReplicaDeltaWire(NodeId n, std::uint64_t cutoff_value,
+                   std::uint64_t walks_per_source)
+      : id_bits(bits_for(static_cast<std::uint64_t>(n))),
+        length_bits(bits_for(cutoff_value + 1)),
+        count_bits(bits_for(static_cast<std::uint64_t>(n) * walks_per_source +
+                            1)),
+        node_count(static_cast<std::uint64_t>(n)),
+        cutoff(cutoff_value),
+        max_tokens(static_cast<std::uint64_t>(n) * walks_per_source) {}
+
+  /// Fixed per-frame overhead in bits (everything but the token payloads
+  /// and the two gamma-coded counts).
+  int header_bits() const {
+    return type_bits + kEpochBits + 2 + count_bits;
+  }
+
+  /// Exact encoded size of a frame carrying `n_adds` + `n_removes` tokens.
+  int frame_bits(std::uint64_t n_adds, std::uint64_t n_removes) const {
+    return header_bits() + WalkBatchWire::gamma_bits(n_adds + 1) +
+           WalkBatchWire::gamma_bits(n_removes + 1) +
+           static_cast<int>(n_adds + n_removes) * (id_bits + length_bits);
+  }
+
+  /// Largest total op count whose frame fits in `budget` bits (>= 1 so a
+  /// backlogged ward always makes progress; the pipeline widens the budget
+  /// for guardian runs).
+  std::uint64_t max_ops_for_budget(std::uint64_t budget) const {
+    std::uint64_t ops = 1;
+    while (ops < max_tokens &&
+           static_cast<std::uint64_t>(frame_bits(ops + 1, 0)) <= budget) {
+      ++ops;
+    }
+    return ops;
+  }
+
+  /// Encodes `delta` (token lists sorted in place) into `w`.
+  void encode(BitWriter& w, ReplicaDelta& delta) const {
+    const auto canonical = [](const WalkToken& a, const WalkToken& b) {
+      return a.source != b.source ? a.source < b.source
+                                  : a.remaining < b.remaining;
+    };
+    std::sort(delta.adds.begin(), delta.adds.end(), canonical);
+    std::sort(delta.removes.begin(), delta.removes.end(), canonical);
+    w.write(static_cast<std::uint64_t>(CountingMsg::kReplicaDelta), type_bits);
+    w.write(delta.epoch & ((1ULL << kEpochBits) - 1), kEpochBits);
+    w.write(delta.snapshot ? 1 : 0, 1);
+    w.write(delta.final_frame ? 1 : 0, 1);
+    // Duplication faults (dup_prob without the reliable layer's dedup) can
+    // push a ward's true death count past the fault-free bound n * K; the
+    // mirror saturates rather than emitting a frame the strict decoder
+    // would reject.  That regime is lossy by contract — the RunReport's
+    // negative `lost` residual is where the overcount is surfaced.
+    w.write(std::min(delta.deaths, max_tokens), count_bits);
+    write_gamma(w, static_cast<std::uint64_t>(delta.adds.size()) + 1);
+    for (const WalkToken& t : delta.adds) {
+      w.write(static_cast<std::uint64_t>(t.source), id_bits);
+      w.write(t.remaining, length_bits);
+    }
+    write_gamma(w, static_cast<std::uint64_t>(delta.removes.size()) + 1);
+    for (const WalkToken& t : delta.removes) {
+      w.write(static_cast<std::uint64_t>(t.source), id_bits);
+      w.write(t.remaining, length_bits);
+    }
+  }
+
+  /// Decodes a frame (type tag already consumed).  Throws rwbc::Error on
+  /// truncation or any out-of-range field.
+  ReplicaDelta decode(BitReader& r) const {
+    ReplicaDelta delta;
+    delta.epoch = r.read(kEpochBits);
+    delta.snapshot = r.read(1) != 0;
+    delta.final_frame = r.read(1) != 0;
+    delta.deaths = r.read(count_bits);
+    RWBC_REQUIRE(delta.deaths <= max_tokens,
+                 "replica delta death count out of range");
+    const auto read_tokens = [&](std::vector<WalkToken>& out) {
+      const std::uint64_t count = read_gamma(r) - 1;
+      RWBC_REQUIRE(count <= max_tokens, "replica delta op count out of range");
+      out.resize(static_cast<std::size_t>(count));
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t source = r.read(id_bits);
+        RWBC_REQUIRE(source < node_count,
+                     "replica delta source out of range");
+        out[i].source = static_cast<NodeId>(source);
+        out[i].remaining = r.read(length_bits);
+        RWBC_REQUIRE(out[i].remaining <= cutoff,
+                     "replica delta length out of range");
+      }
+    };
+    read_tokens(delta.adds);
+    read_tokens(delta.removes);
+    return delta;
   }
 };
 

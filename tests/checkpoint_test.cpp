@@ -145,6 +145,40 @@ TEST(CheckpointEnvelope, ReaderOverrunThrowsInsteadOfMisparsing) {
   EXPECT_THROW(r.u32(), CheckpointError);
 }
 
+TEST(CheckpointEnvelope, TornWriteEveryPrefixRejected) {
+  // A torn write leaves an arbitrary prefix of the sealed bytes on disk.
+  // Whatever the cut point — inside the magic, the length field, or the
+  // payload — the reader must throw CheckpointError, never accept or crash.
+  CheckpointWriter w;
+  w.u64(42);
+  w.str("torn-write sweep payload");
+  for (std::uint64_t i = 0; i < 8; ++i) w.u64(i * 0x0123456789abcdefULL);
+  const auto sealed = seal_checkpoint(w);
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    auto prefix = sealed;
+    prefix.resize(len);
+    EXPECT_THROW(open_checkpoint(prefix, "unit"), CheckpointError)
+        << "prefix of " << len << " bytes accepted";
+  }
+  EXPECT_NO_THROW(open_checkpoint(sealed, "unit"));
+}
+
+TEST(CheckpointEnvelope, AnySingleByteFlipRejected) {
+  // Every byte of the envelope is load-bearing: magic and version by direct
+  // comparison, payload length by the size check, payload and CRC field by
+  // the checksum.  Flip each one in turn and expect a clean rejection.
+  CheckpointWriter w;
+  w.u64(42);
+  w.str("bit-flip sweep payload");
+  auto sealed = seal_checkpoint(w);
+  for (std::size_t offset = 0; offset < sealed.size(); ++offset) {
+    auto corrupt = sealed;
+    corrupt[offset] ^= 0x5a;
+    EXPECT_THROW(open_checkpoint(corrupt, "unit"), CheckpointError)
+        << "flip at byte " << offset << " accepted";
+  }
+}
+
 // ---------------------------------------------------------------------------
 // RunSupervisor: rotation, newest-first load, corrupt-candidate fallback.
 // ---------------------------------------------------------------------------
@@ -181,6 +215,42 @@ TEST(RunSupervisorTest, SkipsCorruptNewestAndFallsBack) {
   flip_byte(newest, 24);  // first payload byte -> CRC mismatch
 
   const auto latest = sup.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->round, 200u);
+  EXPECT_EQ(latest->skipped, 1u);
+  CheckpointReader r = open_checkpoint(latest->sealed, "unit");
+  EXPECT_EQ(r.u64(), 200u);
+}
+
+TEST(RunSupervisorTest, TornAndPartiallyFlushedNewestFallsBack) {
+  // Two flavours of interrupted write on the newest snapshot: a torn write
+  // (file cut mid-payload) and a partial flush (correct length, but the
+  // unflushed tail reads back as zeros).  Both must be skipped in favour of
+  // the previous good snapshot.
+  const fs::path dir = scratch_dir("torn-flush");
+  RunSupervisor sup(dir, 4);
+  fs::path newest;
+  for (const std::uint64_t round : {100u, 200u, 300u}) {
+    newest = sup.write_snapshot(round, sealed_marker(round));
+  }
+
+  const auto full_size = fs::file_size(newest);
+  fs::resize_file(newest, full_size / 2);  // torn mid-payload
+  auto latest = sup.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->round, 200u);
+  EXPECT_EQ(latest->skipped, 1u);
+
+  // Rebuild the newest file at its declared size with a zeroed tail.
+  {
+    auto sealed = sealed_marker(300u);
+    std::fill(sealed.begin() + static_cast<std::ptrdiff_t>(sealed.size() / 2),
+              sealed.end(), std::uint8_t{0});
+    std::ofstream f(newest, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(sealed.data()),
+            static_cast<std::streamsize>(sealed.size()));
+  }
+  latest = sup.load_latest();
   ASSERT_TRUE(latest.has_value());
   EXPECT_EQ(latest->round, 200u);
   EXPECT_EQ(latest->skipped, 1u);

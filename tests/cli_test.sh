@@ -126,6 +126,27 @@ expect_ok "crash-stop schedule" \
   --crash 5@40 --reliable distributed "$GRAPH" 4 10 3
 grep -q "rounds = " "$TMPDIR/stdout" || fail "distributed printed no metrics"
 
+# Guardian handoff: the walks census line only appears with --guardian on,
+# and a crash ridden out by guardian + reliable transport stays exact.
+expect_ok "guardian census on a healthy run" \
+  --guardian distributed "$GRAPH" 4 10 3
+grep -q "^walks: expected = " "$TMPDIR/stdout" \
+  || fail "guardian run printed no walks census"
+grep -q "(exact)$" "$TMPDIR/stdout" \
+  || fail "healthy guardian run was not exact"
+expect_ok "guardian rides out a crash-stop" \
+  --guardian --reliable --crash 5@40 --fault-seed 7 \
+  distributed "$GRAPH" 4 10 3
+grep -q "^walks: " "$TMPDIR/stdout" \
+  || fail "guardian crash run printed no walks census"
+grep -q "lost = " "$TMPDIR/stdout" \
+  || fail "guardian crash run printed no loss accounting"
+expect_ok "no-guardian wins when it comes last" \
+  --guardian --no-guardian distributed "$GRAPH" 4 10 3
+if grep -q "^walks: " "$TMPDIR/stdout"; then
+  fail "--no-guardian still printed the walks census"
+fi
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES CLI test(s) failed" >&2
   exit 1

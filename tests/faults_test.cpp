@@ -267,6 +267,65 @@ TEST(FaultInjection, LinkDownDropsExactlyTheScheduledSendRounds) {
   EXPECT_EQ(arrivals, (std::vector<std::uint64_t>{1, 2, 6, 7}));
 }
 
+// --- 5b. Message-fault windows --------------------------------------------
+//
+// drop_prob/dup_prob can be confined to a send-round window.  The gate must
+// be literal (nothing outside the window is touched) and draw-preserving
+// (the fate RNG consumes its two uniforms per message either way, so the
+// fates of in-window messages are identical under any window choice).
+
+TEST(FaultInjection, MessageFaultWindowGatesFatesWithoutPerturbingDraws) {
+  Rng rng(77);
+  const Graph g = make_erdos_renyi(12, 0.35, rng);
+  const std::uint64_t kRounds = 10;
+
+  // Boundary: drop everything, but only in send rounds [3, 6].  Chatter
+  // sends one message per directed edge per round, so the burst eats
+  // exactly four rounds' worth of traffic and nothing else.
+  FaultPlan gated;
+  gated.seed = 99;
+  gated.drop_prob = 1.0;
+  gated.message_fault_first_round = 3;
+  gated.message_fault_last_round = 6;
+  const ChatterRun burst = run_chatter(g, gated, kRounds);
+  const std::uint64_t per_round = burst.metrics.total_messages / kRounds;
+  EXPECT_EQ(burst.metrics.total_messages, per_round * kRounds);
+  EXPECT_EQ(burst.metrics.dropped_messages, 4 * per_round);
+  for (std::size_t i = 2; i < burst.transcript.size(); i += 3) {
+    const std::uint64_t arrival = burst.transcript[i];  // send round + 1
+    EXPECT_TRUE(arrival < 4 || arrival > 7)
+        << "message sent inside the window delivered at round " << arrival;
+  }
+
+  // Coupling: narrowing the window must not change the fate of any message
+  // inside it — the in-window delivery transcripts must match exactly.
+  FaultPlan whole;
+  whole.seed = 99;
+  whole.drop_prob = 0.3;
+  whole.dup_prob = 0.2;
+  FaultPlan narrow = whole;
+  narrow.message_fault_first_round = 3;
+  narrow.message_fault_last_round = 6;
+  const ChatterRun whole_run = run_chatter(g, whole, kRounds);
+  const ChatterRun narrow_run = run_chatter(g, narrow, kRounds);
+  const auto in_window = [](const ChatterRun& r) {
+    std::vector<std::uint64_t> filtered;
+    for (std::size_t i = 0; i + 2 < r.transcript.size(); i += 3) {
+      const std::uint64_t arrival = r.transcript[i + 2];
+      if (arrival >= 4 && arrival <= 7) {
+        filtered.push_back(r.transcript[i]);
+        filtered.push_back(r.transcript[i + 1]);
+        filtered.push_back(arrival);
+      }
+    }
+    return filtered;
+  };
+  EXPECT_GT(narrow_run.metrics.dropped_messages, 0u);
+  EXPECT_LT(narrow_run.metrics.dropped_messages,
+            whole_run.metrics.dropped_messages);
+  EXPECT_EQ(in_window(whole_run), in_window(narrow_run));
+}
+
 // --- 6. Thread-count invariance ------------------------------------------
 //
 // Fault draws happen at the serial delivery merge point on a dedicated RNG

@@ -10,6 +10,10 @@
 #   4. coalesced multi-token batches (--walks-per-edge 8) under faults with
 #      the reliable transport: SIGKILL lands mid-counting while walk pools
 #      and retransmission windows still hold packed batch payloads
+#   5. guardian handoff after a crash-stop: SIGKILL lands after the guardian
+#      has adopted its dead ward's orphaned walks, so the snapshot carries
+#      ward ledgers, custody queues, and adopted orphans mid-replay; the
+#      resume must be bit-identical at threads 1, 8, and -1
 #
 # Usage: recovery_drill.sh <path-to-rwbc_cli>
 # RWBC_DRILL_DIR: when set, scratch space lives there and is kept on
@@ -44,7 +48,8 @@ SEED=9
 # drill <name> <kill-round> <resume-threads> [fault flags...]
 #
 # Golden run (uninterrupted), then a checkpointing run killed by SIGKILL at
-# the given cumulative round, then a resume whose stdout must match golden.
+# the given cumulative round, then one resume per comma-separated thread
+# count in <resume-threads>, each of whose stdout must match golden.
 drill() {
   name=$1
   kill_round=$2
@@ -66,12 +71,14 @@ drill() {
   [ -n "$(ls "$dir" 2>/dev/null)" ] \
     || { fail "$name: kill left no snapshot on disk"; return; }
 
-  "$CLI" "$@" --threads "$resume_threads" --checkpoint-dir "$dir" --resume \
-    distributed "$GRAPH" "$K" "$L" "$SEED" \
-    >"$WORK/$name.resumed" 2>"$WORK/$name.resumed.err" \
-    || { fail "$name: resume failed: $(cat "$WORK/$name.resumed.err")"; return; }
-  cmp -s "$golden" "$WORK/$name.resumed" \
-    || fail "$name: resumed output differs from the uninterrupted run"
+  for threads in $(echo "$resume_threads" | tr ',' ' '); do
+    "$CLI" "$@" --threads "$threads" --checkpoint-dir "$dir" --resume \
+      distributed "$GRAPH" "$K" "$L" "$SEED" \
+      >"$WORK/$name.resumed.$threads" 2>"$WORK/$name.resumed.$threads.err" \
+      || { fail "$name: resume (threads $threads) failed: $(cat "$WORK/$name.resumed.$threads.err")"; continue; }
+    cmp -s "$golden" "$WORK/$name.resumed.$threads" \
+      || fail "$name: resumed output (threads $threads) differs from the uninterrupted run"
+  done
 }
 
 # Scenario 1: fault-free; the killed run is serial, the resume uses one
@@ -113,6 +120,17 @@ fi
 # asserts the same shape in-process with phase-exact kill placement.
 drill coalesced 90 -1 --walks-per-edge 8 \
   --drop-prob 0.05 --dup-prob 0.05 --fault-seed 321 --reliable
+
+# Scenario 5: crash-lossless guardian handoff.  Node 5 crash-stops at
+# cumulative round 38 while it still holds live walks; its guardian's
+# probes exhaust the reliable link's retry budget and the guardian adopts
+# the mirrored orphans around round 80 (the run reports adopted = 1,
+# lost = 0).  The SIGKILL at round 90 lands just after adoption, so the
+# newest snapshot (round 88) carries ward ledgers, the transmit-custody
+# queues, and an adopted orphan mid-replay.  Resumes at one, eight, and
+# one-per-core threads must all reproduce the golden run byte-for-byte.
+drill guardian 90 1,8,-1 --guardian --reliable \
+  --crash 5@38 --fault-seed 321
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES recovery drill(s) failed (scratch kept at $WORK)" >&2

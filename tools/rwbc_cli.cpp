@@ -77,6 +77,9 @@ PipelineSpec g_spec;
          "                   (rwbc; default 1 = the paper's model)\n"
          "  --no-coalesce    legacy one-message-per-token walk wire (rwbc;\n"
          "                   differential baseline for the coalesced path)\n"
+         "  --guardian       crash-lossless counting: mirror held walks to\n"
+         "                   a guardian that adopts them if this node dies\n"
+         "  --no-guardian    disable guardian mirroring (the default)\n"
          "fault flags apply to the distributed/compare data phases only.\n";
   std::exit(2);
 }
@@ -181,6 +184,15 @@ int cmd_distributed(int argc, char** argv) {
               << ", crashed = " << result.report.metrics.crashed_nodes
               << ", retransmissions = " << result.report.metrics.retransmissions
               << "\n";
+  }
+  if (g_spec.rwbc.guardian_handoff) {
+    const WalkAccounting& walks = result.report.walks;
+    std::cout << "walks: expected = " << walks.expected
+              << ", died = " << walks.died
+              << ", adopted = " << walks.adopted
+              << ", abandoned = " << walks.abandoned
+              << ", lost = " << walks.lost
+              << (walks.exact() ? " (exact)" : "") << "\n";
   }
   return 0;
 }

@@ -1,0 +1,330 @@
+// scenario_sweep — the composable fault-scenario matrix driver.
+//
+// One binary crosses every fault class the simulator can inject with every
+// resilience knob the pipeline exposes and prints ONE comparative table, so
+// the fault-tolerance story is auditable at a glance instead of scattered
+// across test logs:
+//
+//   faults   {none, crash, drop, dup, linkdown}
+//     x guardian  {off, on}     (crash-lossless walk mirroring, DESIGN.md §10)
+//     x reliable  {off, on}     (ack/retransmit transport)
+//     x ckpt      {off, on}     (snapshot mid-phase, resume, compare)
+//   over the 7 graph families of the differential suites.
+//
+// Each row reports rounds, messages, the walk census (lost / abandoned /
+// adopted, loss%), whether the run recovered its walk population exactly,
+// and — for ckpt rows — whether the resumed run reproduced the writer run
+// bit-identically.  The `expect` column is the protocol's a-priori claim
+// (survivors_connected + the knob matrix decides "exact" vs "lossy"); the
+// binary exits non-zero if any row breaks its claim, which is what makes
+// the CI smoke leg meaningful.
+//
+// usage: scenario_sweep [--quick] [--family F] [--fault F] [--out PATH]
+//                       [--threads N]
+//   --quick    family ba, faults {none, crash} only (the CI smoke leg)
+//   --family   restrict to one family (repeatable flag wins last)
+//   --fault    restrict to one fault class
+//   --out      also write the table to PATH (CI uploads it as an artifact)
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "congest/faults.hpp"
+#include "graph/generators.hpp"
+#include "rwbc/pipeline.hpp"
+
+namespace rwbc {
+namespace {
+
+Graph family_graph(const std::string& family, std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  if (family == "er") return make_erdos_renyi(14, 0.3, rng);
+  if (family == "ba") return make_barabasi_albert(14, 2, rng);
+  if (family == "ws") return make_watts_strogatz(14, 4, 0.3, rng);
+  if (family == "grid") return make_grid(3, 5);
+  if (family == "tree") return make_binary_tree(13);
+  if (family == "barbell") return make_barbell(4, 3);
+  if (family == "cycle") return make_cycle(14);
+  throw Error("unknown family: " + family);
+}
+
+const char* const kFamilies[] = {"er",      "ba",   "ws", "grid",
+                                 "tree", "barbell", "cycle"};
+const char* const kFaults[] = {"none", "crash", "drop", "dup", "linkdown"};
+
+constexpr NodeId kTarget = 1;  // forced so the crash pick can avoid it
+
+/// The crash plan every row with fault=crash uses: the highest-id node
+/// whose removal keeps survivors connected, never the leader (0) or the
+/// target.  Mid-phase round so walks are both pooled and in flight.
+FaultPlan make_crash_plan(const Graph& g) {
+  for (NodeId v = g.node_count() - 1; v > 0; --v) {
+    if (v == kTarget) continue;
+    FaultPlan plan;
+    plan.crashes.push_back({v, 6});
+    if (survivors_connected(g, plan)) return plan;
+  }
+  throw Error("no crashable node in graph");
+}
+
+FaultPlan make_fault_plan(const std::string& fault, const Graph& g,
+                          std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed ^ 0xfau;
+  if (fault == "none") return plan;
+  if (fault == "crash") {
+    FaultPlan crash = make_crash_plan(g);
+    crash.seed = plan.seed;
+    return crash;
+  }
+  if (fault == "drop") {
+    // A 30-round loss burst, deliberately shorter than the reliable link's
+    // give-up horizon (ack_timeout 4 x (max_retries 8 + 1) = 36 rounds):
+    // no frame can exhaust its retry budget inside the burst, so the
+    // transport recovers every frame deterministically and the
+    // drop+reliable rows' exactness is a contract, not luck.  Unbounded
+    // 20% loss would occasionally eat a frame's ack nine times in a row —
+    // finite-retry reliability degrades to at-least-once and a delivered
+    // walk gets refunded (counted twice).
+    plan.drop_prob = 0.2;
+    plan.message_fault_first_round = 5;
+    plan.message_fault_last_round = 34;
+    return plan;
+  }
+  if (fault == "dup") {
+    plan.dup_prob = 0.2;
+    return plan;
+  }
+  if (fault == "linkdown") {
+    // Sever the leader's first incident edge for ten mid-phase rounds —
+    // with high odds a sweep-tree edge, so termination detection and (for
+    // guardian rows) re-anchoring both get exercised.
+    plan.link_downs.push_back({Edge{0, g.neighbors(0).front()}, 5, 15});
+    return plan;
+  }
+  throw Error("unknown fault class: " + fault);
+}
+
+struct Combo {
+  std::string family;
+  std::string fault;
+  bool guardian = false;
+  bool reliable = false;
+  bool ckpt = false;
+};
+
+/// The protocol's a-priori claim for a combo, decided from the knob matrix
+/// and survivors_connected — the quantity each row is checked against.
+///   exact: every walk accounted as died, nothing lost or abandoned.
+///   lossy: loss is possible and must be REPORTED, not hidden.
+bool expect_exact(const Combo& c, const Graph& g, const FaultPlan& plan) {
+  if (c.fault == "none") return true;
+  // Pure message faults: the reliable transport alone restores exactness
+  // (retransmission for drops and link-downs, dedup for duplicates).
+  if (c.fault == "drop" || c.fault == "dup" || c.fault == "linkdown") {
+    return c.reliable;
+  }
+  // Crash-stop: needs the guardian for held walks, the reliable link for
+  // in-flight ones, and connected survivors to finish the phase.
+  return c.guardian && c.reliable && survivors_connected(g, plan);
+}
+
+std::uint64_t score_digest(const DistributedRwbcResult& result) {
+  std::uint64_t d = 0x5eedULL;
+  const auto fold = [&d](std::uint64_t v) {
+    std::uint64_t state = d ^ v;
+    d = splitmix64(state);
+  };
+  for (double s : result.report.scores) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &s, sizeof(bits));
+    fold(bits);
+  }
+  fold(result.report.metrics.rounds);
+  fold(result.report.walks.died);
+  fold(result.report.walks.adopted);
+  fold(result.report.walks.abandoned);
+  return d;
+}
+
+struct RowResult {
+  RunReport report;
+  DistributedRwbcResult result;
+  bool resume_identical = true;  // ckpt rows only
+};
+
+RowResult run_combo(const Combo& combo, const Graph& g, int threads) {
+  PipelineSpec spec;
+  spec.algorithm = "rwbc";
+  spec.threads = threads;
+  spec.seed = 7;
+  spec.bit_floor = 128;
+  spec.rwbc.walks_per_source = 4;
+  spec.rwbc.cutoff = 20;
+  spec.rwbc.forced_target = kTarget;
+  spec.rwbc.guardian_handoff = combo.guardian;
+  spec.rwbc.fault_deadline_rounds = 400;
+  spec.faults = make_fault_plan(combo.fault, g, spec.seed);
+  spec.reliable_transport = combo.reliable;
+
+  RowResult row;
+  spec.rwbc_result = &row.result;
+  if (!combo.ckpt) {
+    row.report = run_pipeline(g, spec);
+    return row;
+  }
+  // ckpt rows: write snapshots mid-phase, then resume from the newest one
+  // and require the resumed run to reproduce the writer run exactly.
+  std::ostringstream dir;
+  dir << "/tmp/rwbc_sweep_" << combo.family << "_" << combo.fault << "_g"
+      << combo.guardian << "_r" << combo.reliable;
+  spec.checkpoint_dir = dir.str();
+  spec.checkpoint_every = 10;
+  // Stale snapshots from an earlier sweep (same dir name, possibly a longer
+  // run) would win the newest-checkpoint race on resume — start clean.
+  std::filesystem::remove_all(spec.checkpoint_dir);
+  row.report = run_pipeline(g, spec);
+  const std::uint64_t want = score_digest(row.result);
+
+  PipelineSpec resume_spec = spec;
+  DistributedRwbcResult resumed;
+  resume_spec.rwbc_result = &resumed;
+  resume_spec.checkpoint_every = 0;
+  resume_spec.resume = true;
+  (void)run_pipeline(g, resume_spec);
+  row.resume_identical = resumed.report.resumed_from_round > 0 &&
+                         score_digest(resumed) == want;
+  return row;
+}
+
+const char* onoff(bool b) { return b ? "on" : "off"; }
+
+int sweep_main(int argc, char** argv) {
+  bool quick = false;
+  int threads = 0;
+  std::string only_family, only_fault, out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error(flag + " requires a value");
+      return argv[++i];
+    };
+    if (flag == "--quick") {
+      quick = true;
+    } else if (flag == "--family") {
+      only_family = value();
+    } else if (flag == "--fault") {
+      only_fault = value();
+    } else if (flag == "--out") {
+      out_path = value();
+    } else if (flag == "--threads") {
+      threads = std::atoi(value().c_str());
+    } else {
+      throw Error("unknown flag: " + flag);
+    }
+  }
+
+  std::vector<std::string> families, faults;
+  for (const char* f : kFamilies) {
+    if (only_family.empty() ? !quick || std::string(f) == "ba"
+                            : only_family == f) {
+      families.push_back(f);
+    }
+  }
+  for (const char* f : kFaults) {
+    if (only_fault.empty()
+            ? !quick || std::string(f) == "none" || std::string(f) == "crash"
+            : only_fault == f) {
+      faults.push_back(f);
+    }
+  }
+  if (families.empty()) throw Error("unknown family: " + only_family);
+  if (faults.empty()) throw Error("unknown fault class: " + only_fault);
+
+  Table table({"family", "fault", "guardian", "reliable", "ckpt", "rounds",
+               "msgs", "loss%", "lost", "abandoned", "adopted", "expect",
+               "exact", "resume"});
+  int violations = 0;
+  for (const std::string& family : families) {
+    const Graph g = family_graph(family, 1);
+    for (const std::string& fault : faults) {
+      for (bool guardian : {false, true}) {
+        for (bool reliable : {false, true}) {
+          for (bool ckpt : {false, true}) {
+            const Combo combo{family, fault, guardian, reliable, ckpt};
+            const FaultPlan plan = make_fault_plan(fault, g, 7);
+            const RowResult row = run_combo(combo, g, threads);
+            const WalkAccounting& walks = row.report.walks;
+            const bool exact = walks.exact();
+            const bool expected_exact = expect_exact(combo, g, plan);
+            // An expected-exact row must be exact; an expected-lossy row
+            // only has to keep honest books (never a negative residual,
+            // which would mean double counting; dup rows are exempt — an
+            // unreliable duplicated walk genuinely lands twice and the
+            // accounting is REQUIRED to surface that as lost < 0).  A
+            // guardian without the reliable link has no failure detector:
+            // silence-only adoption can fire on a live ward muted by drop
+            // or linkdown streaks, double-counting its deaths, so those
+            // rows are dup-like too.  (With the link, adoption waits for
+            // the slot's confirmed death and stays honest.)
+            const bool honest =
+                walks.lost >= 0 || (fault == "dup" && !reliable) ||
+                (guardian && !reliable &&
+                 (fault == "drop" || fault == "linkdown"));
+            const bool ok = (expected_exact ? exact : honest) &&
+                            row.resume_identical;
+            if (!ok) ++violations;
+            const double loss_pct =
+                walks.expected == 0
+                    ? 0.0
+                    : 100.0 *
+                          static_cast<double>(static_cast<std::int64_t>(
+                                                  walks.expected) -
+                                              static_cast<std::int64_t>(
+                                                  walks.died)) /
+                          static_cast<double>(walks.expected);
+            table.add_row({family, fault, onoff(guardian), onoff(reliable),
+                           onoff(ckpt), Table::fmt(row.report.metrics.rounds),
+                           Table::fmt(row.report.metrics.total_messages),
+                           Table::fmt(loss_pct, 1), Table::fmt(walks.lost),
+                           Table::fmt(walks.abandoned),
+                           Table::fmt(walks.adopted),
+                           expected_exact ? "exact" : "lossy",
+                           exact ? "yes" : "no",
+                           ckpt ? (row.resume_identical ? "ok" : "MISMATCH")
+                                : "-"});
+          }
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << table.row_count() << " scenarios, " << violations
+            << " contract violations\n";
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    table.print(out);
+    out << table.row_count() << " scenarios, " << violations
+        << " contract violations\n";
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rwbc
+
+int main(int argc, char** argv) {
+  try {
+    return rwbc::sweep_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
